@@ -1,0 +1,29 @@
+//! Fig. 3a — fraction of embedding parameters updated within 10/30/60-minute windows.
+//!
+//! Paper observation: even 10-minute windows touch more than 10 % of the embedding rows,
+//! which is what makes delta synchronisation expensive.
+
+use liveupdate::experiment::update_ratio_run;
+use liveupdate_bench::{accuracy_config, header};
+use liveupdate_workload::datasets::DatasetPreset;
+
+fn main() {
+    header(
+        "Figure 3a",
+        "embedding update ratio over 10/30/60-minute training windows",
+    );
+    for preset in [DatasetPreset::Criteo, DatasetPreset::BdTb] {
+        let cfg = accuracy_config(preset, 31);
+        let ratios = update_ratio_run(&cfg, &[10.0, 30.0, 60.0]);
+        println!("\ndataset {}:", preset.name());
+        println!("{:>16} {:>22}", "window (min)", "rows updated (%)");
+        for (window, fraction) in &ratios {
+            println!("{window:>16.0} {:>21.1}%", fraction * 100.0);
+        }
+        let ten_min = ratios.first().map(|r| r.1).unwrap_or(0.0);
+        println!(
+            "paper check: 10-minute window updates {:.1}% of rows (paper reports >10%)",
+            ten_min * 100.0
+        );
+    }
+}

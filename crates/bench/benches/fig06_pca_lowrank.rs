@@ -1,0 +1,51 @@
+//! Fig. 6 — cumulative importance (explained variance) of the gradient principal
+//! components, for the tables with the smallest and the largest component spread.
+
+use liveupdate::experiment::{gradient_rank_analysis, PcaCurve};
+use liveupdate_bench::{accuracy_config, header};
+use liveupdate_workload::datasets::DatasetPreset;
+
+fn rank_for(curve: &PcaCurve, alpha: f64) -> usize {
+    curve.cumulative.iter().position(|&v| v >= alpha).map_or(curve.cumulative.len(), |k| k + 1)
+}
+
+fn main() {
+    header(
+        "Figure 6",
+        "cumulative explained variance of embedding-gradient PCA components over training iterations",
+    );
+    let cfg = accuracy_config(DatasetPreset::Criteo, 37);
+    let curves = gradient_rank_analysis(&cfg, 8);
+
+    // Per table: the range of ranks needed for 80 % variance across iterations (the
+    // "spread" the paper's two sub-figures contrast).
+    let num_tables = cfg.dlrm.table_sizes.len();
+    let mut spread: Vec<(usize, usize, usize)> = Vec::new();
+    for table in 0..num_tables {
+        let ranks: Vec<usize> = curves.iter().filter(|c| c.table == table).map(|c| rank_for(c, 0.8)).collect();
+        if ranks.is_empty() {
+            continue;
+        }
+        spread.push((table, *ranks.iter().min().unwrap(), *ranks.iter().max().unwrap()));
+    }
+    let smallest = spread.iter().min_by_key(|(_, lo, hi)| hi - lo).copied();
+    let largest = spread.iter().max_by_key(|(_, lo, hi)| hi - lo).copied();
+
+    for (label, pick) in [("smallest spread", smallest), ("largest spread", largest)] {
+        if let Some((table, lo, hi)) = pick {
+            println!("\ntable {table} ({label}): rank for 80% variance ranges {lo}..{hi} across iterations");
+            println!("{:>10} {}", "iteration", "cumulative variance of top-1..top-8 components");
+            for c in curves.iter().filter(|c| c.table == table) {
+                let head: Vec<String> = c.cumulative.iter().take(8).map(|v| format!("{v:.2}")).collect();
+                println!("{:>10} [{}]", c.iteration, head.join(", "));
+            }
+        }
+    }
+
+    let max_rank80 = curves.iter().map(|c| rank_for(c, 0.8)).max().unwrap_or(0);
+    println!(
+        "\npaper check: at most {max_rank80} of {} components are needed for 80% of the gradient \
+         variance (paper: 3–6 of 16)",
+        cfg.dlrm.embedding_dim
+    );
+}

@@ -1,0 +1,39 @@
+//! Fig. 11 — L3 hit ratio of the LoRA training and the inference process, before and after
+//! (a) data reuse and (b) CCD scheduling.
+
+use liveupdate::isolation::{evaluate_all, ContentionConfig, IsolationMode};
+use liveupdate_bench::header;
+
+fn main() {
+    header(
+        "Figure 11",
+        "L3 hit ratios of inference and training, with and without the isolation optimisations",
+    );
+    let outcomes = evaluate_all(&ContentionConfig::default());
+    println!(
+        "{:<22} {:>20} {:>20}",
+        "configuration", "inference L3 hit", "training L3 hit"
+    );
+    for o in &outcomes {
+        println!(
+            "{:<22} {:>19.1}% {:>20}",
+            o.mode.label(),
+            o.inference_hit_ratio * 100.0,
+            o.training_hit_ratio
+                .map_or("-".to_string(), |h| format!("{:.1}%", h * 100.0)),
+        );
+    }
+
+    let naive = outcomes.iter().find(|o| o.mode == IsolationMode::NaiveColocation).unwrap();
+    let reuse = outcomes.iter().find(|o| o.mode == IsolationMode::SchedulingAndReuse).unwrap();
+    println!(
+        "\npaper check (Fig. 11a, data reuse): training hit ratio {:.1}% -> {:.1}%",
+        naive.training_hit_ratio.unwrap_or(0.0) * 100.0,
+        reuse.training_hit_ratio.unwrap_or(0.0) * 100.0
+    );
+    println!(
+        "paper check (Fig. 11b, CCD scheduling): inference hit ratio {:.1}% -> {:.1}%",
+        naive.inference_hit_ratio * 100.0,
+        reuse.inference_hit_ratio * 100.0
+    );
+}

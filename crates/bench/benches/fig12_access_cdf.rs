@@ -1,0 +1,31 @@
+//! Fig. 12 — CDF of embedding access distribution: the top 10 % of indices account for the
+//! overwhelming majority of lookups (the paper reports 93.8 %).
+
+use liveupdate_bench::header;
+use liveupdate_workload::access::AccessHistogram;
+use liveupdate_workload::zipf::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    header("Figure 12", "CDF of embedding access distribution under the production-like skew");
+    let rows = 100_000;
+    let accesses = 2_000_000;
+    let zipf = ZipfSampler::new(rows, 1.05);
+    let mut histogram = AccessHistogram::new(rows);
+    let mut rng = StdRng::seed_from_u64(12);
+    histogram.record_all(zipf.sample_many(&mut rng, accesses));
+
+    println!("{:>22} {:>26}", "top fraction of ids", "share of accesses");
+    for (frac, share) in histogram.cdf(21) {
+        println!("{:>21.0}% {:>25.1}%", frac * 100.0, share * 100.0);
+    }
+    println!(
+        "\npaper check: top 10% of indices receive {:.1}% of accesses (paper reports 93.8%)",
+        histogram.top_share(0.1) * 100.0
+    );
+    println!(
+        "pruning threshold tau_prune (access count of the rank-10% index): {}",
+        histogram.threshold_for_top_fraction(0.1)
+    );
+}

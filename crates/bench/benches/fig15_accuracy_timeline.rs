@@ -1,0 +1,48 @@
+//! Fig. 15 — accuracy over two hours on the BD-TB-like stream with 5-minute updates and an
+//! hourly full-parameter synchronisation.
+
+use liveupdate::experiment::run_strategy;
+use liveupdate::strategy::StrategyKind;
+use liveupdate_bench::{accuracy_config, header};
+use liveupdate_workload::datasets::DatasetPreset;
+
+fn main() {
+    header(
+        "Figure 15",
+        "AUC over two hours on BD-TB, 5-minute updates, hourly full sync (grey line at 60 min)",
+    );
+    let mut cfg = accuracy_config(DatasetPreset::BdTb, 61);
+    cfg.duration_minutes = 120.0;
+    cfg.window_minutes = 5.0;
+    cfg.update_interval_minutes = 5.0;
+    cfg.full_sync_interval_minutes = 60.0;
+
+    let strategies = [
+        StrategyKind::DeltaUpdate,
+        StrategyKind::QuickUpdate { fraction: 0.05 },
+        StrategyKind::LiveUpdate,
+    ];
+    let results: Vec<_> = strategies.iter().map(|s| run_strategy(&cfg, *s)).collect();
+
+    print!("{:>8}", "minute");
+    for r in &results {
+        print!(" {:>16}", r.strategy.name());
+    }
+    println!();
+    let windows = results[0].timeline.len();
+    for w in 0..windows {
+        print!("{:>8.0}", results[0].timeline[w].time_minutes);
+        for r in &results {
+            let auc = r.timeline[w].auc.map_or("     n/a".to_string(), |a| format!("{a:.4}"));
+            print!(" {auc:>16}");
+        }
+        println!();
+    }
+
+    println!("\nmean AUC over the two hours:");
+    for r in &results {
+        println!("  {:<18} {:.4}", r.strategy.name(), r.mean_auc);
+    }
+    println!("\npaper check: LiveUpdate tracks or exceeds DeltaUpdate for most of the horizon, the gap");
+    println!("narrows as local-error accumulates towards the hour, and the 60-minute full sync resets it.");
+}

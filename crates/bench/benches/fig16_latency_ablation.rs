@@ -1,0 +1,37 @@
+//! Fig. 16 — P99 inference latency under co-located training, ablating the isolation
+//! techniques: Only-Infer, w/o Opt, w/ Scheduling, w/ Reuse+Scheduling.
+
+use liveupdate::isolation::{evaluate_all, ContentionConfig, IsolationMode};
+use liveupdate_bench::header;
+
+fn main() {
+    header(
+        "Figure 16",
+        "P99 serving latency under co-located LoRA training, with progressively enabled isolation",
+    );
+    let outcomes = evaluate_all(&ContentionConfig::default());
+    println!(
+        "{:<22} {:>12} {:>12} {:>16} {:>18}",
+        "configuration", "P50 (ms)", "P99 (ms)", "DRAM utilisation", "inference L3 hit"
+    );
+    for o in &outcomes {
+        println!(
+            "{:<22} {:>12.2} {:>12.2} {:>15.1}% {:>17.1}%",
+            o.mode.label(),
+            o.p50_ms,
+            o.p99_ms,
+            o.dram_utilization * 100.0,
+            o.inference_hit_ratio * 100.0
+        );
+    }
+
+    let p99 = |mode: IsolationMode| outcomes.iter().find(|o| o.mode == mode).map(|o| o.p99_ms).unwrap_or(0.0);
+    println!(
+        "\npaper check: naive co-location inflates P99 by {:.1}x over inference-only;",
+        p99(IsolationMode::NaiveColocation) / p99(IsolationMode::InferenceOnly).max(1e-9)
+    );
+    println!(
+        "with scheduling + reuse the overhead shrinks to {:.1}x (paper: nearly indistinguishable).",
+        p99(IsolationMode::SchedulingAndReuse) / p99(IsolationMode::InferenceOnly).max(1e-9)
+    );
+}

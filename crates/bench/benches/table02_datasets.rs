@@ -1,0 +1,34 @@
+//! Table II — datasets used for the accuracy and systems evaluation.
+
+use liveupdate_bench::header;
+use liveupdate_workload::datasets::DatasetPreset;
+
+fn human_bytes(bytes: u64) -> String {
+    if bytes >= 1_000_000_000_000 {
+        format!("{:.1} TB", bytes as f64 / 1e12)
+    } else {
+        format!("{:.2} GB", bytes as f64 / 1e9)
+    }
+}
+
+fn main() {
+    header("Table II", "datasets for accuracy & performance testing");
+    println!(
+        "{:<12} {:>18} {:>16} {:>20} {:>18}",
+        "dataset", "samples", "dataset size", "embedding tables", "sim tables (rows)"
+    );
+    for preset in DatasetPreset::all() {
+        let spec = preset.spec();
+        println!(
+            "{:<12} {:>18} {:>16} {:>20} {:>13}x{:<5}",
+            preset.name(),
+            spec.samples,
+            human_bytes(spec.dataset_bytes),
+            human_bytes(spec.embedding_table_bytes),
+            spec.sim_num_tables,
+            spec.sim_table_size,
+        );
+    }
+    println!("\nThe first three columns match the paper's Table II; the last column is the scaled-down");
+    println!("simulation shape used for laptop-scale accuracy experiments (see DESIGN.md §1).");
+}

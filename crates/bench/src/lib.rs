@@ -1,0 +1,70 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every table and figure of the paper's evaluation has a dedicated `harness = false`
+//! bench target in `benches/`; each prints the same rows/series the paper reports. This
+//! library provides the experiment configurations the accuracy benches share and small
+//! formatting helpers so their output stays uniform (and greppable from
+//! `bench_output.txt`).
+
+use liveupdate::config::LiveUpdateConfig;
+use liveupdate::experiment::ExperimentConfig;
+use liveupdate_workload::datasets::DatasetPreset;
+
+/// Print a section header for one experiment.
+pub fn header(experiment: &str, description: &str) {
+    println!("==============================================================================");
+    println!("{experiment}: {description}");
+    println!("==============================================================================");
+}
+
+/// Print a standard "series" row: a label followed by `(x, y)` pairs.
+pub fn series_row(label: &str, points: &[(f64, f64)]) {
+    let formatted: Vec<String> = points.iter().map(|(x, y)| format!("({x:.2}, {y:.4})")).collect();
+    println!("{label}: {}", formatted.join(" "));
+}
+
+/// Whether the harness should run the full-scale accuracy evaluation (set
+/// `LIVEUPDATE_FULL_EVAL=1`); by default a reduced configuration is used so `cargo bench`
+/// completes in minutes on a laptop.
+#[must_use]
+pub fn full_eval() -> bool {
+    std::env::var("LIVEUPDATE_FULL_EVAL").map_or(false, |v| v == "1")
+}
+
+/// Experiment configuration for an accuracy benchmark on one dataset preset. The reduced
+/// configuration preserves the protocol (10-minute update windows, hourly full sync,
+/// prequential evaluation) but shrinks the traffic volume so the whole harness stays fast.
+#[must_use]
+pub fn accuracy_config(preset: DatasetPreset, seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::from_dataset(preset, seed);
+    if !full_eval() {
+        cfg.requests_per_window = 192;
+        cfg.online_rounds_per_window = 6;
+        cfg.online_batch_size = 96;
+        cfg.warmup_minutes = 20.0;
+        cfg.warmup_epochs = 1;
+        cfg.training_batch_size = 96;
+    }
+    cfg.liveupdate = LiveUpdateConfig::default();
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_config_valid_for_every_preset() {
+        for preset in DatasetPreset::all() {
+            assert!(accuracy_config(preset, 3).is_valid(), "{} config invalid", preset.name());
+        }
+    }
+
+    #[test]
+    fn full_eval_defaults_to_false() {
+        // The environment variable is not set in the test environment.
+        if std::env::var("LIVEUPDATE_FULL_EVAL").is_err() {
+            assert!(!full_eval());
+        }
+    }
+}

@@ -1,0 +1,530 @@
+//! Embedding tables with row-wise sparse gradients.
+//!
+//! Embedding tables (EMTs) dominate a production DLRM's footprint and are the object the
+//! whole LiveUpdate mechanism revolves around: updates touch individual rows, gradients are
+//! sparse and row-wise, and the update stream's low-rank structure is what makes the LoRA
+//! representation work. [`EmbeddingTable`] keeps the parameters in a flat row-major buffer;
+//! [`SparseGradient`] accumulates per-row gradients for a mini-batch and is also the
+//! currency handed to the rank-adaptation analysis in the core crate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A dense embedding table `W ∈ R^{|V|×d}` with mean pooling for multi-hot lookups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbeddingTable {
+    num_rows: usize,
+    dim: usize,
+    /// Row-major weights, length `num_rows * dim`.
+    weights: Vec<f64>,
+    /// Per-row accumulated squared gradient norm for Adagrad (lazily grown).
+    adagrad_state: Vec<f64>,
+}
+
+impl EmbeddingTable {
+    /// Create a table of shape `num_rows × dim` with small random initial weights drawn
+    /// uniformly from `[-1/sqrt(dim), 1/sqrt(dim)]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn new(num_rows: usize, dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = 1.0 / (dim as f64).sqrt();
+        let weights = (0..num_rows * dim).map(|_| rng.gen_range(-bound..bound)).collect();
+        Self {
+            num_rows,
+            dim,
+            weights,
+            adagrad_state: vec![0.0; num_rows],
+        }
+    }
+
+    /// Create a table with every weight set to zero (useful for delta/LoRA shadow tables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn zeros(num_rows: usize, dim: usize) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        Self {
+            num_rows,
+            dim,
+            weights: vec![0.0; num_rows * dim],
+            adagrad_state: vec![0.0; num_rows],
+        }
+    }
+
+    /// Number of rows `|V|`.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Embedding dimension `d`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total number of parameters `|V|·d`.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.num_rows * self.dim
+    }
+
+    /// Approximate memory footprint in bytes (weights only, `f64` storage).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.parameter_count() * std::mem::size_of::<f64>()
+    }
+
+    /// Borrow row `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= num_rows`.
+    #[must_use]
+    pub fn row(&self, id: usize) -> &[f64] {
+        assert!(id < self.num_rows, "embedding id {id} out of bounds ({})", self.num_rows);
+        &self.weights[id * self.dim..(id + 1) * self.dim]
+    }
+
+    /// Borrow row `id` mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= num_rows`.
+    pub fn row_mut(&mut self, id: usize) -> &mut [f64] {
+        assert!(id < self.num_rows, "embedding id {id} out of bounds ({})", self.num_rows);
+        &mut self.weights[id * self.dim..(id + 1) * self.dim]
+    }
+
+    /// Mean-pooled lookup over a multi-hot set of IDs. Returns a zero vector when `ids` is
+    /// empty (missing feature).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of bounds.
+    #[must_use]
+    pub fn pooled_lookup(&self, ids: &[usize]) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        if ids.is_empty() {
+            return out;
+        }
+        for &id in ids {
+            let row = self.row(id);
+            for (o, &w) in out.iter_mut().zip(row) {
+                *o += w;
+            }
+        }
+        let inv = 1.0 / ids.len() as f64;
+        for o in &mut out {
+            *o *= inv;
+        }
+        out
+    }
+
+    /// Apply a sparse gradient with plain SGD: `W[i] -= lr · g[i]` for every touched row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient dimension does not match or an id is out of bounds.
+    pub fn apply_sgd(&mut self, grad: &SparseGradient, learning_rate: f64) {
+        assert_eq!(grad.dim(), self.dim, "gradient dimension mismatch");
+        for (&id, g) in grad.iter() {
+            let row = self.row_mut(id);
+            for (w, &gv) in row.iter_mut().zip(g) {
+                *w -= learning_rate * gv;
+            }
+        }
+    }
+
+    /// Apply a sparse gradient with row-wise Adagrad, the standard optimiser for
+    /// production EMTs: the per-row accumulator uses the mean squared gradient of the row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient dimension does not match or an id is out of bounds.
+    pub fn apply_adagrad(&mut self, grad: &SparseGradient, learning_rate: f64, eps: f64) {
+        assert_eq!(grad.dim(), self.dim, "gradient dimension mismatch");
+        for (&id, g) in grad.iter() {
+            let sq_mean: f64 = g.iter().map(|x| x * x).sum::<f64>() / self.dim as f64;
+            self.adagrad_state[id] += sq_mean;
+            let scale = learning_rate / (self.adagrad_state[id].sqrt() + eps);
+            let row = self.row_mut(id);
+            for (w, &gv) in row.iter_mut().zip(g) {
+                *w -= scale * gv;
+            }
+        }
+    }
+
+    /// Add `delta` to row `id` (used when merging LoRA or delta updates into the base).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta.len() != dim` or `id` is out of bounds.
+    pub fn add_to_row(&mut self, id: usize, delta: &[f64]) {
+        assert_eq!(delta.len(), self.dim, "delta dimension mismatch");
+        let row = self.row_mut(id);
+        for (w, &d) in row.iter_mut().zip(delta) {
+            *w += d;
+        }
+    }
+
+    /// Overwrite row `id` with `values` (used by full-parameter synchronisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != dim` or `id` is out of bounds.
+    pub fn set_row(&mut self, id: usize, values: &[f64]) {
+        assert_eq!(values.len(), self.dim, "row dimension mismatch");
+        self.row_mut(id).copy_from_slice(values);
+    }
+
+    /// Copy every row of `other` into `self` (full sync). Both tables must have identical
+    /// shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn copy_from(&mut self, other: &EmbeddingTable) {
+        assert_eq!(self.num_rows, other.num_rows, "row count mismatch in copy_from");
+        assert_eq!(self.dim, other.dim, "dim mismatch in copy_from");
+        self.weights.copy_from_slice(&other.weights);
+    }
+
+    /// Number of rows whose weights differ from `other` by more than `tolerance` in any
+    /// coordinate — the quantity behind the paper's Fig. 3a update-ratio measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn changed_rows(&self, other: &EmbeddingTable, tolerance: f64) -> Vec<usize> {
+        assert_eq!(self.num_rows, other.num_rows, "row count mismatch in changed_rows");
+        assert_eq!(self.dim, other.dim, "dim mismatch in changed_rows");
+        (0..self.num_rows)
+            .filter(|&i| {
+                self.row(i)
+                    .iter()
+                    .zip(other.row(i))
+                    .any(|(a, b)| (a - b).abs() > tolerance)
+            })
+            .collect()
+    }
+
+    /// Squared L2 distance between this table and `other`, summed over all rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn squared_distance(&self, other: &EmbeddingTable) -> f64 {
+        assert_eq!(self.weights.len(), other.weights.len(), "shape mismatch in squared_distance");
+        self.weights
+            .iter()
+            .zip(&other.weights)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// View the raw row-major weights.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+/// Row-wise sparse gradient for one embedding table: `id → ∂L/∂W[id]`.
+///
+/// Rows are kept in a `BTreeMap` so iteration order is deterministic, which keeps training
+/// runs reproducible and makes the gradient snapshots handed to PCA stable across runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SparseGradient {
+    dim: usize,
+    rows: BTreeMap<usize, Vec<f64>>,
+}
+
+impl SparseGradient {
+    /// Create an empty gradient for vectors of dimension `dim`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            rows: BTreeMap::new(),
+        }
+    }
+
+    /// Gradient vector dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of distinct rows touched.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been touched.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Accumulate `grad` into row `id` (adds if the row already has a gradient).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len() != dim`.
+    pub fn accumulate(&mut self, id: usize, grad: &[f64]) {
+        assert_eq!(grad.len(), self.dim, "gradient dimension mismatch");
+        let entry = self.rows.entry(id).or_insert_with(|| vec![0.0; self.dim]);
+        for (e, &g) in entry.iter_mut().zip(grad) {
+            *e += g;
+        }
+    }
+
+    /// Merge another sparse gradient into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn merge(&mut self, other: &SparseGradient) {
+        assert_eq!(self.dim, other.dim, "gradient dimension mismatch in merge");
+        for (&id, g) in other.iter() {
+            self.accumulate(id, g);
+        }
+    }
+
+    /// Scale every stored gradient by `alpha` (e.g. `1/batch_size`).
+    pub fn scale(&mut self, alpha: f64) {
+        for g in self.rows.values_mut() {
+            for v in g.iter_mut() {
+                *v *= alpha;
+            }
+        }
+    }
+
+    /// Gradient for a specific row, if present.
+    #[must_use]
+    pub fn get(&self, id: usize) -> Option<&[f64]> {
+        self.rows.get(&id).map(Vec::as_slice)
+    }
+
+    /// Iterate over `(id, gradient)` pairs in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&usize, &Vec<f64>)> {
+        self.rows.iter()
+    }
+
+    /// The set of touched row ids in ascending order.
+    #[must_use]
+    pub fn touched_ids(&self) -> Vec<usize> {
+        self.rows.keys().copied().collect()
+    }
+
+    /// L2 norm of the gradient of row `id`, or `0.0` if untouched.
+    #[must_use]
+    pub fn row_norm(&self, id: usize) -> f64 {
+        self.get(id)
+            .map(|g| g.iter().map(|x| x * x).sum::<f64>().sqrt())
+            .unwrap_or(0.0)
+    }
+
+    /// Convert into a dense matrix whose rows are the touched gradients (in id order),
+    /// which is exactly the snapshot matrix `G` the paper's PCA analysis consumes.
+    /// Returns the matrix together with the id of each row.
+    #[must_use]
+    pub fn to_snapshot(&self) -> (liveupdate_linalg::Matrix, Vec<usize>) {
+        let ids = self.touched_ids();
+        let rows: Vec<Vec<f64>> = ids.iter().map(|id| self.rows[id].clone()).collect();
+        let matrix = liveupdate_linalg::Matrix::from_rows(&rows)
+            .expect("all gradient rows share the same dimension");
+        (matrix, ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_table_has_bounded_init() {
+        let t = EmbeddingTable::new(10, 4, 1);
+        let bound = 1.0 / 2.0;
+        assert!(t.as_slice().iter().all(|w| w.abs() <= bound));
+        assert_eq!(t.parameter_count(), 40);
+        assert_eq!(t.memory_bytes(), 40 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_rejected() {
+        let _ = EmbeddingTable::new(4, 0, 0);
+    }
+
+    #[test]
+    fn pooled_lookup_means_rows() {
+        let mut t = EmbeddingTable::zeros(3, 2);
+        t.set_row(0, &[1.0, 2.0]);
+        t.set_row(1, &[3.0, 4.0]);
+        assert_eq!(t.pooled_lookup(&[0, 1]), vec![2.0, 3.0]);
+        assert_eq!(t.pooled_lookup(&[0]), vec![1.0, 2.0]);
+        assert_eq!(t.pooled_lookup(&[]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn lookup_out_of_bounds_panics() {
+        let t = EmbeddingTable::zeros(2, 2);
+        let _ = t.row(2);
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut t = EmbeddingTable::zeros(4, 2);
+        let mut g = SparseGradient::new(2);
+        g.accumulate(1, &[1.0, -2.0]);
+        t.apply_sgd(&g, 0.5);
+        assert_eq!(t.row(1), &[-0.5, 1.0]);
+        assert_eq!(t.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn adagrad_shrinks_effective_step_over_time() {
+        let mut t = EmbeddingTable::zeros(2, 2);
+        let mut g = SparseGradient::new(2);
+        g.accumulate(0, &[1.0, 1.0]);
+        t.apply_adagrad(&g, 0.1, 1e-8);
+        let first_step = -t.row(0)[0];
+        let before_second = t.row(0)[0];
+        t.apply_adagrad(&g, 0.1, 1e-8);
+        let second_step = before_second - t.row(0)[0];
+        assert!(first_step > 0.0);
+        assert!(second_step > 0.0);
+        assert!(second_step < first_step, "adagrad step should shrink");
+    }
+
+    #[test]
+    fn add_and_set_row() {
+        let mut t = EmbeddingTable::zeros(2, 3);
+        t.set_row(0, &[1.0, 2.0, 3.0]);
+        t.add_to_row(0, &[0.5, 0.5, 0.5]);
+        assert_eq!(t.row(0), &[1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn changed_rows_and_distance() {
+        let mut a = EmbeddingTable::zeros(5, 2);
+        let b = EmbeddingTable::zeros(5, 2);
+        assert!(a.changed_rows(&b, 1e-12).is_empty());
+        assert_eq!(a.squared_distance(&b), 0.0);
+        a.set_row(2, &[1.0, 0.0]);
+        a.set_row(4, &[0.0, 2.0]);
+        assert_eq!(a.changed_rows(&b, 1e-12), vec![2, 4]);
+        assert!((a.squared_distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn copy_from_synchronises() {
+        let src = EmbeddingTable::new(6, 3, 9);
+        let mut dst = EmbeddingTable::zeros(6, 3);
+        dst.copy_from(&src);
+        assert!(dst.changed_rows(&src, 0.0).is_empty());
+    }
+
+    #[test]
+    fn sparse_gradient_accumulate_and_merge() {
+        let mut g = SparseGradient::new(2);
+        assert!(g.is_empty());
+        g.accumulate(3, &[1.0, 1.0]);
+        g.accumulate(3, &[1.0, -1.0]);
+        g.accumulate(7, &[2.0, 0.0]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.get(3).unwrap(), &[2.0, 0.0]);
+        assert_eq!(g.touched_ids(), vec![3, 7]);
+        assert!((g.row_norm(7) - 2.0).abs() < 1e-12);
+        assert_eq!(g.row_norm(100), 0.0);
+
+        let mut h = SparseGradient::new(2);
+        h.accumulate(7, &[0.0, 1.0]);
+        g.merge(&h);
+        assert_eq!(g.get(7).unwrap(), &[2.0, 1.0]);
+
+        g.scale(0.5);
+        assert_eq!(g.get(3).unwrap(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn snapshot_matrix_matches_touched_rows() {
+        let mut g = SparseGradient::new(3);
+        g.accumulate(5, &[1.0, 2.0, 3.0]);
+        g.accumulate(1, &[-1.0, 0.0, 1.0]);
+        let (m, ids) = g.to_snapshot();
+        assert_eq!(ids, vec![1, 5]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.row(0), &[-1.0, 0.0, 1.0]);
+        assert_eq!(m.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_sgd_then_reverse_restores(
+            ids in proptest::collection::vec(0usize..20, 1..10),
+            lr in 0.001f64..1.0,
+        ) {
+            let mut t = EmbeddingTable::new(20, 4, 3);
+            let original = t.clone();
+            let mut g = SparseGradient::new(4);
+            for (k, &id) in ids.iter().enumerate() {
+                g.accumulate(id, &[k as f64, 1.0, -1.0, 0.5]);
+            }
+            t.apply_sgd(&g, lr);
+            t.apply_sgd(&g, -lr);
+            prop_assert!(t.squared_distance(&original) < 1e-18);
+        }
+
+        #[test]
+        fn prop_changed_rows_subset_of_touched(
+            ids in proptest::collection::vec(0usize..50, 1..20),
+        ) {
+            let mut t = EmbeddingTable::new(50, 2, 5);
+            let before = t.clone();
+            let mut g = SparseGradient::new(2);
+            for &id in &ids {
+                g.accumulate(id, &[1.0, 1.0]);
+            }
+            t.apply_sgd(&g, 0.1);
+            let changed = t.changed_rows(&before, 0.0);
+            let touched = g.touched_ids();
+            for c in &changed {
+                prop_assert!(touched.contains(c));
+            }
+        }
+
+        #[test]
+        fn prop_pooled_lookup_within_row_bounds(
+            ids in proptest::collection::vec(0usize..30, 1..8),
+        ) {
+            let t = EmbeddingTable::new(30, 4, 7);
+            let pooled = t.pooled_lookup(&ids);
+            // The mean of rows must lie within [min, max] of the contributing coordinates.
+            for j in 0..4 {
+                let vals: Vec<f64> = ids.iter().map(|&id| t.row(id)[j]).collect();
+                let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(pooled[j] >= lo - 1e-12 && pooled[j] <= hi + 1e-12);
+            }
+        }
+    }
+}

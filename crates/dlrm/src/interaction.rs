@@ -1,0 +1,187 @@
+//! The DLRM dot-product feature-interaction layer.
+//!
+//! Given the bottom-MLP output and one pooled embedding per table — all of dimension `d` —
+//! the interaction layer concatenates the input vectors themselves with every pairwise dot
+//! product (paper Fig. 1; the concatenation corresponds to DLRM's `cat`+`dot` interaction
+//! so the embeddings also reach the top MLP directly). The output feeds the top MLP.
+
+/// Interaction of `n` vectors of dimension `d`: output is `[v₀, …, vₙ₋₁, ⟨vᵢ, vⱼ⟩ for i<j]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DotInteraction;
+
+impl DotInteraction {
+    /// Output dimension for `num_vectors` inputs of dimension `dim`.
+    #[must_use]
+    pub fn output_dim(num_vectors: usize, dim: usize) -> usize {
+        num_vectors * dim + num_vectors * num_vectors.saturating_sub(1) / 2
+    }
+
+    /// Forward pass.
+    ///
+    /// `vectors[0]` is the bottom-MLP output; the rest are pooled embeddings. All vectors
+    /// must share the same dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vectors` is empty or the dimensions disagree.
+    #[must_use]
+    pub fn forward(vectors: &[Vec<f64>]) -> Vec<f64> {
+        assert!(!vectors.is_empty(), "interaction needs at least one vector");
+        let dim = vectors[0].len();
+        assert!(
+            vectors.iter().all(|v| v.len() == dim),
+            "all interaction inputs must share the same dimension"
+        );
+        let mut out = Vec::with_capacity(Self::output_dim(vectors.len(), dim));
+        for v in vectors {
+            out.extend_from_slice(v);
+        }
+        for i in 0..vectors.len() {
+            for j in (i + 1)..vectors.len() {
+                let dot: f64 = vectors[i].iter().zip(&vectors[j]).map(|(a, b)| a * b).sum();
+                out.push(dot);
+            }
+        }
+        out
+    }
+
+    /// Backward pass: given `dL/d(output)`, return `dL/d(vectorᵢ)` for every input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient length does not match [`DotInteraction::output_dim`].
+    #[must_use]
+    pub fn backward(vectors: &[Vec<f64>], grad_output: &[f64]) -> Vec<Vec<f64>> {
+        assert!(!vectors.is_empty(), "interaction needs at least one vector");
+        let dim = vectors[0].len();
+        let expected = Self::output_dim(vectors.len(), dim);
+        assert_eq!(grad_output.len(), expected, "interaction gradient dimension mismatch");
+
+        let mut grads = vec![vec![0.0; dim]; vectors.len()];
+        // Pass-through part: the first `n·dim` outputs are the concatenated input vectors.
+        for (v, grad) in grads.iter_mut().enumerate() {
+            for k in 0..dim {
+                grad[k] += grad_output[v * dim + k];
+            }
+        }
+        // Dot-product part.
+        let mut idx = vectors.len() * dim;
+        for i in 0..vectors.len() {
+            for j in (i + 1)..vectors.len() {
+                let g = grad_output[idx];
+                idx += 1;
+                if g == 0.0 {
+                    continue;
+                }
+                for k in 0..dim {
+                    grads[i][k] += g * vectors[j][k];
+                    grads[j][k] += g * vectors[i][k];
+                }
+            }
+        }
+        grads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn output_dim_formula() {
+        assert_eq!(DotInteraction::output_dim(1, 8), 8);
+        assert_eq!(DotInteraction::output_dim(3, 8), 3 * 8 + 3);
+        assert_eq!(DotInteraction::output_dim(5, 16), 5 * 16 + 10);
+        assert_eq!(DotInteraction::output_dim(0, 4), 0);
+    }
+
+    #[test]
+    fn forward_known_values() {
+        let v = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+        let out = DotInteraction::forward(&v);
+        // [v0, v1, v2, v0·v1, v0·v2, v1·v2]
+        assert_eq!(out, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same dimension")]
+    fn forward_dimension_mismatch_panics() {
+        let _ = DotInteraction::forward(&[vec![1.0, 2.0], vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vector")]
+    fn forward_empty_panics() {
+        let _ = DotInteraction::forward(&[]);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let vectors = vec![vec![0.5, -1.0, 2.0], vec![1.5, 0.3, -0.7], vec![-0.2, 0.8, 1.1]];
+        let out = DotInteraction::forward(&vectors);
+        // Loss = 0.5 * ||out||², so dL/dout = out.
+        let grads = DotInteraction::backward(&vectors, &out);
+
+        let loss = |vs: &[Vec<f64>]| -> f64 {
+            DotInteraction::forward(vs).iter().map(|x| 0.5 * x * x).sum()
+        };
+        let eps = 1e-6;
+        for vi in 0..vectors.len() {
+            for k in 0..3 {
+                let mut plus = vectors.clone();
+                plus[vi][k] += eps;
+                let mut minus = vectors.clone();
+                minus[vi][k] -= eps;
+                let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+                assert!(
+                    (numeric - grads[vi][k]).abs() < 1e-5,
+                    "vector {vi} coord {k}: numeric {numeric} vs analytic {}",
+                    grads[vi][k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_gradient_shape() {
+        let vectors = vec![vec![1.0; 4]; 5];
+        let grad_out = vec![1.0; DotInteraction::output_dim(5, 4)];
+        let grads = DotInteraction::backward(&vectors, &grad_out);
+        assert_eq!(grads.len(), 5);
+        assert!(grads.iter().all(|g| g.len() == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient dimension mismatch")]
+    fn backward_wrong_grad_length_panics() {
+        let vectors = vec![vec![1.0; 2]; 2];
+        let _ = DotInteraction::backward(&vectors, &[1.0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_forward_output_length(n in 1usize..6, d in 1usize..8) {
+            let vectors = vec![vec![0.5; d]; n];
+            let out = DotInteraction::forward(&vectors);
+            prop_assert_eq!(out.len(), DotInteraction::output_dim(n, d));
+        }
+
+        #[test]
+        fn prop_dot_symmetry(d in 1usize..8, seed in 0u64..100) {
+            // Swapping two embedding vectors must not change the set of dot products.
+            let make = |offset: u64| -> Vec<f64> {
+                (0..d).map(|k| ((k as u64 + offset + seed) % 7) as f64 - 3.0).collect()
+            };
+            let a = make(1);
+            let b = make(5);
+            let base = make(0);
+            let out1 = DotInteraction::forward(&[base.clone(), a.clone(), b.clone()]);
+            let out2 = DotInteraction::forward(&[base, b, a]);
+            // Last element (a·b vs b·a) must match exactly.
+            prop_assert!((out1.last().unwrap() - out2.last().unwrap()).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! A from-scratch Deep Learning Recommendation Model (DLRM).
+//!
+//! This crate implements the model class the LiveUpdate paper (HPCA 2026) serves and
+//! fine-tunes: the Meta-style DLRM of paper Fig. 1, combining
+//!
+//! * **embedding tables** ([`embedding::EmbeddingTable`]) mapping sparse categorical IDs to
+//!   dense vectors, with row-wise sparse gradients and Adagrad/SGD updates,
+//! * a **bottom MLP** over dense features and a **top MLP** over the interaction output
+//!   ([`mlp::Mlp`]),
+//! * the **dot-product interaction** layer ([`interaction`]),
+//! * binary-cross-entropy **loss** ([`loss`]) and ranking **metrics** (AUC, LogLoss —
+//!   [`metrics`]).
+//!
+//! The crate is deliberately dependency-free (no BLAS, no autograd): the backward pass is
+//! hand-derived, which keeps the row-wise embedding gradients — the object LiveUpdate's
+//! low-rank analysis operates on — explicit and easy to extract.
+//!
+//! # Example
+//!
+//! ```
+//! use liveupdate_dlrm::model::{DlrmConfig, DlrmModel};
+//! use liveupdate_dlrm::sample::Sample;
+//!
+//! let config = DlrmConfig::tiny(2, 100, 8);
+//! let mut model = DlrmModel::new(config, 42);
+//! let sample = Sample::new(vec![0.1, -0.3], vec![vec![3], vec![17]], 1.0);
+//! let p = model.predict(&sample);
+//! assert!((0.0..=1.0).contains(&p));
+//! ```
+
+pub mod embedding;
+pub mod interaction;
+pub mod loss;
+pub mod metrics;
+pub mod mlp;
+pub mod model;
+pub mod optim;
+pub mod sample;
+
+pub use embedding::{EmbeddingTable, SparseGradient};
+pub use metrics::{Auc, LogLoss};
+pub use model::{DlrmConfig, DlrmModel};
+pub use optim::OptimizerKind;
+pub use sample::{MiniBatch, Sample};

@@ -1,0 +1,120 @@
+//! Binary cross-entropy loss on logits, the standard CTR-prediction objective.
+
+/// Numerically stable sigmoid.
+#[must_use]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        1.0 / (1.0 + z)
+    } else {
+        let z = x.exp();
+        z / (1.0 + z)
+    }
+}
+
+/// Binary cross-entropy loss given a raw logit and a label in `[0, 1]`.
+///
+/// Uses the numerically stable formulation `max(x,0) - x·y + ln(1 + e^{-|x|})`.
+#[must_use]
+pub fn bce_with_logits(logit: f64, label: f64) -> f64 {
+    logit.max(0.0) - logit * label + (1.0 + (-logit.abs()).exp()).ln()
+}
+
+/// Gradient of [`bce_with_logits`] with respect to the logit: `sigmoid(x) − y`.
+#[must_use]
+pub fn bce_with_logits_grad(logit: f64, label: f64) -> f64 {
+    sigmoid(logit) - label
+}
+
+/// Mean BCE loss over a slice of `(logit, label)` pairs; `0.0` for an empty slice.
+#[must_use]
+pub fn mean_bce_with_logits(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().map(|&(x, y)| bce_with_logits(x, y)).sum::<f64>() / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sigmoid_known_values() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(100.0) > 0.999_999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!(sigmoid(-1000.0).is_finite());
+        assert!(sigmoid(1000.0).is_finite());
+    }
+
+    #[test]
+    fn bce_at_confident_correct_prediction_is_small() {
+        assert!(bce_with_logits(10.0, 1.0) < 1e-4);
+        assert!(bce_with_logits(-10.0, 0.0) < 1e-4);
+    }
+
+    #[test]
+    fn bce_at_confident_wrong_prediction_is_large() {
+        assert!(bce_with_logits(10.0, 0.0) > 9.0);
+        assert!(bce_with_logits(-10.0, 1.0) > 9.0);
+    }
+
+    #[test]
+    fn bce_matches_naive_formula_in_stable_region() {
+        for &(x, y) in &[(0.5, 1.0), (-0.3, 0.0), (1.2, 0.7), (0.0, 0.5)] {
+            let p = sigmoid(x);
+            let naive = -(y * p.ln() + (1.0 - y) * (1.0 - p).ln());
+            assert!((bce_with_logits(x, y) - naive).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let eps = 1e-6;
+        for &(x, y) in &[(0.5, 1.0), (-1.5, 0.0), (2.0, 0.3)] {
+            let numeric = (bce_with_logits(x + eps, y) - bce_with_logits(x - eps, y)) / (2.0 * eps);
+            assert!((numeric - bce_with_logits_grad(x, y)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mean_bce_empty_is_zero() {
+        assert_eq!(mean_bce_with_logits(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_bce_averages() {
+        let pairs = [(0.0, 1.0), (0.0, 0.0)];
+        let expected = (bce_with_logits(0.0, 1.0) + bce_with_logits(0.0, 0.0)) / 2.0;
+        assert!((mean_bce_with_logits(&pairs) - expected).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_loss_nonnegative(x in -50.0f64..50.0, y in 0.0f64..1.0) {
+            prop_assert!(bce_with_logits(x, y) >= -1e-12);
+        }
+
+        #[test]
+        fn prop_sigmoid_in_unit_interval(x in -500.0f64..500.0) {
+            let s = sigmoid(x);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn prop_grad_bounded(x in -50.0f64..50.0, y in 0.0f64..1.0) {
+            prop_assert!(bce_with_logits_grad(x, y).abs() <= 1.0 + 1e-12);
+        }
+
+        #[test]
+        fn prop_loss_minimised_at_matching_logit(y in 0.05f64..0.95) {
+            // The minimiser of BCE over the logit is logit = log(y/(1-y)).
+            let opt = (y / (1.0 - y)).ln();
+            let at_opt = bce_with_logits(opt, y);
+            prop_assert!(bce_with_logits(opt + 1.0, y) >= at_opt - 1e-12);
+            prop_assert!(bce_with_logits(opt - 1.0, y) >= at_opt - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Ranking and classification metrics: AUC (AUROC), LogLoss and calibration.
+//!
+//! The paper's accuracy evaluation (Table III, Fig. 3b, Fig. 15) reports AUROC, the area
+//! under the ROC curve, typically as *relative improvements* in percentage points over the
+//! DeltaUpdate baseline. [`Auc`] is a streaming accumulator so long serving windows do not
+//! need to hold every prediction in memory twice.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming AUC (area under the ROC curve) accumulator.
+///
+/// Stores `(prediction, label)` pairs and computes the exact Mann–Whitney statistic:
+/// the probability that a uniformly random positive sample is ranked above a uniformly
+/// random negative sample (ties count ½).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Auc {
+    pairs: Vec<(f64, bool)>,
+}
+
+impl Auc {
+    /// Create an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one prediction with its binary label (`label >= 0.5` counts as positive).
+    pub fn record(&mut self, prediction: f64, label: f64) {
+        self.pairs.push((prediction, label >= 0.5));
+    }
+
+    /// Record a batch of `(prediction, label)` pairs.
+    pub fn record_all<I: IntoIterator<Item = (f64, f64)>>(&mut self, iter: I) {
+        for (p, l) in iter {
+            self.record(p, l);
+        }
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Number of positive samples recorded.
+    #[must_use]
+    pub fn num_positives(&self) -> usize {
+        self.pairs.iter().filter(|(_, l)| *l).count()
+    }
+
+    /// Compute the AUC. Returns `None` if there is not at least one positive and one
+    /// negative sample (the metric is undefined in that case).
+    #[must_use]
+    pub fn value(&self) -> Option<f64> {
+        let pos = self.num_positives();
+        let neg = self.pairs.len() - pos;
+        if pos == 0 || neg == 0 {
+            return None;
+        }
+        // Rank-sum formulation with midpoint ranks for ties.
+        let mut sorted: Vec<(f64, bool)> = self.pairs.clone();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut rank_sum_pos = 0.0_f64;
+        let mut i = 0;
+        while i < sorted.len() {
+            let mut j = i;
+            while j + 1 < sorted.len() && sorted[j + 1].0 == sorted[i].0 {
+                j += 1;
+            }
+            // Samples i..=j share the same score: assign the average rank (1-based).
+            let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+            for item in &sorted[i..=j] {
+                if item.1 {
+                    rank_sum_pos += avg_rank;
+                }
+            }
+            i = j + 1;
+        }
+        let pos_f = pos as f64;
+        let neg_f = neg as f64;
+        Some((rank_sum_pos - pos_f * (pos_f + 1.0) / 2.0) / (pos_f * neg_f))
+    }
+
+    /// Merge another accumulator into this one (e.g. across serving windows or nodes).
+    pub fn merge(&mut self, other: &Auc) {
+        self.pairs.extend_from_slice(&other.pairs);
+    }
+
+    /// Clear all recorded samples.
+    pub fn reset(&mut self) {
+        self.pairs.clear();
+    }
+}
+
+/// Streaming LogLoss (mean binary cross-entropy on probabilities) accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LogLoss {
+    sum: f64,
+    count: usize,
+}
+
+impl LogLoss {
+    /// Create an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one predicted probability and its label. The probability is clamped to
+    /// `[1e-12, 1 − 1e-12]` to keep the logarithms finite.
+    pub fn record(&mut self, probability: f64, label: f64) {
+        let p = probability.clamp(1e-12, 1.0 - 1e-12);
+        self.sum -= label * p.ln() + (1.0 - label) * (1.0 - p).ln();
+        self.count += 1;
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean log loss, or `None` when empty.
+    #[must_use]
+    pub fn value(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &LogLoss) {
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+/// Classification accuracy at a fixed decision threshold.
+#[must_use]
+pub fn accuracy_at_threshold(pairs: &[(f64, f64)], threshold: f64) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let correct = pairs
+        .iter()
+        .filter(|&&(p, l)| (p >= threshold) == (l >= 0.5))
+        .count();
+    correct as f64 / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn auc_perfect_ranking_is_one() {
+        let mut auc = Auc::new();
+        auc.record_all([(0.9, 1.0), (0.8, 1.0), (0.2, 0.0), (0.1, 0.0)]);
+        assert!((auc.value().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_inverted_ranking_is_zero() {
+        let mut auc = Auc::new();
+        auc.record_all([(0.1, 1.0), (0.9, 0.0)]);
+        assert!(auc.value().unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_random_ties_is_half() {
+        let mut auc = Auc::new();
+        auc.record_all([(0.5, 1.0), (0.5, 0.0), (0.5, 1.0), (0.5, 0.0)]);
+        assert!((auc.value().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_undefined_for_single_class() {
+        let mut auc = Auc::new();
+        auc.record(0.7, 1.0);
+        auc.record(0.6, 1.0);
+        assert_eq!(auc.value(), None);
+        assert!(!auc.is_empty());
+        assert_eq!(auc.num_positives(), 2);
+    }
+
+    #[test]
+    fn auc_known_mixed_case() {
+        // Scores: pos {0.8, 0.4}, neg {0.6, 0.2}. Pairs: (0.8>0.6),(0.8>0.2),(0.4<0.6),(0.4>0.2)
+        // => 3/4 = 0.75.
+        let mut auc = Auc::new();
+        auc.record_all([(0.8, 1.0), (0.4, 1.0), (0.6, 0.0), (0.2, 0.0)]);
+        assert!((auc.value().unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_merge_and_reset() {
+        let mut a = Auc::new();
+        a.record_all([(0.9, 1.0), (0.1, 0.0)]);
+        let mut b = Auc::new();
+        b.record_all([(0.8, 1.0), (0.2, 0.0)]);
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        assert!((a.value().unwrap() - 1.0).abs() < 1e-12);
+        a.reset();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn logloss_confident_correct_is_small() {
+        let mut ll = LogLoss::new();
+        ll.record(0.999, 1.0);
+        ll.record(0.001, 0.0);
+        assert!(ll.value().unwrap() < 0.01);
+        assert_eq!(ll.len(), 2);
+    }
+
+    #[test]
+    fn logloss_handles_extreme_probabilities() {
+        let mut ll = LogLoss::new();
+        ll.record(0.0, 1.0);
+        ll.record(1.0, 0.0);
+        assert!(ll.value().unwrap().is_finite());
+    }
+
+    #[test]
+    fn logloss_empty_and_merge() {
+        let ll = LogLoss::new();
+        assert_eq!(ll.value(), None);
+        assert!(ll.is_empty());
+        let mut a = LogLoss::new();
+        a.record(0.5, 1.0);
+        let mut b = LogLoss::new();
+        b.record(0.5, 0.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert!((a.value().unwrap() - (-(0.5f64.ln()))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_basic() {
+        let pairs = [(0.9, 1.0), (0.2, 0.0), (0.6, 0.0), (0.4, 1.0)];
+        assert!((accuracy_at_threshold(&pairs, 0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(accuracy_at_threshold(&[], 0.5), 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_auc_in_unit_interval(
+            scores in proptest::collection::vec((0.0f64..1.0, 0u8..2), 4..100)
+        ) {
+            let mut auc = Auc::new();
+            for (p, l) in &scores {
+                auc.record(*p, f64::from(*l));
+            }
+            if let Some(v) = auc.value() {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+
+        #[test]
+        fn prop_auc_invariant_to_monotone_transform(
+            scores in proptest::collection::vec((0.01f64..0.99, 0u8..2), 4..60)
+        ) {
+            let mut raw = Auc::new();
+            let mut squashed = Auc::new();
+            for (p, l) in &scores {
+                raw.record(*p, f64::from(*l));
+                // logit is strictly monotone on (0,1) so the ranking is unchanged.
+                squashed.record((p / (1.0 - p)).ln(), f64::from(*l));
+            }
+            match (raw.value(), squashed.value()) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
+                (None, None) => {}
+                _ => prop_assert!(false, "definedness must agree"),
+            }
+        }
+
+        #[test]
+        fn prop_logloss_nonnegative(
+            scores in proptest::collection::vec((0.0f64..1.0, 0u8..2), 1..50)
+        ) {
+            let mut ll = LogLoss::new();
+            for (p, l) in &scores {
+                ll.record(*p, f64::from(*l));
+            }
+            prop_assert!(ll.value().unwrap() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,522 @@
+//! Fully connected layers and multi-layer perceptrons with a hand-derived backward pass.
+//!
+//! DLRM uses two MLP stacks (paper Fig. 1): a *bottom* MLP that embeds the dense features
+//! into the embedding space, and a *top* MLP that maps the interaction output to a click
+//! logit. Both are plain dense layers with ReLU activations (identity on the output layer).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Activation function applied element-wise after a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit `max(0, x)`.
+    Relu,
+    /// No non-linearity (used on output layers that feed a logistic loss).
+    Identity,
+}
+
+impl Activation {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Identity => x,
+        }
+    }
+
+    fn derivative(self, pre_activation: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if pre_activation > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// One dense layer `y = act(W·x + b)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseLayer {
+    in_dim: usize,
+    out_dim: usize,
+    /// Row-major weights, `out_dim × in_dim`.
+    weights: Vec<f64>,
+    bias: Vec<f64>,
+    activation: Activation,
+}
+
+/// Cached forward state of a dense layer, needed by the backward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerCache {
+    input: Vec<f64>,
+    pre_activation: Vec<f64>,
+}
+
+/// Gradients for one dense layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerGradient {
+    /// Row-major weight gradient, `out_dim × in_dim`.
+    pub weights: Vec<f64>,
+    /// Bias gradient, length `out_dim`.
+    pub bias: Vec<f64>,
+}
+
+impl DenseLayer {
+    /// Create a layer with Xavier-uniform initial weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        let bound = (6.0 / (in_dim + out_dim) as f64).sqrt();
+        let weights = (0..in_dim * out_dim).map(|_| rng.gen_range(-bound..bound)).collect();
+        Self {
+            in_dim,
+            out_dim,
+            weights,
+            bias: vec![0.0; out_dim],
+            activation,
+        }
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Number of trainable parameters.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    /// Forward pass returning the activated output and the cache for backprop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != in_dim`.
+    #[must_use]
+    pub fn forward(&self, input: &[f64]) -> (Vec<f64>, LayerCache) {
+        assert_eq!(input.len(), self.in_dim, "dense layer input dimension mismatch");
+        let mut pre = vec![0.0; self.out_dim];
+        for o in 0..self.out_dim {
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.bias[o];
+            for (w, x) in row.iter().zip(input) {
+                acc += w * x;
+            }
+            pre[o] = acc;
+        }
+        let out = pre.iter().map(|&x| self.activation.apply(x)).collect();
+        (
+            out,
+            LayerCache {
+                input: input.to_vec(),
+                pre_activation: pre,
+            },
+        )
+    }
+
+    /// Backward pass: given `dL/dy`, return `(dL/dx, layer gradient)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_output.len() != out_dim`.
+    #[must_use]
+    pub fn backward(&self, cache: &LayerCache, grad_output: &[f64]) -> (Vec<f64>, LayerGradient) {
+        assert_eq!(grad_output.len(), self.out_dim, "dense layer gradient dimension mismatch");
+        let mut grad_pre = vec![0.0; self.out_dim];
+        for o in 0..self.out_dim {
+            grad_pre[o] = grad_output[o] * self.activation.derivative(cache.pre_activation[o]);
+        }
+        let mut grad_w = vec![0.0; self.weights.len()];
+        let mut grad_input = vec![0.0; self.in_dim];
+        for o in 0..self.out_dim {
+            let gp = grad_pre[o];
+            if gp == 0.0 {
+                continue;
+            }
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let grad_row = &mut grad_w[o * self.in_dim..(o + 1) * self.in_dim];
+            for i in 0..self.in_dim {
+                grad_row[i] = gp * cache.input[i];
+                grad_input[i] += gp * row[i];
+            }
+        }
+        (
+            grad_input,
+            LayerGradient {
+                weights: grad_w,
+                bias: grad_pre,
+            },
+        )
+    }
+
+    /// Apply an SGD step with the given gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient shapes do not match this layer.
+    pub fn apply_gradient(&mut self, grad: &LayerGradient, learning_rate: f64) {
+        assert_eq!(grad.weights.len(), self.weights.len(), "weight gradient shape mismatch");
+        assert_eq!(grad.bias.len(), self.bias.len(), "bias gradient shape mismatch");
+        for (w, g) in self.weights.iter_mut().zip(&grad.weights) {
+            *w -= learning_rate * g;
+        }
+        for (b, g) in self.bias.iter_mut().zip(&grad.bias) {
+            *b -= learning_rate * g;
+        }
+    }
+}
+
+/// A stack of dense layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+}
+
+/// Forward cache of a whole MLP (one entry per layer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpCache {
+    caches: Vec<LayerCache>,
+}
+
+/// Gradients for a whole MLP (one entry per layer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpGradient {
+    /// One gradient per layer, in forward order.
+    pub layers: Vec<LayerGradient>,
+}
+
+impl MlpGradient {
+    /// Element-wise accumulate another gradient into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the structures do not match.
+    pub fn accumulate(&mut self, other: &MlpGradient) {
+        assert_eq!(self.layers.len(), other.layers.len(), "MLP gradient layer count mismatch");
+        for (mine, theirs) in self.layers.iter_mut().zip(&other.layers) {
+            for (a, b) in mine.weights.iter_mut().zip(&theirs.weights) {
+                *a += b;
+            }
+            for (a, b) in mine.bias.iter_mut().zip(&theirs.bias) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Scale every gradient entry by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for layer in &mut self.layers {
+            for w in &mut layer.weights {
+                *w *= alpha;
+            }
+            for b in &mut layer.bias {
+                *b *= alpha;
+            }
+        }
+    }
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer widths: `dims = [in, h1, ..., out]`. All hidden
+    /// layers use ReLU; the final layer uses the identity activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dimensions are supplied or any dimension is zero.
+    #[must_use]
+    pub fn new(dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least an input and an output dimension");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for i in 0..dims.len() - 1 {
+            let activation = if i + 2 == dims.len() {
+                Activation::Identity
+            } else {
+                Activation::Relu
+            };
+            layers.push(DenseLayer::new(dims[i], dims[i + 1], activation, &mut rng));
+        }
+        Self { layers }
+    }
+
+    /// Input dimension of the first layer.
+    #[must_use]
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().map_or(0, DenseLayer::in_dim)
+    }
+
+    /// Output dimension of the last layer.
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().map_or(0, DenseLayer::out_dim)
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total trainable parameters.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(DenseLayer::parameter_count).sum()
+    }
+
+    /// Forward pass through all layers.
+    #[must_use]
+    pub fn forward(&self, input: &[f64]) -> (Vec<f64>, MlpCache) {
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut current = input.to_vec();
+        for layer in &self.layers {
+            let (out, cache) = layer.forward(&current);
+            caches.push(cache);
+            current = out;
+        }
+        (current, MlpCache { caches })
+    }
+
+    /// Backward pass: given `dL/d(output)`, return `(dL/d(input), gradients)`.
+    #[must_use]
+    pub fn backward(&self, cache: &MlpCache, grad_output: &[f64]) -> (Vec<f64>, MlpGradient) {
+        let mut grad = grad_output.to_vec();
+        let mut layer_grads = vec![
+            LayerGradient {
+                weights: Vec::new(),
+                bias: Vec::new()
+            };
+            self.layers.len()
+        ];
+        for (idx, layer) in self.layers.iter().enumerate().rev() {
+            let (grad_in, lgrad) = layer.backward(&cache.caches[idx], &grad);
+            layer_grads[idx] = lgrad;
+            grad = grad_in;
+        }
+        (grad, MlpGradient { layers: layer_grads })
+    }
+
+    /// Zero-valued gradient with the same structure as this MLP.
+    #[must_use]
+    pub fn zero_gradient(&self) -> MlpGradient {
+        MlpGradient {
+            layers: self
+                .layers
+                .iter()
+                .map(|l| LayerGradient {
+                    weights: vec![0.0; l.weights.len()],
+                    bias: vec![0.0; l.bias.len()],
+                })
+                .collect(),
+        }
+    }
+
+    /// Apply an SGD step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient structure does not match.
+    pub fn apply_gradient(&mut self, grad: &MlpGradient, learning_rate: f64) {
+        assert_eq!(grad.layers.len(), self.layers.len(), "MLP gradient layer count mismatch");
+        for (layer, g) in self.layers.iter_mut().zip(&grad.layers) {
+            layer.apply_gradient(g, learning_rate);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(123)
+    }
+
+    #[test]
+    fn activation_functions() {
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert_eq!(Activation::Relu.derivative(-1.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(1.0), 1.0);
+        assert_eq!(Activation::Identity.apply(-3.0), -3.0);
+        assert_eq!(Activation::Identity.derivative(-3.0), 1.0);
+    }
+
+    #[test]
+    fn dense_layer_forward_shape() {
+        let layer = DenseLayer::new(3, 2, Activation::Identity, &mut rng());
+        let (out, _) = layer.forward(&[1.0, 0.0, -1.0]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(layer.parameter_count(), 3 * 2 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn dense_layer_wrong_input_panics() {
+        let layer = DenseLayer::new(3, 2, Activation::Relu, &mut rng());
+        let _ = layer.forward(&[1.0]);
+    }
+
+    #[test]
+    fn relu_layer_output_nonnegative() {
+        let layer = DenseLayer::new(4, 6, Activation::Relu, &mut rng());
+        let (out, _) = layer.forward(&[-5.0, 3.0, 0.1, -0.2]);
+        assert!(out.iter().all(|&x| x >= 0.0));
+    }
+
+    /// Numerical gradient check on a small dense layer.
+    #[test]
+    fn dense_layer_gradient_matches_finite_difference() {
+        let mut r = rng();
+        let layer = DenseLayer::new(3, 2, Activation::Relu, &mut r);
+        let input = vec![0.4, -0.7, 1.2];
+        // Loss = sum of outputs (so dL/dy = 1 for each output).
+        let (_, cache) = layer.forward(&input);
+        let (grad_input, _) = layer.backward(&cache, &[1.0, 1.0]);
+
+        let eps = 1e-6;
+        for i in 0..3 {
+            let mut plus = input.clone();
+            plus[i] += eps;
+            let mut minus = input.clone();
+            minus[i] -= eps;
+            let f_plus: f64 = layer.forward(&plus).0.iter().sum();
+            let f_minus: f64 = layer.forward(&minus).0.iter().sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            assert!(
+                (numeric - grad_input[i]).abs() < 1e-5,
+                "input grad {i}: numeric {numeric} vs analytic {}",
+                grad_input[i]
+            );
+        }
+    }
+
+    #[test]
+    fn mlp_construction_and_shapes() {
+        let mlp = Mlp::new(&[13, 64, 32, 8], 0);
+        assert_eq!(mlp.in_dim(), 13);
+        assert_eq!(mlp.out_dim(), 8);
+        assert_eq!(mlp.num_layers(), 3);
+        let (out, _) = mlp.forward(&vec![0.1; 13]);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least an input and an output")]
+    fn mlp_needs_two_dims() {
+        let _ = Mlp::new(&[4], 0);
+    }
+
+    #[test]
+    fn mlp_gradient_descent_reduces_loss() {
+        // Fit y = sum(x) with a tiny MLP on a fixed sample; the squared error must drop.
+        let mut mlp = Mlp::new(&[2, 8, 1], 7);
+        let input = [0.5, -0.25];
+        let target = 1.5;
+        let loss_of = |m: &Mlp| {
+            let (out, _) = m.forward(&input);
+            (out[0] - target).powi(2)
+        };
+        let initial = loss_of(&mlp);
+        for _ in 0..200 {
+            let (out, cache) = mlp.forward(&input);
+            let dl_dout = vec![2.0 * (out[0] - target)];
+            let (_, grads) = mlp.backward(&cache, &dl_dout);
+            mlp.apply_gradient(&grads, 0.05);
+        }
+        let final_loss = loss_of(&mlp);
+        assert!(final_loss < initial * 0.01, "loss {initial} -> {final_loss}");
+    }
+
+    #[test]
+    fn mlp_gradient_matches_finite_difference() {
+        let mlp = Mlp::new(&[3, 5, 2], 11);
+        let input = vec![0.3, -0.8, 0.5];
+        let (out, cache) = mlp.forward(&input);
+        // Loss = 0.5 * ||out||^2 so dL/dout = out.
+        let (grad_input, _) = mlp.backward(&cache, &out);
+        let eps = 1e-6;
+        for i in 0..input.len() {
+            let mut plus = input.clone();
+            plus[i] += eps;
+            let mut minus = input.clone();
+            minus[i] -= eps;
+            let lp: f64 = mlp.forward(&plus).0.iter().map(|x| 0.5 * x * x).sum();
+            let lm: f64 = mlp.forward(&minus).0.iter().map(|x| 0.5 * x * x).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad_input[i]).abs() < 1e-4,
+                "grad {i}: numeric {numeric} vs analytic {}",
+                grad_input[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_accumulate_and_scale() {
+        let mlp = Mlp::new(&[2, 3, 1], 3);
+        let (out, cache) = mlp.forward(&[1.0, -1.0]);
+        let (_, g1) = mlp.backward(&cache, &vec![1.0; out.len()]);
+        let mut acc = mlp.zero_gradient();
+        acc.accumulate(&g1);
+        acc.accumulate(&g1);
+        acc.scale(0.5);
+        for (a, b) in acc.layers.iter().zip(&g1.layers) {
+            for (x, y) in a.weights.iter().zip(&b.weights) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_count_matches_structure() {
+        let mlp = Mlp::new(&[4, 8, 2], 0);
+        assert_eq!(mlp.parameter_count(), 4 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_forward_deterministic(seed in 0u64..100, x in proptest::collection::vec(-2.0f64..2.0, 4)) {
+            let mlp = Mlp::new(&[4, 6, 3], seed);
+            let (a, _) = mlp.forward(&x);
+            let (b, _) = mlp.forward(&x);
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn prop_identity_activation_layer_is_linear(seed in 0u64..100) {
+            let mut r = StdRng::seed_from_u64(seed);
+            let layer = DenseLayer::new(3, 3, Activation::Identity, &mut r);
+            let x = [0.5, -1.0, 2.0];
+            let y = [1.5, 0.25, -0.75];
+            let sum: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+            let (fx, _) = layer.forward(&x);
+            let (fy, _) = layer.forward(&y);
+            let (fsum, _) = layer.forward(&sum);
+            // Affine: f(x+y) = f(x) + f(y) - b, and f(0) = b.
+            let (f0, _) = layer.forward(&[0.0, 0.0, 0.0]);
+            for i in 0..3 {
+                prop_assert!((fsum[i] - (fx[i] + fy[i] - f0[i])).abs() < 1e-9);
+            }
+        }
+    }
+}

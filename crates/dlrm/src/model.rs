@@ -1,0 +1,552 @@
+//! The full DLRM: bottom MLP, embedding tables, dot interaction, top MLP.
+//!
+//! [`DlrmModel`] wires the pieces of paper Fig. 1 together and exposes the operations the
+//! LiveUpdate system needs:
+//!
+//! * `predict` / `predict_batch` — the inference path,
+//! * `compute_gradients` — a full backward pass producing *row-wise sparse* embedding
+//!   gradients (the input of the low-rank analysis) plus dense MLP gradients,
+//! * `apply_gradients` / `train_batch` — the training-cluster path,
+//! * `evaluate` — AUC/LogLoss over a batch, used by every accuracy experiment.
+
+use crate::embedding::{EmbeddingTable, SparseGradient};
+use crate::interaction::DotInteraction;
+use crate::loss::{bce_with_logits, bce_with_logits_grad, sigmoid};
+use crate::metrics::{Auc, LogLoss};
+use crate::mlp::{Mlp, MlpCache, MlpGradient};
+use crate::optim::{OptimizerConfig, OptimizerKind};
+use crate::sample::{MiniBatch, Sample};
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of a DLRM instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DlrmConfig {
+    /// Number of rows in each embedding table (one entry per sparse feature field).
+    pub table_sizes: Vec<usize>,
+    /// Embedding dimension `d` shared by every table (and the bottom-MLP output).
+    pub embedding_dim: usize,
+    /// Number of dense (continuous) input features.
+    pub dense_dim: usize,
+    /// Hidden-layer widths of the bottom MLP (input `dense_dim` and output
+    /// `embedding_dim` are added automatically).
+    pub bottom_hidden: Vec<usize>,
+    /// Hidden-layer widths of the top MLP (input is the interaction width, output 1 is
+    /// added automatically).
+    pub top_hidden: Vec<usize>,
+    /// Optimiser hyper-parameters.
+    pub optimizer: OptimizerConfig,
+}
+
+impl DlrmConfig {
+    /// A small but complete configuration used by tests, examples and the scaled-down
+    /// experiment presets: `num_tables` tables of `rows_per_table` rows, embedding
+    /// dimension `embedding_dim`, two dense features and one hidden layer per MLP.
+    #[must_use]
+    pub fn tiny(num_tables: usize, rows_per_table: usize, embedding_dim: usize) -> Self {
+        Self {
+            table_sizes: vec![rows_per_table; num_tables],
+            embedding_dim,
+            dense_dim: 2,
+            bottom_hidden: vec![16],
+            top_hidden: vec![32],
+            optimizer: OptimizerConfig::default(),
+        }
+    }
+
+    /// Number of embedding tables.
+    #[must_use]
+    pub fn num_tables(&self) -> usize {
+        self.table_sizes.len()
+    }
+
+    /// Width of the interaction output feeding the top MLP.
+    #[must_use]
+    pub fn interaction_dim(&self) -> usize {
+        DotInteraction::output_dim(self.num_tables() + 1, self.embedding_dim)
+    }
+
+    /// Total number of embedding parameters across all tables.
+    #[must_use]
+    pub fn embedding_parameter_count(&self) -> usize {
+        self.table_sizes.iter().map(|s| s * self.embedding_dim).sum()
+    }
+
+    /// Validate the configuration; returns a human-readable reason when invalid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.table_sizes.is_empty() {
+            return Err("at least one embedding table is required".into());
+        }
+        if self.table_sizes.iter().any(|&s| s == 0) {
+            return Err("embedding tables must have at least one row".into());
+        }
+        if self.embedding_dim == 0 {
+            return Err("embedding dimension must be positive".into());
+        }
+        if self.dense_dim == 0 {
+            return Err("dense feature dimension must be positive".into());
+        }
+        if !self.optimizer.is_valid() {
+            return Err("optimizer configuration is invalid".into());
+        }
+        Ok(())
+    }
+}
+
+/// Gradients produced by one backward pass over a mini-batch.
+#[derive(Debug, Clone)]
+pub struct BatchGradients {
+    /// Mean BCE loss of the batch.
+    pub loss: f64,
+    /// Gradient of the bottom MLP.
+    pub bottom: MlpGradient,
+    /// Gradient of the top MLP.
+    pub top: MlpGradient,
+    /// One row-wise sparse gradient per embedding table.
+    pub embeddings: Vec<SparseGradient>,
+}
+
+/// Cached activations for one sample's forward pass.
+#[derive(Debug, Clone)]
+struct ForwardCache {
+    bottom_cache: MlpCache,
+    top_cache: MlpCache,
+    interaction_inputs: Vec<Vec<f64>>,
+    logit: f64,
+}
+
+/// The deep-learning recommendation model of paper Fig. 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DlrmModel {
+    config: DlrmConfig,
+    tables: Vec<EmbeddingTable>,
+    bottom: Mlp,
+    top: Mlp,
+}
+
+impl DlrmModel {
+    /// Build a model with randomly initialised parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`DlrmConfig::validate`].
+    #[must_use]
+    pub fn new(config: DlrmConfig, seed: u64) -> Self {
+        if let Err(reason) = config.validate() {
+            panic!("invalid DLRM configuration: {reason}");
+        }
+        let tables: Vec<EmbeddingTable> = config
+            .table_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &size)| EmbeddingTable::new(size, config.embedding_dim, seed.wrapping_add(i as u64 + 1)))
+            .collect();
+        let mut bottom_dims = vec![config.dense_dim];
+        bottom_dims.extend_from_slice(&config.bottom_hidden);
+        bottom_dims.push(config.embedding_dim);
+        let mut top_dims = vec![config.interaction_dim()];
+        top_dims.extend_from_slice(&config.top_hidden);
+        top_dims.push(1);
+        Self {
+            bottom: Mlp::new(&bottom_dims, seed.wrapping_mul(31).wrapping_add(7)),
+            top: Mlp::new(&top_dims, seed.wrapping_mul(37).wrapping_add(11)),
+            tables,
+            config,
+        }
+    }
+
+    /// The model configuration.
+    #[must_use]
+    pub fn config(&self) -> &DlrmConfig {
+        &self.config
+    }
+
+    /// Borrow the embedding tables.
+    #[must_use]
+    pub fn tables(&self) -> &[EmbeddingTable] {
+        &self.tables
+    }
+
+    /// Borrow the embedding tables mutably (used by update strategies that patch rows).
+    pub fn tables_mut(&mut self) -> &mut [EmbeddingTable] {
+        &mut self.tables
+    }
+
+    /// Borrow a single table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn table(&self, index: usize) -> &EmbeddingTable {
+        &self.tables[index]
+    }
+
+    /// Total number of trainable parameters (dense + embeddings).
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.bottom.parameter_count()
+            + self.top.parameter_count()
+            + self.tables.iter().map(EmbeddingTable::parameter_count).sum::<usize>()
+    }
+
+    /// Forward pass computing the click logit, optionally overriding the pooled embedding
+    /// of some tables (this is how the LiveUpdate engine injects `W_base[i] + A[i]·B`).
+    fn forward_with_embeddings(&self, sample: &Sample, pooled: &[Vec<f64>]) -> ForwardCache {
+        assert_eq!(
+            sample.dense.len(),
+            self.config.dense_dim,
+            "sample dense dimension mismatch"
+        );
+        let (bottom_out, bottom_cache) = self.bottom.forward(&sample.dense);
+        let mut interaction_inputs = Vec::with_capacity(1 + pooled.len());
+        interaction_inputs.push(bottom_out);
+        interaction_inputs.extend(pooled.iter().cloned());
+        let interacted = DotInteraction::forward(&interaction_inputs);
+        let (top_out, top_cache) = self.top.forward(&interacted);
+        ForwardCache {
+            bottom_cache,
+            top_cache,
+            interaction_inputs,
+            logit: top_out[0],
+        }
+    }
+
+    /// Pooled embeddings for a sample from the model's own tables.
+    fn pool_embeddings(&self, sample: &Sample) -> Vec<Vec<f64>> {
+        assert_eq!(
+            sample.sparse.len(),
+            self.tables.len(),
+            "sample addresses {} tables but the model has {}",
+            sample.sparse.len(),
+            self.tables.len()
+        );
+        sample
+            .sparse
+            .iter()
+            .zip(&self.tables)
+            .map(|(ids, table)| table.pooled_lookup(ids))
+            .collect()
+    }
+
+    /// Predicted click probability for one sample using the model's own embeddings.
+    #[must_use]
+    pub fn predict(&self, sample: &Sample) -> f64 {
+        let pooled = self.pool_embeddings(sample);
+        sigmoid(self.forward_with_embeddings(sample, &pooled).logit)
+    }
+
+    /// Predicted click probability with externally supplied pooled embeddings (one vector
+    /// per table). Used by the serving engine when LoRA deltas are layered on top of the
+    /// base table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pooled.len()` does not match the number of tables.
+    #[must_use]
+    pub fn predict_with_pooled(&self, sample: &Sample, pooled: &[Vec<f64>]) -> f64 {
+        assert_eq!(pooled.len(), self.tables.len(), "pooled embedding count mismatch");
+        sigmoid(self.forward_with_embeddings(sample, pooled).logit)
+    }
+
+    /// Predicted probabilities for every sample of a batch.
+    #[must_use]
+    pub fn predict_batch(&self, batch: &MiniBatch) -> Vec<f64> {
+        batch.iter().map(|s| self.predict(s)).collect()
+    }
+
+    /// Full backward pass over a batch. Gradients are averaged over the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or a sample's shape does not match the model.
+    #[must_use]
+    pub fn compute_gradients(&self, batch: &MiniBatch) -> BatchGradients {
+        assert!(!batch.is_empty(), "cannot compute gradients for an empty batch");
+        let mut bottom_grad = self.bottom.zero_gradient();
+        let mut top_grad = self.top.zero_gradient();
+        let mut emb_grads: Vec<SparseGradient> = self
+            .tables
+            .iter()
+            .map(|t| SparseGradient::new(t.dim()))
+            .collect();
+        let mut total_loss = 0.0;
+
+        for sample in batch.iter() {
+            let pooled = self.pool_embeddings(sample);
+            let cache = self.forward_with_embeddings(sample, &pooled);
+            total_loss += bce_with_logits(cache.logit, sample.label);
+            let dl_dlogit = bce_with_logits_grad(cache.logit, sample.label);
+
+            // Top MLP backward.
+            let (grad_interacted, tg) = self.top.backward(&cache.top_cache, &[dl_dlogit]);
+            top_grad.accumulate(&tg);
+
+            // Interaction backward.
+            let grads_vectors = DotInteraction::backward(&cache.interaction_inputs, &grad_interacted);
+
+            // Bottom MLP backward (input vector 0).
+            let (_, bg) = self.bottom.backward(&cache.bottom_cache, &grads_vectors[0]);
+            bottom_grad.accumulate(&bg);
+
+            // Embedding backward: pooled = mean of rows ⇒ each row gets grad / |ids|.
+            for (table_idx, ids) in sample.sparse.iter().enumerate() {
+                if ids.is_empty() {
+                    continue;
+                }
+                let grad_pooled = &grads_vectors[table_idx + 1];
+                let scale = 1.0 / ids.len() as f64;
+                let scaled: Vec<f64> = grad_pooled.iter().map(|g| g * scale).collect();
+                for &id in ids {
+                    emb_grads[table_idx].accumulate(id, &scaled);
+                }
+            }
+        }
+
+        let inv = 1.0 / batch.len() as f64;
+        bottom_grad.scale(inv);
+        top_grad.scale(inv);
+        for g in &mut emb_grads {
+            g.scale(inv);
+        }
+        BatchGradients {
+            loss: total_loss * inv,
+            bottom: bottom_grad,
+            top: top_grad,
+            embeddings: emb_grads,
+        }
+    }
+
+    /// Apply previously computed gradients with the configured optimiser.
+    pub fn apply_gradients(&mut self, grads: &BatchGradients) {
+        let opt = self.config.optimizer;
+        self.bottom.apply_gradient(&grads.bottom, opt.dense_learning_rate);
+        self.top.apply_gradient(&grads.top, opt.dense_learning_rate);
+        for (table, grad) in self.tables.iter_mut().zip(&grads.embeddings) {
+            match opt.sparse_optimizer {
+                OptimizerKind::Sgd => table.apply_sgd(grad, opt.sparse_learning_rate),
+                OptimizerKind::RowWiseAdagrad { eps } => {
+                    table.apply_adagrad(grad, opt.sparse_learning_rate, eps);
+                }
+            }
+        }
+    }
+
+    /// Compute gradients, apply them, and return the mean loss of the batch.
+    pub fn train_batch(&mut self, batch: &MiniBatch) -> f64 {
+        let grads = self.compute_gradients(batch);
+        let loss = grads.loss;
+        self.apply_gradients(&grads);
+        loss
+    }
+
+    /// Evaluate the model on a batch: returns `(AUC, mean log loss)`. The AUC is `None`
+    /// when the batch contains a single class.
+    #[must_use]
+    pub fn evaluate(&self, batch: &MiniBatch) -> (Option<f64>, f64) {
+        let mut auc = Auc::new();
+        let mut ll = LogLoss::new();
+        for sample in batch.iter() {
+            let p = self.predict(sample);
+            auc.record(p, sample.label);
+            ll.record(p, sample.label);
+        }
+        (auc.value(), ll.value().unwrap_or(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn config() -> DlrmConfig {
+        DlrmConfig::tiny(3, 50, 8)
+    }
+
+    fn random_sample(rng: &mut StdRng, cfg: &DlrmConfig, label: f64) -> Sample {
+        let dense = (0..cfg.dense_dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let sparse = cfg
+            .table_sizes
+            .iter()
+            .map(|&size| vec![rng.gen_range(0..size)])
+            .collect();
+        Sample::new(dense, sparse, label)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(config().validate().is_ok());
+        let mut bad = config();
+        bad.table_sizes.clear();
+        assert!(bad.validate().is_err());
+        let mut bad = config();
+        bad.embedding_dim = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = config();
+        bad.table_sizes[0] = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = config();
+        bad.dense_dim = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = config();
+        bad.optimizer.dense_learning_rate = -1.0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DLRM configuration")]
+    fn new_rejects_invalid_config() {
+        let mut cfg = config();
+        cfg.embedding_dim = 0;
+        let _ = DlrmModel::new(cfg, 0);
+    }
+
+    #[test]
+    fn predictions_are_probabilities() {
+        let model = DlrmModel::new(config(), 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let s = random_sample(&mut rng, model.config(), 1.0);
+            let p = model.predict(&s);
+            assert!((0.0..=1.0).contains(&p), "prediction {p} outside [0,1]");
+        }
+    }
+
+    #[test]
+    fn interaction_dim_matches_top_input() {
+        let cfg = config();
+        assert_eq!(cfg.interaction_dim(), 4 * 8 + 4 * 3 / 2);
+        let model = DlrmModel::new(cfg, 0);
+        assert!(model.parameter_count() > model.config().embedding_parameter_count());
+    }
+
+    #[test]
+    fn gradients_touch_only_looked_up_rows() {
+        let model = DlrmModel::new(config(), 3);
+        let sample = Sample::new(vec![0.1, 0.2], vec![vec![5], vec![7, 9], vec![]], 1.0);
+        let grads = model.compute_gradients(&MiniBatch::new(vec![sample]));
+        assert_eq!(grads.embeddings[0].touched_ids(), vec![5]);
+        assert_eq!(grads.embeddings[1].touched_ids(), vec![7, 9]);
+        assert!(grads.embeddings[2].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn gradients_on_empty_batch_panic() {
+        let model = DlrmModel::new(config(), 3);
+        let _ = model.compute_gradients(&MiniBatch::default());
+    }
+
+    #[test]
+    fn training_reduces_loss_on_fixed_batch() {
+        let cfg = config();
+        let mut model = DlrmModel::new(cfg.clone(), 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        // Learnable rule: label depends on whether the first table's id is < 25.
+        let samples: Vec<Sample> = (0..64)
+            .map(|_| {
+                let id = rng.gen_range(0..50);
+                let label = if id < 25 { 1.0 } else { 0.0 };
+                Sample::new(
+                    vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)],
+                    vec![vec![id], vec![rng.gen_range(0..50)], vec![rng.gen_range(0..50)]],
+                    label,
+                )
+            })
+            .collect();
+        let batch = MiniBatch::new(samples);
+        let initial = model.compute_gradients(&batch).loss;
+        for _ in 0..60 {
+            model.train_batch(&batch);
+        }
+        let final_loss = model.compute_gradients(&batch).loss;
+        assert!(
+            final_loss < initial * 0.7,
+            "training should reduce loss: {initial} -> {final_loss}"
+        );
+    }
+
+    #[test]
+    fn training_improves_auc_on_learnable_task() {
+        let cfg = DlrmConfig::tiny(1, 40, 8);
+        let mut model = DlrmModel::new(cfg.clone(), 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let make_batch = |rng: &mut StdRng| -> MiniBatch {
+            (0..128)
+                .map(|_| {
+                    let id = rng.gen_range(0..40);
+                    let label = if id % 2 == 0 { 1.0 } else { 0.0 };
+                    Sample::new(vec![0.0, 0.0], vec![vec![id]], label)
+                })
+                .collect()
+        };
+        let train = make_batch(&mut rng);
+        let test = make_batch(&mut rng);
+        let (auc_before, _) = model.evaluate(&test);
+        for _ in 0..80 {
+            model.train_batch(&train);
+        }
+        let (auc_after, _) = model.evaluate(&test);
+        assert!(
+            auc_after.unwrap() > auc_before.unwrap().max(0.55) || auc_after.unwrap() > 0.9,
+            "AUC should improve: {auc_before:?} -> {auc_after:?}"
+        );
+    }
+
+    #[test]
+    fn embedding_gradient_matches_finite_difference() {
+        let cfg = DlrmConfig::tiny(1, 10, 4);
+        let model = DlrmModel::new(cfg, 13);
+        let sample = Sample::new(vec![0.3, -0.6], vec![vec![2]], 1.0);
+        let batch = MiniBatch::new(vec![sample.clone()]);
+        let grads = model.compute_gradients(&batch);
+        let analytic = grads.embeddings[0].get(2).unwrap().to_vec();
+
+        let eps = 1e-6;
+        for k in 0..4 {
+            let mut plus = model.clone();
+            plus.tables_mut()[0].row_mut(2)[k] += eps;
+            let mut minus = model.clone();
+            minus.tables_mut()[0].row_mut(2)[k] -= eps;
+            let loss_plus = plus.compute_gradients(&batch).loss;
+            let loss_minus = minus.compute_gradients(&batch).loss;
+            let numeric = (loss_plus - loss_minus) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[k]).abs() < 1e-4,
+                "coord {k}: numeric {numeric} vs analytic {}",
+                analytic[k]
+            );
+        }
+    }
+
+    #[test]
+    fn predict_with_pooled_overrides_embeddings() {
+        let cfg = DlrmConfig::tiny(1, 10, 4);
+        let model = DlrmModel::new(cfg, 17);
+        let sample = Sample::new(vec![0.0, 0.0], vec![vec![3]], 1.0);
+        let base = model.predict(&sample);
+        let own_pooled = vec![model.table(0).pooled_lookup(&[3])];
+        let same = model.predict_with_pooled(&sample, &own_pooled);
+        assert!((base - same).abs() < 1e-12);
+        let different = model.predict_with_pooled(&sample, &[vec![10.0, -10.0, 10.0, -10.0]]);
+        assert!((different - base).abs() > 1e-9, "a very different embedding must change the output");
+    }
+
+    #[test]
+    fn evaluate_returns_auc_and_logloss() {
+        let cfg = DlrmConfig::tiny(1, 10, 4);
+        let model = DlrmModel::new(cfg, 21);
+        let batch = MiniBatch::new(vec![
+            Sample::new(vec![0.0, 0.0], vec![vec![1]], 1.0),
+            Sample::new(vec![0.0, 0.0], vec![vec![2]], 0.0),
+        ]);
+        let (auc, ll) = model.evaluate(&batch);
+        assert!(auc.is_some());
+        assert!(ll > 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Optimiser configuration shared by the dense and sparse parts of the model.
+//!
+//! Production DLRMs commonly use plain SGD for dense layers and row-wise Adagrad for
+//! embedding tables; both are available here and selected through [`OptimizerKind`].
+
+use serde::{Deserialize, Serialize};
+
+/// Which optimiser to apply to the embedding tables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Plain stochastic gradient descent with a fixed learning rate.
+    Sgd,
+    /// Row-wise Adagrad (per-row accumulator of mean squared gradients).
+    RowWiseAdagrad {
+        /// Small constant added to the denominator for numerical stability.
+        eps: f64,
+    },
+}
+
+impl Default for OptimizerKind {
+    fn default() -> Self {
+        OptimizerKind::RowWiseAdagrad { eps: 1e-8 }
+    }
+}
+
+/// Hyper-parameters governing a training step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimizerConfig {
+    /// Learning rate for the dense MLP parameters.
+    pub dense_learning_rate: f64,
+    /// Learning rate for the embedding tables.
+    pub sparse_learning_rate: f64,
+    /// Optimiser used for the embedding tables.
+    pub sparse_optimizer: OptimizerKind,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        Self {
+            dense_learning_rate: 0.05,
+            sparse_learning_rate: 0.05,
+            sparse_optimizer: OptimizerKind::default(),
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// Create a configuration using plain SGD everywhere with a single learning rate.
+    #[must_use]
+    pub fn sgd(learning_rate: f64) -> Self {
+        Self {
+            dense_learning_rate: learning_rate,
+            sparse_learning_rate: learning_rate,
+            sparse_optimizer: OptimizerKind::Sgd,
+        }
+    }
+
+    /// Validate that the configuration is usable (positive, finite learning rates).
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.dense_learning_rate > 0.0
+            && self.dense_learning_rate.is_finite()
+            && self.sparse_learning_rate > 0.0
+            && self.sparse_learning_rate.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_adagrad() {
+        let c = OptimizerConfig::default();
+        assert!(c.is_valid());
+        assert!(matches!(c.sparse_optimizer, OptimizerKind::RowWiseAdagrad { .. }));
+    }
+
+    #[test]
+    fn sgd_constructor() {
+        let c = OptimizerConfig::sgd(0.1);
+        assert!(c.is_valid());
+        assert_eq!(c.sparse_optimizer, OptimizerKind::Sgd);
+        assert_eq!(c.dense_learning_rate, 0.1);
+        assert_eq!(c.sparse_learning_rate, 0.1);
+    }
+
+    #[test]
+    fn invalid_configs_detected() {
+        let mut c = OptimizerConfig::default();
+        c.dense_learning_rate = 0.0;
+        assert!(!c.is_valid());
+        c.dense_learning_rate = f64::NAN;
+        assert!(!c.is_valid());
+        c = OptimizerConfig::default();
+        c.sparse_learning_rate = -1.0;
+        assert!(!c.is_valid());
+    }
+}

@@ -1,0 +1,175 @@
+//! Training/inference sample and mini-batch types.
+
+use serde::{Deserialize, Serialize};
+
+/// One user-item interaction: dense features, one list of categorical IDs per embedding
+/// table (multi-hot), and a binary click label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Continuous features (user age, counters, …), already normalised.
+    pub dense: Vec<f64>,
+    /// For each embedding table, the categorical IDs active in this sample. An empty list
+    /// means "feature missing" and contributes a zero vector.
+    pub sparse: Vec<Vec<usize>>,
+    /// Click label in `{0.0, 1.0}` (or a probability for soft labels).
+    pub label: f64,
+}
+
+impl Sample {
+    /// Create a sample from its parts.
+    #[must_use]
+    pub fn new(dense: Vec<f64>, sparse: Vec<Vec<usize>>, label: f64) -> Self {
+        Self { dense, sparse, label }
+    }
+
+    /// Number of embedding tables this sample addresses.
+    #[must_use]
+    pub fn num_tables(&self) -> usize {
+        self.sparse.len()
+    }
+
+    /// Total number of sparse IDs across all tables (lookup volume of the sample).
+    #[must_use]
+    pub fn num_lookups(&self) -> usize {
+        self.sparse.iter().map(Vec::len).sum()
+    }
+}
+
+/// A mini-batch of samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MiniBatch {
+    /// The samples making up the batch.
+    pub samples: Vec<Sample>,
+}
+
+impl MiniBatch {
+    /// Create a batch from a vector of samples.
+    #[must_use]
+    pub fn new(samples: Vec<Sample>) -> Self {
+        Self { samples }
+    }
+
+    /// Number of samples in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the batch holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Labels of all samples, in order.
+    #[must_use]
+    pub fn labels(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.label).collect()
+    }
+
+    /// Iterate over samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Sample> {
+        self.samples.iter()
+    }
+
+    /// Split into chunks of at most `chunk_size` samples (the last chunk may be smaller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`.
+    #[must_use]
+    pub fn chunks(&self, chunk_size: usize) -> Vec<MiniBatch> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        self.samples
+            .chunks(chunk_size)
+            .map(|c| MiniBatch::new(c.to_vec()))
+            .collect()
+    }
+}
+
+impl FromIterator<Sample> for MiniBatch {
+    fn from_iter<T: IntoIterator<Item = Sample>>(iter: T) -> Self {
+        MiniBatch::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Sample> for MiniBatch {
+    fn extend<T: IntoIterator<Item = Sample>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+    }
+}
+
+impl IntoIterator for MiniBatch {
+    type Item = Sample;
+    type IntoIter = std::vec::IntoIter<Sample>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a MiniBatch {
+    type Item = &'a Sample;
+    type IntoIter = std::slice::Iter<'a, Sample>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(label: f64) -> Sample {
+        Sample::new(vec![0.5, 1.0], vec![vec![1, 2], vec![3]], label)
+    }
+
+    #[test]
+    fn sample_accessors() {
+        let s = sample(1.0);
+        assert_eq!(s.num_tables(), 2);
+        assert_eq!(s.num_lookups(), 3);
+        assert_eq!(s.label, 1.0);
+    }
+
+    #[test]
+    fn batch_len_and_labels() {
+        let b = MiniBatch::new(vec![sample(1.0), sample(0.0), sample(1.0)]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(b.labels(), vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn batch_from_iterator_and_extend() {
+        let mut b: MiniBatch = (0..4).map(|i| sample(i as f64 % 2.0)).collect();
+        assert_eq!(b.len(), 4);
+        b.extend(vec![sample(1.0)]);
+        assert_eq!(b.len(), 5);
+        let collected: Vec<&Sample> = (&b).into_iter().collect();
+        assert_eq!(collected.len(), 5);
+    }
+
+    #[test]
+    fn batch_chunks_cover_all_samples() {
+        let b = MiniBatch::new((0..10).map(|i| sample(i as f64)).collect());
+        let chunks = b.chunks(3);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks.iter().map(MiniBatch::len).sum::<usize>(), 10);
+        assert_eq!(chunks[3].len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn batch_chunks_zero_panics() {
+        let _ = MiniBatch::default().chunks(0);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = MiniBatch::default();
+        assert!(b.is_empty());
+        assert!(b.labels().is_empty());
+    }
+}

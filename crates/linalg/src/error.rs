@@ -1,0 +1,107 @@
+//! Error type for linear-algebra operations.
+
+use std::fmt;
+
+/// Errors produced by the dense linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes, e.g. a `2×3` times a `4×5` product.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: (usize, usize),
+        /// Shape of the right-hand operand.
+        right: (usize, usize),
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+    },
+    /// The operation requires a non-empty matrix but got zero rows or columns.
+    EmptyMatrix {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+    },
+    /// An iterative algorithm failed to converge within its iteration budget.
+    NoConvergence {
+        /// Human-readable name of the algorithm.
+        op: &'static str,
+        /// Number of iterations that were attempted.
+        iterations: usize,
+    },
+    /// A parameter was outside its valid domain (e.g. a variance threshold not in `(0, 1]`).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the valid domain.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::EmptyMatrix { op } => {
+                write!(f, "operation {op} requires a non-empty matrix")
+            }
+            LinalgError::NoConvergence { op, iterations } => {
+                write!(f, "{op} did not converge after {iterations} iterations")
+            }
+            LinalgError::InvalidParameter { name, expected } => {
+                write!(f, "invalid parameter {name}: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let err = LinalgError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+            op: "matmul",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+    }
+
+    #[test]
+    fn display_empty_matrix() {
+        let err = LinalgError::EmptyMatrix { op: "svd" };
+        assert!(err.to_string().contains("svd"));
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let err = LinalgError::NoConvergence {
+            op: "jacobi svd",
+            iterations: 100,
+        };
+        assert!(err.to_string().contains("100"));
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let err = LinalgError::InvalidParameter {
+            name: "alpha",
+            expected: "a value in (0, 1]",
+        };
+        assert!(err.to_string().contains("alpha"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,43 @@
+//! Dense linear-algebra kernels for the LiveUpdate reproduction.
+//!
+//! The LiveUpdate paper (HPCA 2026) relies on three numerical building blocks:
+//!
+//! 1. **Dense matrices** holding embedding-gradient snapshots (`G ∈ R^{|V|×d}`) and LoRA
+//!    factors (`A ∈ R^{|V|×k}`, `B ∈ R^{k×d}`) — see [`Matrix`].
+//! 2. **Singular value decomposition** and the Eckart–Young optimal rank-`k`
+//!    approximation used to justify low-rank updates (paper Eq. 1) — see [`svd`] and
+//!    [`lowrank`].
+//! 3. **Principal component analysis** on gradient snapshots to pick the smallest rank
+//!    that preserves a target fraction `α` of the update variance (paper Eq. 2 and
+//!    Algorithm 1) — see [`pca`].
+//!
+//! Everything is implemented from scratch on `f64` row-major storage: the matrices involved
+//! in rank adaptation are small (`d ≤ 128` columns), so simple, well-tested kernels beat
+//! pulling in a BLAS dependency.
+//!
+//! # Example
+//!
+//! ```
+//! use liveupdate_linalg::{Matrix, pca::Pca};
+//!
+//! // A gradient snapshot whose rows live (almost) in a 1-D subspace.
+//! let g = Matrix::from_fn(64, 8, |i, j| (i as f64 + 1.0) * (j as f64 + 1.0) * 0.01);
+//! let pca = Pca::fit(&g).expect("pca on non-empty matrix");
+//! assert_eq!(pca.rank_for_variance(0.8), 1);
+//! ```
+
+pub mod error;
+pub mod lowrank;
+pub mod matrix;
+pub mod pca;
+pub mod svd;
+pub mod vector;
+
+pub use error::LinalgError;
+pub use lowrank::LowRankFactors;
+pub use matrix::Matrix;
+pub use pca::Pca;
+pub use svd::Svd;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

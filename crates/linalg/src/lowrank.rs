@@ -1,0 +1,292 @@
+//! Low-rank factorisation helpers (`ΔW ≈ A·B`).
+//!
+//! LiveUpdate represents embedding updates as `ΔW = A·B` with `A ∈ R^{|V|×k}` and
+//! `B ∈ R^{k×d}` (paper Eq. 3). [`LowRankFactors`] builds that factorisation from a dense
+//! update via truncated SVD (the Eckart–Young optimum), measures the approximation error,
+//! and reports the memory the compact representation needs — the quantity the paper's
+//! memory-overhead claims (<2 % of the EMT) are about.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::svd::Svd;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// A rank-`k` factorisation `A·B` of an `n×d` matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LowRankFactors {
+    /// Left factor `A`, shape `n×k`.
+    pub a: Matrix,
+    /// Right factor `B`, shape `k×d`.
+    pub b: Matrix,
+}
+
+impl LowRankFactors {
+    /// Build the rank-`k` Eckart–Young factorisation of `m` via truncated SVD.
+    ///
+    /// The singular values are split evenly between the factors
+    /// (`A = U·√Σ`, `B = √Σ·Vᵀ`) so both stay well-scaled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::EmptyMatrix`] for empty input and
+    /// [`LinalgError::InvalidParameter`] if `k == 0`.
+    pub fn from_matrix(m: &Matrix, k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(LinalgError::InvalidParameter {
+                name: "k",
+                expected: "a rank of at least 1",
+            });
+        }
+        let svd = Svd::compute(m)?;
+        let k = k.min(svd.len());
+        let n = m.rows();
+        let d = m.cols();
+        let mut a = Matrix::zeros(n, k);
+        let mut b = Matrix::zeros(k, d);
+        for idx in 0..k {
+            let sqrt_sigma = svd.singular_values[idx].max(0.0).sqrt();
+            for i in 0..n {
+                a[(i, idx)] = svd.u[(i, idx)] * sqrt_sigma;
+            }
+            for j in 0..d {
+                b[(idx, j)] = svd.v[(j, idx)] * sqrt_sigma;
+            }
+        }
+        Ok(Self { a, b })
+    }
+
+    /// Build a factorisation whose rank is the smallest that captures `alpha` of the
+    /// squared Frobenius energy of `m` (paper Eq. 2), with a floor of rank 1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Svd::compute`] / [`Svd::rank_for_energy`].
+    pub fn from_matrix_with_energy(m: &Matrix, alpha: f64) -> Result<Self> {
+        let svd = Svd::compute(m)?;
+        let k = svd.rank_for_energy(alpha)?.max(1);
+        Self::from_matrix(m, k)
+    }
+
+    /// Construct from existing factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `a.cols() != b.rows()`.
+    pub fn from_factors(a: Matrix, b: Matrix) -> Result<Self> {
+        if a.cols() != b.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                left: a.shape(),
+                right: b.shape(),
+                op: "low-rank factors",
+            });
+        }
+        Ok(Self { a, b })
+    }
+
+    /// The factorisation rank `k`.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.a.cols()
+    }
+
+    /// Shape `(n, d)` of the reconstructed matrix.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.a.rows(), self.b.cols())
+    }
+
+    /// Reconstruct the dense product `A·B`.
+    #[must_use]
+    pub fn reconstruct(&self) -> Matrix {
+        self.a.matmul(&self.b).expect("factor shapes are validated at construction")
+    }
+
+    /// Reconstruct a single row `A[i]·B` without materialising the full product — the
+    /// operation on LiveUpdate's inference path (`W_base[i] + A[i]·B`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.shape().0`.
+    #[must_use]
+    pub fn reconstruct_row(&self, row: usize) -> Vec<f64> {
+        let a_row = self.a.row(row);
+        let d = self.b.cols();
+        let mut out = vec![0.0; d];
+        for (k, &coeff) in a_row.iter().enumerate() {
+            if coeff == 0.0 {
+                continue;
+            }
+            let b_row = self.b.row(k);
+            for j in 0..d {
+                out[j] += coeff * b_row[j];
+            }
+        }
+        out
+    }
+
+    /// Frobenius-norm error `‖M − A·B‖_F` against a reference matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `reference` has a different shape.
+    pub fn approximation_error(&self, reference: &Matrix) -> Result<f64> {
+        if reference.shape() != self.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                left: reference.shape(),
+                right: self.shape(),
+                op: "approximation error",
+            });
+        }
+        Ok((reference - &self.reconstruct()).frobenius_norm())
+    }
+
+    /// Number of `f64` parameters stored by the factorisation (`n·k + k·d`).
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.a.rows() * self.a.cols() + self.b.rows() * self.b.cols()
+    }
+
+    /// Compression ratio versus the dense `n×d` representation (dense / factored); values
+    /// above 1.0 mean the factorisation is smaller.
+    #[must_use]
+    pub fn compression_ratio(&self) -> f64 {
+        let dense = (self.a.rows() * self.b.cols()) as f64;
+        let factored = self.parameter_count() as f64;
+        if factored == 0.0 {
+            return 0.0;
+        }
+        dense / factored
+    }
+}
+
+/// Upper bound on the relative rank-`k` approximation error guaranteed by the
+/// Eckart–Young theorem: `sqrt(1 - energy_captured(k))`.
+///
+/// # Errors
+///
+/// Propagates [`Svd::compute`] errors.
+pub fn eckart_young_relative_error(m: &Matrix, k: usize) -> Result<f64> {
+    let svd = Svd::compute(m)?;
+    Ok((1.0 - svd.energy_captured(k)).max(0.0).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rank_zero_rejected() {
+        let m = Matrix::identity(3);
+        assert!(LowRankFactors::from_matrix(&m, 0).is_err());
+    }
+
+    #[test]
+    fn exact_reconstruction_of_low_rank_matrix() {
+        let u = [1.0, 2.0, -1.0, 0.5, 3.0];
+        let v = [0.5, -1.0, 2.0];
+        let m = Matrix::from_fn(5, 3, |i, j| u[i] * v[j]);
+        let f = LowRankFactors::from_matrix(&m, 1).unwrap();
+        assert!(f.approximation_error(&m).unwrap() < 1e-9);
+        assert_eq!(f.rank(), 1);
+        assert_eq!(f.shape(), (5, 3));
+    }
+
+    #[test]
+    fn error_decreases_with_rank() {
+        let m = Matrix::from_fn(10, 6, |i, j| ((i * 7 + j * 11) % 13) as f64 - 6.0);
+        let mut prev = f64::INFINITY;
+        for k in 1..=6 {
+            let f = LowRankFactors::from_matrix(&m, k).unwrap();
+            let err = f.approximation_error(&m).unwrap();
+            assert!(err <= prev + 1e-9, "error should not increase with rank");
+            prev = err;
+        }
+        assert!(prev < 1e-7, "full-rank factorisation should be exact");
+    }
+
+    #[test]
+    fn energy_based_rank_selection() {
+        // Rank-2 matrix: α = 0.99 should pick rank ≤ 2 and reconstruct well.
+        let m = Matrix::from_fn(8, 5, |i, j| {
+            (i as f64) * (j as f64 + 1.0) + ((i % 2) as f64) * 3.0 * ((j % 2) as f64)
+        });
+        let f = LowRankFactors::from_matrix_with_energy(&m, 0.99).unwrap();
+        assert!(f.rank() <= 3);
+        let rel_err = f.approximation_error(&m).unwrap() / m.frobenius_norm();
+        assert!(rel_err < 0.15);
+    }
+
+    #[test]
+    fn from_factors_validates_shapes() {
+        let a = Matrix::zeros(4, 2);
+        let b = Matrix::zeros(3, 5);
+        assert!(LowRankFactors::from_factors(a.clone(), b).is_err());
+        let b_ok = Matrix::zeros(2, 5);
+        let f = LowRankFactors::from_factors(a, b_ok).unwrap();
+        assert_eq!(f.shape(), (4, 5));
+    }
+
+    #[test]
+    fn reconstruct_row_matches_full_product() {
+        let m = Matrix::from_fn(6, 4, |i, j| ((i + 1) * (j + 2)) as f64 % 5.0);
+        let f = LowRankFactors::from_matrix(&m, 3).unwrap();
+        let full = f.reconstruct();
+        for i in 0..6 {
+            let row = f.reconstruct_row(i);
+            for j in 0..4 {
+                assert!((row[j] - full[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_count_and_compression() {
+        let m = Matrix::from_fn(100, 16, |i, j| (i + j) as f64);
+        let f = LowRankFactors::from_matrix(&m, 2).unwrap();
+        assert_eq!(f.parameter_count(), 100 * 2 + 2 * 16);
+        let expected_ratio = (100.0 * 16.0) / (100.0 * 2.0 + 2.0 * 16.0);
+        assert!((f.compression_ratio() - expected_ratio).abs() < 1e-9);
+        assert!(f.compression_ratio() > 1.0);
+    }
+
+    #[test]
+    fn approximation_error_shape_mismatch() {
+        let m = Matrix::identity(4);
+        let f = LowRankFactors::from_matrix(&m, 2).unwrap();
+        assert!(f.approximation_error(&Matrix::identity(3)).is_err());
+    }
+
+    #[test]
+    fn eckart_young_bound_holds() {
+        let m = Matrix::from_fn(12, 8, |i, j| ((i * 5 + j * 3) % 7) as f64 * 0.7 - 2.0);
+        for k in 1..=8 {
+            let f = LowRankFactors::from_matrix(&m, k).unwrap();
+            let rel_err = f.approximation_error(&m).unwrap() / m.frobenius_norm();
+            let bound = eckart_young_relative_error(&m, k).unwrap();
+            assert!(rel_err <= bound + 1e-7, "k={k}: {rel_err} > {bound}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_full_rank_reconstruction_exact(rows in 2usize..10, cols in 2usize..6, seed in 0u64..100) {
+            let m = Matrix::from_fn(rows, cols, |i, j| {
+                (((i * 17 + j * 23) as u64 + seed * 13) % 29) as f64 * 0.4 - 5.0
+            });
+            let k = rows.min(cols);
+            let f = LowRankFactors::from_matrix(&m, k).unwrap();
+            prop_assert!(f.approximation_error(&m).unwrap() < 1e-6 * (1.0 + m.frobenius_norm()));
+        }
+
+        #[test]
+        fn prop_compression_improves_when_rank_small(rows in 8usize..40, cols in 4usize..12) {
+            let m = Matrix::from_fn(rows, cols, |i, j| (i + j) as f64);
+            let f = LowRankFactors::from_matrix(&m, 1).unwrap();
+            prop_assert!(f.compression_ratio() > 1.0);
+        }
+    }
+}

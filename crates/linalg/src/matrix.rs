@@ -1,0 +1,606 @@
+//! A dense row-major `f64` matrix.
+//!
+//! [`Matrix`] is intentionally small: it supports exactly the operations the LiveUpdate
+//! pipeline needs — construction, row access, products (`A·B`, `Aᵀ·A`, `A·x`), transpose,
+//! Frobenius norms, and element-wise combination. The matrices that flow through rank
+//! adaptation have at most a few hundred columns, so the straightforward `O(n·m·k)` kernels
+//! are more than fast enough and trivially correct.
+
+use crate::error::LinalgError;
+use crate::vector;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// Dense row-major matrix of `f64` values.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a matrix of the given shape filled with zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create a matrix of the given shape where every entry is `value`.
+    #[must_use]
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Create the `n×n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build a matrix by evaluating `f(row, col)` for every entry.
+    #[must_use]
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Build a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                left: (rows, cols),
+                right: (data.len(), 1),
+                op: "from_vec",
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Build a matrix from a slice of rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the rows do not all have the same length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Ok(Self::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(LinalgError::ShapeMismatch {
+                    left: (rows.len(), cols),
+                    right: (1, r.len()),
+                    op: "from_rows",
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` tuple.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// True when the matrix has zero rows or zero columns.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Borrow a row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    #[must_use]
+    pub fn row(&self, row: usize) -> &[f64] {
+        assert!(row < self.rows, "row index {row} out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Borrow a row as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
+        assert!(row < self.rows, "row index {row} out of bounds");
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Copy a column into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= self.cols()`.
+    #[must_use]
+    pub fn col(&self, col: usize) -> Vec<f64> {
+        assert!(col < self.cols, "column index {col} out of bounds");
+        (0..self.rows).map(|i| self[(i, col)]).collect()
+    }
+
+    /// Iterate over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks(self.cols.max(1)).take(self.rows)
+    }
+
+    /// View the underlying row-major data.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the matrix and return the underlying row-major data.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Transpose into a new matrix.
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: other.shape(),
+                op: "matmul",
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (j, &b) in orow.iter().enumerate() {
+                    out_row[j] += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gram matrix `selfᵀ · self` (`cols × cols`), used by PCA and the Jacobi SVD.
+    #[must_use]
+    pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..self.cols {
+                let vi = row[i];
+                if vi == 0.0 {
+                    continue;
+                }
+                for j in i..self.cols {
+                    out[(i, j)] += vi * row[j];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..self.cols {
+            for j in 0..i {
+                out[(i, j)] = out[(j, i)];
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self · x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: (x.len(), 1),
+                op: "matvec",
+            });
+        }
+        Ok(self.iter_rows().map(|r| vector::dot(r, x)).collect())
+    }
+
+    /// Transposed matrix-vector product `selfᵀ · x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != self.rows()`.
+    pub fn matvec_transposed(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: (x.len(), 1),
+                op: "matvec_transposed",
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (i, row) in self.iter_rows().enumerate() {
+            vector::axpy(x[i], row, &mut out);
+        }
+        Ok(out)
+    }
+
+    /// Frobenius norm `sqrt(Σ aᵢⱼ²)`.
+    #[must_use]
+    pub fn frobenius_norm(&self) -> f64 {
+        vector::norm2(&self.data)
+    }
+
+    /// Squared Frobenius norm.
+    #[must_use]
+    pub fn frobenius_norm_squared(&self) -> f64 {
+        vector::norm2_squared(&self.data)
+    }
+
+    /// Maximum absolute entry, `0.0` for an empty matrix.
+    #[must_use]
+    pub fn max_abs(&self) -> f64 {
+        vector::norm_inf(&self.data)
+    }
+
+    /// Scale every entry in place.
+    pub fn scale_in_place(&mut self, alpha: f64) {
+        vector::scale(alpha, &mut self.data);
+    }
+
+    /// Return a new matrix with every entry scaled by `alpha`.
+    #[must_use]
+    pub fn scaled(&self, alpha: f64) -> Matrix {
+        let mut out = self.clone();
+        out.scale_in_place(alpha);
+        out
+    }
+
+    /// `self += alpha * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the shapes differ.
+    pub fn add_scaled(&mut self, alpha: f64, other: &Matrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: other.shape(),
+                op: "add_scaled",
+            });
+        }
+        vector::axpy(alpha, &other.data, &mut self.data);
+        Ok(())
+    }
+
+    /// Mean of every column, returned as a vector of length `cols`.
+    #[must_use]
+    pub fn column_means(&self) -> Vec<f64> {
+        let mut means = vec![0.0; self.cols];
+        if self.rows == 0 {
+            return means;
+        }
+        for row in self.iter_rows() {
+            vector::axpy(1.0, row, &mut means);
+        }
+        vector::scale(1.0 / self.rows as f64, &mut means);
+        means
+    }
+
+    /// Return a copy with the column means subtracted from every row (mean-centering).
+    #[must_use]
+    pub fn centered(&self) -> Matrix {
+        let means = self.column_means();
+        Matrix::from_fn(self.rows, self.cols, |i, j| self[(i, j)] - means[j])
+    }
+
+    /// Extract the sub-matrix made of the listed rows (in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[must_use]
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        Matrix::from_fn(indices.len(), self.cols, |i, j| self[(indices[i], j)])
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix addition shape mismatch");
+        let mut out = self.clone();
+        out.add_scaled(1.0, rhs).expect("shapes already checked");
+        out
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        let mut out = self.clone();
+        out.add_scaled(-1.0, rhs).expect("shapes already checked");
+        out
+    }
+}
+
+impl Mul<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.matmul(rhs).expect("matrix multiplication shape mismatch")
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(6);
+        for i in 0..show {
+            let row = self.row(i);
+            let cells: Vec<String> = row.iter().take(8).map(|v| format!("{v:>10.4}")).collect();
+            writeln!(f, "  [{}{}]", cells.join(", "), if self.cols > 8 { ", …" } else { "" })?;
+        }
+        if self.rows > show {
+            writeln!(f, "  … ({} more rows)", self.rows - show)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Default for Matrix {
+    fn default() -> Self {
+        Self::zeros(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() <= tol)
+    }
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        assert!(!m.is_empty());
+        assert!(Matrix::zeros(0, 4).is_empty());
+    }
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let id = Matrix::identity(4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(id.matvec(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn from_vec_shape_validation() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert!(matches!(
+            Matrix::from_vec(2, 2, vec![1.0; 3]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_rows_ragged_rejected() {
+        let err = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+        assert!(err.is_err());
+        let empty = Matrix::from_rows(&[]).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut m = Matrix::zeros(2, 3);
+        m[(1, 2)] = 7.5;
+        assert_eq!(m[(1, 2)], 7.5);
+        assert_eq!(m.row(1), &[0.0, 0.0, 7.5]);
+        assert_eq!(m.col(2), vec![0.0, 7.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        let expected = Matrix::from_vec(2, 2, vec![58.0, 64.0, 139.0, 154.0]).unwrap();
+        assert!(approx_eq(&c, &expected, 1e-12));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn gram_equals_transpose_matmul() {
+        let a = Matrix::from_fn(5, 3, |i, j| (i * 3 + j) as f64 * 0.5 - 2.0);
+        let g1 = a.gram();
+        let g2 = a.transpose().matmul(&a).unwrap();
+        assert!(approx_eq(&g1, &g2, 1e-9));
+    }
+
+    #[test]
+    fn matvec_and_transposed() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 0.0, 2.0, 0.0, 1.0, 3.0]).unwrap();
+        assert_eq!(a.matvec(&[1.0, 1.0, 1.0]).unwrap(), vec![3.0, 4.0]);
+        assert_eq!(a.matvec_transposed(&[1.0, 1.0]).unwrap(), vec![1.0, 1.0, 5.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+        assert!(a.matvec_transposed(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert!((a.frobenius_norm_squared() - 25.0).abs() < 1e-12);
+        assert_eq!(a.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn add_sub_scale_operators() {
+        let a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        let sum = &a + &b;
+        let diff = &b - &a;
+        assert!(approx_eq(&sum, &Matrix::filled(2, 2, 3.0), 1e-12));
+        assert!(approx_eq(&diff, &Matrix::filled(2, 2, 1.0), 1e-12));
+        assert!(approx_eq(&a.scaled(4.0), &Matrix::filled(2, 2, 4.0), 1e-12));
+    }
+
+    #[test]
+    fn centered_has_zero_column_means() {
+        let a = Matrix::from_fn(10, 3, |i, j| i as f64 * (j + 1) as f64 + 5.0);
+        let c = a.centered();
+        for mean in c.column_means() {
+            assert!(mean.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn select_rows_picks_in_order() {
+        let a = Matrix::from_fn(4, 2, |i, _| i as f64);
+        let s = a.select_rows(&[3, 1]);
+        assert_eq!(s.row(0), &[3.0, 3.0]);
+        assert_eq!(s.row(1), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn debug_output_nonempty() {
+        let a = Matrix::identity(2);
+        let s = format!("{a:?}");
+        assert!(s.contains("Matrix 2x2"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_transpose_involution(rows in 1usize..8, cols in 1usize..8, seed in 0u64..1000) {
+            let m = Matrix::from_fn(rows, cols, |i, j| ((i * 31 + j * 7 + seed as usize) % 13) as f64 - 6.0);
+            prop_assert_eq!(m.transpose().transpose(), m);
+        }
+
+        #[test]
+        fn prop_matmul_identity(rows in 1usize..8, cols in 1usize..8) {
+            let m = Matrix::from_fn(rows, cols, |i, j| (i + 2 * j) as f64);
+            let id = Matrix::identity(cols);
+            prop_assert!(approx_eq(&m.matmul(&id).unwrap(), &m, 1e-12));
+        }
+
+        #[test]
+        fn prop_matmul_associative(n in 1usize..5) {
+            let a = Matrix::from_fn(n, n, |i, j| (i as f64 - j as f64) * 0.5);
+            let b = Matrix::from_fn(n, n, |i, j| (i * j) as f64 * 0.25 + 1.0);
+            let c = Matrix::from_fn(n, n, |i, j| ((i + j) % 3) as f64);
+            let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+            let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+            prop_assert!(approx_eq(&left, &right, 1e-6));
+        }
+
+        #[test]
+        fn prop_frobenius_triangle_inequality(n in 1usize..6, seed in 0u64..100) {
+            let a = Matrix::from_fn(n, n, |i, j| ((i * 7 + j + seed as usize) % 11) as f64 - 5.0);
+            let b = Matrix::from_fn(n, n, |i, j| ((i + j * 5 + seed as usize) % 9) as f64 - 4.0);
+            let sum = &a + &b;
+            prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Principal component analysis on gradient snapshots.
+//!
+//! LiveUpdate's variance-aware rank adaptation (paper §IV-C) periodically runs PCA on a
+//! snapshot of recent embedding gradients and picks the smallest rank whose leading
+//! eigenvalues capture a target fraction `α` of the total variance. [`Pca`] implements
+//! exactly that: eigen-decomposition of the column covariance matrix, cumulative
+//! explained-variance curves (paper Fig. 6), and the `rank_for_variance` selection rule
+//! (paper Eq. 2).
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::svd::Svd;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Result of fitting PCA to a data matrix whose rows are observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pca {
+    eigenvalues: Vec<f64>,
+    /// Principal directions stored as rows (component `i` = row `i`), each of length `d`.
+    components: Matrix,
+    column_means: Vec<f64>,
+}
+
+impl Pca {
+    /// Fit PCA to `data` (rows = observations, columns = features).
+    ///
+    /// The data is mean-centered internally; eigenvalues are reported in non-increasing
+    /// order and are the variances along each principal direction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::EmptyMatrix`] if `data` has zero rows or columns.
+    pub fn fit(data: &Matrix) -> Result<Self> {
+        if data.is_empty() {
+            return Err(LinalgError::EmptyMatrix { op: "pca" });
+        }
+        let centered = data.centered();
+        // SVD of the centered data: eigenvalues of the covariance are σ² / n.
+        let svd = Svd::compute(&centered)?;
+        let n = data.rows() as f64;
+        let eigenvalues: Vec<f64> = svd.singular_values.iter().map(|s| s * s / n).collect();
+        // Components are the right singular vectors (columns of V), stored as rows.
+        let components = svd.v.transpose();
+        Ok(Self {
+            eigenvalues,
+            components,
+            column_means: data.column_means(),
+        })
+    }
+
+    /// Fit PCA without mean-centering, treating rows as raw update directions.
+    ///
+    /// The paper applies PCA directly to gradient matrices `G`; gradients are already
+    /// (approximately) zero-mean, and skipping the centering keeps the analysis identical
+    /// to the truncated-SVD view of Eq. 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::EmptyMatrix`] if `data` has zero rows or columns.
+    pub fn fit_uncentered(data: &Matrix) -> Result<Self> {
+        if data.is_empty() {
+            return Err(LinalgError::EmptyMatrix { op: "pca" });
+        }
+        let svd = Svd::compute(data)?;
+        let n = data.rows() as f64;
+        let eigenvalues: Vec<f64> = svd.singular_values.iter().map(|s| s * s / n).collect();
+        Ok(Self {
+            eigenvalues,
+            components: svd.v.transpose(),
+            column_means: vec![0.0; data.cols()],
+        })
+    }
+
+    /// Eigenvalues (variances along each principal direction), non-increasing.
+    #[must_use]
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Principal directions as rows of a `(r × d)` matrix.
+    #[must_use]
+    pub fn components(&self) -> &Matrix {
+        &self.components
+    }
+
+    /// Column means subtracted before the decomposition (all zeros for
+    /// [`Pca::fit_uncentered`]).
+    #[must_use]
+    pub fn column_means(&self) -> &[f64] {
+        &self.column_means
+    }
+
+    /// Total variance (sum of eigenvalues).
+    #[must_use]
+    pub fn total_variance(&self) -> f64 {
+        self.eigenvalues.iter().sum()
+    }
+
+    /// Fraction of variance explained by each component, in order.
+    #[must_use]
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        let total = self.total_variance();
+        if total == 0.0 {
+            return vec![0.0; self.eigenvalues.len()];
+        }
+        self.eigenvalues.iter().map(|l| l / total).collect()
+    }
+
+    /// Cumulative explained-variance curve — the series plotted in paper Fig. 6.
+    ///
+    /// `result[k-1]` is the fraction of variance captured by the top-`k` components.
+    #[must_use]
+    pub fn cumulative_explained_variance(&self) -> Vec<f64> {
+        let ratios = self.explained_variance_ratio();
+        let mut acc = 0.0;
+        ratios
+            .iter()
+            .map(|r| {
+                acc += r;
+                acc.min(1.0)
+            })
+            .collect()
+    }
+
+    /// Smallest rank `k` such that the top-`k` eigenvalues capture at least `alpha` of the
+    /// total variance (paper Eq. 2). Returns `0` for an all-zero (variance-free) snapshot.
+    ///
+    /// `alpha` is clamped to `(0, 1]`; values outside that range are treated as the nearest
+    /// bound so that a mis-configured threshold degrades gracefully instead of panicking in
+    /// the serving path.
+    #[must_use]
+    pub fn rank_for_variance(&self, alpha: f64) -> usize {
+        let alpha = alpha.clamp(f64::MIN_POSITIVE, 1.0);
+        let total = self.total_variance();
+        if total == 0.0 {
+            return 0;
+        }
+        let mut acc = 0.0;
+        for (i, l) in self.eigenvalues.iter().enumerate() {
+            acc += l;
+            if acc / total >= alpha {
+                return i + 1;
+            }
+        }
+        self.eigenvalues.len()
+    }
+
+    /// Project observations (rows of `data`) onto the top-`k` principal directions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `data` does not have the same number of
+    /// columns the PCA was fitted on.
+    pub fn project(&self, data: &Matrix, k: usize) -> Result<Matrix> {
+        if data.cols() != self.components.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                left: data.shape(),
+                right: self.components.shape(),
+                op: "pca projection",
+            });
+        }
+        let k = k.min(self.components.rows());
+        let mut out = Matrix::zeros(data.rows(), k);
+        for i in 0..data.rows() {
+            let row = data.row(i);
+            for c in 0..k {
+                let comp = self.components.row(c);
+                let mut acc = 0.0;
+                for j in 0..row.len() {
+                    acc += (row[j] - self.column_means[j]) * comp[j];
+                }
+                out[(i, c)] = acc;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn fit_rejects_empty() {
+        assert!(Pca::fit(&Matrix::zeros(0, 4)).is_err());
+        assert!(Pca::fit_uncentered(&Matrix::zeros(4, 0)).is_err());
+    }
+
+    #[test]
+    fn eigenvalues_sorted_and_nonnegative() {
+        let data = Matrix::from_fn(40, 6, |i, j| ((i * 3 + j * 7) % 13) as f64 + (j as f64).sin());
+        let pca = Pca::fit(&data).unwrap();
+        for w in pca.eigenvalues().windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(pca.eigenvalues().iter().all(|&l| l >= -1e-12));
+    }
+
+    #[test]
+    fn rank_one_data_needs_one_component() {
+        // All rows are multiples of one direction ⇒ a single component explains everything.
+        let dir = [1.0, -2.0, 0.5, 3.0];
+        let data = Matrix::from_fn(30, 4, |i, j| (i as f64 - 15.0) * dir[j]);
+        let pca = Pca::fit(&data).unwrap();
+        assert_eq!(pca.rank_for_variance(0.8), 1);
+        assert_eq!(pca.rank_for_variance(0.999), 1);
+        let cum = pca.cumulative_explained_variance();
+        assert!((cum[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isotropic_data_needs_many_components() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = 8;
+        let data = Matrix::from_fn(400, d, |_, _| rng.gen_range(-1.0..1.0));
+        let pca = Pca::fit(&data).unwrap();
+        // Each direction carries roughly 1/d of the variance, so 80 % needs most of them.
+        assert!(pca.rank_for_variance(0.8) >= d - 2);
+    }
+
+    #[test]
+    fn cumulative_curve_monotone_and_ends_at_one() {
+        let data = Matrix::from_fn(25, 5, |i, j| ((i + 1) * (j + 1)) as f64 % 9.0);
+        let pca = Pca::fit(&data).unwrap();
+        let cum = pca.cumulative_explained_variance();
+        let mut prev = 0.0;
+        for &c in &cum {
+            assert!(c >= prev - 1e-12);
+            assert!(c <= 1.0 + 1e-12);
+            prev = c;
+        }
+        assert!((cum.last().copied().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_variance_snapshot_has_rank_zero() {
+        let data = Matrix::filled(10, 4, 3.0);
+        let pca = Pca::fit(&data).unwrap();
+        assert_eq!(pca.rank_for_variance(0.8), 0);
+        assert_eq!(pca.total_variance(), 0.0);
+    }
+
+    #[test]
+    fn uncentered_fit_matches_svd_energy() {
+        let data = Matrix::from_fn(20, 4, |i, j| (i as f64 * 0.1 + 1.0) * (j as f64 + 1.0));
+        let pca = Pca::fit_uncentered(&data).unwrap();
+        let svd = Svd::compute(&data).unwrap();
+        assert_eq!(pca.rank_for_variance(0.8), svd.rank_for_energy(0.8).unwrap());
+        assert!(pca.column_means().iter().all(|&m| m == 0.0));
+    }
+
+    #[test]
+    fn projection_shape_and_validation() {
+        let data = Matrix::from_fn(12, 5, |i, j| (i * j) as f64);
+        let pca = Pca::fit(&data).unwrap();
+        let proj = pca.project(&data, 2).unwrap();
+        assert_eq!(proj.shape(), (12, 2));
+        assert!(pca.project(&Matrix::zeros(3, 4), 2).is_err());
+        // Requesting more components than available clamps.
+        assert_eq!(pca.project(&data, 100).unwrap().cols(), 5);
+    }
+
+    #[test]
+    fn projection_preserves_rank_one_structure() {
+        let dir = [2.0, 1.0, -1.0];
+        let data = Matrix::from_fn(20, 3, |i, j| (i as f64) * dir[j]);
+        let pca = Pca::fit(&data).unwrap();
+        let proj = pca.project(&data, 1).unwrap();
+        // The single projected coordinate should vary monotonically with i (up to sign).
+        let first = proj[(1, 0)] - proj[(0, 0)];
+        for i in 2..20 {
+            let step = proj[(i, 0)] - proj[(i - 1, 0)];
+            assert!(step * first > 0.0, "projection not monotone at {i}");
+        }
+    }
+
+    #[test]
+    fn low_rank_plus_noise_detects_low_rank() {
+        // 3 dominant directions plus tiny isotropic noise: α=0.8 should need ≤ 3 components.
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = 16;
+        let dirs: Vec<Vec<f64>> = (0..3)
+            .map(|_| (0..d).map(|_| rng.gen_range(-1.0f64..1.0)).collect())
+            .collect();
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|_| {
+                let coeffs = [
+                    rng.gen_range(-3.0f64..3.0),
+                    rng.gen_range(-2.0f64..2.0),
+                    rng.gen_range(-1.0f64..1.0),
+                ];
+                (0..d)
+                    .map(|j| {
+                        let mut v = rng.gen_range(-0.01f64..0.01);
+                        for (c, dir) in coeffs.iter().zip(&dirs) {
+                            v += c * dir[j];
+                        }
+                        v
+                    })
+                    .collect()
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows).unwrap();
+        let pca = Pca::fit(&data).unwrap();
+        assert!(pca.rank_for_variance(0.8) <= 3, "rank = {}", pca.rank_for_variance(0.8));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_rank_monotone_in_alpha(rows in 4usize..40, cols in 2usize..8, seed in 0u64..200) {
+            let data = Matrix::from_fn(rows, cols, |i, j| {
+                (((i as u64 + 1) * 2654435761 + (j as u64 + seed) * 97) % 1000) as f64 / 50.0
+            });
+            let pca = Pca::fit(&data).unwrap();
+            let r50 = pca.rank_for_variance(0.5);
+            let r80 = pca.rank_for_variance(0.8);
+            let r95 = pca.rank_for_variance(0.95);
+            prop_assert!(r50 <= r80 && r80 <= r95);
+            prop_assert!(r95 <= cols.min(rows));
+        }
+
+        #[test]
+        fn prop_total_variance_matches_column_variances(rows in 4usize..30, cols in 2usize..6, seed in 0u64..200) {
+            let data = Matrix::from_fn(rows, cols, |i, j| {
+                (((i * 13 + j * 29) as u64 + seed) % 31) as f64 * 0.3
+            });
+            let pca = Pca::fit(&data).unwrap();
+            let col_var_sum: f64 = (0..cols)
+                .map(|j| crate::vector::variance(&data.col(j)))
+                .sum();
+            prop_assert!((pca.total_variance() - col_var_sum).abs() < 1e-6 * (1.0 + col_var_sum));
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! Singular value decomposition via one-sided Jacobi rotations.
+//!
+//! The LiveUpdate rank-adaptation mechanism (paper §III-B, Eq. 1–2) needs the singular
+//! values of gradient snapshot matrices `G ∈ R^{n×d}` where `d` is the embedding dimension
+//! (≤ 128 in practice). The one-sided Jacobi method is a good fit: it is simple, numerically
+//! robust, and its cost is dominated by the small `d` dimension.
+//!
+//! For tall matrices (`n ≫ d`) we first reduce the problem to the `d×d` Gram matrix
+//! eigen-decomposition, which is mathematically equivalent for singular values and right
+//! singular vectors and far cheaper.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vector;
+use crate::Result;
+
+/// Result of a singular value decomposition `A = U · diag(σ) · Vᵀ`.
+///
+/// Singular values are returned in non-increasing order. `U` is `n×r` and `V` is `d×r`
+/// where `r = min(n, d)` (thin SVD).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Svd {
+    /// Left singular vectors, one column per singular value (`n×r`).
+    pub u: Matrix,
+    /// Singular values in non-increasing order (length `r`).
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors, one column per singular value (`d×r`).
+    pub v: Matrix,
+}
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 60;
+/// Convergence threshold on the off-diagonal ratio.
+const TOLERANCE: f64 = 1e-12;
+
+impl Svd {
+    /// Compute the thin SVD of `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::EmptyMatrix`] for matrices with zero rows or columns, and
+    /// [`LinalgError::NoConvergence`] if the Jacobi iteration fails to converge (which in
+    /// practice only happens for matrices containing non-finite values).
+    pub fn compute(a: &Matrix) -> Result<Self> {
+        if a.is_empty() {
+            return Err(LinalgError::EmptyMatrix { op: "svd" });
+        }
+        // Work on the matrix whose column count is the smaller dimension so the Jacobi
+        // sweep cost is O(min(n,d)^2 · max(n,d)).
+        if a.rows() >= a.cols() {
+            Self::one_sided_jacobi(a)
+        } else {
+            // SVD of Aᵀ = V Σ Uᵀ, so swap the factors back.
+            let svd_t = Self::one_sided_jacobi(&a.transpose())?;
+            Ok(Svd {
+                u: svd_t.v,
+                singular_values: svd_t.singular_values,
+                v: svd_t.u,
+            })
+        }
+    }
+
+    /// Singular values only (cheaper call-site intent; same cost today).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Svd::compute`].
+    pub fn singular_values_of(a: &Matrix) -> Result<Vec<f64>> {
+        Ok(Self::compute(a)?.singular_values)
+    }
+
+    /// Number of singular values retained (the thin rank `min(n, d)`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.singular_values.len()
+    }
+
+    /// True when the decomposition holds no singular values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.singular_values.is_empty()
+    }
+
+    /// Reconstruct the rank-`k` approximation `Σᵢ σᵢ uᵢ vᵢᵀ` (Eckart–Young optimum).
+    ///
+    /// `k` is clamped to the number of available singular values.
+    #[must_use]
+    pub fn truncated(&self, k: usize) -> Matrix {
+        let k = k.min(self.singular_values.len());
+        let n = self.u.rows();
+        let d = self.v.rows();
+        let mut out = Matrix::zeros(n, d);
+        for idx in 0..k {
+            let sigma = self.singular_values[idx];
+            if sigma == 0.0 {
+                continue;
+            }
+            let u_col = self.u.col(idx);
+            let v_col = self.v.col(idx);
+            for i in 0..n {
+                let scale = sigma * u_col[i];
+                if scale == 0.0 {
+                    continue;
+                }
+                let row = out.row_mut(i);
+                for j in 0..d {
+                    row[j] += scale * v_col[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Fraction of total squared Frobenius energy captured by the top-`k` singular values.
+    ///
+    /// Returns `1.0` for an all-zero matrix (nothing to capture).
+    #[must_use]
+    pub fn energy_captured(&self, k: usize) -> f64 {
+        let total: f64 = self.singular_values.iter().map(|s| s * s).sum();
+        if total == 0.0 {
+            return 1.0;
+        }
+        let k = k.min(self.singular_values.len());
+        let kept: f64 = self.singular_values[..k].iter().map(|s| s * s).sum();
+        kept / total
+    }
+
+    /// Smallest rank whose squared singular values capture at least `alpha` of the total
+    /// energy — the rank-selection rule of paper Eq. 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidParameter`] if `alpha` is not in `(0, 1]`.
+    pub fn rank_for_energy(&self, alpha: f64) -> Result<usize> {
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(LinalgError::InvalidParameter {
+                name: "alpha",
+                expected: "a value in (0, 1]",
+            });
+        }
+        let total: f64 = self.singular_values.iter().map(|s| s * s).sum();
+        if total == 0.0 {
+            return Ok(0);
+        }
+        let mut acc = 0.0;
+        for (i, s) in self.singular_values.iter().enumerate() {
+            acc += s * s;
+            if acc / total >= alpha {
+                return Ok(i + 1);
+            }
+        }
+        Ok(self.singular_values.len())
+    }
+
+    /// One-sided Jacobi SVD for a tall (or square) matrix `a` (`rows >= cols`).
+    fn one_sided_jacobi(a: &Matrix) -> Result<Self> {
+        let n = a.rows();
+        let d = a.cols();
+        // Work matrix whose columns are rotated until mutually orthogonal: W = A (n×d).
+        let mut w: Vec<Vec<f64>> = (0..d).map(|j| a.col(j)).collect();
+        let mut v = Matrix::identity(d);
+
+        let mut converged = false;
+        for _sweep in 0..MAX_SWEEPS {
+            let mut off = 0.0_f64;
+            let mut diag = 0.0_f64;
+            for p in 0..d {
+                for q in (p + 1)..d {
+                    let app = vector::norm2_squared(&w[p]);
+                    let aqq = vector::norm2_squared(&w[q]);
+                    let apq = vector::dot(&w[p], &w[q]);
+                    off += apq * apq;
+                    diag += app * aqq;
+                    if apq.abs() <= TOLERANCE * (app * aqq).sqrt() {
+                        continue;
+                    }
+                    // Jacobi rotation that zeroes the (p, q) Gram entry.
+                    let tau = (aqq - app) / (2.0 * apq);
+                    let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    for i in 0..n {
+                        let wp = w[p][i];
+                        let wq = w[q][i];
+                        w[p][i] = c * wp - s * wq;
+                        w[q][i] = s * wp + c * wq;
+                    }
+                    for i in 0..d {
+                        let vp = v[(i, p)];
+                        let vq = v[(i, q)];
+                        v[(i, p)] = c * vp - s * vq;
+                        v[(i, q)] = s * vp + c * vq;
+                    }
+                }
+            }
+            if diag == 0.0 || off <= TOLERANCE * TOLERANCE * diag {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            // Non-finite inputs never converge; everything else does within the budget.
+            let finite = a.as_slice().iter().all(|x| x.is_finite());
+            if !finite {
+                return Err(LinalgError::NoConvergence {
+                    op: "one-sided jacobi svd",
+                    iterations: MAX_SWEEPS,
+                });
+            }
+        }
+
+        // Column norms are the singular values; normalised columns are U.
+        let mut order: Vec<usize> = (0..d).collect();
+        let sigmas: Vec<f64> = (0..d).map(|j| vector::norm2(&w[j])).collect();
+        order.sort_by(|&i, &j| sigmas[j].partial_cmp(&sigmas[i]).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut u = Matrix::zeros(n, d);
+        let mut v_sorted = Matrix::zeros(d, d);
+        let mut singular_values = Vec::with_capacity(d);
+        for (new_idx, &old_idx) in order.iter().enumerate() {
+            let sigma = sigmas[old_idx];
+            singular_values.push(sigma);
+            if sigma > 0.0 {
+                for i in 0..n {
+                    u[(i, new_idx)] = w[old_idx][i] / sigma;
+                }
+            }
+            for i in 0..d {
+                v_sorted[(i, new_idx)] = v[(i, old_idx)];
+            }
+        }
+        Ok(Svd {
+            u,
+            singular_values,
+            v: v_sorted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reconstruct(svd: &Svd) -> Matrix {
+        svd.truncated(svd.len())
+    }
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() <= tol)
+    }
+
+    #[test]
+    fn svd_of_empty_matrix_errors() {
+        assert!(Svd::compute(&Matrix::zeros(0, 3)).is_err());
+        assert!(Svd::compute(&Matrix::zeros(3, 0)).is_err());
+    }
+
+    #[test]
+    fn svd_of_diagonal_matrix() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = 2.0;
+        a[(2, 2)] = 1.0;
+        let svd = Svd::compute(&a).unwrap();
+        assert!((svd.singular_values[0] - 3.0).abs() < 1e-9);
+        assert!((svd.singular_values[1] - 2.0).abs() < 1e-9);
+        assert!((svd.singular_values[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn svd_reconstructs_tall_matrix() {
+        let a = Matrix::from_fn(12, 4, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let svd = Svd::compute(&a).unwrap();
+        assert!(approx_eq(&reconstruct(&svd), &a, 1e-8));
+    }
+
+    #[test]
+    fn svd_reconstructs_wide_matrix() {
+        let a = Matrix::from_fn(3, 9, |i, j| (i as f64 + 1.0) * (j as f64 - 4.0));
+        let svd = Svd::compute(&a).unwrap();
+        assert!(approx_eq(&reconstruct(&svd), &a, 1e-8));
+        assert_eq!(svd.len(), 3);
+    }
+
+    #[test]
+    fn singular_values_sorted_descending() {
+        let a = Matrix::from_fn(10, 5, |i, j| ((i + 1) * (j + 2)) as f64 % 7.0 - 3.0);
+        let svd = Svd::compute(&a).unwrap();
+        for w in svd.singular_values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn rank_one_matrix_has_one_singular_value() {
+        // Outer product u vᵀ has exactly one non-zero singular value = |u||v|.
+        let u = [1.0, 2.0, 3.0, 4.0];
+        let v = [2.0, -1.0, 0.5];
+        let a = Matrix::from_fn(4, 3, |i, j| u[i] * v[j]);
+        let svd = Svd::compute(&a).unwrap();
+        let expected = vector::norm2(&u) * vector::norm2(&v);
+        assert!((svd.singular_values[0] - expected).abs() < 1e-9);
+        assert!(svd.singular_values[1].abs() < 1e-9);
+        assert_eq!(svd.rank_for_energy(0.8).unwrap(), 1);
+    }
+
+    #[test]
+    fn energy_captured_monotone() {
+        let a = Matrix::from_fn(8, 4, |i, j| (i as f64 * 0.3 + 1.0) * (j as f64 + 1.0) + (i % 3) as f64);
+        let svd = Svd::compute(&a).unwrap();
+        let mut prev = 0.0;
+        for k in 0..=svd.len() {
+            let e = svd.energy_captured(k);
+            assert!(e >= prev - 1e-12);
+            assert!(e <= 1.0 + 1e-12);
+            prev = e;
+        }
+        assert!((svd.energy_captured(svd.len()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_for_energy_validates_alpha() {
+        let svd = Svd::compute(&Matrix::identity(3)).unwrap();
+        assert!(svd.rank_for_energy(0.0).is_err());
+        assert!(svd.rank_for_energy(1.5).is_err());
+        assert_eq!(svd.rank_for_energy(1.0).unwrap(), 3);
+    }
+
+    #[test]
+    fn zero_matrix_rank_zero() {
+        let svd = Svd::compute(&Matrix::zeros(5, 3)).unwrap();
+        assert_eq!(svd.rank_for_energy(0.9).unwrap(), 0);
+        assert_eq!(svd.energy_captured(1), 1.0);
+    }
+
+    #[test]
+    fn truncated_is_best_rank_k_in_frobenius_norm() {
+        // Eckart–Young: error of the truncated SVD equals sqrt(sum of discarded sigma^2).
+        let a = Matrix::from_fn(10, 6, |i, j| ((i * 13 + j * 5) % 17) as f64 * 0.25 - 2.0);
+        let svd = Svd::compute(&a).unwrap();
+        for k in 0..svd.len() {
+            let err = (&a - &svd.truncated(k)).frobenius_norm();
+            let expected: f64 = svd.singular_values[k..].iter().map(|s| s * s).sum::<f64>().sqrt();
+            assert!((err - expected).abs() < 1e-7, "k={k}: {err} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn left_and_right_vectors_are_orthonormal() {
+        let a = Matrix::from_fn(9, 4, |i, j| ((i + 2 * j) % 5) as f64 - 2.0);
+        let svd = Svd::compute(&a).unwrap();
+        let utu = svd.u.gram();
+        let vtv = svd.v.gram();
+        for i in 0..svd.len() {
+            for j in 0..svd.len() {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                if svd.singular_values[i] > 1e-9 && svd.singular_values[j] > 1e-9 {
+                    assert!((utu[(i, j)] - expect).abs() < 1e-7);
+                }
+                assert!((vtv[(i, j)] - expect).abs() < 1e-7);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn prop_reconstruction_error_small(
+            rows in 2usize..12,
+            cols in 2usize..8,
+            seed in 0u64..500,
+        ) {
+            let a = Matrix::from_fn(rows, cols, |i, j| {
+                (((i as u64 * 2654435761 + j as u64 * 40503 + seed) % 1000) as f64 / 100.0) - 5.0
+            });
+            let svd = Svd::compute(&a).unwrap();
+            let err = (&a - &reconstruct(&svd)).frobenius_norm();
+            prop_assert!(err < 1e-6 * (1.0 + a.frobenius_norm()));
+        }
+
+        #[test]
+        fn prop_singular_values_nonnegative_sorted(
+            rows in 1usize..10,
+            cols in 1usize..10,
+            seed in 0u64..500,
+        ) {
+            let a = Matrix::from_fn(rows, cols, |i, j| {
+                (((i * 31 + j * 17) as u64 + seed * 7) % 23) as f64 - 11.0
+            });
+            let svd = Svd::compute(&a).unwrap();
+            prop_assert_eq!(svd.len(), rows.min(cols));
+            for w in svd.singular_values.windows(2) {
+                prop_assert!(w[0] + 1e-12 >= w[1]);
+            }
+            for s in &svd.singular_values {
+                prop_assert!(*s >= 0.0);
+            }
+        }
+
+        #[test]
+        fn prop_frobenius_norm_equals_sigma_norm(
+            rows in 1usize..10,
+            cols in 1usize..8,
+            seed in 0u64..500,
+        ) {
+            let a = Matrix::from_fn(rows, cols, |i, j| {
+                (((i * 7 + j * 13) as u64 + seed * 3) % 19) as f64 * 0.5 - 4.0
+            });
+            let svd = Svd::compute(&a).unwrap();
+            let sigma_norm: f64 = svd.singular_values.iter().map(|s| s * s).sum::<f64>().sqrt();
+            prop_assert!((a.frobenius_norm() - sigma_norm).abs() < 1e-7);
+        }
+    }
+}

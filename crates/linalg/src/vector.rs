@@ -1,0 +1,219 @@
+//! Free functions on `&[f64]` slices used throughout the numeric kernels.
+//!
+//! These helpers operate directly on slices so they can be reused on matrix rows,
+//! embedding vectors and gradient buffers without copies.
+
+/// Dot product of two equally long slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm of a slice.
+#[must_use]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean norm of a slice.
+#[must_use]
+pub fn norm2_squared(a: &[f64]) -> f64 {
+    dot(a, a)
+}
+
+/// L1 norm (sum of absolute values).
+#[must_use]
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// Infinity norm (maximum absolute value), `0.0` for an empty slice.
+#[must_use]
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0_f64, |acc, x| acc.max(x.abs()))
+}
+
+/// `y += alpha * x` (the classic AXPY kernel).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy requires equal lengths");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scale a slice in place by `alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Normalise a slice to unit L2 norm in place.
+///
+/// Returns the original norm. If the norm is zero (or non-finite) the slice is left
+/// untouched and the returned value is `0.0`.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > 0.0 && n.is_finite() {
+        scale(1.0 / n, x);
+        n
+    } else {
+        0.0
+    }
+}
+
+/// Arithmetic mean of a slice, `0.0` for an empty slice.
+#[must_use]
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Population variance of a slice, `0.0` for slices shorter than 2.
+#[must_use]
+pub fn variance(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / a.len() as f64
+}
+
+/// Cosine similarity between two vectors, `0.0` if either has zero norm.
+#[must_use]
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    let na = norm2(a);
+    let nb = norm2(b);
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot(a, b) / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let v = [3.0, 4.0];
+        assert!((norm2(&v) - 5.0).abs() < 1e-12);
+        assert!((norm2_squared(&v) - 25.0).abs() < 1e-12);
+        assert!((norm1(&v) - 7.0).abs() < 1e-12);
+        assert!((norm_inf(&v) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_inf_empty_is_zero() {
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, [10.5, 21.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut v = [1.0, -2.0];
+        scale(3.0, &mut v);
+        assert_eq!(v, [3.0, -6.0]);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut v = [3.0, 4.0];
+        let n = normalize(&mut v);
+        assert!((n - 5.0).abs() < 1e-12);
+        assert!((norm2(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut v = [0.0, 0.0];
+        assert_eq!(normalize(&mut v), 0.0);
+        assert_eq!(v, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&v) - 2.5).abs() < 1e-12);
+        assert!((variance(&v) - 1.25).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_similarity_bounds() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        assert!(cosine_similarity(&a, &b).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&a, &[0.0, 0.0]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dot_commutative(v in proptest::collection::vec(-100.0f64..100.0, 1..32)) {
+            let w: Vec<f64> = v.iter().rev().copied().collect();
+            prop_assert!((dot(&v, &w) - dot(&w, &v)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_norm_nonnegative(v in proptest::collection::vec(-100.0f64..100.0, 0..32)) {
+            prop_assert!(norm2(&v) >= 0.0);
+            prop_assert!(norm1(&v) >= 0.0);
+            prop_assert!(norm_inf(&v) >= 0.0);
+        }
+
+        #[test]
+        fn prop_cauchy_schwarz(
+            a in proptest::collection::vec(-50.0f64..50.0, 1..16),
+            b in proptest::collection::vec(-50.0f64..50.0, 1..16),
+        ) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            prop_assert!(dot(a, b).abs() <= norm2(a) * norm2(b) + 1e-6);
+        }
+
+        #[test]
+        fn prop_normalize_produces_unit_vector(
+            v in proptest::collection::vec(-100.0f64..100.0, 1..32)
+        ) {
+            let mut v = v;
+            let n = normalize(&mut v);
+            if n > 0.0 {
+                prop_assert!((norm2(&v) - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,508 @@
+//! The per-node serving engine: inference path + online update path (paper Fig. 7).
+//!
+//! [`ServingNode`] owns everything a LiveUpdate inference node needs:
+//!
+//! * the **base model** — the frozen DLRM last received from the training cluster,
+//! * the **serving model** — the base embeddings with the accumulated LoRA corrections
+//!   materialised for hot rows (the "LoRA cache" of the paper), used by every prediction,
+//! * the **LoRA tables**, one per embedding table,
+//! * the **rank adapters** and **usage pruners** implementing Algorithm 1,
+//! * the **hot-index filter** deciding which lookups need the corrected path,
+//! * the **retention buffer** of recent requests that feeds the online trainer, and
+//! * per-table **access histograms** used to retune the pruning threshold.
+//!
+//! The inference path (`serve_batch`) serves requests and caches them for training; the
+//! online update path (`online_update_round`) trains the LoRA factors from the buffer,
+//! refreshes the serving rows, and periodically adapts the rank and prunes the tables.
+
+use crate::config::LiveUpdateConfig;
+use crate::hot_index::HotIndexFilter;
+use crate::lora::LoraTable;
+use crate::pruning::UsagePruner;
+use crate::rank_adapt::RankAdapter;
+use crate::trainer::LoraTrainer;
+use liveupdate_dlrm::metrics::{Auc, LogLoss};
+use liveupdate_dlrm::model::DlrmModel;
+use liveupdate_dlrm::sample::{MiniBatch, Sample};
+use liveupdate_workload::access::AccessHistogram;
+use liveupdate_workload::trace::RetentionBuffer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Summary of one inference window served by the node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Number of requests served.
+    pub requests: usize,
+    /// How many individual lookups took the LoRA-corrected path.
+    pub lora_corrected_lookups: usize,
+    /// Mean predicted click probability over the window.
+    pub mean_prediction: f64,
+}
+
+/// Summary of one online update round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateRoundReport {
+    /// Mean training loss of the round's mini-batch.
+    pub loss: f64,
+    /// Number of `(table, row)` LoRA updates applied.
+    pub rows_updated: usize,
+    /// Whether a rank/pruning adaptation was triggered this round.
+    pub adapted: bool,
+    /// Current LoRA rank per table.
+    pub ranks: Vec<usize>,
+    /// Rows pruned across all tables (zero when no adaptation ran).
+    pub pruned_rows: usize,
+    /// Total LoRA memory after the round, in bytes.
+    pub lora_memory_bytes: usize,
+}
+
+/// A LiveUpdate inference node.
+#[derive(Debug, Clone)]
+pub struct ServingNode {
+    config: LiveUpdateConfig,
+    base_model: DlrmModel,
+    serving_model: DlrmModel,
+    loras: Vec<LoraTable>,
+    rank_adapters: Vec<RankAdapter>,
+    pruners: Vec<UsagePruner>,
+    hot_filter: HotIndexFilter,
+    buffer: RetentionBuffer,
+    access: Vec<AccessHistogram>,
+    trainer: LoraTrainer,
+    steps: u64,
+    rng: StdRng,
+}
+
+impl ServingNode {
+    /// Create a node serving `model` with LiveUpdate enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(model: DlrmModel, config: LiveUpdateConfig) -> Self {
+        if let Err(reason) = config.validate() {
+            panic!("invalid LiveUpdate configuration: {reason}");
+        }
+        let loras: Vec<LoraTable> = model
+            .tables()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| LoraTable::new(t.num_rows(), t.dim(), config.initial_rank, 1000 + i as u64))
+            .collect();
+        let rank_adapters = model
+            .tables()
+            .iter()
+            .map(|_| RankAdapter::new(config.variance_threshold, config.initial_rank, config.min_rank, config.max_rank))
+            .collect();
+        let pruners = model
+            .tables()
+            .iter()
+            .map(|t| {
+                UsagePruner::from_table(
+                    t.num_rows(),
+                    config.pruning_window_steps,
+                    config.min_table_fraction,
+                    config.max_table_fraction,
+                    1,
+                )
+            })
+            .collect();
+        let access = model.tables().iter().map(|t| AccessHistogram::new(t.num_rows())).collect();
+        let hot_filter = HotIndexFilter::new(model.tables().len());
+        let buffer = RetentionBuffer::new(config.retention_minutes, config.retention_max_records);
+        Self {
+            trainer: LoraTrainer::new(config.lora_learning_rate),
+            serving_model: model.clone(),
+            base_model: model,
+            loras,
+            rank_adapters,
+            pruners,
+            hot_filter,
+            buffer,
+            access,
+            config,
+            steps: 0,
+            rng: StdRng::seed_from_u64(0xC0FFEE),
+        }
+    }
+
+    /// The node configuration.
+    #[must_use]
+    pub fn config(&self) -> &LiveUpdateConfig {
+        &self.config
+    }
+
+    /// The serving model (base + materialised LoRA corrections).
+    #[must_use]
+    pub fn serving_model(&self) -> &DlrmModel {
+        &self.serving_model
+    }
+
+    /// The LoRA adapters, one per embedding table.
+    #[must_use]
+    pub fn loras(&self) -> &[LoraTable] {
+        &self.loras
+    }
+
+    /// Current LoRA rank per table.
+    #[must_use]
+    pub fn current_ranks(&self) -> Vec<usize> {
+        self.loras.iter().map(LoraTable::rank).collect()
+    }
+
+    /// Number of records currently retained in the inference-log buffer.
+    #[must_use]
+    pub fn buffered_records(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Total online update steps performed.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Total LoRA memory across tables in bytes.
+    #[must_use]
+    pub fn lora_memory_bytes(&self) -> usize {
+        self.loras.iter().map(LoraTable::memory_bytes).sum()
+    }
+
+    /// LoRA memory as a fraction of the base embedding-table memory.
+    #[must_use]
+    pub fn lora_memory_fraction(&self) -> f64 {
+        let base: usize = self
+            .base_model
+            .tables()
+            .iter()
+            .map(liveupdate_dlrm::EmbeddingTable::memory_bytes)
+            .sum();
+        if base == 0 {
+            return 0.0;
+        }
+        self.lora_memory_bytes() as f64 / base as f64
+    }
+
+    /// Predict the click probability of one request through the serving model.
+    #[must_use]
+    pub fn predict(&self, sample: &Sample) -> f64 {
+        self.serving_model.predict(sample)
+    }
+
+    /// Serve a window of requests at `time_minutes`: predict, count the LoRA-corrected
+    /// lookups, record accesses, and cache the labelled samples in the retention buffer for
+    /// the online update path.
+    pub fn serve_batch(&mut self, time_minutes: f64, batch: &MiniBatch) -> ServeReport {
+        let mut corrected = 0usize;
+        let mut prediction_sum = 0.0;
+        for sample in batch.iter() {
+            prediction_sum += self.predict(sample);
+            for (table_idx, ids) in sample.sparse.iter().enumerate() {
+                for &id in ids {
+                    self.access[table_idx].record(id);
+                    if self.hot_filter.is_hot(table_idx, id) {
+                        corrected += 1;
+                    }
+                }
+            }
+        }
+        self.buffer.push_batch(time_minutes, batch);
+        ServeReport {
+            requests: batch.len(),
+            lora_corrected_lookups: corrected,
+            mean_prediction: if batch.is_empty() {
+                0.0
+            } else {
+                prediction_sum / batch.len() as f64
+            },
+        }
+    }
+
+    /// Evaluate the serving model on a labelled batch: `(AUC, mean log loss)`.
+    #[must_use]
+    pub fn evaluate(&self, batch: &MiniBatch) -> (Option<f64>, f64) {
+        let mut auc = Auc::new();
+        let mut ll = LogLoss::new();
+        for sample in batch.iter() {
+            let p = self.predict(sample);
+            auc.record(p, sample.label);
+            ll.record(p, sample.label);
+        }
+        (auc.value(), ll.value().unwrap_or(0.0))
+    }
+
+    /// Run one online update round at `time_minutes`: sample a mini-batch of `batch_size`
+    /// from the retention buffer, train the LoRA factors, refresh the serving rows, and —
+    /// every `adaptation_interval_steps` rounds — adapt the rank and prune the tables.
+    ///
+    /// Returns a report; a round with an empty buffer is a no-op with zero rows updated.
+    pub fn online_update_round(&mut self, _time_minutes: f64, batch_size: usize) -> UpdateRoundReport {
+        let batch = self.buffer.sample_batch(&mut self.rng, batch_size.max(1));
+        if batch.is_empty() {
+            return UpdateRoundReport {
+                loss: 0.0,
+                rows_updated: 0,
+                adapted: false,
+                ranks: self.current_ranks(),
+                pruned_rows: 0,
+                lora_memory_bytes: self.lora_memory_bytes(),
+            };
+        }
+        let report = self.trainer.train_step(&self.serving_model, &mut self.loras, &batch);
+        self.steps += 1;
+
+        // Refresh the serving rows for every touched index and mark them hot.
+        for (table_idx, touched) in report.touched_per_table.iter().enumerate() {
+            for &row in touched {
+                let eff = self.loras[table_idx].effective_row(row, self.base_model.table(table_idx).row(row));
+                self.serving_model.tables_mut()[table_idx].set_row(row, &eff);
+            }
+            self.hot_filter.mark_all(table_idx, touched.iter().copied());
+            self.pruners[table_idx].record_step(touched.iter().copied());
+            self.rank_adapters[table_idx].observe(&report.gradients[table_idx]);
+        }
+
+        // Periodic adaptation (Algorithm 1).
+        let adapted = self.steps % self.config.adaptation_interval_steps as u64 == 0;
+        let mut pruned_rows = 0usize;
+        if adapted {
+            for table_idx in 0..self.loras.len() {
+                let decision = self.rank_adapters[table_idx].adapt();
+                self.loras[table_idx].resize_rank(decision.rank);
+
+                // Retune τ_prune from the live access skew (top hot_fraction boundary).
+                let threshold = self.access[table_idx].threshold_for_top_fraction(self.config.hot_fraction);
+                if threshold != u64::MAX {
+                    self.pruners[table_idx].set_prune_threshold(threshold.max(1));
+                }
+                let prune = self.pruners[table_idx].decide();
+                pruned_rows += self.loras[table_idx].prune_to(&prune.active_indices);
+                self.hot_filter.retain(table_idx, &self.loras[table_idx].active_indices());
+            }
+        }
+
+        UpdateRoundReport {
+            loss: report.loss,
+            rows_updated: report.rows_updated,
+            adapted,
+            ranks: self.current_ranks(),
+            pruned_rows,
+            lora_memory_bytes: self.lora_memory_bytes(),
+        }
+    }
+
+    /// Absorb the accumulated LoRA deltas into the base model (tiered mid-term step) and
+    /// clear the adapters and hot filter. The serving model is left unchanged (it already
+    /// reflects the deltas).
+    pub fn merge_lora_into_base(&mut self) {
+        for (table_idx, lora) in self.loras.iter_mut().enumerate() {
+            lora.merge_into(&mut self.base_model.tables_mut()[table_idx]);
+        }
+        self.hot_filter.clear();
+    }
+
+    /// Full-parameter synchronisation: replace both the base and the serving model with a
+    /// fresh model from the training cluster, dropping every local LoRA correction
+    /// (paper Fig. 8, the hourly full update that bounds model drift).
+    pub fn full_sync(&mut self, fresh_model: DlrmModel) {
+        self.base_model = fresh_model.clone();
+        self.serving_model = fresh_model;
+        for lora in &mut self.loras {
+            lora.clear();
+        }
+        self.hot_filter.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liveupdate_dlrm::model::DlrmConfig;
+    use liveupdate_workload::{SyntheticWorkload, WorkloadConfig};
+
+    fn workload() -> SyntheticWorkload {
+        SyntheticWorkload::new(WorkloadConfig {
+            num_tables: 2,
+            table_size: 300,
+            ..WorkloadConfig::default()
+        })
+    }
+
+    fn node() -> ServingNode {
+        let model = DlrmModel::new(
+            DlrmConfig {
+                table_sizes: vec![300, 300],
+                ..DlrmConfig::tiny(2, 300, 8)
+            },
+            11,
+        );
+        ServingNode::new(model, LiveUpdateConfig::default())
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid LiveUpdate configuration")]
+    fn invalid_config_rejected() {
+        let model = DlrmModel::new(DlrmConfig::tiny(1, 10, 4), 0);
+        let mut cfg = LiveUpdateConfig::default();
+        cfg.variance_threshold = 0.0;
+        let _ = ServingNode::new(model, cfg);
+    }
+
+    #[test]
+    fn serve_batch_fills_buffer_and_counts() {
+        let mut n = node();
+        let mut w = workload();
+        let batch = w.batch_at(0.0, 32);
+        let report = n.serve_batch(0.0, &batch);
+        assert_eq!(report.requests, 32);
+        assert_eq!(report.lora_corrected_lookups, 0, "nothing is hot before any update");
+        assert!(report.mean_prediction > 0.0 && report.mean_prediction < 1.0);
+        assert_eq!(n.buffered_records(), 32);
+    }
+
+    #[test]
+    fn update_round_trains_and_marks_hot() {
+        let mut n = node();
+        let mut w = workload();
+        n.serve_batch(0.0, &w.batch_at(0.0, 64));
+        let before_mem = n.lora_memory_bytes();
+        let report = n.online_update_round(5.0, 32);
+        assert!(report.rows_updated > 0);
+        assert!(report.loss > 0.0);
+        assert!(n.lora_memory_bytes() >= before_mem);
+        // Serving the same traffic again now takes the LoRA-corrected path for hot ids.
+        let serve = n.serve_batch(5.0, &w.batch_at(5.0, 64));
+        assert!(serve.lora_corrected_lookups > 0);
+        assert_eq!(n.steps(), 1);
+    }
+
+    #[test]
+    fn update_round_with_empty_buffer_is_noop() {
+        let mut n = node();
+        let report = n.online_update_round(0.0, 32);
+        assert_eq!(report.rows_updated, 0);
+        assert!(!report.adapted);
+        assert_eq!(n.steps(), 0);
+    }
+
+    #[test]
+    fn serving_rows_reflect_lora_corrections() {
+        let mut n = node();
+        let mut w = workload();
+        n.serve_batch(0.0, &w.batch_at(0.0, 64));
+        n.online_update_round(1.0, 64);
+        // At least one serving row must now differ from the base model's row.
+        let mut any_diff = false;
+        for t in 0..2 {
+            for &idx in &n.loras[t].active_indices() {
+                let base = n.base_model.table(t).row(idx);
+                let serving = n.serving_model.table(t).row(idx);
+                if base.iter().zip(serving).any(|(a, b)| (a - b).abs() > 1e-12) {
+                    any_diff = true;
+                }
+            }
+        }
+        assert!(any_diff, "LoRA corrections must be visible in the serving model");
+    }
+
+    #[test]
+    fn adaptation_triggers_on_interval() {
+        let model = DlrmModel::new(DlrmConfig::tiny(1, 200, 8), 5);
+        let mut cfg = LiveUpdateConfig::default();
+        cfg.adaptation_interval_steps = 3;
+        let mut n = ServingNode::new(model, cfg);
+        let mut w = SyntheticWorkload::new(WorkloadConfig {
+            num_tables: 1,
+            table_size: 200,
+            ..WorkloadConfig::default()
+        });
+        n.serve_batch(0.0, &w.batch_at(0.0, 96));
+        let mut adapted_rounds = 0;
+        for i in 0..6 {
+            let r = n.online_update_round(i as f64, 32);
+            if r.adapted {
+                adapted_rounds += 1;
+                assert!(!r.ranks.is_empty());
+            }
+        }
+        assert_eq!(adapted_rounds, 2, "adaptation every 3 steps over 6 steps");
+    }
+
+    #[test]
+    fn online_training_improves_fit_to_buffered_traffic() {
+        let mut n = node();
+        let mut w = workload();
+        let eval = w.batch_at(0.0, 256);
+        n.serve_batch(0.0, &eval);
+        let (_, ll_before) = n.evaluate(&eval);
+        for _ in 0..40 {
+            n.online_update_round(1.0, 64);
+        }
+        let (_, ll_after) = n.evaluate(&eval);
+        assert!(
+            ll_after < ll_before,
+            "online LoRA training should improve log loss: {ll_before} -> {ll_after}"
+        );
+    }
+
+    #[test]
+    fn full_sync_resets_lora_state() {
+        let mut n = node();
+        let mut w = workload();
+        n.serve_batch(0.0, &w.batch_at(0.0, 64));
+        n.online_update_round(1.0, 32);
+        assert!(n.loras().iter().any(|l| l.active_rows() > 0));
+        let fresh = DlrmModel::new(
+            DlrmConfig {
+                table_sizes: vec![300, 300],
+                ..DlrmConfig::tiny(2, 300, 8)
+            },
+            99,
+        );
+        n.full_sync(fresh.clone());
+        assert!(n.loras().iter().all(|l| l.active_rows() == 0));
+        assert_eq!(n.serving_model(), &fresh);
+        // Buffer is retained across syncs (it holds raw traffic, not model state).
+        assert!(n.buffered_records() > 0);
+    }
+
+    #[test]
+    fn merge_lora_into_base_keeps_serving_view() {
+        let mut n = node();
+        let mut w = workload();
+        n.serve_batch(0.0, &w.batch_at(0.0, 64));
+        n.online_update_round(1.0, 32);
+        let serving_before = n.serving_model().clone();
+        n.merge_lora_into_base();
+        assert!(n.loras().iter().all(|l| l.active_rows() == 0));
+        assert_eq!(n.serving_model(), &serving_before);
+        // Base now equals the serving view on previously-hot rows.
+        for t in 0..2 {
+            for idx in 0..300 {
+                let b = n.base_model.table(t).row(idx);
+                let s = n.serving_model().table(t).row(idx);
+                for (x, y) in b.iter().zip(s) {
+                    assert!((x - y).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_fraction_stays_small() {
+        let mut n = node();
+        let mut w = workload();
+        for t in 0..5 {
+            n.serve_batch(t as f64, &w.batch_at(t as f64, 64));
+            n.online_update_round(t as f64, 64);
+        }
+        assert!(
+            n.lora_memory_fraction() < 0.25,
+            "LoRA memory should stay a small fraction of the base: {}",
+            n.lora_memory_fraction()
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! The hot-index filter on the inference path (paper Fig. 7, step 2).
+//!
+//! For every lookup the serving engine must decide whether the embedding needs the LoRA
+//! correction (`W_base[i] + A[i]·B`) or the base row alone. [`HotIndexFilter`] tracks which
+//! indices have been touched by the online update path since the last full synchronisation,
+//! per table, and answers that membership query.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Per-table set of indices whose embeddings have pending LoRA corrections.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HotIndexFilter {
+    tables: Vec<BTreeSet<usize>>,
+}
+
+impl HotIndexFilter {
+    /// Create a filter covering `num_tables` embedding tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_tables == 0`.
+    #[must_use]
+    pub fn new(num_tables: usize) -> Self {
+        assert!(num_tables > 0, "at least one table is required");
+        Self {
+            tables: vec![BTreeSet::new(); num_tables],
+        }
+    }
+
+    /// Number of tables covered.
+    #[must_use]
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Mark an index of a table as hot (recently updated by the online path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is out of bounds.
+    pub fn mark(&mut self, table: usize, index: usize) {
+        self.tables[table].insert(index);
+    }
+
+    /// Mark many indices of one table.
+    pub fn mark_all<I: IntoIterator<Item = usize>>(&mut self, table: usize, indices: I) {
+        for idx in indices {
+            self.mark(table, idx);
+        }
+    }
+
+    /// Whether a lookup of `index` in `table` must take the LoRA-corrected path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is out of bounds.
+    #[must_use]
+    pub fn is_hot(&self, table: usize, index: usize) -> bool {
+        self.tables[table].contains(&index)
+    }
+
+    /// Number of hot indices for one table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is out of bounds.
+    #[must_use]
+    pub fn hot_count(&self, table: usize) -> usize {
+        self.tables[table].len()
+    }
+
+    /// Total hot indices across all tables.
+    #[must_use]
+    pub fn total_hot(&self) -> usize {
+        self.tables.iter().map(BTreeSet::len).sum()
+    }
+
+    /// Retain only the indices present in `keep` for one table (mirrors LoRA pruning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is out of bounds.
+    pub fn retain(&mut self, table: usize, keep: &[usize]) {
+        let keep: BTreeSet<usize> = keep.iter().copied().collect();
+        self.tables[table].retain(|idx| keep.contains(idx));
+    }
+
+    /// Clear one table's hot set (after its deltas are merged into the base).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is out of bounds.
+    pub fn clear_table(&mut self, table: usize) {
+        self.tables[table].clear();
+    }
+
+    /// Clear every table (after a full-parameter synchronisation).
+    pub fn clear(&mut self) {
+        for t in &mut self.tables {
+            t.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one table")]
+    fn zero_tables_rejected() {
+        let _ = HotIndexFilter::new(0);
+    }
+
+    #[test]
+    fn mark_and_query() {
+        let mut f = HotIndexFilter::new(2);
+        assert_eq!(f.num_tables(), 2);
+        assert!(!f.is_hot(0, 5));
+        f.mark(0, 5);
+        f.mark_all(1, vec![1, 2, 3]);
+        assert!(f.is_hot(0, 5));
+        assert!(!f.is_hot(1, 5));
+        assert!(f.is_hot(1, 2));
+        assert_eq!(f.hot_count(0), 1);
+        assert_eq!(f.hot_count(1), 3);
+        assert_eq!(f.total_hot(), 4);
+    }
+
+    #[test]
+    fn duplicate_marks_counted_once() {
+        let mut f = HotIndexFilter::new(1);
+        f.mark(0, 7);
+        f.mark(0, 7);
+        assert_eq!(f.hot_count(0), 1);
+    }
+
+    #[test]
+    fn retain_mirrors_pruning() {
+        let mut f = HotIndexFilter::new(1);
+        f.mark_all(0, 0..10);
+        f.retain(0, &[2, 4, 6]);
+        assert_eq!(f.hot_count(0), 3);
+        assert!(f.is_hot(0, 4));
+        assert!(!f.is_hot(0, 5));
+    }
+
+    #[test]
+    fn clear_per_table_and_global() {
+        let mut f = HotIndexFilter::new(2);
+        f.mark_all(0, vec![1, 2]);
+        f.mark_all(1, vec![3]);
+        f.clear_table(0);
+        assert_eq!(f.hot_count(0), 0);
+        assert_eq!(f.hot_count(1), 1);
+        f.clear();
+        assert_eq!(f.total_hot(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_table_panics() {
+        let f = HotIndexFilter::new(1);
+        let _ = f.is_hot(3, 0);
+    }
+}

@@ -1,0 +1,471 @@
+//! LoRA tables: the compact `ΔW = A·B` representation of embedding updates.
+//!
+//! For an embedding table `W ∈ R^{|V|×d}`, LiveUpdate keeps a sparse left factor `A`
+//! (one `1×k` row per *active* index) and a dense right factor `B ∈ R^{k×d}` (paper
+//! Eq. 3). The effective embedding served for a hot index `i` is `W_base[i] + A[i]·B`.
+//! Only the rows of `A` for indices that actually received updates are materialised,
+//! which is what makes the usage-based pruning of §IV-C effective.
+
+use liveupdate_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Sparse-row LoRA adapter for one embedding table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoraTable {
+    /// Number of rows of the underlying embedding table `|V|`.
+    num_rows: usize,
+    /// Embedding dimension `d`.
+    dim: usize,
+    /// Current rank `k`.
+    rank: usize,
+    /// Active rows of `A`: index → `1×k` row.
+    a_rows: BTreeMap<usize, Vec<f64>>,
+    /// Dense right factor `B`, row-major `k×d`.
+    b: Vec<f64>,
+    /// Per-row Adagrad accumulator for the `A` rows (mean squared gradient).
+    a_adagrad: BTreeMap<usize, f64>,
+    /// Adagrad accumulator for the shared `B` factor.
+    b_adagrad: f64,
+}
+
+impl LoraTable {
+    /// Create an adapter of rank `rank` for a table of `num_rows × dim`. `A` starts empty
+    /// (no active rows, so `ΔW = 0`); `B` is initialised with small random values so that
+    /// newly activated rows receive a useful gradient signal immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(num_rows: usize, dim: usize, rank: usize, seed: u64) -> Self {
+        assert!(num_rows > 0, "table must have at least one row");
+        assert!(dim > 0, "embedding dimension must be positive");
+        assert!(rank > 0, "rank must be at least 1");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = 1.0 / (dim as f64).sqrt();
+        let b = (0..rank * dim).map(|_| rng.gen_range(-bound..bound)).collect();
+        Self {
+            num_rows,
+            dim,
+            rank,
+            a_rows: BTreeMap::new(),
+            b,
+            a_adagrad: BTreeMap::new(),
+            b_adagrad: 0.0,
+        }
+    }
+
+    /// Number of rows of the underlying embedding table.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Embedding dimension `d`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Current LoRA rank `k`.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of active (materialised) rows of `A`.
+    #[must_use]
+    pub fn active_rows(&self) -> usize {
+        self.a_rows.len()
+    }
+
+    /// The active indices in ascending order.
+    #[must_use]
+    pub fn active_indices(&self) -> Vec<usize> {
+        self.a_rows.keys().copied().collect()
+    }
+
+    /// Whether index `i` has an active `A` row.
+    #[must_use]
+    pub fn is_active(&self, index: usize) -> bool {
+        self.a_rows.contains_key(&index)
+    }
+
+    /// Borrow the `A` row of an index, if active.
+    #[must_use]
+    pub fn a_row(&self, index: usize) -> Option<&[f64]> {
+        self.a_rows.get(&index).map(Vec::as_slice)
+    }
+
+    /// Borrow the dense `B` factor as a `k×d` row-major slice.
+    #[must_use]
+    pub fn b(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// The delta `A[i]·B` for an index (zero vector when the index is inactive).
+    #[must_use]
+    pub fn delta_row(&self, index: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        if let Some(a) = self.a_rows.get(&index) {
+            for (k, &coeff) in a.iter().enumerate() {
+                if coeff == 0.0 {
+                    continue;
+                }
+                let b_row = &self.b[k * self.dim..(k + 1) * self.dim];
+                for (o, &bv) in out.iter_mut().zip(b_row) {
+                    *o += coeff * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `base + A[i]·B`, the embedding actually served for a hot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base.len() != dim`.
+    #[must_use]
+    pub fn effective_row(&self, index: usize, base: &[f64]) -> Vec<f64> {
+        assert_eq!(base.len(), self.dim, "base row dimension mismatch");
+        let mut out = self.delta_row(index);
+        for (o, &b) in out.iter_mut().zip(base) {
+            *o += b;
+        }
+        out
+    }
+
+    /// Apply one optimisation step on the factors for a single index given the gradient of
+    /// the loss with respect to the *effective* embedding row (`g = ∂L/∂W_eff[i]`, length
+    /// `d`): `A[i] -= η_A · g·Bᵀ` and `B -= η_B · A_old[i]ᵀ·g`, where `η_A`/`η_B` are
+    /// row-wise-Adagrad-normalised step sizes (the same optimiser family production EMTs
+    /// use, so the LoRA factors keep pace with the training cluster regardless of how the
+    /// batch-averaged gradient is scaled). Activates the row if necessary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient length does not match `dim` or the index is out of bounds.
+    pub fn apply_row_gradient(&mut self, index: usize, grad: &[f64], learning_rate: f64) {
+        assert_eq!(grad.len(), self.dim, "gradient dimension mismatch");
+        assert!(index < self.num_rows, "index {index} out of bounds ({})", self.num_rows);
+        const EPS: f64 = 1e-8;
+        let sq_mean: f64 = grad.iter().map(|g| g * g).sum::<f64>() / self.dim as f64;
+        let a_old = self
+            .a_rows
+            .entry(index)
+            .or_insert_with(|| vec![0.0; self.rank])
+            .clone();
+        let a_acc = self.a_adagrad.entry(index).or_insert(0.0);
+        *a_acc += sq_mean;
+        let lr_a = learning_rate / (a_acc.sqrt() + EPS);
+        self.b_adagrad += sq_mean;
+        let lr_b = learning_rate / (self.b_adagrad.sqrt() + EPS);
+        // dL/dA[i] = g · Bᵀ  (1×d · d×k = 1×k)
+        let mut grad_a = vec![0.0; self.rank];
+        for (k, ga) in grad_a.iter_mut().enumerate() {
+            let b_row = &self.b[k * self.dim..(k + 1) * self.dim];
+            *ga = grad.iter().zip(b_row).map(|(g, b)| g * b).sum();
+        }
+        // dL/dB = A_old[i]ᵀ · g  (k×1 · 1×d = k×d)
+        for k in 0..self.rank {
+            let coeff = a_old[k];
+            if coeff == 0.0 {
+                continue;
+            }
+            let b_row = &mut self.b[k * self.dim..(k + 1) * self.dim];
+            for (b, &g) in b_row.iter_mut().zip(grad) {
+                *b -= lr_b * coeff * g;
+            }
+        }
+        let a_row = self.a_rows.get_mut(&index).expect("row was just inserted");
+        for (a, &ga) in a_row.iter_mut().zip(&grad_a) {
+            *a -= lr_a * ga;
+        }
+    }
+
+    /// Overwrite the `A` row of an index (used by cross-node synchronisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the current rank or the index is out of
+    /// bounds.
+    pub fn set_a_row(&mut self, index: usize, row: Vec<f64>) {
+        assert_eq!(row.len(), self.rank, "A row length must equal the rank");
+        assert!(index < self.num_rows, "index {index} out of bounds ({})", self.num_rows);
+        self.a_rows.insert(index, row);
+    }
+
+    /// Resize the rank to `new_rank`, truncating or zero-padding every active `A` row and
+    /// the `B` factor. Information in the leading `min(old, new)` components is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_rank == 0`.
+    pub fn resize_rank(&mut self, new_rank: usize) {
+        assert!(new_rank > 0, "rank must be at least 1");
+        if new_rank == self.rank {
+            return;
+        }
+        let old_rank = self.rank;
+        for row in self.a_rows.values_mut() {
+            row.resize(new_rank, 0.0);
+        }
+        let mut new_b = vec![0.0; new_rank * self.dim];
+        for k in 0..new_rank.min(old_rank) {
+            new_b[k * self.dim..(k + 1) * self.dim]
+                .copy_from_slice(&self.b[k * self.dim..(k + 1) * self.dim]);
+        }
+        // Newly added B rows get small deterministic values so they can start learning.
+        if new_rank > old_rank {
+            let mut rng = StdRng::seed_from_u64(new_rank as u64 * 7919 + self.dim as u64);
+            let bound = 1.0 / (self.dim as f64).sqrt();
+            for v in new_b.iter_mut().skip(old_rank * self.dim) {
+                *v = rng.gen_range(-bound..bound);
+            }
+        }
+        self.b = new_b;
+        self.rank = new_rank;
+    }
+
+    /// Remove the `A` rows of every index not in `keep`, returning how many were pruned.
+    pub fn prune_to(&mut self, keep: &[usize]) -> usize {
+        let keep_set: std::collections::BTreeSet<usize> = keep.iter().copied().collect();
+        let before = self.a_rows.len();
+        self.a_rows.retain(|idx, _| keep_set.contains(idx));
+        self.a_adagrad.retain(|idx, _| keep_set.contains(idx));
+        before - self.a_rows.len()
+    }
+
+    /// Drop every active row (e.g. after a full-parameter synchronisation absorbs the
+    /// accumulated deltas into the base table).
+    pub fn clear(&mut self) {
+        self.a_rows.clear();
+        self.a_adagrad.clear();
+        self.b_adagrad = 0.0;
+    }
+
+    /// Merge the accumulated deltas into `base` (adds `A[i]·B` to each active row) and
+    /// clear the adapter. This is the mid-term "absorb into the base model" step of the
+    /// tiered update timeline (paper Fig. 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base table shape does not match.
+    pub fn merge_into(&mut self, base: &mut liveupdate_dlrm::EmbeddingTable) {
+        assert_eq!(base.num_rows(), self.num_rows, "row count mismatch in merge_into");
+        assert_eq!(base.dim(), self.dim, "dimension mismatch in merge_into");
+        let indices = self.active_indices();
+        for idx in indices {
+            let delta = self.delta_row(idx);
+            base.add_to_row(idx, &delta);
+        }
+        self.clear();
+    }
+
+    /// Bytes needed to store the adapter (`f64` storage: active `A` rows plus dense `B`).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        (self.a_rows.len() * self.rank + self.rank * self.dim) * std::mem::size_of::<f64>()
+    }
+
+    /// Memory of the adapter relative to the dense `|V|×d` table it shadows.
+    #[must_use]
+    pub fn memory_fraction_of_base(&self) -> f64 {
+        let base = (self.num_rows * self.dim * std::mem::size_of::<f64>()) as f64;
+        if base == 0.0 {
+            return 0.0;
+        }
+        self.memory_bytes() as f64 / base
+    }
+
+    /// The dense `ΔW` this adapter represents (active rows only, all other rows zero);
+    /// mainly useful for tests and analysis.
+    #[must_use]
+    pub fn to_dense_delta(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.num_rows, self.dim);
+        for (&idx, _) in &self.a_rows {
+            let delta = self.delta_row(idx);
+            m.row_mut(idx).copy_from_slice(&delta);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liveupdate_dlrm::EmbeddingTable;
+    use proptest::prelude::*;
+
+    fn table() -> LoraTable {
+        LoraTable::new(100, 8, 4, 42)
+    }
+
+    #[test]
+    #[should_panic(expected = "rank must be at least 1")]
+    fn zero_rank_rejected() {
+        let _ = LoraTable::new(10, 8, 0, 0);
+    }
+
+    #[test]
+    fn new_table_is_identity_delta() {
+        let t = table();
+        assert_eq!(t.rank(), 4);
+        assert_eq!(t.active_rows(), 0);
+        assert_eq!(t.delta_row(5), vec![0.0; 8]);
+        assert_eq!(t.memory_bytes(), 4 * 8 * 8); // only B
+        let base = vec![1.0; 8];
+        assert_eq!(t.effective_row(5, &base), base);
+        assert!(!t.is_active(5));
+    }
+
+    #[test]
+    fn gradient_step_activates_row_and_reduces_loss() {
+        let mut t = table();
+        let base = vec![0.0; 8];
+        let target: Vec<f64> = (0..8).map(|i| i as f64 * 0.1).collect();
+        // Minimise 0.5‖eff − target‖² by gradient descent on the factors.
+        let loss = |t: &LoraTable| -> f64 {
+            t.effective_row(3, &base)
+                .iter()
+                .zip(&target)
+                .map(|(e, t)| 0.5 * (e - t) * (e - t))
+                .sum()
+        };
+        let initial = loss(&t);
+        for _ in 0..300 {
+            let eff = t.effective_row(3, &base);
+            let grad: Vec<f64> = eff.iter().zip(&target).map(|(e, t)| e - t).collect();
+            t.apply_row_gradient(3, &grad, 0.1);
+        }
+        let final_loss = loss(&t);
+        assert!(t.is_active(3));
+        assert_eq!(t.active_rows(), 1);
+        assert!(final_loss < initial * 0.05, "loss {initial} -> {final_loss}");
+    }
+
+    #[test]
+    fn delta_row_matches_explicit_product() {
+        let mut t = LoraTable::new(10, 4, 2, 1);
+        t.set_a_row(2, vec![1.0, -0.5]);
+        let b = t.b().to_vec();
+        let expected: Vec<f64> = (0..4).map(|j| 1.0 * b[j] - 0.5 * b[4 + j]).collect();
+        let delta = t.delta_row(2);
+        for (d, e) in delta.iter().zip(&expected) {
+            assert!((d - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn resize_rank_preserves_leading_components() {
+        let mut t = LoraTable::new(20, 4, 3, 5);
+        t.set_a_row(7, vec![0.5, -1.0, 2.0]);
+        let before = t.delta_row(7);
+        // Growing the rank must not change the represented delta (new coefficients are 0).
+        t.resize_rank(6);
+        assert_eq!(t.rank(), 6);
+        let after_grow = t.delta_row(7);
+        for (a, b) in before.iter().zip(&after_grow) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // Shrinking keeps only the leading components.
+        t.resize_rank(1);
+        assert_eq!(t.rank(), 1);
+        assert_eq!(t.a_row(7).unwrap().len(), 1);
+        // Same-rank resize is a no-op.
+        let snapshot = t.clone();
+        t.resize_rank(1);
+        assert_eq!(t, snapshot);
+    }
+
+    #[test]
+    fn prune_keeps_only_requested_rows() {
+        let mut t = table();
+        for idx in [1, 2, 3, 4, 5] {
+            t.apply_row_gradient(idx, &vec![0.1; 8], 0.1);
+        }
+        assert_eq!(t.active_rows(), 5);
+        let pruned = t.prune_to(&[2, 4]);
+        assert_eq!(pruned, 3);
+        assert_eq!(t.active_indices(), vec![2, 4]);
+        t.clear();
+        assert_eq!(t.active_rows(), 0);
+    }
+
+    #[test]
+    fn merge_into_applies_delta_and_clears() {
+        let mut t = LoraTable::new(10, 4, 2, 3);
+        t.set_a_row(6, vec![1.0, 1.0]);
+        let delta = t.delta_row(6);
+        let mut base = EmbeddingTable::zeros(10, 4);
+        t.merge_into(&mut base);
+        for (b, d) in base.row(6).iter().zip(&delta) {
+            assert!((b - d).abs() < 1e-12);
+        }
+        assert_eq!(t.active_rows(), 0);
+        // Untouched rows remain zero.
+        assert_eq!(base.row(0), &[0.0; 4]);
+    }
+
+    #[test]
+    fn memory_accounting_scales_with_active_rows_and_rank() {
+        let mut t = LoraTable::new(1000, 16, 4, 0);
+        let b_only = t.memory_bytes();
+        assert_eq!(b_only, 4 * 16 * 8);
+        for idx in 0..100 {
+            t.set_a_row(idx, vec![0.0; 4]);
+        }
+        assert_eq!(t.memory_bytes(), b_only + 100 * 4 * 8);
+        // 100 active rows of rank 4 over a 1000×16 base ⇒ well under 10 %.
+        assert!(t.memory_fraction_of_base() < 0.1);
+    }
+
+    #[test]
+    fn to_dense_delta_shape_and_content() {
+        let mut t = LoraTable::new(5, 3, 2, 9);
+        t.set_a_row(1, vec![1.0, 0.0]);
+        let m = t.to_dense_delta();
+        assert_eq!(m.shape(), (5, 3));
+        assert_eq!(m.row(0), &[0.0, 0.0, 0.0]);
+        let expected = t.delta_row(1);
+        for (a, b) in m.row(1).iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn prop_effective_row_equals_base_plus_delta(
+            idx in 0usize..50,
+            seed in 0u64..100,
+            grad in proptest::collection::vec(-1.0f64..1.0, 8),
+        ) {
+            let mut t = LoraTable::new(50, 8, 3, seed);
+            t.apply_row_gradient(idx, &grad, 0.05);
+            let base: Vec<f64> = (0..8).map(|i| i as f64).collect();
+            let eff = t.effective_row(idx, &base);
+            let delta = t.delta_row(idx);
+            for j in 0..8 {
+                prop_assert!((eff[j] - (base[j] + delta[j])).abs() < 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_memory_fraction_below_one_for_sparse_activation(
+            active in 1usize..50,
+            rank in 1usize..8,
+        ) {
+            let mut t = LoraTable::new(2000, 16, rank, 1);
+            for idx in 0..active {
+                t.set_a_row(idx, vec![0.0; rank]);
+            }
+            prop_assert!(t.memory_fraction_of_base() < 1.0);
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Usage-based LoRA-table pruning (paper §IV-C, Algorithm 1 lines 5–10).
+//!
+//! Most embedding indices are updated rarely; keeping an `A` row for each of them wastes
+//! memory. [`UsagePruner`] tracks how often every index is updated over a sliding window of
+//! training steps, declares indices updated at least `τ_prune` times *active*, and clamps
+//! the resulting LoRA-table size to `[C_min, C_max]`:
+//!
+//! ```text
+//! C_{t+1} = min( max(|I_active|, C_min), C_max )
+//! ```
+//!
+//! `τ_prune` is initialised from the access skew (the access frequency of the rank-10 %
+//! index, Fig. 12) and can be re-estimated from a live access histogram.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Result of one pruning decision.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PruneDecision {
+    /// Indices that remain active (should keep their LoRA `A` rows).
+    pub active_indices: Vec<usize>,
+    /// The clamped LoRA-table size for the next interval.
+    pub table_size: usize,
+    /// Number of indices that were tracked but fell below the threshold.
+    pub pruned: usize,
+}
+
+/// Sliding-window update-frequency tracker and pruning policy for one embedding table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UsagePruner {
+    window_steps: usize,
+    prune_threshold: u64,
+    min_size: usize,
+    max_size: usize,
+    /// Update counts per index within the current window.
+    counts: BTreeMap<usize, u64>,
+    /// Per-step records of which indices were updated, to expire them from the window.
+    history: VecDeque<Vec<usize>>,
+    steps_observed: u64,
+}
+
+impl UsagePruner {
+    /// Create a pruner.
+    ///
+    /// `min_size`/`max_size` are the `C_min`/`C_max` clamp; `prune_threshold` is `τ_prune`
+    /// (minimum updates within the window for an index to stay active).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_steps == 0`, `min_size > max_size`, or `max_size == 0`.
+    #[must_use]
+    pub fn new(window_steps: usize, prune_threshold: u64, min_size: usize, max_size: usize) -> Self {
+        assert!(window_steps > 0, "window must cover at least one step");
+        assert!(max_size > 0, "max size must be positive");
+        assert!(min_size <= max_size, "min size must not exceed max size");
+        Self {
+            window_steps,
+            prune_threshold,
+            min_size,
+            max_size,
+            counts: BTreeMap::new(),
+            history: VecDeque::new(),
+            steps_observed: 0,
+        }
+    }
+
+    /// Build a pruner from the paper's defaults: window `T`, threshold from the top
+    /// `hot_fraction` of a Zipf-like access pattern (≥1), and a size clamp derived from the
+    /// full table size and the configured fractions.
+    #[must_use]
+    pub fn from_table(
+        table_rows: usize,
+        window_steps: usize,
+        min_fraction: f64,
+        max_fraction: f64,
+        prune_threshold: u64,
+    ) -> Self {
+        let min_size = ((table_rows as f64 * min_fraction).ceil() as usize).max(1);
+        let max_size = ((table_rows as f64 * max_fraction).ceil() as usize).max(min_size);
+        Self::new(window_steps, prune_threshold.max(1), min_size, max_size)
+    }
+
+    /// The pruning threshold `τ_prune`.
+    #[must_use]
+    pub fn prune_threshold(&self) -> u64 {
+        self.prune_threshold
+    }
+
+    /// Update `τ_prune` (e.g. re-estimated from an access histogram to keep tracking the
+    /// top-10 % boundary during serving).
+    pub fn set_prune_threshold(&mut self, threshold: u64) {
+        self.prune_threshold = threshold.max(1);
+    }
+
+    /// Number of distinct indices currently tracked in the window.
+    #[must_use]
+    pub fn tracked_indices(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of training steps observed so far.
+    #[must_use]
+    pub fn steps_observed(&self) -> u64 {
+        self.steps_observed
+    }
+
+    /// Record the indices updated by one training step and slide the window.
+    pub fn record_step<I: IntoIterator<Item = usize>>(&mut self, updated: I) {
+        let updated: Vec<usize> = updated.into_iter().collect();
+        for &idx in &updated {
+            *self.counts.entry(idx).or_insert(0) += 1;
+        }
+        self.history.push_back(updated);
+        self.steps_observed += 1;
+        while self.history.len() > self.window_steps {
+            if let Some(expired) = self.history.pop_front() {
+                for idx in expired {
+                    if let Some(c) = self.counts.get_mut(&idx) {
+                        *c -= 1;
+                        if *c == 0 {
+                            self.counts.remove(&idx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Update frequency of an index within the current window.
+    #[must_use]
+    pub fn frequency(&self, index: usize) -> u64 {
+        self.counts.get(&index).copied().unwrap_or(0)
+    }
+
+    /// Make a pruning decision: indices with `frequency >= τ_prune` stay active; the table
+    /// size is `|I_active|` clamped to `[C_min, C_max]`. If the clamp allows more rows than
+    /// there are active indices, the most frequently updated sub-threshold indices fill the
+    /// remaining space (so `C_min` is honoured with the best candidates available).
+    #[must_use]
+    pub fn decide(&self) -> PruneDecision {
+        let mut active: Vec<usize> = self
+            .counts
+            .iter()
+            .filter(|(_, &c)| c >= self.prune_threshold)
+            .map(|(&i, _)| i)
+            .collect();
+        let below: Vec<(usize, u64)> = self
+            .counts
+            .iter()
+            .filter(|(_, &c)| c < self.prune_threshold)
+            .map(|(&i, &c)| (i, c))
+            .collect();
+        let pruned = below.len();
+        let table_size = active.len().clamp(self.min_size, self.max_size);
+        if active.len() > table_size {
+            // Too many active indices for C_max: keep the most frequently updated ones.
+            active.sort_by_key(|&i| std::cmp::Reverse(self.frequency(i)));
+            active.truncate(table_size);
+            active.sort_unstable();
+        } else if active.len() < table_size {
+            // Fill up to C_min with the best sub-threshold candidates.
+            let mut fill = below;
+            fill.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+            for (idx, _) in fill {
+                if active.len() >= table_size {
+                    break;
+                }
+                if !active.contains(&idx) {
+                    active.push(idx);
+                }
+            }
+            active.sort_unstable();
+        }
+        PruneDecision {
+            table_size,
+            pruned,
+            active_indices: active,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "window must cover at least one step")]
+    fn zero_window_rejected() {
+        let _ = UsagePruner::new(0, 1, 1, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "min size must not exceed max size")]
+    fn bad_clamp_rejected() {
+        let _ = UsagePruner::new(10, 1, 20, 10);
+    }
+
+    #[test]
+    fn frequencies_tracked_within_window() {
+        let mut p = UsagePruner::new(3, 2, 1, 100);
+        p.record_step(vec![1, 2]);
+        p.record_step(vec![1]);
+        p.record_step(vec![1, 3]);
+        assert_eq!(p.frequency(1), 3);
+        assert_eq!(p.frequency(2), 1);
+        assert_eq!(p.frequency(9), 0);
+        assert_eq!(p.tracked_indices(), 3);
+        assert_eq!(p.steps_observed(), 3);
+        // Window slides: the first step (with index 2) expires.
+        p.record_step(vec![4]);
+        assert_eq!(p.frequency(2), 0);
+        assert_eq!(p.frequency(1), 2);
+    }
+
+    #[test]
+    fn decision_keeps_hot_indices_and_prunes_cold_ones() {
+        let mut p = UsagePruner::new(100, 3, 1, 100);
+        for _ in 0..5 {
+            p.record_step(vec![10, 20]);
+        }
+        p.record_step(vec![30]);
+        let d = p.decide();
+        assert!(d.active_indices.contains(&10));
+        assert!(d.active_indices.contains(&20));
+        // Index 30 (1 update < τ=3) is pruned but may be used as C_min filler only if needed.
+        assert_eq!(d.pruned, 1);
+        assert_eq!(d.table_size, 2);
+        assert_eq!(d.active_indices.len(), 2);
+    }
+
+    #[test]
+    fn min_size_filled_with_best_candidates() {
+        let mut p = UsagePruner::new(100, 5, 4, 100);
+        p.record_step(vec![1, 1, 2]); // duplicates count twice for index 1
+        p.record_step(vec![2, 3]);
+        p.record_step(vec![4]);
+        // Nothing reaches τ=5, but C_min=4 forces the four best candidates to stay.
+        let d = p.decide();
+        assert_eq!(d.table_size, 4);
+        assert_eq!(d.active_indices.len(), 4);
+        assert!(d.active_indices.contains(&1));
+        assert!(d.active_indices.contains(&2));
+    }
+
+    #[test]
+    fn max_size_truncates_to_hottest() {
+        let mut p = UsagePruner::new(100, 1, 1, 3);
+        for step in 0..10 {
+            // Index 0 updated every step, 1 every 2nd, 2 every 3rd, …
+            let updated: Vec<usize> = (0..6).filter(|i| step % (i + 1) == 0).collect();
+            p.record_step(updated);
+        }
+        let d = p.decide();
+        assert_eq!(d.table_size, 3);
+        assert_eq!(d.active_indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn from_table_applies_fractions() {
+        let p = UsagePruner::from_table(1000, 256, 0.02, 1.0, 0);
+        assert_eq!(p.prune_threshold(), 1); // clamped to at least 1
+        let d = p.decide();
+        assert_eq!(d.table_size, 20); // C_min = 2 % of 1000
+        assert!(d.active_indices.is_empty());
+    }
+
+    #[test]
+    fn threshold_can_be_retuned() {
+        let mut p = UsagePruner::new(10, 5, 1, 10);
+        p.set_prune_threshold(0);
+        assert_eq!(p.prune_threshold(), 1);
+        p.set_prune_threshold(7);
+        assert_eq!(p.prune_threshold(), 7);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_table_size_within_clamp(
+            steps in proptest::collection::vec(proptest::collection::vec(0usize..50, 0..10), 1..30),
+            threshold in 1u64..5,
+            min_size in 1usize..10,
+            extra in 0usize..40,
+        ) {
+            let max_size = min_size + extra;
+            let mut p = UsagePruner::new(16, threshold, min_size, max_size);
+            for s in steps {
+                p.record_step(s);
+            }
+            let d = p.decide();
+            prop_assert!(d.table_size >= min_size);
+            prop_assert!(d.table_size <= max_size);
+            prop_assert!(d.active_indices.len() <= d.table_size.max(min_size));
+        }
+
+        #[test]
+        fn prop_active_indices_sorted_and_unique(
+            steps in proptest::collection::vec(proptest::collection::vec(0usize..30, 0..8), 1..20),
+        ) {
+            let mut p = UsagePruner::new(8, 2, 1, 100);
+            for s in steps {
+                p.record_step(s);
+            }
+            let d = p.decide();
+            for w in d.active_indices.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Variance-aware dynamic rank adaptation (paper §IV-C, Algorithm 1 lines 3–4).
+//!
+//! A fixed LoRA rank is either too small (accuracy loss) or too large (wasted memory and
+//! compute). [`RankAdapter`] collects recent embedding-gradient snapshots, periodically
+//! runs PCA on them, finds the smallest rank `r_t` capturing a fraction `α` of the gradient
+//! variance (paper Eq. 2), and smooths the per-snapshot ranks by averaging over the
+//! adaptation interval:
+//!
+//! ```text
+//! r = ceil( (1/T) Σ_t r_t ),   r_t = argmin_r  Σ_{j≤r} λ_j / Σ_j λ_j ≥ α
+//! ```
+
+use liveupdate_dlrm::SparseGradient;
+use liveupdate_linalg::Pca;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one adaptation decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankDecision {
+    /// The smoothed rank chosen for the next interval.
+    pub rank: usize,
+    /// Number of gradient snapshots that contributed to the decision.
+    pub snapshots_used: usize,
+}
+
+/// Collects gradient snapshots and adapts the LoRA rank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankAdapter {
+    variance_threshold: f64,
+    min_rank: usize,
+    max_rank: usize,
+    /// Per-snapshot ranks observed since the last decision.
+    observed_ranks: Vec<usize>,
+    /// Most recent decision (starts at the configured initial rank).
+    current_rank: usize,
+    decisions: u64,
+}
+
+impl RankAdapter {
+    /// Create an adapter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variance_threshold` is outside `(0, 1]`, `initial_rank == 0`, or
+    /// `min_rank > max_rank` / `min_rank == 0`.
+    #[must_use]
+    pub fn new(variance_threshold: f64, initial_rank: usize, min_rank: usize, max_rank: usize) -> Self {
+        assert!(
+            variance_threshold > 0.0 && variance_threshold <= 1.0,
+            "variance threshold must be in (0, 1]"
+        );
+        assert!(initial_rank > 0, "initial rank must be at least 1");
+        assert!(min_rank > 0 && min_rank <= max_rank, "invalid rank bounds");
+        Self {
+            variance_threshold,
+            min_rank,
+            max_rank,
+            observed_ranks: Vec::new(),
+            current_rank: initial_rank.clamp(min_rank, max_rank),
+            decisions: 0,
+        }
+    }
+
+    /// The rank currently in force.
+    #[must_use]
+    pub fn current_rank(&self) -> usize {
+        self.current_rank
+    }
+
+    /// The configured variance threshold `α`.
+    #[must_use]
+    pub fn variance_threshold(&self) -> f64 {
+        self.variance_threshold
+    }
+
+    /// Number of adaptation decisions made so far.
+    #[must_use]
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Number of snapshots accumulated since the last decision.
+    #[must_use]
+    pub fn pending_snapshots(&self) -> usize {
+        self.observed_ranks.len()
+    }
+
+    /// Observe one gradient snapshot: run PCA on the touched-row gradient matrix and record
+    /// the minimal rank that captures `α` of its variance. Snapshots with fewer than two
+    /// touched rows or zero variance are ignored (they carry no rank information).
+    pub fn observe(&mut self, gradient: &SparseGradient) {
+        if gradient.len() < 2 {
+            return;
+        }
+        let (matrix, _) = gradient.to_snapshot();
+        match Pca::fit_uncentered(&matrix) {
+            Ok(pca) => {
+                let r = pca.rank_for_variance(self.variance_threshold);
+                if r > 0 {
+                    self.observed_ranks.push(r.clamp(self.min_rank, self.max_rank));
+                }
+            }
+            Err(_) => {
+                // Degenerate snapshot (e.g. empty): carries no information, skip it.
+            }
+        }
+    }
+
+    /// Make an adaptation decision from the snapshots observed since the last call:
+    /// the new rank is the ceiling of the mean observed rank (clamped to the configured
+    /// bounds). With no usable snapshots the current rank is kept.
+    pub fn adapt(&mut self) -> RankDecision {
+        let snapshots_used = self.observed_ranks.len();
+        if snapshots_used > 0 {
+            let mean = self.observed_ranks.iter().sum::<usize>() as f64 / snapshots_used as f64;
+            self.current_rank = (mean.ceil() as usize).clamp(self.min_rank, self.max_rank);
+            self.observed_ranks.clear();
+        }
+        self.decisions += 1;
+        RankDecision {
+            rank: self.current_rank,
+            snapshots_used,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn low_rank_gradient(rows: usize, dim: usize, rank: usize, seed: u64) -> SparseGradient {
+        // Gradient rows are random combinations of `rank` shared directions.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dirs: Vec<Vec<f64>> = (0..rank)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f64..1.0)).collect())
+            .collect();
+        let mut g = SparseGradient::new(dim);
+        for i in 0..rows {
+            let coeffs: Vec<f64> = (0..rank).map(|_| rng.gen_range(-2.0f64..2.0)).collect();
+            let row: Vec<f64> = (0..dim)
+                .map(|j| coeffs.iter().zip(&dirs).map(|(c, d)| c * d[j]).sum())
+                .collect();
+            g.accumulate(i * 3, &row);
+        }
+        g
+    }
+
+    #[test]
+    #[should_panic(expected = "variance threshold")]
+    fn bad_threshold_rejected() {
+        let _ = RankAdapter::new(0.0, 4, 1, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rank bounds")]
+    fn bad_bounds_rejected() {
+        let _ = RankAdapter::new(0.8, 4, 8, 2);
+    }
+
+    #[test]
+    fn initial_rank_clamped_to_bounds() {
+        let a = RankAdapter::new(0.8, 100, 1, 16);
+        assert_eq!(a.current_rank(), 16);
+        let b = RankAdapter::new(0.8, 1, 4, 16);
+        assert_eq!(b.current_rank(), 4);
+    }
+
+    #[test]
+    fn detects_low_rank_structure() {
+        let mut adapter = RankAdapter::new(0.8, 8, 1, 64);
+        for s in 0..8 {
+            adapter.observe(&low_rank_gradient(40, 16, 2, s));
+        }
+        let decision = adapter.adapt();
+        assert_eq!(decision.snapshots_used, 8);
+        assert!(decision.rank <= 3, "rank {} should be near 2", decision.rank);
+        assert!(decision.rank >= 1);
+        assert_eq!(adapter.decisions(), 1);
+        assert_eq!(adapter.pending_snapshots(), 0);
+    }
+
+    #[test]
+    fn high_rank_gradients_need_more_components() {
+        let mut adapter = RankAdapter::new(0.9, 2, 1, 64);
+        for s in 0..6 {
+            adapter.observe(&low_rank_gradient(60, 16, 12, 100 + s));
+        }
+        let decision = adapter.adapt();
+        assert!(decision.rank >= 6, "rank {} should be high for rank-12 gradients", decision.rank);
+    }
+
+    #[test]
+    fn no_snapshots_keeps_current_rank() {
+        let mut adapter = RankAdapter::new(0.8, 5, 1, 64);
+        let decision = adapter.adapt();
+        assert_eq!(decision.rank, 5);
+        assert_eq!(decision.snapshots_used, 0);
+    }
+
+    #[test]
+    fn tiny_or_empty_snapshots_ignored() {
+        let mut adapter = RankAdapter::new(0.8, 5, 1, 64);
+        adapter.observe(&SparseGradient::new(8));
+        let mut single = SparseGradient::new(8);
+        single.accumulate(0, &[1.0; 8]);
+        adapter.observe(&single);
+        assert_eq!(adapter.pending_snapshots(), 0);
+    }
+
+    #[test]
+    fn rank_respects_configured_bounds() {
+        let mut adapter = RankAdapter::new(0.99, 4, 3, 5);
+        for s in 0..4 {
+            adapter.observe(&low_rank_gradient(50, 16, 14, 200 + s));
+        }
+        let decision = adapter.adapt();
+        assert!(decision.rank >= 3 && decision.rank <= 5);
+    }
+
+    #[test]
+    fn higher_alpha_needs_higher_rank() {
+        let make = |alpha: f64| {
+            let mut adapter = RankAdapter::new(alpha, 4, 1, 64);
+            for s in 0..6 {
+                adapter.observe(&low_rank_gradient(50, 16, 6, 300 + s));
+            }
+            adapter.adapt().rank
+        };
+        assert!(make(0.95) >= make(0.5));
+    }
+}

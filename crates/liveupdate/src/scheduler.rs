@@ -1,0 +1,193 @@
+//! Adaptive NUMA/CCD resource partitioning (paper §IV-D, Algorithm 2).
+//!
+//! Before each training cycle the controller looks at the measured P99 inference latency:
+//! if it exceeds the high threshold, one CCD is moved from training to inference; if it is
+//! below the low threshold (and training has not reached its cap), one CCD moves back to
+//! training. All moves respect the minimum inference allocation and the training cap.
+
+use liveupdate_sim::numa::CcdPartition;
+use serde::{Deserialize, Serialize};
+
+/// What the controller did in one adaptation cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerAction {
+    /// One CCD moved from training to inference (latency too high).
+    GaveCcdToInference,
+    /// One CCD moved from inference to training (latency comfortably low).
+    GaveCcdToTraining,
+    /// No change (latency within the hysteresis band, or a bound was hit).
+    NoChange,
+}
+
+/// The Algorithm 2 controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveCcdScheduler {
+    partition: CcdPartition,
+    high_threshold_ms: f64,
+    low_threshold_ms: f64,
+    min_inference_ccds: usize,
+    max_training_ccds: usize,
+    history: Vec<SchedulerAction>,
+}
+
+impl AdaptiveCcdScheduler {
+    /// Create a controller over an existing partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thresholds are not ordered (`low < high`) or the bounds are
+    /// unsatisfiable for the partition's CCD count.
+    #[must_use]
+    pub fn new(
+        partition: CcdPartition,
+        high_threshold_ms: f64,
+        low_threshold_ms: f64,
+        min_inference_ccds: usize,
+        max_training_ccds: usize,
+    ) -> Self {
+        assert!(
+            low_threshold_ms < high_threshold_ms,
+            "low threshold must be below the high threshold"
+        );
+        let total = partition.cpu().num_ccds;
+        assert!(
+            min_inference_ccds <= total,
+            "min_inference_ccds ({min_inference_ccds}) exceeds the CCD count ({total})"
+        );
+        Self {
+            partition,
+            high_threshold_ms,
+            low_threshold_ms,
+            min_inference_ccds,
+            max_training_ccds,
+            history: Vec::new(),
+        }
+    }
+
+    /// The current partition.
+    #[must_use]
+    pub fn partition(&self) -> &CcdPartition {
+        &self.partition
+    }
+
+    /// Number of CCDs currently assigned to training.
+    #[must_use]
+    pub fn training_ccds(&self) -> usize {
+        self.partition.training_ccds()
+    }
+
+    /// Number of CCDs currently assigned to inference.
+    #[must_use]
+    pub fn inference_ccds(&self) -> usize {
+        self.partition.inference_ccds()
+    }
+
+    /// Actions taken so far, oldest first.
+    #[must_use]
+    pub fn history(&self) -> &[SchedulerAction] {
+        &self.history
+    }
+
+    /// One adaptation cycle (Algorithm 2 lines 6–12) given the measured P99 latency of the
+    /// monitoring window. Returns the action taken.
+    pub fn step(&mut self, measured_p99_ms: f64) -> SchedulerAction {
+        let action = if measured_p99_ms >= self.high_threshold_ms {
+            // Latency too high: take a CCD away from training if inference can still grow.
+            if self.partition.training_ccds() > 0 && self.partition.move_ccd_to_inference() {
+                SchedulerAction::GaveCcdToInference
+            } else {
+                SchedulerAction::NoChange
+            }
+        } else if measured_p99_ms <= self.low_threshold_ms
+            && self.partition.training_ccds() < self.max_training_ccds
+            && self.partition.inference_ccds() > self.min_inference_ccds
+        {
+            if self.partition.move_ccd_to_training() {
+                SchedulerAction::GaveCcdToTraining
+            } else {
+                SchedulerAction::NoChange
+            }
+        } else {
+            SchedulerAction::NoChange
+        };
+        self.history.push(action);
+        action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liveupdate_sim::cpu::CpuSpec;
+
+    fn scheduler() -> AdaptiveCcdScheduler {
+        // 12 CCDs, start with 10 for inference / 2 for training, as in paper Fig. 13.
+        AdaptiveCcdScheduler::new(CcdPartition::new(CpuSpec::small(12), 10), 10.0, 6.0, 4, 4)
+    }
+
+    #[test]
+    #[should_panic(expected = "low threshold must be below")]
+    fn unordered_thresholds_rejected() {
+        let _ = AdaptiveCcdScheduler::new(CcdPartition::new(CpuSpec::small(4), 2), 5.0, 10.0, 1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the CCD count")]
+    fn impossible_min_inference_rejected() {
+        let _ = AdaptiveCcdScheduler::new(CcdPartition::new(CpuSpec::small(4), 2), 10.0, 6.0, 8, 2);
+    }
+
+    #[test]
+    fn high_latency_reclaims_ccd_for_inference() {
+        let mut s = scheduler();
+        assert_eq!(s.step(15.0), SchedulerAction::GaveCcdToInference);
+        assert_eq!(s.inference_ccds(), 11);
+        assert_eq!(s.training_ccds(), 1);
+        assert_eq!(s.step(12.0), SchedulerAction::GaveCcdToInference);
+        assert_eq!(s.training_ccds(), 0);
+        // Nothing left to take.
+        assert_eq!(s.step(12.0), SchedulerAction::NoChange);
+        assert_eq!(s.history().len(), 3);
+    }
+
+    #[test]
+    fn low_latency_gives_ccd_back_to_training() {
+        let mut s = scheduler();
+        assert_eq!(s.step(3.0), SchedulerAction::GaveCcdToTraining);
+        assert_eq!(s.training_ccds(), 3);
+        assert_eq!(s.step(3.0), SchedulerAction::GaveCcdToTraining);
+        assert_eq!(s.training_ccds(), 4);
+        // Training cap reached.
+        assert_eq!(s.step(3.0), SchedulerAction::NoChange);
+        assert_eq!(s.training_ccds(), 4);
+    }
+
+    #[test]
+    fn hysteresis_band_makes_no_change() {
+        let mut s = scheduler();
+        assert_eq!(s.step(8.0), SchedulerAction::NoChange);
+        assert_eq!(s.inference_ccds(), 10);
+        assert_eq!(s.training_ccds(), 2);
+    }
+
+    #[test]
+    fn min_inference_bound_respected() {
+        // Start with inference already at the minimum.
+        let mut s = AdaptiveCcdScheduler::new(CcdPartition::new(CpuSpec::small(8), 4), 10.0, 6.0, 4, 8);
+        assert_eq!(s.step(1.0), SchedulerAction::NoChange);
+        assert_eq!(s.inference_ccds(), 4);
+    }
+
+    #[test]
+    fn oscillating_latency_converges_to_stable_band() {
+        let mut s = scheduler();
+        // Latency follows the training allocation: more training CCDs → higher latency.
+        for _ in 0..20 {
+            let p99 = 4.0 + 2.5 * s.training_ccds() as f64;
+            s.step(p99);
+        }
+        // The controller should settle where p99 is inside [6, 10] ms: 1 or 2 training CCDs.
+        let final_training = s.training_ccds();
+        assert!((1..=2).contains(&final_training), "settled at {final_training} training CCDs");
+    }
+}

@@ -1,0 +1,251 @@
+//! Analytic per-hour update-cost models (paper Fig. 14) and the update timeline (Fig. 8).
+//!
+//! Synchronisation cost is bandwidth arithmetic over the dataset's embedding footprint;
+//! LiveUpdate's cost is local CPU time over the inference-node cores. None of these
+//! quantities depends on the scaled-down simulation — they are computed at the paper's
+//! logical scale (Table II byte counts, 100 GbE inter-cluster links, EPYC core counts).
+
+use crate::strategy::StrategyKind;
+use liveupdate_sim::cluster::ClusterSpec;
+use liveupdate_workload::datasets::DatasetSpec;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the analytic cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateCostModel {
+    /// Cluster serving the model (defines node count, core counts and links).
+    pub cluster: ClusterSpec,
+    /// Fraction of embedding rows whose parameters change within a 10-minute window
+    /// (paper Fig. 3a: ≈10 %).
+    pub changed_fraction_per_10min: f64,
+    /// Interaction samples arriving per 5-minute window across the service
+    /// (paper §V-A: ~100 million per 5 minutes).
+    pub samples_per_5min: f64,
+    /// CPU time per sample of local LoRA training, in microseconds of one core.
+    pub lora_microseconds_per_sample: f64,
+    /// Fraction of each inference node's cores available to the co-located trainer.
+    pub trainer_core_fraction: f64,
+    /// Fixed per-update-event overhead of LiveUpdate (snapshotting, bookkeeping), seconds.
+    pub liveupdate_overhead_seconds_per_event: f64,
+}
+
+impl Default for UpdateCostModel {
+    fn default() -> Self {
+        Self {
+            cluster: ClusterSpec::paper_testbed(),
+            changed_fraction_per_10min: 0.10,
+            samples_per_5min: 100_000_000.0,
+            lora_microseconds_per_sample: 18.0,
+            trainer_core_fraction: 0.15,
+            liveupdate_overhead_seconds_per_event: 5.0,
+        }
+    }
+}
+
+/// Per-hour cost of one strategy at one update frequency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HourlyCost {
+    /// The strategy evaluated.
+    pub strategy: StrategyKind,
+    /// The update interval in minutes.
+    pub interval_minutes: f64,
+    /// Total time spent updating within one hour, in minutes (transfer time for the
+    /// network-bound strategies, training time for LiveUpdate).
+    pub cost_minutes: f64,
+    /// Bytes moved across the inter-cluster link within the hour.
+    pub bytes_transferred: u64,
+}
+
+impl UpdateCostModel {
+    /// Fraction of embedding rows changed within a window of `minutes`, extrapolated from
+    /// the 10-minute ratio with a saturating (1 − (1 − r)^(t/10)) law: windows overlap on
+    /// the hot rows, so the fraction grows sub-linearly (matching Fig. 3a's shape).
+    #[must_use]
+    pub fn changed_fraction(&self, minutes: f64) -> f64 {
+        let r = self.changed_fraction_per_10min.clamp(0.0, 1.0);
+        1.0 - (1.0 - r).powf((minutes / 10.0).max(0.0))
+    }
+
+    /// Per-hour cost of a strategy on a dataset at the given update interval.
+    #[must_use]
+    pub fn hourly_cost(&self, strategy: StrategyKind, dataset: &DatasetSpec, interval_minutes: f64) -> HourlyCost {
+        let interval = interval_minutes.max(1.0);
+        let updates_per_hour = (60.0 / interval).floor().max(1.0);
+        let emb_bytes = dataset.embedding_table_bytes as f64;
+        let link = self.cluster.inter_link;
+
+        let (cost_minutes, bytes_transferred) = match strategy {
+            StrategyKind::NoUpdate => (0.0, 0u64),
+            StrategyKind::DeltaUpdate => {
+                let bytes_per_update = emb_bytes * self.changed_fraction(interval);
+                let seconds = link.transfer_seconds(bytes_per_update as u64) * updates_per_hour;
+                (seconds / 60.0, (bytes_per_update * updates_per_hour) as u64)
+            }
+            StrategyKind::QuickUpdate { fraction } => {
+                let bytes_per_update = emb_bytes * fraction.clamp(0.0, 1.0);
+                let seconds = link.transfer_seconds(bytes_per_update as u64) * updates_per_hour;
+                (seconds / 60.0, (bytes_per_update * updates_per_hour) as u64)
+            }
+            StrategyKind::LiveUpdate | StrategyKind::LiveUpdateFixedRank { .. } => {
+                // Local training over every sample of the hour, spread across the trainer
+                // cores of every inference node, plus a small per-event overhead.
+                let samples_per_hour = self.samples_per_5min * 12.0;
+                let trainer_cores = self.cluster.num_nodes as f64
+                    * self.cluster.node.cpu.total_cores() as f64
+                    * self.trainer_core_fraction;
+                let compute_seconds =
+                    samples_per_hour * self.lora_microseconds_per_sample * 1e-6 / trainer_cores.max(1.0);
+                let overhead_seconds = self.liveupdate_overhead_seconds_per_event * updates_per_hour;
+                ((compute_seconds + overhead_seconds) / 60.0, 0u64)
+            }
+        };
+        HourlyCost {
+            strategy,
+            interval_minutes: interval,
+            cost_minutes,
+            bytes_transferred,
+        }
+    }
+
+    /// The Fig. 14 sweep: every cost-comparison strategy at 20/10/5-minute intervals.
+    #[must_use]
+    pub fn figure14_sweep(&self, dataset: &DatasetSpec) -> Vec<HourlyCost> {
+        let mut rows = Vec::new();
+        for interval in [20.0, 10.0, 5.0] {
+            for strategy in StrategyKind::cost_comparison() {
+                rows.push(self.hourly_cost(strategy, dataset, interval));
+            }
+        }
+        rows
+    }
+
+    /// The Fig. 8 timeline: completion times (minutes within the hour) of each strategy's
+    /// update events, assuming each event starts when the previous one finishes or at its
+    /// scheduled interval, whichever is later.
+    #[must_use]
+    pub fn update_timeline(
+        &self,
+        strategy: StrategyKind,
+        dataset: &DatasetSpec,
+        interval_minutes: f64,
+        horizon_minutes: f64,
+    ) -> Vec<f64> {
+        let per_event_minutes = self.hourly_cost(strategy, dataset, interval_minutes).cost_minutes
+            / (60.0 / interval_minutes.max(1.0)).floor().max(1.0);
+        let mut completions = Vec::new();
+        let mut busy_until: f64 = 0.0;
+        let mut scheduled = 0.0;
+        while scheduled < horizon_minutes {
+            let start = scheduled.max(busy_until);
+            let finish = start + per_event_minutes;
+            if finish > horizon_minutes {
+                break;
+            }
+            completions.push(finish);
+            busy_until = finish;
+            scheduled += interval_minutes.max(1.0);
+        }
+        completions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liveupdate_workload::datasets::DatasetPreset;
+
+    fn model() -> UpdateCostModel {
+        UpdateCostModel::default()
+    }
+
+    fn tb_dataset() -> DatasetSpec {
+        DatasetPreset::BdTb.spec()
+    }
+
+    #[test]
+    fn changed_fraction_saturates() {
+        let m = model();
+        assert!((m.changed_fraction(10.0) - 0.10).abs() < 1e-9);
+        let f30 = m.changed_fraction(30.0);
+        let f60 = m.changed_fraction(60.0);
+        assert!(f30 > 0.10 && f30 < 0.30);
+        assert!(f60 > f30 && f60 < 0.60);
+        assert_eq!(m.changed_fraction(0.0), 0.0);
+    }
+
+    #[test]
+    fn noupdate_costs_nothing() {
+        let c = model().hourly_cost(StrategyKind::NoUpdate, &tb_dataset(), 5.0);
+        assert_eq!(c.cost_minutes, 0.0);
+        assert_eq!(c.bytes_transferred, 0);
+    }
+
+    #[test]
+    fn delta_update_is_prohibitive_at_high_frequency() {
+        // Paper Fig. 14: at 5-minute intervals DeltaUpdate exceeds the hour.
+        let c = model().hourly_cost(StrategyKind::DeltaUpdate, &tb_dataset(), 5.0);
+        assert!(c.cost_minutes > 45.0, "delta cost {} min should approach/exceed the hour", c.cost_minutes);
+        assert!(c.bytes_transferred > 0);
+    }
+
+    #[test]
+    fn quickupdate_cheaper_than_delta_but_scales_with_frequency() {
+        let m = model();
+        let d = tb_dataset();
+        let q20 = m.hourly_cost(StrategyKind::QuickUpdate { fraction: 0.05 }, &d, 20.0);
+        let q5 = m.hourly_cost(StrategyKind::QuickUpdate { fraction: 0.05 }, &d, 5.0);
+        let delta5 = m.hourly_cost(StrategyKind::DeltaUpdate, &d, 5.0);
+        assert!(q5.cost_minutes < delta5.cost_minutes);
+        // Cost roughly linear in the number of updates per hour (3 vs 12).
+        assert!(q5.cost_minutes > q20.cost_minutes * 3.0);
+    }
+
+    #[test]
+    fn liveupdate_cost_mostly_frequency_independent_and_cheapest_at_5min() {
+        let m = model();
+        let d = tb_dataset();
+        let l20 = m.hourly_cost(StrategyKind::LiveUpdate, &d, 20.0);
+        let l5 = m.hourly_cost(StrategyKind::LiveUpdate, &d, 5.0);
+        let q5 = m.hourly_cost(StrategyKind::QuickUpdate { fraction: 0.05 }, &d, 5.0);
+        // Paper: LiveUpdate at 5-minute intervals costs only a few minutes per hour and at
+        // least 2× less than QuickUpdate.
+        assert!(l5.cost_minutes < 10.0, "liveupdate cost {} min", l5.cost_minutes);
+        assert!(l5.cost_minutes * 2.0 < q5.cost_minutes, "{} vs {}", l5.cost_minutes, q5.cost_minutes);
+        // Largely independent of the frequency: within 2 minutes across the sweep.
+        assert!((l5.cost_minutes - l20.cost_minutes).abs() < 2.0);
+        assert_eq!(l5.bytes_transferred, 0);
+    }
+
+    #[test]
+    fn figure14_sweep_has_all_rows() {
+        let rows = model().figure14_sweep(&tb_dataset());
+        assert_eq!(rows.len(), 3 * 4);
+        assert!(rows.iter().any(|r| r.interval_minutes == 5.0));
+        assert!(rows.iter().any(|r| matches!(r.strategy, StrategyKind::LiveUpdate)));
+    }
+
+    #[test]
+    fn timeline_orderings_match_figure8() {
+        let m = model();
+        let d = tb_dataset();
+        // DeltaUpdate events are slow (few completions per hour); LiveUpdate completes many.
+        let delta = m.update_timeline(StrategyKind::DeltaUpdate, &d, 15.0, 60.0);
+        let live = m.update_timeline(StrategyKind::LiveUpdate, &d, 5.0, 60.0);
+        assert!(live.len() > delta.len(), "live {} vs delta {}", live.len(), delta.len());
+        // Completion times are monotonically increasing and within the horizon.
+        for w in live.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(live.iter().all(|&t| t <= 60.0));
+    }
+
+    #[test]
+    fn smaller_datasets_cost_less_to_sync() {
+        let m = model();
+        let small = DatasetPreset::Criteo.spec();
+        let large = tb_dataset();
+        let cs = m.hourly_cost(StrategyKind::DeltaUpdate, &small, 10.0);
+        let cl = m.hourly_cost(StrategyKind::DeltaUpdate, &large, 10.0);
+        assert!(cs.cost_minutes < cl.cost_minutes / 100.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Update strategies compared in the paper's evaluation.
+//!
+//! * **NoUpdate** — never refresh the serving model (accuracy lower bound, zero cost).
+//! * **DeltaUpdate** — industry practice: every update interval the inference nodes pull
+//!   all parameters changed since the last sync from the parameter server.
+//! * **QuickUpdate-α%** — the state-of-the-art baseline: only the top `α%` of parameters
+//!   (by update magnitude) are transferred each interval, plus an hourly full update.
+//! * **LiveUpdate** — this paper: inference-side LoRA training from locally cached traffic,
+//!   with either a dynamic rank (the full system) or a fixed rank (ablation), plus an
+//!   hourly full update to bound drift.
+//!
+//! [`StrategyKind`] names the strategy; the analytic per-hour cost models used for Fig. 14
+//! and the Fig. 8 timeline live in [`cost`]. The accuracy behaviour of each strategy is
+//! exercised end-to-end by [`crate::experiment`].
+
+pub mod cost;
+
+use serde::{Deserialize, Serialize};
+
+/// Which update strategy a serving cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Never update the serving model.
+    NoUpdate,
+    /// Synchronise every changed parameter each interval (streaming delta update).
+    DeltaUpdate,
+    /// Synchronise only the top `fraction` of parameters by update magnitude each interval.
+    QuickUpdate {
+        /// Fraction of parameters transferred per interval (paper: 0.05 or 0.10).
+        fraction: f64,
+    },
+    /// Inference-side LoRA updates with dynamic rank adaptation (the full LiveUpdate).
+    LiveUpdate,
+    /// Inference-side LoRA updates with a fixed rank (ablation rows of Table III).
+    LiveUpdateFixedRank {
+        /// The fixed LoRA rank.
+        rank: usize,
+    },
+}
+
+impl StrategyKind {
+    /// The strategies of Table III, in row order.
+    #[must_use]
+    pub fn table3_rows() -> Vec<StrategyKind> {
+        vec![
+            StrategyKind::DeltaUpdate,
+            StrategyKind::NoUpdate,
+            StrategyKind::QuickUpdate { fraction: 0.05 },
+            StrategyKind::QuickUpdate { fraction: 0.10 },
+            StrategyKind::LiveUpdateFixedRank { rank: 8 },
+            StrategyKind::LiveUpdateFixedRank { rank: 16 },
+            StrategyKind::LiveUpdate,
+        ]
+    }
+
+    /// The strategies whose update cost Fig. 14 compares.
+    #[must_use]
+    pub fn cost_comparison() -> Vec<StrategyKind> {
+        vec![
+            StrategyKind::NoUpdate,
+            StrategyKind::DeltaUpdate,
+            StrategyKind::QuickUpdate { fraction: 0.05 },
+            StrategyKind::LiveUpdate,
+        ]
+    }
+
+    /// Human-readable name matching the paper's tables and figures.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            StrategyKind::NoUpdate => "NoUpdate".to_string(),
+            StrategyKind::DeltaUpdate => "DeltaUpdate".to_string(),
+            StrategyKind::QuickUpdate { fraction } => {
+                format!("QuickUpdate-{:.0}%", fraction * 100.0)
+            }
+            StrategyKind::LiveUpdate => "LiveUpdate".to_string(),
+            StrategyKind::LiveUpdateFixedRank { rank } => format!("LiveUpdate-{rank}"),
+        }
+    }
+
+    /// Whether this strategy performs any inter-cluster parameter transfer.
+    #[must_use]
+    pub fn transfers_parameters(&self) -> bool {
+        matches!(self, StrategyKind::DeltaUpdate | StrategyKind::QuickUpdate { .. })
+    }
+
+    /// Whether this strategy trains locally on the inference nodes.
+    #[must_use]
+    pub fn trains_locally(&self) -> bool {
+        matches!(self, StrategyKind::LiveUpdate | StrategyKind::LiveUpdateFixedRank { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(StrategyKind::NoUpdate.name(), "NoUpdate");
+        assert_eq!(StrategyKind::DeltaUpdate.name(), "DeltaUpdate");
+        assert_eq!(StrategyKind::QuickUpdate { fraction: 0.05 }.name(), "QuickUpdate-5%");
+        assert_eq!(StrategyKind::QuickUpdate { fraction: 0.10 }.name(), "QuickUpdate-10%");
+        assert_eq!(StrategyKind::LiveUpdate.name(), "LiveUpdate");
+        assert_eq!(StrategyKind::LiveUpdateFixedRank { rank: 16 }.name(), "LiveUpdate-16");
+    }
+
+    #[test]
+    fn table3_rows_cover_all_compared_strategies() {
+        let rows = StrategyKind::table3_rows();
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[0], StrategyKind::DeltaUpdate);
+        assert!(rows.contains(&StrategyKind::LiveUpdate));
+    }
+
+    #[test]
+    fn classification_flags() {
+        assert!(StrategyKind::DeltaUpdate.transfers_parameters());
+        assert!(StrategyKind::QuickUpdate { fraction: 0.1 }.transfers_parameters());
+        assert!(!StrategyKind::LiveUpdate.transfers_parameters());
+        assert!(!StrategyKind::NoUpdate.transfers_parameters());
+        assert!(StrategyKind::LiveUpdate.trains_locally());
+        assert!(StrategyKind::LiveUpdateFixedRank { rank: 8 }.trains_locally());
+        assert!(!StrategyKind::DeltaUpdate.trains_locally());
+    }
+
+    #[test]
+    fn cost_comparison_includes_bounds() {
+        let c = StrategyKind::cost_comparison();
+        assert!(c.contains(&StrategyKind::NoUpdate));
+        assert!(c.contains(&StrategyKind::LiveUpdate));
+        assert!(c.contains(&StrategyKind::DeltaUpdate));
+    }
+}

@@ -1,0 +1,274 @@
+//! Sparse data-parallel LoRA synchronisation with priority merge (paper §IV-E, Algorithm 3).
+//!
+//! Every inference node (rank) trains its own copy of the LoRA adapters on its local
+//! traffic. Instead of all-reducing dense gradients, each rank only tracks the *support* of
+//! its updates — the set of `(table, row)` indices it modified — and every `T_sync` steps
+//! the ranks exchange exactly those rows. Write conflicts are resolved deterministically by
+//! a rank-priority rule: index `i` takes the value of the highest-numbered rank that
+//! modified it. The payload exchanged is tiny (active `A` rows only), and its transfer cost
+//! over the cluster fabric is what Fig. 19 measures.
+
+use crate::lora::LoraTable;
+use liveupdate_sim::collective::CollectiveModel;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Tracks per-rank modified-index sets and performs the periodic priority merge.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SparseLoraSync {
+    num_ranks: usize,
+    sync_interval_steps: usize,
+    /// `modified[rank]` = set of `(table, row)` indices modified since the last sync.
+    modified: Vec<BTreeSet<(usize, usize)>>,
+    step: u64,
+    syncs_performed: u64,
+}
+
+/// Outcome of one synchronisation event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyncReport {
+    /// Number of distinct `(table, row)` indices exchanged.
+    pub indices_exchanged: usize,
+    /// Payload bytes per rank (active `A` rows, `f64` storage).
+    pub bytes_per_rank: u64,
+    /// Wall-clock seconds of the AllGather under the supplied collective model.
+    pub allgather_seconds: f64,
+}
+
+impl SparseLoraSync {
+    /// Create the protocol state for `num_ranks` replicas syncing every
+    /// `sync_interval_steps` training steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_ranks == 0` or `sync_interval_steps == 0`.
+    #[must_use]
+    pub fn new(num_ranks: usize, sync_interval_steps: usize) -> Self {
+        assert!(num_ranks > 0, "at least one rank is required");
+        assert!(sync_interval_steps > 0, "sync interval must be positive");
+        Self {
+            num_ranks,
+            sync_interval_steps,
+            modified: vec![BTreeSet::new(); num_ranks],
+            step: 0,
+            syncs_performed: 0,
+        }
+    }
+
+    /// Number of participating ranks.
+    #[must_use]
+    pub fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    /// Number of synchronisations performed so far.
+    #[must_use]
+    pub fn syncs_performed(&self) -> u64 {
+        self.syncs_performed
+    }
+
+    /// Record that `rank` modified `row` of `table` (Algorithm 3 line 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of bounds.
+    pub fn record_update(&mut self, rank: usize, table: usize, row: usize) {
+        assert!(rank < self.num_ranks, "rank {rank} out of bounds");
+        self.modified[rank].insert((table, row));
+    }
+
+    /// Pending modified indices of a rank.
+    #[must_use]
+    pub fn pending(&self, rank: usize) -> usize {
+        self.modified[rank].len()
+    }
+
+    /// Advance the step counter; returns `true` when this step is a synchronisation point
+    /// (Algorithm 3 line 8).
+    pub fn tick(&mut self) -> bool {
+        self.step += 1;
+        self.step % self.sync_interval_steps as u64 == 0
+    }
+
+    /// The global union of modified indices, `I_all` (Algorithm 3 line 9).
+    #[must_use]
+    pub fn global_modified(&self) -> Vec<(usize, usize)> {
+        let mut union: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for set in &self.modified {
+            union.extend(set.iter().copied());
+        }
+        union.into_iter().collect()
+    }
+
+    /// Perform the priority merge over per-rank LoRA replicas (`replicas[rank][table]`) and
+    /// broadcast the merged rows back to every rank (Algorithm 3 lines 9–12). Ranks' ranks
+    /// must all have identical table shapes and LoRA ranks. Returns a report including the
+    /// estimated AllGather cost under `collective`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica structure does not match `num_ranks`.
+    pub fn synchronize(
+        &mut self,
+        replicas: &mut [Vec<LoraTable>],
+        collective: &CollectiveModel,
+    ) -> SyncReport {
+        assert_eq!(replicas.len(), self.num_ranks, "one replica per rank is required");
+        let union = self.global_modified();
+        let mut max_row_len = 0usize;
+        for &(table, row) in &union {
+            // Winner = highest rank id that modified the index (priority merge).
+            let winner = (0..self.num_ranks)
+                .rev()
+                .find(|&r| self.modified[r].contains(&(table, row)))
+                .expect("index came from the union of modified sets");
+            let winning_row: Vec<f64> = replicas[winner][table]
+                .a_row(row)
+                .map(<[f64]>::to_vec)
+                .unwrap_or_else(|| vec![0.0; replicas[winner][table].rank()]);
+            max_row_len = max_row_len.max(winning_row.len());
+            for rank in 0..self.num_ranks {
+                if rank == winner {
+                    continue;
+                }
+                // Receiving replicas may be at a different adapted rank; resize the row.
+                let target_rank = replicas[rank][table].rank();
+                let mut row_values = winning_row.clone();
+                row_values.resize(target_rank, 0.0);
+                replicas[rank][table].set_a_row(row, row_values);
+            }
+        }
+        let bytes_per_rank = (union.len() * max_row_len.max(1) * std::mem::size_of::<f64>()) as u64;
+        let allgather_seconds = collective.allgather_seconds(self.num_ranks, bytes_per_rank);
+        for set in &mut self.modified {
+            set.clear();
+        }
+        self.syncs_performed += 1;
+        SyncReport {
+            indices_exchanged: union.len(),
+            bytes_per_rank,
+            allgather_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liveupdate_sim::collective::CollectiveAlgorithm;
+    use liveupdate_sim::network::NetworkLink;
+
+    fn collective() -> CollectiveModel {
+        CollectiveModel::new(NetworkLink::infiniband_edr(), CollectiveAlgorithm::TreeAllGather)
+    }
+
+    fn replicas(num_ranks: usize) -> Vec<Vec<LoraTable>> {
+        (0..num_ranks)
+            .map(|r| vec![LoraTable::new(50, 4, 2, r as u64)])
+            .collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = SparseLoraSync::new(0, 8);
+    }
+
+    #[test]
+    fn tick_fires_on_interval() {
+        let mut s = SparseLoraSync::new(2, 3);
+        assert!(!s.tick());
+        assert!(!s.tick());
+        assert!(s.tick());
+        assert!(!s.tick());
+    }
+
+    #[test]
+    fn record_and_union() {
+        let mut s = SparseLoraSync::new(3, 8);
+        s.record_update(0, 0, 5);
+        s.record_update(1, 0, 5);
+        s.record_update(2, 0, 9);
+        assert_eq!(s.pending(0), 1);
+        assert_eq!(s.global_modified(), vec![(0, 5), (0, 9)]);
+    }
+
+    #[test]
+    fn priority_merge_prefers_highest_rank() {
+        let mut s = SparseLoraSync::new(3, 8);
+        let mut reps = replicas(3);
+        // Ranks 0 and 2 both modify row 7 of table 0 with different values.
+        reps[0][0].set_a_row(7, vec![1.0, 1.0]);
+        reps[2][0].set_a_row(7, vec![9.0, 9.0]);
+        s.record_update(0, 0, 7);
+        s.record_update(2, 0, 7);
+        let report = s.synchronize(&mut reps, &collective());
+        assert_eq!(report.indices_exchanged, 1);
+        // Every rank must now carry rank 2's value (the highest rank wins).
+        for rep in &reps {
+            assert_eq!(rep[0].a_row(7).unwrap(), &[9.0, 9.0]);
+        }
+        assert_eq!(s.syncs_performed(), 1);
+        // Modified sets are reset after a sync.
+        assert_eq!(s.pending(0), 0);
+        assert_eq!(s.pending(2), 0);
+    }
+
+    #[test]
+    fn merge_broadcasts_disjoint_updates_to_everyone() {
+        let mut s = SparseLoraSync::new(2, 8);
+        let mut reps = replicas(2);
+        reps[0][0].set_a_row(1, vec![1.0, 0.0]);
+        reps[1][0].set_a_row(2, vec![0.0, 2.0]);
+        s.record_update(0, 0, 1);
+        s.record_update(1, 0, 2);
+        let report = s.synchronize(&mut reps, &collective());
+        assert_eq!(report.indices_exchanged, 2);
+        assert_eq!(reps[1][0].a_row(1).unwrap(), &[1.0, 0.0]);
+        assert_eq!(reps[0][0].a_row(2).unwrap(), &[0.0, 2.0]);
+        assert!(report.bytes_per_rank > 0);
+        assert!(report.allgather_seconds > 0.0);
+    }
+
+    #[test]
+    fn rank_mismatch_resizes_rows() {
+        let mut s = SparseLoraSync::new(2, 8);
+        let mut reps = replicas(2);
+        // Rank 1's replica adapted to a smaller rank.
+        reps[1][0].resize_rank(1);
+        reps[0][0].set_a_row(4, vec![3.0, 4.0]);
+        s.record_update(0, 0, 4);
+        let _ = s.synchronize(&mut reps, &collective());
+        assert_eq!(reps[1][0].a_row(4).unwrap(), &[3.0]);
+    }
+
+    #[test]
+    fn empty_sync_costs_nothing_to_exchange() {
+        let mut s = SparseLoraSync::new(4, 8);
+        let mut reps = replicas(4);
+        let report = s.synchronize(&mut reps, &collective());
+        assert_eq!(report.indices_exchanged, 0);
+        assert_eq!(report.bytes_per_rank, 0);
+    }
+
+    #[test]
+    fn sync_cost_grows_sublinearly_with_ranks() {
+        // The same per-rank payload over more ranks: tree AllGather cost grows, but far
+        // slower than linearly (Fig. 19's shape).
+        let cost = |n: usize| {
+            let mut s = SparseLoraSync::new(n, 8);
+            let mut reps = replicas(n);
+            for r in 0..n {
+                for row in 0..20 {
+                    reps[r][0].set_a_row(row, vec![r as f64, 1.0]);
+                    s.record_update(r, 0, row);
+                }
+            }
+            s.synchronize(&mut reps, &collective()).allgather_seconds
+        };
+        let c4 = cost(4);
+        let c16 = cost(16);
+        assert!(c16 > c4);
+        assert!(c16 < c4 * 4.0, "expected sub-linear growth: {c4} -> {c16}");
+    }
+}

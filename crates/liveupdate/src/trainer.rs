@@ -1,0 +1,201 @@
+//! The in-node LoRA trainer (paper Fig. 7, online update path, step 1).
+//!
+//! The trainer takes a mini-batch sampled from the inference-log buffer, runs a forward and
+//! backward pass through the *serving* model (whose embedding rows already include the
+//! accumulated LoRA corrections), and applies the resulting row-wise gradients to the LoRA
+//! factors only — the base embedding weights and all dense layers stay frozen, exactly as
+//! in the paper.
+
+use crate::lora::LoraTable;
+use liveupdate_dlrm::model::DlrmModel;
+use liveupdate_dlrm::sample::MiniBatch;
+use liveupdate_dlrm::SparseGradient;
+use serde::{Deserialize, Serialize};
+
+/// Summary of one LoRA training step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainStepReport {
+    /// Mean BCE loss of the mini-batch before the update.
+    pub loss: f64,
+    /// Total number of `(table, row)` pairs whose LoRA factors were updated.
+    pub rows_updated: usize,
+    /// Indices touched per table (used by pruning, the hot-index filter and sync).
+    pub touched_per_table: Vec<Vec<usize>>,
+    /// The raw row-wise gradients per table (used by the rank adapter).
+    pub gradients: Vec<SparseGradient>,
+}
+
+/// Stateless LoRA training procedure (all state lives in the LoRA tables).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoraTrainer {
+    /// Learning rate applied to the `A`/`B` factors.
+    pub learning_rate: f64,
+}
+
+impl LoraTrainer {
+    /// Create a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the learning rate is not positive and finite.
+    #[must_use]
+    pub fn new(learning_rate: f64) -> Self {
+        assert!(
+            learning_rate > 0.0 && learning_rate.is_finite(),
+            "learning rate must be positive and finite"
+        );
+        Self { learning_rate }
+    }
+
+    /// Run one training step: compute gradients of the batch loss with respect to the
+    /// embedding rows of `serving_model` (dense layers frozen) and apply them to the LoRA
+    /// factors.
+    ///
+    /// The caller is responsible for refreshing the serving model's embedding rows with the
+    /// new LoRA deltas afterwards (the engine does this for the touched rows only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of LoRA tables does not match the model, or the batch is empty.
+    #[must_use]
+    pub fn train_step(
+        &self,
+        serving_model: &DlrmModel,
+        loras: &mut [LoraTable],
+        batch: &MiniBatch,
+    ) -> TrainStepReport {
+        assert_eq!(
+            loras.len(),
+            serving_model.tables().len(),
+            "one LoRA table per embedding table is required"
+        );
+        assert!(!batch.is_empty(), "cannot train on an empty batch");
+        let grads = serving_model.compute_gradients(batch);
+        let mut rows_updated = 0;
+        let mut touched_per_table = Vec::with_capacity(loras.len());
+        for (table_idx, table_grad) in grads.embeddings.iter().enumerate() {
+            let mut touched = Vec::with_capacity(table_grad.len());
+            for (&row, grad) in table_grad.iter() {
+                loras[table_idx].apply_row_gradient(row, grad, self.learning_rate);
+                touched.push(row);
+                rows_updated += 1;
+            }
+            touched_per_table.push(touched);
+        }
+        TrainStepReport {
+            loss: grads.loss,
+            rows_updated,
+            touched_per_table,
+            gradients: grads.embeddings,
+        }
+    }
+}
+
+impl Default for LoraTrainer {
+    fn default() -> Self {
+        Self::new(0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liveupdate_dlrm::model::DlrmConfig;
+    use liveupdate_dlrm::sample::Sample;
+
+    fn model() -> DlrmModel {
+        DlrmModel::new(DlrmConfig::tiny(2, 50, 8), 3)
+    }
+
+    fn loras(model: &DlrmModel, rank: usize) -> Vec<LoraTable> {
+        model
+            .tables()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| LoraTable::new(t.num_rows(), t.dim(), rank, i as u64))
+            .collect()
+    }
+
+    fn batch() -> MiniBatch {
+        MiniBatch::new(vec![
+            Sample::new(vec![0.1, -0.2], vec![vec![3], vec![7]], 1.0),
+            Sample::new(vec![0.0, 0.4], vec![vec![3, 5], vec![9]], 0.0),
+        ])
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn bad_learning_rate_rejected() {
+        let _ = LoraTrainer::new(0.0);
+    }
+
+    #[test]
+    fn train_step_touches_only_batch_rows() {
+        let m = model();
+        let mut l = loras(&m, 4);
+        let report = LoraTrainer::default().train_step(&m, &mut l, &batch());
+        assert!(report.loss > 0.0);
+        assert_eq!(report.touched_per_table.len(), 2);
+        assert_eq!(report.touched_per_table[0], vec![3, 5]);
+        assert_eq!(report.touched_per_table[1], vec![7, 9]);
+        assert_eq!(report.rows_updated, 4);
+        assert!(l[0].is_active(3) && l[0].is_active(5));
+        assert!(l[1].is_active(7) && l[1].is_active(9));
+        assert!(!l[0].is_active(0));
+        assert_eq!(report.gradients.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_rejected() {
+        let m = model();
+        let mut l = loras(&m, 4);
+        let _ = LoraTrainer::default().train_step(&m, &mut l, &MiniBatch::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "one LoRA table per embedding table")]
+    fn mismatched_lora_count_rejected() {
+        let m = model();
+        let mut l = loras(&m, 4);
+        l.pop();
+        let _ = LoraTrainer::default().train_step(&m, &mut l, &batch());
+    }
+
+    #[test]
+    fn dense_layers_and_base_tables_stay_frozen() {
+        let m = model();
+        let before = m.clone();
+        let mut l = loras(&m, 4);
+        let _ = LoraTrainer::default().train_step(&m, &mut l, &batch());
+        // The trainer only has a shared reference to the model, so nothing can change; the
+        // assertion documents the frozen-base contract explicitly.
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn repeated_steps_reduce_loss_when_serving_rows_are_refreshed() {
+        // Emulate the engine loop: after each step, patch the serving model rows with the
+        // LoRA deltas so the next forward pass sees the adapted embeddings.
+        let mut serving = model();
+        let base = serving.tables().to_vec();
+        let mut l = loras(&serving, 4);
+        let trainer = LoraTrainer::new(0.1);
+        let b = batch();
+        let initial = serving.compute_gradients(&b).loss;
+        for _ in 0..100 {
+            let report = trainer.train_step(&serving, &mut l, &b);
+            for (t, touched) in report.touched_per_table.iter().enumerate() {
+                for &row in touched {
+                    let eff = l[t].effective_row(row, base[t].row(row));
+                    serving.tables_mut()[t].set_row(row, &eff);
+                }
+            }
+        }
+        let final_loss = serving.compute_gradients(&b).loss;
+        assert!(
+            final_loss < initial * 0.95,
+            "LoRA training should reduce loss: {initial} -> {final_loss}"
+        );
+    }
+}

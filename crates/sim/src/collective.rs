@@ -1,0 +1,153 @@
+//! Collective-communication cost models.
+//!
+//! LiveUpdate keeps replicas consistent with a non-blocking AllGather of the updated LoRA
+//! rows (paper §IV-A step 3). Fig. 19 attributes the favourable `O(log N)` scaling of the
+//! sync time to Gloo's tree-based AllGather, contrasted with naive linear schemes.
+//! [`CollectiveModel`] reproduces both cost shapes analytically on top of a
+//! [`NetworkLink`].
+
+use crate::network::NetworkLink;
+use serde::{Deserialize, Serialize};
+
+/// Which collective algorithm to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CollectiveAlgorithm {
+    /// Tree-based AllGather: each of the `ceil(log2 N)` rounds moves the accumulated
+    /// payload, so the cost grows logarithmically with the node count.
+    TreeAllGather,
+    /// Ring AllGather: `N − 1` rounds each moving one shard; linear in the node count.
+    RingAllGather,
+    /// A root broadcasting one payload to every node sequentially (naive baseline).
+    SequentialBroadcast,
+}
+
+/// Analytic collective-time model over a given link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveModel {
+    /// Link connecting the participating nodes.
+    pub link: NetworkLink,
+    /// Algorithm used.
+    pub algorithm: CollectiveAlgorithm,
+}
+
+impl CollectiveModel {
+    /// Create a model.
+    #[must_use]
+    pub fn new(link: NetworkLink, algorithm: CollectiveAlgorithm) -> Self {
+        Self { link, algorithm }
+    }
+
+    /// Time in seconds for every one of `num_nodes` nodes to obtain every node's
+    /// `bytes_per_node` payload.
+    ///
+    /// Returns `0.0` when there is at most one node (nothing to exchange).
+    #[must_use]
+    pub fn allgather_seconds(&self, num_nodes: usize, bytes_per_node: u64) -> f64 {
+        if num_nodes <= 1 {
+            return 0.0;
+        }
+        let n = num_nodes as f64;
+        match self.algorithm {
+            CollectiveAlgorithm::TreeAllGather => {
+                // Recursive doubling: round k exchanges 2^k * shard bytes; ceil(log2 N)
+                // rounds move a total of (N - 1) shards, but rounds run in parallel across
+                // pairs so the critical path is log2(N) link latencies plus the (N-1)
+                // shards' serialisation time through one port.
+                let rounds = (num_nodes as f64).log2().ceil();
+                let serialisation =
+                    (n - 1.0) * bytes_per_node as f64 / self.link.effective_bytes_per_second();
+                rounds * self.link.latency_us * 1e-6 + serialisation * (rounds / (n - 1.0)).max(1.0 / (n - 1.0)) + serialisation / n * rounds
+            }
+            CollectiveAlgorithm::RingAllGather => {
+                // N-1 steps, each moving one shard and paying one latency.
+                (n - 1.0) * self.link.transfer_seconds(bytes_per_node)
+            }
+            CollectiveAlgorithm::SequentialBroadcast => {
+                // The root sends its payload to each peer in turn, and every peer does the
+                // same (fully serialised worst case).
+                (n - 1.0) * n * self.link.transfer_seconds(bytes_per_node) / 2.0
+            }
+        }
+    }
+
+    /// Convenience: minutes instead of seconds.
+    #[must_use]
+    pub fn allgather_minutes(&self, num_nodes: usize, bytes_per_node: u64) -> f64 {
+        self.allgather_seconds(num_nodes, bytes_per_node) / 60.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1_000_000;
+    const GB: u64 = 1_000_000_000;
+
+    fn tree() -> CollectiveModel {
+        CollectiveModel::new(NetworkLink::infiniband_edr(), CollectiveAlgorithm::TreeAllGather)
+    }
+
+    fn ring() -> CollectiveModel {
+        CollectiveModel::new(NetworkLink::infiniband_edr(), CollectiveAlgorithm::RingAllGather)
+    }
+
+    #[test]
+    fn single_node_costs_nothing() {
+        assert_eq!(tree().allgather_seconds(1, GB), 0.0);
+        assert_eq!(ring().allgather_seconds(0, GB), 0.0);
+    }
+
+    #[test]
+    fn tree_scales_sublinearly_ring_linearly() {
+        let payload = 100 * MB;
+        let t8 = tree().allgather_seconds(8, payload);
+        let t16 = tree().allgather_seconds(16, payload);
+        let r8 = ring().allgather_seconds(8, payload);
+        let r16 = ring().allgather_seconds(16, payload);
+        // Doubling nodes should roughly double the ring cost but grow the tree cost by
+        // clearly less than 2×.
+        assert!(r16 / r8 > 1.8, "ring should be ~linear: {}", r16 / r8);
+        assert!(t16 / t8 < 1.7, "tree should be sub-linear: {}", t16 / t8);
+    }
+
+    #[test]
+    fn tree_beats_ring_and_broadcast_at_scale() {
+        let payload = 50 * MB;
+        let n = 32;
+        let t = tree().allgather_seconds(n, payload);
+        let r = ring().allgather_seconds(n, payload);
+        let b = CollectiveModel::new(NetworkLink::infiniband_edr(), CollectiveAlgorithm::SequentialBroadcast)
+            .allgather_seconds(n, payload);
+        assert!(t < r, "tree {t} should beat ring {r}");
+        assert!(r < b, "ring {r} should beat sequential broadcast {b}");
+    }
+
+    #[test]
+    fn cost_monotone_in_nodes_and_bytes() {
+        let m = tree();
+        let mut prev = 0.0;
+        for n in 2..=48 {
+            let cost = m.allgather_seconds(n, 10 * MB);
+            assert!(cost >= prev, "cost should be monotone in node count at n={n}");
+            prev = cost;
+        }
+        assert!(m.allgather_seconds(8, 20 * MB) > m.allgather_seconds(8, 10 * MB));
+    }
+
+    #[test]
+    fn minutes_conversion() {
+        let m = ring();
+        let s = m.allgather_seconds(4, GB);
+        assert!((m.allgather_minutes(4, GB) - s / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_to_48_nodes_stays_manageable() {
+        // Fig. 19: with tree AllGather, projected sync time at 48 nodes stays under 10 min
+        // for LoRA-sized payloads (a few GB per node).
+        let m = tree();
+        let minutes = m.allgather_minutes(48, 4 * GB);
+        assert!(minutes < 10.0, "projected 48-node sync {minutes:.2} min should be < 10 min");
+    }
+}

@@ -1,0 +1,133 @@
+//! CPU topology: cores grouped into Core Complex Dies (CCDs), each with a private L3.
+//!
+//! The paper's evaluation nodes use dual-socket AMD EPYC 9684X CPUs: 8 CCDs per socket,
+//! 8 cores per CCD, 96 MB of L3 per CCD. LiveUpdate treats each CCD as a logical isolation
+//! unit and pins inference threads and training threads to disjoint CCD sets (§IV-D).
+//! [`CpuSpec`] captures that topology; the actual partitioning logic lives in
+//! [`crate::numa`].
+
+use serde::{Deserialize, Serialize};
+
+/// One Core Complex Die: a group of cores sharing a private L3 slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CcdSpec {
+    /// Number of physical cores on the CCD.
+    pub cores: usize,
+    /// L3 capacity of the CCD in bytes.
+    pub l3_bytes: u64,
+}
+
+impl CcdSpec {
+    /// The EPYC 9684X CCD used in the paper: 8 cores, 96 MB of L3 (3D V-Cache).
+    #[must_use]
+    pub fn epyc_9684x() -> Self {
+        Self {
+            cores: 8,
+            l3_bytes: 96 * 1024 * 1024,
+        }
+    }
+}
+
+/// A CPU socket (or dual-socket package) described as a collection of identical CCDs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Number of CCDs.
+    pub num_ccds: usize,
+    /// Per-CCD description.
+    pub ccd: CcdSpec,
+    /// Peak DRAM bandwidth of the package in bytes per second.
+    pub dram_bandwidth_bytes_per_sec: f64,
+}
+
+impl CpuSpec {
+    /// Dual-socket AMD EPYC 9684X node as used in the paper's testbed: 16 CCDs total
+    /// (8 per socket), 96 MB L3 each, and ~460 GB/s of aggregate DDR5 bandwidth
+    /// (12 channels × DDR5-4800 per socket, derated).
+    #[must_use]
+    pub fn dual_epyc_9684x() -> Self {
+        Self {
+            num_ccds: 16,
+            ccd: CcdSpec::epyc_9684x(),
+            dram_bandwidth_bytes_per_sec: 460.0e9,
+        }
+    }
+
+    /// A smaller single-socket configuration used by fast tests.
+    #[must_use]
+    pub fn small(num_ccds: usize) -> Self {
+        Self {
+            num_ccds,
+            ccd: CcdSpec::epyc_9684x(),
+            dram_bandwidth_bytes_per_sec: 230.0e9,
+        }
+    }
+
+    /// Total number of cores.
+    #[must_use]
+    pub fn total_cores(&self) -> usize {
+        self.num_ccds * self.ccd.cores
+    }
+
+    /// Total L3 bytes across all CCDs.
+    #[must_use]
+    pub fn total_l3_bytes(&self) -> u64 {
+        self.num_ccds as u64 * self.ccd.l3_bytes
+    }
+
+    /// Validate the specification.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.num_ccds > 0
+            && self.ccd.cores > 0
+            && self.ccd.l3_bytes > 0
+            && self.dram_bandwidth_bytes_per_sec > 0.0
+    }
+}
+
+impl Default for CpuSpec {
+    fn default() -> Self {
+        Self::dual_epyc_9684x()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_topology() {
+        let cpu = CpuSpec::dual_epyc_9684x();
+        assert!(cpu.is_valid());
+        assert_eq!(cpu.num_ccds, 16);
+        assert_eq!(cpu.ccd.cores, 8);
+        assert_eq!(cpu.ccd.l3_bytes, 96 * 1024 * 1024);
+        assert_eq!(cpu.total_cores(), 128);
+        // Paper: 768 MB of L3 per socket → 1536 MB for the dual-socket node.
+        assert_eq!(cpu.total_l3_bytes(), 1536 * 1024 * 1024);
+    }
+
+    #[test]
+    fn small_config_valid() {
+        let cpu = CpuSpec::small(4);
+        assert!(cpu.is_valid());
+        assert_eq!(cpu.total_cores(), 32);
+    }
+
+    #[test]
+    fn invalid_specs_detected() {
+        let mut cpu = CpuSpec::default();
+        cpu.num_ccds = 0;
+        assert!(!cpu.is_valid());
+        let mut cpu = CpuSpec::default();
+        cpu.dram_bandwidth_bytes_per_sec = 0.0;
+        assert!(!cpu.is_valid());
+        let mut cpu = CpuSpec::default();
+        cpu.ccd.cores = 0;
+        assert!(!cpu.is_valid());
+    }
+
+    #[test]
+    fn default_is_paper_testbed() {
+        assert_eq!(CpuSpec::default(), CpuSpec::dual_epyc_9684x());
+    }
+}

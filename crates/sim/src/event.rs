@@ -1,0 +1,185 @@
+//! A small deterministic discrete-event queue.
+//!
+//! The serving engine advances simulated time by popping timestamped events (serve a
+//! request window, run a training step, trigger a sync) in order. [`EventQueue`] is a
+//! binary heap keyed by `(time, insertion sequence)` so that events with equal timestamps
+//! pop in insertion order, keeping runs fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A timestamped event payload.
+#[derive(Debug, Clone, PartialEq)]
+struct Scheduled<T> {
+    time_minutes: f64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T: PartialEq> Eq for Scheduled<T> {}
+
+impl<T: PartialEq> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: PartialEq> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time (then lowest seq) pops first.
+        other
+            .time_minutes
+            .partial_cmp(&self.time_minutes)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic min-heap of timestamped events.
+#[derive(Debug, Clone)]
+pub struct EventQueue<T: PartialEq> {
+    heap: BinaryHeap<Scheduled<T>>,
+    next_seq: u64,
+    now_minutes: f64,
+}
+
+impl<T: PartialEq> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: PartialEq> EventQueue<T> {
+    /// Create an empty queue at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now_minutes: 0.0,
+        }
+    }
+
+    /// Current simulation time in minutes (time of the last popped event).
+    #[must_use]
+    pub fn now_minutes(&self) -> f64 {
+        self.now_minutes
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` at an absolute time (minutes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the time is non-finite or lies in the past relative to the current time.
+    pub fn schedule_at(&mut self, time_minutes: f64, payload: T) {
+        assert!(time_minutes.is_finite(), "event time must be finite");
+        assert!(
+            time_minutes + 1e-9 >= self.now_minutes,
+            "cannot schedule an event in the past ({time_minutes} < {})",
+            self.now_minutes
+        );
+        self.heap.push(Scheduled {
+            time_minutes,
+            seq: self.next_seq,
+            payload,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Schedule `payload` at `now + delay_minutes`.
+    pub fn schedule_in(&mut self, delay_minutes: f64, payload: T) {
+        self.schedule_at(self.now_minutes + delay_minutes.max(0.0), payload);
+    }
+
+    /// Pop the earliest event, advancing the current time to its timestamp.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        self.heap.pop().map(|s| {
+            self.now_minutes = s.time_minutes;
+            (s.time_minutes, s.payload)
+        })
+    }
+
+    /// Time of the next pending event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time_minutes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5.0, "c");
+        q.schedule_at(1.0, "a");
+        q.schedule_at(3.0, "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.pop(), Some((3.0, "b")));
+        assert_eq!(q.pop(), Some((5.0, "c")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(2.0, 1);
+        q.schedule_at(2.0, 2);
+        q.schedule_at(2.0, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now_minutes(), 0.0);
+        q.schedule_in(10.0, ());
+        q.pop();
+        assert_eq!(q.now_minutes(), 10.0);
+        q.schedule_in(5.0, ());
+        assert_eq!(q.peek_time(), Some(15.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10.0, ());
+        q.pop();
+        q.schedule_at(5.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_time_panics() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule_at(f64::NAN, ());
+    }
+
+    #[test]
+    fn negative_delay_clamped_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(4.0, "first");
+        q.pop();
+        q.schedule_in(-10.0, "second");
+        assert_eq!(q.pop(), Some((4.0, "second")));
+    }
+}

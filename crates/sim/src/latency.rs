@@ -1,0 +1,196 @@
+//! Latency sample collection and percentile queries.
+//!
+//! Serving SLAs in the paper are expressed as tail-latency bounds (P99 < 20 ms, and a
+//! stricter 10 ms target in the evaluation). [`LatencyRecorder`] collects per-request
+//! latencies and answers percentile queries; it is the sensor driving the adaptive CCD
+//! scheduler (Algorithm 2) and the ablation of Fig. 16.
+
+use serde::{Deserialize, Serialize};
+
+/// A collection of latency samples in milliseconds.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyRecorder {
+    samples_ms: Vec<f64>,
+}
+
+impl LatencyRecorder {
+    /// Create an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency sample in milliseconds. Non-finite or negative samples are
+    /// ignored (they indicate a modelling bug upstream, not a real request).
+    pub fn record(&mut self, latency_ms: f64) {
+        if latency_ms.is_finite() && latency_ms >= 0.0 {
+            self.samples_ms.push(latency_ms);
+        }
+    }
+
+    /// Record many samples.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for l in iter {
+            self.record(l);
+        }
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples_ms.len()
+    }
+
+    /// True when no samples were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples_ms.is_empty()
+    }
+
+    /// Mean latency, or `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples_ms.is_empty() {
+            None
+        } else {
+            Some(self.samples_ms.iter().sum::<f64>() / self.samples_ms.len() as f64)
+        }
+    }
+
+    /// Latency percentile (nearest-rank method), `percentile` in `[0, 100]`. Returns
+    /// `None` when empty.
+    #[must_use]
+    pub fn percentile(&self, percentile: f64) -> Option<f64> {
+        if self.samples_ms.is_empty() {
+            return None;
+        }
+        let p = percentile.clamp(0.0, 100.0);
+        let mut sorted = self.samples_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        let idx = rank.saturating_sub(1).min(sorted.len() - 1);
+        Some(sorted[idx])
+    }
+
+    /// Median (P50), or `None` when empty.
+    #[must_use]
+    pub fn p50(&self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// 99th percentile, the SLA metric of the paper, or `None` when empty.
+    #[must_use]
+    pub fn p99(&self) -> Option<f64> {
+        self.percentile(99.0)
+    }
+
+    /// Maximum recorded latency, or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.samples_ms.iter().copied().fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+    }
+
+    /// Whether the P99 is at or below `sla_ms`. An empty recorder trivially meets the SLA.
+    #[must_use]
+    pub fn meets_sla(&self, sla_ms: f64) -> bool {
+        self.p99().map_or(true, |p| p <= sla_ms)
+    }
+
+    /// Merge another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples_ms.extend_from_slice(&other.samples_ms);
+    }
+
+    /// Drop all samples.
+    pub fn reset(&mut self) {
+        self.samples_ms.clear();
+    }
+}
+
+impl FromIterator<f64> for LatencyRecorder {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut r = LatencyRecorder::new();
+        r.record_all(iter);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_recorder_has_no_stats() {
+        let r = LatencyRecorder::new();
+        assert!(r.is_empty());
+        assert_eq!(r.mean(), None);
+        assert_eq!(r.p99(), None);
+        assert_eq!(r.max(), None);
+        assert!(r.meets_sla(1.0));
+    }
+
+    #[test]
+    fn invalid_samples_ignored() {
+        let mut r = LatencyRecorder::new();
+        r.record(f64::NAN);
+        r.record(-1.0);
+        r.record(f64::INFINITY);
+        r.record(5.0);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let r: LatencyRecorder = (1..=100).map(f64::from).collect();
+        assert_eq!(r.p50(), Some(50.0));
+        assert_eq!(r.p99(), Some(99.0));
+        assert_eq!(r.percentile(100.0), Some(100.0));
+        assert_eq!(r.percentile(0.0), Some(1.0));
+        assert_eq!(r.max(), Some(100.0));
+        assert!((r.mean().unwrap() - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p99_catches_tail_spikes() {
+        let mut r = LatencyRecorder::new();
+        r.record_all(std::iter::repeat(5.0).take(985));
+        r.record_all(std::iter::repeat(50.0).take(15));
+        assert!(r.p50().unwrap() < 10.0);
+        assert!(r.p99().unwrap() >= 50.0 - 1e-12);
+        assert!(!r.meets_sla(20.0));
+        assert!(r.meets_sla(50.0));
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a: LatencyRecorder = vec![1.0, 2.0].into_iter().collect();
+        let b: LatencyRecorder = vec![3.0, 4.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        a.reset();
+        assert!(a.is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_percentiles_monotone(samples in proptest::collection::vec(0.0f64..100.0, 1..200)) {
+            let r: LatencyRecorder = samples.into_iter().collect();
+            let p50 = r.p50().unwrap();
+            let p90 = r.percentile(90.0).unwrap();
+            let p99 = r.p99().unwrap();
+            prop_assert!(p50 <= p90 + 1e-12);
+            prop_assert!(p90 <= p99 + 1e-12);
+            prop_assert!(p99 <= r.max().unwrap() + 1e-12);
+        }
+
+        #[test]
+        fn prop_percentile_is_a_sample(samples in proptest::collection::vec(0.0f64..100.0, 1..100), p in 0.0f64..100.0) {
+            let r: LatencyRecorder = samples.clone().into_iter().collect();
+            let v = r.percentile(p).unwrap();
+            prop_assert!(samples.iter().any(|s| (s - v).abs() < 1e-12));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Discrete-time cluster and hardware simulator for the LiveUpdate reproduction.
+//!
+//! The paper's systems results are produced on an 8-node inference cluster (4× H100 +
+//! dual-socket AMD EPYC 9684X per node, 12 TB of DDR5, 100 Gb/s InfiniBand). None of that
+//! hardware is available here, so this crate models the components whose *interaction*
+//! produces the paper's observations:
+//!
+//! * [`network`] — links (100 GbE, InfiniBand EDR, NVLink, PCIe) and transfer-time
+//!   arithmetic: the source of the "syncing 20 TB takes 26 minutes" style numbers.
+//! * [`collective`] — tree/ring AllGather cost models (Fig. 19's `O(log N)` scaling).
+//! * [`param_server`] — the sharded parameter server with version batching and delta
+//!   synchronisation (paper Fig. 2).
+//! * [`cache`] — an LRU model of the per-CCD L3 caches (Fig. 11's hit ratios).
+//! * [`cpu`] / [`numa`] — CCD/core topology and the partitioning of CCDs between the
+//!   inference and training processes (paper §IV-D).
+//! * [`membw`] — DRAM bandwidth contention and the latency inflation it causes (Fig. 10,
+//!   Fig. 16).
+//! * [`latency`] — latency percentile tracking (P50/P99) for SLA checks.
+//! * [`power`] — CPU utilisation → power model (Fig. 4, Fig. 5, Fig. 18).
+//! * [`node`] / [`cluster`] — node and cluster composition.
+//! * [`event`] — a small deterministic discrete-event queue used by the serving engine.
+//!
+//! Everything is analytic and deterministic: the goal is reproducing the *shape* of the
+//! paper's hardware effects (who contends with whom, what scales how), not cycle accuracy.
+
+pub mod cache;
+pub mod cluster;
+pub mod collective;
+pub mod cpu;
+pub mod event;
+pub mod latency;
+pub mod membw;
+pub mod network;
+pub mod node;
+pub mod numa;
+pub mod param_server;
+pub mod power;
+
+pub use cache::LruCache;
+pub use cluster::ClusterSpec;
+pub use collective::{CollectiveAlgorithm, CollectiveModel};
+pub use cpu::{CcdSpec, CpuSpec};
+pub use event::EventQueue;
+pub use latency::LatencyRecorder;
+pub use membw::MemoryBandwidthModel;
+pub use network::NetworkLink;
+pub use node::NodeSpec;
+pub use numa::CcdPartition;
+pub use param_server::ParameterServer;
+pub use power::CpuPowerModel;

@@ -1,0 +1,234 @@
+//! DRAM bandwidth contention and its effect on access latency.
+//!
+//! Paper Fig. 10 shows that inference alone does not saturate DDR bandwidth, yet Fig. 16
+//! shows naive co-location more than doubles P99 latency: the damage comes from the
+//! *latency inflation* of a loaded memory system plus L3 thrashing, not from raw bandwidth
+//! exhaustion. [`MemoryBandwidthModel`] captures exactly that: demands from several
+//! streams are summed, utilisation is reported, and per-access latency grows super-linearly
+//! as utilisation approaches saturation (an M/M/1-style queueing curve).
+
+use serde::{Deserialize, Serialize};
+
+/// A named bandwidth demand (e.g. "inference lookups", "LoRA training").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthDemand {
+    /// Human-readable stream name (for reports).
+    pub name: String,
+    /// Sustained demand in bytes per second.
+    pub bytes_per_second: f64,
+}
+
+impl BandwidthDemand {
+    /// Create a demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the demand is negative or non-finite.
+    #[must_use]
+    pub fn new(name: impl Into<String>, bytes_per_second: f64) -> Self {
+        assert!(
+            bytes_per_second >= 0.0 && bytes_per_second.is_finite(),
+            "bandwidth demand must be non-negative and finite"
+        );
+        Self {
+            name: name.into(),
+            bytes_per_second,
+        }
+    }
+}
+
+/// Shared-DRAM contention model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryBandwidthModel {
+    /// Peak sustainable bandwidth in bytes per second.
+    pub peak_bytes_per_second: f64,
+    /// Unloaded (idle) DRAM access latency in nanoseconds.
+    pub idle_latency_ns: f64,
+    demands: Vec<BandwidthDemand>,
+}
+
+impl MemoryBandwidthModel {
+    /// Create a model with the given peak bandwidth and idle latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not positive.
+    #[must_use]
+    pub fn new(peak_bytes_per_second: f64, idle_latency_ns: f64) -> Self {
+        assert!(peak_bytes_per_second > 0.0, "peak bandwidth must be positive");
+        assert!(idle_latency_ns > 0.0, "idle latency must be positive");
+        Self {
+            peak_bytes_per_second,
+            idle_latency_ns,
+            demands: Vec::new(),
+        }
+    }
+
+    /// The paper testbed's dual-socket DDR5 system (≈460 GB/s peak, ≈90 ns idle latency).
+    #[must_use]
+    pub fn ddr5_dual_socket() -> Self {
+        Self::new(460.0e9, 90.0)
+    }
+
+    /// Register (or replace, by name) a bandwidth demand. Returns the total utilisation
+    /// after the update.
+    pub fn set_demand(&mut self, demand: BandwidthDemand) -> f64 {
+        if let Some(existing) = self.demands.iter_mut().find(|d| d.name == demand.name) {
+            *existing = demand;
+        } else {
+            self.demands.push(demand);
+        }
+        self.utilization()
+    }
+
+    /// Remove a demand by name; returns `true` if it existed.
+    pub fn remove_demand(&mut self, name: &str) -> bool {
+        let before = self.demands.len();
+        self.demands.retain(|d| d.name != name);
+        self.demands.len() != before
+    }
+
+    /// Registered demands.
+    #[must_use]
+    pub fn demands(&self) -> &[BandwidthDemand] {
+        &self.demands
+    }
+
+    /// Total demanded bandwidth in bytes per second.
+    #[must_use]
+    pub fn total_demand(&self) -> f64 {
+        self.demands.iter().map(|d| d.bytes_per_second).sum()
+    }
+
+    /// Utilisation of the memory system, `total_demand / peak`, clamped to `[0, 1]`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        (self.total_demand() / self.peak_bytes_per_second).clamp(0.0, 1.0)
+    }
+
+    /// Latency-inflation factor caused by the current load: `1 / (1 − ρ)` with the
+    /// utilisation capped at 95 % so the model saturates at 20× rather than diverging.
+    #[must_use]
+    pub fn latency_inflation(&self) -> f64 {
+        let rho = self.utilization().min(0.95);
+        1.0 / (1.0 - rho)
+    }
+
+    /// Effective DRAM access latency (nanoseconds) under the current load.
+    #[must_use]
+    pub fn loaded_latency_ns(&self) -> f64 {
+        self.idle_latency_ns * self.latency_inflation()
+    }
+
+    /// Bandwidth actually granted to a stream demanding `requested` bytes/s under fair
+    /// sharing: everything when the system is under-subscribed, a proportional share when
+    /// over-subscribed.
+    #[must_use]
+    pub fn granted_bandwidth(&self, requested: f64) -> f64 {
+        let total = self.total_demand().max(requested);
+        if total <= self.peak_bytes_per_second {
+            requested
+        } else {
+            requested * self.peak_bytes_per_second / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "peak bandwidth must be positive")]
+    fn zero_peak_rejected() {
+        let _ = MemoryBandwidthModel::new(0.0, 90.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_demand_rejected() {
+        let _ = BandwidthDemand::new("x", -1.0);
+    }
+
+    #[test]
+    fn utilization_and_total_demand() {
+        let mut m = MemoryBandwidthModel::new(100.0e9, 90.0);
+        assert_eq!(m.utilization(), 0.0);
+        m.set_demand(BandwidthDemand::new("inference", 30.0e9));
+        m.set_demand(BandwidthDemand::new("training", 20.0e9));
+        assert!((m.total_demand() - 50.0e9).abs() < 1.0);
+        assert!((m.utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(m.demands().len(), 2);
+    }
+
+    #[test]
+    fn set_demand_replaces_by_name() {
+        let mut m = MemoryBandwidthModel::new(100.0e9, 90.0);
+        m.set_demand(BandwidthDemand::new("inference", 30.0e9));
+        m.set_demand(BandwidthDemand::new("inference", 10.0e9));
+        assert_eq!(m.demands().len(), 1);
+        assert!((m.total_demand() - 10.0e9).abs() < 1.0);
+        assert!(m.remove_demand("inference"));
+        assert!(!m.remove_demand("inference"));
+        assert_eq!(m.utilization(), 0.0);
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let mut m = MemoryBandwidthModel::ddr5_dual_socket();
+        let idle = m.loaded_latency_ns();
+        assert!((idle - 90.0).abs() < 1e-9);
+        m.set_demand(BandwidthDemand::new("inference", 230.0e9));
+        let half = m.loaded_latency_ns();
+        m.set_demand(BandwidthDemand::new("training", 200.0e9));
+        let heavy = m.loaded_latency_ns();
+        assert!(half > idle);
+        assert!(heavy > half * 1.5, "heavy load should inflate latency strongly");
+        assert!(heavy.is_finite());
+    }
+
+    #[test]
+    fn latency_inflation_saturates() {
+        let mut m = MemoryBandwidthModel::new(10.0, 100.0);
+        m.set_demand(BandwidthDemand::new("x", 1e12));
+        assert!(m.utilization() <= 1.0);
+        assert!(m.latency_inflation() <= 20.0 + 1e-9);
+    }
+
+    #[test]
+    fn granted_bandwidth_fair_sharing() {
+        let mut m = MemoryBandwidthModel::new(100.0, 90.0);
+        m.set_demand(BandwidthDemand::new("a", 60.0));
+        m.set_demand(BandwidthDemand::new("b", 60.0));
+        // Over-subscribed by 1.2×: each stream gets its proportional share.
+        let granted = m.granted_bandwidth(60.0);
+        assert!((granted - 50.0).abs() < 1e-9);
+        // Under-subscription grants the full request.
+        m.remove_demand("b");
+        assert!((m.granted_bandwidth(60.0) - 60.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_utilization_bounded(demands in proptest::collection::vec(0.0f64..1e12, 0..8)) {
+            let mut m = MemoryBandwidthModel::ddr5_dual_socket();
+            for (i, d) in demands.iter().enumerate() {
+                m.set_demand(BandwidthDemand::new(format!("s{i}"), *d));
+            }
+            prop_assert!((0.0..=1.0).contains(&m.utilization()));
+            prop_assert!(m.latency_inflation() >= 1.0);
+            prop_assert!(m.loaded_latency_ns() >= m.idle_latency_ns);
+        }
+
+        #[test]
+        fn prop_granted_never_exceeds_request(req in 0.0f64..1e12, other in 0.0f64..1e12) {
+            let mut m = MemoryBandwidthModel::ddr5_dual_socket();
+            m.set_demand(BandwidthDemand::new("other", other));
+            m.set_demand(BandwidthDemand::new("me", req));
+            prop_assert!(m.granted_bandwidth(req) <= req + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Network links and transfer-time arithmetic.
+//!
+//! Synchronisation cost in the paper is bandwidth arithmetic: "syncing 10 % of a 200 TB EMT
+//! (20 TB) over 100 GbE takes over 26 minutes". [`NetworkLink`] encodes a link's usable
+//! bandwidth, base latency and an efficiency factor, and converts byte counts into seconds,
+//! optionally under contention with serving traffic.
+
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point or aggregated network link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkLink {
+    /// Nominal bandwidth in gigabits per second.
+    pub bandwidth_gbps: f64,
+    /// Base (propagation + software) latency per transfer, in microseconds.
+    pub latency_us: f64,
+    /// Fraction of the nominal bandwidth achievable in practice, in `(0, 1]`.
+    pub efficiency: f64,
+}
+
+impl NetworkLink {
+    /// Create a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not positive or the efficiency is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(bandwidth_gbps: f64, latency_us: f64, efficiency: f64) -> Self {
+        assert!(bandwidth_gbps > 0.0, "bandwidth must be positive");
+        assert!(latency_us >= 0.0, "latency must be non-negative");
+        assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency must be in (0, 1]");
+        Self {
+            bandwidth_gbps,
+            latency_us,
+            efficiency,
+        }
+    }
+
+    /// Commodity 100 GbE inter-cluster link (the paper's sync-path assumption).
+    #[must_use]
+    pub fn commodity_100gbe() -> Self {
+        Self::new(100.0, 50.0, 0.9)
+    }
+
+    /// InfiniBand EDR (100 Gb/s) intra-cluster fabric used between inference nodes.
+    #[must_use]
+    pub fn infiniband_edr() -> Self {
+        Self::new(100.0, 2.0, 0.95)
+    }
+
+    /// NVLink-class GPU interconnect (900 GB/s ≈ 7200 Gb/s).
+    #[must_use]
+    pub fn nvlink() -> Self {
+        Self::new(7200.0, 1.0, 0.9)
+    }
+
+    /// PCIe Gen5 x16 host link (64 GB/s ≈ 512 Gb/s).
+    #[must_use]
+    pub fn pcie_gen5() -> Self {
+        Self::new(512.0, 1.0, 0.85)
+    }
+
+    /// Effective bandwidth in bytes per second.
+    #[must_use]
+    pub fn effective_bytes_per_second(&self) -> f64 {
+        self.bandwidth_gbps * self.efficiency * 1e9 / 8.0
+    }
+
+    /// Time (seconds) to transfer `bytes` over an otherwise idle link.
+    #[must_use]
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        self.latency_us * 1e-6 + bytes as f64 / self.effective_bytes_per_second()
+    }
+
+    /// Time (seconds) to transfer `bytes` when only `available_fraction` of the link is
+    /// usable (the rest is consumed by competing traffic, e.g. serving requests).
+    ///
+    /// `available_fraction` is clamped to `[0.01, 1.0]` so a fully saturated link degrades
+    /// to a 100× slowdown rather than dividing by zero.
+    #[must_use]
+    pub fn transfer_seconds_with_contention(&self, bytes: u64, available_fraction: f64) -> f64 {
+        let avail = available_fraction.clamp(0.01, 1.0);
+        self.latency_us * 1e-6 + bytes as f64 / (self.effective_bytes_per_second() * avail)
+    }
+
+    /// Bytes that can be moved within a time budget (seconds), after subtracting the base
+    /// latency. Returns zero when the budget is smaller than the base latency.
+    #[must_use]
+    pub fn bytes_within(&self, seconds: f64) -> u64 {
+        let usable = seconds - self.latency_us * 1e-6;
+        if usable <= 0.0 {
+            return 0;
+        }
+        (usable * self.effective_bytes_per_second()) as u64
+    }
+}
+
+impl Default for NetworkLink {
+    fn default() -> Self {
+        Self::commodity_100gbe()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const TB: u64 = 1_000_000_000_000;
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = NetworkLink::new(0.0, 1.0, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency must be in (0, 1]")]
+    fn bad_efficiency_rejected() {
+        let _ = NetworkLink::new(100.0, 1.0, 1.5);
+    }
+
+    #[test]
+    fn paper_headline_number_reproduced() {
+        // Paper §I: syncing 20 TB over 100 GbE takes over 26 minutes.
+        let link = NetworkLink::commodity_100gbe();
+        let seconds = link.transfer_seconds(20 * TB);
+        let minutes = seconds / 60.0;
+        assert!(minutes > 26.0, "expected > 26 minutes, got {minutes:.1}");
+        assert!(minutes < 36.0, "expected < 36 minutes, got {minutes:.1}");
+    }
+
+    #[test]
+    fn paper_full_sync_number_reproduced() {
+        // Paper §II-C: synchronising a 200 TB model over 100 GbE takes over four hours.
+        let link = NetworkLink::commodity_100gbe();
+        let hours = link.transfer_seconds(200 * TB) / 3600.0;
+        assert!(hours > 4.0, "expected > 4 hours, got {hours:.2}");
+    }
+
+    #[test]
+    fn faster_links_transfer_faster() {
+        let bytes = TB;
+        let gbe = NetworkLink::commodity_100gbe().transfer_seconds(bytes);
+        let ib = NetworkLink::infiniband_edr().transfer_seconds(bytes);
+        let nvl = NetworkLink::nvlink().transfer_seconds(bytes);
+        let pcie = NetworkLink::pcie_gen5().transfer_seconds(bytes);
+        assert!(ib < gbe);
+        assert!(pcie < ib);
+        assert!(nvl < pcie);
+    }
+
+    #[test]
+    fn contention_slows_transfers() {
+        let link = NetworkLink::commodity_100gbe();
+        let free = link.transfer_seconds(TB);
+        let half = link.transfer_seconds_with_contention(TB, 0.5);
+        let tiny = link.transfer_seconds_with_contention(TB, 0.0);
+        assert!(half > free * 1.9 && half < free * 2.1);
+        assert!(tiny > free * 50.0);
+    }
+
+    #[test]
+    fn bytes_within_budget_roundtrip() {
+        let link = NetworkLink::infiniband_edr();
+        let budget = 1.5;
+        let bytes = link.bytes_within(budget);
+        let time = link.transfer_seconds(bytes);
+        assert!((time - budget).abs() < 0.01);
+        assert_eq!(link.bytes_within(0.0), 0);
+    }
+
+    #[test]
+    fn zero_bytes_costs_only_latency() {
+        let link = NetworkLink::new(10.0, 100.0, 1.0);
+        assert!((link.transfer_seconds(0) - 100.0e-6).abs() < 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_transfer_time_monotone_in_bytes(a in 0u64..10 * TB, b in 0u64..10 * TB) {
+            let link = NetworkLink::commodity_100gbe();
+            let (small, large) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(link.transfer_seconds(small) <= link.transfer_seconds(large) + 1e-12);
+        }
+
+        #[test]
+        fn prop_contention_never_speeds_up(bytes in 1u64..TB, avail in 0.0f64..1.0) {
+            let link = NetworkLink::infiniband_edr();
+            prop_assert!(
+                link.transfer_seconds_with_contention(bytes, avail) + 1e-12
+                    >= link.transfer_seconds(bytes)
+            );
+        }
+    }
+}

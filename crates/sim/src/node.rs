@@ -1,0 +1,179 @@
+//! Inference-node composition and the request service-time model.
+//!
+//! An inference node in the paper couples GPUs (dense layers) with a large-memory CPU host
+//! (embedding storage). [`NodeSpec`] describes that composition; [`ServiceTimeModel`]
+//! converts a request's embedding-lookup profile plus the current cache/memory state into
+//! an end-to-end latency — the quantity whose P99 the isolation machinery protects.
+
+use crate::cpu::CpuSpec;
+use crate::membw::MemoryBandwidthModel;
+use serde::{Deserialize, Serialize};
+
+/// Hardware composition of one inference node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// CPU package of the node.
+    pub cpu: CpuSpec,
+    /// Host DRAM capacity in bytes (stores the warm embeddings).
+    pub dram_bytes: u64,
+    /// Number of GPUs used for dense-layer inference.
+    pub num_gpus: usize,
+    /// Per-GPU high-bandwidth memory in bytes (hosts the hot embeddings).
+    pub gpu_hbm_bytes: u64,
+}
+
+impl NodeSpec {
+    /// The paper's testbed node: dual EPYC 9684X, 12 TB DDR5, 4× H100 (80 GB HBM3).
+    #[must_use]
+    pub fn paper_testbed() -> Self {
+        Self {
+            cpu: CpuSpec::dual_epyc_9684x(),
+            dram_bytes: 12_000_000_000_000,
+            num_gpus: 4,
+            gpu_hbm_bytes: 80_000_000_000,
+        }
+    }
+
+    /// Total GPU memory of the node.
+    #[must_use]
+    pub fn total_hbm_bytes(&self) -> u64 {
+        self.num_gpus as u64 * self.gpu_hbm_bytes
+    }
+
+    /// Fraction of an embedding-table footprint that fits in GPU HBM (the "hot" tier).
+    #[must_use]
+    pub fn hot_tier_fraction(&self, embedding_bytes: u64) -> f64 {
+        if embedding_bytes == 0 {
+            return 1.0;
+        }
+        (self.total_hbm_bytes() as f64 / embedding_bytes as f64).min(1.0)
+    }
+
+    /// Validate the specification.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.cpu.is_valid() && self.dram_bytes > 0 && self.num_gpus > 0 && self.gpu_hbm_bytes > 0
+    }
+}
+
+impl Default for NodeSpec {
+    fn default() -> Self {
+        Self::paper_testbed()
+    }
+}
+
+/// Converts a request's lookup profile and the memory-system state into latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceTimeModel {
+    /// Fixed GPU dense-layer time per request in milliseconds.
+    pub gpu_dense_ms: f64,
+    /// Fixed software overhead (feature extraction, batching, RPC) in milliseconds.
+    pub software_overhead_ms: f64,
+    /// Number of embedding-row reads per request (covers every candidate item scored by
+    /// the ranking request across all sparse fields, so it is in the tens of thousands).
+    pub lookups_per_request: usize,
+    /// Bytes fetched per lookup (one embedding row).
+    pub bytes_per_lookup: u64,
+    /// Cost of an L3 hit per lookup, in nanoseconds.
+    pub l3_hit_ns: f64,
+}
+
+impl Default for ServiceTimeModel {
+    fn default() -> Self {
+        Self {
+            gpu_dense_ms: 4.0,
+            software_overhead_ms: 1.0,
+            lookups_per_request: 65536,
+            bytes_per_lookup: 128,
+            l3_hit_ns: 12.0,
+        }
+    }
+}
+
+impl ServiceTimeModel {
+    /// End-to-end request latency in milliseconds given the fraction of lookups that hit
+    /// the L3 (`l3_hit_ratio`) and the loaded DRAM latency for the misses.
+    #[must_use]
+    pub fn request_latency_ms(&self, l3_hit_ratio: f64, memory: &MemoryBandwidthModel) -> f64 {
+        let hit = l3_hit_ratio.clamp(0.0, 1.0);
+        let lookups = self.lookups_per_request as f64;
+        let hit_ns = lookups * hit * self.l3_hit_ns;
+        let miss_ns = lookups * (1.0 - hit) * memory.loaded_latency_ns();
+        self.gpu_dense_ms + self.software_overhead_ms + (hit_ns + miss_ns) * 1e-6
+    }
+
+    /// Sustained DRAM bandwidth demand (bytes/s) of serving `requests_per_second` at the
+    /// given hit ratio (only misses touch DRAM).
+    #[must_use]
+    pub fn dram_demand_bytes_per_sec(&self, requests_per_second: f64, l3_hit_ratio: f64) -> f64 {
+        let miss = 1.0 - l3_hit_ratio.clamp(0.0, 1.0);
+        requests_per_second.max(0.0) * self.lookups_per_request as f64 * miss * self.bytes_per_lookup as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::membw::BandwidthDemand;
+
+    #[test]
+    fn paper_testbed_is_valid() {
+        let n = NodeSpec::paper_testbed();
+        assert!(n.is_valid());
+        assert_eq!(n.total_hbm_bytes(), 320_000_000_000);
+        assert_eq!(NodeSpec::default(), n);
+    }
+
+    #[test]
+    fn hot_tier_fraction_matches_paper_range() {
+        // Paper §II-B: GPU HBM hosts 5–10 % of hot embeddings. With a ~6 TB per-node EMT
+        // shard, 320 GB of HBM is ~5 %.
+        let n = NodeSpec::paper_testbed();
+        let frac = n.hot_tier_fraction(6_000_000_000_000);
+        assert!(frac > 0.03 && frac < 0.12, "hot tier fraction {frac}");
+        assert_eq!(n.hot_tier_fraction(0), 1.0);
+        assert_eq!(n.hot_tier_fraction(100), 1.0);
+    }
+
+    #[test]
+    fn invalid_nodes_detected() {
+        let mut n = NodeSpec::paper_testbed();
+        n.num_gpus = 0;
+        assert!(!n.is_valid());
+        let mut n = NodeSpec::paper_testbed();
+        n.dram_bytes = 0;
+        assert!(!n.is_valid());
+    }
+
+    #[test]
+    fn latency_meets_sla_when_unloaded_and_hot() {
+        let st = ServiceTimeModel::default();
+        let mem = MemoryBandwidthModel::ddr5_dual_socket();
+        let lat = st.request_latency_ms(0.9, &mem);
+        assert!(lat < 10.0, "unloaded hot-cache latency {lat} should meet the 10 ms target");
+    }
+
+    #[test]
+    fn latency_degrades_with_cache_misses_and_contention() {
+        let st = ServiceTimeModel::default();
+        let mut mem = MemoryBandwidthModel::ddr5_dual_socket();
+        let good = st.request_latency_ms(0.9, &mem);
+        let cold = st.request_latency_ms(0.0, &mem);
+        assert!(cold > good);
+        // Heavy competing traffic inflates the miss path further.
+        mem.set_demand(BandwidthDemand::new("training", 420.0e9));
+        let contended = st.request_latency_ms(0.0, &mem);
+        assert!(contended > cold * 1.5, "contention should hurt: {cold} -> {contended}");
+    }
+
+    #[test]
+    fn dram_demand_scales_with_load_and_misses() {
+        let st = ServiceTimeModel::default();
+        let d_low = st.dram_demand_bytes_per_sec(1000.0, 0.9);
+        let d_high = st.dram_demand_bytes_per_sec(2000.0, 0.9);
+        let d_cold = st.dram_demand_bytes_per_sec(1000.0, 0.0);
+        assert!((d_high - 2.0 * d_low).abs() < 1e-6);
+        assert!(d_cold > d_low * 5.0);
+        assert_eq!(st.dram_demand_bytes_per_sec(-5.0, 0.5), 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Partitioning of CCDs between the inference and the co-located training process.
+//!
+//! [`CcdPartition`] is the state Algorithm 2 of the paper manipulates: which CCDs belong
+//! to the latency-critical inference process and which to the LoRA trainer. The adaptive
+//! controller itself lives in the core crate (`liveupdate::scheduler`); this module only
+//! provides the mechanical, validated partition with move operations and the derived
+//! quantities (core counts, aggregate L3 per side) the cache and bandwidth models consume.
+
+use crate::cpu::CpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// Which workload a CCD is assigned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CcdOwner {
+    /// Latency-critical inference threads.
+    Inference,
+    /// Co-located LoRA training threads.
+    Training,
+}
+
+/// An assignment of every CCD of a CPU to either inference or training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CcdPartition {
+    cpu: CpuSpec,
+    owners: Vec<CcdOwner>,
+}
+
+impl CcdPartition {
+    /// Create a partition giving the first `inference_ccds` CCDs to inference and the rest
+    /// to training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CPU spec is invalid or `inference_ccds > cpu.num_ccds`.
+    #[must_use]
+    pub fn new(cpu: CpuSpec, inference_ccds: usize) -> Self {
+        assert!(cpu.is_valid(), "invalid CPU specification");
+        assert!(
+            inference_ccds <= cpu.num_ccds,
+            "cannot assign {inference_ccds} CCDs to inference on a {}-CCD CPU",
+            cpu.num_ccds
+        );
+        let owners = (0..cpu.num_ccds)
+            .map(|i| {
+                if i < inference_ccds {
+                    CcdOwner::Inference
+                } else {
+                    CcdOwner::Training
+                }
+            })
+            .collect();
+        Self { cpu, owners }
+    }
+
+    /// The underlying CPU specification.
+    #[must_use]
+    pub fn cpu(&self) -> &CpuSpec {
+        &self.cpu
+    }
+
+    /// Owner of each CCD, indexed by CCD id.
+    #[must_use]
+    pub fn owners(&self) -> &[CcdOwner] {
+        &self.owners
+    }
+
+    /// Number of CCDs assigned to inference.
+    #[must_use]
+    pub fn inference_ccds(&self) -> usize {
+        self.owners.iter().filter(|o| **o == CcdOwner::Inference).count()
+    }
+
+    /// Number of CCDs assigned to training.
+    #[must_use]
+    pub fn training_ccds(&self) -> usize {
+        self.owners.len() - self.inference_ccds()
+    }
+
+    /// Number of cores available to inference.
+    #[must_use]
+    pub fn inference_cores(&self) -> usize {
+        self.inference_ccds() * self.cpu.ccd.cores
+    }
+
+    /// Number of cores available to training.
+    #[must_use]
+    pub fn training_cores(&self) -> usize {
+        self.training_ccds() * self.cpu.ccd.cores
+    }
+
+    /// Aggregate L3 bytes private to the inference side.
+    #[must_use]
+    pub fn inference_l3_bytes(&self) -> u64 {
+        self.inference_ccds() as u64 * self.cpu.ccd.l3_bytes
+    }
+
+    /// Aggregate L3 bytes private to the training side.
+    #[must_use]
+    pub fn training_l3_bytes(&self) -> u64 {
+        self.training_ccds() as u64 * self.cpu.ccd.l3_bytes
+    }
+
+    /// Move one CCD from training to inference. Returns `true` if a CCD was moved
+    /// (i.e. training had at least one CCD to give).
+    pub fn move_ccd_to_inference(&mut self) -> bool {
+        if let Some(slot) = self.owners.iter().position(|o| *o == CcdOwner::Training) {
+            self.owners[slot] = CcdOwner::Inference;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Move one CCD from inference to training. Returns `true` if a CCD was moved.
+    pub fn move_ccd_to_training(&mut self) -> bool {
+        if let Some(slot) = self.owners.iter().rposition(|o| *o == CcdOwner::Inference) {
+            self.owners[slot] = CcdOwner::Training;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fraction of the node's CCDs owned by training (a convenient proxy for how much
+    /// DRAM bandwidth the trainer can legitimately consume under bandwidth partitioning).
+    #[must_use]
+    pub fn training_fraction(&self) -> f64 {
+        if self.owners.is_empty() {
+            return 0.0;
+        }
+        self.training_ccds() as f64 / self.owners.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn partition() -> CcdPartition {
+        // Paper Fig. 13 example: 10 CCDs for inference, 2 for training (on a 12-CCD view).
+        CcdPartition::new(CpuSpec::small(12), 10)
+    }
+
+    #[test]
+    fn construction_counts() {
+        let p = partition();
+        assert_eq!(p.inference_ccds(), 10);
+        assert_eq!(p.training_ccds(), 2);
+        assert_eq!(p.inference_cores(), 80);
+        assert_eq!(p.training_cores(), 16);
+        assert_eq!(p.inference_l3_bytes(), 10 * 96 * 1024 * 1024);
+        assert_eq!(p.training_l3_bytes(), 2 * 96 * 1024 * 1024);
+        assert!((p.training_fraction() - 2.0 / 12.0).abs() < 1e-12);
+        assert_eq!(p.owners().len(), 12);
+        assert!(p.cpu().is_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot assign")]
+    fn too_many_inference_ccds_rejected() {
+        let _ = CcdPartition::new(CpuSpec::small(4), 5);
+    }
+
+    #[test]
+    fn moving_ccds_between_sides() {
+        let mut p = partition();
+        assert!(p.move_ccd_to_inference());
+        assert_eq!(p.inference_ccds(), 11);
+        assert!(p.move_ccd_to_inference());
+        assert_eq!(p.training_ccds(), 0);
+        // Nothing left to take from training.
+        assert!(!p.move_ccd_to_inference());
+        // Give some back.
+        assert!(p.move_ccd_to_training());
+        assert_eq!(p.training_ccds(), 1);
+    }
+
+    #[test]
+    fn all_inference_partition_cannot_grow() {
+        let mut p = CcdPartition::new(CpuSpec::small(4), 4);
+        assert!(!p.move_ccd_to_inference());
+        assert_eq!(p.training_fraction(), 0.0);
+    }
+
+    #[test]
+    fn all_training_partition_cannot_shrink_inference() {
+        let mut p = CcdPartition::new(CpuSpec::small(4), 0);
+        assert!(!p.move_ccd_to_training());
+        assert_eq!(p.training_fraction(), 1.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_total_ccds_invariant(ccds in 1usize..16, inf in 0usize..16, moves in proptest::collection::vec(proptest::bool::ANY, 0..20)) {
+            let inf = inf.min(ccds);
+            let mut p = CcdPartition::new(CpuSpec::small(ccds), inf);
+            for to_inference in moves {
+                if to_inference {
+                    p.move_ccd_to_inference();
+                } else {
+                    p.move_ccd_to_training();
+                }
+                prop_assert_eq!(p.inference_ccds() + p.training_ccds(), ccds);
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The centralized parameter server of the decoupled DLRM deployment (paper Fig. 2).
+//!
+//! The training cluster pushes parameter updates (full or delta) to a sharded key-value
+//! store; inference nodes pull whatever they have not seen yet. [`ParameterServer`] keeps a
+//! log of published updates and answers, for any node version, how many bytes it must pull
+//! and how long that transfer takes over a given link — which is exactly the quantity
+//! DeltaUpdate/QuickUpdate cost experiments (Fig. 14) need. Version batching (grouping
+//! several published updates into one synchronisation event) is modelled as well.
+
+use crate::network::NetworkLink;
+use serde::{Deserialize, Serialize};
+
+/// One published parameter update.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PublishedUpdate {
+    /// Monotonically increasing version number (1-based).
+    pub version: u64,
+    /// Payload size of the update in bytes.
+    pub bytes: u64,
+    /// Simulation time (minutes) at which the training cluster published it.
+    pub publish_time_minutes: f64,
+}
+
+/// Result of a node synchronising against the parameter server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyncResult {
+    /// Version the node ends up at.
+    pub new_version: u64,
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Transfer time in seconds over the configured link.
+    pub transfer_seconds: f64,
+    /// Staleness at the moment the sync started: now minus the publish time of the oldest
+    /// update the node was missing (minutes). Zero when the node was already current.
+    pub staleness_minutes: f64,
+}
+
+/// Sharded key-value parameter server with a published-update log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParameterServer {
+    link: NetworkLink,
+    updates: Vec<PublishedUpdate>,
+}
+
+impl ParameterServer {
+    /// Create a parameter server reachable over `link` from the inference cluster.
+    #[must_use]
+    pub fn new(link: NetworkLink) -> Self {
+        Self {
+            link,
+            updates: Vec::new(),
+        }
+    }
+
+    /// The link used for pulls.
+    #[must_use]
+    pub fn link(&self) -> &NetworkLink {
+        &self.link
+    }
+
+    /// Latest published version (0 when nothing has been published).
+    #[must_use]
+    pub fn latest_version(&self) -> u64 {
+        self.updates.last().map_or(0, |u| u.version)
+    }
+
+    /// Number of published updates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// True when nothing has been published yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Publish an update of `bytes` at `publish_time_minutes`. Returns the new version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the publish time is older than the previously published update.
+    pub fn publish(&mut self, bytes: u64, publish_time_minutes: f64) -> u64 {
+        if let Some(last) = self.updates.last() {
+            assert!(
+                publish_time_minutes >= last.publish_time_minutes,
+                "updates must be published in chronological order"
+            );
+        }
+        let version = self.latest_version() + 1;
+        self.updates.push(PublishedUpdate {
+            version,
+            bytes,
+            publish_time_minutes,
+        });
+        version
+    }
+
+    /// Pending bytes for a node currently at `node_version`.
+    #[must_use]
+    pub fn pending_bytes(&self, node_version: u64) -> u64 {
+        self.updates
+            .iter()
+            .filter(|u| u.version > node_version)
+            .map(|u| u.bytes)
+            .sum()
+    }
+
+    /// Synchronise a node at `node_version` at time `now_minutes`, optionally with version
+    /// batching: when `max_batched_versions` is `Some(k)`, at most the `k` oldest pending
+    /// updates are pulled in this event (real deployments batch to bound each sync).
+    #[must_use]
+    pub fn sync(
+        &self,
+        node_version: u64,
+        now_minutes: f64,
+        max_batched_versions: Option<usize>,
+    ) -> SyncResult {
+        let pending: Vec<&PublishedUpdate> = self
+            .updates
+            .iter()
+            .filter(|u| u.version > node_version)
+            .collect();
+        let taken: Vec<&PublishedUpdate> = match max_batched_versions {
+            Some(k) => pending.iter().copied().take(k.max(1)).collect(),
+            None => pending,
+        };
+        if taken.is_empty() {
+            return SyncResult {
+                new_version: node_version.max(self.latest_version().min(node_version)),
+                bytes: 0,
+                transfer_seconds: 0.0,
+                staleness_minutes: 0.0,
+            };
+        }
+        let bytes: u64 = taken.iter().map(|u| u.bytes).sum();
+        let staleness = (now_minutes - taken[0].publish_time_minutes).max(0.0);
+        SyncResult {
+            new_version: taken.last().expect("non-empty").version,
+            bytes,
+            transfer_seconds: self.link.transfer_seconds(bytes),
+            staleness_minutes: staleness,
+        }
+    }
+
+    /// Drop updates older than `cutoff_minutes` that every node has already consumed
+    /// (housekeeping; `min_consumed_version` is the minimum version across nodes).
+    pub fn compact(&mut self, min_consumed_version: u64, cutoff_minutes: f64) {
+        self.updates
+            .retain(|u| u.version > min_consumed_version || u.publish_time_minutes >= cutoff_minutes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1_000_000_000;
+
+    fn server() -> ParameterServer {
+        ParameterServer::new(NetworkLink::commodity_100gbe())
+    }
+
+    #[test]
+    fn publish_assigns_increasing_versions() {
+        let mut ps = server();
+        assert_eq!(ps.latest_version(), 0);
+        assert!(ps.is_empty());
+        assert_eq!(ps.publish(GB, 0.0), 1);
+        assert_eq!(ps.publish(GB, 5.0), 2);
+        assert_eq!(ps.latest_version(), 2);
+        assert_eq!(ps.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "chronological order")]
+    fn out_of_order_publish_rejected() {
+        let mut ps = server();
+        ps.publish(GB, 10.0);
+        ps.publish(GB, 5.0);
+    }
+
+    #[test]
+    fn pending_bytes_accumulate() {
+        let mut ps = server();
+        ps.publish(GB, 0.0);
+        ps.publish(2 * GB, 5.0);
+        ps.publish(3 * GB, 10.0);
+        assert_eq!(ps.pending_bytes(0), 6 * GB);
+        assert_eq!(ps.pending_bytes(1), 5 * GB);
+        assert_eq!(ps.pending_bytes(3), 0);
+    }
+
+    #[test]
+    fn sync_pulls_everything_without_batching() {
+        let mut ps = server();
+        ps.publish(GB, 0.0);
+        ps.publish(GB, 5.0);
+        let r = ps.sync(0, 12.0, None);
+        assert_eq!(r.new_version, 2);
+        assert_eq!(r.bytes, 2 * GB);
+        assert!(r.transfer_seconds > 0.0);
+        assert!((r.staleness_minutes - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sync_with_version_batching_limits_pull() {
+        let mut ps = server();
+        for i in 0..5 {
+            ps.publish(GB, i as f64);
+        }
+        let r = ps.sync(0, 10.0, Some(2));
+        assert_eq!(r.new_version, 2);
+        assert_eq!(r.bytes, 2 * GB);
+        // A follow-up sync picks up where it left off.
+        let r2 = ps.sync(r.new_version, 11.0, Some(2));
+        assert_eq!(r2.new_version, 4);
+    }
+
+    #[test]
+    fn sync_when_current_is_free() {
+        let mut ps = server();
+        ps.publish(GB, 0.0);
+        let r = ps.sync(1, 5.0, None);
+        assert_eq!(r.bytes, 0);
+        assert_eq!(r.transfer_seconds, 0.0);
+        assert_eq!(r.staleness_minutes, 0.0);
+        assert_eq!(r.new_version, 1);
+    }
+
+    #[test]
+    fn transfer_time_matches_link_arithmetic() {
+        let mut ps = server();
+        ps.publish(20_000 * GB, 0.0); // 20 TB
+        let r = ps.sync(0, 0.0, None);
+        assert!(r.transfer_seconds / 60.0 > 26.0, "20 TB over 100GbE should take > 26 min");
+    }
+
+    #[test]
+    fn compact_drops_consumed_old_updates() {
+        let mut ps = server();
+        ps.publish(GB, 0.0);
+        ps.publish(GB, 5.0);
+        ps.publish(GB, 10.0);
+        ps.compact(2, 8.0);
+        // Version 1 and 2 are consumed; version 2 is also older than the cutoff → dropped.
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps.latest_version(), 3);
+    }
+}

@@ -1,0 +1,195 @@
+//! CPU utilisation and power model.
+//!
+//! The paper motivates LiveUpdate with two observations about inference-cluster CPUs:
+//! they idle (peak utilisation ≈ 20 %, Fig. 4) and running the co-located trainer costs
+//! only ≈ 20 % extra power (Fig. 5, Fig. 18). [`CpuPowerModel`] converts a utilisation
+//! level into watts with the usual affine-plus-exponent shape of server power curves, and
+//! [`UtilizationModel`] converts request load and training activity into utilisation.
+
+use serde::{Deserialize, Serialize};
+
+/// Utilisation → power curve of a server CPU package.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuPowerModel {
+    /// Power at 0 % utilisation (watts).
+    pub idle_watts: f64,
+    /// Additional power at 100 % utilisation (watts).
+    pub dynamic_range_watts: f64,
+    /// Exponent of the utilisation→power curve (1.0 = linear; <1 = front-loaded).
+    pub exponent: f64,
+}
+
+impl CpuPowerModel {
+    /// Create a power model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is negative or the exponent is zero/negative.
+    #[must_use]
+    pub fn new(idle_watts: f64, dynamic_range_watts: f64, exponent: f64) -> Self {
+        assert!(idle_watts >= 0.0, "idle power must be non-negative");
+        assert!(dynamic_range_watts >= 0.0, "dynamic range must be non-negative");
+        assert!(exponent > 0.0, "exponent must be positive");
+        Self {
+            idle_watts,
+            dynamic_range_watts,
+            exponent,
+        }
+    }
+
+    /// Dual-socket EPYC 9684X package: ≈180 W idle, ≈720 W at full load (2×400 W TDP,
+    /// derated), slightly front-loaded curve.
+    #[must_use]
+    pub fn dual_epyc_9684x() -> Self {
+        Self::new(180.0, 540.0, 0.9)
+    }
+
+    /// Power draw (watts) at a utilisation in `[0, 1]` (clamped).
+    #[must_use]
+    pub fn power_at(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        self.idle_watts + self.dynamic_range_watts * u.powf(self.exponent)
+    }
+
+    /// Relative power increase of running at `with` versus `without` utilisation.
+    #[must_use]
+    pub fn relative_increase(&self, without: f64, with: f64) -> f64 {
+        let base = self.power_at(without);
+        if base == 0.0 {
+            return 0.0;
+        }
+        (self.power_at(with) - base) / base
+    }
+
+    /// Energy (joules) consumed over `seconds` at a constant utilisation.
+    #[must_use]
+    pub fn energy_joules(&self, utilization: f64, seconds: f64) -> f64 {
+        self.power_at(utilization) * seconds.max(0.0)
+    }
+}
+
+impl Default for CpuPowerModel {
+    fn default() -> Self {
+        Self::dual_epyc_9684x()
+    }
+}
+
+/// Converts serving load and training activity into CPU utilisation.
+///
+/// Inference on these nodes is GPU-heavy: even at peak request load the CPUs only reach
+/// `inference_peak_utilization` (the paper's ≈20 %). The co-located trainer adds up to
+/// `training_utilization` on top, bounded by the CCD share it owns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationModel {
+    /// CPU utilisation at peak serving load with no training (paper: ≈0.2).
+    pub inference_peak_utilization: f64,
+    /// Additional utilisation contributed by the LoRA trainer at full activity.
+    pub training_utilization: f64,
+}
+
+impl Default for UtilizationModel {
+    fn default() -> Self {
+        Self {
+            inference_peak_utilization: 0.20,
+            training_utilization: 0.15,
+        }
+    }
+}
+
+impl UtilizationModel {
+    /// Utilisation given a normalised serving load in `[0, 1]` and whether the trainer is
+    /// active, scaled by the fraction of CCDs the trainer owns.
+    #[must_use]
+    pub fn utilization(&self, normalized_load: f64, training_active: bool, training_ccd_fraction: f64) -> f64 {
+        let load = normalized_load.clamp(0.0, 1.0);
+        let mut u = self.inference_peak_utilization * load;
+        if training_active {
+            u += self.training_utilization * training_ccd_fraction.clamp(0.0, 1.0);
+        }
+        u.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "exponent must be positive")]
+    fn bad_exponent_rejected() {
+        let _ = CpuPowerModel::new(100.0, 100.0, 0.0);
+    }
+
+    #[test]
+    fn power_monotone_in_utilization() {
+        let m = CpuPowerModel::default();
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let p = m.power_at(i as f64 / 10.0);
+            assert!(p >= prev);
+            prev = p;
+        }
+        assert_eq!(m.power_at(0.0), m.idle_watts);
+        assert!((m.power_at(1.0) - (m.idle_watts + m.dynamic_range_watts)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_clamps_out_of_range_utilization() {
+        let m = CpuPowerModel::default();
+        assert_eq!(m.power_at(-1.0), m.power_at(0.0));
+        assert_eq!(m.power_at(2.0), m.power_at(1.0));
+    }
+
+    #[test]
+    fn paper_training_overhead_is_modest() {
+        // Paper Fig. 5: co-located training costs roughly 20 % more power than
+        // inference-only. With ~20 % serving utilisation and the trainer adding ~12 %
+        // utilisation on its CCD share, the relative power increase lands near that.
+        let power = CpuPowerModel::default();
+        let util = UtilizationModel::default();
+        let infer_only = util.utilization(1.0, false, 0.0);
+        let co_located = util.utilization(1.0, true, 0.8);
+        let increase = power.relative_increase(infer_only, co_located);
+        assert!(increase > 0.05 && increase < 0.40, "relative increase {increase:.3}");
+    }
+
+    #[test]
+    fn energy_scales_with_time() {
+        let m = CpuPowerModel::default();
+        let one = m.energy_joules(0.5, 60.0);
+        let two = m.energy_joules(0.5, 120.0);
+        assert!((two - 2.0 * one).abs() < 1e-9);
+        assert_eq!(m.energy_joules(0.5, -5.0), 0.0);
+    }
+
+    #[test]
+    fn utilization_model_bounds_and_shape() {
+        let u = UtilizationModel::default();
+        assert_eq!(u.utilization(0.0, false, 0.0), 0.0);
+        assert!((u.utilization(1.0, false, 0.0) - 0.20).abs() < 1e-12);
+        let with_training = u.utilization(1.0, true, 1.0);
+        assert!(with_training > 0.20 && with_training <= 0.40);
+        // Trainer on a small CCD share adds proportionally less.
+        assert!(u.utilization(1.0, true, 0.2) < with_training);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_utilization_in_unit_interval(load in -1.0f64..2.0, frac in -1.0f64..2.0, active in proptest::bool::ANY) {
+            let u = UtilizationModel::default();
+            let v = u.utilization(load, active, frac);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+
+        #[test]
+        fn prop_power_between_idle_and_peak(util in 0.0f64..1.0) {
+            let m = CpuPowerModel::default();
+            let p = m.power_at(util);
+            prop_assert!(p >= m.idle_watts - 1e-9);
+            prop_assert!(p <= m.idle_watts + m.dynamic_range_watts + 1e-9);
+        }
+    }
+}

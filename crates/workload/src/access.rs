@@ -1,0 +1,232 @@
+//! Access-distribution statistics over embedding lookups.
+//!
+//! Paper Fig. 12 plots the CDF of embedding accesses and reports that the top 10 % of
+//! indices account for 93.8 % of lookups; that skew is what the CCD-local caching and the
+//! LoRA-table pruning threshold `τ_prune` are calibrated against. [`AccessHistogram`]
+//! accumulates per-ID access counts and reproduces those statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-ID access counter with CDF/top-share queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl AccessHistogram {
+    /// Create a histogram over `num_ids` IDs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_ids == 0`.
+    #[must_use]
+    pub fn new(num_ids: usize) -> Self {
+        assert!(num_ids > 0, "histogram needs at least one id");
+        Self {
+            counts: vec![0; num_ids],
+            total: 0,
+        }
+    }
+
+    /// Number of distinct IDs tracked.
+    #[must_use]
+    pub fn num_ids(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of recorded accesses.
+    #[must_use]
+    pub fn total_accesses(&self) -> u64 {
+        self.total
+    }
+
+    /// Record one access to `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn record(&mut self, id: usize) {
+        assert!(id < self.counts.len(), "id {id} out of bounds");
+        self.counts[id] += 1;
+        self.total += 1;
+    }
+
+    /// Record every ID of an iterator.
+    pub fn record_all<I: IntoIterator<Item = usize>>(&mut self, ids: I) {
+        for id in ids {
+            self.record(id);
+        }
+    }
+
+    /// Access count for a specific ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    #[must_use]
+    pub fn count(&self, id: usize) -> u64 {
+        assert!(id < self.counts.len(), "id {id} out of bounds");
+        self.counts[id]
+    }
+
+    /// Fraction of accesses captured by the most-accessed `fraction` of IDs
+    /// (e.g. `top_share(0.1)` → paper's 93.8 % figure). Returns `0.0` with no accesses.
+    #[must_use]
+    pub fn top_share(&self, fraction: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let fraction = fraction.clamp(0.0, 1.0);
+        let k = ((self.counts.len() as f64) * fraction).round() as usize;
+        if k == 0 {
+            return 0.0;
+        }
+        let mut sorted = self.counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top: u64 = sorted.iter().take(k).sum();
+        top as f64 / self.total as f64
+    }
+
+    /// The CDF of accesses over IDs sorted from most to least accessed, sampled at
+    /// `points` evenly spaced fractions of the ID space. Returns `(fraction_of_ids,
+    /// cumulative_share_of_accesses)` pairs — the series plotted in paper Fig. 12.
+    #[must_use]
+    pub fn cdf(&self, points: usize) -> Vec<(f64, f64)> {
+        let points = points.max(2);
+        (0..points)
+            .map(|i| {
+                let frac = i as f64 / (points - 1) as f64;
+                (frac, self.top_share(frac))
+            })
+            .collect()
+    }
+
+    /// The access-count threshold such that exactly the top `fraction` of IDs (by count)
+    /// meet or exceed it. This is how LiveUpdate initialises the pruning threshold
+    /// `τ_prune` to "the access frequency of the rank-10 % index" (paper §IV-C).
+    #[must_use]
+    pub fn threshold_for_top_fraction(&self, fraction: f64) -> u64 {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let k = ((self.counts.len() as f64) * fraction).round() as usize;
+        if k == 0 {
+            return u64::MAX;
+        }
+        let mut sorted = self.counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        sorted[k.min(sorted.len()) - 1]
+    }
+
+    /// IDs whose access count is at least `threshold`, in ascending id order.
+    #[must_use]
+    pub fn ids_with_count_at_least(&self, threshold: u64) -> Vec<usize> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c >= threshold)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zipf::ZipfSampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "at least one id")]
+    fn empty_histogram_rejected() {
+        let _ = AccessHistogram::new(0);
+    }
+
+    #[test]
+    fn record_and_count() {
+        let mut h = AccessHistogram::new(5);
+        h.record(0);
+        h.record(0);
+        h.record(3);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(3), 1);
+        assert_eq!(h.count(4), 0);
+        assert_eq!(h.total_accesses(), 3);
+        assert_eq!(h.num_ids(), 5);
+    }
+
+    #[test]
+    fn top_share_of_concentrated_accesses() {
+        let mut h = AccessHistogram::new(10);
+        // 90 accesses to id 0, 10 spread over the rest.
+        for _ in 0..90 {
+            h.record(0);
+        }
+        h.record_all(1..=9);
+        h.record(1);
+        assert!((h.top_share(0.1) - 0.9).abs() < 1e-12);
+        assert!((h.top_share(1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(h.top_share(0.0), 0.0);
+    }
+
+    #[test]
+    fn top_share_empty_is_zero() {
+        let h = AccessHistogram::new(4);
+        assert_eq!(h.top_share(0.5), 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_anchored() {
+        let mut h = AccessHistogram::new(100);
+        let z = ZipfSampler::new(100, 1.05);
+        let mut rng = StdRng::seed_from_u64(1);
+        h.record_all(z.sample_many(&mut rng, 10_000));
+        let cdf = h.cdf(11);
+        assert_eq!(cdf.len(), 11);
+        assert_eq!(cdf[0], (0.0, 0.0));
+        assert!((cdf[10].1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_access_matches_paper_skew() {
+        // With the paper's skew, a large table should see ≥ 80 % of accesses on the top 10 %.
+        let mut h = AccessHistogram::new(10_000);
+        let z = ZipfSampler::new(10_000, 1.05);
+        let mut rng = StdRng::seed_from_u64(2);
+        h.record_all(z.sample_many(&mut rng, 200_000));
+        let share = h.top_share(0.1);
+        assert!(share > 0.75, "top-10% share {share}");
+    }
+
+    #[test]
+    fn threshold_and_hot_set() {
+        let mut h = AccessHistogram::new(10);
+        for (id, n) in [(0usize, 50u64), (1, 30), (2, 10), (3, 5)] {
+            for _ in 0..n {
+                h.record(id);
+            }
+        }
+        let thr = h.threshold_for_top_fraction(0.2);
+        assert_eq!(thr, 30);
+        assert_eq!(h.ids_with_count_at_least(thr), vec![0, 1]);
+        assert_eq!(h.threshold_for_top_fraction(0.0), u64::MAX);
+    }
+
+    #[test]
+    fn reset_clears_counts() {
+        let mut h = AccessHistogram::new(3);
+        h.record_all([0, 1, 2, 0]);
+        h.reset();
+        assert_eq!(h.total_accesses(), 0);
+        assert_eq!(h.count(0), 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Request-arrival model for the inference cluster.
+//!
+//! The paper's utilisation/power figures (Fig. 4, Fig. 5, Fig. 18) are driven by a diurnal
+//! traffic pattern: load is high in the evening, low at night, and the sustained rate is on
+//! the order of 100 million requests per 5-minute window. [`ArrivalModel`] reproduces that
+//! shape with a configurable base rate, diurnal amplitude and short-term burstiness.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Diurnal + bursty arrival-rate model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalModel {
+    /// Mean requests per minute over a whole day.
+    pub base_rate_per_minute: f64,
+    /// Relative amplitude of the diurnal (24-hour period) modulation, in `[0, 1]`.
+    pub diurnal_amplitude: f64,
+    /// Hour of day (0–24) at which traffic peaks.
+    pub peak_hour: f64,
+    /// Relative amplitude of uniform short-term noise applied per query of the rate.
+    pub burst_amplitude: f64,
+}
+
+impl Default for ArrivalModel {
+    fn default() -> Self {
+        Self {
+            // Scaled-down stand-in for the paper's ~20M requests/minute production load.
+            base_rate_per_minute: 20_000.0,
+            diurnal_amplitude: 0.45,
+            peak_hour: 20.0,
+            burst_amplitude: 0.1,
+        }
+    }
+}
+
+impl ArrivalModel {
+    /// Deterministic (noise-free) arrival rate at an absolute time expressed in minutes
+    /// since midnight of day 0. The rate is periodic with a 24-hour period.
+    #[must_use]
+    pub fn rate_at(&self, time_minutes: f64) -> f64 {
+        let hour = (time_minutes / 60.0).rem_euclid(24.0);
+        let phase = (hour - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+        let diurnal = 1.0 + self.diurnal_amplitude * phase.cos();
+        (self.base_rate_per_minute * diurnal).max(0.0)
+    }
+
+    /// Arrival rate with burst noise applied, drawn from the supplied RNG.
+    pub fn noisy_rate_at<R: Rng + ?Sized>(&self, time_minutes: f64, rng: &mut R) -> f64 {
+        let noise = 1.0 + rng.gen_range(-self.burst_amplitude..=self.burst_amplitude);
+        (self.rate_at(time_minutes) * noise).max(0.0)
+    }
+
+    /// Expected number of requests in the window `[start, start + duration)` minutes,
+    /// integrated numerically at one-minute resolution.
+    #[must_use]
+    pub fn requests_in_window(&self, start_minutes: f64, duration_minutes: f64) -> f64 {
+        if duration_minutes <= 0.0 {
+            return 0.0;
+        }
+        let steps = duration_minutes.ceil() as usize;
+        let dt = duration_minutes / steps as f64;
+        (0..steps)
+            .map(|i| self.rate_at(start_minutes + (i as f64 + 0.5) * dt) * dt)
+            .sum()
+    }
+
+    /// Normalised load (rate / peak rate) at a time, in `[0, 1]`. Useful as a utilisation
+    /// driver for the power model.
+    #[must_use]
+    pub fn normalized_load_at(&self, time_minutes: f64) -> f64 {
+        let peak = self.base_rate_per_minute * (1.0 + self.diurnal_amplitude);
+        if peak <= 0.0 {
+            return 0.0;
+        }
+        (self.rate_at(time_minutes) / peak).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rate_peaks_at_peak_hour() {
+        let m = ArrivalModel::default();
+        let peak_rate = m.rate_at(m.peak_hour * 60.0);
+        for hour in 0..24 {
+            assert!(m.rate_at(hour as f64 * 60.0) <= peak_rate + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rate_is_periodic_over_24h() {
+        let m = ArrivalModel::default();
+        for t in [0.0, 123.0, 456.0, 1000.0] {
+            assert!((m.rate_at(t) - m.rate_at(t + 24.0 * 60.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn trough_is_lower_than_peak() {
+        let m = ArrivalModel::default();
+        let peak = m.rate_at(m.peak_hour * 60.0);
+        let trough = m.rate_at((m.peak_hour + 12.0) * 60.0);
+        assert!(trough < peak * 0.7);
+        assert!(trough > 0.0);
+    }
+
+    #[test]
+    fn requests_in_window_scales_with_duration() {
+        let m = ArrivalModel::default();
+        let five = m.requests_in_window(600.0, 5.0);
+        let ten = m.requests_in_window(600.0, 10.0);
+        assert!(ten > five * 1.5);
+        assert_eq!(m.requests_in_window(0.0, 0.0), 0.0);
+        assert_eq!(m.requests_in_window(0.0, -5.0), 0.0);
+    }
+
+    #[test]
+    fn noisy_rate_within_burst_bounds() {
+        let m = ArrivalModel::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = m.rate_at(100.0);
+        for _ in 0..100 {
+            let noisy = m.noisy_rate_at(100.0, &mut rng);
+            assert!(noisy >= base * (1.0 - m.burst_amplitude) - 1e-9);
+            assert!(noisy <= base * (1.0 + m.burst_amplitude) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn normalized_load_in_unit_interval() {
+        let m = ArrivalModel::default();
+        for t in 0..(24 * 60) {
+            let l = m.normalized_load_at(t as f64);
+            assert!((0.0..=1.0).contains(&l));
+        }
+        assert!((m.normalized_load_at(m.peak_hour * 60.0) - 1.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_rate_nonnegative(base in 0.0f64..1e6, amp in 0.0f64..1.0, peak in 0.0f64..24.0, t in 0.0f64..10_000.0) {
+            let m = ArrivalModel {
+                base_rate_per_minute: base,
+                diurnal_amplitude: amp,
+                peak_hour: peak,
+                burst_amplitude: 0.0,
+            };
+            prop_assert!(m.rate_at(t) >= 0.0);
+            prop_assert!(m.normalized_load_at(t) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Dataset presets mirroring Table II of the paper.
+//!
+//! Two kinds of numbers live here:
+//!
+//! * **Logical scale** — the sample counts and embedding-table bytes the paper reports
+//!   (Avazu 0.55 GB, Criteo 1.9 GB, the TB-scale variants at 50 TB). These feed the
+//!   *analytic* cost models (transfer time over 100 GbE, memory-footprint accounting) and
+//!   are never allocated.
+//! * **Simulation scale** — a scaled-down [`WorkloadConfig`] + DLRM shape that is actually
+//!   instantiated to run accuracy experiments on a laptop while preserving the statistical
+//!   properties that matter (skew, drift, multi-hot structure).
+
+use crate::drift::DriftConfig;
+use crate::synthetic::WorkloadConfig;
+use liveupdate_dlrm::model::DlrmConfig;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a dataset preset used throughout the benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetPreset {
+    /// Avazu click-through-rate dataset (public, 32.3 M samples, 0.55 GB EMTs).
+    Avazu,
+    /// Criteo display-advertising dataset (public, 45.8 M samples, 1.9 GB EMTs).
+    Criteo,
+    /// ByteDance production trace (1.5 TB, 5 B samples, 50 TB EMTs) — simulated.
+    BdTb,
+    /// Avazu synthetically scaled to 50 TB of EMTs (systems-centric evaluation).
+    AvazuTb,
+    /// Criteo synthetically scaled to 50 TB of EMTs (systems-centric evaluation).
+    CriteoTb,
+}
+
+impl DatasetPreset {
+    /// All presets in the order of paper Table II.
+    #[must_use]
+    pub fn all() -> [DatasetPreset; 5] {
+        [
+            DatasetPreset::Avazu,
+            DatasetPreset::Criteo,
+            DatasetPreset::BdTb,
+            DatasetPreset::AvazuTb,
+            DatasetPreset::CriteoTb,
+        ]
+    }
+
+    /// The three production-scale presets used in the systems experiments (Fig. 14).
+    #[must_use]
+    pub fn tb_scale() -> [DatasetPreset; 3] {
+        [DatasetPreset::AvazuTb, DatasetPreset::CriteoTb, DatasetPreset::BdTb]
+    }
+
+    /// The three accuracy presets used in Table III.
+    #[must_use]
+    pub fn accuracy() -> [DatasetPreset; 3] {
+        [DatasetPreset::Avazu, DatasetPreset::Criteo, DatasetPreset::BdTb]
+    }
+
+    /// Human-readable name matching the paper.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetPreset::Avazu => "Avazu",
+            DatasetPreset::Criteo => "Criteo",
+            DatasetPreset::BdTb => "BD-TB",
+            DatasetPreset::AvazuTb => "Avazu-TB",
+            DatasetPreset::CriteoTb => "Criteo-TB",
+        }
+    }
+
+    /// Full specification for this preset.
+    #[must_use]
+    pub fn spec(&self) -> DatasetSpec {
+        match self {
+            DatasetPreset::Avazu => DatasetSpec {
+                preset: *self,
+                samples: 32_300_000,
+                dataset_bytes: gb(4.7),
+                embedding_table_bytes: gb(0.55),
+                num_sparse_fields: 21,
+                drift: DriftConfig {
+                    rotation_period_minutes: 360.0,
+                    affinity_scale: 1.2,
+                    emerging_fraction: 0.05,
+                    emerging_ramp_minutes: 90.0,
+                },
+                sim_table_size: 2_000,
+                sim_num_tables: 4,
+                sim_embedding_dim: 16,
+            },
+            DatasetPreset::Criteo => DatasetSpec {
+                preset: *self,
+                samples: 45_800_000,
+                dataset_bytes: gb(11.0),
+                embedding_table_bytes: gb(1.9),
+                num_sparse_fields: 26,
+                drift: DriftConfig {
+                    rotation_period_minutes: 300.0,
+                    affinity_scale: 1.5,
+                    emerging_fraction: 0.08,
+                    emerging_ramp_minutes: 75.0,
+                },
+                sim_table_size: 3_000,
+                sim_num_tables: 5,
+                sim_embedding_dim: 16,
+            },
+            DatasetPreset::BdTb => DatasetSpec {
+                preset: *self,
+                samples: 5_000_000_000,
+                dataset_bytes: tb(1.5),
+                embedding_table_bytes: tb(50.0),
+                num_sparse_fields: 32,
+                drift: DriftConfig {
+                    rotation_period_minutes: 180.0,
+                    affinity_scale: 1.8,
+                    emerging_fraction: 0.12,
+                    emerging_ramp_minutes: 45.0,
+                },
+                sim_table_size: 4_000,
+                sim_num_tables: 6,
+                sim_embedding_dim: 16,
+            },
+            DatasetPreset::AvazuTb => DatasetSpec {
+                preset: *self,
+                samples: 5_000_000_000,
+                dataset_bytes: tb(0.72),
+                embedding_table_bytes: tb(50.0),
+                num_sparse_fields: 21,
+                drift: DriftConfig {
+                    rotation_period_minutes: 360.0,
+                    affinity_scale: 1.2,
+                    emerging_fraction: 0.05,
+                    emerging_ramp_minutes: 90.0,
+                },
+                sim_table_size: 2_000,
+                sim_num_tables: 4,
+                sim_embedding_dim: 16,
+            },
+            DatasetPreset::CriteoTb => DatasetSpec {
+                preset: *self,
+                samples: 5_000_000_000,
+                dataset_bytes: tb(1.2),
+                embedding_table_bytes: tb(50.0),
+                num_sparse_fields: 26,
+                drift: DriftConfig {
+                    rotation_period_minutes: 300.0,
+                    affinity_scale: 1.5,
+                    emerging_fraction: 0.08,
+                    emerging_ramp_minutes: 75.0,
+                },
+                sim_table_size: 3_000,
+                sim_num_tables: 5,
+                sim_embedding_dim: 16,
+            },
+        }
+    }
+}
+
+/// Gigabytes → bytes.
+fn gb(x: f64) -> u64 {
+    (x * 1e9) as u64
+}
+
+/// Terabytes → bytes.
+fn tb(x: f64) -> u64 {
+    (x * 1e12) as u64
+}
+
+/// Logical and simulation-scale parameters of one dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Which preset this spec belongs to.
+    pub preset: DatasetPreset,
+    /// Number of interaction samples the paper reports for this dataset.
+    pub samples: u64,
+    /// Total raw dataset size in bytes.
+    pub dataset_bytes: u64,
+    /// Total embedding-table size in bytes (the quantity synchronisation cost scales with).
+    pub embedding_table_bytes: u64,
+    /// Number of sparse feature fields in the original dataset.
+    pub num_sparse_fields: usize,
+    /// Drift parameters used when this preset is run as a synthetic stream.
+    pub drift: DriftConfig,
+    /// Scaled-down per-table row count actually instantiated in accuracy experiments.
+    pub sim_table_size: usize,
+    /// Scaled-down number of embedding tables actually instantiated.
+    pub sim_num_tables: usize,
+    /// Embedding dimension used in simulation (the paper's tables use `d = 16`).
+    pub sim_embedding_dim: usize,
+}
+
+impl DatasetSpec {
+    /// The scaled-down synthetic workload for accuracy experiments on this dataset.
+    #[must_use]
+    pub fn workload_config(&self, seed: u64) -> WorkloadConfig {
+        WorkloadConfig {
+            num_tables: self.sim_num_tables,
+            table_size: self.sim_table_size,
+            dense_dim: 2,
+            zipf_exponent: 1.05,
+            max_multi_hot: 2,
+            popularity_rotation_minutes: 30.0,
+            rotation_step: self.sim_table_size / 97 + 1,
+            drift: self.drift,
+            click_bias: -0.4,
+            seed,
+        }
+    }
+
+    /// The scaled-down DLRM configuration matching [`DatasetSpec::workload_config`].
+    #[must_use]
+    pub fn dlrm_config(&self) -> DlrmConfig {
+        DlrmConfig {
+            table_sizes: vec![self.sim_table_size; self.sim_num_tables],
+            embedding_dim: self.sim_embedding_dim,
+            dense_dim: 2,
+            bottom_hidden: vec![16],
+            top_hidden: vec![32],
+            optimizer: liveupdate_dlrm::optim::OptimizerConfig::default(),
+        }
+    }
+
+    /// Ratio between the paper-scale embedding bytes and the simulated embedding bytes;
+    /// used to extrapolate simulated costs back to production scale.
+    #[must_use]
+    pub fn scale_factor(&self) -> f64 {
+        let sim_bytes =
+            (self.sim_table_size * self.sim_num_tables * self.sim_embedding_dim * std::mem::size_of::<f64>()) as f64;
+        self.embedding_table_bytes as f64 / sim_bytes
+    }
+
+    /// Is this one of the 50 TB systems-evaluation presets?
+    #[must_use]
+    pub fn is_tb_scale(&self) -> bool {
+        self.embedding_table_bytes >= tb(10.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_listed_once() {
+        let all = DatasetPreset::all();
+        assert_eq!(all.len(), 5);
+        let names: Vec<&str> = all.iter().map(DatasetPreset::name).collect();
+        assert_eq!(names, vec!["Avazu", "Criteo", "BD-TB", "Avazu-TB", "Criteo-TB"]);
+    }
+
+    #[test]
+    fn table2_sizes_match_paper() {
+        assert_eq!(DatasetPreset::Avazu.spec().embedding_table_bytes, gb(0.55));
+        assert_eq!(DatasetPreset::Criteo.spec().embedding_table_bytes, gb(1.9));
+        assert_eq!(DatasetPreset::BdTb.spec().embedding_table_bytes, tb(50.0));
+        assert_eq!(DatasetPreset::AvazuTb.spec().embedding_table_bytes, tb(50.0));
+        assert_eq!(DatasetPreset::CriteoTb.spec().embedding_table_bytes, tb(50.0));
+        assert_eq!(DatasetPreset::Avazu.spec().samples, 32_300_000);
+        assert_eq!(DatasetPreset::Criteo.spec().samples, 45_800_000);
+    }
+
+    #[test]
+    fn tb_scale_classification() {
+        assert!(!DatasetPreset::Avazu.spec().is_tb_scale());
+        assert!(!DatasetPreset::Criteo.spec().is_tb_scale());
+        for p in DatasetPreset::tb_scale() {
+            assert!(p.spec().is_tb_scale());
+        }
+    }
+
+    #[test]
+    fn accuracy_presets_are_paper_columns() {
+        let names: Vec<&str> = DatasetPreset::accuracy().iter().map(DatasetPreset::name).collect();
+        assert_eq!(names, vec!["Avazu", "Criteo", "BD-TB"]);
+    }
+
+    #[test]
+    fn workload_and_dlrm_configs_are_consistent() {
+        for preset in DatasetPreset::all() {
+            let spec = preset.spec();
+            let wl = spec.workload_config(7);
+            assert!(wl.is_valid(), "{} workload invalid", preset.name());
+            let dlrm = spec.dlrm_config();
+            assert!(dlrm.validate().is_ok(), "{} dlrm config invalid", preset.name());
+            assert_eq!(wl.num_tables, dlrm.table_sizes.len());
+            assert_eq!(wl.table_size, dlrm.table_sizes[0]);
+        }
+    }
+
+    #[test]
+    fn scale_factor_is_large_for_tb_datasets() {
+        let spec = DatasetPreset::BdTb.spec();
+        assert!(spec.scale_factor() > 1e4);
+        let small = DatasetPreset::Avazu.spec();
+        assert!(small.scale_factor() > 1.0);
+        assert!(small.scale_factor() < spec.scale_factor());
+    }
+}

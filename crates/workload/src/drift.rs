@@ -1,0 +1,264 @@
+//! Concept drift: the non-stationary ground truth that makes freshness matter.
+//!
+//! The whole premise of LiveUpdate is that recommendation quality decays when the served
+//! model lags behind the data distribution (paper Fig. 3b: accuracy declines between
+//! updates and recovers sharply after one). [`DriftConfig`] and [`AffinityDrift`] provide a
+//! controllable stand-in for the production non-stationarity:
+//!
+//! * every embedding ID has a latent *affinity* that follows a slow sinusoid with a
+//!   per-ID phase (preference rotation), and
+//! * a configurable fraction of IDs are *emerging*: their affinity ramps in over time from
+//!   zero (new items/trends the stale model has never seen).
+//!
+//! A model trained on data up to time `t₀` therefore mispredicts data at `t₀ + Δ`
+//! proportionally to the drift the configuration injects.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the drifting ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Period (minutes) of the slow affinity rotation. Smaller = faster drift.
+    pub rotation_period_minutes: f64,
+    /// Scale of each ID's affinity contribution to the click logit.
+    pub affinity_scale: f64,
+    /// Fraction of IDs (per table) treated as emerging items whose affinity ramps in.
+    pub emerging_fraction: f64,
+    /// Time (minutes) an emerging item takes to reach full affinity.
+    pub emerging_ramp_minutes: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            rotation_period_minutes: 240.0,
+            affinity_scale: 1.5,
+            emerging_fraction: 0.1,
+            emerging_ramp_minutes: 60.0,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// A configuration with no drift at all: affinities are constant in time.
+    #[must_use]
+    pub fn stationary() -> Self {
+        Self {
+            rotation_period_minutes: f64::INFINITY,
+            affinity_scale: 1.5,
+            emerging_fraction: 0.0,
+            emerging_ramp_minutes: 1.0,
+        }
+    }
+
+    /// Validate the configuration.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.rotation_period_minutes > 0.0
+            && self.affinity_scale.is_finite()
+            && (0.0..=1.0).contains(&self.emerging_fraction)
+            && self.emerging_ramp_minutes > 0.0
+    }
+}
+
+/// Deterministic per-ID affinity process for one embedding table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AffinityDrift {
+    config: DriftConfig,
+    table_size: usize,
+    /// Seed mixed into the per-ID phase/base so different tables drift differently.
+    table_seed: u64,
+}
+
+impl AffinityDrift {
+    /// Create the affinity process for a table of `table_size` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `table_size == 0`.
+    #[must_use]
+    pub fn new(config: DriftConfig, table_size: usize, table_seed: u64) -> Self {
+        assert!(config.is_valid(), "invalid drift configuration");
+        assert!(table_size > 0, "table size must be positive");
+        Self {
+            config,
+            table_size,
+            table_seed,
+        }
+    }
+
+    /// The drift configuration.
+    #[must_use]
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Number of rows this process covers.
+    #[must_use]
+    pub fn table_size(&self) -> usize {
+        self.table_size
+    }
+
+    /// Deterministic pseudo-random value in `[0, 1)` derived from the ID and table seed.
+    fn hash_unit(&self, id: usize, salt: u64) -> f64 {
+        let mut x = (id as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.table_seed.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(salt.wrapping_mul(0x94D0_49BB_1331_11EB));
+        // SplitMix64 finaliser.
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Whether an ID is an emerging item under this configuration.
+    #[must_use]
+    pub fn is_emerging(&self, id: usize) -> bool {
+        self.hash_unit(id, 1) < self.config.emerging_fraction
+    }
+
+    /// Latent affinity of `id` at `time_minutes`. Bounded by `affinity_scale` in absolute
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= table_size`.
+    #[must_use]
+    pub fn affinity(&self, id: usize, time_minutes: f64) -> f64 {
+        assert!(id < self.table_size, "id {id} out of bounds ({})", self.table_size);
+        let base = 2.0 * self.hash_unit(id, 2) - 1.0; // static component in [-1, 1]
+        let phase = self.hash_unit(id, 3) * std::f64::consts::TAU;
+        let rotation = if self.config.rotation_period_minutes.is_finite() {
+            (time_minutes / self.config.rotation_period_minutes * std::f64::consts::TAU + phase).sin()
+        } else {
+            phase.sin()
+        };
+        // Blend a static preference with the rotating (drifting) component.
+        let mut value = 0.4 * base + 0.6 * rotation;
+        if self.is_emerging(id) {
+            // Emerging items ramp in linearly and then keep drifting like everyone else.
+            let ramp = (time_minutes / self.config.emerging_ramp_minutes).clamp(0.0, 1.0);
+            value *= ramp;
+        }
+        value * self.config.affinity_scale
+    }
+
+    /// Mean absolute affinity change between two times, averaged over a deterministic
+    /// sample of IDs. This is the "how much did the world move?" measure used to calibrate
+    /// update-ratio experiments.
+    #[must_use]
+    pub fn mean_shift(&self, from_minutes: f64, to_minutes: f64, sample: usize) -> f64 {
+        let sample = sample.clamp(1, self.table_size);
+        let stride = (self.table_size / sample).max(1);
+        let ids: Vec<usize> = (0..self.table_size).step_by(stride).take(sample).collect();
+        let total: f64 = ids
+            .iter()
+            .map(|&id| (self.affinity(id, to_minutes) - self.affinity(id, from_minutes)).abs())
+            .sum();
+        total / ids.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_config_valid() {
+        assert!(DriftConfig::default().is_valid());
+        assert!(DriftConfig::stationary().is_valid());
+    }
+
+    #[test]
+    fn invalid_configs_detected() {
+        let mut c = DriftConfig::default();
+        c.rotation_period_minutes = 0.0;
+        assert!(!c.is_valid());
+        c = DriftConfig::default();
+        c.emerging_fraction = 1.5;
+        assert!(!c.is_valid());
+        c = DriftConfig::default();
+        c.emerging_ramp_minutes = -1.0;
+        assert!(!c.is_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "table size must be positive")]
+    fn zero_table_rejected() {
+        let _ = AffinityDrift::new(DriftConfig::default(), 0, 0);
+    }
+
+    #[test]
+    fn affinity_is_deterministic_and_bounded() {
+        let d = AffinityDrift::new(DriftConfig::default(), 1000, 7);
+        for id in (0..1000).step_by(37) {
+            for t in [0.0, 10.0, 100.0, 1000.0] {
+                let a = d.affinity(id, t);
+                let b = d.affinity(id, t);
+                assert_eq!(a, b, "affinity must be deterministic");
+                assert!(a.abs() <= d.config().affinity_scale + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_config_never_drifts() {
+        let d = AffinityDrift::new(DriftConfig::stationary(), 500, 3);
+        for id in (0..500).step_by(13) {
+            let a0 = d.affinity(id, 0.0);
+            let a1 = d.affinity(id, 10_000.0);
+            assert!((a0 - a1).abs() < 1e-12);
+        }
+        assert!(d.mean_shift(0.0, 10_000.0, 100) < 1e-12);
+    }
+
+    #[test]
+    fn drifting_config_moves_over_time() {
+        let d = AffinityDrift::new(DriftConfig::default(), 2000, 11);
+        // Over a quarter rotation the world should move noticeably.
+        let shift = d.mean_shift(0.0, 60.0, 500);
+        assert!(shift > 0.05, "mean shift {shift} too small");
+        // Over a very short horizon it should move much less.
+        let small = d.mean_shift(0.0, 1.0, 500);
+        assert!(small < shift);
+    }
+
+    #[test]
+    fn emerging_items_start_suppressed() {
+        let cfg = DriftConfig {
+            emerging_fraction: 0.5,
+            ..DriftConfig::default()
+        };
+        let d = AffinityDrift::new(cfg, 4000, 5);
+        let emerging: Vec<usize> = (0..4000).filter(|&id| d.is_emerging(id)).collect();
+        assert!(!emerging.is_empty());
+        // Roughly half the IDs should be emerging.
+        let frac = emerging.len() as f64 / 4000.0;
+        assert!((frac - 0.5).abs() < 0.1, "emerging fraction {frac}");
+        // At t=0 emerging items have zero affinity; later they do not (on average).
+        let at_zero: f64 = emerging.iter().take(100).map(|&id| d.affinity(id, 0.0).abs()).sum();
+        assert!(at_zero < 1e-9);
+        let later: f64 = emerging.iter().take(100).map(|&id| d.affinity(id, 120.0).abs()).sum();
+        assert!(later > 0.1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_affinity_bounded(id in 0usize..500, t in 0.0f64..5000.0, seed in 0u64..50) {
+            let d = AffinityDrift::new(DriftConfig::default(), 500, seed);
+            prop_assert!(d.affinity(id, t).abs() <= d.config().affinity_scale + 1e-12);
+        }
+
+        #[test]
+        fn prop_mean_shift_nonnegative(t1 in 0.0f64..1000.0, t2 in 0.0f64..1000.0) {
+            let d = AffinityDrift::new(DriftConfig::default(), 300, 1);
+            prop_assert!(d.mean_shift(t1, t2, 50) >= 0.0);
+        }
+    }
+}

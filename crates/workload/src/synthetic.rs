@@ -1,0 +1,330 @@
+//! The synthetic CTR stream generator.
+//!
+//! [`SyntheticWorkload`] produces labelled [`Sample`]s whose joint distribution of IDs,
+//! dense features and click labels is controlled by:
+//!
+//! * a Zipfian popularity distribution over IDs, with a slow *popularity rotation* so the
+//!   hot set changes over time (emerging items),
+//! * the drifting ground-truth affinity process of [`crate::drift`], and
+//! * a per-table multi-hot width (most tables are one-hot, some are multi-hot).
+//!
+//! The click label for a sample at time `t` is drawn from
+//! `p = sigmoid(bias + Σ_tables mean_affinity(ids, t) + w·dense)`, so a DLRM that tracks
+//! the current affinities predicts well and a stale one does not — the property every
+//! freshness experiment in the paper depends on.
+
+use crate::drift::{AffinityDrift, DriftConfig};
+use crate::zipf::ZipfSampler;
+use liveupdate_dlrm::loss::sigmoid;
+use liveupdate_dlrm::sample::{MiniBatch, Sample};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a synthetic workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of embedding tables (sparse feature fields).
+    pub num_tables: usize,
+    /// Rows per embedding table.
+    pub table_size: usize,
+    /// Number of dense features per sample.
+    pub dense_dim: usize,
+    /// Zipf exponent of the ID popularity distribution.
+    pub zipf_exponent: f64,
+    /// Maximum multi-hot width; each sample draws between 1 and this many IDs per table.
+    pub max_multi_hot: usize,
+    /// Period (minutes) after which the popularity ranking rotates by `rotation_step`.
+    pub popularity_rotation_minutes: f64,
+    /// How many positions the rank→ID mapping shifts per rotation.
+    pub rotation_step: usize,
+    /// Ground-truth drift parameters.
+    pub drift: DriftConfig,
+    /// Global bias of the click logit (negative ⇒ clicks are rare, as in CTR data).
+    pub click_bias: f64,
+    /// RNG seed; two workloads with the same config and seed produce identical streams.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            num_tables: 4,
+            table_size: 2000,
+            dense_dim: 2,
+            zipf_exponent: 1.05,
+            max_multi_hot: 2,
+            popularity_rotation_minutes: 30.0,
+            rotation_step: 17,
+            drift: DriftConfig::default(),
+            click_bias: -0.4,
+            seed: 1,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Validate the configuration.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.num_tables > 0
+            && self.table_size > 0
+            && self.dense_dim > 0
+            && self.zipf_exponent >= 0.0
+            && self.max_multi_hot >= 1
+            && self.popularity_rotation_minutes > 0.0
+            && self.drift.is_valid()
+    }
+}
+
+/// Stateful generator of a time-indexed CTR stream.
+#[derive(Debug, Clone)]
+pub struct SyntheticWorkload {
+    config: WorkloadConfig,
+    zipf: ZipfSampler,
+    drifts: Vec<AffinityDrift>,
+    dense_weights: Vec<f64>,
+    rng: StdRng,
+}
+
+impl SyntheticWorkload {
+    /// Create a workload from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(config: WorkloadConfig) -> Self {
+        assert!(config.is_valid(), "invalid workload configuration");
+        let zipf = ZipfSampler::new(config.table_size, config.zipf_exponent);
+        let drifts = (0..config.num_tables)
+            .map(|t| AffinityDrift::new(config.drift, config.table_size, config.seed.wrapping_add(t as u64 * 1000)))
+            .collect();
+        let mut weight_rng = StdRng::seed_from_u64(config.seed.wrapping_mul(77).wrapping_add(5));
+        let dense_weights = (0..config.dense_dim).map(|_| weight_rng.gen_range(-0.5..0.5)).collect();
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            config,
+            zipf,
+            drifts,
+            dense_weights,
+            rng,
+        }
+    }
+
+    /// The workload configuration.
+    #[must_use]
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// The per-table affinity drift processes (ground truth).
+    #[must_use]
+    pub fn drifts(&self) -> &[AffinityDrift] {
+        &self.drifts
+    }
+
+    /// Map a popularity rank to a concrete ID at a point in time. The mapping rotates every
+    /// `popularity_rotation_minutes`, which is how emerging items become popular.
+    #[must_use]
+    pub fn rank_to_id(&self, rank: usize, time_minutes: f64) -> usize {
+        let rotations = (time_minutes / self.config.popularity_rotation_minutes).floor() as usize;
+        (rank + rotations.wrapping_mul(self.config.rotation_step)) % self.config.table_size
+    }
+
+    /// Ground-truth click probability of a sample at a point in time.
+    #[must_use]
+    pub fn ground_truth_probability(&self, sample: &Sample, time_minutes: f64) -> f64 {
+        let mut logit = self.config.click_bias;
+        for (table_idx, ids) in sample.sparse.iter().enumerate() {
+            if ids.is_empty() {
+                continue;
+            }
+            let mean_affinity: f64 = ids
+                .iter()
+                .map(|&id| self.drifts[table_idx].affinity(id, time_minutes))
+                .sum::<f64>()
+                / ids.len() as f64;
+            logit += mean_affinity;
+        }
+        for (w, x) in self.dense_weights.iter().zip(&sample.dense) {
+            logit += w * x;
+        }
+        sigmoid(logit)
+    }
+
+    /// Draw one labelled sample at the given time.
+    pub fn sample_at(&mut self, time_minutes: f64) -> Sample {
+        let mut sparse = Vec::with_capacity(self.config.num_tables);
+        for _ in 0..self.config.num_tables {
+            let width = if self.config.max_multi_hot > 1 {
+                self.rng.gen_range(1..=self.config.max_multi_hot)
+            } else {
+                1
+            };
+            let ids: Vec<usize> = (0..width)
+                .map(|_| {
+                    let rank = self.zipf.sample(&mut self.rng);
+                    self.rank_to_id(rank, time_minutes)
+                })
+                .collect();
+            sparse.push(ids);
+        }
+        let dense: Vec<f64> = (0..self.config.dense_dim).map(|_| self.rng.gen_range(-1.0..1.0)).collect();
+        let mut sample = Sample::new(dense, sparse, 0.0);
+        let p = self.ground_truth_probability(&sample, time_minutes);
+        sample.label = if self.rng.gen::<f64>() < p { 1.0 } else { 0.0 };
+        sample
+    }
+
+    /// Draw a batch of labelled samples at the given time.
+    pub fn batch_at(&mut self, time_minutes: f64, count: usize) -> MiniBatch {
+        (0..count).map(|_| self.sample_at(time_minutes)).collect()
+    }
+
+    /// Draw a batch spread uniformly over the window `[start, start + duration)`.
+    /// Returns `(timestamp_minutes, sample)` pairs in chronological order.
+    pub fn window(
+        &mut self,
+        start_minutes: f64,
+        duration_minutes: f64,
+        count: usize,
+    ) -> Vec<(f64, Sample)> {
+        (0..count)
+            .map(|i| {
+                let t = start_minutes + duration_minutes * (i as f64 + 0.5) / count as f64;
+                (t, self.sample_at(t))
+            })
+            .collect()
+    }
+
+    /// Empirical positive-label rate of a batch generated at `time_minutes` (handy for
+    /// calibration tests and dataset presets).
+    pub fn empirical_ctr(&mut self, time_minutes: f64, count: usize) -> f64 {
+        if count == 0 {
+            return 0.0;
+        }
+        let batch = self.batch_at(time_minutes, count);
+        batch.labels().iter().sum::<f64>() / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> SyntheticWorkload {
+        SyntheticWorkload::new(WorkloadConfig::default())
+    }
+
+    #[test]
+    fn default_config_valid() {
+        assert!(WorkloadConfig::default().is_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload configuration")]
+    fn invalid_config_rejected() {
+        let mut cfg = WorkloadConfig::default();
+        cfg.num_tables = 0;
+        let _ = SyntheticWorkload::new(cfg);
+    }
+
+    #[test]
+    fn samples_have_configured_shape() {
+        let mut w = workload();
+        let s = w.sample_at(0.0);
+        assert_eq!(s.dense.len(), 2);
+        assert_eq!(s.sparse.len(), 4);
+        for ids in &s.sparse {
+            assert!(!ids.is_empty() && ids.len() <= 2);
+            assert!(ids.iter().all(|&id| id < 2000));
+        }
+        assert!(s.label == 0.0 || s.label == 1.0);
+    }
+
+    #[test]
+    fn stream_is_reproducible_for_same_seed() {
+        let mut a = workload();
+        let mut b = workload();
+        for t in [0.0, 5.0, 60.0] {
+            assert_eq!(a.batch_at(t, 10), b.batch_at(t, 10));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = workload();
+        let mut cfg = WorkloadConfig::default();
+        cfg.seed = 999;
+        let mut b = SyntheticWorkload::new(cfg);
+        assert_ne!(a.batch_at(0.0, 20), b.batch_at(0.0, 20));
+    }
+
+    #[test]
+    fn ground_truth_probability_in_unit_interval() {
+        let mut w = workload();
+        for t in [0.0, 17.0, 240.0] {
+            let s = w.sample_at(t);
+            let p = w.ground_truth_probability(&s, t);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn labels_track_ground_truth_rate() {
+        let mut w = workload();
+        let ctr = w.empirical_ctr(0.0, 4000);
+        assert!(ctr > 0.05 && ctr < 0.95, "ctr {ctr} should be non-degenerate");
+        assert_eq!(w.empirical_ctr(0.0, 0), 0.0);
+    }
+
+    #[test]
+    fn popularity_rotation_changes_hot_ids() {
+        let w = workload();
+        let before = w.rank_to_id(0, 0.0);
+        let after = w.rank_to_id(0, 31.0);
+        assert_ne!(before, after, "hot id should move after one rotation period");
+        // Within one rotation period the mapping is stable.
+        assert_eq!(w.rank_to_id(0, 0.0), w.rank_to_id(0, 29.0));
+    }
+
+    #[test]
+    fn window_timestamps_monotone_and_in_range() {
+        let mut w = workload();
+        let win = w.window(100.0, 10.0, 50);
+        assert_eq!(win.len(), 50);
+        let mut prev = 100.0;
+        for (t, _) in &win {
+            assert!(*t >= prev);
+            assert!(*t < 110.0);
+            prev = *t;
+        }
+    }
+
+    #[test]
+    fn drift_makes_ground_truth_change_over_time() {
+        let mut w = workload();
+        // Take samples at t=0 and evaluate their ground-truth probability at t=0 and much
+        // later; with drift enabled the probabilities must differ appreciably on average.
+        let batch = w.batch_at(0.0, 200);
+        let mut total_change = 0.0;
+        for s in batch.iter() {
+            total_change += (w.ground_truth_probability(s, 0.0) - w.ground_truth_probability(s, 120.0)).abs();
+        }
+        assert!(total_change / 200.0 > 0.02, "drift too small: {}", total_change / 200.0);
+    }
+
+    #[test]
+    fn stationary_workload_does_not_drift() {
+        let mut cfg = WorkloadConfig::default();
+        cfg.drift = DriftConfig::stationary();
+        let mut w = SyntheticWorkload::new(cfg);
+        let batch = w.batch_at(0.0, 100);
+        for s in batch.iter() {
+            let a = w.ground_truth_probability(s, 0.0);
+            let b = w.ground_truth_probability(s, 10_000.0);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Interaction records and the bounded retention buffer feeding the online update path.
+//!
+//! LiveUpdate has no training pipeline on inference nodes; instead it caches the feature
+//! IDs and labels of real-time requests in a ring buffer with a bounded retention window
+//! (10 minutes in the paper, §IV-E) and trains the LoRA factors from that buffer.
+//! [`RetentionBuffer`] is that structure: append-only at the head, evicting records older
+//! than the retention window, with cheap uniform sampling of training mini-batches.
+
+use liveupdate_dlrm::sample::{MiniBatch, Sample};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One served request retained for online training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InteractionRecord {
+    /// Simulation time (minutes) at which the request was served.
+    pub timestamp_minutes: f64,
+    /// The request features and its (delayed) click label.
+    pub sample: Sample,
+}
+
+impl InteractionRecord {
+    /// Create a record.
+    #[must_use]
+    pub fn new(timestamp_minutes: f64, sample: Sample) -> Self {
+        Self {
+            timestamp_minutes,
+            sample,
+        }
+    }
+}
+
+/// A time-bounded ring buffer of [`InteractionRecord`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetentionBuffer {
+    retention_minutes: f64,
+    max_records: usize,
+    records: VecDeque<InteractionRecord>,
+    /// Total number of records ever pushed (including evicted ones).
+    total_pushed: u64,
+}
+
+impl RetentionBuffer {
+    /// Create a buffer with the given retention window (minutes) and a hard cap on the
+    /// number of records kept (memory bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retention_minutes <= 0` or `max_records == 0`.
+    #[must_use]
+    pub fn new(retention_minutes: f64, max_records: usize) -> Self {
+        assert!(retention_minutes > 0.0, "retention window must be positive");
+        assert!(max_records > 0, "max_records must be positive");
+        Self {
+            retention_minutes,
+            max_records,
+            records: VecDeque::new(),
+            total_pushed: 0,
+        }
+    }
+
+    /// Retention window in minutes.
+    #[must_use]
+    pub fn retention_minutes(&self) -> f64 {
+        self.retention_minutes
+    }
+
+    /// Number of records currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total number of records ever pushed, including evicted ones.
+    #[must_use]
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Push a record taken at `timestamp_minutes` and evict anything that falls outside the
+    /// retention window relative to this (newest) timestamp, or beyond the record cap.
+    pub fn push(&mut self, record: InteractionRecord) {
+        let now = record.timestamp_minutes;
+        self.records.push_back(record);
+        self.total_pushed += 1;
+        self.evict(now);
+    }
+
+    /// Push a whole batch of samples observed at the same timestamp.
+    pub fn push_batch(&mut self, timestamp_minutes: f64, batch: &MiniBatch) {
+        for sample in batch.iter() {
+            self.records
+                .push_back(InteractionRecord::new(timestamp_minutes, sample.clone()));
+            self.total_pushed += 1;
+        }
+        self.evict(timestamp_minutes);
+    }
+
+    /// Drop records outside the retention window (relative to `now`) or beyond the cap.
+    fn evict(&mut self, now_minutes: f64) {
+        let cutoff = now_minutes - self.retention_minutes;
+        while let Some(front) = self.records.front() {
+            if front.timestamp_minutes < cutoff || self.records.len() > self.max_records {
+                self.records.pop_front();
+            } else {
+                break;
+            }
+        }
+        while self.records.len() > self.max_records {
+            self.records.pop_front();
+        }
+    }
+
+    /// Iterate over retained records in chronological order.
+    pub fn iter(&self) -> impl Iterator<Item = &InteractionRecord> {
+        self.records.iter()
+    }
+
+    /// Uniformly sample (with replacement) a training mini-batch from the retained records.
+    /// Returns an empty batch when the buffer is empty.
+    pub fn sample_batch<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> MiniBatch {
+        if self.records.is_empty() {
+            return MiniBatch::default();
+        }
+        (0..count)
+            .map(|_| {
+                let idx = rng.gen_range(0..self.records.len());
+                self.records[idx].sample.clone()
+            })
+            .collect()
+    }
+
+    /// The most recent `count` records as a mini-batch (fewer if the buffer is smaller).
+    #[must_use]
+    pub fn latest_batch(&self, count: usize) -> MiniBatch {
+        self.records
+            .iter()
+            .rev()
+            .take(count)
+            .map(|r| r.sample.clone())
+            .collect()
+    }
+
+    /// Approximate bytes retained, assuming `f64` dense features and `usize` sparse IDs.
+    #[must_use]
+    pub fn approximate_bytes(&self) -> usize {
+        self.records
+            .iter()
+            .map(|r| {
+                std::mem::size_of::<f64>() * (r.sample.dense.len() + 2)
+                    + std::mem::size_of::<usize>() * r.sample.num_lookups()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample(id: usize) -> Sample {
+        Sample::new(vec![0.0, 1.0], vec![vec![id]], 1.0)
+    }
+
+    #[test]
+    #[should_panic(expected = "retention window must be positive")]
+    fn zero_retention_rejected() {
+        let _ = RetentionBuffer::new(0.0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_records must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = RetentionBuffer::new(10.0, 0);
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut buf = RetentionBuffer::new(10.0, 100);
+        assert!(buf.is_empty());
+        buf.push(InteractionRecord::new(0.0, sample(1)));
+        buf.push(InteractionRecord::new(1.0, sample(2)));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.total_pushed(), 2);
+        assert_eq!(buf.retention_minutes(), 10.0);
+    }
+
+    #[test]
+    fn old_records_evicted_by_time() {
+        let mut buf = RetentionBuffer::new(10.0, 1000);
+        buf.push(InteractionRecord::new(0.0, sample(1)));
+        buf.push(InteractionRecord::new(5.0, sample(2)));
+        buf.push(InteractionRecord::new(15.5, sample(3)));
+        // Records at t=0 and t=5 are both older than 15.5 - 10 = 5.5 → only t=5? No: 5.0 < 5.5 so evicted.
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.iter().next().unwrap().timestamp_minutes, 15.5);
+        assert_eq!(buf.total_pushed(), 3);
+    }
+
+    #[test]
+    fn capacity_cap_enforced() {
+        let mut buf = RetentionBuffer::new(1e9, 5);
+        for i in 0..20 {
+            buf.push(InteractionRecord::new(i as f64, sample(i)));
+        }
+        assert_eq!(buf.len(), 5);
+        // Only the newest 5 remain.
+        let ids: Vec<usize> = buf.iter().map(|r| r.sample.sparse[0][0]).collect();
+        assert_eq!(ids, vec![15, 16, 17, 18, 19]);
+    }
+
+    #[test]
+    fn push_batch_and_latest() {
+        let mut buf = RetentionBuffer::new(10.0, 100);
+        let batch = MiniBatch::new(vec![sample(1), sample(2), sample(3)]);
+        buf.push_batch(1.0, &batch);
+        assert_eq!(buf.len(), 3);
+        let latest = buf.latest_batch(2);
+        assert_eq!(latest.len(), 2);
+        assert_eq!(latest.samples[0].sparse[0][0], 3);
+    }
+
+    #[test]
+    fn sample_batch_uniform_and_bounded() {
+        let mut buf = RetentionBuffer::new(100.0, 1000);
+        for i in 0..50 {
+            buf.push(InteractionRecord::new(0.0, sample(i)));
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        let batch = buf.sample_batch(&mut rng, 200);
+        assert_eq!(batch.len(), 200);
+        assert!(batch.iter().all(|s| s.sparse[0][0] < 50));
+        // Empty buffer gives an empty batch.
+        let empty = RetentionBuffer::new(10.0, 10);
+        assert!(empty.sample_batch(&mut rng, 5).is_empty());
+    }
+
+    #[test]
+    fn approximate_bytes_grows_with_records() {
+        let mut buf = RetentionBuffer::new(100.0, 1000);
+        assert_eq!(buf.approximate_bytes(), 0);
+        buf.push(InteractionRecord::new(0.0, sample(1)));
+        let one = buf.approximate_bytes();
+        buf.push(InteractionRecord::new(0.0, sample(2)));
+        assert_eq!(buf.approximate_bytes(), 2 * one);
+    }
+}

@@ -1,0 +1,205 @@
+//! Zipfian sampling of embedding IDs.
+//!
+//! Production embedding accesses follow a power-law: the paper reports that the top 10 % of
+//! indices account for 93.8 % of accesses (Fig. 12), which is what motivates both the
+//! CCD-local caching of hot rows and the usage-based pruning of the LoRA table.
+//! [`ZipfSampler`] draws IDs with probability proportional to `1 / rank^s` using an exact
+//! inverse-CDF table, which is fast enough for the table sizes used in the experiments and
+//! exactly reproducible.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Samples ranks `0..n` with probability `P(rank k) ∝ 1 / (k+1)^exponent`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZipfSampler {
+    exponent: f64,
+    /// Cumulative distribution over ranks; `cdf[k]` is `P(rank <= k)`.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Create a sampler over `n` ranks with the given exponent (`s ≈ 1.05` matches the
+    /// paper's access skew; `s = 0` degenerates to uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the exponent is negative or non-finite.
+    #[must_use]
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "a Zipf sampler needs at least one rank");
+        assert!(exponent >= 0.0 && exponent.is_finite(), "exponent must be non-negative and finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { exponent, cdf }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the sampler has exactly zero ranks (never: construction forbids it), kept
+    /// for API completeness alongside [`ZipfSampler::len`].
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The configured exponent.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability of drawing a given rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= len()`.
+    #[must_use]
+    pub fn probability(&self, rank: usize) -> f64 {
+        assert!(rank < self.cdf.len(), "rank {rank} out of bounds");
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+
+    /// Draw one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf entries are finite")) {
+            Ok(idx) => idx,
+            Err(idx) => idx.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Draw `count` ranks.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<usize> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Fraction of total probability mass held by the top `fraction` of ranks — e.g.
+    /// `top_share(0.1)` answers "what share of accesses hit the hottest 10 % of rows?".
+    ///
+    /// `fraction` is clamped to `[0, 1]`.
+    #[must_use]
+    pub fn top_share(&self, fraction: f64) -> f64 {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let count = ((self.cdf.len() as f64) * fraction).round() as usize;
+        if count == 0 {
+            return 0.0;
+        }
+        self.cdf[count.min(self.cdf.len()) - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_exponent_rejected() {
+        let _ = ZipfSampler::new(10, -1.0);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = ZipfSampler::new(100, 1.05);
+        let sum: f64 = (0..100).map(|k| z.probability(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(z.len(), 100);
+        assert!(!z.is_empty());
+        assert_eq!(z.exponent(), 1.05);
+    }
+
+    #[test]
+    fn probabilities_decrease_with_rank() {
+        let z = ZipfSampler::new(50, 1.2);
+        for k in 1..50 {
+            assert!(z.probability(k) <= z.probability(k - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn uniform_when_exponent_zero() {
+        let z = ZipfSampler::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.probability(k) - 0.1).abs() < 1e-12);
+        }
+        assert!((z.top_share(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_distribution_concentrates_on_top_ranks() {
+        // With the paper's skew, the top 10 % of a large table should carry most accesses.
+        let z = ZipfSampler::new(10_000, 1.05);
+        let share = z.top_share(0.1);
+        assert!(share > 0.75, "top-10% share {share} should be large");
+        assert!(z.top_share(1.0) > 0.999_999);
+        assert_eq!(z.top_share(0.0), 0.0);
+    }
+
+    #[test]
+    fn sampling_respects_skew() {
+        let z = ZipfSampler::new(1000, 1.05);
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples = z.sample_many(&mut rng, 20_000);
+        let hot = samples.iter().filter(|&&r| r < 100).count() as f64 / samples.len() as f64;
+        let expected = z.top_share(0.1);
+        assert!((hot - expected).abs() < 0.05, "empirical {hot} vs expected {expected}");
+    }
+
+    #[test]
+    fn sample_always_in_range() {
+        let z = ZipfSampler::new(7, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_top_share_monotone(n in 1usize..500, s in 0.0f64..2.0) {
+            let z = ZipfSampler::new(n, s);
+            let mut prev = 0.0;
+            for pct in [0.0, 0.1, 0.25, 0.5, 0.75, 1.0] {
+                let share = z.top_share(pct);
+                prop_assert!(share + 1e-12 >= prev);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&share));
+                prev = share;
+            }
+        }
+
+        #[test]
+        fn prop_probability_normalised(n in 1usize..200, s in 0.0f64..3.0) {
+            let z = ZipfSampler::new(n, s);
+            let sum: f64 = (0..n).map(|k| z.probability(k)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+}

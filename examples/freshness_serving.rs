@@ -1,0 +1,54 @@
+//! Freshness scenario: compare update strategies on a drifting stream.
+//!
+//! Reproduces the qualitative story of the paper's accuracy evaluation (Table III /
+//! Fig. 15) at example scale: NoUpdate decays, DeltaUpdate tracks the training cluster with
+//! a lag, QuickUpdate drops part of the updates, and LiveUpdate adapts locally in between
+//! syncs.
+//!
+//! Run with: `cargo run --release --example freshness_serving`
+
+use liveupdate_repro::core::experiment::{auc_improvement_over_delta, run_all, ExperimentConfig};
+use liveupdate_repro::core::strategy::StrategyKind;
+
+fn main() {
+    let mut config = ExperimentConfig::small();
+    config.duration_minutes = 60.0;
+    config.window_minutes = 5.0;
+    config.requests_per_window = 256;
+    config.online_rounds_per_window = 8;
+
+    let strategies = [
+        StrategyKind::DeltaUpdate,
+        StrategyKind::NoUpdate,
+        StrategyKind::QuickUpdate { fraction: 0.05 },
+        StrategyKind::LiveUpdate,
+    ];
+
+    println!("running {} strategies over {:.0} minutes of drifting traffic…\n", strategies.len(), config.duration_minutes);
+    let results = run_all(&config, &strategies);
+
+    println!("{:<18} {:>10} {:>12} {:>14}", "strategy", "mean AUC", "mean logloss", "LoRA memory");
+    for r in &results {
+        println!(
+            "{:<18} {:>10.4} {:>12.4} {:>13}",
+            r.strategy.name(),
+            r.mean_auc,
+            r.mean_logloss,
+            r.lora_memory_fraction
+                .map_or("-".to_string(), |f| format!("{:.2}%", f * 100.0)),
+        );
+    }
+
+    println!("\nAUC improvement over the DeltaUpdate baseline (percentage points):");
+    for (name, delta) in auc_improvement_over_delta(&results) {
+        println!("  {name:<18} {delta:+.3}");
+    }
+
+    println!("\nper-window AUC timeline (LiveUpdate):");
+    if let Some(live) = results.iter().find(|r| r.strategy == StrategyKind::LiveUpdate) {
+        for p in &live.timeline {
+            let auc = p.auc.map_or("  n/a".to_string(), |a| format!("{a:.4}"));
+            println!("  t={:>5.1} min  auc={auc}  logloss={:.4}", p.time_minutes, p.logloss);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Umbrella crate for the LiveUpdate reproduction.
+//!
+//! This crate re-exports the workspace members so the runnable examples under `examples/`
+//! and the cross-crate integration tests under `tests/` can use a single dependency. The
+//! actual implementation lives in:
+//!
+//! * [`linalg`] — dense kernels, SVD, PCA, low-rank factorisation.
+//! * [`dlrm`] — the deep-learning recommendation model (embedding tables, MLPs, metrics).
+//! * [`workload`] — synthetic CTR workloads with Zipfian popularity and concept drift.
+//! * [`sim`] — the cluster/hardware simulator (network, caches, memory bandwidth, power).
+//! * [`core`] — the LiveUpdate system itself plus the baseline update strategies.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use liveupdate_repro::core::config::LiveUpdateConfig;
+//!
+//! let config = LiveUpdateConfig::default();
+//! assert!(config.variance_threshold > 0.0 && config.variance_threshold <= 1.0);
+//! ```
+
+pub use liveupdate as core;
+pub use liveupdate_dlrm as dlrm;
+pub use liveupdate_linalg as linalg;
+pub use liveupdate_sim as sim;
+pub use liveupdate_workload as workload;

@@ -1,0 +1,78 @@
+//! Cross-crate integration tests: the full freshness loop from workload generation through
+//! DLRM training, LiveUpdate serving and strategy comparison.
+
+use liveupdate_repro::core::experiment::{
+    auc_improvement_over_delta, run_all, run_strategy, ExperimentConfig,
+};
+use liveupdate_repro::core::strategy::StrategyKind;
+
+fn quick_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::small();
+    cfg.duration_minutes = 30.0;
+    cfg.window_minutes = 10.0;
+    cfg.requests_per_window = 96;
+    cfg.online_rounds_per_window = 4;
+    cfg
+}
+
+#[test]
+fn all_table3_strategies_run_and_produce_defined_metrics() {
+    let cfg = quick_config();
+    let strategies = [
+        StrategyKind::DeltaUpdate,
+        StrategyKind::NoUpdate,
+        StrategyKind::QuickUpdate { fraction: 0.05 },
+        StrategyKind::LiveUpdate,
+        StrategyKind::LiveUpdateFixedRank { rank: 8 },
+    ];
+    let results = run_all(&cfg, &strategies);
+    assert_eq!(results.len(), strategies.len());
+    for r in &results {
+        assert_eq!(r.timeline.len(), 3, "{} timeline length", r.strategy.name());
+        assert!(r.mean_auc > 0.3 && r.mean_auc <= 1.0, "{} auc {}", r.strategy.name(), r.mean_auc);
+        assert!(r.mean_logloss.is_finite() && r.mean_logloss > 0.0);
+    }
+    // Local-training strategies report LoRA memory; network strategies do not.
+    assert!(results.iter().any(|r| r.lora_memory_fraction.is_some()));
+    assert!(results.iter().any(|r| r.lora_memory_fraction.is_none()));
+}
+
+#[test]
+fn improvement_table_uses_delta_as_zero_baseline() {
+    let cfg = quick_config();
+    let results = run_all(&cfg, &[StrategyKind::DeltaUpdate, StrategyKind::NoUpdate]);
+    let table = auc_improvement_over_delta(&results);
+    let delta = table.iter().find(|(n, _)| n == "DeltaUpdate").unwrap().1;
+    assert!(delta.abs() < 1e-9);
+}
+
+#[test]
+fn identical_seeds_give_identical_results() {
+    let cfg = quick_config();
+    let a = run_strategy(&cfg, StrategyKind::DeltaUpdate);
+    let b = run_strategy(&cfg, StrategyKind::DeltaUpdate);
+    assert_eq!(a.timeline, b.timeline);
+    assert_eq!(a.mean_auc, b.mean_auc);
+}
+
+#[test]
+fn updated_strategies_beat_noupdate_over_a_long_drifting_horizon() {
+    let mut cfg = quick_config();
+    cfg.duration_minutes = 60.0;
+    cfg.requests_per_window = 128;
+    let no = run_strategy(&cfg, StrategyKind::NoUpdate);
+    let delta = run_strategy(&cfg, StrategyKind::DeltaUpdate);
+    let live = run_strategy(&cfg, StrategyKind::LiveUpdate);
+    assert!(
+        delta.mean_auc > no.mean_auc - 0.02,
+        "DeltaUpdate ({}) should not lose to NoUpdate ({})",
+        delta.mean_auc,
+        no.mean_auc
+    );
+    assert!(
+        live.mean_auc > no.mean_auc - 0.02,
+        "LiveUpdate ({}) should not lose to NoUpdate ({})",
+        live.mean_auc,
+        no.mean_auc
+    );
+}

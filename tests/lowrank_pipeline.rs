@@ -1,0 +1,100 @@
+//! Integration tests of the low-rank pipeline: DLRM gradients → PCA rank selection →
+//! LoRA factorisation → serving-path reconstruction.
+
+use liveupdate_repro::core::lora::LoraTable;
+use liveupdate_repro::core::rank_adapt::RankAdapter;
+use liveupdate_repro::dlrm::model::{DlrmConfig, DlrmModel};
+use liveupdate_repro::dlrm::sample::{MiniBatch, Sample};
+use liveupdate_repro::linalg::lowrank::LowRankFactors;
+use liveupdate_repro::linalg::{Pca, Svd};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn training_batch(rng: &mut StdRng, table_size: usize, n: usize) -> MiniBatch {
+    (0..n)
+        .map(|_| {
+            let id = rng.gen_range(0..table_size);
+            let label = if id % 3 == 0 { 1.0 } else { 0.0 };
+            Sample::new(vec![rng.gen_range(-1.0..1.0), 0.2], vec![vec![id]], label)
+        })
+        .collect()
+}
+
+#[test]
+fn dlrm_gradients_have_low_rank_structure_detectable_by_pca() {
+    let model = DlrmModel::new(DlrmConfig::tiny(1, 400, 16), 3);
+    let mut rng = StdRng::seed_from_u64(9);
+    let grads = model.compute_gradients(&training_batch(&mut rng, 400, 256));
+    let (snapshot, ids) = grads.embeddings[0].to_snapshot();
+    assert_eq!(snapshot.rows(), ids.len());
+    assert!(snapshot.rows() > 20, "enough rows for a meaningful PCA");
+
+    let pca = Pca::fit_uncentered(&snapshot).unwrap();
+    let rank80 = pca.rank_for_variance(0.8);
+    // The paper's observation (Fig. 6): a handful of components out of d=16 suffices.
+    assert!(rank80 <= 8, "80% of gradient variance should need few components, got {rank80}");
+
+    // The Eckart–Young factorisation at that rank reconstructs the snapshot well.
+    let factors = LowRankFactors::from_matrix(&snapshot, rank80.max(1)).unwrap();
+    let rel_err = factors.approximation_error(&snapshot).unwrap() / snapshot.frobenius_norm();
+    assert!(rel_err < 0.6, "relative error {rel_err}");
+    assert!(factors.compression_ratio() > 1.0);
+}
+
+#[test]
+fn rank_adapter_and_svd_agree_on_effective_rank() {
+    let model = DlrmModel::new(DlrmConfig::tiny(1, 300, 16), 5);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut adapter = RankAdapter::new(0.8, 16, 1, 16);
+    let mut svd_ranks = Vec::new();
+    for _ in 0..6 {
+        let grads = model.compute_gradients(&training_batch(&mut rng, 300, 128));
+        adapter.observe(&grads.embeddings[0]);
+        let (snapshot, _) = grads.embeddings[0].to_snapshot();
+        svd_ranks.push(Svd::compute(&snapshot).unwrap().rank_for_energy(0.8).unwrap());
+    }
+    let decision = adapter.adapt();
+    let mean_svd = svd_ranks.iter().sum::<usize>() as f64 / svd_ranks.len() as f64;
+    assert!(
+        (decision.rank as f64 - mean_svd).abs() <= 2.0,
+        "adapter rank {} should track the SVD rank {}",
+        decision.rank,
+        mean_svd
+    );
+}
+
+#[test]
+fn lora_reconstruction_matches_dense_low_rank_approximation() {
+    // Train a LoRA adapter towards a known low-rank delta and compare against the
+    // Eckart–Young optimum of the same rank.
+    let rows = 40;
+    let dim = 8;
+    let rank = 2;
+    let mut rng = StdRng::seed_from_u64(13);
+    let u: Vec<Vec<f64>> = (0..rows).map(|_| (0..rank).map(|_| rng.gen_range(-1.0f64..1.0)).collect()).collect();
+    let v: Vec<Vec<f64>> = (0..rank).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f64..1.0)).collect()).collect();
+    let target = |i: usize, j: usize| -> f64 { (0..rank).map(|k| u[i][k] * v[k][j]).sum() };
+
+    let mut lora = LoraTable::new(rows, dim, rank, 7);
+    let base = vec![0.0; dim];
+    for _ in 0..400 {
+        for i in 0..rows {
+            let eff = lora.effective_row(i, &base);
+            let grad: Vec<f64> = (0..dim).map(|j| eff[j] - target(i, j)).collect();
+            lora.apply_row_gradient(i, &grad, 0.05);
+        }
+    }
+    // Mean squared error against the target delta should be small.
+    let mut err = 0.0;
+    let mut norm = 0.0;
+    for i in 0..rows {
+        let d = lora.delta_row(i);
+        for j in 0..dim {
+            err += (d[j] - target(i, j)).powi(2);
+            norm += target(i, j).powi(2);
+        }
+    }
+    assert!(err / norm < 0.05, "relative squared error {}", err / norm);
+    assert_eq!(lora.active_rows(), rows);
+    assert!(lora.memory_fraction_of_base() < 1.0);
+}

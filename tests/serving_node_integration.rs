@@ -1,0 +1,115 @@
+//! Integration tests of the serving node against the synthetic workload and the simulator
+//! substrates: LoRA corrections, memory behaviour, and the isolation machinery.
+
+use liveupdate_repro::core::config::LiveUpdateConfig;
+use liveupdate_repro::core::engine::ServingNode;
+use liveupdate_repro::core::isolation::{evaluate_all, ContentionConfig, IsolationMode};
+use liveupdate_repro::core::strategy::cost::UpdateCostModel;
+use liveupdate_repro::core::strategy::StrategyKind;
+use liveupdate_repro::dlrm::model::{DlrmConfig, DlrmModel};
+use liveupdate_repro::workload::datasets::DatasetPreset;
+use liveupdate_repro::workload::{SyntheticWorkload, WorkloadConfig};
+
+fn node_and_workload() -> (ServingNode, SyntheticWorkload) {
+    let model = DlrmModel::new(
+        DlrmConfig {
+            table_sizes: vec![500, 500, 500],
+            ..DlrmConfig::tiny(3, 500, 8)
+        },
+        21,
+    );
+    let workload = SyntheticWorkload::new(WorkloadConfig {
+        num_tables: 3,
+        table_size: 500,
+        seed: 5,
+        ..WorkloadConfig::default()
+    });
+    (ServingNode::new(model, LiveUpdateConfig::default()), workload)
+}
+
+#[test]
+fn serving_loop_keeps_memory_small_and_marks_hot_lookups() {
+    let (mut node, mut workload) = node_and_workload();
+    for window in 0..6 {
+        let t = window as f64 * 5.0;
+        let batch = workload.batch_at(t, 128);
+        node.serve_batch(t, &batch);
+        for _ in 0..4 {
+            let report = node.online_update_round(t, 64);
+            assert!(report.lora_memory_bytes > 0);
+        }
+    }
+    // After several windows, hot traffic should take the corrected path...
+    let batch = workload.batch_at(30.0, 128);
+    let report = node.serve_batch(30.0, &batch);
+    assert!(report.lora_corrected_lookups > 0);
+    // ...while LoRA memory stays a small fraction of the base tables.
+    assert!(node.lora_memory_fraction() < 0.30, "fraction {}", node.lora_memory_fraction());
+    assert!(node.current_ranks().iter().all(|&r| (1..=64).contains(&r)));
+}
+
+#[test]
+fn full_sync_bounds_drift_and_resets_adapters() {
+    let (mut node, mut workload) = node_and_workload();
+    let batch = workload.batch_at(0.0, 128);
+    node.serve_batch(0.0, &batch);
+    for _ in 0..5 {
+        node.online_update_round(1.0, 64);
+    }
+    let fresh = DlrmModel::new(
+        DlrmConfig {
+            table_sizes: vec![500, 500, 500],
+            ..DlrmConfig::tiny(3, 500, 8)
+        },
+        99,
+    );
+    node.full_sync(fresh);
+    assert!(node.loras().iter().all(|l| l.active_rows() == 0));
+    let report = node.serve_batch(2.0, &workload.batch_at(2.0, 64));
+    assert_eq!(report.lora_corrected_lookups, 0, "nothing is hot right after a full sync");
+}
+
+#[test]
+fn isolation_ablation_reproduces_figure16_ordering() {
+    let outcomes = evaluate_all(&ContentionConfig {
+        requests: 800,
+        ..ContentionConfig::default()
+    });
+    let p99 = |mode: IsolationMode| {
+        outcomes
+            .iter()
+            .find(|o| o.mode == mode)
+            .map(|o| o.p99_ms)
+            .expect("mode evaluated")
+    };
+    let only = p99(IsolationMode::InferenceOnly);
+    let naive = p99(IsolationMode::NaiveColocation);
+    let reuse = p99(IsolationMode::SchedulingAndReuse);
+    assert!(naive > only * 1.3, "naive co-location should inflate P99: {only} -> {naive}");
+    assert!(reuse < naive, "isolation should reduce P99: {naive} -> {reuse}");
+    assert!(reuse < only * 1.25, "full isolation should be near the inference-only bound");
+}
+
+#[test]
+fn cost_model_reproduces_figure14_ordering_on_every_tb_dataset() {
+    let model = UpdateCostModel::default();
+    for preset in DatasetPreset::tb_scale() {
+        let spec = preset.spec();
+        let delta = model.hourly_cost(StrategyKind::DeltaUpdate, &spec, 5.0);
+        let quick = model.hourly_cost(StrategyKind::QuickUpdate { fraction: 0.05 }, &spec, 5.0);
+        let live = model.hourly_cost(StrategyKind::LiveUpdate, &spec, 5.0);
+        assert!(
+            delta.cost_minutes > quick.cost_minutes && quick.cost_minutes > live.cost_minutes,
+            "{}: delta {} > quick {} > live {}",
+            preset.name(),
+            delta.cost_minutes,
+            quick.cost_minutes,
+            live.cost_minutes
+        );
+        assert!(
+            live.cost_minutes * 2.0 <= quick.cost_minutes,
+            "{}: LiveUpdate should be at least 2x cheaper than QuickUpdate",
+            preset.name()
+        );
+    }
+}
