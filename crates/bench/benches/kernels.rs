@@ -1,41 +1,44 @@
-//! Criterion micro-benchmarks of the hot kernels on the serving and update paths:
-//! embedding lookup, LoRA row reconstruction, a LoRA training step, the SVD/PCA used by
-//! rank adaptation, and a full DLRM forward pass.
+//! Micro-benchmarks of the hot kernels on the serving and update paths: embedding
+//! lookup, LoRA row reconstruction, a LoRA training step, the SVD/PCA used by rank
+//! adaptation, and a full DLRM forward pass.
+//!
+//! Criterion is not available in the offline build environment, so these use the
+//! wall-clock harness in [`liveupdate_bench::time_kernel`]; like every other target in
+//! this directory the bench is `harness = false` and prints its rows directly.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use liveupdate::lora::LoraTable;
 use liveupdate::trainer::LoraTrainer;
+use liveupdate_bench::{black_box, header, time_kernel};
 use liveupdate_dlrm::model::{DlrmConfig, DlrmModel};
 use liveupdate_dlrm::sample::{MiniBatch, Sample};
 use liveupdate_linalg::{Matrix, Pca, Svd};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn bench_embedding_lookup(c: &mut Criterion) {
+fn bench_embedding_lookup() {
     let model = DlrmModel::new(DlrmConfig::tiny(4, 10_000, 16), 1);
     let mut rng = StdRng::seed_from_u64(2);
     let ids: Vec<usize> = (0..64).map(|_| rng.gen_range(0..10_000)).collect();
-    c.bench_function("embedding_pooled_lookup_64", |b| {
-        b.iter(|| black_box(model.table(0).pooled_lookup(black_box(&ids))))
-    });
+    time_kernel("embedding_pooled_lookup_64", || model.table(0).pooled_lookup(black_box(&ids)));
 }
 
-fn bench_lora_row(c: &mut Criterion) {
+fn bench_lora_row() {
     let mut lora = LoraTable::new(10_000, 16, 4, 3);
     for i in 0..1000 {
         lora.set_a_row(i, vec![0.1; 4]);
     }
     let base = vec![0.5; 16];
-    c.bench_function("lora_effective_row", |b| {
-        b.iter(|| black_box(lora.effective_row(black_box(500), black_box(&base))))
-    });
-    c.bench_function("lora_apply_row_gradient", |b| {
-        let grad = vec![0.01; 16];
-        b.iter(|| lora.apply_row_gradient(black_box(777), black_box(&grad), 0.05))
+    time_kernel("lora_effective_row", || lora.effective_row(black_box(500), black_box(&base)));
+
+    // Same populated table: the gradient step must be measured against the 1000
+    // active A-rows, not a fresh near-empty map.
+    let grad = vec![0.01; 16];
+    time_kernel("lora_apply_row_gradient", || {
+        lora.apply_row_gradient(black_box(777), black_box(&grad), 0.05)
     });
 }
 
-fn bench_train_step(c: &mut Criterion) {
+fn bench_train_step() {
     let model = DlrmModel::new(DlrmConfig::tiny(4, 2_000, 16), 5);
     let mut loras: Vec<LoraTable> = model
         .tables()
@@ -53,30 +56,25 @@ fn bench_train_step(c: &mut Criterion) {
         })
         .collect();
     let trainer = LoraTrainer::default();
-    c.bench_function("lora_train_step_batch32", |b| {
-        b.iter(|| black_box(trainer.train_step(&model, &mut loras, black_box(&batch))))
+    time_kernel("lora_train_step_batch32", || {
+        trainer.train_step(&model, &mut loras, black_box(&batch))
     });
-    c.bench_function("dlrm_forward_batch32", |b| {
-        b.iter(|| black_box(model.predict_batch(black_box(&batch))))
-    });
+    time_kernel("dlrm_forward_batch32", || model.predict_batch(black_box(&batch)));
 }
 
-fn bench_rank_adaptation_kernels(c: &mut Criterion) {
+fn bench_rank_adaptation_kernels() {
     let g = Matrix::from_fn(256, 16, |i, j| ((i * 31 + j * 7) % 17) as f64 * 0.3 - 2.0);
-    c.bench_function("svd_256x16", |b| b.iter(|| black_box(Svd::compute(black_box(&g)).unwrap())));
-    c.bench_function("pca_rank_for_variance_256x16", |b| {
-        b.iter(|| {
-            let pca = Pca::fit_uncentered(black_box(&g)).unwrap();
-            black_box(pca.rank_for_variance(0.8))
-        })
+    time_kernel("svd_256x16", || Svd::compute(black_box(&g)).unwrap());
+    time_kernel("pca_rank_for_variance_256x16", || {
+        let pca = Pca::fit_uncentered(black_box(&g)).unwrap();
+        pca.rank_for_variance(0.8)
     });
 }
 
-criterion_group!(
-    benches,
-    bench_embedding_lookup,
-    bench_lora_row,
-    bench_train_step,
-    bench_rank_adaptation_kernels
-);
-criterion_main!(benches);
+fn main() {
+    header("Kernels", "hot serving/update-path kernels, wall-clock ns per iteration");
+    bench_embedding_lookup();
+    bench_lora_row();
+    bench_train_step();
+    bench_rank_adaptation_kernels();
+}

@@ -49,9 +49,51 @@ pub fn accuracy_config(preset: DatasetPreset, seed: u64) -> ExperimentConfig {
     cfg
 }
 
+/// Re-export of the optimisation barrier the micro-benches wrap inputs and results in.
+pub use std::hint::black_box;
+
+/// Wall-clock timing for one micro-benchmark: runs `f` through a short warm-up, then
+/// auto-calibrates the iteration count to a ~200 ms measurement window and prints a
+/// `name: <ns>/iter (<iters> iters)` row. The build environment has no criterion, so
+/// `benches/kernels.rs` measures with this instead; the output format stays greppable
+/// like the figure benches.
+pub fn time_kernel<T>(name: &str, mut f: impl FnMut() -> T) {
+    use std::time::Instant;
+
+    // Warm-up and calibration: find an iteration count that takes >= ~10 ms.
+    let mut iters: u64 = 1;
+    let per_iter_estimate = loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 10 || iters >= 1 << 20 {
+            break elapsed.as_secs_f64() / iters as f64;
+        }
+        iters *= 4;
+    };
+
+    let target_secs = 0.2;
+    let measured_iters = ((target_secs / per_iter_estimate.max(1e-9)) as u64).clamp(1, 1 << 24);
+    let start = Instant::now();
+    for _ in 0..measured_iters {
+        black_box(f());
+    }
+    let elapsed = start.elapsed();
+    let ns_per_iter = elapsed.as_nanos() as f64 / measured_iters as f64;
+    println!("{name}: {ns_per_iter:.1} ns/iter ({measured_iters} iters)");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn time_kernel_runs_and_reports() {
+        // Smoke: must terminate quickly for a trivial closure and not panic.
+        time_kernel("noop_smoke", || 1 + 1);
+    }
 
     #[test]
     fn accuracy_config_valid_for_every_preset() {

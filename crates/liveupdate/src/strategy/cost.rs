@@ -240,6 +240,46 @@ mod tests {
     }
 
     #[test]
+    fn update_cost_ordering_liveupdate_quickupdate_deltaupdate() {
+        // The paper's headline cost result (Fig. 14): at the default configuration the
+        // per-hour update cost is strictly ordered
+        //   LiveUpdate < QuickUpdate(5 %) < DeltaUpdate
+        // at every interval of the sweep. Pin it so cost-model changes that break the
+        // ordering fail loudly.
+        let m = model();
+        let d = tb_dataset();
+        for interval in [20.0, 10.0, 5.0] {
+            let live = m.hourly_cost(StrategyKind::LiveUpdate, &d, interval);
+            let quick = m.hourly_cost(StrategyKind::QuickUpdate { fraction: 0.05 }, &d, interval);
+            let delta = m.hourly_cost(StrategyKind::DeltaUpdate, &d, interval);
+            assert!(
+                live.cost_minutes < quick.cost_minutes,
+                "at {interval} min: LiveUpdate {} !< QuickUpdate {}",
+                live.cost_minutes,
+                quick.cost_minutes
+            );
+            assert!(
+                quick.cost_minutes < delta.cost_minutes,
+                "at {interval} min: QuickUpdate {} !< DeltaUpdate {}",
+                quick.cost_minutes,
+                delta.cost_minutes
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_rank_liveupdate_costs_the_same_as_adaptive() {
+        // The cost model treats LiveUpdate and LiveUpdateFixedRank identically: cost is
+        // CPU time over samples, not a function of the adapted rank.
+        let m = model();
+        let d = tb_dataset();
+        let adaptive = m.hourly_cost(StrategyKind::LiveUpdate, &d, 5.0);
+        let fixed = m.hourly_cost(StrategyKind::LiveUpdateFixedRank { rank: 4 }, &d, 5.0);
+        assert_eq!(adaptive.cost_minutes, fixed.cost_minutes);
+        assert_eq!(adaptive.bytes_transferred, fixed.bytes_transferred);
+    }
+
+    #[test]
     fn smaller_datasets_cost_less_to_sync() {
         let m = model();
         let small = DatasetPreset::Criteo.spec();

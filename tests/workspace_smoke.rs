@@ -1,0 +1,34 @@
+//! Manifest smoke test: asserts the umbrella crate's re-exports resolve and the default
+//! configuration validates. A workspace-layout or package-rename regression fails here
+//! first, with a readable error instead of a wall of unresolved-import noise.
+
+use liveupdate_repro::core::config::LiveUpdateConfig;
+use liveupdate_repro::{core, dlrm, linalg, sim, workload};
+
+#[test]
+fn umbrella_reexports_resolve() {
+    // Touch one load-bearing item through every re-exported crate so a broken member
+    // manifest (or a renamed package) cannot slip through `cargo build` of the umbrella.
+    let _strategies = core::strategy::StrategyKind::cost_comparison();
+    let config = dlrm::model::DlrmConfig::tiny(2, 100, 8);
+    assert_eq!(config.table_sizes.len(), 2);
+    let m = linalg::Matrix::from_fn(2, 2, |i, j| (i + j) as f64);
+    assert_eq!(m.shape(), (2, 2));
+    let cluster = sim::cluster::ClusterSpec::paper_testbed();
+    assert!(cluster.num_nodes >= 1);
+    let presets = workload::datasets::DatasetPreset::all();
+    assert!(!presets.is_empty());
+}
+
+#[test]
+fn default_config_validates() {
+    let config = LiveUpdateConfig::default();
+    assert!(config.validate().is_ok(), "default LiveUpdateConfig must validate");
+    assert!(config.variance_threshold > 0.0 && config.variance_threshold <= 1.0);
+}
+
+#[test]
+fn fixed_rank_config_validates() {
+    let config = LiveUpdateConfig::with_fixed_rank(4);
+    assert!(config.validate().is_ok(), "fixed-rank LiveUpdateConfig must validate");
+}

@@ -1,0 +1,54 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this proc-macro crate provides
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` that emit empty impls of the marker
+//! traits defined in the vendored `serde` crate. No serialization code is generated —
+//! nothing in this workspace serializes at runtime yet; the derives exist so model/config
+//! types keep the annotations the real crate would use, and so trait bounds like
+//! `T: Serialize` hold for every annotated type.
+//!
+//! Parsing is deliberately minimal (no `syn`): we scan the item tokens for the
+//! `struct`/`enum`/`union` keyword and take the following identifier as the type name.
+//! Generic types fall back to emitting nothing rather than mis-parsing.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> Option<(String, bool)> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    let generic = matches!(
+                        tokens.peek(),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                    );
+                    return Some((name.to_string(), generic));
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, header: &str, trait_path: &str) -> TokenStream {
+    match type_name(input) {
+        Some((name, false)) => format!("impl{header} {trait_path} for {name} {{}}")
+            .parse()
+            .expect("generated impl must parse"),
+        // Generic or unparseable item: skip the impl instead of producing bad code.
+        _ => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "", "::serde::Serialize")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "<'de>", "::serde::Deserialize<'de>")
+}
