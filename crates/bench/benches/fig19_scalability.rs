@@ -1,52 +1,78 @@
 //! Fig. 19 — scalability of the LoRA synchronisation with the number of inference nodes:
-//! measured for 1–16 nodes, projected (same model) for 24–48, with the tree AllGather's
-//! O(log N) growth contrasted against a naive linear scheme.
+//! *measured* on real multi-replica [`ServingCluster`] runs for 1–8 nodes (each replica
+//! trains on its shard of one drifting stream and the sparse support is exchanged every
+//! window), then projected with the same collective model to 12–48 nodes at
+//! production-sized payloads, contrasting the tree AllGather's O(log N) growth against a
+//! naive linear scheme.
 
-use liveupdate::sync::SparseLoraSync;
-use liveupdate::LoraTable;
-use liveupdate_bench::header;
+use liveupdate::cluster::{replica_sweep, ClusterConfig};
+use liveupdate::experiment::ExperimentConfig;
+use liveupdate_bench::{header, series_row};
 use liveupdate_sim::cluster::ClusterSpec;
 use liveupdate_sim::collective::CollectiveAlgorithm;
-use liveupdate_bench::series_row;
-
-/// LoRA sync time for an `n`-node cluster where every node contributes `active_rows`
-/// updated rows of rank `rank` (plus the per-node training time, which is constant).
-fn sync_minutes(n: usize, active_rows: usize, rank: usize, algorithm: CollectiveAlgorithm) -> f64 {
-    let cluster = ClusterSpec::with_nodes(n);
-    let collective = cluster.intra_collective(algorithm);
-    let mut sync = SparseLoraSync::new(n, 1);
-    let mut replicas: Vec<Vec<LoraTable>> = (0..n)
-        .map(|r| vec![LoraTable::new(active_rows.max(1) * 4, 16, rank, r as u64)])
-        .collect();
-    for (r, replica) in replicas.iter_mut().enumerate() {
-        for row in 0..active_rows {
-            replica[0].set_a_row(row, vec![r as f64; rank]);
-            sync.record_update(r, 0, row);
-        }
-    }
-    // Scale the exchanged payload up to the production-scale active set (a few GB/node):
-    // the protocol exchanges the same rows, the collective model just sees more bytes.
-    let report = sync.synchronize(&mut replicas, &collective);
-    let scale = 24_000_000_000.0 / report.bytes_per_rank.max(1) as f64;
-    collective.allgather_seconds(n, (report.bytes_per_rank as f64 * scale) as u64) / 60.0
-}
 
 fn main() {
     header(
         "Figure 19",
-        "LoRA synchronisation time vs number of inference nodes (measured 1-16, projected 24-48)",
+        "LoRA synchronisation time vs number of inference nodes (measured 1-8, projected 12-48)",
     );
-    let measured: Vec<usize> = vec![1, 2, 4, 8, 12, 16];
-    let projected: Vec<usize> = vec![24, 32, 48];
 
-    println!("{:>8} {:>18} {:>18} {:>12}", "nodes", "tree sync (min)", "ring sync (min)", "regime");
+    // Measured regime: run the event-driven cluster at every size on the same stream.
+    let mut experiment = ExperimentConfig::small();
+    experiment.duration_minutes = 30.0;
+    experiment.requests_per_window = 192;
+    experiment.online_rounds_per_window = 3;
+    experiment.online_batch_size = 48;
+    let base = ClusterConfig::new(experiment, 1);
+    let measured_sizes = [1usize, 2, 4, 8];
+    let summaries = replica_sweep(&base, &measured_sizes);
+
+    // Projection: the protocol exchanges the same rows at production scale, the
+    // collective just sees more bytes. Scale the measured per-sync payload up to a few
+    // GB per node and price larger clusters with the identical model.
+    let measured_payload = summaries
+        .last()
+        .map_or(1.0, |s| s.ledger.mean_bytes_per_rank())
+        .max(1.0);
+    let production_payload: f64 = 24_000_000_000.0;
+    let scale = production_payload / measured_payload;
+    let projected_sizes = [12usize, 16, 24, 32, 48];
+
+    println!(
+        "{:>8} {:>14} {:>18} {:>18} {:>12}",
+        "nodes", "KB/rank/sync", "tree sync (min)", "ring sync (min)", "regime"
+    );
     let mut tree_series = Vec::new();
-    for &n in measured.iter().chain(projected.iter()) {
-        let tree = sync_minutes(n, 400, 4, CollectiveAlgorithm::TreeAllGather);
-        let ring = sync_minutes(n, 400, 4, CollectiveAlgorithm::RingAllGather);
-        let regime = if measured.contains(&n) { "measured" } else { "projected" };
-        tree_series.push((n as f64, tree));
-        println!("{n:>8} {tree:>18.2} {ring:>18.2} {regime:>12}");
+    for summary in &summaries {
+        let n = summary.num_replicas;
+        let spec = ClusterSpec::with_nodes(n);
+        let tree = spec.intra_collective(CollectiveAlgorithm::TreeAllGather);
+        let ring = spec.intra_collective(CollectiveAlgorithm::RingAllGather);
+        let payload = (summary.ledger.mean_bytes_per_rank() * scale) as u64;
+        let tree_min = tree.allgather_minutes(n, payload);
+        let ring_min = ring.allgather_minutes(n, payload);
+        tree_series.push((n as f64, tree_min));
+        println!(
+            "{:>8} {:>14.1} {:>18.2} {:>18.2} {:>12}",
+            n,
+            summary.ledger.mean_bytes_per_rank() / 1e3,
+            tree_min,
+            ring_min,
+            "measured"
+        );
+    }
+    for &n in &projected_sizes {
+        let spec = ClusterSpec::with_nodes(n);
+        let tree = spec.intra_collective(CollectiveAlgorithm::TreeAllGather);
+        let ring = spec.intra_collective(CollectiveAlgorithm::RingAllGather);
+        let payload = production_payload as u64;
+        let tree_min = tree.allgather_minutes(n, payload);
+        let ring_min = ring.allgather_minutes(n, payload);
+        tree_series.push((n as f64, tree_min));
+        println!(
+            "{:>8} {:>14} {:>18.2} {:>18.2} {:>12}",
+            n, "-", tree_min, ring_min, "projected"
+        );
     }
     series_row("\ntree series (nodes, minutes)", &tree_series);
 

@@ -1,0 +1,534 @@
+//! The event-driven multi-replica serving cluster (paper §IV-E, Fig. 19).
+//!
+//! A [`ServingCluster`] owns `N` [`Replica`]s (each a full [`ServingNode`] with its own
+//! LoRA adapters), shards one drifting CTR stream across them with a deterministic
+//! [`StreamSharder`] router, and drives everything as timestamped events on a
+//! [`liveupdate_sim::EventQueue`]:
+//!
+//! * **`ServeWindow`** — generate the window's traffic, evaluate it prequentially through
+//!   the replica that will serve each request (aggregate AUC/LogLoss), shard it, and hand
+//!   every replica its shard;
+//! * **`UpdateRound`** — one replica trains its LoRA factors from its retention buffer;
+//!   all rounds of a window are scheduled at the same timestamp and rely on the event
+//!   queue's FIFO tie-breaking for their deterministic replica order;
+//! * **`SyncLora`** — the periodic sparse synchronisation (Algorithm 3): the priority
+//!   merge is applied to every replica's live tables through
+//!   [`SparseLoraSync::synchronize_peers`], and the AllGather time is charged against the
+//!   [`ClusterSpec`] fabric in a [`SyncCostLedger`].
+//!
+//! With one replica the cluster degenerates to exactly the single-node serving loop
+//! ([`single_node_baseline`] is that loop, and the integration tests pin the equality).
+
+use crate::engine::ServingNode;
+use crate::experiment::{aggregate_means, warmed_up_model, ExperimentConfig, TimelinePoint};
+use crate::replica::Replica;
+use crate::sync::{MergeAssignment, SparseLoraSync, SyncReport};
+use liveupdate_dlrm::metrics::{Auc, LogLoss};
+use liveupdate_sim::cluster::{ClusterSpec, SyncCostLedger};
+use liveupdate_sim::collective::{CollectiveAlgorithm, CollectiveModel};
+use liveupdate_sim::event::EventQueue;
+use liveupdate_workload::shard::{ShardPolicy, StreamSharder};
+use liveupdate_workload::synthetic::SyntheticWorkload;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a multi-replica serving cluster run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// The per-node experiment protocol: workload, model, warm-up, window geometry and
+    /// online-training knobs. Every replica starts from the identical warmed-up
+    /// checkpoint this configuration produces.
+    pub experiment: ExperimentConfig,
+    /// Number of serving replicas `N`.
+    pub num_replicas: usize,
+    /// How requests are routed to replicas.
+    pub routing: ShardPolicy,
+    /// Minutes between sparse LoRA synchronisations.
+    pub sync_interval_minutes: f64,
+    /// The modelled hardware cluster; its intra-link prices the AllGather.
+    pub spec: ClusterSpec,
+    /// Collective algorithm used for the LoRA AllGather.
+    pub algorithm: CollectiveAlgorithm,
+}
+
+impl ClusterConfig {
+    /// A cluster of `num_replicas` nodes running `experiment`'s protocol, with the
+    /// paper's defaults: hash-by-user routing, one sync per window, tree AllGather over
+    /// the testbed fabric scaled to `num_replicas` nodes.
+    #[must_use]
+    pub fn new(experiment: ExperimentConfig, num_replicas: usize) -> Self {
+        let sync_interval_minutes = experiment.window_minutes;
+        Self {
+            experiment,
+            num_replicas,
+            routing: ShardPolicy::HashByUser,
+            sync_interval_minutes,
+            spec: ClusterSpec::with_nodes(num_replicas),
+            algorithm: CollectiveAlgorithm::TreeAllGather,
+        }
+    }
+
+    /// A small cluster configuration that runs in well under a second — used by tests.
+    #[must_use]
+    pub fn small(num_replicas: usize) -> Self {
+        Self::new(ExperimentConfig::small(), num_replicas)
+    }
+
+    /// Validate the configuration.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.experiment.is_valid()
+            && self.num_replicas > 0
+            && self.sync_interval_minutes > 0.0
+            && self.spec.is_valid()
+            && self.spec.num_nodes == self.num_replicas
+    }
+}
+
+/// The cluster's event vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterEvent {
+    /// Serve (and prequentially evaluate) traffic window `window`.
+    ServeWindow {
+        /// Zero-based window index.
+        window: usize,
+    },
+    /// One replica runs one online LoRA update round.
+    UpdateRound {
+        /// The replica that trains.
+        replica: usize,
+        /// Round index within the window (for event-log readability).
+        round: usize,
+    },
+    /// Periodic sparse LoRA synchronisation across all replicas.
+    SyncLora {
+        /// Zero-based sync index.
+        index: usize,
+    },
+}
+
+/// Result of one cluster run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterRunSummary {
+    /// Number of replicas that served.
+    pub num_replicas: usize,
+    /// Per-window aggregate prequential evaluation (all replicas combined).
+    pub timeline: Vec<TimelinePoint>,
+    /// Mean aggregate AUC over the windows where it is defined.
+    pub mean_auc: f64,
+    /// Mean aggregate log loss over all windows.
+    pub mean_logloss: f64,
+    /// Total requests served across all replicas.
+    pub requests_served: u64,
+    /// Requests served by each replica (the router's realised balance).
+    pub per_replica_requests: Vec<u64>,
+    /// One report per synchronisation, in time order.
+    pub sync_reports: Vec<SyncReport>,
+    /// The cost charged against the cluster fabric by those syncs.
+    pub ledger: SyncCostLedger,
+    /// Final LoRA memory of each replica in bytes.
+    pub final_lora_memory_bytes: Vec<usize>,
+}
+
+/// An event-driven cluster of `N` serving replicas over one shared traffic stream.
+#[derive(Debug, Clone)]
+pub struct ServingCluster {
+    cfg: ClusterConfig,
+    replicas: Vec<Replica>,
+    workload: SyntheticWorkload,
+    sharder: StreamSharder,
+    sync: SparseLoraSync,
+    collective: CollectiveModel,
+    queue: EventQueue<ClusterEvent>,
+    ledger: SyncCostLedger,
+    sync_reports: Vec<SyncReport>,
+    timeline: Vec<TimelinePoint>,
+    last_sync_support: Vec<MergeAssignment>,
+    windows: usize,
+}
+
+impl ServingCluster {
+    /// Build the cluster: warm up the Day-1 checkpoint once, clone it into `N` replicas,
+    /// and schedule the first serve window and the first synchronisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(cfg: ClusterConfig) -> Self {
+        assert!(cfg.is_valid(), "invalid cluster configuration");
+        let (day1_model, workload) = warmed_up_model(&cfg.experiment);
+        Self::with_checkpoint(cfg, day1_model, workload)
+    }
+
+    /// Build the cluster from an already warmed-up Day-1 checkpoint and a workload
+    /// positioned at the start of the evaluated period (both as produced by the
+    /// experiment's warm-up). Lets sweeps over cluster sizes pay the warm-up once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn with_checkpoint(
+        cfg: ClusterConfig,
+        day1_model: liveupdate_dlrm::model::DlrmModel,
+        workload: SyntheticWorkload,
+    ) -> Self {
+        assert!(cfg.is_valid(), "invalid cluster configuration");
+        let replicas: Vec<Replica> = (0..cfg.num_replicas)
+            .map(|rank| {
+                Replica::new(rank, ServingNode::new(day1_model.clone(), cfg.experiment.liveupdate))
+            })
+            .collect();
+        let sharder = StreamSharder::new(cfg.routing, cfg.num_replicas);
+        let sync = SparseLoraSync::new(cfg.num_replicas, cfg.experiment.liveupdate.sync_interval_steps);
+        let collective = cfg.spec.intra_collective(cfg.algorithm);
+        let windows = (cfg.experiment.duration_minutes / cfg.experiment.window_minutes).ceil() as usize;
+        let mut queue = EventQueue::new();
+        queue.schedule_at(0.0, ClusterEvent::ServeWindow { window: 0 });
+        if cfg.sync_interval_minutes <= cfg.experiment.duration_minutes + 1e-9 {
+            queue.schedule_at(cfg.sync_interval_minutes, ClusterEvent::SyncLora { index: 0 });
+        }
+        Self {
+            cfg,
+            replicas,
+            workload,
+            sharder,
+            sync,
+            collective,
+            queue,
+            ledger: SyncCostLedger::new(),
+            sync_reports: Vec::new(),
+            timeline: Vec::new(),
+            last_sync_support: Vec::new(),
+            windows,
+        }
+    }
+
+    /// The cluster configuration.
+    #[must_use]
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The replicas, by rank.
+    #[must_use]
+    pub fn replicas(&self) -> &[Replica] {
+        &self.replicas
+    }
+
+    /// The support (merge plan) of the most recent synchronisation.
+    #[must_use]
+    pub fn last_sync_support(&self) -> &[MergeAssignment] {
+        &self.last_sync_support
+    }
+
+    /// Reports of every synchronisation performed so far.
+    #[must_use]
+    pub fn sync_reports(&self) -> &[SyncReport] {
+        &self.sync_reports
+    }
+
+    /// Drain the event queue to completion and summarise the run.
+    pub fn run(&mut self) -> ClusterRunSummary {
+        while let Some((time, event)) = self.queue.pop() {
+            match event {
+                ClusterEvent::ServeWindow { window } => self.on_serve_window(time, window),
+                ClusterEvent::UpdateRound { replica, .. } => self.on_update_round(time, replica),
+                ClusterEvent::SyncLora { index } => self.on_sync(time, index),
+            }
+        }
+        self.summary()
+    }
+
+    /// Absolute stream time of a window's midpoint, given its relative start time.
+    fn stream_time(&self, rel_minutes: f64) -> f64 {
+        self.cfg.experiment.warmup_minutes + rel_minutes + self.cfg.experiment.window_minutes / 2.0
+    }
+
+    fn on_serve_window(&mut self, rel_time: f64, window: usize) {
+        let exp = &self.cfg.experiment;
+        let t = self.stream_time(rel_time);
+        let batch = self.workload.batch_at(t, exp.requests_per_window);
+
+        // 1. Prequential aggregate evaluation: every request is scored by the replica the
+        //    router sends it to, *before* any replica trains on this window.
+        let assignments = self.sharder.assignments(&batch);
+        let mut auc = Auc::new();
+        let mut logloss = LogLoss::new();
+        for (sample, &rank) in batch.iter().zip(&assignments) {
+            let p = self.replicas[rank].node().predict(sample);
+            auc.record(p, sample.label);
+            logloss.record(p, sample.label);
+        }
+        self.timeline.push(TimelinePoint {
+            time_minutes: rel_time,
+            auc: auc.value(),
+            logloss: logloss.value().unwrap_or(0.0),
+        });
+
+        // 2. Route the traffic: each replica serves (and buffers) its shard.
+        let shards = StreamSharder::group(&batch, &assignments, self.cfg.num_replicas);
+        for (rank, shard) in shards.iter().enumerate() {
+            if !shard.is_empty() {
+                self.replicas[rank].serve(t, shard);
+            }
+        }
+
+        // 3. Schedule this window's online update rounds. All land on the serve
+        //    timestamp; FIFO tie-breaking fixes the order round-by-round, replica 0
+        //    before replica 1 before replica 2 …
+        let rounds = exp.online_rounds_per_window;
+        for round in 0..rounds {
+            for replica in 0..self.cfg.num_replicas {
+                self.queue
+                    .schedule_at(rel_time, ClusterEvent::UpdateRound { replica, round });
+            }
+        }
+
+        // 4. Schedule the next window.
+        if window + 1 < self.windows {
+            self.queue.schedule_at(
+                (window + 1) as f64 * exp.window_minutes,
+                ClusterEvent::ServeWindow { window: window + 1 },
+            );
+        }
+    }
+
+    fn on_update_round(&mut self, rel_time: f64, replica: usize) {
+        let t = self.stream_time(rel_time);
+        let batch_size = self.cfg.experiment.online_batch_size;
+        self.replicas[replica].update_round(t, batch_size, &mut self.sync);
+    }
+
+    fn on_sync(&mut self, rel_time: f64, index: usize) {
+        let (report, support) = self.sync.synchronize_peers(&mut self.replicas, &self.collective);
+        self.last_sync_support = support;
+        self.ledger.charge(report.bytes_per_rank, report.allgather_seconds);
+        self.sync_reports.push(report);
+        let next = rel_time + self.cfg.sync_interval_minutes;
+        if next <= self.cfg.experiment.duration_minutes + 1e-9 {
+            self.queue.schedule_at(next, ClusterEvent::SyncLora { index: index + 1 });
+        }
+    }
+
+    fn summary(&self) -> ClusterRunSummary {
+        let (mean_auc, mean_logloss) = aggregate_means(&self.timeline);
+        ClusterRunSummary {
+            num_replicas: self.cfg.num_replicas,
+            timeline: self.timeline.clone(),
+            mean_auc,
+            mean_logloss,
+            requests_served: self.replicas.iter().map(Replica::requests_served).sum(),
+            per_replica_requests: self.replicas.iter().map(Replica::requests_served).collect(),
+            sync_reports: self.sync_reports.clone(),
+            ledger: self.ledger.clone(),
+            final_lora_memory_bytes: self
+                .replicas
+                .iter()
+                .map(|r| r.node().lora_memory_bytes())
+                .collect(),
+        }
+    }
+}
+
+/// The single-node reference loop a one-replica cluster must reproduce exactly: the same
+/// warmed-up checkpoint, the same windows, the same serve → train → (no-op) sync cadence,
+/// driven by plain loops instead of the event queue.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+#[must_use]
+pub fn single_node_baseline(cfg: &ClusterConfig) -> ClusterRunSummary {
+    assert!(cfg.is_valid(), "invalid cluster configuration");
+    let exp = &cfg.experiment;
+    let (day1_model, mut workload) = warmed_up_model(exp);
+    let mut node = ServingNode::new(day1_model, exp.liveupdate);
+    let windows = (exp.duration_minutes / exp.window_minutes).ceil() as usize;
+    let mut timeline = Vec::with_capacity(windows);
+    let mut requests = 0u64;
+    // Sync times, mirroring the cluster's schedule (at N=1 a sync only rematerialises the
+    // serving rows; nothing is exchanged).
+    let mut next_sync = cfg.sync_interval_minutes;
+
+    for w in 0..windows {
+        let rel_time = w as f64 * exp.window_minutes;
+        // Syncs scheduled strictly before this window fire first (the cluster's event
+        // queue orders a sync at t before the serve at t, because it was scheduled
+        // earlier — see `ServingCluster::new`).
+        while next_sync <= rel_time + 1e-9 && next_sync <= exp.duration_minutes + 1e-9 {
+            node.refresh_serving_rows();
+            next_sync += cfg.sync_interval_minutes;
+        }
+        let t = exp.warmup_minutes + rel_time + exp.window_minutes / 2.0;
+        let batch = workload.batch_at(t, exp.requests_per_window);
+        let (auc, logloss) = node.evaluate(&batch);
+        timeline.push(TimelinePoint {
+            time_minutes: rel_time,
+            auc,
+            logloss,
+        });
+        node.serve_batch(t, &batch);
+        requests += batch.len() as u64;
+        for _ in 0..exp.online_rounds_per_window {
+            node.online_update_round(t, exp.online_batch_size);
+        }
+    }
+    // Trailing syncs after the last window.
+    while next_sync <= exp.duration_minutes + 1e-9 {
+        node.refresh_serving_rows();
+        next_sync += cfg.sync_interval_minutes;
+    }
+
+    let (mean_auc, mean_logloss) = aggregate_means(&timeline);
+    ClusterRunSummary {
+        num_replicas: 1,
+        timeline,
+        mean_auc,
+        mean_logloss,
+        requests_served: requests,
+        per_replica_requests: vec![requests],
+        sync_reports: Vec::new(),
+        ledger: SyncCostLedger::new(),
+        final_lora_memory_bytes: vec![node.lora_memory_bytes()],
+    }
+}
+
+/// The Fig. 19 replica-count sweep: run the identical experiment at every requested
+/// cluster size, preserving the base configuration's routing, sync cadence and collective
+/// algorithm. Returns one summary per size, in order.
+#[must_use]
+pub fn replica_sweep(base: &ClusterConfig, replica_counts: &[usize]) -> Vec<ClusterRunSummary> {
+    // Every cluster size starts from the identical deterministic checkpoint, so pay the
+    // warm-up pretraining once and clone it into each run.
+    let (day1_model, workload) = warmed_up_model(&base.experiment);
+    replica_counts
+        .iter()
+        .map(|&n| {
+            let cfg = ClusterConfig {
+                experiment: base.experiment.clone(),
+                num_replicas: n,
+                routing: base.routing,
+                sync_interval_minutes: base.sync_interval_minutes,
+                spec: ClusterSpec {
+                    num_nodes: n,
+                    ..base.spec.clone()
+                },
+                algorithm: base.algorithm,
+            };
+            ServingCluster::with_checkpoint(cfg, day1_model.clone(), workload.clone()).run()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(n: usize) -> ClusterConfig {
+        let mut cfg = ClusterConfig::small(n);
+        // Keep unit tests fast: 2 windows, 3 rounds each.
+        cfg.experiment.duration_minutes = 20.0;
+        cfg.experiment.requests_per_window = 96;
+        cfg.experiment.online_rounds_per_window = 3;
+        cfg.experiment.online_batch_size = 48;
+        cfg
+    }
+
+    #[test]
+    fn small_config_is_valid_and_spec_tracks_replicas() {
+        let cfg = ClusterConfig::small(4);
+        assert!(cfg.is_valid());
+        assert_eq!(cfg.spec.num_nodes, 4);
+        let mut broken = ClusterConfig::small(2);
+        broken.num_replicas = 3; // spec still says 2
+        assert!(!broken.is_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cluster configuration")]
+    fn invalid_config_rejected() {
+        let mut cfg = ClusterConfig::small(1);
+        cfg.sync_interval_minutes = 0.0;
+        let _ = ServingCluster::new(cfg);
+    }
+
+    #[test]
+    fn cluster_runs_and_reports() {
+        let mut cluster = ServingCluster::new(small_cfg(2));
+        let summary = cluster.run();
+        assert_eq!(summary.num_replicas, 2);
+        assert_eq!(summary.timeline.len(), 2);
+        assert_eq!(summary.requests_served, 2 * 96);
+        assert_eq!(summary.per_replica_requests.len(), 2);
+        assert!(summary.per_replica_requests.iter().all(|&r| r > 0), "both replicas saw traffic");
+        // One sync per window.
+        assert_eq!(summary.sync_reports.len(), 2);
+        assert_eq!(summary.ledger.syncs, 2);
+        assert!(summary.sync_reports[0].indices_exchanged > 0);
+        assert!(summary.mean_logloss > 0.0);
+    }
+
+    #[test]
+    fn sync_costs_match_the_analytic_models() {
+        let mut cluster = ServingCluster::new(small_cfg(4));
+        let collective = cluster.config().spec.intra_collective(cluster.config().algorithm);
+        let summary = cluster.run();
+        let mut total_bytes = 0u64;
+        for report in &summary.sync_reports {
+            assert_eq!(
+                report.allgather_seconds,
+                collective.allgather_seconds(4, report.bytes_per_rank),
+                "reported AllGather time must be the CollectiveModel's"
+            );
+            // Default config: rank 4 everywhere, dim 8, 2 tables ⇒ payload is exactly
+            // indices·rank·8 bytes of A rows plus the touched tables' 4×8 B factors.
+            assert!(report.bytes_per_rank >= (report.indices_exchanged * 4 * 8) as u64);
+            assert!(
+                report.bytes_per_rank
+                    <= (report.indices_exchanged * 4 * 8 + 2 * 4 * 8 * 8) as u64
+            );
+            total_bytes += report.bytes_per_rank;
+        }
+        assert_eq!(summary.ledger.total_bytes_per_rank, total_bytes);
+    }
+
+    #[test]
+    fn round_robin_routing_balances_traffic() {
+        let mut cfg = small_cfg(4);
+        cfg.routing = ShardPolicy::RoundRobin;
+        let summary = ServingCluster::new(cfg).run();
+        let max = *summary.per_replica_requests.iter().max().unwrap();
+        let min = *summary.per_replica_requests.iter().min().unwrap();
+        assert!(max - min <= 1, "round robin must balance to within one request");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = ServingCluster::new(small_cfg(3)).run();
+        let b = ServingCluster::new(small_cfg(3)).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn one_replica_cluster_matches_the_baseline_loop_exactly() {
+        let cfg = small_cfg(1);
+        let cluster = ServingCluster::new(cfg.clone()).run();
+        let baseline = single_node_baseline(&cfg);
+        assert_eq!(cluster.timeline, baseline.timeline);
+        assert_eq!(cluster.mean_auc, baseline.mean_auc);
+        assert_eq!(cluster.mean_logloss, baseline.mean_logloss);
+        assert_eq!(cluster.requests_served, baseline.requests_served);
+        assert_eq!(cluster.final_lora_memory_bytes, baseline.final_lora_memory_bytes);
+    }
+
+    #[test]
+    fn replica_sweep_covers_requested_sizes() {
+        let sweep = replica_sweep(&small_cfg(1), &[1, 2]);
+        assert_eq!(sweep.len(), 2);
+        assert_eq!(sweep[0].num_replicas, 1);
+        assert_eq!(sweep[1].num_replicas, 2);
+        // Same stream, same horizon: both sizes serve the same total traffic.
+        assert_eq!(sweep[0].requests_served, sweep[1].requests_served);
+    }
+}

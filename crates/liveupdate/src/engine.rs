@@ -48,6 +48,9 @@ pub struct UpdateRoundReport {
     pub loss: f64,
     /// Number of `(table, row)` LoRA updates applied.
     pub rows_updated: usize,
+    /// The distinct `(table, row)` indices touched this round — the support a cluster
+    /// records into [`crate::sync::SparseLoraSync`] for the next sparse synchronisation.
+    pub touched_rows: Vec<(usize, usize)>,
     /// Whether a rank/pruning adaptation was triggered this round.
     pub adapted: bool,
     /// Current LoRA rank per table.
@@ -245,6 +248,7 @@ impl ServingNode {
             return UpdateRoundReport {
                 loss: 0.0,
                 rows_updated: 0,
+                touched_rows: Vec::new(),
                 adapted: false,
                 ranks: self.current_ranks(),
                 pruned_rows: 0,
@@ -255,10 +259,12 @@ impl ServingNode {
         self.steps += 1;
 
         // Refresh the serving rows for every touched index and mark them hot.
+        let mut touched_rows = Vec::new();
         for (table_idx, touched) in report.touched_per_table.iter().enumerate() {
             for &row in touched {
                 let eff = self.loras[table_idx].effective_row(row, self.base_model.table(table_idx).row(row));
                 self.serving_model.tables_mut()[table_idx].set_row(row, &eff);
+                touched_rows.push((table_idx, row));
             }
             self.hot_filter.mark_all(table_idx, touched.iter().copied());
             self.pruners[table_idx].record_step(touched.iter().copied());
@@ -287,11 +293,55 @@ impl ServingNode {
         UpdateRoundReport {
             loss: report.loss,
             rows_updated: report.rows_updated,
+            touched_rows,
             adapted,
             ranks: self.current_ranks(),
             pruned_rows,
             lora_memory_bytes: self.lora_memory_bytes(),
         }
+    }
+
+    /// Export the LoRA `A` row of `(table, row)`: the active row, or zeros at the table's
+    /// current rank. This is what a [`crate::sync::SparseLoraSync`] merge ships to peers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is out of bounds.
+    #[must_use]
+    pub fn export_lora_row(&self, table: usize, row: usize) -> Vec<f64> {
+        self.loras[table].a_row_or_zeros(row)
+    }
+
+    /// Import a merged LoRA `A` row from a peer node: the row is resized to the local
+    /// adapter's rank, installed, the serving-model row is rematerialised so the imported
+    /// correction is immediately visible to predictions, and the index is marked hot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` or `row` is out of bounds.
+    pub fn import_lora_row(&mut self, table: usize, row: usize, mut values: Vec<f64>) {
+        values.resize(self.loras[table].rank(), 0.0);
+        self.loras[table].set_a_row(row, values);
+        self.refresh_serving_row(table, row);
+        self.hot_filter.mark(table, row);
+    }
+
+    /// Rematerialise the serving-model rows of every active LoRA index (all tables) and
+    /// mark them hot. Called after a cross-node synchronisation rewrites `A` rows and `B`
+    /// factors: rows materialised during earlier rounds may be stale with respect to the
+    /// post-merge factors.
+    pub fn refresh_serving_rows(&mut self) {
+        for table in 0..self.loras.len() {
+            for row in self.loras[table].active_indices() {
+                self.refresh_serving_row(table, row);
+                self.hot_filter.mark(table, row);
+            }
+        }
+    }
+
+    fn refresh_serving_row(&mut self, table: usize, row: usize) {
+        let eff = self.loras[table].effective_row(row, self.base_model.table(table).row(row));
+        self.serving_model.tables_mut()[table].set_row(row, &eff);
     }
 
     /// Absorb the accumulated LoRA deltas into the base model (tiered mid-term step) and
@@ -314,6 +364,40 @@ impl ServingNode {
             lora.clear();
         }
         self.hot_filter.clear();
+    }
+}
+
+/// A [`ServingNode`] participates in sparse cross-node synchronisation directly: imports
+/// go through [`ServingNode::import_lora_row`] so the serving view stays consistent, and
+/// the post-merge callback rematerialises every active row against the broadcast factors.
+impl crate::sync::LoraPeer for ServingNode {
+    fn lora_rank(&self, table: usize) -> usize {
+        self.loras[table].rank()
+    }
+
+    fn export_a_row(&self, table: usize, row: usize) -> Vec<f64> {
+        self.export_lora_row(table, row)
+    }
+
+    fn import_a_row(&mut self, table: usize, row: usize, mut values: Vec<f64>) {
+        // Deliberately *not* import_lora_row: the table's B factor may still be
+        // broadcast after this call, so materialising here would be wasted work —
+        // finish_sync() rematerialises every active row once the factors are final.
+        values.resize(self.loras[table].rank(), 0.0);
+        self.loras[table].set_a_row(row, values);
+        self.hot_filter.mark(table, row);
+    }
+
+    fn export_b(&self, table: usize) -> Vec<f64> {
+        self.loras[table].b().to_vec()
+    }
+
+    fn import_b(&mut self, table: usize, b: &[f64], source_rank: usize) {
+        self.loras[table].import_b(b, source_rank);
+    }
+
+    fn finish_sync(&mut self) {
+        self.refresh_serving_rows();
     }
 }
 
@@ -489,6 +573,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn import_lora_row_is_visible_to_predictions() {
+        let mut n = node();
+        let base_row = n.base_model.table(0).row(5).to_vec();
+        assert_eq!(n.serving_model().table(0).row(5), &base_row[..]);
+        // Import a non-zero A row as a peer's merge would; the serving row must move.
+        n.import_lora_row(0, 5, vec![1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(n.export_lora_row(0, 5), vec![1.0, 1.0, 1.0, 1.0]);
+        let expected = n.loras[0].effective_row(5, &base_row);
+        assert_eq!(n.serving_model().table(0).row(5), &expected[..]);
+        assert!(n.serving_model().table(0).row(5) != &base_row[..]);
+        // Unknown rows export as zeros at the current rank.
+        assert_eq!(n.export_lora_row(0, 6), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn refresh_serving_rows_repairs_stale_b() {
+        let mut n = node();
+        n.import_lora_row(0, 9, vec![1.0, 0.0, 0.0, 0.0]);
+        // Overwrite B behind the serving model's back (as a sync broadcast does), then
+        // refresh: the materialised row must track the new factors.
+        let dim = n.loras[0].dim();
+        n.loras[0].import_b(&vec![0.5; 4 * dim], 4);
+        let stale = n.serving_model().table(0).row(9).to_vec();
+        n.refresh_serving_rows();
+        let fresh = n.serving_model().table(0).row(9).to_vec();
+        assert_ne!(stale, fresh);
+        let expected = n.loras[0].effective_row(9, n.base_model.table(0).row(9));
+        assert_eq!(fresh, expected);
     }
 
     #[test]

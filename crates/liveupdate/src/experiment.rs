@@ -158,8 +158,10 @@ fn train_on(model: &mut DlrmModel, batch: &MiniBatch, batch_size: usize) {
 }
 
 /// Pretrain the Day-1 checkpoint on the warm-up period and return it together with the
-/// workload positioned at the start of the evaluated period.
-fn warmed_up_model(cfg: &ExperimentConfig) -> (DlrmModel, SyntheticWorkload) {
+/// workload positioned at the start of the evaluated period. Also used by
+/// [`crate::cluster`] so every replica of a serving cluster starts from the identical
+/// checkpoint a single-node run would use.
+pub(crate) fn warmed_up_model(cfg: &ExperimentConfig) -> (DlrmModel, SyntheticWorkload) {
     let mut workload = SyntheticWorkload::new(cfg.workload.clone());
     let mut model = DlrmModel::new(cfg.dlrm.clone(), cfg.seed);
     let windows = (cfg.warmup_minutes / cfg.window_minutes).ceil() as usize;
@@ -315,13 +317,7 @@ pub fn run_strategy_with_training_delay(
         }
     }
 
-    let aucs: Vec<f64> = timeline.iter().filter_map(|p| p.auc).collect();
-    let mean_auc = if aucs.is_empty() {
-        0.0
-    } else {
-        aucs.iter().sum::<f64>() / aucs.len() as f64
-    };
-    let mean_logloss = timeline.iter().map(|p| p.logloss).sum::<f64>() / timeline.len().max(1) as f64;
+    let (mean_auc, mean_logloss) = aggregate_means(&timeline);
     StrategyRunResult {
         strategy,
         lora_memory_fraction: node.as_ref().map(ServingNode::lora_memory_fraction),
@@ -329,6 +325,20 @@ pub fn run_strategy_with_training_delay(
         mean_auc,
         mean_logloss,
     }
+}
+
+/// Mean AUC (over the windows where it is defined) and mean log loss of a timeline —
+/// the single aggregation rule shared by the strategy runner, the serving cluster and
+/// the single-node baseline loop, so cross-driver accuracy comparisons can never drift.
+pub(crate) fn aggregate_means(timeline: &[TimelinePoint]) -> (f64, f64) {
+    let aucs: Vec<f64> = timeline.iter().filter_map(|p| p.auc).collect();
+    let mean_auc = if aucs.is_empty() {
+        0.0
+    } else {
+        aucs.iter().sum::<f64>() / aucs.len() as f64
+    };
+    let mean_logloss = timeline.iter().map(|p| p.logloss).sum::<f64>() / timeline.len().max(1) as f64;
+    (mean_auc, mean_logloss)
 }
 
 /// Run several strategies under the identical stream and checkpoint.

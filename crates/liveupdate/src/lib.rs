@@ -16,9 +16,15 @@
 //! * [`trainer`] — the in-node LoRA trainer (base weights frozen, only `A`/`B` learn).
 //! * [`scheduler`] — adaptive NUMA/CCD partitioning driven by P99 latency (Algorithm 2).
 //! * [`isolation`] — the cache/bandwidth contention experiments behind Figs. 11 and 16.
-//! * [`sync`] — sparse data-parallel LoRA synchronisation with priority merge (Algorithm 3).
+//! * [`sync`] — sparse data-parallel LoRA synchronisation with priority merge (Algorithm 3),
+//!   expressed over the [`sync::LoraPeer`] trait so it applies to live serving nodes.
 //! * [`engine`] — the per-node serving engine combining the inference path and the online
 //!   update path.
+//! * [`replica`] — one serving node under a cluster rank, recording its touched rows into
+//!   the shared sync protocol.
+//! * [`cluster`] — the event-driven multi-replica serving cluster: deterministic request
+//!   routing, per-replica online training, and periodic sparse synchronisation priced
+//!   against the modelled fabric (Fig. 19).
 //! * [`strategy`] — NoUpdate / DeltaUpdate / QuickUpdate / LiveUpdate update strategies and
 //!   their analytic cost models.
 //! * [`experiment`] — end-to-end freshness experiments (accuracy over time, update cost,
@@ -49,7 +55,27 @@
 //! let report = node.online_update_round(5.0, 32);
 //! assert!(report.rows_updated > 0);
 //! ```
+//!
+//! # Cluster quickstart
+//!
+//! Scaling out is one constructor away: a [`cluster::ServingCluster`] shards the stream
+//! over `N` replicas and keeps their adapters consistent with sparse LoRA syncs.
+//!
+//! ```
+//! use liveupdate::cluster::{ClusterConfig, ServingCluster};
+//!
+//! let mut cfg = ClusterConfig::small(2); // 2 replicas, hash-by-user routing
+//! cfg.experiment.duration_minutes = 20.0; // 2 ten-minute windows
+//! cfg.experiment.online_rounds_per_window = 2;
+//!
+//! let summary = ServingCluster::new(cfg).run();
+//! assert_eq!(summary.num_replicas, 2);
+//! assert_eq!(summary.timeline.len(), 2);
+//! assert_eq!(summary.ledger.syncs, 2); // one sparse sync per window
+//! assert!(summary.sync_reports[0].indices_exchanged > 0);
+//! ```
 
+pub mod cluster;
 pub mod config;
 pub mod engine;
 pub mod experiment;
@@ -58,12 +84,16 @@ pub mod isolation;
 pub mod lora;
 pub mod pruning;
 pub mod rank_adapt;
+pub mod replica;
 pub mod scheduler;
 pub mod strategy;
 pub mod sync;
 pub mod trainer;
 
+pub use cluster::{ClusterConfig, ClusterRunSummary, ServingCluster};
 pub use config::LiveUpdateConfig;
 pub use engine::ServingNode;
 pub use lora::LoraTable;
+pub use replica::Replica;
 pub use strategy::StrategyKind;
+pub use sync::SparseLoraSync;

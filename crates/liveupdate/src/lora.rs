@@ -100,6 +100,17 @@ impl LoraTable {
         self.a_rows.get(&index).map(Vec::as_slice)
     }
 
+    /// The `A` row of an index as an owned vector: the active row, or zeros at the
+    /// current rank. This is the canonical export format of the cross-node sync (every
+    /// [`crate::sync::LoraPeer`] implementation must ship exactly this).
+    #[must_use]
+    pub fn a_row_or_zeros(&self, index: usize) -> Vec<f64> {
+        self.a_rows
+            .get(&index)
+            .cloned()
+            .unwrap_or_else(|| vec![0.0; self.rank])
+    }
+
     /// Borrow the dense `B` factor as a `k×d` row-major slice.
     #[must_use]
     pub fn b(&self) -> &[f64] {
@@ -197,6 +208,20 @@ impl LoraTable {
         assert_eq!(row.len(), self.rank, "A row length must equal the rank");
         assert!(index < self.num_rows, "index {index} out of bounds ({})", self.num_rows);
         self.a_rows.insert(index, row);
+    }
+
+    /// Overwrite the leading rows of the dense `B` factor with a factor broadcast from a
+    /// peer adapter of `source_rank` rows (cross-node synchronisation). Only the leading
+    /// `min(rank, source_rank)` rows are copied, so adapters at different adapted ranks
+    /// stay shape-consistent; the local rank never changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != source_rank * dim`.
+    pub fn import_b(&mut self, b: &[f64], source_rank: usize) {
+        assert_eq!(b.len(), source_rank * self.dim, "B factor shape mismatch");
+        let rows = self.rank.min(source_rank);
+        self.b[..rows * self.dim].copy_from_slice(&b[..rows * self.dim]);
     }
 
     /// Resize the rank to `new_rank`, truncating or zero-padding every active `A` row and

@@ -1,0 +1,173 @@
+//! One serving replica of a multi-replica cluster.
+//!
+//! A [`Replica`] wraps a [`ServingNode`] with its cluster rank and the bookkeeping the
+//! sparse synchronisation protocol needs: every online update round's touched rows are
+//! recorded into the shared [`SparseLoraSync`] under this replica's rank, so the next
+//! priority merge knows exactly which `(table, row)` indices this node changed.
+
+use crate::engine::{ServeReport, ServingNode, UpdateRoundReport};
+use crate::sync::{LoraPeer, SparseLoraSync};
+use liveupdate_dlrm::sample::MiniBatch;
+
+/// A [`ServingNode`] participating in a cluster under a fixed rank.
+#[derive(Debug, Clone)]
+pub struct Replica {
+    rank: usize,
+    node: ServingNode,
+    requests_served: u64,
+    update_rounds: u64,
+    rows_recorded: u64,
+}
+
+impl Replica {
+    /// Wrap `node` as cluster rank `rank`.
+    #[must_use]
+    pub fn new(rank: usize, node: ServingNode) -> Self {
+        Self {
+            rank,
+            node,
+            requests_served: 0,
+            update_rounds: 0,
+            rows_recorded: 0,
+        }
+    }
+
+    /// This replica's cluster rank.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The wrapped serving node.
+    #[must_use]
+    pub fn node(&self) -> &ServingNode {
+        &self.node
+    }
+
+    /// Mutable access to the wrapped serving node.
+    pub fn node_mut(&mut self) -> &mut ServingNode {
+        &mut self.node
+    }
+
+    /// Total requests this replica has served.
+    #[must_use]
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+
+    /// Total online update rounds this replica has run.
+    #[must_use]
+    pub fn update_rounds(&self) -> u64 {
+        self.update_rounds
+    }
+
+    /// Total `(table, row)` updates recorded into the sync protocol.
+    #[must_use]
+    pub fn rows_recorded(&self) -> u64 {
+        self.rows_recorded
+    }
+
+    /// Serve this replica's shard of a traffic window.
+    pub fn serve(&mut self, time_minutes: f64, shard: &MiniBatch) -> ServeReport {
+        self.requests_served += shard.len() as u64;
+        self.node.serve_batch(time_minutes, shard)
+    }
+
+    /// Run one online update round and record the touched rows into `sync` under this
+    /// replica's rank (Algorithm 3 line 7).
+    pub fn update_round(
+        &mut self,
+        time_minutes: f64,
+        batch_size: usize,
+        sync: &mut SparseLoraSync,
+    ) -> UpdateRoundReport {
+        let report = self.node.online_update_round(time_minutes, batch_size);
+        for &(table, row) in &report.touched_rows {
+            sync.record_update(self.rank, table, row);
+        }
+        self.rows_recorded += report.touched_rows.len() as u64;
+        self.update_rounds += 1;
+        report
+    }
+}
+
+/// Synchronisation reaches through the replica to its node.
+impl LoraPeer for Replica {
+    fn lora_rank(&self, table: usize) -> usize {
+        self.node.lora_rank(table)
+    }
+
+    fn export_a_row(&self, table: usize, row: usize) -> Vec<f64> {
+        self.node.export_a_row(table, row)
+    }
+
+    fn import_a_row(&mut self, table: usize, row: usize, values: Vec<f64>) {
+        self.node.import_a_row(table, row, values);
+    }
+
+    fn export_b(&self, table: usize) -> Vec<f64> {
+        self.node.export_b(table)
+    }
+
+    fn import_b(&mut self, table: usize, b: &[f64], source_rank: usize) {
+        self.node.import_b(table, b, source_rank);
+    }
+
+    fn finish_sync(&mut self) {
+        self.node.finish_sync();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LiveUpdateConfig;
+    use liveupdate_dlrm::model::{DlrmConfig, DlrmModel};
+    use liveupdate_workload::{SyntheticWorkload, WorkloadConfig};
+
+    fn replica(rank: usize) -> Replica {
+        let model = DlrmModel::new(
+            DlrmConfig {
+                table_sizes: vec![300, 300],
+                ..DlrmConfig::tiny(2, 300, 8)
+            },
+            11,
+        );
+        Replica::new(rank, ServingNode::new(model, LiveUpdateConfig::default()))
+    }
+
+    fn workload() -> SyntheticWorkload {
+        SyntheticWorkload::new(WorkloadConfig {
+            num_tables: 2,
+            table_size: 300,
+            ..WorkloadConfig::default()
+        })
+    }
+
+    #[test]
+    fn replica_records_touched_rows_under_its_rank() {
+        let mut r = replica(2);
+        let mut sync = SparseLoraSync::new(3, 8);
+        let mut w = workload();
+        r.serve(0.0, &w.batch_at(0.0, 64));
+        assert_eq!(r.requests_served(), 64);
+        let report = r.update_round(1.0, 32, &mut sync);
+        assert!(report.rows_updated > 0);
+        assert_eq!(r.update_rounds(), 1);
+        assert_eq!(r.rows_recorded(), report.touched_rows.len() as u64);
+        // All updates were recorded under rank 2, none under the other ranks.
+        assert_eq!(sync.pending(2), report.touched_rows.len());
+        assert_eq!(sync.pending(0), 0);
+        assert_eq!(sync.pending(1), 0);
+    }
+
+    #[test]
+    fn empty_round_records_nothing() {
+        let mut r = replica(0);
+        let mut sync = SparseLoraSync::new(1, 8);
+        let report = r.update_round(0.0, 32, &mut sync);
+        assert_eq!(report.rows_updated, 0);
+        assert_eq!(sync.pending(0), 0);
+        assert_eq!(r.rows_recorded(), 0);
+    }
+}

@@ -5,13 +5,82 @@
 //! its updates — the set of `(table, row)` indices it modified — and every `T_sync` steps
 //! the ranks exchange exactly those rows. Write conflicts are resolved deterministically by
 //! a rank-priority rule: index `i` takes the value of the highest-numbered rank that
-//! modified it. The payload exchanged is tiny (active `A` rows only), and its transfer cost
-//! over the cluster fabric is what Fig. 19 measures.
+//! modified it. Alongside the `A` rows, each touched table's dense `B` factor (a few KB) is
+//! broadcast from the same priority root, so as long as the peers' adapted LoRA ranks
+//! agree (the common case — rank adaptation is deterministic and fires on a shared step
+//! interval), every rank serves bit-identical corrections on the exchanged support. Peers
+//! whose local rank has drifted apart resize imports to their own rank (truncate/pad), so
+//! they converge only on the leading `min(rank)` components until the next full sync. The
+//! payload is tiny either way, and its transfer cost over the cluster fabric is what
+//! Fig. 19 measures.
+//!
+//! The merge is expressed against the [`LoraPeer`] trait so the same protocol drives both
+//! bare `Vec<LoraTable>` replicas (unit tests, analytic sweeps) and full
+//! [`crate::engine::ServingNode`]s inside a [`crate::cluster::ServingCluster`], where
+//! imports also rematerialise the serving rows.
 
 use crate::lora::LoraTable;
 use liveupdate_sim::collective::CollectiveModel;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One entry of the deterministic merge plan: `row` of `table` takes the value held by
+/// rank `winner` (the highest-numbered rank that modified the index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergeAssignment {
+    /// Embedding-table index.
+    pub table: usize,
+    /// Row within the table.
+    pub row: usize,
+    /// Rank whose value wins the priority merge.
+    pub winner: usize,
+}
+
+/// A participant in the sparse LoRA synchronisation: anything that can export and import
+/// `A` rows and the shared `B` factor of its per-table adapters.
+///
+/// The two provided implementations are `Vec<LoraTable>` (bare adapters) and
+/// [`crate::engine::ServingNode`] (imports additionally refresh the materialised serving
+/// rows so the correction becomes visible to predictions).
+pub trait LoraPeer {
+    /// Current LoRA rank of one table's adapter.
+    fn lora_rank(&self, table: usize) -> usize;
+    /// Export the `A` row of `(table, row)`: the active row, or zeros at the current rank.
+    fn export_a_row(&self, table: usize, row: usize) -> Vec<f64>;
+    /// Import a merged `A` row, resizing it to the local adapter's rank.
+    fn import_a_row(&mut self, table: usize, row: usize, values: Vec<f64>);
+    /// Export the dense `B` factor of one table (row-major `k×d`).
+    fn export_b(&self, table: usize) -> Vec<f64>;
+    /// Import a broadcast `B` factor of `source_rank` rows, keeping the local rank.
+    fn import_b(&mut self, table: usize, b: &[f64], source_rank: usize);
+    /// Called on every peer once the merge completes (imports applied). Engines use this
+    /// to rematerialise serving rows; bare adapters need no post-processing.
+    fn finish_sync(&mut self) {}
+}
+
+impl LoraPeer for Vec<LoraTable> {
+    fn lora_rank(&self, table: usize) -> usize {
+        self[table].rank()
+    }
+
+    fn export_a_row(&self, table: usize, row: usize) -> Vec<f64> {
+        self[table].a_row_or_zeros(row)
+    }
+
+    fn import_a_row(&mut self, table: usize, row: usize, mut values: Vec<f64>) {
+        // The receiving adapter may be at a different adapted rank; resize the row.
+        values.resize(self[table].rank(), 0.0);
+        self[table].set_a_row(row, values);
+    }
+
+    fn export_b(&self, table: usize) -> Vec<f64> {
+        self[table].b().to_vec()
+    }
+
+    fn import_b(&mut self, table: usize, b: &[f64], source_rank: usize) {
+        self[table].import_b(b, source_rank);
+    }
+}
 
 /// Tracks per-rank modified-index sets and performs the periodic priority merge.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -100,10 +169,40 @@ impl SparseLoraSync {
         union.into_iter().collect()
     }
 
+    /// The deterministic merge plan for the pending modified sets: one assignment per index
+    /// of the global union, each naming the highest-numbered rank that modified it. The
+    /// plan depends only on the *sets* of recorded updates, never on the order in which
+    /// they were recorded.
+    #[must_use]
+    pub fn merge_plan(&self) -> Vec<MergeAssignment> {
+        self.global_modified()
+            .into_iter()
+            .map(|(table, row)| {
+                let winner = (0..self.num_ranks)
+                    .rev()
+                    .find(|&r| self.modified[r].contains(&(table, row)))
+                    .expect("index came from the union of modified sets");
+                MergeAssignment { table, row, winner }
+            })
+            .collect()
+    }
+
+    /// Per touched table, the rank whose `B` factor is broadcast: the highest-numbered rank
+    /// that modified any row of the table (the same priority rule as the row merge).
+    #[must_use]
+    pub fn table_winners(&self) -> Vec<(usize, usize)> {
+        let mut winners: BTreeMap<usize, usize> = BTreeMap::new();
+        for rank in 0..self.num_ranks {
+            for &(table, _) in &self.modified[rank] {
+                winners.insert(table, rank); // ascending rank loop ⇒ last write wins
+            }
+        }
+        winners.into_iter().collect()
+    }
+
     /// Perform the priority merge over per-rank LoRA replicas (`replicas[rank][table]`) and
-    /// broadcast the merged rows back to every rank (Algorithm 3 lines 9–12). Ranks' ranks
-    /// must all have identical table shapes and LoRA ranks. Returns a report including the
-    /// estimated AllGather cost under `collective`.
+    /// broadcast the merged rows back to every rank (Algorithm 3 lines 9–12). Returns a
+    /// report including the estimated AllGather cost under `collective`.
     ///
     /// # Panics
     ///
@@ -113,42 +212,67 @@ impl SparseLoraSync {
         replicas: &mut [Vec<LoraTable>],
         collective: &CollectiveModel,
     ) -> SyncReport {
-        assert_eq!(replicas.len(), self.num_ranks, "one replica per rank is required");
-        let union = self.global_modified();
+        self.synchronize_peers(replicas, collective).0
+    }
+
+    /// The generic form of [`Self::synchronize`]: apply the priority merge to any slice of
+    /// [`LoraPeer`]s (Algorithm 3 lines 9–12). Every winning `A` row is exported once and
+    /// imported by every other rank; each touched table's `B` factor is then broadcast from
+    /// that table's priority root, and every peer gets a [`LoraPeer::finish_sync`] callback
+    /// to rematerialise derived state. The pending modified sets are cleared afterwards.
+    ///
+    /// Returns the report together with the merge plan that was actually applied (the
+    /// exchanged support), so callers never need to recompute it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peers.len() != num_ranks`.
+    pub fn synchronize_peers<P: LoraPeer>(
+        &mut self,
+        peers: &mut [P],
+        collective: &CollectiveModel,
+    ) -> (SyncReport, Vec<MergeAssignment>) {
+        assert_eq!(peers.len(), self.num_ranks, "one peer per rank is required");
+        let plan = self.merge_plan();
         let mut max_row_len = 0usize;
-        for &(table, row) in &union {
-            // Winner = highest rank id that modified the index (priority merge).
-            let winner = (0..self.num_ranks)
-                .rev()
-                .find(|&r| self.modified[r].contains(&(table, row)))
-                .expect("index came from the union of modified sets");
-            let winning_row: Vec<f64> = replicas[winner][table]
-                .a_row(row)
-                .map(<[f64]>::to_vec)
-                .unwrap_or_else(|| vec![0.0; replicas[winner][table].rank()]);
+        for assignment in &plan {
+            let winning_row = peers[assignment.winner].export_a_row(assignment.table, assignment.row);
             max_row_len = max_row_len.max(winning_row.len());
             for rank in 0..self.num_ranks {
-                if rank == winner {
-                    continue;
+                if rank != assignment.winner {
+                    peers[rank].import_a_row(assignment.table, assignment.row, winning_row.clone());
                 }
-                // Receiving replicas may be at a different adapted rank; resize the row.
-                let target_rank = replicas[rank][table].rank();
-                let mut row_values = winning_row.clone();
-                row_values.resize(target_rank, 0.0);
-                replicas[rank][table].set_a_row(row, row_values);
             }
         }
-        let bytes_per_rank = (union.len() * max_row_len.max(1) * std::mem::size_of::<f64>()) as u64;
+        let mut b_bytes = 0usize;
+        for (table, winner) in self.table_winners() {
+            let b = peers[winner].export_b(table);
+            let source_rank = peers[winner].lora_rank(table);
+            b_bytes += b.len() * std::mem::size_of::<f64>();
+            for rank in 0..self.num_ranks {
+                if rank != winner {
+                    peers[rank].import_b(table, &b, source_rank);
+                }
+            }
+        }
+        if !plan.is_empty() {
+            for peer in peers.iter_mut() {
+                peer.finish_sync();
+            }
+        }
+        let bytes_per_rank =
+            (plan.len() * max_row_len.max(1) * std::mem::size_of::<f64>() + b_bytes) as u64;
         let allgather_seconds = collective.allgather_seconds(self.num_ranks, bytes_per_rank);
         for set in &mut self.modified {
             set.clear();
         }
         self.syncs_performed += 1;
-        SyncReport {
-            indices_exchanged: union.len(),
+        let report = SyncReport {
+            indices_exchanged: plan.len(),
             bytes_per_rank,
             allgather_seconds,
-        }
+        };
+        (report, plan)
     }
 }
 
@@ -157,6 +281,7 @@ mod tests {
     use super::*;
     use liveupdate_sim::collective::CollectiveAlgorithm;
     use liveupdate_sim::network::NetworkLink;
+    use proptest::prelude::*;
 
     fn collective() -> CollectiveModel {
         CollectiveModel::new(NetworkLink::infiniband_edr(), CollectiveAlgorithm::TreeAllGather)
@@ -249,6 +374,149 @@ mod tests {
         let report = s.synchronize(&mut reps, &collective());
         assert_eq!(report.indices_exchanged, 0);
         assert_eq!(report.bytes_per_rank, 0);
+    }
+
+    #[test]
+    fn merge_plan_matches_priority_rule_and_table_winners() {
+        let mut s = SparseLoraSync::new(3, 8);
+        s.record_update(0, 0, 7);
+        s.record_update(2, 0, 7);
+        s.record_update(1, 1, 3);
+        let plan = s.merge_plan();
+        assert_eq!(
+            plan,
+            vec![
+                MergeAssignment { table: 0, row: 7, winner: 2 },
+                MergeAssignment { table: 1, row: 3, winner: 1 },
+            ]
+        );
+        assert_eq!(s.table_winners(), vec![(0, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn sync_broadcasts_b_factor_from_priority_root() {
+        let mut s = SparseLoraSync::new(2, 8);
+        // Different seeds ⇒ the two replicas start with different B factors.
+        let mut reps = replicas(2);
+        assert_ne!(reps[0][0].b(), reps[1][0].b());
+        reps[1][0].set_a_row(3, vec![2.0, -1.0]);
+        s.record_update(1, 0, 3);
+        let report = s.synchronize(&mut reps, &collective());
+        // Rank 1 is the table winner; rank 0 now carries its B and its A row, so the
+        // represented deltas agree on the exchanged support.
+        assert_eq!(reps[0][0].b(), reps[1][0].b());
+        assert_eq!(reps[0][0].delta_row(3), reps[1][0].delta_row(3));
+        // Payload = 1 A row of rank 2 plus one 2×4 B factor, in f64.
+        assert_eq!(report.bytes_per_rank, ((2 + 2 * 4) * 8) as u64);
+        assert_eq!(
+            report.allgather_seconds,
+            collective().allgather_seconds(2, report.bytes_per_rank)
+        );
+    }
+
+    /// Deterministically fill per-rank replicas with `A`-row values derived from the
+    /// update set, record the updates in the given order, and synchronise.
+    fn run_merge(
+        num_ranks: usize,
+        updates: &[(usize, usize)], // (rank, row) on table 0
+        order: &[usize],
+    ) -> (Vec<Vec<LoraTable>>, SyncReport) {
+        let mut s = SparseLoraSync::new(num_ranks, 8);
+        let mut reps = replicas(num_ranks);
+        for &i in order {
+            let (rank, row) = updates[i];
+            reps[rank][0].set_a_row(row, vec![(rank * 100 + row) as f64, row as f64]);
+            s.record_update(rank, 0, row);
+        }
+        let report = s.synchronize(&mut reps, &collective());
+        (reps, report)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The merged state and the reported cost are a pure function of the update *set*:
+        /// re-running the identical scenario reproduces them exactly.
+        #[test]
+        fn prop_merge_is_deterministic(
+            updates in proptest::collection::vec((0usize..4, 0usize..50), 1..30),
+        ) {
+            let order: Vec<usize> = (0..updates.len()).collect();
+            let (reps_a, report_a) = run_merge(4, &updates, &order);
+            let (reps_b, report_b) = run_merge(4, &updates, &order);
+            prop_assert_eq!(reps_a, reps_b);
+            prop_assert_eq!(report_a, report_b);
+        }
+
+        /// The merge outcome is independent of the order in which updates were recorded
+        /// (rank-iteration order must not leak into the result).
+        #[test]
+        fn prop_merge_independent_of_recording_order(
+            updates in proptest::collection::vec((0usize..4, 0usize..50), 1..30),
+            shuffle_seed in 0u64..1_000,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let forward: Vec<usize> = (0..updates.len()).collect();
+            let mut shuffled = forward.clone();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(shuffle_seed);
+            for i in (1..shuffled.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                shuffled.swap(i, j);
+            }
+            let (reps_a, report_a) = run_merge(4, &updates, &forward);
+            let (reps_b, report_b) = run_merge(4, &updates, &shuffled);
+            prop_assert_eq!(reps_a, reps_b);
+            prop_assert_eq!(report_a, report_b);
+        }
+
+        /// After a sync every rank holds identical values on the exchanged support — both
+        /// the raw `A` rows and the represented delta `A[i]·B`.
+        #[test]
+        fn prop_all_ranks_agree_on_support_after_sync(
+            updates in proptest::collection::vec((0usize..4, 0usize..50), 1..30),
+        ) {
+            let order: Vec<usize> = (0..updates.len()).collect();
+            let mut s = SparseLoraSync::new(4, 8);
+            let mut reps = replicas(4);
+            for &i in &order {
+                let (rank, row) = updates[i];
+                reps[rank][0].set_a_row(row, vec![(rank * 100 + row) as f64, row as f64]);
+                s.record_update(rank, 0, row);
+            }
+            let support = s.global_modified();
+            s.synchronize(&mut reps, &collective());
+            for &(table, row) in &support {
+                let reference_a = reps[0][table].a_row(row).unwrap().to_vec();
+                let reference_delta = reps[0][table].delta_row(row);
+                for rep in &reps[1..] {
+                    prop_assert_eq!(rep[table].a_row(row).unwrap(), &reference_a[..]);
+                    prop_assert_eq!(rep[table].delta_row(row), reference_delta.clone());
+                }
+            }
+        }
+
+        /// Synchronisation is idempotent: re-recording the already-merged support and
+        /// syncing again changes nothing.
+        #[test]
+        fn prop_merge_is_idempotent(
+            updates in proptest::collection::vec((0usize..4, 0usize..50), 1..30),
+        ) {
+            let order: Vec<usize> = (0..updates.len()).collect();
+            let (mut reps, first) = run_merge(4, &updates, &order);
+            let mut s = SparseLoraSync::new(4, 8);
+            // Every rank re-records the merged support (values are now identical
+            // everywhere, so the winner's value equals every loser's value).
+            let support: Vec<(usize, usize)> = updates.iter().map(|&(_, row)| (0usize, row)).collect();
+            for rank in 0..4 {
+                for &(table, row) in &support {
+                    s.record_update(rank, table, row);
+                }
+            }
+            let snapshot = reps.clone();
+            let second = s.synchronize(&mut reps, &collective());
+            prop_assert_eq!(reps, snapshot);
+            prop_assert_eq!(second.indices_exchanged, first.indices_exchanged);
+        }
     }
 
     #[test]

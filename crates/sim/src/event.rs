@@ -26,7 +26,10 @@ impl<T: PartialEq> PartialOrd for Scheduled<T> {
 
 impl<T: PartialEq> Ord for Scheduled<T> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest time (then lowest seq) pops first.
+        // BinaryHeap is a max-heap; invert so the earliest time (then lowest seq) pops
+        // first. The seq tie-break is load-bearing: a cluster schedules its per-replica
+        // update rounds at one timestamp and relies on FIFO insertion order to keep
+        // replica 0 before replica 1 — see `equal_times_pop_in_fifo_order_interleaved`.
         other
             .time_minutes
             .partial_cmp(&self.time_minutes)
@@ -121,6 +124,7 @@ impl<T: PartialEq> EventQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn events_pop_in_time_order() {
@@ -181,5 +185,70 @@ mod tests {
         q.pop();
         q.schedule_in(-10.0, "second");
         assert_eq!(q.pop(), Some((4.0, "second")));
+    }
+
+    /// Regression: FIFO tie-breaking must survive interleaved scheduling and popping —
+    /// events added to an already-drained timestamp still pop after everything scheduled
+    /// earlier at that timestamp, across heap rebalancing.
+    #[test]
+    fn equal_times_pop_in_fifo_order_interleaved() {
+        let mut q = EventQueue::new();
+        q.schedule_at(1.0, "t1-a");
+        q.schedule_at(2.0, "t2-a");
+        q.schedule_at(1.0, "t1-b");
+        assert_eq!(q.pop(), Some((1.0, "t1-a")));
+        // Still at t=1: schedule more ties at t=1 and t=2 mid-drain.
+        q.schedule_at(1.0, "t1-c");
+        q.schedule_at(2.0, "t2-b");
+        assert_eq!(q.pop(), Some((1.0, "t1-b")));
+        assert_eq!(q.pop(), Some((1.0, "t1-c")));
+        q.schedule_at(2.0, "t2-c");
+        assert_eq!(q.pop(), Some((2.0, "t2-a")));
+        assert_eq!(q.pop(), Some((2.0, "t2-b")));
+        assert_eq!(q.pop(), Some((2.0, "t2-c")));
+        assert!(q.is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Property regression: under arbitrary schedule/pop interleavings with heavily
+        /// duplicated timestamps, events pop exactly in `(time, insertion order)` — i.e.
+        /// the queue behaves like a stable sort of its schedule log.
+        #[test]
+        fn prop_pop_order_is_stable_by_time_then_insertion(
+            ops in proptest::collection::vec((0u8..4, proptest::bool::ANY), 1..60),
+        ) {
+            let mut q: EventQueue<usize> = EventQueue::new();
+            let mut log: Vec<(f64, usize)> = Vec::new(); // (time, id) in insertion order
+            let mut popped: Vec<usize> = Vec::new();
+            let mut next_id = 0usize;
+            for &(slot, is_pop) in &ops {
+                if is_pop {
+                    if let Some((_, id)) = q.pop() {
+                        popped.push(id);
+                    }
+                } else {
+                    // Times come from a tiny set so ties are the common case, never
+                    // before the current time (schedule_at rejects the past).
+                    let t = q.now_minutes() + f64::from(slot);
+                    q.schedule_at(t, next_id);
+                    log.push((t, next_id));
+                    next_id += 1;
+                }
+            }
+            while let Some((_, id)) = q.pop() {
+                popped.push(id);
+            }
+            // Expected order: stable sort of the log by time (insertion order breaks ties
+            // because sort_by is stable and ids are appended in insertion order).
+            // Scheduling times depend on pop timing, so equal-time runs interleave both.
+            let mut expected = log.clone();
+            expected.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            prop_assert_eq!(popped.len(), expected.len());
+            for (got, (_, want)) in popped.iter().zip(&expected) {
+                prop_assert_eq!(got, want);
+            }
+        }
     }
 }

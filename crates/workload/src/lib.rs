@@ -18,17 +18,21 @@
 //! * [`trace`] — interaction records and the bounded retention buffer that feeds the
 //!   online update path (paper §IV-E).
 //! * [`access`] — access-distribution statistics (CDF, top-k share).
+//! * [`shard`] — deterministic sharding of the request stream across serving replicas
+//!   (hash-by-user and round-robin routing for the multi-replica cluster).
 
 pub mod access;
 pub mod arrival;
 pub mod datasets;
 pub mod drift;
+pub mod shard;
 pub mod synthetic;
 pub mod trace;
 pub mod zipf;
 
 pub use datasets::{DatasetPreset, DatasetSpec};
 pub use drift::DriftConfig;
+pub use shard::{ShardPolicy, ShardedStream, StreamSharder};
 pub use synthetic::{SyntheticWorkload, WorkloadConfig};
 pub use trace::{InteractionRecord, RetentionBuffer};
 pub use zipf::ZipfSampler;

@@ -1,0 +1,273 @@
+//! Deterministic sharding of a CTR request stream across serving replicas.
+//!
+//! A multi-replica serving cluster routes every incoming request to exactly one replica.
+//! [`StreamSharder`] implements the two routing policies the LiveUpdate scalability
+//! experiments use:
+//!
+//! * [`ShardPolicy::HashByUser`] — stable FNV-1a hash of the sample's table-0 IDs (table 0
+//!   plays the role of the user-id table in the synthetic workload), so the same user
+//!   always lands on the same replica and per-replica traffic keeps the Zipfian skew;
+//! * [`ShardPolicy::RoundRobin`] — strict rotation, so traffic is balanced to within one
+//!   request regardless of the ID distribution.
+//!
+//! Both are pure functions of the sharder state and the sample — no randomness — so a
+//! cluster run is reproducible from its seed. Within every shard the original stream
+//! order is preserved.
+
+use liveupdate_dlrm::sample::{MiniBatch, Sample};
+use serde::{Deserialize, Serialize};
+
+/// How requests are assigned to shards (replicas).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShardPolicy {
+    /// Stable hash of the sample's table-0 (user) IDs.
+    HashByUser,
+    /// Strict rotation over the shards in stream order.
+    RoundRobin,
+}
+
+/// Stateful, deterministic request router over a fixed number of shards.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamSharder {
+    policy: ShardPolicy,
+    num_shards: usize,
+    next_round_robin: usize,
+}
+
+/// FNV-1a over the little-endian bytes of the IDs — stable across runs and platforms
+/// (unlike `std`'s `DefaultHasher`, which is randomly keyed).
+fn fnv1a(ids: &[usize]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &id in ids {
+        for byte in (id as u64).to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    hash
+}
+
+impl StreamSharder {
+    /// Create a sharder over `num_shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards == 0`.
+    #[must_use]
+    pub fn new(policy: ShardPolicy, num_shards: usize) -> Self {
+        assert!(num_shards > 0, "at least one shard is required");
+        Self {
+            policy,
+            num_shards,
+            next_round_robin: 0,
+        }
+    }
+
+    /// Number of shards requests are routed over.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The routing policy.
+    #[must_use]
+    pub fn policy(&self) -> ShardPolicy {
+        self.policy
+    }
+
+    /// The shard the next occurrence of `sample` is routed to. Round-robin advances the
+    /// rotation; hashing is stateless.
+    pub fn shard_of(&mut self, sample: &Sample) -> usize {
+        match self.policy {
+            ShardPolicy::HashByUser => {
+                let ids = sample.sparse.first().map_or(&[][..], Vec::as_slice);
+                (fnv1a(ids) % self.num_shards as u64) as usize
+            }
+            ShardPolicy::RoundRobin => {
+                let shard = self.next_round_robin;
+                self.next_round_robin = (self.next_round_robin + 1) % self.num_shards;
+                shard
+            }
+        }
+    }
+
+    /// Shard assignment of every sample of a batch, in stream order.
+    pub fn assignments(&mut self, batch: &MiniBatch) -> Vec<usize> {
+        batch.iter().map(|s| self.shard_of(s)).collect()
+    }
+
+    /// Group a batch into the per-shard mini-batches named by `assignments`, preserving
+    /// the original stream order within every shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignments` does not match the batch length or names an out-of-range
+    /// shard.
+    #[must_use]
+    pub fn group(batch: &MiniBatch, assignments: &[usize], num_shards: usize) -> Vec<MiniBatch> {
+        assert_eq!(assignments.len(), batch.len(), "one assignment per sample is required");
+        let mut shards: Vec<Vec<Sample>> = vec![Vec::new(); num_shards];
+        for (sample, &shard) in batch.iter().zip(assignments) {
+            assert!(shard < num_shards, "shard {shard} out of range ({num_shards})");
+            shards[shard].push(sample.clone());
+        }
+        shards.into_iter().map(MiniBatch::new).collect()
+    }
+
+    /// Split a batch into one mini-batch per shard under this sharder's policy.
+    pub fn split(&mut self, batch: &MiniBatch) -> Vec<MiniBatch> {
+        let assignments = self.assignments(batch);
+        Self::group(batch, &assignments, self.num_shards)
+    }
+
+    /// Adapt a `(time, sample)` stream into a `(time, shard, sample)` stream, tagging each
+    /// item with its route (see [`ShardedStream`]).
+    pub fn shard_stream<I>(self, stream: I) -> ShardedStream<I>
+    where
+        I: Iterator<Item = (f64, Sample)>,
+    {
+        ShardedStream { inner: stream, sharder: self }
+    }
+}
+
+/// Iterator adapter produced by [`StreamSharder::shard_stream`]: yields
+/// `(time_minutes, shard, sample)` triples in stream order.
+#[derive(Debug, Clone)]
+pub struct ShardedStream<I> {
+    inner: I,
+    sharder: StreamSharder,
+}
+
+impl<I> ShardedStream<I> {
+    /// The underlying sharder (e.g. to inspect the rotation position).
+    #[must_use]
+    pub fn sharder(&self) -> &StreamSharder {
+        &self.sharder
+    }
+}
+
+impl<I: Iterator<Item = (f64, Sample)>> Iterator for ShardedStream<I> {
+    type Item = (f64, usize, Sample);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (t, sample) = self.inner.next()?;
+        let shard = self.sharder.shard_of(&sample);
+        Some((t, shard, sample))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SyntheticWorkload, WorkloadConfig};
+    use proptest::prelude::*;
+
+    fn batch(n: usize) -> MiniBatch {
+        let mut w = SyntheticWorkload::new(WorkloadConfig::default());
+        w.batch_at(0.0, n)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = StreamSharder::new(ShardPolicy::RoundRobin, 0);
+    }
+
+    #[test]
+    fn hash_routing_is_deterministic_and_stateless() {
+        let b = batch(64);
+        let mut a = StreamSharder::new(ShardPolicy::HashByUser, 4);
+        let mut c = StreamSharder::new(ShardPolicy::HashByUser, 4);
+        let first = a.assignments(&b);
+        assert_eq!(first, c.assignments(&b));
+        // Stateless: re-routing the same batch gives the same shards.
+        assert_eq!(first, a.assignments(&b));
+        assert!(first.iter().all(|&s| s < 4));
+    }
+
+    #[test]
+    fn same_user_always_lands_on_same_shard() {
+        let mut s = StreamSharder::new(ShardPolicy::HashByUser, 8);
+        let mut sample = Sample::new(vec![0.0], vec![vec![42, 7], vec![3]], 0.0);
+        let shard = s.shard_of(&sample);
+        // Only non-user features change ⇒ the route must not.
+        sample.sparse[1] = vec![99];
+        sample.dense[0] = 1.0;
+        assert_eq!(s.shard_of(&sample), shard);
+        // Changing the user IDs is allowed to move the route.
+        sample.sparse[0] = vec![43, 7];
+        let _ = s.shard_of(&sample); // just must not panic
+    }
+
+    #[test]
+    fn round_robin_balances_to_within_one() {
+        let b = batch(10);
+        let mut s = StreamSharder::new(ShardPolicy::RoundRobin, 4);
+        let shards = s.split(&b);
+        let sizes: Vec<usize> = shards.iter().map(MiniBatch::len).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        // The rotation continues across batches.
+        assert_eq!(s.shard_of(&b.samples[0]), 2);
+    }
+
+    #[test]
+    fn single_shard_gets_everything_in_order() {
+        let b = batch(16);
+        for policy in [ShardPolicy::HashByUser, ShardPolicy::RoundRobin] {
+            let mut s = StreamSharder::new(policy, 1);
+            let shards = s.split(&b);
+            assert_eq!(shards.len(), 1);
+            assert_eq!(shards[0], b);
+        }
+    }
+
+    #[test]
+    fn sharded_stream_tags_items_in_order() {
+        let mut w = SyntheticWorkload::new(WorkloadConfig::default());
+        let window = w.window(0.0, 10.0, 20);
+        let expected: Vec<Sample> = window.iter().map(|(_, s)| s.clone()).collect();
+        let tagged: Vec<(f64, usize, Sample)> = StreamSharder::new(ShardPolicy::RoundRobin, 3)
+            .shard_stream(window.into_iter())
+            .collect();
+        assert_eq!(tagged.len(), 20);
+        for (i, (_, shard, sample)) in tagged.iter().enumerate() {
+            assert_eq!(*shard, i % 3);
+            assert_eq!(sample, &expected[i]);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Splitting is a partition: every sample lands in exactly one shard, within-shard
+        /// order follows stream order, and shard indices are in range.
+        #[test]
+        fn prop_split_is_an_order_preserving_partition(
+            n in 1usize..80,
+            num_shards in 1usize..6,
+            use_hash in proptest::bool::ANY,
+        ) {
+            let b = batch(n);
+            let policy = if use_hash { ShardPolicy::HashByUser } else { ShardPolicy::RoundRobin };
+            let mut s = StreamSharder::new(policy, num_shards);
+            let assignments = s.assignments(&b);
+            let shards = StreamSharder::group(&b, &assignments, num_shards);
+            prop_assert_eq!(shards.len(), num_shards);
+            let total: usize = shards.iter().map(MiniBatch::len).sum();
+            prop_assert_eq!(total, n);
+            // Replaying the assignments must reproduce each shard's content in order.
+            for (shard_idx, shard) in shards.iter().enumerate() {
+                let expected: Vec<&Sample> = b
+                    .iter()
+                    .zip(&assignments)
+                    .filter(|(_, &a)| a == shard_idx)
+                    .map(|(s, _)| s)
+                    .collect();
+                prop_assert_eq!(shard.len(), expected.len());
+                for (got, want) in shard.iter().zip(expected) {
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Integration test of the event-driven multi-replica serving cluster: an N=4 cluster
+//! replaying a drifting CTR stream must converge (aggregate accuracy within tolerance of
+//! the single-node loop), keep its replicas consistent on the synced support, reproduce
+//! the single-node baseline exactly at N=1, and charge exactly the analytic sync costs.
+
+use liveupdate_repro::core::cluster::{
+    replica_sweep, single_node_baseline, ClusterConfig, ServingCluster,
+};
+use liveupdate_repro::core::experiment::ExperimentConfig;
+use liveupdate_repro::dlrm::sample::Sample;
+use liveupdate_repro::workload::shard::ShardPolicy;
+
+/// A small but non-trivial protocol: four 10-minute windows of drifting traffic.
+fn base_config(num_replicas: usize) -> ClusterConfig {
+    let mut experiment = ExperimentConfig::small();
+    experiment.duration_minutes = 40.0;
+    experiment.requests_per_window = 160;
+    experiment.online_rounds_per_window = 3;
+    experiment.online_batch_size = 48;
+    ClusterConfig::new(experiment, num_replicas)
+}
+
+#[test]
+fn n4_cluster_converges_and_agrees_on_synced_support() {
+    let mut cluster = ServingCluster::new(base_config(4));
+    let summary = cluster.run();
+
+    // The run covered the whole horizon and synced once per window.
+    assert_eq!(summary.timeline.len(), 4);
+    assert_eq!(summary.sync_reports.len(), 4);
+    assert!(summary.sync_reports.iter().all(|r| r.indices_exchanged > 0));
+    assert_eq!(summary.requests_served, 4 * 160);
+
+    // Convergence: the sharded cluster's aggregate accuracy stays within tolerance of
+    // the single-node loop over the same stream (each replica sees a quarter of the
+    // traffic, but the sparse syncs share what was learned).
+    let single = single_node_baseline(&base_config(1));
+    assert!(
+        (summary.mean_auc - single.mean_auc).abs() < 0.15,
+        "cluster AUC {} strayed from single-node AUC {}",
+        summary.mean_auc,
+        single.mean_auc
+    );
+    assert!(
+        (summary.mean_logloss - single.mean_logloss).abs() < 0.2,
+        "cluster logloss {} strayed from single-node logloss {}",
+        summary.mean_logloss,
+        single.mean_logloss
+    );
+
+    // Consistency: the run ends on a sync, so on the exchanged support every replica
+    // must hold identical adapters *and* identical serving rows. Exact agreement needs
+    // uniform adapted ranks, which this config guarantees (12 steps per replica, far
+    // below the 128-step adaptation interval) — assert that precondition first.
+    let ranks0 = cluster.replicas()[0].node().current_ranks();
+    for replica in cluster.replicas() {
+        assert_eq!(replica.node().current_ranks(), ranks0, "ranks diverged unexpectedly");
+    }
+    let support = cluster.last_sync_support().to_vec();
+    assert!(!support.is_empty(), "final sync exchanged nothing");
+    let replicas = cluster.replicas();
+    let mut probe_ids: Vec<Vec<usize>> = vec![Vec::new(); 2];
+    for assignment in &support {
+        let reference_row = replicas[0].node().export_lora_row(assignment.table, assignment.row);
+        let reference_serving = replicas[0]
+            .node()
+            .serving_model()
+            .table(assignment.table)
+            .row(assignment.row)
+            .to_vec();
+        for replica in &replicas[1..] {
+            assert_eq!(
+                replica.node().export_lora_row(assignment.table, assignment.row),
+                reference_row,
+                "A rows diverged on synced row {assignment:?}"
+            );
+            assert_eq!(
+                replica.node().serving_model().table(assignment.table).row(assignment.row),
+                &reference_serving[..],
+                "serving rows diverged on synced row {assignment:?}"
+            );
+        }
+        if probe_ids[assignment.table].len() < 2 {
+            probe_ids[assignment.table].push(assignment.row);
+        }
+    }
+
+    // And therefore identical predictions for any request that only touches synced rows.
+    let probe = Sample::new(vec![0.25, -0.5], probe_ids, 0.0);
+    let reference = replicas[0].node().predict(&probe);
+    for replica in &replicas[1..] {
+        let p = replica.node().predict(&probe);
+        assert!(
+            (p - reference).abs() < 1e-12,
+            "post-sync predictions diverged on hot rows: {p} vs {reference}"
+        );
+    }
+}
+
+#[test]
+fn n1_cluster_reproduces_the_single_node_loop_exactly() {
+    let cfg = base_config(1);
+    let cluster = ServingCluster::new(cfg.clone()).run();
+    let baseline = single_node_baseline(&cfg);
+    // Bit-for-bit: identical timelines (f64 equality), traffic counts and final adapters.
+    assert_eq!(cluster.timeline, baseline.timeline);
+    assert_eq!(cluster.mean_auc, baseline.mean_auc);
+    assert_eq!(cluster.mean_logloss, baseline.mean_logloss);
+    assert_eq!(cluster.requests_served, baseline.requests_served);
+    assert_eq!(cluster.per_replica_requests, baseline.per_replica_requests);
+    assert_eq!(cluster.final_lora_memory_bytes, baseline.final_lora_memory_bytes);
+}
+
+#[test]
+fn replica_sweep_is_deterministic_and_charges_analytic_costs() {
+    let mut base = base_config(1);
+    // A tighter horizon keeps the 8-replica run cheap.
+    base.experiment.duration_minutes = 20.0;
+    base.experiment.online_rounds_per_window = 2;
+    base.experiment.online_batch_size = 32;
+    let counts = [1usize, 2, 4, 8];
+    let sweep = replica_sweep(&base, &counts);
+    let again = replica_sweep(&base, &counts);
+    assert_eq!(sweep, again, "the sweep must be reproducible from the fixed seed");
+
+    for (summary, &n) in sweep.iter().zip(&counts) {
+        assert_eq!(summary.num_replicas, n);
+        // Same stream, same horizon: every cluster size serves the same total traffic.
+        assert_eq!(summary.requests_served, 2 * 160);
+        let spec = liveupdate_repro::sim::cluster::ClusterSpec::with_nodes(n);
+        let collective = spec
+            .intra_collective(liveupdate_repro::sim::collective::CollectiveAlgorithm::TreeAllGather);
+        for report in &summary.sync_reports {
+            // The charged AllGather time is exactly the CollectiveModel's analytic value
+            // for the reported payload.
+            assert_eq!(
+                report.allgather_seconds,
+                collective.allgather_seconds(n, report.bytes_per_rank)
+            );
+            if n == 1 {
+                assert_eq!(report.allgather_seconds, 0.0, "one rank exchanges nothing");
+            } else {
+                assert!(report.allgather_seconds > 0.0);
+            }
+        }
+        let total: f64 = summary.sync_reports.iter().map(|r| r.allgather_seconds).sum();
+        assert!((summary.ledger.total_allgather_seconds - total).abs() < 1e-15);
+    }
+
+    // More replicas exchange at least as many indices (same stream, more writers) and the
+    // AllGather grows with the cluster, staying sub-linear (tree collective).
+    let s2 = sweep[1].ledger.total_allgather_seconds;
+    let s8 = sweep[3].ledger.total_allgather_seconds;
+    assert!(s8 > s2);
+}
+
+#[test]
+fn round_robin_cluster_serves_balanced_shards() {
+    let mut cfg = base_config(4);
+    cfg.experiment.duration_minutes = 20.0;
+    cfg.routing = ShardPolicy::RoundRobin;
+    let summary = ServingCluster::new(cfg).run();
+    let max = *summary.per_replica_requests.iter().max().unwrap();
+    let min = *summary.per_replica_requests.iter().min().unwrap();
+    assert!(max - min <= 1, "round-robin shards must balance: {:?}", summary.per_replica_requests);
+    assert_eq!(summary.requests_served, 2 * 160);
+}
