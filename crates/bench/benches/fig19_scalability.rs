@@ -7,7 +7,7 @@
 
 use liveupdate::cluster::{replica_sweep, ClusterConfig};
 use liveupdate::experiment::ExperimentConfig;
-use liveupdate_bench::{header, series_row};
+use liveupdate_bench::{header, series_row, write_bench_json, BenchMetric};
 use liveupdate_sim::cluster::ClusterSpec;
 use liveupdate_sim::collective::CollectiveAlgorithm;
 
@@ -43,6 +43,7 @@ fn main() {
         "nodes", "KB/rank/sync", "tree sync (min)", "ring sync (min)", "regime"
     );
     let mut tree_series = Vec::new();
+    let mut metrics = Vec::new();
     for summary in &summaries {
         let n = summary.num_replicas;
         let spec = ClusterSpec::with_nodes(n);
@@ -52,6 +53,14 @@ fn main() {
         let tree_min = tree.allgather_minutes(n, payload);
         let ring_min = ring.allgather_minutes(n, payload);
         tree_series.push((n as f64, tree_min));
+        metrics.push(BenchMetric::new(
+            &format!("bytes_per_rank_per_sync_n{n}"),
+            summary.ledger.mean_bytes_per_rank(),
+            "bytes",
+        ));
+        metrics.push(BenchMetric::new(&format!("tree_sync_n{n}"), tree_min, "minutes"));
+        metrics.push(BenchMetric::new(&format!("ring_sync_n{n}"), ring_min, "minutes"));
+        metrics.push(BenchMetric::new(&format!("mean_auc_n{n}"), summary.mean_auc, "auc"));
         println!(
             "{:>8} {:>14.1} {:>18.2} {:>18.2} {:>12}",
             n,
@@ -69,6 +78,8 @@ fn main() {
         let tree_min = tree.allgather_minutes(n, payload);
         let ring_min = ring.allgather_minutes(n, payload);
         tree_series.push((n as f64, tree_min));
+        metrics.push(BenchMetric::new(&format!("tree_sync_projected_n{n}"), tree_min, "minutes"));
+        metrics.push(BenchMetric::new(&format!("ring_sync_projected_n{n}"), ring_min, "minutes"));
         println!(
             "{:>8} {:>14} {:>18.2} {:>18.2} {:>12}",
             n, "-", tree_min, ring_min, "projected"
@@ -83,4 +94,9 @@ fn main() {
         at48 / at8.max(1e-9)
     );
     println!("48-node sync stays under 10 minutes: {}", if at48 < 10.0 { "yes" } else { "no" });
+
+    metrics.push(BenchMetric::new("tree_growth_8_to_48", at48 / at8.max(1e-9), "ratio"));
+    if let Err(e) = write_bench_json("scalability", &metrics) {
+        eprintln!("could not write BENCH_scalability.json: {e}");
+    }
 }

@@ -1,0 +1,123 @@
+//! Runtime throughput bench — *measured* wall-clock serving performance of the real
+//! multithreaded runtime, and the interference cost of live LoRA updates.
+//!
+//! Two arms on the identical open-loop Poisson workload: updater **disabled** (baseline)
+//! and updater **enabled** (the paper's deployment). The difference in P99 is the
+//! serving-path overhead of inference-side freshness — the quantity the paper claims is
+//! near zero. Emits `BENCH_runtime.json` so the perf trajectory is tracked across PRs.
+//!
+//! Knobs: `LIVEUPDATE_RUNTIME_SECONDS` (per arm, default 2), `LIVEUPDATE_RUNTIME_WORKERS`
+//! (default 2), `LIVEUPDATE_RUNTIME_QPS` (default 1500).
+
+use liveupdate::config::LiveUpdateConfig;
+use liveupdate::engine::ServingNode;
+use liveupdate_bench::{header, write_bench_json, BenchMetric};
+use liveupdate_dlrm::model::{DlrmConfig, DlrmModel};
+use liveupdate_runtime::config::{RuntimeConfig, UpdateMode};
+use liveupdate_runtime::loadgen::{run_open_loop, LoadGenConfig};
+use liveupdate_runtime::report::RuntimeReport;
+use liveupdate_runtime::runtime::ServingRuntime;
+use liveupdate_workload::arrival::ArrivalModel;
+use liveupdate_workload::{SyntheticWorkload, WorkloadConfig};
+use std::time::Duration;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn node() -> ServingNode {
+    let model = DlrmModel::new(
+        DlrmConfig {
+            table_sizes: vec![500, 500],
+            ..DlrmConfig::tiny(2, 500, 8)
+        },
+        41,
+    );
+    ServingNode::new(model, LiveUpdateConfig::default())
+}
+
+fn run_arm(update: UpdateMode, workers: usize, qps: f64, seconds: f64) -> RuntimeReport {
+    let mut warm = SyntheticWorkload::new(WorkloadConfig {
+        num_tables: 2,
+        table_size: 500,
+        ..WorkloadConfig::default()
+    });
+    let mut n = node();
+    // Pre-fill the retention buffer so update rounds train from the first interval.
+    n.serve_batch(0.0, &warm.batch_at(0.0, 256));
+    let runtime = ServingRuntime::start(
+        n,
+        RuntimeConfig {
+            num_workers: workers,
+            queue_capacity: 4096,
+            max_batch: 32,
+            batch_deadline_us: 1_000,
+            update,
+        },
+    );
+    let loadgen = LoadGenConfig {
+        arrival: ArrivalModel::default(),
+        target_qps: qps,
+        duration: Duration::from_secs_f64(seconds),
+        seed: 99,
+        ..LoadGenConfig::default()
+    };
+    let gen = run_open_loop(&runtime, &mut warm, &loadgen);
+    let (report, _) = runtime.finish();
+    println!(
+        "  offered={} accepted={} shed={} behind={}",
+        gen.offered, gen.accepted, gen.shed, gen.behind
+    );
+    println!("  {}", report.summary_line());
+    report
+}
+
+fn main() {
+    header(
+        "Runtime throughput",
+        "measured QPS/P99 of the multithreaded serving runtime, updater off vs on",
+    );
+    let seconds = env_f64("LIVEUPDATE_RUNTIME_SECONDS", 2.0);
+    let workers = env_f64("LIVEUPDATE_RUNTIME_WORKERS", 2.0) as usize;
+    let qps = env_f64("LIVEUPDATE_RUNTIME_QPS", 1_500.0);
+
+    println!("\nupdater disabled (baseline):");
+    let off = run_arm(UpdateMode::Disabled, workers, qps, seconds);
+    println!("\nupdater enabled (LiveUpdate):");
+    let on = run_arm(
+        UpdateMode::Background {
+            interval: Duration::from_millis(250),
+            rounds_per_update: 1,
+            batch_size: 64,
+        },
+        workers,
+        qps,
+        seconds,
+    );
+
+    let p99_off = off.latency.p99().unwrap_or(0.0);
+    let p99_on = on.latency.p99().unwrap_or(0.0);
+    let degradation = if p99_off > 0.0 { p99_on / p99_off } else { f64::NAN };
+    println!(
+        "\ninterference: P99 {:.3}ms -> {:.3}ms ({:.2}x), {} update rounds published over {:.1}s",
+        p99_off, p99_on, degradation, on.updater.publications, on.wall_seconds
+    );
+
+    let metrics = vec![
+        BenchMetric::new("qps_updater_off", off.qps, "requests/s"),
+        BenchMetric::new("qps_updater_on", on.qps, "requests/s"),
+        BenchMetric::new("p50_updater_off", off.latency.p50().unwrap_or(0.0), "ms"),
+        BenchMetric::new("p50_updater_on", on.latency.p50().unwrap_or(0.0), "ms"),
+        BenchMetric::new("p99_updater_off", p99_off, "ms"),
+        BenchMetric::new("p99_updater_on", p99_on, "ms"),
+        BenchMetric::new("p99_degradation", degradation, "ratio"),
+        BenchMetric::new("mean_batch_updater_on", on.mean_batch_size(), "requests"),
+        BenchMetric::new("drop_rate_updater_on", on.drop_rate(), "fraction"),
+        BenchMetric::new("update_publications", on.updater.publications as f64, "count"),
+        BenchMetric::new("mean_update_round", on.updater.mean_round_ms(), "ms"),
+        BenchMetric::new("max_update_round", on.updater.max_round_ms(), "ms"),
+    ];
+    if let Err(e) = write_bench_json("runtime", &metrics) {
+        eprintln!("could not write BENCH_runtime.json: {e}");
+    }
+}

@@ -49,6 +49,95 @@ pub fn accuracy_config(preset: DatasetPreset, seed: u64) -> ExperimentConfig {
     cfg
 }
 
+/// One machine-readable benchmark metric: `(name, value, unit)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchMetric {
+    /// Metric name, e.g. `qps_updater_on`.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit string, e.g. `requests/s` or `ms`.
+    pub unit: String,
+}
+
+impl BenchMetric {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(name: &str, value: f64, unit: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            value,
+            unit: unit.to_string(),
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a bench result as a JSON document: `{"bench": ..., "metrics": [{name, value,
+/// unit}, ...]}`. Non-finite values serialize as `null` (JSON has no NaN/Infinity).
+#[must_use]
+pub fn bench_json(bench: &str, metrics: &[BenchMetric]) -> String {
+    let rows: Vec<String> = metrics
+        .iter()
+        .map(|m| {
+            let value = if m.value.is_finite() {
+                format!("{}", m.value)
+            } else {
+                "null".to_string()
+            };
+            format!(
+                "    {{\"name\": \"{}\", \"value\": {}, \"unit\": \"{}\"}}",
+                json_escape(&m.name),
+                value,
+                json_escape(&m.unit)
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"{}\",\n  \"metrics\": [\n{}\n  ]\n}}\n",
+        json_escape(bench),
+        rows.join(",\n")
+    )
+}
+
+/// Write `BENCH_<bench>.json` into the workspace root, so the perf trajectory of the
+/// paper reproduction is tracked as machine-readable artifacts across PRs. `cargo bench`
+/// runs bench binaries with the *package* directory as the working directory, so the
+/// workspace root is resolved from `CARGO_MANIFEST_DIR` at compile time (two levels up
+/// from `crates/bench`); if that directory is gone at run time, fall back to the current
+/// directory. Prints the path it wrote.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_bench_json(bench: &str, metrics: &[BenchMetric]) -> std::io::Result<std::path::PathBuf> {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .filter(|p| p.is_dir())
+        .map_or_else(|| std::path::PathBuf::from("."), std::path::Path::to_path_buf);
+    let path = root.join(format!("BENCH_{bench}.json"));
+    std::fs::write(&path, bench_json(bench, metrics))?;
+    println!("wrote {} ({} metrics)", path.display(), metrics.len());
+    Ok(path)
+}
+
 /// Re-export of the optimisation barrier the micro-benches wrap inputs and results in.
 pub use std::hint::black_box;
 
@@ -100,6 +189,35 @@ mod tests {
         for preset in DatasetPreset::all() {
             assert!(accuracy_config(preset, 3).is_valid(), "{} config invalid", preset.name());
         }
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let metrics = [
+            BenchMetric::new("qps", 1234.5, "requests/s"),
+            BenchMetric::new("p99", 2.75, "ms"),
+            BenchMetric::new("weird\"name", f64::NAN, "unit\\x"),
+        ];
+        let doc = bench_json("runtime", &metrics);
+        assert!(doc.contains("\"bench\": \"runtime\""));
+        assert!(doc.contains("{\"name\": \"qps\", \"value\": 1234.5, \"unit\": \"requests/s\"}"));
+        assert!(doc.contains("\"value\": null"), "NaN serializes as null");
+        assert!(doc.contains("weird\\\"name"), "quotes are escaped");
+        assert!(doc.contains("unit\\\\x"), "backslashes are escaped");
+        // Balanced braces/brackets (cheap structural sanity without a JSON parser).
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn write_bench_json_roundtrips_to_disk() {
+        let path = write_bench_json("selftest", &[BenchMetric::new("m", 1.0, "u")]).unwrap();
+        assert!(path.to_string_lossy().ends_with("BENCH_selftest.json"));
+        // Anchored at the workspace root, independent of the process's cwd.
+        assert!(path.parent().unwrap().join("Cargo.toml").is_file());
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(written, bench_json("selftest", &[BenchMetric::new("m", 1.0, "u")]));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

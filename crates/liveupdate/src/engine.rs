@@ -198,30 +198,67 @@ impl ServingNode {
     /// Serve a window of requests at `time_minutes`: predict, count the LoRA-corrected
     /// lookups, record accesses, and cache the labelled samples in the retention buffer for
     /// the online update path.
+    ///
+    /// This is the monolithic single-threaded path: a read-only serve pass (shared with
+    /// [`ServingSnapshot::serve_batch`](crate::snapshot::ServingSnapshot::serve_batch))
+    /// followed by [`Self::ingest_batch`]. The multithreaded runtime performs the two
+    /// halves on different threads — workers serve from a published snapshot, the updater
+    /// ingests — and the determinism-parity test pins that the split reproduces this
+    /// path's state bit-for-bit.
     pub fn serve_batch(&mut self, time_minutes: f64, batch: &MiniBatch) -> ServeReport {
-        let mut corrected = 0usize;
-        let mut prediction_sum = 0.0;
+        let report = crate::snapshot::readonly_serve(&self.serving_model, &self.hot_filter, batch);
+        self.ingest_batch(time_minutes, batch);
+        report
+    }
+
+    /// The mutating half of the serve path: record every sparse access into the per-table
+    /// histograms and push the labelled samples into the retention buffer that feeds the
+    /// online trainer. No predictions are made.
+    pub fn ingest_batch(&mut self, time_minutes: f64, batch: &MiniBatch) {
         for sample in batch.iter() {
-            prediction_sum += self.predict(sample);
             for (table_idx, ids) in sample.sparse.iter().enumerate() {
                 for &id in ids {
                     self.access[table_idx].record(id);
-                    if self.hot_filter.is_hot(table_idx, id) {
-                        corrected += 1;
-                    }
                 }
             }
         }
         self.buffer.push_batch(time_minutes, batch);
-        ServeReport {
-            requests: batch.len(),
-            lora_corrected_lookups: corrected,
-            mean_prediction: if batch.is_empty() {
-                0.0
-            } else {
-                prediction_sum / batch.len() as f64
-            },
+    }
+
+    /// Capture an immutable [`ServingSnapshot`](crate::snapshot::ServingSnapshot) of the
+    /// current serving state (model + hot filter), checksummed at capture time. This is
+    /// what the runtime's updater publishes after each round via the atomic epoch swap.
+    #[must_use]
+    pub fn snapshot(&self) -> crate::snapshot::ServingSnapshot {
+        crate::snapshot::ServingSnapshot::capture(
+            self.serving_model.clone(),
+            self.hot_filter.clone(),
+            self.steps,
+        )
+    }
+
+    /// Deterministic FNV-1a checksum of the node's full update-visible state: the serving
+    /// model's embedding rows, every LoRA table's rank / active `A` rows / `B` factor,
+    /// and the step counter. Two nodes that went through the same serve/update history
+    /// have equal checksums; the determinism-parity tests compare these.
+    #[must_use]
+    pub fn state_checksum(&self) -> u64 {
+        let mut hash = crate::snapshot::model_checksum(&self.serving_model, self.steps);
+        for lora in &self.loras {
+            hash = crate::snapshot::fnv1a_word(hash, lora.rank() as u64);
+            let mut indices = lora.active_indices();
+            indices.sort_unstable();
+            for idx in indices {
+                hash = crate::snapshot::fnv1a_word(hash, idx as u64);
+                for v in lora.a_row_or_zeros(idx) {
+                    hash = crate::snapshot::fnv1a_word(hash, v.to_bits());
+                }
+            }
+            for &v in lora.b() {
+                hash = crate::snapshot::fnv1a_word(hash, v.to_bits());
+            }
         }
+        hash
     }
 
     /// Evaluate the serving model on a labelled batch: `(AUC, mean log loss)`.

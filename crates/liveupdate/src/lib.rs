@@ -20,6 +20,8 @@
 //!   expressed over the [`sync::LoraPeer`] trait so it applies to live serving nodes.
 //! * [`engine`] — the per-node serving engine combining the inference path and the online
 //!   update path.
+//! * [`snapshot`] — immutable, checksummed serving snapshots: the read-only serve API the
+//!   real multithreaded runtime (`liveupdate_runtime`) publishes via atomic epoch swaps.
 //! * [`replica`] — one serving node under a cluster rank, recording its touched rows into
 //!   the shared sync protocol.
 //! * [`cluster`] — the event-driven multi-replica serving cluster: deterministic request
@@ -86,6 +88,7 @@ pub mod pruning;
 pub mod rank_adapt;
 pub mod replica;
 pub mod scheduler;
+pub mod snapshot;
 pub mod strategy;
 pub mod sync;
 pub mod trainer;
@@ -95,5 +98,6 @@ pub use config::LiveUpdateConfig;
 pub use engine::ServingNode;
 pub use lora::LoraTable;
 pub use replica::Replica;
+pub use snapshot::ServingSnapshot;
 pub use strategy::StrategyKind;
 pub use sync::SparseLoraSync;

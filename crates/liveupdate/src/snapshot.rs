@@ -1,0 +1,255 @@
+//! Immutable serving snapshots: the read-only half of the engine's serve API.
+//!
+//! The paper's "near-zero overhead" claim rests on the inference path never blocking on
+//! the co-located trainer (Fig. 7). [`ServingSnapshot`] makes that property a type: it is
+//! a frozen copy of everything a prediction needs — the materialised serving model and
+//! the hot-index filter — with no `&mut` method at all. The real multithreaded runtime
+//! (`liveupdate_runtime`) publishes one snapshot per update round behind an atomic epoch
+//! swap; worker threads serve from whichever snapshot they last observed, and the updater
+//! trains on its own mutable [`ServingNode`](crate::engine::ServingNode) without ever
+//! sharing a lock with the read path.
+//!
+//! Every snapshot carries an FNV-1a checksum of its model state, computed at capture
+//! time. Readers can [`ServingSnapshot::verify_checksum`] to assert they never observe a
+//! torn publication, and the concurrency stress tests match observed checksums against
+//! the set of published ones.
+
+use crate::engine::ServeReport;
+use crate::hot_index::HotIndexFilter;
+use liveupdate_dlrm::metrics::{Auc, LogLoss};
+use liveupdate_dlrm::model::DlrmModel;
+use liveupdate_dlrm::sample::{MiniBatch, Sample};
+use serde::{Deserialize, Serialize};
+
+/// FNV-1a offset basis / prime (64-bit), matching the stable hash the stream sharder
+/// uses — deterministic across runs and platforms.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Fold the little-endian bytes of one 64-bit word into an FNV-1a hash.
+pub(crate) fn fnv1a_word(mut hash: u64, word: u64) -> u64 {
+    for byte in word.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// FNV-1a over the bit patterns of every embedding-table row of `model`, seeded with
+/// `steps`. MLP weights are excluded: the online update path only ever rewrites
+/// embedding rows, so hashing the tables captures exactly the state a publication swaps.
+#[must_use]
+pub fn model_checksum(model: &DlrmModel, steps: u64) -> u64 {
+    let mut hash = fnv1a_word(FNV_OFFSET, steps);
+    for table in model.tables() {
+        hash = fnv1a_word(hash, table.num_rows() as u64);
+        for row in 0..table.num_rows() {
+            for &v in table.row(row) {
+                hash = fnv1a_word(hash, v.to_bits());
+            }
+        }
+    }
+    hash
+}
+
+/// The read-only serve pass shared by [`ServingSnapshot::serve_batch`] and the mutable
+/// [`ServingNode::serve_batch`](crate::engine::ServingNode::serve_batch): predict every
+/// sample and count the lookups that take the LoRA-corrected path. Touches no state.
+pub(crate) fn readonly_serve(model: &DlrmModel, hot: &HotIndexFilter, batch: &MiniBatch) -> ServeReport {
+    let mut corrected = 0usize;
+    let mut prediction_sum = 0.0;
+    for sample in batch.iter() {
+        prediction_sum += model.predict(sample);
+        for (table_idx, ids) in sample.sparse.iter().enumerate() {
+            for &id in ids {
+                if hot.is_hot(table_idx, id) {
+                    corrected += 1;
+                }
+            }
+        }
+    }
+    ServeReport {
+        requests: batch.len(),
+        lora_corrected_lookups: corrected,
+        mean_prediction: if batch.is_empty() {
+            0.0
+        } else {
+            prediction_sum / batch.len() as f64
+        },
+    }
+}
+
+/// An immutable, self-checksummed copy of a node's serving state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingSnapshot {
+    serving_model: DlrmModel,
+    hot_filter: HotIndexFilter,
+    steps: u64,
+    checksum: u64,
+}
+
+impl ServingSnapshot {
+    /// Capture a snapshot of `model` + `hot_filter` after `steps` online update steps.
+    /// The checksum is computed here, once, by the publisher.
+    #[must_use]
+    pub fn capture(serving_model: DlrmModel, hot_filter: HotIndexFilter, steps: u64) -> Self {
+        let checksum = model_checksum(&serving_model, steps);
+        Self {
+            serving_model,
+            hot_filter,
+            steps,
+            checksum,
+        }
+    }
+
+    /// The frozen serving model (base + materialised LoRA corrections).
+    #[must_use]
+    pub fn serving_model(&self) -> &DlrmModel {
+        &self.serving_model
+    }
+
+    /// Online update steps the source node had performed when this was captured.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The checksum computed at capture time.
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Recompute the checksum from the snapshot's current contents and compare it with
+    /// the one stored at capture. A mismatch means a reader observed torn state — the
+    /// epoch-swap publication protocol must make this impossible.
+    #[must_use]
+    pub fn verify_checksum(&self) -> bool {
+        model_checksum(&self.serving_model, self.steps) == self.checksum
+    }
+
+    /// Predict the click probability of one request. Read-only.
+    #[must_use]
+    pub fn predict(&self, sample: &Sample) -> f64 {
+        self.serving_model.predict(sample)
+    }
+
+    /// Serve a batch read-only: predictions plus the LoRA-corrected lookup count, with
+    /// no access recording, no retention buffering, no mutation of any kind. The
+    /// mutating side effects of the monolithic serve path live in
+    /// [`ServingNode::ingest_batch`](crate::engine::ServingNode::ingest_batch), which the
+    /// runtime's updater applies off the serve path.
+    #[must_use]
+    pub fn serve_batch(&self, batch: &MiniBatch) -> ServeReport {
+        readonly_serve(&self.serving_model, &self.hot_filter, batch)
+    }
+
+    /// Evaluate the snapshot on a labelled batch: `(AUC, mean log loss)`.
+    #[must_use]
+    pub fn evaluate(&self, batch: &MiniBatch) -> (Option<f64>, f64) {
+        let mut auc = Auc::new();
+        let mut ll = LogLoss::new();
+        for sample in batch.iter() {
+            let p = self.predict(sample);
+            auc.record(p, sample.label);
+            ll.record(p, sample.label);
+        }
+        (auc.value(), ll.value().unwrap_or(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LiveUpdateConfig;
+    use crate::engine::ServingNode;
+    use liveupdate_dlrm::model::{DlrmConfig, DlrmModel};
+    use liveupdate_workload::{SyntheticWorkload, WorkloadConfig};
+
+    fn node_and_workload() -> (ServingNode, SyntheticWorkload) {
+        let model = DlrmModel::new(
+            DlrmConfig {
+                table_sizes: vec![300, 300],
+                ..DlrmConfig::tiny(2, 300, 8)
+            },
+            11,
+        );
+        let w = SyntheticWorkload::new(WorkloadConfig {
+            num_tables: 2,
+            table_size: 300,
+            ..WorkloadConfig::default()
+        });
+        (ServingNode::new(model, LiveUpdateConfig::default()), w)
+    }
+
+    #[test]
+    fn snapshot_predictions_match_the_node() {
+        let (mut n, mut w) = node_and_workload();
+        n.serve_batch(0.0, &w.batch_at(0.0, 64));
+        n.online_update_round(1.0, 32);
+        let snap = n.snapshot();
+        let batch = w.batch_at(2.0, 32);
+        for sample in batch.iter() {
+            assert_eq!(snap.predict(sample), n.predict(sample));
+        }
+        assert_eq!(snap.steps(), n.steps());
+        assert!(snap.verify_checksum());
+    }
+
+    #[test]
+    fn snapshot_serve_matches_mutable_serve_report() {
+        let (mut n, mut w) = node_and_workload();
+        n.serve_batch(0.0, &w.batch_at(0.0, 64));
+        n.online_update_round(1.0, 32);
+        let batch = w.batch_at(2.0, 48);
+        let snap = n.snapshot();
+        let ro = snap.serve_batch(&batch);
+        let buffered_before = n.buffered_records();
+        let mt = n.serve_batch(2.0, &batch);
+        // Identical report; only the mutable path buffered the traffic.
+        assert_eq!(ro, mt);
+        assert_eq!(n.buffered_records(), buffered_before + batch.len());
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_updates() {
+        let (mut n, mut w) = node_and_workload();
+        n.serve_batch(0.0, &w.batch_at(0.0, 96));
+        let snap = n.snapshot();
+        let checksum_before = snap.checksum();
+        let probe = w.batch_at(1.0, 16);
+        let before: Vec<f64> = probe.iter().map(|s| snap.predict(s)).collect();
+        // Train the node hard; the captured snapshot must not move.
+        for _ in 0..10 {
+            n.online_update_round(1.0, 64);
+        }
+        let after: Vec<f64> = probe.iter().map(|s| snap.predict(s)).collect();
+        assert_eq!(before, after, "a captured snapshot is frozen");
+        assert_eq!(snap.checksum(), checksum_before);
+        assert!(snap.verify_checksum());
+        // And the node itself did move on.
+        assert_ne!(n.snapshot().checksum(), checksum_before);
+    }
+
+    #[test]
+    fn checksum_is_sensitive_to_model_and_steps() {
+        let (mut n, mut w) = node_and_workload();
+        n.serve_batch(0.0, &w.batch_at(0.0, 64));
+        let a = n.snapshot();
+        n.online_update_round(1.0, 32);
+        let b = n.snapshot();
+        assert_ne!(a.checksum(), b.checksum(), "training must change the checksum");
+        // Same state captured twice hashes identically.
+        assert_eq!(b.checksum(), n.snapshot().checksum());
+        assert_eq!(model_checksum(a.serving_model(), 0), a.checksum());
+    }
+
+    #[test]
+    fn evaluate_matches_node_evaluate() {
+        let (mut n, mut w) = node_and_workload();
+        n.serve_batch(0.0, &w.batch_at(0.0, 64));
+        n.online_update_round(1.0, 32);
+        let batch = w.batch_at(3.0, 64);
+        assert_eq!(n.snapshot().evaluate(&batch), n.evaluate(&batch));
+    }
+}

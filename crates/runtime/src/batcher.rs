@@ -1,0 +1,137 @@
+//! Deadline-based request batching (DeepRecSys-style).
+//!
+//! Each worker thread coalesces requests from its bounded queue into inference batches:
+//! a batch closes when it reaches `max_batch` requests **or** `batch_deadline` has
+//! elapsed since its first request arrived, whichever comes first. Large batches
+//! amortise the model's per-batch overhead at high load; the deadline bounds the
+//! queueing delay a lone request can suffer at low load — the same latency/throughput
+//! knee the DeepRecSys scheduler navigates.
+
+use crate::request::Request;
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::time::{Duration, Instant};
+
+/// Batching parameters of one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatcherConfig {
+    /// Maximum requests coalesced into one inference batch.
+    pub max_batch: usize,
+    /// Deadline from the arrival of a batch's first request until the batch closes.
+    pub batch_deadline: Duration,
+}
+
+impl BatcherConfig {
+    /// Validate the parameters.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.max_batch > 0
+    }
+}
+
+/// Block for the next batch from `rx`: waits (indefinitely) for a first request, then
+/// coalesces up to `cfg.max_batch` requests or until `cfg.batch_deadline` after the
+/// first. Returns `None` once the channel is disconnected *and* drained — the worker's
+/// shutdown signal. A disconnect with requests already coalesced flushes them as a final
+/// partial batch.
+pub fn next_batch(rx: &Receiver<Request>, cfg: &BatcherConfig) -> Option<Vec<Request>> {
+    let first = rx.recv().ok()?;
+    let deadline = Instant::now() + cfg.batch_deadline;
+    let mut batch = Vec::with_capacity(cfg.max_batch.min(64));
+    batch.push(first);
+    while batch.len() < cfg.max_batch {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        match rx.recv_timeout(deadline - now) {
+            Ok(request) => batch.push(request),
+            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    Some(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liveupdate_dlrm::sample::Sample;
+    use std::sync::mpsc::sync_channel;
+    use std::thread;
+
+    fn request(tag: usize) -> Request {
+        Request::new(Sample::new(vec![0.1], vec![vec![tag]], 1.0), 0.0)
+    }
+
+    #[test]
+    fn coalesces_up_to_max_batch() {
+        let (tx, rx) = sync_channel(64);
+        for i in 0..10 {
+            tx.send(request(i)).unwrap();
+        }
+        let cfg = BatcherConfig {
+            max_batch: 4,
+            batch_deadline: Duration::from_secs(5),
+        };
+        let batch = next_batch(&rx, &cfg).unwrap();
+        assert_eq!(batch.len(), 4, "full batch closes at max_batch, not deadline");
+        assert_eq!(batch[0].sample.sparse[0][0], 0);
+        assert_eq!(batch[3].sample.sparse[0][0], 3);
+        // The remaining 6 form the next batches.
+        assert_eq!(next_batch(&rx, &cfg).unwrap().len(), 4);
+        drop(tx);
+        assert_eq!(next_batch(&rx, &cfg).unwrap().len(), 2, "disconnect flushes the tail");
+        assert!(next_batch(&rx, &cfg).is_none(), "drained + disconnected ends the worker");
+    }
+
+    #[test]
+    fn deadline_flushes_partial_batch() {
+        let (tx, rx) = sync_channel(8);
+        tx.send(request(0)).unwrap();
+        let cfg = BatcherConfig {
+            max_batch: 1024,
+            batch_deadline: Duration::from_millis(20),
+        };
+        let started = Instant::now();
+        let batch = next_batch(&rx, &cfg).unwrap();
+        let waited = started.elapsed();
+        assert_eq!(batch.len(), 1, "deadline closes an underfull batch");
+        assert!(waited >= Duration::from_millis(15), "must wait for the deadline, waited {waited:?}");
+        drop(tx);
+    }
+
+    #[test]
+    fn stragglers_within_deadline_join_the_batch() {
+        let (tx, rx) = sync_channel(8);
+        tx.send(request(0)).unwrap();
+        let sender = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(5));
+            tx.send(request(1)).unwrap();
+            tx.send(request(2)).unwrap();
+            // Hold the channel open past the batch deadline.
+            thread::sleep(Duration::from_millis(100));
+            drop(tx);
+        });
+        let cfg = BatcherConfig {
+            max_batch: 3,
+            batch_deadline: Duration::from_millis(500),
+        };
+        let batch = next_batch(&rx, &cfg).unwrap();
+        assert_eq!(batch.len(), 3, "stragglers arriving before the deadline coalesce");
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn zero_deadline_degenerates_to_single_request_batches() {
+        let (tx, rx) = sync_channel(8);
+        tx.send(request(0)).unwrap();
+        tx.send(request(1)).unwrap();
+        let cfg = BatcherConfig {
+            max_batch: 64,
+            batch_deadline: Duration::ZERO,
+        };
+        assert_eq!(next_batch(&rx, &cfg).unwrap().len(), 1);
+        assert_eq!(next_batch(&rx, &cfg).unwrap().len(), 1);
+        drop(tx);
+        assert!(next_batch(&rx, &cfg).is_none());
+    }
+}

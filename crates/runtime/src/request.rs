@@ -1,0 +1,29 @@
+//! The unit of work flowing through the runtime's queues.
+
+use liveupdate_dlrm::sample::Sample;
+use std::time::Instant;
+
+/// One inference request: the sample to score, its simulated stream timestamp (what the
+/// online trainer treats as "now" for retention and drift), and the wall-clock submit
+/// instant the latency measurement starts from.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The request payload.
+    pub sample: Sample,
+    /// Simulated stream time in minutes (drives retention-buffer timestamps).
+    pub time_minutes: f64,
+    /// Wall-clock instant the request entered the system.
+    pub submitted: Instant,
+}
+
+impl Request {
+    /// Create a request submitted now.
+    #[must_use]
+    pub fn new(sample: Sample, time_minutes: f64) -> Self {
+        Self {
+            sample,
+            time_minutes,
+            submitted: Instant::now(),
+        }
+    }
+}

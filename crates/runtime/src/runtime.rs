@@ -1,0 +1,432 @@
+//! Thread orchestration: wiring queues, workers, the updater, and the epoch publisher.
+
+use crate::config::{RuntimeConfig, UpdateMode};
+use crate::epoch::EpochPublisher;
+use crate::report::{RuntimeReport, UpdaterReport, WorkerReport};
+use crate::request::Request;
+use crate::updater::{run_updater, IngestBatch, UpdaterParams};
+use crate::worker::{run_sync_worker, run_worker};
+use liveupdate::engine::ServingNode;
+use liveupdate::snapshot::ServingSnapshot;
+use liveupdate_dlrm::sample::Sample;
+use liveupdate_sim::latency::LatencyRecorder;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, sync_channel, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Result of submitting one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The request entered its worker's queue.
+    Accepted,
+    /// The bounded queue was full; the request was shed (open-loop overload).
+    Shed,
+    /// The runtime is shutting down; the queue is closed.
+    Closed,
+}
+
+/// A running multithreaded serving system.
+///
+/// `start` spawns `num_workers` inference threads (each behind its own bounded MPSC
+/// queue) and — in `Background` mode — one updater thread that owns the authoritative
+/// [`ServingNode`]. Requests are submitted via [`Self::submit`]/[`Self::try_submit`] or
+/// by the open-loop generator in [`crate::loadgen`]. [`Self::finish`] closes the queues,
+/// joins every thread, and returns the measured [`RuntimeReport`] together with the
+/// final node state.
+#[derive(Debug)]
+pub struct ServingRuntime {
+    cfg: RuntimeConfig,
+    publisher: Arc<EpochPublisher<ServingSnapshot>>,
+    senders: Vec<SyncSender<Request>>,
+    workers: Vec<JoinHandle<WorkerReport>>,
+    sync_worker: Option<JoinHandle<(WorkerReport, UpdaterReport, ServingNode)>>,
+    updater: Option<JoinHandle<(UpdaterReport, ServingNode)>>,
+    processed: Arc<AtomicU64>,
+    submitted: AtomicU64,
+    dropped: AtomicU64,
+    started: Instant,
+}
+
+impl ServingRuntime {
+    /// Start the runtime serving `node`'s current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn start(node: ServingNode, cfg: RuntimeConfig) -> Self {
+        if let Err(reason) = cfg.validate() {
+            panic!("invalid runtime configuration: {reason}");
+        }
+        let publisher = EpochPublisher::new(node.snapshot());
+        let initial_checksum = publisher.load().1.checksum();
+        let processed = Arc::new(AtomicU64::new(0));
+        let batcher = cfg.batcher();
+
+        let mut senders = Vec::with_capacity(cfg.num_workers);
+        let mut receivers = Vec::with_capacity(cfg.num_workers);
+        for _ in 0..cfg.num_workers {
+            let (tx, rx) = sync_channel::<Request>(cfg.queue_capacity);
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        let mut workers = Vec::new();
+        let mut sync_worker = None;
+        let mut updater = None;
+        match cfg.update {
+            UpdateMode::Synchronous {
+                every_batches,
+                rounds,
+                batch_size,
+            } => {
+                let rx = receivers.pop().expect("one worker in synchronous mode");
+                let publisher_for_worker = Arc::clone(&publisher);
+                let processed_for_worker = Arc::clone(&processed);
+                sync_worker = Some(
+                    thread::Builder::new()
+                        .name("lu-sync-worker".into())
+                        .spawn(move || {
+                            run_sync_worker(
+                                &rx,
+                                &batcher,
+                                node,
+                                &publisher_for_worker,
+                                every_batches,
+                                rounds,
+                                batch_size,
+                                &processed_for_worker,
+                            )
+                        })
+                        .expect("spawn sync worker"),
+                );
+            }
+            UpdateMode::Disabled | UpdateMode::Background { .. } => {
+                let (ingest_tx, ingest_rx) = channel::<IngestBatch>();
+                for (index, rx) in receivers.into_iter().enumerate() {
+                    let reader = publisher.reader();
+                    let worker_ingest = ingest_tx.clone();
+                    let processed_for_worker = Arc::clone(&processed);
+                    workers.push(
+                        thread::Builder::new()
+                            .name(format!("lu-worker-{index}"))
+                            .spawn(move || {
+                                run_worker(&rx, &batcher, reader, &worker_ingest, &processed_for_worker)
+                            })
+                            .expect("spawn worker"),
+                    );
+                }
+                // Workers hold the only ingest senders now; when the last worker exits,
+                // the updater's channel disconnects and it shuts down too.
+                drop(ingest_tx);
+                let params = match cfg.update {
+                    UpdateMode::Background {
+                        interval,
+                        rounds_per_update,
+                        batch_size,
+                    } => Some(UpdaterParams {
+                        interval,
+                        rounds_per_update,
+                        batch_size,
+                    }),
+                    _ => None,
+                };
+                let publisher_for_updater = Arc::clone(&publisher);
+                updater = Some(
+                    thread::Builder::new()
+                        .name("lu-updater".into())
+                        .spawn(move || {
+                            run_updater(&ingest_rx, node, &publisher_for_updater, params, initial_checksum)
+                        })
+                        .expect("spawn updater"),
+                );
+            }
+        }
+
+        Self {
+            cfg,
+            publisher,
+            senders,
+            workers,
+            sync_worker,
+            updater,
+            processed,
+            submitted: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Number of worker threads (and request queues).
+    #[must_use]
+    pub fn num_workers(&self) -> usize {
+        self.cfg.num_workers
+    }
+
+    /// The epoch publisher (for observing the current epoch / snapshot from outside).
+    #[must_use]
+    pub fn publisher(&self) -> &Arc<EpochPublisher<ServingSnapshot>> {
+        &self.publisher
+    }
+
+    /// Requests fully served so far.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed.load(Ordering::Acquire)
+    }
+
+    /// Block (with a 1 ms poll) until `count` requests have been served or `timeout`
+    /// elapses; returns whether the target was reached.
+    #[must_use]
+    pub fn wait_processed(&self, count: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.processed() < count {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        true
+    }
+
+    /// Blocking submit (backpressure instead of shedding): used by deterministic test
+    /// drivers. Returns `false` if the worker's queue is closed.
+    pub fn submit(&self, worker: usize, sample: Sample, time_minutes: f64) -> bool {
+        self.senders[worker].send(Request::new(sample, time_minutes)).map_or(false, |()| {
+            self.submitted.fetch_add(1, Ordering::Relaxed);
+            true
+        })
+    }
+
+    /// Non-blocking submit with an explicit scheduled-arrival stamp: the open-loop
+    /// generator's entry point. A full queue sheds the request.
+    pub fn submit_scheduled(
+        &self,
+        worker: usize,
+        sample: Sample,
+        time_minutes: f64,
+        scheduled: Instant,
+    ) -> SubmitOutcome {
+        let request = Request {
+            sample,
+            time_minutes,
+            submitted: scheduled,
+        };
+        match self.senders[worker].try_send(request) {
+            Ok(()) => {
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                SubmitOutcome::Accepted
+            }
+            Err(TrySendError::Full(_)) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                SubmitOutcome::Shed
+            }
+            Err(TrySendError::Disconnected(_)) => SubmitOutcome::Closed,
+        }
+    }
+
+    /// Non-blocking submit stamped "now".
+    pub fn try_submit(&self, worker: usize, sample: Sample, time_minutes: f64) -> SubmitOutcome {
+        self.submit_scheduled(worker, sample, time_minutes, Instant::now())
+    }
+
+    /// Close the queues, join every thread, and assemble the measured report plus the
+    /// final authoritative node (reflecting all ingested traffic and update rounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a runtime thread panicked.
+    #[must_use]
+    pub fn finish(mut self) -> (RuntimeReport, ServingNode) {
+        // Dropping the request senders disconnects the worker queues; workers drain and
+        // exit, their ingest senders drop, and the updater follows.
+        self.senders.clear();
+        let mut per_worker: Vec<WorkerReport> = self
+            .workers
+            .drain(..)
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect();
+        let (updater_report, node) = if let Some(handle) = self.sync_worker.take() {
+            let (worker_report, updater_report, node) = handle.join().expect("sync worker panicked");
+            per_worker.push(worker_report);
+            (updater_report, node)
+        } else {
+            let handle = self.updater.take().expect("background updater present");
+            handle.join().expect("updater thread panicked")
+        };
+        let wall_seconds = self.started.elapsed().as_secs_f64();
+
+        let mut latency = LatencyRecorder::new();
+        let mut completed = 0u64;
+        let mut batches = 0u64;
+        let mut corrected = 0u64;
+        let mut refreshes = 0u64;
+        for w in &per_worker {
+            latency.merge(&w.latency);
+            completed += w.served;
+            batches += w.batches;
+            corrected += w.lora_corrected_lookups;
+            refreshes += w.snapshot_refreshes;
+        }
+        let report = RuntimeReport {
+            num_workers: self.cfg.num_workers,
+            wall_seconds,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            completed,
+            qps: if wall_seconds > 0.0 { completed as f64 / wall_seconds } else { 0.0 },
+            latency,
+            batches,
+            lora_corrected_lookups: corrected,
+            snapshot_refreshes: refreshes,
+            updater: updater_report,
+            per_worker,
+        };
+        (report, node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liveupdate::config::LiveUpdateConfig;
+    use liveupdate_dlrm::model::{DlrmConfig, DlrmModel};
+    use liveupdate_workload::{SyntheticWorkload, WorkloadConfig};
+
+    fn tiny_node(seed: u64) -> ServingNode {
+        let model = DlrmModel::new(DlrmConfig::tiny(2, 200, 8), seed);
+        ServingNode::new(model, LiveUpdateConfig::default())
+    }
+
+    fn tiny_workload() -> SyntheticWorkload {
+        SyntheticWorkload::new(WorkloadConfig {
+            num_tables: 2,
+            table_size: 200,
+            ..WorkloadConfig::default()
+        })
+    }
+
+    #[test]
+    fn serves_submitted_requests_and_reports() {
+        let runtime = ServingRuntime::start(
+            tiny_node(3),
+            RuntimeConfig {
+                num_workers: 2,
+                max_batch: 8,
+                batch_deadline_us: 500,
+                update: UpdateMode::Disabled,
+                ..RuntimeConfig::default()
+            },
+        );
+        let mut w = tiny_workload();
+        let batch = w.batch_at(0.0, 64);
+        for (i, sample) in batch.iter().enumerate() {
+            assert!(runtime.submit(i % 2, sample.clone(), 0.0));
+        }
+        assert!(runtime.wait_processed(64, Duration::from_secs(20)), "all requests must complete");
+        let (report, node) = runtime.finish();
+        assert_eq!(report.completed, 64);
+        assert_eq!(report.submitted, 64);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.latency.len(), 64);
+        assert!(report.batches >= 8, "64 requests at max_batch 8 need >= 8 batches");
+        assert!(report.qps > 0.0);
+        assert_eq!(report.num_workers, 2);
+        assert_eq!(report.per_worker.len(), 2);
+        // Disabled mode: no training, but all served traffic was ingested.
+        assert_eq!(report.updater.update_rounds, 0);
+        assert_eq!(report.updater.publications, 0);
+        assert_eq!(report.updater.ingested_requests, 64);
+        assert_eq!(node.buffered_records(), 64);
+        assert_eq!(node.steps(), 0);
+    }
+
+    #[test]
+    fn background_updater_trains_and_publishes() {
+        let mut node = tiny_node(5);
+        let mut w = tiny_workload();
+        // Pre-fill the retention buffer so the first update round has data.
+        node.serve_batch(0.0, &w.batch_at(0.0, 96));
+        let initial_epoch_checksum = node.snapshot().checksum();
+        let runtime = ServingRuntime::start(
+            node,
+            RuntimeConfig {
+                num_workers: 2,
+                max_batch: 16,
+                batch_deadline_us: 200,
+                update: UpdateMode::Background {
+                    interval: Duration::from_millis(10),
+                    rounds_per_update: 1,
+                    batch_size: 32,
+                },
+                ..RuntimeConfig::default()
+            },
+        );
+        let traffic = w.batch_at(1.0, 32);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut sent = 0u64;
+        // Keep a trickle of traffic flowing until at least 3 epochs have been published.
+        while runtime.publisher().epoch() < 3 {
+            assert!(Instant::now() < deadline, "updater must publish within 30s");
+            for (i, sample) in traffic.iter().enumerate() {
+                let _ = runtime.try_submit(i % 2, sample.clone(), 1.0);
+                sent += 1;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(sent > 0);
+        let (report, node) = runtime.finish();
+        assert!(report.updater.publications >= 3);
+        assert_eq!(report.updater.update_rounds, report.updater.publications);
+        assert!(node.steps() >= 3, "authoritative node trained");
+        // The published history starts at epoch 0 with the initial snapshot.
+        assert_eq!(report.updater.published[0], (0, initial_epoch_checksum));
+        // Epochs are consecutive from 0.
+        for (i, &(epoch, _)) in report.updater.published.iter().enumerate() {
+            assert_eq!(epoch, i as u64);
+        }
+        // Workers adopted at least one publication between them.
+        assert!(report.snapshot_refreshes >= 1, "a worker should have observed a new epoch");
+    }
+
+    #[test]
+    fn shedding_kicks_in_when_queues_are_full() {
+        // One worker, capacity 4, and a deadline long enough that the first batch keeps
+        // the worker busy while we flood the queue.
+        let runtime = ServingRuntime::start(
+            tiny_node(7),
+            RuntimeConfig {
+                num_workers: 1,
+                queue_capacity: 4,
+                max_batch: 4,
+                batch_deadline_us: 50_000,
+                update: UpdateMode::Disabled,
+                ..RuntimeConfig::default()
+            },
+        );
+        let mut w = tiny_workload();
+        let batch = w.batch_at(0.0, 64);
+        let mut shed = 0;
+        for sample in batch.iter() {
+            if runtime.try_submit(0, sample.clone(), 0.0) == SubmitOutcome::Shed {
+                shed += 1;
+            }
+        }
+        assert!(shed > 0, "a capacity-4 queue cannot absorb 64 instant arrivals");
+        let (report, _) = runtime.finish();
+        assert_eq!(report.dropped, shed);
+        assert_eq!(report.completed + report.dropped, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid runtime configuration")]
+    fn invalid_config_is_rejected() {
+        let cfg = RuntimeConfig {
+            num_workers: 0,
+            ..RuntimeConfig::default()
+        };
+        let _ = ServingRuntime::start(tiny_node(1), cfg);
+    }
+}

@@ -1,0 +1,96 @@
+//! The background updater thread — the paper's co-located trainer (Fig. 7).
+//!
+//! The updater owns the *authoritative* [`ServingNode`]: the only mutable model state in
+//! the whole runtime. It drains served traffic from the ingest channel into the node's
+//! retention buffer and, on a wall-clock cadence, runs `online_update_round` on that
+//! shadow state and publishes the result as an immutable snapshot through the epoch
+//! swap. Training therefore contends with serving only for CPU cycles — never for a
+//! lock — which is exactly the "near-zero overhead" property the interference
+//! measurement in `examples/live_serving.rs` quantifies.
+
+use crate::epoch::EpochPublisher;
+use crate::report::UpdaterReport;
+use liveupdate::engine::ServingNode;
+use liveupdate::snapshot::ServingSnapshot;
+use liveupdate_dlrm::sample::MiniBatch;
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One served batch handed from a worker to the updater.
+#[derive(Debug)]
+pub(crate) struct IngestBatch {
+    /// Sim-time high-water mark of the batch's requests.
+    pub time_minutes: f64,
+    /// The served samples (labelled traffic for the retention buffer).
+    pub batch: MiniBatch,
+}
+
+/// Training cadence of a background updater.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct UpdaterParams {
+    pub interval: Duration,
+    pub rounds_per_update: usize,
+    pub batch_size: usize,
+}
+
+/// Run the updater until every worker's ingest sender is gone. With `params == None`
+/// (update mode `Disabled`) the thread only drains the channel — the baseline arm of the
+/// interference experiment keeps the ingestion cost identical and removes only the
+/// training + publication work.
+pub(crate) fn run_updater(
+    ingest_rx: &Receiver<IngestBatch>,
+    mut node: ServingNode,
+    publisher: &Arc<EpochPublisher<ServingSnapshot>>,
+    params: Option<UpdaterParams>,
+    initial_checksum: u64,
+) -> (UpdaterReport, ServingNode) {
+    let mut report = UpdaterReport::default();
+    report.published.push((0, initial_checksum));
+    let mut node_time = 0.0f64;
+    let mut last_update = Instant::now();
+    loop {
+        // Sleep on the channel until the next training deadline (or forever when
+        // training is disabled — the disconnect wakes us for shutdown).
+        let timeout = match params {
+            None => Duration::from_secs(3600),
+            Some(p) => p.interval.saturating_sub(last_update.elapsed()),
+        };
+        match ingest_rx.recv_timeout(timeout) {
+            Ok(ingest) => {
+                node_time = node_time.max(ingest.time_minutes);
+                report.ingested_batches += 1;
+                report.ingested_requests += ingest.batch.len() as u64;
+                node.ingest_batch(ingest.time_minutes, &ingest.batch);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        if let Some(p) = params {
+            if last_update.elapsed() >= p.interval {
+                let round_started = Instant::now();
+                for _ in 0..p.rounds_per_update {
+                    node.online_update_round(node_time, p.batch_size);
+                    report.update_rounds += 1;
+                }
+                let snapshot = node.snapshot();
+                let checksum = snapshot.checksum();
+                let epoch = publisher.publish(snapshot);
+                report.publications += 1;
+                report.published.push((epoch, checksum));
+                report
+                    .round_times_ms
+                    .push(round_started.elapsed().as_secs_f64() * 1e3);
+                last_update = Instant::now();
+            }
+        }
+    }
+    // Workers are gone; fold any traffic still queued into the buffer so the returned
+    // node reflects everything that was served.
+    while let Ok(ingest) = ingest_rx.try_recv() {
+        report.ingested_batches += 1;
+        report.ingested_requests += ingest.batch.len() as u64;
+        node.ingest_batch(ingest.time_minutes, &ingest.batch);
+    }
+    (report, node)
+}

@@ -1,0 +1,135 @@
+//! Worker (inference) threads.
+//!
+//! A worker owns one bounded request queue. Its loop is: coalesce a batch (deadline
+//! batcher), adopt the latest published snapshot (one atomic load on the fast path),
+//! serve the batch read-only, record per-request latencies, and hand the served traffic
+//! to the updater over the ingest channel. The worker never takes a lock that the
+//! trainer holds — snapshot adoption is the epoch swap's `Arc` clone, and everything
+//! else is thread-local.
+
+use crate::batcher::{next_batch, BatcherConfig};
+use crate::epoch::{EpochPublisher, EpochReader};
+use crate::report::{UpdaterReport, WorkerReport};
+use crate::request::Request;
+use crate::updater::IngestBatch;
+use liveupdate::engine::ServingNode;
+use liveupdate::snapshot::ServingSnapshot;
+use liveupdate_dlrm::sample::MiniBatch;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Split a closed batch into `(submit instants, sim-time high-water mark, mini-batch)`.
+fn unpack(batch: Vec<Request>) -> (Vec<Instant>, f64, MiniBatch) {
+    let mut submitted = Vec::with_capacity(batch.len());
+    let mut time_minutes = f64::NEG_INFINITY;
+    let mut samples = Vec::with_capacity(batch.len());
+    for request in batch {
+        submitted.push(request.submitted);
+        time_minutes = time_minutes.max(request.time_minutes);
+        samples.push(request.sample);
+    }
+    (submitted, time_minutes, MiniBatch::new(samples))
+}
+
+/// Serve one mini-batch from `snapshot` and fold the results into `report`.
+fn serve_and_record(
+    snapshot: &ServingSnapshot,
+    mini_batch: &MiniBatch,
+    submitted: &[Instant],
+    report: &mut WorkerReport,
+) {
+    let serve = snapshot.serve_batch(mini_batch);
+    let completion = Instant::now();
+    for &instant in submitted {
+        report
+            .latency
+            .record(completion.saturating_duration_since(instant).as_secs_f64() * 1e3);
+    }
+    report.served += serve.requests as u64;
+    report.batches += 1;
+    report.lora_corrected_lookups += serve.lora_corrected_lookups as u64;
+    report.prediction_sum += serve.mean_prediction * serve.requests as f64;
+}
+
+/// The standard worker loop (Background / Disabled update modes): serve from the
+/// published snapshot, forward served traffic to the updater. Runs until the request
+/// channel is disconnected and drained.
+pub(crate) fn run_worker(
+    rx: &Receiver<Request>,
+    batcher: &BatcherConfig,
+    mut reader: EpochReader<ServingSnapshot>,
+    ingest_tx: &Sender<IngestBatch>,
+    processed: &AtomicU64,
+) -> WorkerReport {
+    let mut report = WorkerReport::default();
+    while let Some(batch) = next_batch(rx, batcher) {
+        reader.refresh();
+        let (submitted, time_minutes, mini_batch) = unpack(batch);
+        serve_and_record(reader.get(), &mini_batch, &submitted, &mut report);
+        // The updater owns the mutable node; served traffic reaches its retention
+        // buffer through this channel. If the updater is gone the run is shutting
+        // down — serving continues, ingestion is simply dropped.
+        let _ = ingest_tx.send(IngestBatch {
+            time_minutes,
+            batch: mini_batch,
+        });
+        processed.fetch_add(submitted.len() as u64, Ordering::Release);
+    }
+    report.snapshot_refreshes = reader.refreshes();
+    report.last_epoch = reader.epoch();
+    report
+}
+
+/// The synchronous single-worker loop: the worker itself owns the authoritative node,
+/// ingests inline, trains every `every_batches` batches, and publishes after each update
+/// block. Deterministic given a deterministic request feed — the determinism-parity test
+/// drives this mode against the plain `ServingNode` serve/update loop.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_sync_worker(
+    rx: &Receiver<Request>,
+    batcher: &BatcherConfig,
+    mut node: ServingNode,
+    publisher: &Arc<EpochPublisher<ServingSnapshot>>,
+    every_batches: usize,
+    rounds: usize,
+    batch_size: usize,
+    processed: &AtomicU64,
+) -> (WorkerReport, UpdaterReport, ServingNode) {
+    let mut report = WorkerReport::default();
+    let mut updater = UpdaterReport::default();
+    let mut reader = publisher.reader();
+    let mut batches_since_update = 0usize;
+    while let Some(batch) = next_batch(rx, batcher) {
+        reader.refresh();
+        let (submitted, time_minutes, mini_batch) = unpack(batch);
+        serve_and_record(reader.get(), &mini_batch, &submitted, &mut report);
+
+        node.ingest_batch(time_minutes, &mini_batch);
+        updater.ingested_batches += 1;
+        updater.ingested_requests += mini_batch.len() as u64;
+
+        batches_since_update += 1;
+        if batches_since_update >= every_batches {
+            batches_since_update = 0;
+            let round_started = Instant::now();
+            for _ in 0..rounds {
+                node.online_update_round(time_minutes, batch_size);
+                updater.update_rounds += 1;
+            }
+            let snapshot = node.snapshot();
+            let checksum = snapshot.checksum();
+            let epoch = publisher.publish(snapshot);
+            updater.publications += 1;
+            updater.published.push((epoch, checksum));
+            updater
+                .round_times_ms
+                .push(round_started.elapsed().as_secs_f64() * 1e3);
+        }
+        processed.fetch_add(submitted.len() as u64, Ordering::Release);
+    }
+    report.snapshot_refreshes = reader.refreshes();
+    report.last_epoch = reader.epoch();
+    (report, updater, node)
+}

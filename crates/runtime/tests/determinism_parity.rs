@@ -1,0 +1,159 @@
+//! Determinism parity: the threaded runtime, restricted to one worker with synchronous
+//! updates, must reproduce the plain `ServingNode` serve/update loop **bit-for-bit**.
+//!
+//! This pins the snapshot/ingest/publish decomposition: routing requests through the
+//! bounded queue, the deadline batcher, the epoch-swap snapshot serve, the split
+//! `ingest_batch`, and inline update rounds yields exactly the model state (embedding
+//! rows, LoRA factors, RNG-driven training trajectory, buffers) of the monolithic
+//! single-threaded `serve_batch` + `online_update_round` reference.
+//!
+//! The test controls batch boundaries by submitting exactly `max_batch` requests per
+//! window and waiting for the runtime to drain before the next window, so the deadline
+//! batcher always closes full windows.
+
+use liveupdate::config::LiveUpdateConfig;
+use liveupdate::engine::ServingNode;
+use liveupdate_dlrm::model::{DlrmConfig, DlrmModel};
+use liveupdate_dlrm::sample::MiniBatch;
+use liveupdate_runtime::config::{RuntimeConfig, UpdateMode};
+use liveupdate_runtime::runtime::ServingRuntime;
+use liveupdate_workload::{SyntheticWorkload, WorkloadConfig};
+use std::time::Duration;
+
+const WINDOW: usize = 48;
+const WINDOWS: usize = 4;
+const ROUNDS_PER_WINDOW: usize = 2;
+const ONLINE_BATCH: usize = 32;
+
+fn fresh_node() -> ServingNode {
+    let model = DlrmModel::new(
+        DlrmConfig {
+            table_sizes: vec![250, 250],
+            ..DlrmConfig::tiny(2, 250, 8)
+        },
+        23,
+    );
+    ServingNode::new(model, LiveUpdateConfig::default())
+}
+
+fn windows() -> Vec<(f64, MiniBatch)> {
+    let mut w = SyntheticWorkload::new(WorkloadConfig {
+        num_tables: 2,
+        table_size: 250,
+        ..WorkloadConfig::default()
+    });
+    (0..WINDOWS)
+        .map(|i| {
+            let t = i as f64 * 10.0;
+            (t, w.batch_at(t, WINDOW))
+        })
+        .collect()
+}
+
+#[test]
+fn one_worker_synchronous_runtime_matches_plain_serving_loop_bit_for_bit() {
+    let traffic = windows();
+
+    // Reference: the existing monolithic serve/update loop.
+    let mut reference = fresh_node();
+    for (t, batch) in &traffic {
+        reference.serve_batch(*t, batch);
+        for _ in 0..ROUNDS_PER_WINDOW {
+            reference.online_update_round(*t, ONLINE_BATCH);
+        }
+    }
+
+    // Runtime: 1 worker, synchronous updates after every full window batch.
+    let runtime = ServingRuntime::start(
+        fresh_node(),
+        RuntimeConfig {
+            num_workers: 1,
+            queue_capacity: 2 * WINDOW,
+            max_batch: WINDOW,
+            // Generous deadline: the batcher must close windows on max_batch, never on
+            // time, even if this test thread stalls mid-submission.
+            batch_deadline_us: 10_000_000,
+            update: UpdateMode::Synchronous {
+                every_batches: 1,
+                rounds: ROUNDS_PER_WINDOW,
+                batch_size: ONLINE_BATCH,
+            },
+        },
+    );
+    let mut sent = 0u64;
+    for (t, batch) in &traffic {
+        for sample in batch.iter() {
+            assert!(runtime.submit(0, sample.clone(), *t), "queue closed early");
+        }
+        sent += batch.len() as u64;
+        // Drain before the next window so batch boundaries match the reference loop.
+        assert!(
+            runtime.wait_processed(sent, Duration::from_secs(60)),
+            "runtime stalled at {sent} requests"
+        );
+    }
+    let (report, node) = runtime.finish();
+
+    // Full bit-for-bit state equality.
+    assert_eq!(node.steps(), reference.steps(), "same number of update rounds");
+    assert_eq!(node.serving_model(), reference.serving_model(), "serving models diverged");
+    assert_eq!(node.loras(), reference.loras(), "LoRA factors diverged");
+    assert_eq!(node.current_ranks(), reference.current_ranks());
+    assert_eq!(node.lora_memory_bytes(), reference.lora_memory_bytes());
+    assert_eq!(node.buffered_records(), reference.buffered_records());
+    assert_eq!(
+        node.state_checksum(),
+        reference.state_checksum(),
+        "state checksums must agree"
+    );
+    // And the published view converged to the final state.
+    let (epoch, snapshot) = runtime_final(&report);
+    assert_eq!(epoch, (WINDOWS * 1) as u64, "one publication per window");
+    assert_eq!(snapshot, node.snapshot().checksum(), "last published snapshot is the final state");
+
+    assert_eq!(report.completed, (WINDOW * WINDOWS) as u64);
+    assert_eq!(report.batches, WINDOWS as u64, "every window closed as one full batch");
+    assert_eq!(report.updater.update_rounds, (WINDOWS * ROUNDS_PER_WINDOW) as u64);
+}
+
+/// Last published `(epoch, checksum)` of a run.
+fn runtime_final(report: &liveupdate_runtime::report::RuntimeReport) -> (u64, u64) {
+    *report.updater.published.last().expect("at least the initial publication")
+}
+
+#[test]
+fn synchronous_runtime_is_reproducible_across_runs() {
+    // Two identical runtime runs produce identical final checksums — the threaded
+    // machinery introduces no hidden nondeterminism when batch boundaries are pinned.
+    let run = || {
+        let traffic = windows();
+        let runtime = ServingRuntime::start(
+            fresh_node(),
+            RuntimeConfig {
+                num_workers: 1,
+                queue_capacity: 2 * WINDOW,
+                max_batch: WINDOW,
+                batch_deadline_us: 10_000_000,
+                update: UpdateMode::Synchronous {
+                    every_batches: 1,
+                    rounds: ROUNDS_PER_WINDOW,
+                    batch_size: ONLINE_BATCH,
+                },
+            },
+        );
+        let mut sent = 0u64;
+        for (t, batch) in &traffic {
+            for sample in batch.iter() {
+                assert!(runtime.submit(0, sample.clone(), *t));
+            }
+            sent += batch.len() as u64;
+            assert!(runtime.wait_processed(sent, Duration::from_secs(60)));
+        }
+        let (report, node) = runtime.finish();
+        (node.state_checksum(), report.updater.published)
+    };
+    let (checksum_a, published_a) = run();
+    let (checksum_b, published_b) = run();
+    assert_eq!(checksum_a, checksum_b);
+    assert_eq!(published_a, published_b);
+}

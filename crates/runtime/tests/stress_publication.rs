@@ -1,0 +1,115 @@
+//! Concurrency stress test of the epoch-swap publication protocol.
+//!
+//! Reader threads continuously serve from whatever snapshot they observe while the
+//! updater trains and swaps epochs as fast as it can. The invariants:
+//!
+//! 1. **No torn state** — every observed snapshot's recomputed checksum matches the
+//!    checksum stored at capture time;
+//! 2. **Only published state** — every observed `(epoch, checksum)` pair is exactly one
+//!    the updater published;
+//! 3. **Monotonicity** — per reader, observed epochs never go backwards.
+//!
+//! This runs in the default `cargo test -q` tier (CI), sized to finish in seconds.
+
+use liveupdate::config::LiveUpdateConfig;
+use liveupdate::engine::ServingNode;
+use liveupdate_dlrm::model::{DlrmConfig, DlrmModel};
+use liveupdate_runtime::epoch::EpochPublisher;
+use liveupdate_workload::{SyntheticWorkload, WorkloadConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+const PUBLICATIONS: u64 = 40;
+const READERS: usize = 4;
+
+#[test]
+fn readers_never_observe_torn_or_unpublished_state() {
+    let model = DlrmModel::new(DlrmConfig::tiny(2, 200, 8), 17);
+    let mut node = ServingNode::new(model, LiveUpdateConfig::default());
+    let mut workload = SyntheticWorkload::new(WorkloadConfig {
+        num_tables: 2,
+        table_size: 200,
+        ..WorkloadConfig::default()
+    });
+    // Give the trainer real data so every round actually rewrites serving rows.
+    node.serve_batch(0.0, &workload.batch_at(0.0, 128));
+    let probe = Arc::new(workload.batch_at(1.0, 8));
+
+    let initial = node.snapshot();
+    let mut published: Vec<(u64, u64)> = vec![(0, initial.checksum())];
+    let publisher = EpochPublisher::new(initial);
+    let done = Arc::new(AtomicBool::new(false));
+
+    let mut readers = Vec::new();
+    for _ in 0..READERS {
+        let mut reader = publisher.reader();
+        let done = Arc::clone(&done);
+        let probe = Arc::clone(&probe);
+        readers.push(thread::spawn(move || {
+            let mut observed: Vec<(u64, u64)> = Vec::new();
+            let mut last_epoch = 0u64;
+            let mut serves = 0u64;
+            while !done.load(Ordering::Acquire) {
+                reader.refresh();
+                let snapshot = reader.get();
+                // Invariant 1: the snapshot is internally consistent (not torn).
+                assert!(snapshot.verify_checksum(), "torn snapshot observed at epoch {}", reader.epoch());
+                // Invariant 3: epochs are monotone per reader.
+                assert!(
+                    reader.epoch() >= last_epoch,
+                    "epoch moved backwards: {} after {last_epoch}",
+                    reader.epoch()
+                );
+                last_epoch = reader.epoch();
+                if observed.last().map(|&(e, _)| e) != Some(reader.epoch()) {
+                    observed.push((reader.epoch(), snapshot.checksum()));
+                }
+                // Actually serve from the snapshot while the swaps happen.
+                let report = snapshot.serve_batch(&probe);
+                assert_eq!(report.requests, probe.len());
+                serves += 1;
+            }
+            (observed, serves)
+        }));
+    }
+
+    // The updater: train and publish as fast as possible.
+    for _ in 0..PUBLICATIONS {
+        node.online_update_round(1.0, 32);
+        let snapshot = node.snapshot();
+        let checksum = snapshot.checksum();
+        let epoch = publisher.publish(snapshot);
+        published.push((epoch, checksum));
+    }
+    done.store(true, Ordering::Release);
+
+    let published_by_epoch: HashMap<u64, u64> = published.iter().copied().collect();
+    assert_eq!(published_by_epoch.len(), PUBLICATIONS as usize + 1, "epochs are unique");
+
+    let mut total_observed_epochs = 0usize;
+    for handle in readers {
+        let (observed, serves) = handle.join().expect("reader panicked");
+        assert!(serves > 0, "every reader must have served");
+        for (epoch, checksum) in &observed {
+            // Invariant 2: only published (epoch, checksum) pairs are ever visible.
+            assert_eq!(
+                published_by_epoch.get(epoch),
+                Some(checksum),
+                "observed epoch {epoch} with a checksum that was never published"
+            );
+        }
+        total_observed_epochs += observed.len();
+    }
+    assert!(total_observed_epochs >= READERS, "every reader observed at least its initial epoch");
+    assert_eq!(publisher.epoch(), PUBLICATIONS);
+
+    // Training must have produced PUBLICATIONS distinct checksums (the rounds had data).
+    let distinct: std::collections::HashSet<u64> = published.iter().map(|&(_, c)| c).collect();
+    assert!(
+        distinct.len() > PUBLICATIONS as usize / 2,
+        "update rounds should keep changing the model: {} distinct checksums",
+        distinct.len()
+    );
+}

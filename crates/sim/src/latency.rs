@@ -3,14 +3,34 @@
 //! Serving SLAs in the paper are expressed as tail-latency bounds (P99 < 20 ms, and a
 //! stricter 10 ms target in the evaluation). [`LatencyRecorder`] collects per-request
 //! latencies and answers percentile queries; it is the sensor driving the adaptive CCD
-//! scheduler (Algorithm 2) and the ablation of Fig. 16.
+//! scheduler (Algorithm 2), the ablation of Fig. 16, and the measured-QPS report of the
+//! real serving runtime (`liveupdate_runtime`).
+//!
+//! Percentile queries sort lazily: the sorted view of the sample buffer is cached behind
+//! a dirty flag, so a window that asks for P50 + P99 + max pays for one sort, not three,
+//! and repeated queries between records are O(1). The cache lives in interior-mutability
+//! cells, which keeps the query API `&self` (the recorder is `Send` but not `Sync`; each
+//! runtime worker owns its own recorder and they are merged after join).
 
 use serde::{Deserialize, Serialize};
+use std::cell::{Cell, RefCell};
 
 /// A collection of latency samples in milliseconds.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct LatencyRecorder {
     samples_ms: Vec<f64>,
+    /// Lazily maintained sorted copy of `samples_ms`; valid iff `!dirty`.
+    sorted_cache: RefCell<Vec<f64>>,
+    /// Whether `sorted_cache` is stale with respect to `samples_ms`.
+    dirty: Cell<bool>,
+}
+
+/// Equality is over the recorded samples only — the sort cache is an implementation
+/// detail and two recorders with the same samples are equal regardless of query history.
+impl PartialEq for LatencyRecorder {
+    fn eq(&self, other: &Self) -> bool {
+        self.samples_ms == other.samples_ms
+    }
 }
 
 impl LatencyRecorder {
@@ -25,6 +45,7 @@ impl LatencyRecorder {
     pub fn record(&mut self, latency_ms: f64) {
         if latency_ms.is_finite() && latency_ms >= 0.0 {
             self.samples_ms.push(latency_ms);
+            self.dirty.set(true);
         }
     }
 
@@ -57,6 +78,18 @@ impl LatencyRecorder {
         }
     }
 
+    /// Refresh the sorted cache if stale, then apply `f` to the sorted samples.
+    fn with_sorted<T>(&self, f: impl FnOnce(&[f64]) -> T) -> T {
+        let mut cache = self.sorted_cache.borrow_mut();
+        if self.dirty.get() || cache.len() != self.samples_ms.len() {
+            cache.clear();
+            cache.extend_from_slice(&self.samples_ms);
+            cache.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+            self.dirty.set(false);
+        }
+        f(&cache)
+    }
+
     /// Latency percentile (nearest-rank method), `percentile` in `[0, 100]`. Returns
     /// `None` when empty.
     #[must_use]
@@ -65,11 +98,11 @@ impl LatencyRecorder {
             return None;
         }
         let p = percentile.clamp(0.0, 100.0);
-        let mut sorted = self.samples_ms.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-        let idx = rank.saturating_sub(1).min(sorted.len() - 1);
-        Some(sorted[idx])
+        self.with_sorted(|sorted| {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            let idx = rank.saturating_sub(1).min(sorted.len() - 1);
+            Some(sorted[idx])
+        })
     }
 
     /// Median (P50), or `None` when empty.
@@ -98,12 +131,17 @@ impl LatencyRecorder {
 
     /// Merge another recorder's samples into this one.
     pub fn merge(&mut self, other: &LatencyRecorder) {
-        self.samples_ms.extend_from_slice(&other.samples_ms);
+        if !other.samples_ms.is_empty() {
+            self.samples_ms.extend_from_slice(&other.samples_ms);
+            self.dirty.set(true);
+        }
     }
 
     /// Drop all samples.
     pub fn reset(&mut self) {
         self.samples_ms.clear();
+        self.sorted_cache.borrow_mut().clear();
+        self.dirty.set(false);
     }
 }
 
@@ -172,6 +210,66 @@ mod tests {
         assert!(a.is_empty());
     }
 
+    /// Nearest-rank reference implementation: a fresh sort on every query, i.e. the
+    /// pre-cache behaviour the lazy sorted cache must reproduce exactly.
+    fn reference_percentile(samples: &[f64], percentile: f64) -> Option<f64> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p = percentile.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+    }
+
+    #[test]
+    fn mixed_record_query_sequences_match_nearest_rank() {
+        // Regression for the sorted-cache rewrite: interleave records, queries, merges
+        // and resets, checking every query against the fresh-sort reference.
+        let mut r = LatencyRecorder::new();
+        let mut shadow: Vec<f64> = Vec::new();
+        // Deterministic but scrambled sample order.
+        let values: Vec<f64> = (0..200).map(|i| ((i * 7919) % 431) as f64 / 3.0).collect();
+        for (i, &v) in values.iter().enumerate() {
+            r.record(v);
+            shadow.push(v);
+            if i % 3 == 0 {
+                for p in [0.0, 37.5, 50.0, 90.0, 99.0, 100.0] {
+                    assert_eq!(r.percentile(p), reference_percentile(&shadow, p), "p={p} after {i} records");
+                }
+            }
+            if i % 7 == 0 {
+                // Query twice in a row: the second hit is served from the cache.
+                assert_eq!(r.p99(), reference_percentile(&shadow, 99.0));
+                assert_eq!(r.p99(), reference_percentile(&shadow, 99.0));
+            }
+            if i == 120 {
+                let other: LatencyRecorder = vec![1000.0, 0.25].into_iter().collect();
+                r.merge(&other);
+                shadow.extend_from_slice(&[1000.0, 0.25]);
+                assert_eq!(r.p99(), reference_percentile(&shadow, 99.0), "after merge");
+            }
+        }
+        r.reset();
+        shadow.clear();
+        assert_eq!(r.percentile(50.0), None);
+        r.record(3.0);
+        shadow.push(3.0);
+        assert_eq!(r.p50(), reference_percentile(&shadow, 50.0), "after reset + record");
+    }
+
+    #[test]
+    fn equality_ignores_query_history() {
+        let a: LatencyRecorder = vec![3.0, 1.0, 2.0].into_iter().collect();
+        let b: LatencyRecorder = vec![3.0, 1.0, 2.0].into_iter().collect();
+        let _ = a.p99(); // populate a's cache only
+        assert_eq!(a, b);
+        let c = a.clone();
+        assert_eq!(a, c);
+        assert_eq!(c.p50(), Some(2.0));
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -191,6 +289,22 @@ mod tests {
             let r: LatencyRecorder = samples.clone().into_iter().collect();
             let v = r.percentile(p).unwrap();
             prop_assert!(samples.iter().any(|s| (s - v).abs() < 1e-12));
+        }
+
+        #[test]
+        fn prop_interleaved_queries_match_reference(
+            samples in proptest::collection::vec(0.0f64..50.0, 1..120),
+            query_every in 1usize..10,
+        ) {
+            let mut r = LatencyRecorder::new();
+            for (i, &s) in samples.iter().enumerate() {
+                r.record(s);
+                if i % query_every == 0 {
+                    let prefix = &samples[..=i];
+                    prop_assert_eq!(r.p50(), reference_percentile(prefix, 50.0));
+                    prop_assert_eq!(r.p99(), reference_percentile(prefix, 99.0));
+                }
+            }
         }
     }
 }

@@ -5,8 +5,10 @@
 //! the order of 100 million requests per 5-minute window. [`ArrivalModel`] reproduces that
 //! shape with a configurable base rate, diurnal amplitude and short-term burstiness.
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
 
 /// Diurnal + bursty arrival-rate model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -76,6 +78,127 @@ impl ArrivalModel {
     }
 }
 
+/// Exact sampler of the inhomogeneous Poisson process whose intensity is
+/// [`ArrivalModel::rate_at`], via Ogata thinning: candidate arrivals are drawn from a
+/// homogeneous process at the peak rate and accepted with probability
+/// `rate_at(t) / peak`. Arrival times are in simulated minutes and strictly increasing;
+/// the stream is deterministic for a fixed seed.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    model: ArrivalModel,
+    rng: StdRng,
+    time_minutes: f64,
+    /// Upper bound of the deterministic rate: `base * (1 + diurnal_amplitude)`.
+    rate_cap: f64,
+}
+
+impl PoissonArrivals {
+    /// Start the process at `start_minutes` (simulated minutes since midnight of day 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's peak rate is not positive (the process would never fire).
+    #[must_use]
+    pub fn new(model: ArrivalModel, start_minutes: f64, seed: u64) -> Self {
+        let rate_cap = model.base_rate_per_minute * (1.0 + model.diurnal_amplitude);
+        assert!(
+            rate_cap > 0.0 && rate_cap.is_finite(),
+            "arrival model peak rate must be positive and finite, got {rate_cap}"
+        );
+        Self {
+            model,
+            rng: StdRng::seed_from_u64(seed),
+            time_minutes: start_minutes,
+            rate_cap,
+        }
+    }
+
+    /// The simulated time of the most recent arrival (or the start time before any).
+    #[must_use]
+    pub fn time_minutes(&self) -> f64 {
+        self.time_minutes
+    }
+
+    /// Advance to and return the next arrival time in simulated minutes.
+    pub fn next_arrival_minutes(&mut self) -> f64 {
+        loop {
+            // Exponential interarrival at the cap rate; `gen` is in [0, 1) so the
+            // argument of `ln` stays in (0, 1].
+            let u: f64 = self.rng.gen();
+            self.time_minutes += -(1.0 - u).ln() / self.rate_cap;
+            let accept: f64 = self.rng.gen();
+            if accept * self.rate_cap <= self.model.rate_at(self.time_minutes) {
+                return self.time_minutes;
+            }
+        }
+    }
+}
+
+/// Maps a [`PoissonArrivals`] stream onto the wall clock for an open-loop load
+/// generator: simulated time is compressed by `sim_minutes_per_wall_second`, so one
+/// diurnal day can be replayed in seconds while interarrival gaps keep their Poisson
+/// statistics. This is the `workload → real-time pacing` bridge the serving runtime's
+/// load generator is driven by.
+#[derive(Debug, Clone)]
+pub struct RealTimePacer {
+    arrivals: PoissonArrivals,
+    origin_minutes: f64,
+    sim_minutes_per_wall_second: f64,
+}
+
+impl RealTimePacer {
+    /// Pace `arrivals` at `sim_minutes_per_wall_second` of compression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compression factor is not positive.
+    #[must_use]
+    pub fn new(arrivals: PoissonArrivals, sim_minutes_per_wall_second: f64) -> Self {
+        assert!(
+            sim_minutes_per_wall_second > 0.0 && sim_minutes_per_wall_second.is_finite(),
+            "time compression must be positive and finite"
+        );
+        Self {
+            origin_minutes: arrivals.time_minutes(),
+            arrivals,
+            sim_minutes_per_wall_second,
+        }
+    }
+
+    /// A pacer whose *mean* wall-clock rate at the model's base rate is `target_qps`:
+    /// the compression factor is chosen so `base_rate_per_minute` simulated arrivals per
+    /// simulated minute map to `target_qps` arrivals per wall second (the diurnal
+    /// modulation then swings the realised rate around that mean).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_qps` is not positive or the model's base rate is not positive.
+    #[must_use]
+    pub fn for_target_qps(model: ArrivalModel, target_qps: f64, start_minutes: f64, seed: u64) -> Self {
+        assert!(target_qps > 0.0, "target QPS must be positive");
+        assert!(model.base_rate_per_minute > 0.0, "base rate must be positive");
+        let compression = target_qps / model.base_rate_per_minute;
+        Self::new(PoissonArrivals::new(model, start_minutes, seed), compression)
+    }
+
+    /// Simulated minutes that elapse per wall-clock second.
+    #[must_use]
+    pub fn sim_minutes_per_wall_second(&self) -> f64 {
+        self.sim_minutes_per_wall_second
+    }
+
+    /// Next arrival: `(wall_offset, sim_minutes)`, where `wall_offset` is the duration
+    /// since the pacer's start at which the request should be released, and
+    /// `sim_minutes` is the arrival's simulated timestamp (what the serving path treats
+    /// as stream time). Wall offsets are strictly increasing; an open-loop generator
+    /// sleeps until each offset and never waits for responses.
+    pub fn next(&mut self) -> (Duration, f64) {
+        let sim_t = self.arrivals.next_arrival_minutes();
+        let wall_seconds = (sim_t - self.origin_minutes) / self.sim_minutes_per_wall_second;
+        (Duration::from_secs_f64(wall_seconds.max(0.0)), sim_t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +262,107 @@ mod tests {
             assert!((0.0..=1.0).contains(&l));
         }
         assert!((m.normalized_load_at(m.peak_hour * 60.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poisson_arrivals_are_strictly_increasing_and_deterministic() {
+        let model = ArrivalModel::default();
+        let mut a = PoissonArrivals::new(model.clone(), 600.0, 42);
+        let mut b = PoissonArrivals::new(model, 600.0, 42);
+        let mut last = 600.0;
+        for _ in 0..500 {
+            let t = a.next_arrival_minutes();
+            assert!(t > last, "arrival times must strictly increase: {t} after {last}");
+            assert_eq!(t, b.next_arrival_minutes(), "same seed, same stream");
+            last = t;
+        }
+        assert_eq!(a.time_minutes(), last);
+    }
+
+    #[test]
+    fn poisson_arrival_count_tracks_expected_window_volume() {
+        // Thinning must reproduce the model's integrated rate: count arrivals in a
+        // 5-minute evening window and compare with requests_in_window.
+        let model = ArrivalModel {
+            base_rate_per_minute: 2_000.0,
+            ..ArrivalModel::default()
+        };
+        let start = model.peak_hour * 60.0;
+        let expected = model.requests_in_window(start, 5.0);
+        let mut arrivals = PoissonArrivals::new(model, start, 7);
+        let mut count = 0u64;
+        while arrivals.next_arrival_minutes() < start + 5.0 {
+            count += 1;
+        }
+        let rel_err = (count as f64 - expected).abs() / expected;
+        assert!(
+            rel_err < 0.05,
+            "arrival count {count} should be within 5% of expected {expected:.0}"
+        );
+    }
+
+    #[test]
+    fn thinning_respects_diurnal_shape() {
+        // Peak-hour windows must see more arrivals than trough-hour windows.
+        let model = ArrivalModel {
+            base_rate_per_minute: 1_000.0,
+            ..ArrivalModel::default()
+        };
+        let count_in = |start: f64, seed: u64| {
+            let mut arr = PoissonArrivals::new(model.clone(), start, seed);
+            let mut n = 0u64;
+            while arr.next_arrival_minutes() < start + 10.0 {
+                n += 1;
+            }
+            n
+        };
+        let peak = count_in(model.peak_hour * 60.0, 3);
+        let trough = count_in((model.peak_hour + 12.0) * 60.0, 3);
+        assert!(
+            peak as f64 > trough as f64 * 1.5,
+            "peak window ({peak}) must clearly exceed trough window ({trough})"
+        );
+    }
+
+    #[test]
+    fn pacer_offsets_increase_and_compress_time() {
+        let model = ArrivalModel {
+            diurnal_amplitude: 0.0, // constant rate: wall QPS equals the target exactly
+            ..ArrivalModel::default()
+        };
+        let mut pacer = RealTimePacer::for_target_qps(model, 500.0, 0.0, 11);
+        let mut last = Duration::ZERO;
+        let mut final_offset = Duration::ZERO;
+        let n = 2_000;
+        for _ in 0..n {
+            let (offset, sim_t) = pacer.next();
+            assert!(offset >= last, "wall offsets must be non-decreasing");
+            assert!(sim_t > 0.0);
+            last = offset;
+            final_offset = offset;
+        }
+        // 2000 arrivals at 500 QPS should span ~4 wall seconds (±15% sampling noise).
+        let secs = final_offset.as_secs_f64();
+        assert!((3.4..=4.6).contains(&secs), "2000 arrivals at 500 QPS took {secs:.2}s of wall time");
+    }
+
+    #[test]
+    fn pacer_sim_time_matches_compression() {
+        let model = ArrivalModel::default();
+        let qps = 100.0;
+        let mut pacer = RealTimePacer::for_target_qps(model.clone(), qps, 300.0, 5);
+        let compression = pacer.sim_minutes_per_wall_second();
+        assert!((compression - qps / model.base_rate_per_minute).abs() < 1e-12);
+        let (offset, sim_t) = pacer.next();
+        // wall offset and sim time are consistent under the compression factor.
+        let reconstructed = (sim_t - 300.0) / compression;
+        assert!((offset.as_secs_f64() - reconstructed).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "target QPS must be positive")]
+    fn pacer_rejects_nonpositive_qps() {
+        let _ = RealTimePacer::for_target_qps(ArrivalModel::default(), 0.0, 0.0, 1);
     }
 
     proptest! {

@@ -9,6 +9,8 @@
 //! * [`workload`] — synthetic CTR workloads with Zipfian popularity and concept drift.
 //! * [`sim`] — the cluster/hardware simulator (network, caches, memory bandwidth, power).
 //! * [`core`] — the LiveUpdate system itself plus the baseline update strategies.
+//! * [`runtime`] — the real `std::thread` serving runtime: open-loop Poisson load
+//!   generation, deadline batching, epoch-swap LoRA publication, measured QPS/P99.
 //!
 //! # Quickstart
 //!
@@ -22,5 +24,6 @@
 pub use liveupdate as core;
 pub use liveupdate_dlrm as dlrm;
 pub use liveupdate_linalg as linalg;
+pub use liveupdate_runtime as runtime;
 pub use liveupdate_sim as sim;
 pub use liveupdate_workload as workload;

@@ -3,7 +3,7 @@
 //! first, with a readable error instead of a wall of unresolved-import noise.
 
 use liveupdate_repro::core::config::LiveUpdateConfig;
-use liveupdate_repro::{core, dlrm, linalg, sim, workload};
+use liveupdate_repro::{core, dlrm, linalg, runtime, sim, workload};
 
 #[test]
 fn umbrella_reexports_resolve() {
@@ -18,6 +18,7 @@ fn umbrella_reexports_resolve() {
     assert!(cluster.num_nodes >= 1);
     let presets = workload::datasets::DatasetPreset::all();
     assert!(!presets.is_empty());
+    assert!(runtime::RuntimeConfig::default().validate().is_ok());
 }
 
 #[test]
