@@ -52,6 +52,10 @@ fn run_arm(update: UpdateMode, workers: usize, qps: f64, seconds: f64) -> Runtim
             queue_capacity: 4096,
             max_batch: 32,
             batch_deadline_us: 1_000,
+            // Round-robin keeps the queues balanced regardless of ID skew — the load
+            // distribution this bench's tracked BENCH_runtime.json baseline was
+            // measured under (don't silently change methodology across PRs).
+            routing: liveupdate_workload::shard::ShardPolicy::RoundRobin,
             update,
         },
     );

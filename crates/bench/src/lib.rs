@@ -138,6 +138,18 @@ pub fn write_bench_json(bench: &str, metrics: &[BenchMetric]) -> std::io::Result
     Ok(path)
 }
 
+/// Map a unified [`ScenarioReport`](liveupdate_scenario::ScenarioReport) onto bench
+/// metrics, so scenario runs land in the same `BENCH_*.json` artifact stream as every
+/// other measurement (`write_bench_json("scenario", ...)` emits `BENCH_scenario.json`).
+#[must_use]
+pub fn scenario_metrics(report: &liveupdate_scenario::ScenarioReport) -> Vec<BenchMetric> {
+    report
+        .metric_rows()
+        .into_iter()
+        .map(|(name, value, unit)| BenchMetric::new(&name, value, unit))
+        .collect()
+}
+
 /// Re-export of the optimisation barrier the micro-benches wrap inputs and results in.
 pub use std::hint::black_box;
 
@@ -218,6 +230,17 @@ mod tests {
         let written = std::fs::read_to_string(&path).unwrap();
         assert_eq!(written, bench_json("selftest", &[BenchMetric::new("m", 1.0, "u")]));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn scenario_metrics_map_one_to_one() {
+        use liveupdate_scenario::{BackendKind, ScenarioReport};
+        let mut report = ScenarioReport::new("s", BackendKind::Realtime, "LiveUpdate");
+        report.qps = Some(123.0);
+        report.mean_auc = Some(0.6);
+        let metrics = scenario_metrics(&report);
+        assert_eq!(metrics.len(), report.metric_rows().len());
+        assert!(metrics.iter().any(|m| m.name == "realtime_liveupdate_qps" && m.value == 123.0));
     }
 
     #[test]

@@ -185,6 +185,61 @@ impl DlrmModel {
         &self.tables[index]
     }
 
+    /// Copy the `fraction` of embedding rows with the largest parameter change from
+    /// `source` into this model, per table — the QuickUpdate-α% transfer rule. Returns
+    /// the copied row indices per table (what an update shipment would contain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two models have different table geometries.
+    pub fn pull_top_changed_rows(&mut self, source: &DlrmModel, fraction: f64) -> Vec<Vec<usize>> {
+        assert_eq!(
+            self.tables.len(),
+            source.tables.len(),
+            "partial sync requires identical table counts"
+        );
+        let fraction = fraction.clamp(0.0, 1.0);
+        let mut pulled = Vec::with_capacity(self.tables.len());
+        for t in 0..source.tables.len() {
+            assert_eq!(
+                self.table(t).num_rows(),
+                source.table(t).num_rows(),
+                "partial sync requires identical row counts in table {t}"
+            );
+            assert_eq!(
+                self.table(t).dim(),
+                source.table(t).dim(),
+                "partial sync requires identical embedding dims in table {t}"
+            );
+            let rows = source.table(t).num_rows();
+            let k = ((rows as f64) * fraction).round() as usize;
+            if k == 0 {
+                pulled.push(Vec::new());
+                continue;
+            }
+            let mut deltas: Vec<(usize, f64)> = (0..rows)
+                .map(|i| {
+                    let d: f64 = source
+                        .table(t)
+                        .row(i)
+                        .iter()
+                        .zip(self.table(t).row(i))
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                    (i, d)
+                })
+                .collect();
+            deltas.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            let top: Vec<usize> = deltas.into_iter().take(k).map(|(i, _)| i).collect();
+            for &i in &top {
+                let row = source.table(t).row(i).to_vec();
+                self.tables[t].set_row(i, &row);
+            }
+            pulled.push(top);
+        }
+        pulled
+    }
+
     /// Total number of trainable parameters (dense + embeddings).
     #[must_use]
     pub fn parameter_count(&self) -> usize {

@@ -73,14 +73,42 @@ impl ClusterConfig {
         Self::new(ExperimentConfig::small(), num_replicas)
     }
 
-    /// Validate the configuration.
+    /// Validate the configuration (legacy API; prefer [`Self::validate`] for the
+    /// violated constraint).
     #[must_use]
     pub fn is_valid(&self) -> bool {
-        self.experiment.is_valid()
-            && self.num_replicas > 0
-            && self.sync_interval_minutes > 0.0
-            && self.spec.is_valid()
-            && self.spec.num_nodes == self.num_replicas
+        self.validate().is_ok()
+    }
+
+    /// Validate the configuration, naming the first violated constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ConfigError`](crate::error::ConfigError) when any parameter is
+    /// out of range.
+    pub fn validate(&self) -> Result<(), crate::error::ConfigError> {
+        use crate::error::ConfigError;
+        self.experiment.validate()?;
+        if self.num_replicas == 0 {
+            return Err(ConfigError::NonPositive { field: "cluster.num_replicas" });
+        }
+        if self.sync_interval_minutes <= 0.0 {
+            return Err(ConfigError::NonPositive { field: "cluster.sync_interval_minutes" });
+        }
+        if !self.spec.is_valid() {
+            return Err(ConfigError::Constraint {
+                field: "cluster.spec",
+                requirement: "hardware cluster specification is invalid",
+            });
+        }
+        if self.spec.num_nodes != self.num_replicas {
+            return Err(ConfigError::Mismatch {
+                left: "cluster.num_replicas",
+                right: "cluster.spec.num_nodes",
+                requirement: "the modelled fabric must have one node per replica",
+            });
+        }
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! System-wide configuration of a LiveUpdate deployment.
 
+use crate::error::ConfigError;
 use serde::{Deserialize, Serialize};
 
 /// Tunables of the LiveUpdate serving node, with defaults matching the paper.
@@ -70,44 +71,76 @@ impl Default for LiveUpdateConfig {
 }
 
 impl LiveUpdateConfig {
-    /// Validate the configuration; returns a description of the first problem found.
+    /// Validate the configuration; returns the first violated constraint found.
     ///
     /// # Errors
     ///
-    /// Returns `Err` with a human-readable reason when any field is out of range.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a typed [`ConfigError`] when any field is out of range.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !(self.variance_threshold > 0.0 && self.variance_threshold <= 1.0) {
-            return Err("variance_threshold must be in (0, 1]".into());
+            return Err(ConfigError::Constraint {
+                field: "liveupdate.variance_threshold",
+                requirement: "must be in (0, 1]",
+            });
         }
-        if self.initial_rank == 0 || self.min_rank == 0 {
-            return Err("ranks must be at least 1".into());
+        if self.initial_rank == 0 {
+            return Err(ConfigError::NonPositive { field: "liveupdate.initial_rank" });
+        }
+        if self.min_rank == 0 {
+            return Err(ConfigError::NonPositive { field: "liveupdate.min_rank" });
         }
         if self.min_rank > self.max_rank {
-            return Err("min_rank must not exceed max_rank".into());
+            return Err(ConfigError::Mismatch {
+                left: "liveupdate.min_rank",
+                right: "liveupdate.max_rank",
+                requirement: "min_rank must not exceed max_rank",
+            });
         }
-        if self.adaptation_interval_steps == 0 || self.pruning_window_steps == 0 {
-            return Err("adaptation and pruning intervals must be positive".into());
+        if self.adaptation_interval_steps == 0 {
+            return Err(ConfigError::NonPositive { field: "liveupdate.adaptation_interval_steps" });
+        }
+        if self.pruning_window_steps == 0 {
+            return Err(ConfigError::NonPositive { field: "liveupdate.pruning_window_steps" });
         }
         if !(self.lora_learning_rate > 0.0 && self.lora_learning_rate.is_finite()) {
-            return Err("lora_learning_rate must be positive and finite".into());
+            return Err(ConfigError::Constraint {
+                field: "liveupdate.lora_learning_rate",
+                requirement: "must be positive and finite",
+            });
         }
         if !(self.min_table_fraction > 0.0 && self.min_table_fraction <= 1.0) {
-            return Err("min_table_fraction must be in (0, 1]".into());
+            return Err(ConfigError::Constraint {
+                field: "liveupdate.min_table_fraction",
+                requirement: "must be in (0, 1]",
+            });
         }
         if !(self.max_table_fraction >= self.min_table_fraction && self.max_table_fraction <= 1.0) {
-            return Err("max_table_fraction must be in [min_table_fraction, 1]".into());
+            return Err(ConfigError::Constraint {
+                field: "liveupdate.max_table_fraction",
+                requirement: "must be in [min_table_fraction, 1]",
+            });
         }
         if !(self.hot_fraction > 0.0 && self.hot_fraction <= 1.0) {
-            return Err("hot_fraction must be in (0, 1]".into());
+            return Err(ConfigError::Constraint {
+                field: "liveupdate.hot_fraction",
+                requirement: "must be in (0, 1]",
+            });
         }
-        if self.retention_minutes <= 0.0 || self.retention_max_records == 0 {
-            return Err("retention window and capacity must be positive".into());
+        if self.retention_minutes <= 0.0 {
+            return Err(ConfigError::NonPositive { field: "liveupdate.retention_minutes" });
+        }
+        if self.retention_max_records == 0 {
+            return Err(ConfigError::NonPositive { field: "liveupdate.retention_max_records" });
         }
         if self.sync_interval_steps == 0 {
-            return Err("sync_interval_steps must be positive".into());
+            return Err(ConfigError::NonPositive { field: "liveupdate.sync_interval_steps" });
         }
         if self.p99_low_threshold_ms >= self.p99_high_threshold_ms {
-            return Err("p99_low_threshold_ms must be below p99_high_threshold_ms".into());
+            return Err(ConfigError::Mismatch {
+                left: "liveupdate.p99_low_threshold_ms",
+                right: "liveupdate.p99_high_threshold_ms",
+                requirement: "the low watermark must be below the high watermark",
+            });
         }
         Ok(())
     }

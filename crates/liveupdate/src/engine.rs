@@ -391,6 +391,32 @@ impl ServingNode {
         self.hot_filter.clear();
     }
 
+    /// Partial parameter synchronisation (the QuickUpdate-α% transfer rule): copy the
+    /// top `fraction` of embedding rows by parameter change from `source` into the frozen
+    /// base model, then rematerialise the serving view of every touched row so any live
+    /// LoRA correction stays applied on top of the fresh parameters. Returns the number
+    /// of rows pulled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` has a different table geometry than this node's model.
+    pub fn partial_sync(&mut self, source: &DlrmModel, fraction: f64) -> usize {
+        let pulled = self.base_model.pull_top_changed_rows(source, fraction);
+        let mut rows = 0usize;
+        for (table, indices) in pulled.iter().enumerate() {
+            for &row in indices {
+                rows += 1;
+                if self.loras[table].is_active(row) {
+                    self.refresh_serving_row(table, row);
+                } else {
+                    let fresh = self.base_model.table(table).row(row).to_vec();
+                    self.serving_model.tables_mut()[table].set_row(row, &fresh);
+                }
+            }
+        }
+        rows
+    }
+
     /// Full-parameter synchronisation: replace both the base and the serving model with a
     /// fresh model from the training cluster, dropping every local LoRA correction
     /// (paper Fig. 8, the hourly full update that bounds model drift).

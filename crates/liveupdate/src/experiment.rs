@@ -8,6 +8,7 @@
 
 use crate::config::LiveUpdateConfig;
 use crate::engine::ServingNode;
+use crate::error::ConfigError;
 use crate::strategy::StrategyKind;
 use liveupdate_dlrm::metrics::{Auc, LogLoss};
 use liveupdate_dlrm::model::{DlrmConfig, DlrmModel};
@@ -109,16 +110,51 @@ impl ExperimentConfig {
         }
     }
 
-    /// Basic sanity checks of the experiment parameters.
+    /// Basic sanity checks of the experiment parameters (legacy API; prefer
+    /// [`Self::validate`] for the violated constraint).
     #[must_use]
     pub fn is_valid(&self) -> bool {
-        self.workload.is_valid()
-            && self.dlrm.validate().is_ok()
-            && self.workload.num_tables == self.dlrm.table_sizes.len()
-            && self.duration_minutes > 0.0
-            && self.window_minutes > 0.0
-            && self.requests_per_window > 0
-            && self.training_batch_size > 0
+        self.validate().is_ok()
+    }
+
+    /// Validate the experiment parameters, naming the first violated constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ConfigError`] when any parameter is out of range.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.workload.is_valid() {
+            return Err(ConfigError::Constraint {
+                field: "experiment.workload",
+                requirement: "workload configuration is invalid",
+            });
+        }
+        if self.dlrm.validate().is_err() {
+            return Err(ConfigError::Constraint {
+                field: "experiment.dlrm",
+                requirement: "model configuration is invalid",
+            });
+        }
+        if self.workload.num_tables != self.dlrm.table_sizes.len() {
+            return Err(ConfigError::Mismatch {
+                left: "experiment.workload.num_tables",
+                right: "experiment.dlrm.table_sizes",
+                requirement: "one workload table per embedding table",
+            });
+        }
+        if self.duration_minutes <= 0.0 {
+            return Err(ConfigError::NonPositive { field: "experiment.duration_minutes" });
+        }
+        if self.window_minutes <= 0.0 {
+            return Err(ConfigError::NonPositive { field: "experiment.window_minutes" });
+        }
+        if self.requests_per_window == 0 {
+            return Err(ConfigError::NonPositive { field: "experiment.requests_per_window" });
+        }
+        if self.training_batch_size == 0 {
+            return Err(ConfigError::NonPositive { field: "experiment.training_batch_size" });
+        }
+        self.liveupdate.validate()
     }
 }
 
@@ -158,10 +194,10 @@ fn train_on(model: &mut DlrmModel, batch: &MiniBatch, batch_size: usize) {
 }
 
 /// Pretrain the Day-1 checkpoint on the warm-up period and return it together with the
-/// workload positioned at the start of the evaluated period. Also used by
-/// [`crate::cluster`] so every replica of a serving cluster starts from the identical
-/// checkpoint a single-node run would use.
-pub(crate) fn warmed_up_model(cfg: &ExperimentConfig) -> (DlrmModel, SyntheticWorkload) {
+/// workload positioned at the start of the evaluated period. Used by [`crate::cluster`]
+/// and by the scenario layer's real-thread backend so every execution engine starts from
+/// the identical checkpoint a single-node analytic run would use.
+pub fn warmed_up_model(cfg: &ExperimentConfig) -> (DlrmModel, SyntheticWorkload) {
     let mut workload = SyntheticWorkload::new(cfg.workload.clone());
     let mut model = DlrmModel::new(cfg.dlrm.clone(), cfg.seed);
     let windows = (cfg.warmup_minutes / cfg.window_minutes).ceil() as usize;
@@ -179,34 +215,10 @@ pub(crate) fn warmed_up_model(cfg: &ExperimentConfig) -> (DlrmModel, SyntheticWo
 }
 
 /// Copy the `fraction` of rows with the largest parameter change from `source` into
-/// `target`, per table (the QuickUpdate transfer rule).
+/// `target`, per table (the QuickUpdate transfer rule; see
+/// [`DlrmModel::pull_top_changed_rows`]).
 fn copy_top_changed_rows(target: &mut DlrmModel, source: &DlrmModel, fraction: f64) {
-    let fraction = fraction.clamp(0.0, 1.0);
-    for t in 0..source.tables().len() {
-        let rows = source.table(t).num_rows();
-        let k = ((rows as f64) * fraction).round() as usize;
-        if k == 0 {
-            continue;
-        }
-        let mut deltas: Vec<(usize, f64)> = (0..rows)
-            .map(|i| {
-                let d: f64 = source
-                    .table(t)
-                    .row(i)
-                    .iter()
-                    .zip(target.table(t).row(i))
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
-                (i, d)
-            })
-            .collect();
-        deltas.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        let top: Vec<usize> = deltas.into_iter().take(k).map(|(i, _)| i).collect();
-        for i in top {
-            let row = source.table(t).row(i).to_vec();
-            target.tables_mut()[t].set_row(i, &row);
-        }
-    }
+    let _ = target.pull_top_changed_rows(source, fraction);
 }
 
 /// Run one strategy over the configured horizon.

@@ -29,6 +29,8 @@
 //!   against the modelled fabric (Fig. 19).
 //! * [`strategy`] — NoUpdate / DeltaUpdate / QuickUpdate / LiveUpdate update strategies and
 //!   their analytic cost models.
+//! * [`error`] — the typed [`ConfigError`] every configuration type in the workspace
+//!   (experiment, cluster, runtime, scenario) validates into.
 //! * [`experiment`] — end-to-end freshness experiments (accuracy over time, update cost,
 //!   scalability) used by the benchmark harness.
 //!
@@ -80,6 +82,7 @@
 pub mod cluster;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod experiment;
 pub mod hot_index;
 pub mod isolation;
@@ -96,6 +99,7 @@ pub mod trainer;
 pub use cluster::{ClusterConfig, ClusterRunSummary, ServingCluster};
 pub use config::LiveUpdateConfig;
 pub use engine::ServingNode;
+pub use error::ConfigError;
 pub use lora::LoraTable;
 pub use replica::Replica;
 pub use snapshot::ServingSnapshot;

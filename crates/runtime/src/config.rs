@@ -1,6 +1,8 @@
 //! Configuration of the multithreaded serving runtime.
 
 use crate::batcher::BatcherConfig;
+use liveupdate::error::ConfigError;
+use liveupdate_workload::shard::ShardPolicy;
 use std::time::Duration;
 
 /// How (and whether) the LoRA updater runs alongside serving.
@@ -45,6 +47,9 @@ pub struct RuntimeConfig {
     pub max_batch: usize,
     /// Deadline from a batch's first request until it closes, in microseconds.
     pub batch_deadline_us: u64,
+    /// How the runtime's [`Router`](crate::router::Router) assigns requests to worker
+    /// queues when callers submit via the routed entry points.
+    pub routing: ShardPolicy,
     /// The updater arrangement.
     pub update: UpdateMode,
 }
@@ -56,6 +61,7 @@ impl Default for RuntimeConfig {
             queue_capacity: 1024,
             max_batch: 32,
             batch_deadline_us: 1_000,
+            routing: ShardPolicy::HashByUser,
             update: UpdateMode::Background {
                 interval: Duration::from_millis(250),
                 rounds_per_update: 1,
@@ -79,16 +85,16 @@ impl RuntimeConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a typed [`ConfigError`] naming the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.num_workers == 0 {
-            return Err("at least one worker thread is required".into());
+            return Err(ConfigError::NonPositive { field: "runtime.num_workers" });
         }
         if self.queue_capacity == 0 {
-            return Err("request queues must have non-zero capacity".into());
+            return Err(ConfigError::NonPositive { field: "runtime.queue_capacity" });
         }
         if self.max_batch == 0 {
-            return Err("max_batch must be positive".into());
+            return Err(ConfigError::NonPositive { field: "runtime.max_batch" });
         }
         match self.update {
             UpdateMode::Disabled => {}
@@ -97,8 +103,11 @@ impl RuntimeConfig {
                 batch_size,
                 ..
             } => {
-                if rounds_per_update == 0 || batch_size == 0 {
-                    return Err("background updates need rounds_per_update > 0 and batch_size > 0".into());
+                if rounds_per_update == 0 {
+                    return Err(ConfigError::NonPositive { field: "runtime.update.rounds_per_update" });
+                }
+                if batch_size == 0 {
+                    return Err(ConfigError::NonPositive { field: "runtime.update.batch_size" });
                 }
             }
             UpdateMode::Synchronous {
@@ -107,10 +116,19 @@ impl RuntimeConfig {
                 batch_size,
             } => {
                 if self.num_workers != 1 {
-                    return Err("synchronous updates require exactly one worker".into());
+                    return Err(ConfigError::Constraint {
+                        field: "runtime.num_workers",
+                        requirement: "synchronous updates require exactly one worker",
+                    });
                 }
-                if every_batches == 0 || rounds == 0 || batch_size == 0 {
-                    return Err("synchronous updates need every_batches, rounds and batch_size > 0".into());
+                if every_batches == 0 {
+                    return Err(ConfigError::NonPositive { field: "runtime.update.every_batches" });
+                }
+                if rounds == 0 {
+                    return Err(ConfigError::NonPositive { field: "runtime.update.rounds" });
+                }
+                if batch_size == 0 {
+                    return Err(ConfigError::NonPositive { field: "runtime.update.batch_size" });
                 }
             }
         }

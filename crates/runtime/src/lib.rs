@@ -34,9 +34,16 @@
 //!   **no lock**: one atomic load per batch, an `Arc` clone only when the epoch moved.
 //!   No lock is ever held across training — this is the paper's near-zero-overhead
 //!   property made literal.
-//! * **Updating** ([`updater`]) — the co-located trainer: owns the only mutable
-//!   [`liveupdate::engine::ServingNode`], ingests served traffic into the retention
-//!   buffer, trains, publishes.
+//! * **Updating** (the private `updater` thread + [`policy`]) — the co-located trainer:
+//!   owns the only mutable [`liveupdate::engine::ServingNode`], ingests served traffic
+//!   into the retention buffer, and on each wall-clock cadence tick runs the mounted
+//!   [`policy::UpdatePolicy`] — LiveUpdate LoRA rounds by default, or the QuickUpdate /
+//!   DeltaUpdate parameter-shipping baselines for real-contention comparisons — then
+//!   publishes.
+//! * **Routing** ([`router`]) — submission is keyed by the request: the lock-free
+//!   [`router::Router`] (hash-by-user or round-robin, per
+//!   [`config::RuntimeConfig::routing`]) picks the worker queue, so callers never choose
+//!   an index by hand.
 //! * **Measurement** ([`report`]) — real wall-clock QPS, P50/P99/max latency (via
 //!   [`liveupdate_sim::latency::LatencyRecorder`]), shed counts, batch shapes, update
 //!   round times, and the full `(epoch, checksum)` publication history.
@@ -80,8 +87,10 @@ pub mod batcher;
 pub mod config;
 pub mod epoch;
 pub mod loadgen;
+pub mod policy;
 pub mod report;
 pub mod request;
+pub mod router;
 pub mod runtime;
 mod updater;
 mod worker;
@@ -90,6 +99,11 @@ pub use batcher::BatcherConfig;
 pub use config::{RuntimeConfig, UpdateMode};
 pub use epoch::{EpochPublisher, EpochReader};
 pub use loadgen::{run_open_loop, LoadGenConfig, LoadGenReport};
+pub use policy::{
+    policy_for_strategy, DeltaUpdatePolicy, LiveUpdatePolicy, PolicyTick, QuickUpdatePolicy,
+    UpdatePolicy,
+};
 pub use report::{RuntimeReport, UpdaterReport, WorkerReport};
 pub use request::Request;
+pub use router::Router;
 pub use runtime::{ServingRuntime, SubmitOutcome};

@@ -11,7 +11,6 @@
 use crate::runtime::{ServingRuntime, SubmitOutcome};
 use liveupdate_dlrm::sample::Sample;
 use liveupdate_workload::arrival::{ArrivalModel, RealTimePacer};
-use liveupdate_workload::shard::{ShardPolicy, StreamSharder};
 use liveupdate_workload::synthetic::SyntheticWorkload;
 use std::time::{Duration, Instant};
 
@@ -28,8 +27,6 @@ pub struct LoadGenConfig {
     pub duration: Duration,
     /// Seed of the Poisson arrival stream.
     pub seed: u64,
-    /// How requests are routed to worker queues.
-    pub routing: ShardPolicy,
     /// Number of samples pre-generated from the workload and cycled through (request
     /// construction must not throttle the generator).
     pub sample_pool: usize,
@@ -43,7 +40,6 @@ impl Default for LoadGenConfig {
             start_minutes: 20.0 * 60.0, // the diurnal peak hour
             duration: Duration::from_secs(2),
             seed: 0xA11CE,
-            routing: ShardPolicy::RoundRobin,
             sample_pool: 2_048,
         }
     }
@@ -84,7 +80,6 @@ pub fn run_open_loop(
             workload.sample_at(t)
         })
         .collect();
-    let mut sharder = StreamSharder::new(cfg.routing, runtime.num_workers());
     let mut report = LoadGenReport::default();
     let started = Instant::now();
     let mut pool_cursor = 0usize;
@@ -101,11 +96,12 @@ pub fn run_open_loop(
         }
         let sample = pool[pool_cursor % pool.len()].clone();
         pool_cursor += 1;
-        let worker = sharder.shard_of(&sample);
         // Stamp the scheduled arrival instant, not "now": no coordinated omission.
+        // Routing is the runtime's job ([`RuntimeConfig::routing`] → its `Router`), not
+        // the generator's — one policy decides queue assignment for every submitter.
         let scheduled = started + offset;
         report.offered += 1;
-        match runtime.submit_scheduled(worker, sample, sim_minutes, scheduled) {
+        match runtime.submit_routed_scheduled(sample, sim_minutes, scheduled) {
             SubmitOutcome::Accepted => report.accepted += 1,
             SubmitOutcome::Shed => report.shed += 1,
             SubmitOutcome::Closed => break,

@@ -29,10 +29,13 @@ pub struct UpdaterReport {
     pub ingested_batches: u64,
     /// Requests contained in those batches.
     pub ingested_requests: u64,
-    /// Online update rounds performed.
+    /// Update events performed by the active policy (training rounds or sync pulls).
     pub update_rounds: u64,
     /// Snapshot publications (epoch swaps).
     pub publications: u64,
+    /// Parameters shipped from a shadow trainer into the node (QuickUpdate /
+    /// DeltaUpdate policies; 0 for LiveUpdate — the paper's near-zero-shipment claim).
+    pub params_pulled: u64,
     /// Wall-clock milliseconds of each published update block (train + capture + swap).
     pub round_times_ms: Vec<f64>,
     /// `(epoch, checksum)` of every published snapshot, including the initial epoch 0.

@@ -1,0 +1,108 @@
+//! Request routing for the serving runtime.
+//!
+//! PR 3's `ServingRuntime::submit(worker, ...)` leaked the queue topology: every caller
+//! picked the worker index by hand (`i % num_workers` in tests, a private sharder in the
+//! load generator). [`Router`] closes that leak — submission is keyed by the request
+//! itself, reusing the deterministic policies of [`liveupdate_workload::shard`]:
+//! hash-by-user keeps one user's traffic on one worker (preserving per-queue Zipf skew),
+//! round-robin balances to within one request. Unlike [`StreamSharder`] the router
+//! routes from a **shared** reference (an atomic rotation cursor instead of `&mut
+//! self`), so concurrent submitters need no lock.
+
+use liveupdate_dlrm::sample::Sample;
+use liveupdate_workload::shard::{ShardPolicy, StreamSharder};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Lock-free, deterministic request router over the runtime's worker queues.
+#[derive(Debug)]
+pub struct Router {
+    policy: ShardPolicy,
+    num_workers: usize,
+    rotation: AtomicUsize,
+}
+
+impl Router {
+    /// A router over `num_workers` queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_workers == 0`.
+    #[must_use]
+    pub fn new(policy: ShardPolicy, num_workers: usize) -> Self {
+        assert!(num_workers > 0, "at least one worker is required");
+        Self {
+            policy,
+            num_workers,
+            rotation: AtomicUsize::new(0),
+        }
+    }
+
+    /// The routing policy.
+    #[must_use]
+    pub fn policy(&self) -> ShardPolicy {
+        self.policy
+    }
+
+    /// Number of worker queues routed over.
+    #[must_use]
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// The worker queue `sample` is routed to. Hash-by-user is a pure function of the
+    /// sample's user IDs; round-robin advances the shared rotation cursor.
+    pub fn route(&self, sample: &Sample) -> usize {
+        match self.policy {
+            ShardPolicy::HashByUser => StreamSharder::hash_route(sample, self.num_workers),
+            ShardPolicy::RoundRobin => self.rotation.fetch_add(1, Ordering::Relaxed) % self.num_workers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liveupdate_workload::{SyntheticWorkload, WorkloadConfig};
+
+    fn batch(n: usize) -> liveupdate_dlrm::sample::MiniBatch {
+        let mut w = SyntheticWorkload::new(WorkloadConfig::default());
+        w.batch_at(0.0, n)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = Router::new(ShardPolicy::RoundRobin, 0);
+    }
+
+    #[test]
+    fn hash_routing_matches_the_stream_sharder() {
+        let b = batch(64);
+        let router = Router::new(ShardPolicy::HashByUser, 4);
+        let mut sharder = StreamSharder::new(ShardPolicy::HashByUser, 4);
+        for sample in b.iter() {
+            assert_eq!(router.route(sample), sharder.shard_of(sample));
+        }
+    }
+
+    #[test]
+    fn round_robin_balances_from_a_shared_reference() {
+        let b = batch(12);
+        let router = Router::new(ShardPolicy::RoundRobin, 3);
+        let mut counts = [0usize; 3];
+        for sample in b.iter() {
+            counts[router.route(sample)] += 1;
+        }
+        assert_eq!(counts, [4, 4, 4]);
+    }
+
+    #[test]
+    fn same_user_always_lands_on_the_same_worker() {
+        let router = Router::new(ShardPolicy::HashByUser, 8);
+        let mut sample = Sample::new(vec![0.0], vec![vec![42, 7], vec![3]], 0.0);
+        let worker = router.route(&sample);
+        sample.sparse[1] = vec![99];
+        sample.dense[0] = 1.0;
+        assert_eq!(router.route(&sample), worker);
+    }
+}

@@ -2,8 +2,10 @@
 
 use crate::config::{RuntimeConfig, UpdateMode};
 use crate::epoch::EpochPublisher;
+use crate::policy::{LiveUpdatePolicy, UpdatePolicy};
 use crate::report::{RuntimeReport, UpdaterReport, WorkerReport};
 use crate::request::Request;
+use crate::router::Router;
 use crate::updater::{run_updater, IngestBatch, UpdaterParams};
 use crate::worker::{run_sync_worker, run_worker};
 use liveupdate::engine::ServingNode;
@@ -39,6 +41,7 @@ pub enum SubmitOutcome {
 pub struct ServingRuntime {
     cfg: RuntimeConfig,
     publisher: Arc<EpochPublisher<ServingSnapshot>>,
+    router: Router,
     senders: Vec<SyncSender<Request>>,
     workers: Vec<JoinHandle<WorkerReport>>,
     sync_worker: Option<JoinHandle<(WorkerReport, UpdaterReport, ServingNode)>>,
@@ -50,13 +53,63 @@ pub struct ServingRuntime {
 }
 
 impl ServingRuntime {
-    /// Start the runtime serving `node`'s current state.
+    /// Start the runtime serving `node`'s current state. The update arrangement comes
+    /// from `cfg.update`: `Background` runs the LiveUpdate policy on the updater thread,
+    /// `Disabled` runs ingest-only, `Synchronous` is the deterministic single-threaded
+    /// reference mode. To run a *different* update strategy on the updater thread (the
+    /// paper's QuickUpdate / DeltaUpdate baselines under real contention), use
+    /// [`Self::start_with_policy`].
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
     #[must_use]
     pub fn start(node: ServingNode, cfg: RuntimeConfig) -> Self {
+        match cfg.update {
+            UpdateMode::Synchronous { .. } | UpdateMode::Disabled => {
+                Self::spawn(node, cfg, None)
+            }
+            UpdateMode::Background {
+                interval,
+                rounds_per_update,
+                batch_size,
+            } => {
+                let policy = LiveUpdatePolicy { rounds_per_update, batch_size };
+                Self::spawn(node, cfg, Some((interval, Some(Box::new(policy) as Box<dyn UpdatePolicy>))))
+            }
+        }
+    }
+
+    /// Start the runtime with an explicit [`UpdatePolicy`] driving the updater thread at
+    /// the given wall-clock `interval` (`policy == None` is ingest-only — the `NoUpdate`
+    /// baseline). The worker topology (queues, batcher, routing) still comes from `cfg`;
+    /// `cfg.update` is ignored except that `Synchronous` mode is rejected — synchronous
+    /// runs have no separate updater thread to install a policy on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `cfg.update` is `Synchronous`.
+    #[must_use]
+    pub fn start_with_policy(
+        node: ServingNode,
+        cfg: RuntimeConfig,
+        interval: Duration,
+        policy: Option<Box<dyn UpdatePolicy>>,
+    ) -> Self {
+        assert!(
+            !matches!(cfg.update, UpdateMode::Synchronous { .. }),
+            "synchronous mode has no updater thread for a policy"
+        );
+        Self::spawn(node, cfg, Some((interval, policy)))
+    }
+
+    /// Spawn the thread topology. `background == None` runs `cfg.update`'s synchronous /
+    /// disabled arrangement; `Some((interval, policy))` runs the policy-driven updater.
+    fn spawn(
+        node: ServingNode,
+        cfg: RuntimeConfig,
+        background: Option<(Duration, Option<Box<dyn UpdatePolicy>>)>,
+    ) -> Self {
         if let Err(reason) = cfg.validate() {
             panic!("invalid runtime configuration: {reason}");
         }
@@ -64,6 +117,7 @@ impl ServingRuntime {
         let initial_checksum = publisher.load().1.checksum();
         let processed = Arc::new(AtomicU64::new(0));
         let batcher = cfg.batcher();
+        let router = Router::new(cfg.routing, cfg.num_workers);
 
         let mut senders = Vec::with_capacity(cfg.num_workers);
         let mut receivers = Vec::with_capacity(cfg.num_workers);
@@ -76,12 +130,15 @@ impl ServingRuntime {
         let mut workers = Vec::new();
         let mut sync_worker = None;
         let mut updater = None;
-        match cfg.update {
-            UpdateMode::Synchronous {
-                every_batches,
-                rounds,
-                batch_size,
-            } => {
+        match (cfg.update, background) {
+            (
+                UpdateMode::Synchronous {
+                    every_batches,
+                    rounds,
+                    batch_size,
+                },
+                None,
+            ) => {
                 let rx = receivers.pop().expect("one worker in synchronous mode");
                 let publisher_for_worker = Arc::clone(&publisher);
                 let processed_for_worker = Arc::clone(&processed);
@@ -103,7 +160,9 @@ impl ServingRuntime {
                         .expect("spawn sync worker"),
                 );
             }
-            UpdateMode::Disabled | UpdateMode::Background { .. } => {
+            (_, background) => {
+                // Ingest-only (Disabled / NoUpdate) or a policy-driven background updater.
+                let (interval, policy) = background.unwrap_or((Duration::from_secs(3600), None));
                 let (ingest_tx, ingest_rx) = channel::<IngestBatch>();
                 for (index, rx) in receivers.into_iter().enumerate() {
                     let reader = publisher.reader();
@@ -121,18 +180,7 @@ impl ServingRuntime {
                 // Workers hold the only ingest senders now; when the last worker exits,
                 // the updater's channel disconnects and it shuts down too.
                 drop(ingest_tx);
-                let params = match cfg.update {
-                    UpdateMode::Background {
-                        interval,
-                        rounds_per_update,
-                        batch_size,
-                    } => Some(UpdaterParams {
-                        interval,
-                        rounds_per_update,
-                        batch_size,
-                    }),
-                    _ => None,
-                };
+                let params = UpdaterParams { interval, policy };
                 let publisher_for_updater = Arc::clone(&publisher);
                 updater = Some(
                     thread::Builder::new()
@@ -148,6 +196,7 @@ impl ServingRuntime {
         Self {
             cfg,
             publisher,
+            router,
             senders,
             workers,
             sync_worker,
@@ -230,6 +279,37 @@ impl ServingRuntime {
     /// Non-blocking submit stamped "now".
     pub fn try_submit(&self, worker: usize, sample: Sample, time_minutes: f64) -> SubmitOutcome {
         self.submit_scheduled(worker, sample, time_minutes, Instant::now())
+    }
+
+    /// The runtime's request router (policy from [`RuntimeConfig::routing`]).
+    #[must_use]
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Blocking submit routed by the runtime's [`Router`] — hash-by-user keys the queue
+    /// choice off the sample's user IDs, so callers never pick a worker index by hand.
+    /// Returns `false` if the routed worker's queue is closed.
+    pub fn submit_routed(&self, sample: Sample, time_minutes: f64) -> bool {
+        let worker = self.router.route(&sample);
+        self.submit(worker, sample, time_minutes)
+    }
+
+    /// Non-blocking routed submit with an explicit scheduled-arrival stamp (the open-loop
+    /// generator's routed entry point). A full queue sheds the request.
+    pub fn submit_routed_scheduled(
+        &self,
+        sample: Sample,
+        time_minutes: f64,
+        scheduled: Instant,
+    ) -> SubmitOutcome {
+        let worker = self.router.route(&sample);
+        self.submit_scheduled(worker, sample, time_minutes, scheduled)
+    }
+
+    /// Non-blocking routed submit stamped "now".
+    pub fn try_submit_routed(&self, sample: Sample, time_minutes: f64) -> SubmitOutcome {
+        self.submit_routed_scheduled(sample, time_minutes, Instant::now())
     }
 
     /// Close the queues, join every thread, and assemble the measured report plus the

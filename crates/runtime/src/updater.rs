@@ -2,13 +2,17 @@
 //!
 //! The updater owns the *authoritative* [`ServingNode`]: the only mutable model state in
 //! the whole runtime. It drains served traffic from the ingest channel into the node's
-//! retention buffer and, on a wall-clock cadence, runs `online_update_round` on that
-//! shadow state and publishes the result as an immutable snapshot through the epoch
-//! swap. Training therefore contends with serving only for CPU cycles — never for a
-//! lock — which is exactly the "near-zero overhead" property the interference
-//! measurement in `examples/live_serving.rs` quantifies.
+//! retention buffer (and into the active [`UpdatePolicy`]'s view) and, on a wall-clock
+//! cadence, asks the policy for one update block on that shadow state — publishing the
+//! result as an immutable snapshot through the epoch swap whenever the policy requests
+//! it. Serving therefore contends with updating only for CPU cycles — never for a lock —
+//! which is exactly the "near-zero overhead" property the interference measurement in
+//! `examples/live_serving.rs` quantifies. With no policy installed (`NoUpdate` /
+//! `UpdateMode::Disabled`) the thread only drains the channel: the baseline arm keeps
+//! the ingestion cost identical and removes only the update + publication work.
 
 use crate::epoch::EpochPublisher;
+use crate::policy::UpdatePolicy;
 use crate::report::UpdaterReport;
 use liveupdate::engine::ServingNode;
 use liveupdate::snapshot::ServingSnapshot;
@@ -26,23 +30,19 @@ pub(crate) struct IngestBatch {
     pub batch: MiniBatch,
 }
 
-/// Training cadence of a background updater.
-#[derive(Debug, Clone, Copy)]
+/// The updater arrangement: the wall-clock cadence plus the pluggable policy that runs
+/// at each tick. `policy == None` is ingest-only (the `NoUpdate` baseline arm).
 pub(crate) struct UpdaterParams {
     pub interval: Duration,
-    pub rounds_per_update: usize,
-    pub batch_size: usize,
+    pub policy: Option<Box<dyn UpdatePolicy>>,
 }
 
-/// Run the updater until every worker's ingest sender is gone. With `params == None`
-/// (update mode `Disabled`) the thread only drains the channel — the baseline arm of the
-/// interference experiment keeps the ingestion cost identical and removes only the
-/// training + publication work.
+/// Run the updater until every worker's ingest sender is gone.
 pub(crate) fn run_updater(
     ingest_rx: &Receiver<IngestBatch>,
     mut node: ServingNode,
     publisher: &Arc<EpochPublisher<ServingSnapshot>>,
-    params: Option<UpdaterParams>,
+    mut params: UpdaterParams,
     initial_checksum: u64,
 ) -> (UpdaterReport, ServingNode) {
     let mut report = UpdaterReport::default();
@@ -50,11 +50,11 @@ pub(crate) fn run_updater(
     let mut node_time = 0.0f64;
     let mut last_update = Instant::now();
     loop {
-        // Sleep on the channel until the next training deadline (or forever when
-        // training is disabled — the disconnect wakes us for shutdown).
-        let timeout = match params {
+        // Sleep on the channel until the next update deadline (or effectively forever
+        // when no policy is installed — the disconnect wakes us for shutdown).
+        let timeout = match params.policy {
             None => Duration::from_secs(3600),
-            Some(p) => p.interval.saturating_sub(last_update.elapsed()),
+            Some(_) => params.interval.saturating_sub(last_update.elapsed()),
         };
         match ingest_rx.recv_timeout(timeout) {
             Ok(ingest) => {
@@ -62,22 +62,26 @@ pub(crate) fn run_updater(
                 report.ingested_batches += 1;
                 report.ingested_requests += ingest.batch.len() as u64;
                 node.ingest_batch(ingest.time_minutes, &ingest.batch);
+                if let Some(policy) = params.policy.as_mut() {
+                    policy.observe(ingest.time_minutes, &ingest.batch);
+                }
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
-        if let Some(p) = params {
-            if last_update.elapsed() >= p.interval {
+        if let Some(policy) = params.policy.as_mut() {
+            if last_update.elapsed() >= params.interval {
                 let round_started = Instant::now();
-                for _ in 0..p.rounds_per_update {
-                    node.online_update_round(node_time, p.batch_size);
-                    report.update_rounds += 1;
+                let tick = policy.update_block(&mut node, node_time);
+                report.update_rounds += tick.rounds;
+                report.params_pulled += tick.params_pulled;
+                if tick.publish {
+                    let snapshot = node.snapshot();
+                    let checksum = snapshot.checksum();
+                    let epoch = publisher.publish(snapshot);
+                    report.publications += 1;
+                    report.published.push((epoch, checksum));
                 }
-                let snapshot = node.snapshot();
-                let checksum = snapshot.checksum();
-                let epoch = publisher.publish(snapshot);
-                report.publications += 1;
-                report.published.push((epoch, checksum));
                 report
                     .round_times_ms
                     .push(round_started.elapsed().as_secs_f64() * 1e3);

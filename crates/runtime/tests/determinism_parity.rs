@@ -78,6 +78,7 @@ fn one_worker_synchronous_runtime_matches_plain_serving_loop_bit_for_bit() {
                 rounds: ROUNDS_PER_WINDOW,
                 batch_size: ONLINE_BATCH,
             },
+            ..RuntimeConfig::default()
         },
     );
     let mut sent = 0u64;
@@ -139,6 +140,7 @@ fn synchronous_runtime_is_reproducible_across_runs() {
                     rounds: ROUNDS_PER_WINDOW,
                     batch_size: ONLINE_BATCH,
                 },
+                ..RuntimeConfig::default()
             },
         );
         let mut sent = 0u64;

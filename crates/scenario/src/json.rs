@@ -1,0 +1,524 @@
+//! A minimal JSON value type, parser, and writer.
+//!
+//! The workspace's vendored `serde` is a marker-trait stand-in (the build environment
+//! has no crates.io access), so scenarios carry their own small JSON codec: a
+//! recursive-descent parser and a pretty-printer over [`Json`]. Object key order is
+//! preserved, numbers are `f64` (ample for every scenario field), and writing a parsed
+//! document reproduces an equivalent document (round-trip stability is pinned by tests).
+
+use std::fmt;
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse or schema error, with a human-readable message naming the offending path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parse a JSON document. Trailing content after the top-level value is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] describing the first syntax problem.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes: Vec<char> = text.chars().collect();
+        let mut p = Parser { chars: &bytes, pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.chars.len() {
+            return Err(JsonError(format!("trailing content at offset {}", p.pos)));
+        }
+        Ok(value)
+    }
+
+    /// Look up a field of an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A required object field.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] naming the missing field.
+    pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key).ok_or_else(|| JsonError(format!("missing field \"{key}\"")))
+    }
+
+    /// The value as a number.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] if this is not a number.
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            other => Err(JsonError(format!("expected number, found {}", other.kind()))),
+        }
+    }
+
+    /// The value as a non-negative integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] if this is not a non-negative whole number.
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        let n = self.as_f64()?;
+        if n < 0.0 || n.fract() != 0.0 || n > 2f64.powi(53) {
+            return Err(JsonError(format!("expected non-negative integer, found {n}")));
+        }
+        Ok(n as u64)
+    }
+
+    /// The value as a `usize`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] if this is not a non-negative whole number.
+    pub fn as_usize(&self) -> Result<usize, JsonError> {
+        Ok(self.as_u64()? as usize)
+    }
+
+    /// The value as a string slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] if this is not a string.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(JsonError(format!("expected string, found {}", other.kind()))),
+        }
+    }
+
+    /// The value as a bool.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] if this is not a bool.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+
+    /// The node's kind, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// Render the document with 2-space indentation and a trailing newline.
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let pad_in = "  ".repeat(indent + 1);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.push_str(&format_number(*n)),
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\": ");
+                    v.write(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// JSON has no NaN/Infinity: non-finite numbers render as `null`. Whole numbers render
+/// without a decimal point so integers survive a round-trip textually unchanged.
+fn format_number(n: f64) -> String {
+    if !n.is_finite() {
+        return "null".to_string();
+    }
+    if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    chars: &'a [char],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), JsonError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError(format!(
+                "expected '{c}' at offset {}, found {:?}",
+                self.pos,
+                self.peek()
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        for c in word.chars() {
+            self.expect(c)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('n') => self.literal("null", Json::Null),
+            Some('t') => self.literal("true", Json::Bool(true)),
+            Some('f') => self.literal("false", Json::Bool(false)),
+            Some('"') => self.string().map(Json::Str),
+            Some('[') => self.array(),
+            Some('{') => self.object(),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            other => Err(JsonError(format!(
+                "unexpected {:?} at offset {}",
+                other, self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonError("unterminated string".into())),
+                Some('"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some('"') => out.push('"'),
+                        Some('\\') => out.push('\\'),
+                        Some('/') => out.push('/'),
+                        Some('n') => out.push('\n'),
+                        Some('t') => out.push('\t'),
+                        Some('r') => out.push('\r'),
+                        Some('b') => out.push('\u{8}'),
+                        Some('f') => out.push('\u{c}'),
+                        Some('u') => {
+                            let code = self.unicode_escape()?;
+                            if (0xD800..0xDC00).contains(&code) {
+                                // A high surrogate must combine with the following
+                                // `\uXXXX` low surrogate into one non-BMP character.
+                                if self.chars.get(self.pos + 1) != Some(&'\\')
+                                    || self.chars.get(self.pos + 2) != Some(&'u')
+                                {
+                                    return Err(JsonError("unpaired high surrogate".into()));
+                                }
+                                self.pos += 2;
+                                let low = self.unicode_escape()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(JsonError("invalid low surrogate".into()));
+                                }
+                                let combined =
+                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                out.push(char::from_u32(combined).unwrap_or('\u{fffd}'));
+                            } else if (0xDC00..0xE000).contains(&code) {
+                                return Err(JsonError("unpaired low surrogate".into()));
+                            } else {
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
+                        }
+                        other => {
+                            return Err(JsonError(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Read the 4 hex digits of a `\u` escape, with `self.pos` on the `u`; leaves
+    /// `self.pos` on the last digit (the caller's shared `pos += 1` advances past it).
+    fn unicode_escape(&mut self) -> Result<u32, JsonError> {
+        let start = self.pos + 1;
+        if start + 4 > self.chars.len() {
+            return Err(JsonError("truncated \\u escape".into()));
+        }
+        let hex: String = self.chars[start..start + 4].iter().collect();
+        let code = u32::from_str_radix(&hex, 16)
+            .map_err(|_| JsonError(format!("bad \\u escape {hex}")))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-')
+        {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonError(format!("bad number \"{text}\"")))
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => {
+                    self.pos += 1;
+                }
+                Some(']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(JsonError(format!(
+                        "expected ',' or ']' at offset {}, found {other:?}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect('{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => {
+                    self.pos += 1;
+                }
+                Some('}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => {
+                    return Err(JsonError(format!(
+                        "expected ',' or '}}' at offset {}, found {other:?}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("-12.5e2").unwrap(), Json::Num(-1250.0));
+        assert_eq!(Json::parse("\"a\\nb\\\"c\"").unwrap(), Json::Str("a\nb\"c".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let doc = Json::parse(r#"{"a": [1, 2, {"b": "x"}], "c": {}, "d": []}"#).unwrap();
+        assert_eq!(doc.field("a").unwrap(), &Json::Arr(vec![
+            Json::Num(1.0),
+            Json::Num(2.0),
+            Json::Obj(vec![("b".into(), Json::Str("x".into()))]),
+        ]));
+        assert_eq!(doc.field("c").unwrap(), &Json::Obj(vec![]));
+        assert_eq!(doc.field("d").unwrap(), &Json::Arr(vec![]));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("1 2").is_err(), "trailing content");
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_non_bmp_characters() {
+        // "\ud83d\ude80" is the rocket emoji (U+1F680) as emitted by ensure_ascii
+        // serializers (e.g. Python's json.dump).
+        assert_eq!(
+            Json::parse(r#""\ud83d\ude80""#).unwrap(),
+            Json::Str("\u{1F680}".into())
+        );
+        assert_eq!(
+            Json::parse(r#""a\ud83d\ude80b""#).unwrap(),
+            Json::Str("a\u{1F680}b".into())
+        );
+        // Unpaired halves are malformed, not silently replaced.
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+        assert!(Json::parse(r#""\ud83dx""#).is_err());
+        assert!(Json::parse(r#""\ude80""#).is_err());
+        assert!(Json::parse(r#""\ud83dA""#).is_err());
+        // BMP escapes still decode directly.
+        assert_eq!(Json::parse(r#""\u0041""#).unwrap(), Json::Str("A".into()));
+    }
+
+    #[test]
+    fn pretty_print_round_trips() {
+        let doc = Json::parse(
+            r#"{"name": "s", "n": 3, "frac": 0.25, "flag": true, "list": [1, 2.5], "nested": {"k": "v"}}"#,
+        )
+        .unwrap();
+        let text = doc.pretty();
+        let reparsed = Json::parse(&text).unwrap();
+        assert_eq!(doc, reparsed);
+        // Integers stay integers textually.
+        assert!(text.contains("\"n\": 3"), "{text}");
+        assert!(text.contains("\"frac\": 0.25"), "{text}");
+    }
+
+    #[test]
+    fn typed_accessors_enforce_kinds() {
+        let doc = Json::parse(r#"{"n": 3, "s": "x", "b": false, "neg": -1, "half": 0.5}"#).unwrap();
+        assert_eq!(doc.field("n").unwrap().as_usize().unwrap(), 3);
+        assert_eq!(doc.field("s").unwrap().as_str().unwrap(), "x");
+        assert!(!doc.field("b").unwrap().as_bool().unwrap());
+        assert!(doc.field("neg").unwrap().as_u64().is_err());
+        assert!(doc.field("half").unwrap().as_u64().is_err());
+        assert!(doc.field("s").unwrap().as_f64().is_err());
+        assert!(doc.field("missing").is_err());
+    }
+}

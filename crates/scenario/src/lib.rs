@@ -1,0 +1,74 @@
+//! # liveupdate_scenario — one experiment description, three execution engines
+//!
+//! Before this crate the repo had three parallel ways to "run the paper" — the analytic
+//! timeline (`liveupdate::experiment`), the discrete-event multi-replica sim
+//! (`liveupdate::cluster`), and the real multithreaded runtime (`liveupdate_runtime`) —
+//! each with its own config struct, its own result type, and no way to run the *same*
+//! workload + strategy on all three. This crate is the unifying layer:
+//!
+//! ```text
+//!                         ┌──────────────────────────┐
+//!        scenarios/*.json │   Scenario (plain data)  │  Scenario::from_file
+//!                ───────► │ workload · topology ·    │
+//!                         │ policy · horizon · rt    │
+//!                         └────────────┬─────────────┘
+//!                                      │ ExecutionBackend::run
+//!              ┌───────────────────────┼────────────────────────┐
+//!              ▼                       ▼                        ▼
+//!     AnalyticBackend            SimBackend             RealtimeBackend
+//!   (prequential windowed   (event-driven N-replica   (std::thread workers,
+//!    accuracy timeline)      cluster, sparse syncs     open-loop Poisson load,
+//!                            priced on the fabric)     UpdatePolicy on the
+//!                                                      updater thread)
+//!              │                       │                        │
+//!              └───────────────────────┼────────────────────────┘
+//!                                      ▼
+//!                         ┌──────────────────────────┐
+//!                         │      ScenarioReport      │  one schema: AUC timeline,
+//!                         │  (unified result type)   │  QPS, P50/P99, update cost,
+//!                         └──────────────────────────┘  sync bytes, publications
+//! ```
+//!
+//! * [`scenario::Scenario`] — the serializable description. Loadable from JSON
+//!   ([`scenario::Scenario::from_file`]), so new experiments are data, not code. The
+//!   workspace's vendored `serde` is marker-only; scenarios ship their own small codec
+//!   ([`json`]).
+//! * [`backend::ExecutionBackend`] — the engine trait; [`backend::all_backends`] lists
+//!   the three implementations.
+//! * [`report::ScenarioReport`] — the unified result schema (fields an engine cannot
+//!   observe stay `None` rather than being fabricated).
+//!
+//! The legacy entry points (`run_strategy*`, `ServingCluster::run`, `ServingRuntime`)
+//! keep working — the backends are thin adapters over them, and the old config types are
+//! exactly what [`scenario::Scenario::experiment_config`] /
+//! [`scenario::Scenario::cluster_config`] / [`scenario::Scenario::runtime_config`]
+//! project onto.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use liveupdate_scenario::backend::{AnalyticBackend, ExecutionBackend};
+//! use liveupdate_scenario::Scenario;
+//!
+//! let mut scenario = Scenario::small("doc");
+//! scenario.horizon.duration_minutes = 20.0;
+//!
+//! // Scenarios are data: they round-trip through JSON.
+//! let reloaded = Scenario::from_json(&scenario.to_json()).unwrap();
+//! assert_eq!(scenario, reloaded);
+//!
+//! let report = AnalyticBackend.run(&reloaded).unwrap();
+//! assert_eq!(report.timeline.len(), 2);
+//! assert!(report.mean_auc.unwrap() > 0.0);
+//! ```
+
+pub mod backend;
+pub mod json;
+pub mod report;
+pub mod scenario;
+
+pub use backend::{all_backends, AnalyticBackend, ExecutionBackend, RealtimeBackend, SimBackend};
+pub use report::{auc_agreement, BackendKind, ScenarioReport};
+pub use scenario::{
+    HorizonSpec, PolicySpec, RealtimeSpec, Scenario, ScenarioError, TopologySpec, WorkloadSpec,
+};

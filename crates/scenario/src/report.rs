@@ -1,0 +1,210 @@
+//! The unified result schema every execution backend reports into.
+//!
+//! One [`ScenarioReport`] holds the union of what the three engines can measure; fields
+//! an engine cannot observe are `None`/empty rather than fabricated. The analytic
+//! backend fills the freshness timeline and the paper's analytic update cost; the
+//! discrete-event backend adds measured sync traffic; the real-thread backend adds
+//! wall-clock QPS, latency percentiles, and the epoch-swap publication history.
+
+use liveupdate::experiment::TimelinePoint;
+use serde::{Deserialize, Serialize};
+
+/// Which execution engine produced a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// The analytic single-node timeline (`liveupdate::experiment`).
+    Analytic,
+    /// The discrete-event multi-replica cluster (`liveupdate::cluster`).
+    Sim,
+    /// The real multithreaded runtime (`liveupdate_runtime`).
+    Realtime,
+}
+
+impl BackendKind {
+    /// Stable lowercase name used in reports and metric names.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Analytic => "analytic",
+            BackendKind::Sim => "sim",
+            BackendKind::Realtime => "realtime",
+        }
+    }
+}
+
+/// Unified result of running one scenario on one backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Name of the scenario that ran.
+    pub scenario: String,
+    /// The engine that produced this report.
+    pub backend: BackendKind,
+    /// Human-readable strategy name ([`liveupdate::strategy::StrategyKind::name`]).
+    pub strategy: String,
+    /// Prequential freshness timeline (per-window AUC/log-loss). Empty on the
+    /// real-thread backend, whose accuracy fields are end-of-run evaluations instead.
+    pub timeline: Vec<TimelinePoint>,
+    /// Mean AUC. Prequential mean for analytic/sim; end-of-run held-out AUC of the final
+    /// published model for realtime.
+    pub mean_auc: Option<f64>,
+    /// Mean log loss (same provenance as `mean_auc`).
+    pub mean_logloss: Option<f64>,
+    /// Requests served to completion.
+    pub requests_served: u64,
+    /// Requests shed by bounded queues (realtime only; 0 elsewhere).
+    pub dropped: u64,
+    /// Measured wall-clock throughput (realtime only).
+    pub qps: Option<f64>,
+    /// Measured P50 latency in milliseconds (realtime only).
+    pub p50_latency_ms: Option<f64>,
+    /// Measured P99 latency in milliseconds (realtime only).
+    pub p99_latency_ms: Option<f64>,
+    /// Update events performed (training rounds or sync pulls, per the strategy).
+    pub update_events: u64,
+    /// Snapshot publications (epoch swaps on realtime; sparse LoRA syncs on sim).
+    pub publications: u64,
+    /// Mean wall-clock milliseconds per update block (realtime only).
+    pub mean_update_ms: Option<f64>,
+    /// The paper's analytic per-hour update cost for this strategy/cadence, minutes.
+    pub update_cost_minutes_per_hour: f64,
+    /// Parameter bytes synchronised over the horizon: analytic transfer bytes
+    /// (analytic), measured AllGather bytes per rank (sim), or measured shipped-row
+    /// bytes (realtime).
+    pub sync_bytes: u64,
+    /// `(epoch, checksum)` publication history (realtime only).
+    pub publication_history: Vec<(u64, u64)>,
+    /// Final LoRA adapter memory in bytes (local-training strategies only).
+    pub lora_memory_bytes: Option<u64>,
+}
+
+impl ScenarioReport {
+    /// An empty report skeleton for `scenario` on `backend` running `strategy`.
+    #[must_use]
+    pub fn new(scenario: &str, backend: BackendKind, strategy: &str) -> Self {
+        Self {
+            scenario: scenario.to_string(),
+            backend,
+            strategy: strategy.to_string(),
+            timeline: Vec::new(),
+            mean_auc: None,
+            mean_logloss: None,
+            requests_served: 0,
+            dropped: 0,
+            qps: None,
+            p50_latency_ms: None,
+            p99_latency_ms: None,
+            update_events: 0,
+            publications: 0,
+            mean_update_ms: None,
+            update_cost_minutes_per_hour: 0.0,
+            sync_bytes: 0,
+            publication_history: Vec::new(),
+            lora_memory_bytes: None,
+        }
+    }
+
+    /// One human-readable summary row (used by `examples/scenario_compare.rs`).
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        fn opt(v: Option<f64>) -> String {
+            v.map_or_else(|| "-".to_string(), |v| format!("{v:.3}"))
+        }
+        format!(
+            "{:<9} {:<15} auc={} qps={} p50={} p99={} updates={} pubs={} cost={:.3}min/h sync={}B",
+            self.backend.name(),
+            self.strategy,
+            opt(self.mean_auc),
+            self.qps.map_or_else(|| "-".to_string(), |v| format!("{v:.0}")),
+            opt(self.p50_latency_ms),
+            opt(self.p99_latency_ms),
+            self.update_events,
+            self.publications,
+            self.update_cost_minutes_per_hour,
+            self.sync_bytes,
+        )
+    }
+
+    /// Machine-readable metric rows `(name, value, unit)` with names prefixed
+    /// `"<backend>_<strategy>_"`; the bench harness maps these straight onto
+    /// `BenchMetric`s for `BENCH_scenario.json`.
+    #[must_use]
+    pub fn metric_rows(&self) -> Vec<(String, f64, &'static str)> {
+        let prefix = format!(
+            "{}_{}",
+            self.backend.name(),
+            self.strategy.to_lowercase().replace(['-', '%'], "")
+        );
+        let mut rows = vec![
+            (format!("{prefix}_requests"), self.requests_served as f64, "requests"),
+            (format!("{prefix}_update_events"), self.update_events as f64, "events"),
+            (
+                format!("{prefix}_update_cost"),
+                self.update_cost_minutes_per_hour,
+                "minutes/hour",
+            ),
+            (format!("{prefix}_sync_bytes"), self.sync_bytes as f64, "bytes"),
+        ];
+        if let Some(auc) = self.mean_auc {
+            rows.push((format!("{prefix}_mean_auc"), auc, "auc"));
+        }
+        if let Some(qps) = self.qps {
+            rows.push((format!("{prefix}_qps"), qps, "requests/s"));
+        }
+        if let Some(p99) = self.p99_latency_ms {
+            rows.push((format!("{prefix}_p99"), p99, "ms"));
+        }
+        rows
+    }
+}
+
+/// Absolute difference of the two reports' mean AUC, when both backends report one —
+/// the sim-vs-analytic (and sim-vs-real) agreement number the parity tests pin.
+#[must_use]
+pub fn auc_agreement(a: &ScenarioReport, b: &ScenarioReport) -> Option<f64> {
+    match (a.mean_auc, b.mean_auc) {
+        (Some(x), Some(y)) => Some((x - y).abs()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_names_are_stable() {
+        assert_eq!(BackendKind::Analytic.name(), "analytic");
+        assert_eq!(BackendKind::Sim.name(), "sim");
+        assert_eq!(BackendKind::Realtime.name(), "realtime");
+    }
+
+    #[test]
+    fn summary_line_renders_missing_fields_as_dashes() {
+        let r = ScenarioReport::new("s", BackendKind::Analytic, "LiveUpdate");
+        let line = r.summary_line();
+        assert!(line.contains("analytic"));
+        assert!(line.contains("qps=-"));
+    }
+
+    #[test]
+    fn metric_rows_are_prefixed_and_sanitised() {
+        let mut r = ScenarioReport::new("s", BackendKind::Realtime, "QuickUpdate-5%");
+        r.qps = Some(100.0);
+        r.p99_latency_ms = Some(2.0);
+        r.mean_auc = Some(0.6);
+        let rows = r.metric_rows();
+        assert!(rows.iter().all(|(n, _, _)| n.starts_with("realtime_quickupdate5_")));
+        assert!(rows.iter().any(|(n, _, _)| n.ends_with("_qps")));
+        assert!(rows.iter().any(|(n, _, _)| n.ends_with("_p99")));
+    }
+
+    #[test]
+    fn agreement_requires_both_aucs() {
+        let mut a = ScenarioReport::new("s", BackendKind::Analytic, "LiveUpdate");
+        let mut b = ScenarioReport::new("s", BackendKind::Sim, "LiveUpdate");
+        assert_eq!(auc_agreement(&a, &b), None);
+        a.mean_auc = Some(0.7);
+        b.mean_auc = Some(0.65);
+        assert!((auc_agreement(&a, &b).unwrap() - 0.05).abs() < 1e-12);
+    }
+}

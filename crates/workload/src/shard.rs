@@ -75,14 +75,25 @@ impl StreamSharder {
         self.policy
     }
 
+    /// Stateless hash route of `sample` over `num_shards` — the [`ShardPolicy::HashByUser`]
+    /// rule as a free function, so lock-free routers (e.g. the runtime's `Router`) can
+    /// apply it from a shared reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards == 0`.
+    #[must_use]
+    pub fn hash_route(sample: &Sample, num_shards: usize) -> usize {
+        assert!(num_shards > 0, "at least one shard is required");
+        let ids = sample.sparse.first().map_or(&[][..], Vec::as_slice);
+        (fnv1a(ids) % num_shards as u64) as usize
+    }
+
     /// The shard the next occurrence of `sample` is routed to. Round-robin advances the
     /// rotation; hashing is stateless.
     pub fn shard_of(&mut self, sample: &Sample) -> usize {
         match self.policy {
-            ShardPolicy::HashByUser => {
-                let ids = sample.sparse.first().map_or(&[][..], Vec::as_slice);
-                (fnv1a(ids) % self.num_shards as u64) as usize
-            }
+            ShardPolicy::HashByUser => Self::hash_route(sample, self.num_shards),
             ShardPolicy::RoundRobin => {
                 let shard = self.next_round_robin;
                 self.next_round_robin = (self.next_round_robin + 1) % self.num_shards;

@@ -54,6 +54,9 @@ fn run_arm(label: &str, update: UpdateMode, workers: usize, qps: f64, seconds: f
             queue_capacity: 4096,
             max_batch: 32,
             batch_deadline_us: 1_000,
+            // Round-robin preserves the balanced per-queue load the interference
+            // numbers of earlier PRs were measured under.
+            routing: liveupdate_repro::workload::shard::ShardPolicy::RoundRobin,
             update,
         },
     );

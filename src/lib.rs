@@ -11,6 +11,9 @@
 //! * [`core`] — the LiveUpdate system itself plus the baseline update strategies.
 //! * [`runtime`] — the real `std::thread` serving runtime: open-loop Poisson load
 //!   generation, deadline batching, epoch-swap LoRA publication, measured QPS/P99.
+//! * [`scenario`] — the unified scenario/backend API: one serializable experiment
+//!   description executed by three engines (analytic, discrete-event sim, real threads)
+//!   into one report schema.
 //!
 //! # Quickstart
 //!
@@ -25,5 +28,6 @@ pub use liveupdate as core;
 pub use liveupdate_dlrm as dlrm;
 pub use liveupdate_linalg as linalg;
 pub use liveupdate_runtime as runtime;
+pub use liveupdate_scenario as scenario;
 pub use liveupdate_sim as sim;
 pub use liveupdate_workload as workload;

@@ -1,0 +1,117 @@
+//! Integration tests of the unified scenario/backend API: JSON round-trips drive
+//! identical runs, the analytic and discrete-event backends agree on accuracy, and every
+//! strategy of the paper's taxonomy executes on the real-thread backend.
+
+use liveupdate_repro::core::strategy::StrategyKind;
+use liveupdate_repro::scenario::{
+    all_backends, auc_agreement, AnalyticBackend, BackendKind, ExecutionBackend, RealtimeBackend,
+    Scenario, SimBackend,
+};
+
+/// A scenario small enough that all three backends finish in a few seconds combined.
+fn tiny(name: &str) -> Scenario {
+    let mut s = Scenario::small(name);
+    s.horizon.duration_minutes = 20.0;
+    s.horizon.requests_per_window = 96;
+    s.policy.online_rounds_per_window = 3;
+    s.policy.online_batch_size = 48;
+    s.realtime.wall_seconds = 0.4;
+    s.realtime.target_qps = 500.0;
+    s.realtime.update_interval_ms = 50;
+    s
+}
+
+#[test]
+fn scenario_file_round_trip_drives_an_identical_run() {
+    let scenario = tiny("round_trip");
+    let dir = std::env::temp_dir().join(format!("liveupdate_scenario_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("round_trip.json");
+
+    scenario.to_file(&path).unwrap();
+    let reloaded = Scenario::from_file(&path).unwrap();
+    assert_eq!(scenario, reloaded, "serialize → parse must be the identity");
+
+    // The deterministic analytic backend must produce bit-identical reports for the
+    // original and the reloaded description.
+    let a = AnalyticBackend.run(&scenario).unwrap();
+    let b = AnalyticBackend.run(&reloaded).unwrap();
+    assert_eq!(a, b);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shipped_scenario_files_parse_and_validate() {
+    for file in ["quick_compare.json", "criteo_cluster.json"] {
+        let path = format!("{}/scenarios/{file}", env!("CARGO_MANIFEST_DIR"));
+        let scenario = Scenario::from_file(&path).unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert!(scenario.validate().is_ok(), "{file} must validate");
+    }
+}
+
+#[test]
+fn analytic_and_sim_backends_agree_on_accuracy() {
+    // One replica: the event-driven cluster serves the identical stream the analytic
+    // driver replays, so the prequential AUC must land in the same place. (The drivers
+    // interleave training and syncs slightly differently, hence a tolerance rather than
+    // equality.)
+    let mut scenario = tiny("parity");
+    scenario.topology.replicas = 1;
+    let analytic = AnalyticBackend.run(&scenario).unwrap();
+    let sim = SimBackend.run(&scenario).unwrap();
+    assert_eq!(analytic.timeline.len(), sim.timeline.len());
+    let delta = auc_agreement(&analytic, &sim).expect("both report AUC");
+    assert!(delta < 0.1, "analytic vs sim mean AUC differ by {delta} (>= 0.1)");
+}
+
+#[test]
+fn one_scenario_runs_unmodified_on_all_three_backends() {
+    let scenario = tiny("all_backends");
+    for backend in all_backends() {
+        let report = backend
+            .run(&scenario)
+            .unwrap_or_else(|e| panic!("{} backend failed: {e}", backend.name()));
+        assert_eq!(report.scenario, "all_backends");
+        assert_eq!(report.strategy, "LiveUpdate");
+        assert!(report.requests_served > 0, "{} served no traffic", backend.name());
+        assert!(
+            report.mean_auc.is_some(),
+            "{} reported no accuracy",
+            backend.name()
+        );
+    }
+}
+
+#[test]
+fn realtime_backend_runs_every_strategy_of_the_taxonomy() {
+    for strategy in [
+        StrategyKind::LiveUpdate,
+        StrategyKind::QuickUpdate { fraction: 0.05 },
+        StrategyKind::DeltaUpdate,
+    ] {
+        let scenario = tiny("realtime_smoke").with_strategy(strategy);
+        let report = RealtimeBackend
+            .run(&scenario)
+            .unwrap_or_else(|e| panic!("{}: {e}", strategy.name()));
+        assert_eq!(report.backend, BackendKind::Realtime);
+        assert_eq!(report.strategy, strategy.name());
+        assert!(report.requests_served > 0, "{}: no traffic served", strategy.name());
+        assert!(report.qps.unwrap() > 0.0);
+        assert!(report.p99_latency_ms.is_some());
+        assert!(
+            report.publications > 0,
+            "{}: the updater never published an epoch",
+            strategy.name()
+        );
+        if strategy.trains_locally() {
+            assert_eq!(report.sync_bytes, 0, "LiveUpdate ships no parameters");
+            assert!(report.lora_memory_bytes.unwrap() > 0);
+        } else {
+            assert!(
+                report.sync_bytes > 0,
+                "{}: a parameter-shipping strategy must move bytes",
+                strategy.name()
+            );
+        }
+    }
+}
