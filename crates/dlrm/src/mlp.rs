@@ -166,6 +166,27 @@ impl DenseLayer {
         )
     }
 
+    /// Append the layer's parameters to `out` in the canonical flat order (all weights
+    /// row-major, then all biases) — the inverse of [`Self::import_params`].
+    pub fn export_params(&self, out: &mut Vec<f64>) {
+        out.extend_from_slice(&self.weights);
+        out.extend_from_slice(&self.bias);
+    }
+
+    /// Overwrite the layer's parameters from the canonical flat order produced by
+    /// [`Self::export_params`], consuming exactly [`Self::parameter_count`] values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` holds fewer values than this layer needs.
+    pub fn import_params(&mut self, params: &mut &[f64]) {
+        let (w, rest) = params.split_at(self.weights.len());
+        let (b, rest) = rest.split_at(self.bias.len());
+        self.weights.copy_from_slice(w);
+        self.bias.copy_from_slice(b);
+        *params = rest;
+    }
+
     /// Apply an SGD step with the given gradient.
     ///
     /// # Panics
@@ -324,6 +345,26 @@ impl Mlp {
                     bias: vec![0.0; l.bias.len()],
                 })
                 .collect(),
+        }
+    }
+
+    /// Append every layer's parameters to `out` in forward layer order (per layer:
+    /// weights row-major, then biases) — the flat encoding full-model shipment uses.
+    pub fn export_params(&self, out: &mut Vec<f64>) {
+        for layer in &self.layers {
+            layer.export_params(out);
+        }
+    }
+
+    /// Overwrite every layer's parameters from the flat order of [`Self::export_params`],
+    /// consuming exactly [`Self::parameter_count`] values from the front of `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` holds fewer values than this MLP needs.
+    pub fn import_params(&mut self, params: &mut &[f64]) {
+        for layer in &mut self.layers {
+            layer.import_params(params);
         }
     }
 

@@ -248,6 +248,49 @@ impl DlrmModel {
             + self.tables.iter().map(EmbeddingTable::parameter_count).sum::<usize>()
     }
 
+    /// Every trainable parameter as one flat vector in the canonical order: embedding
+    /// tables (row-major, table 0 first), then the bottom MLP, then the top MLP. This is
+    /// the payload of a full-model shipment over the wire; [`Self::import_parameters`]
+    /// is the exact inverse, so `export → import` between two models of the same
+    /// geometry makes them predict identically.
+    #[must_use]
+    pub fn export_parameters(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.parameter_count());
+        for table in &self.tables {
+            out.extend_from_slice(table.as_slice());
+        }
+        self.bottom.export_params(&mut out);
+        self.top.export_params(&mut out);
+        out
+    }
+
+    /// Overwrite every trainable parameter from the flat order of
+    /// [`Self::export_parameters`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.parameter_count()` — callers shipping parameters
+    /// across a trust boundary must length-check first.
+    pub fn import_parameters(&mut self, params: &[f64]) {
+        assert_eq!(
+            params.len(),
+            self.parameter_count(),
+            "parameter vector length must match the model geometry"
+        );
+        let mut rest = params;
+        for table in &mut self.tables {
+            let dim = table.dim();
+            for row in 0..table.num_rows() {
+                let (values, tail) = rest.split_at(dim);
+                table.row_mut(row).copy_from_slice(values);
+                rest = tail;
+            }
+        }
+        self.bottom.import_params(&mut rest);
+        self.top.import_params(&mut rest);
+        debug_assert!(rest.is_empty(), "every parameter consumed");
+    }
+
     /// Forward pass computing the click logit, optionally overriding the pooled embedding
     /// of some tables (this is how the LiveUpdate engine injects `W_base[i] + A[i]·B`).
     fn forward_with_embeddings(&self, sample: &Sample, pooled: &[Vec<f64>]) -> ForwardCache {
@@ -590,6 +633,38 @@ mod tests {
         assert!((base - same).abs() < 1e-12);
         let different = model.predict_with_pooled(&sample, &[vec![10.0, -10.0, 10.0, -10.0]]);
         assert!((different - base).abs() > 1e-9, "a very different embedding must change the output");
+    }
+
+    #[test]
+    fn parameter_export_import_round_trips_between_models() {
+        let cfg = config();
+        let mut source = DlrmModel::new(cfg.clone(), 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let batch = MiniBatch::new((0..32).map(|_| random_sample(&mut rng, &cfg, 1.0)).collect());
+        // Move the source away from its initialisation so the transfer is observable.
+        for _ in 0..5 {
+            source.train_batch(&batch);
+        }
+        let params = source.export_parameters();
+        assert_eq!(params.len(), source.parameter_count());
+
+        let mut target = DlrmModel::new(cfg, 99);
+        let probe = batch.samples[0].clone();
+        assert!((source.predict(&probe) - target.predict(&probe)).abs() > 1e-12);
+        target.import_parameters(&params);
+        // Every trainable parameter moved (optimizer accumulators deliberately do not
+        // ship), so predictions agree bit-for-bit and re-export is the identity.
+        for sample in batch.iter() {
+            assert_eq!(target.predict(sample), source.predict(sample));
+        }
+        assert_eq!(target.export_parameters(), params);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter vector length")]
+    fn import_rejects_wrong_length() {
+        let mut model = DlrmModel::new(config(), 1);
+        model.import_parameters(&[0.0; 3]);
     }
 
     #[test]

@@ -338,6 +338,39 @@ impl ServingNode {
         }
     }
 
+    /// The node's current LoRA support: every `(table, row)` index with an active `A`
+    /// row, in ascending order. This is what a cross-node synchroniser (in-process
+    /// [`crate::sync::SparseLoraSync`] or a socket-based driver) gathers from each
+    /// replica before computing the priority merge.
+    #[must_use]
+    pub fn lora_support(&self) -> Vec<(usize, usize)> {
+        let mut support = Vec::new();
+        for (table, lora) in self.loras.iter().enumerate() {
+            for row in lora.active_indices() {
+                support.push((table, row));
+            }
+        }
+        support
+    }
+
+    /// Apply one shipped base-embedding row (the wire form of the QuickUpdate-α% pull):
+    /// overwrite `(table, row)` of the frozen base model with `values` and rematerialise
+    /// the serving view — keeping any live LoRA correction applied on top, exactly like
+    /// [`Self::partial_sync`] does when it holds the whole source model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table`/`row` is out of bounds or `values.len()` is not the embedding
+    /// dimension.
+    pub fn apply_embedding_row_pull(&mut self, table: usize, row: usize, values: &[f64]) {
+        self.base_model.tables_mut()[table].set_row(row, values);
+        if self.loras[table].is_active(row) {
+            self.refresh_serving_row(table, row);
+        } else {
+            self.serving_model.tables_mut()[table].set_row(row, values);
+        }
+    }
+
     /// Export the LoRA `A` row of `(table, row)`: the active row, or zeros at the table's
     /// current rank. This is what a [`crate::sync::SparseLoraSync`] merge ships to peers.
     ///
@@ -636,6 +669,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn lora_support_lists_active_rows_across_tables() {
+        let mut n = node();
+        assert!(n.lora_support().is_empty());
+        n.import_lora_row(0, 5, vec![1.0; 4]);
+        n.import_lora_row(1, 9, vec![1.0; 4]);
+        n.import_lora_row(0, 2, vec![1.0; 4]);
+        assert_eq!(n.lora_support(), vec![(0, 2), (0, 5), (1, 9)]);
+    }
+
+    #[test]
+    fn apply_embedding_row_pull_moves_base_and_serving() {
+        let mut n = node();
+        let fresh = vec![0.25; 8];
+        // Inactive row: the serving view takes the shipped values verbatim.
+        n.apply_embedding_row_pull(0, 7, &fresh);
+        assert_eq!(n.base_model.table(0).row(7), &fresh[..]);
+        assert_eq!(n.serving_model().table(0).row(7), &fresh[..]);
+        // Active LoRA row: the correction stays applied on top of the new base.
+        n.import_lora_row(0, 3, vec![1.0; 4]);
+        n.apply_embedding_row_pull(0, 3, &fresh);
+        assert_eq!(n.base_model.table(0).row(3), &fresh[..]);
+        let expected = n.loras[0].effective_row(3, &fresh);
+        assert_eq!(n.serving_model().table(0).row(3), &expected[..]);
+        assert_ne!(n.serving_model().table(0).row(3), &fresh[..]);
     }
 
     #[test]

@@ -56,10 +56,23 @@ pub fn model_checksum(model: &DlrmModel, steps: u64) -> u64 {
 /// [`ServingNode::serve_batch`](crate::engine::ServingNode::serve_batch): predict every
 /// sample and count the lookups that take the LoRA-corrected path. Touches no state.
 pub(crate) fn readonly_serve(model: &DlrmModel, hot: &HotIndexFilter, batch: &MiniBatch) -> ServeReport {
+    readonly_serve_with_predictions(model, hot, batch).0
+}
+
+/// [`readonly_serve`] that also returns the per-sample predictions in batch order — what
+/// a transport tier (e.g. the TCP replica server) replies to each caller with.
+pub(crate) fn readonly_serve_with_predictions(
+    model: &DlrmModel,
+    hot: &HotIndexFilter,
+    batch: &MiniBatch,
+) -> (ServeReport, Vec<f64>) {
     let mut corrected = 0usize;
     let mut prediction_sum = 0.0;
+    let mut predictions = Vec::with_capacity(batch.len());
     for sample in batch.iter() {
-        prediction_sum += model.predict(sample);
+        let p = model.predict(sample);
+        prediction_sum += p;
+        predictions.push(p);
         for (table_idx, ids) in sample.sparse.iter().enumerate() {
             for &id in ids {
                 if hot.is_hot(table_idx, id) {
@@ -68,7 +81,7 @@ pub(crate) fn readonly_serve(model: &DlrmModel, hot: &HotIndexFilter, batch: &Mi
             }
         }
     }
-    ServeReport {
+    let report = ServeReport {
         requests: batch.len(),
         lora_corrected_lookups: corrected,
         mean_prediction: if batch.is_empty() {
@@ -76,7 +89,8 @@ pub(crate) fn readonly_serve(model: &DlrmModel, hot: &HotIndexFilter, batch: &Mi
         } else {
             prediction_sum / batch.len() as f64
         },
-    }
+    };
+    (report, predictions)
 }
 
 /// An immutable, self-checksummed copy of a node's serving state.
@@ -142,6 +156,14 @@ impl ServingSnapshot {
     #[must_use]
     pub fn serve_batch(&self, batch: &MiniBatch) -> ServeReport {
         readonly_serve(&self.serving_model, &self.hot_filter, batch)
+    }
+
+    /// [`Self::serve_batch`] that also returns the per-sample predictions in batch
+    /// order, for callers (such as the runtime's workers answering TCP requests) that
+    /// must hand each prediction back to its submitter.
+    #[must_use]
+    pub fn serve_batch_with_predictions(&self, batch: &MiniBatch) -> (ServeReport, Vec<f64>) {
+        readonly_serve_with_predictions(&self.serving_model, &self.hot_filter, batch)
     }
 
     /// Evaluate the snapshot on a labelled batch: `(AUC, mean log loss)`.

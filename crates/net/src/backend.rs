@@ -1,0 +1,148 @@
+//! The fourth execution engine: scenarios on real localhost TCP sockets.
+//!
+//! [`DistributedBackend`] implements [`ExecutionBackend`], so every
+//! `scenarios/*.json` that runs on the analytic, discrete-event, and real-thread
+//! engines runs here unchanged — except that `topology.replicas` now means real
+//! [`ReplicaServer`](crate::server::ReplicaServer)s behind TCP listeners, the request
+//! path crosses a real network boundary, and the strategy's sync traffic is measured
+//! as bytes on the wire ([`SyncProvenance::MeasuredWire`]).
+//!
+//! The run protocol deliberately mirrors
+//! [`RealtimeBackend`](liveupdate_scenario::RealtimeBackend) — identical Day-1
+//! checkpoint, identical retention-buffer prefill (every replica starts from the same
+//! state), identical held-out end-of-run evaluation — so the N=1 distributed run is the
+//! realtime run plus a socket, and the parity test can pin the two engines' accuracy
+//! against each other.
+
+use crate::driver::{run_distributed, DistributedConfig};
+use liveupdate::experiment::warmed_up_model;
+use liveupdate::strategy::cost::UpdateCostModel;
+use liveupdate_runtime::loadgen::LoadGenConfig;
+use liveupdate_scenario::{
+    BackendKind, ExecutionBackend, Scenario, ScenarioReport, SyncProvenance,
+};
+use std::time::Duration;
+
+/// The realtime engine's generator pool size: the two engines must cycle the same
+/// request pool and skip the same served region before drawing the held-out probe, or
+/// the N=1 parity test would compare evaluations on different data.
+fn sample_pool() -> usize {
+    LoadGenConfig::default().sample_pool
+}
+
+/// The TCP multi-replica execution engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DistributedBackend;
+
+impl ExecutionBackend for DistributedBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Distributed
+    }
+
+    fn run(&self, scenario: &Scenario) -> Result<ScenarioReport, liveupdate::error::ConfigError> {
+        scenario.validate()?;
+        let exp = scenario.experiment_config();
+        let strategy = scenario.policy.strategy;
+        let replicas = scenario.topology.replicas;
+
+        // Identical Day-1 checkpoint to the other backends: same warm-up, same stream.
+        let (day1_model, workload) = warmed_up_model(&exp);
+        let mut prefill_workload = workload.clone();
+        let prefill = prefill_workload.batch_at(exp.warmup_minutes, exp.requests_per_window);
+        let nodes: Vec<_> = (0..replicas)
+            .map(|_| {
+                let mut node =
+                    liveupdate::engine::ServingNode::new(day1_model.clone(), exp.liveupdate);
+                // Pre-fill the retention buffer so the first update block has data.
+                node.serve_batch(exp.warmup_minutes, &prefill);
+                node
+            })
+            .collect();
+
+        let cfg = DistributedConfig {
+            replicas,
+            routing: scenario.topology.routing,
+            runtime: scenario.runtime_config(),
+            strategy,
+            update_interval: Duration::from_millis(scenario.realtime.update_interval_ms),
+            rounds_per_update: scenario.realtime.rounds_per_update,
+            online_batch_size: scenario.policy.online_batch_size,
+            training_batch_size: scenario.horizon.training_batch_size,
+            full_sync_every_ticks: scenario.full_sync_every_ticks(),
+            target_qps: scenario.realtime.target_qps,
+            duration: Duration::from_secs_f64(scenario.realtime.wall_seconds),
+            start_minutes: exp.warmup_minutes,
+            seed: scenario.seed,
+            sample_pool: sample_pool(),
+        };
+        let mut driving_workload = workload.clone();
+        let (run, final_nodes) = run_distributed(nodes, &day1_model, &mut driving_workload, &cfg)
+            .map_err(|e| {
+                // Socket setup failing is an environment problem, but the trait's error
+                // type is ConfigError; surface it as the closest constraint violation.
+                eprintln!("distributed backend socket setup failed: {e}");
+                liveupdate::error::ConfigError::Constraint {
+                    field: "scenario.topology.replicas",
+                    requirement: "localhost TCP sockets must be available",
+                }
+            })?;
+
+        // End-of-run freshness, same protocol as the realtime backend: skip past every
+        // sample the run could have served or trained on, then probe each replica's
+        // final authoritative model on held-out traffic and average.
+        let eval_minutes = exp.warmup_minutes + exp.window_minutes / 2.0;
+        let mut eval_workload = workload;
+        let _served_region =
+            eval_workload.batch_at(eval_minutes, exp.requests_per_window + sample_pool());
+        let eval_batch = eval_workload.batch_at(eval_minutes, exp.requests_per_window);
+        let mut auc_sum = 0.0;
+        let mut auc_count = 0usize;
+        let mut logloss_sum = 0.0;
+        for node in &final_nodes {
+            let (auc, logloss) = node.evaluate(&eval_batch);
+            if let Some(auc) = auc {
+                auc_sum += auc;
+                auc_count += 1;
+            }
+            logloss_sum += logloss;
+        }
+
+        let model = UpdateCostModel::default();
+        let cost = model.hourly_cost(
+            strategy,
+            &scenario.dataset_preset().spec(),
+            scenario.policy.update_interval_minutes,
+        );
+
+        let mut report = ScenarioReport::new(&scenario.name, self.kind(), &strategy.name());
+        report.mean_auc = if auc_count > 0 { Some(auc_sum / auc_count as f64) } else { None };
+        report.mean_logloss = Some(logloss_sum / final_nodes.len().max(1) as f64);
+        report.requests_served = run.completed;
+        report.dropped = run.shed;
+        report.qps = Some(run.qps);
+        report.p50_latency_ms = run.latency.p50();
+        report.p99_latency_ms = run.latency.p99();
+        report.update_events = run.update_events;
+        report.publications = run.publications;
+        report.update_cost_minutes_per_hour = cost.cost_minutes;
+        report.sync_bytes = run.param_sync_bytes;
+        report.lora_sync_bytes = run.lora_sync_bytes;
+        report.sync_provenance = SyncProvenance::MeasuredWire;
+        report.publication_history = run.publication_history;
+        report.lora_memory_bytes = if strategy.trains_locally() {
+            Some(final_nodes.iter().map(|n| n.lora_memory_bytes() as u64).sum())
+        } else {
+            None
+        };
+        Ok(report)
+    }
+}
+
+/// Every engine including the TCP tier, in fidelity order — the superset of
+/// [`liveupdate_scenario::all_backends`].
+#[must_use]
+pub fn all_backends_with_distributed() -> Vec<Box<dyn ExecutionBackend>> {
+    let mut backends = liveupdate_scenario::all_backends();
+    backends.push(Box::new(DistributedBackend));
+    backends
+}

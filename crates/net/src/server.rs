@@ -1,0 +1,397 @@
+//! The replica server: one [`ServingRuntime`] behind a localhost TCP listener.
+//!
+//! A [`ReplicaServer`] is the paper's inference node made network-addressable. Inference
+//! frames flow into the runtime's worker queues exactly like in-process submissions (the
+//! worker delivers each prediction back through the connection's writer), and control
+//! frames — sparse LoRA row exchange, `B`-factor broadcast, top-changed-row pulls,
+//! full-model pulls, publication — execute against the authoritative node via
+//! [`ServingRuntime::with_node`], so they serialise with the updater's own blocks and
+//! never add a lock to the serve path.
+//!
+//! Threading: one non-blocking accept loop plus, per connection, a reader thread (frame
+//! dispatch) and a writer thread (all outbound frames funnel through one channel, so
+//! worker replies and control acknowledgements never interleave mid-frame). Lifecycle
+//! and reporting stay in-process: [`ReplicaServer::shutdown`] unblocks every connection,
+//! joins the threads, and returns the runtime's measured report plus the final node —
+//! the sockets are the data path, not the management plane.
+
+use crate::wire::{read_frame, write_frame, Frame, LoraRowUpdate, WireError};
+use liveupdate::engine::ServingNode;
+use liveupdate::sync::LoraPeer;
+use liveupdate_runtime::config::RuntimeConfig;
+use liveupdate_runtime::policy::UpdatePolicy;
+use liveupdate_runtime::report::RuntimeReport;
+use liveupdate_runtime::request::ReplyTo;
+use liveupdate_runtime::runtime::{ServingRuntime, SubmitOutcome};
+use std::collections::HashMap;
+use std::io::BufWriter;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Byte counters of one replica server, accounted at the socket (sums of real frame
+/// lengths, read + written).
+#[derive(Debug, Default)]
+pub struct ServerBytes {
+    /// Inference traffic (requests in, replies/sheds out).
+    pub infer: AtomicU64,
+    /// Control traffic (everything else).
+    pub control: AtomicU64,
+}
+
+/// A running TCP replica: listener + connection threads around one [`ServingRuntime`].
+pub struct ReplicaServer {
+    addr: SocketAddr,
+    runtime: Arc<ServingRuntime>,
+    stop: Arc<AtomicBool>,
+    /// Open connections by id, so `shutdown` can force blocked readers out. Handlers
+    /// remove their entry on exit — connection churn must not grow the registry.
+    live_streams: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    accept_thread: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    bytes: Arc<ServerBytes>,
+}
+
+impl std::fmt::Debug for ReplicaServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaServer").field("addr", &self.addr).finish()
+    }
+}
+
+impl ReplicaServer {
+    /// Start a replica serving `node` on an OS-assigned localhost port. The runtime's
+    /// worker topology comes from `cfg`; `policy` drives the updater thread at
+    /// `interval` (`None` = ingest-only, the arrangement parameter-pull strategies use —
+    /// their updates arrive as control frames instead).
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener-creation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime configuration is invalid.
+    pub fn start(
+        node: ServingNode,
+        cfg: RuntimeConfig,
+        interval: Duration,
+        policy: Option<Box<dyn UpdatePolicy>>,
+    ) -> std::io::Result<Self> {
+        let runtime = Arc::new(ServingRuntime::start_with_policy(node, cfg, interval, policy));
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let live_streams: Arc<Mutex<HashMap<u64, TcpStream>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let bytes = Arc::new(ServerBytes::default());
+
+        let accept_runtime = Arc::clone(&runtime);
+        let accept_stop = Arc::clone(&stop);
+        let accept_streams = Arc::clone(&live_streams);
+        let accept_bytes = Arc::clone(&bytes);
+        let accept_thread = thread::Builder::new()
+            .name(format!("lu-net-accept-{}", addr.port()))
+            .spawn(move || {
+                let mut handlers = Vec::new();
+                let mut next_conn_id = 0u64;
+                while !accept_stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let _ = stream.set_nodelay(true);
+                            let conn_id = next_conn_id;
+                            next_conn_id += 1;
+                            if let Ok(registered) = stream.try_clone() {
+                                accept_streams
+                                    .lock()
+                                    .expect("stream registry")
+                                    .insert(conn_id, registered);
+                            }
+                            let runtime = Arc::clone(&accept_runtime);
+                            let bytes = Arc::clone(&accept_bytes);
+                            let registry = Arc::clone(&accept_streams);
+                            handlers.push(
+                                thread::Builder::new()
+                                    .name("lu-net-conn".into())
+                                    .spawn(move || {
+                                        handle_connection(stream, &runtime, &bytes);
+                                        registry.lock().expect("stream registry").remove(&conn_id);
+                                    })
+                                    .expect("spawn connection handler"),
+                            );
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                handlers
+            })
+            .expect("spawn accept thread");
+
+        Ok(Self {
+            addr,
+            runtime,
+            stop,
+            live_streams,
+            accept_thread: Some(accept_thread),
+            bytes,
+        })
+    }
+
+    /// The address the replica listens on (`127.0.0.1:<os-assigned port>`).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Socket-accounted byte counters.
+    #[must_use]
+    pub fn bytes(&self) -> &ServerBytes {
+        &self.bytes
+    }
+
+    /// Stop accepting, unblock and join every connection, shut the runtime down, and
+    /// return its measured report plus the final authoritative node. Clients should
+    /// close (or `Bye`) their connections first; any still-open socket is forcibly shut
+    /// so the join cannot hang.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a server or runtime thread panicked.
+    #[must_use]
+    pub fn shutdown(mut self) -> (RuntimeReport, ServingNode) {
+        self.stop.store(true, Ordering::Release);
+        // Force every still-open connection closed; blocked readers see EOF/error.
+        for (_, stream) in self.live_streams.lock().expect("stream registry").drain() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let handlers = self
+            .accept_thread
+            .take()
+            .expect("accept thread present")
+            .join()
+            .expect("accept thread panicked");
+        for handler in handlers {
+            handler.join().expect("connection handler panicked");
+        }
+        let runtime = Arc::try_unwrap(self.runtime).expect("every handler released the runtime");
+        runtime.finish()
+    }
+}
+
+/// Serve one connection until EOF/`Bye`/error: dispatch inference frames into the
+/// runtime, execute control frames against the authoritative node, and funnel every
+/// outbound frame through the single writer thread.
+fn handle_connection(stream: TcpStream, runtime: &Arc<ServingRuntime>, bytes: &Arc<ServerBytes>) {
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (out_tx, out_rx) = channel::<Frame>();
+    let writer_bytes = Arc::clone(bytes);
+    let writer = thread::Builder::new()
+        .name("lu-net-writer".into())
+        .spawn(move || {
+            let mut w = BufWriter::new(write_half);
+            while let Ok(frame) = out_rx.recv() {
+                let counter = if matches!(frame, Frame::InferReply { .. } | Frame::InferShed { .. })
+                {
+                    &writer_bytes.infer
+                } else {
+                    &writer_bytes.control
+                };
+                match write_frame(&mut w, &frame) {
+                    Ok(n) => {
+                        counter.fetch_add(n as u64, Ordering::Relaxed);
+                        if std::io::Write::flush(&mut w).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("spawn connection writer");
+
+    let mut reader = stream;
+    loop {
+        match read_frame(&mut reader) {
+            Ok(None) => break,
+            Ok(Some((frame, n))) => {
+                let counter = if matches!(frame, Frame::InferRequest { .. }) {
+                    &bytes.infer
+                } else {
+                    &bytes.control
+                };
+                counter.fetch_add(n as u64, Ordering::Relaxed);
+                if !dispatch(frame, runtime, &out_tx) {
+                    break;
+                }
+            }
+            Err(WireError::Io(_)) | Err(WireError::Truncated) => break, // peer gone / forced close
+            Err(_) => {
+                let _ = out_tx.send(Frame::Nack { reason: "malformed frame".into() });
+                break;
+            }
+        }
+    }
+    drop(out_tx);
+    let _ = writer.join();
+    // Force the socket closed: the shutdown registry holds a clone of this stream, so
+    // merely dropping our handles would leave the peer waiting for an EOF that never
+    // comes. `shutdown` acts on the underlying socket, clones included.
+    let _ = reader.shutdown(Shutdown::Both);
+}
+
+/// Handle one inbound frame; returns `false` when the connection should close.
+fn dispatch(frame: Frame, runtime: &Arc<ServingRuntime>, out: &Sender<Frame>) -> bool {
+    match frame {
+        Frame::InferRequest { id, time_minutes, sample } => {
+            let reply_tx = out.clone();
+            let reply = ReplyTo::new(move |prediction| {
+                let _ = reply_tx.send(Frame::InferReply { id, prediction });
+            });
+            match runtime.submit_routed_with_reply(sample, time_minutes, Instant::now(), reply) {
+                SubmitOutcome::Accepted => {}
+                SubmitOutcome::Shed => {
+                    let _ = out.send(Frame::InferShed { id });
+                }
+                SubmitOutcome::Closed => return false,
+            }
+            true
+        }
+        Frame::PullSupport => {
+            let rows = runtime.with_node(|node| {
+                node.lora_support()
+                    .into_iter()
+                    .map(|(table, row)| (table as u32, row as u64))
+                    .collect::<Vec<_>>()
+            });
+            out.send(Frame::Support { rows }).is_ok()
+        }
+        Frame::PullLoraRows { rows } => {
+            let exported = runtime.with_node(move |node| {
+                rows.into_iter()
+                    .filter(|&(table, row)| in_bounds(node, table, row))
+                    .map(|(table, row)| LoraRowUpdate {
+                        table,
+                        row,
+                        values: node.export_lora_row(table as usize, row as usize),
+                    })
+                    .collect::<Vec<_>>()
+            });
+            out.send(Frame::LoraRows { rows: exported }).is_ok()
+        }
+        Frame::PushLoraRows { rows } => {
+            // Stage the rows without materialising: the B broadcast may still follow,
+            // and the Publish frame rematerialises every active row once.
+            let outcome = runtime.with_node(move |node| {
+                for row in &rows {
+                    if !in_bounds(node, row.table, row.row) {
+                        return Err("LoRA row index out of bounds");
+                    }
+                }
+                for row in rows {
+                    LoraPeer::import_a_row(node, row.table as usize, row.row as usize, row.values);
+                }
+                Ok(())
+            });
+            send_outcome(out, outcome)
+        }
+        Frame::PullB { table } => {
+            let exported = runtime.with_node(move |node| {
+                let table = table as usize;
+                if table >= node.loras().len() {
+                    return None;
+                }
+                Some((LoraPeer::export_b(node, table), LoraPeer::lora_rank(node, table) as u32))
+            });
+            match exported {
+                Some((values, source_rank)) => {
+                    out.send(Frame::BFactor { table, source_rank, values }).is_ok()
+                }
+                None => out
+                    .send(Frame::Nack { reason: "table out of bounds".into() })
+                    .is_ok(),
+            }
+        }
+        Frame::PushB { table, source_rank, values } => {
+            let outcome = runtime.with_node(move |node| {
+                let table = table as usize;
+                if table >= node.loras().len() {
+                    return Err("table out of bounds");
+                }
+                if values.len() != source_rank as usize * node.loras()[table].dim() {
+                    return Err("B factor shape mismatch");
+                }
+                LoraPeer::import_b(node, table, &values, source_rank as usize);
+                Ok(())
+            });
+            send_outcome(out, outcome)
+        }
+        Frame::PushEmbeddingRows { rows } => {
+            let outcome = runtime.with_node_publish(move |node| {
+                let dim = node.serving_model().config().embedding_dim;
+                for row in &rows {
+                    if !in_bounds(node, row.table, row.row) {
+                        return Err("embedding row index out of bounds");
+                    }
+                    if row.values.len() != dim {
+                        return Err("embedding row dimension mismatch");
+                    }
+                }
+                for row in rows {
+                    node.apply_embedding_row_pull(row.table as usize, row.row as usize, &row.values);
+                }
+                Ok(())
+            });
+            send_outcome(out, outcome)
+        }
+        Frame::FullModel { params } => {
+            let outcome = runtime.with_node_publish(move |node| {
+                if params.len() != node.serving_model().parameter_count() {
+                    return Err("parameter vector length mismatch");
+                }
+                let mut fresh = node.serving_model().clone();
+                fresh.import_parameters(&params);
+                node.full_sync(fresh);
+                Ok(())
+            });
+            send_outcome(out, outcome)
+        }
+        Frame::Publish => {
+            runtime.with_node_publish(liveupdate::engine::ServingNode::refresh_serving_rows);
+            out.send(Frame::Ack).is_ok()
+        }
+        Frame::Bye => false,
+        // A replica never receives reply-direction frames; reject and close.
+        Frame::InferReply { .. }
+        | Frame::InferShed { .. }
+        | Frame::Support { .. }
+        | Frame::LoraRows { .. }
+        | Frame::BFactor { .. }
+        | Frame::Ack
+        | Frame::Nack { .. } => {
+            let _ = out.send(Frame::Nack { reason: "unexpected frame direction".into() });
+            false
+        }
+    }
+}
+
+/// Bounds-check a `(table, row)` pair against the node's geometry.
+fn in_bounds(node: &ServingNode, table: u32, row: u64) -> bool {
+    let tables = node.serving_model().tables();
+    (table as usize) < tables.len() && (row as usize) < tables[table as usize].num_rows()
+}
+
+fn send_outcome(out: &Sender<Frame>, outcome: Result<(), &'static str>) -> bool {
+    let frame = match outcome {
+        Ok(()) => Frame::Ack,
+        Err(reason) => Frame::Nack { reason: reason.to_string() },
+    };
+    out.send(frame).is_ok()
+}

@@ -1,0 +1,804 @@
+//! The length-prefixed binary wire codec of the distributed serving tier.
+//!
+//! Every message on a connection is one *frame*: a little-endian `u32` payload length
+//! followed by the payload, whose first byte is the frame tag. Values inside the payload
+//! are fixed-width little-endian (`u32`/`u64` integers, `f64` bit patterns); vectors are
+//! a `u32` element count followed by the elements. There is no self-description and no
+//! versioning negotiation — both ends of a connection are built from the same crate, and
+//! the codec's job is to be small, deterministic, and byte-countable (the whole point of
+//! the tier is that `sync_bytes` is the sum of real frame lengths).
+//!
+//! Robustness rules, pinned by property tests:
+//!
+//! * **Round-trip identity** — `decode(encode(f)) == f` for every frame, including
+//!   empty LoRA supports and maximum-length rows.
+//! * **Non-finite rejection** — a NaN or infinity anywhere is an [`WireError::NonFinite`]
+//!   on *encode* and on *decode*; garbage never propagates into a model.
+//! * **Truncation safety** — decoding any strict prefix of a valid frame is an error,
+//!   never a panic; a corrupt length prefix is bounded by [`MAX_FRAME_BYTES`] before
+//!   anything is allocated.
+
+use liveupdate_dlrm::sample::Sample;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Upper bound on one frame's payload, enforced before allocating: big enough for a
+/// full-model shipment of every scenario in the repo, small enough that a corrupt
+/// length prefix cannot OOM the process.
+pub const MAX_FRAME_BYTES: u32 = 256 * 1024 * 1024;
+
+/// Anything that can go wrong encoding, decoding, or transporting a frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed.
+    Io(std::io::Error),
+    /// The payload ended before the frame was complete.
+    Truncated,
+    /// The payload continued past the end of the frame.
+    TrailingBytes,
+    /// A float was NaN or infinite.
+    NonFinite,
+    /// Unknown frame tag.
+    BadTag(u8),
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    TooLarge(u32),
+    /// A count or string inside the payload is inconsistent with the frame length.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire I/O error: {e}"),
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after frame payload"),
+            WireError::NonFinite => write!(f, "non-finite float in frame"),
+            WireError::BadTag(tag) => write!(f, "unknown frame tag {tag}"),
+            WireError::TooLarge(len) => write!(f, "frame length {len} exceeds the cap"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// One shipped LoRA `A` row: `(table, row)` plus the row values at the source's rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoraRowUpdate {
+    /// Embedding-table index.
+    pub table: u32,
+    /// Row within the table.
+    pub row: u64,
+    /// The `A` row values.
+    pub values: Vec<f64>,
+}
+
+/// One shipped base-embedding row (the wire form of a QuickUpdate-α% pull).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingRowUpdate {
+    /// Embedding-table index.
+    pub table: u32,
+    /// Row within the table.
+    pub row: u64,
+    /// The fresh base-embedding values (length = embedding dim).
+    pub values: Vec<f64>,
+}
+
+/// Every message of the distributed serving protocol.
+///
+/// | frame | direction | reply | purpose |
+/// |---|---|---|---|
+/// | `InferRequest` | driver → replica | `InferReply` / `InferShed` | score one sample |
+/// | `PullSupport` | driver → replica | `Support` | gather the replica's active LoRA support |
+/// | `PullLoraRows` | driver → replica | `LoraRows` | fetch winning `A` rows from the priority root |
+/// | `PushLoraRows` | driver → replica | `Ack` | install merged `A` rows on a peer |
+/// | `PullB` | driver → replica | `BFactor` | fetch a touched table's dense `B` factor |
+/// | `PushB` | driver → replica | `Ack` | broadcast the `B` factor to a peer |
+/// | `PushEmbeddingRows` | driver → replica | `Ack` | QuickUpdate top-changed-row shipment |
+/// | `FullModel` | driver → replica | `Ack` | DeltaUpdate full-parameter shipment |
+/// | `Publish` | driver → replica | `Ack` | rematerialise + epoch-swap a fresh snapshot |
+/// | `Bye` | driver → replica | — | graceful connection close |
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Score one sample; `id` correlates the asynchronous reply.
+    InferRequest {
+        /// Correlation id chosen by the submitter.
+        id: u64,
+        /// Simulated stream time in minutes.
+        time_minutes: f64,
+        /// The sample to score.
+        sample: Sample,
+    },
+    /// The prediction for `InferRequest` with the same `id`.
+    InferReply {
+        /// Correlation id of the request.
+        id: u64,
+        /// Predicted click probability.
+        prediction: f64,
+    },
+    /// The request with this `id` met a full queue and was shed.
+    InferShed {
+        /// Correlation id of the request.
+        id: u64,
+    },
+    /// Ask for the replica's active LoRA support.
+    PullSupport,
+    /// The active LoRA support: `(table, row)` pairs in ascending order.
+    Support {
+        /// The `(table, row)` support entries.
+        rows: Vec<(u32, u64)>,
+    },
+    /// Ask for the `A` rows of these `(table, row)` indices.
+    PullLoraRows {
+        /// The requested `(table, row)` indices.
+        rows: Vec<(u32, u64)>,
+    },
+    /// The requested `A` rows, values at the exporter's current rank.
+    LoraRows {
+        /// The exported rows.
+        rows: Vec<LoraRowUpdate>,
+    },
+    /// Install these merged `A` rows (losers of the priority merge receive these).
+    PushLoraRows {
+        /// The rows to install.
+        rows: Vec<LoraRowUpdate>,
+    },
+    /// Ask for one table's dense `B` factor.
+    PullB {
+        /// Embedding-table index.
+        table: u32,
+    },
+    /// A table's dense `B` factor (row-major `source_rank × dim`).
+    BFactor {
+        /// Embedding-table index.
+        table: u32,
+        /// LoRA rank of the exporting adapter.
+        source_rank: u32,
+        /// Row-major factor values.
+        values: Vec<f64>,
+    },
+    /// Install a broadcast `B` factor.
+    PushB {
+        /// Embedding-table index.
+        table: u32,
+        /// LoRA rank of the exporting adapter.
+        source_rank: u32,
+        /// Row-major factor values.
+        values: Vec<f64>,
+    },
+    /// QuickUpdate shipment: fresh base-embedding rows (top-changed by the trainer).
+    PushEmbeddingRows {
+        /// The shipped rows.
+        rows: Vec<EmbeddingRowUpdate>,
+    },
+    /// DeltaUpdate shipment: every trainable parameter in the canonical flat order of
+    /// `DlrmModel::export_parameters`.
+    FullModel {
+        /// The flat parameter vector.
+        params: Vec<f64>,
+    },
+    /// Rematerialise serving rows and publish a fresh epoch-swapped snapshot.
+    Publish,
+    /// Positive acknowledgement of the preceding push.
+    Ack,
+    /// Negative acknowledgement (the push was rejected; state unchanged).
+    Nack {
+        /// Why the push was rejected.
+        reason: String,
+    },
+    /// Graceful close; the peer stops reading this connection.
+    Bye,
+}
+
+// Frame tags. Kept dense and stable; the decoder rejects anything else.
+const TAG_INFER_REQUEST: u8 = 1;
+const TAG_INFER_REPLY: u8 = 2;
+const TAG_INFER_SHED: u8 = 3;
+const TAG_PULL_SUPPORT: u8 = 4;
+const TAG_SUPPORT: u8 = 5;
+const TAG_PULL_LORA_ROWS: u8 = 6;
+const TAG_LORA_ROWS: u8 = 7;
+const TAG_PUSH_LORA_ROWS: u8 = 8;
+const TAG_PULL_B: u8 = 9;
+const TAG_B_FACTOR: u8 = 10;
+const TAG_PUSH_B: u8 = 11;
+const TAG_PUSH_EMBEDDING_ROWS: u8 = 12;
+const TAG_FULL_MODEL: u8 = 13;
+const TAG_PUBLISH: u8 = 14;
+const TAG_ACK: u8 = 15;
+const TAG_NACK: u8 = 16;
+const TAG_BYE: u8 = 17;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) -> Result<(), WireError> {
+    if !v.is_finite() {
+        return Err(WireError::NonFinite);
+    }
+    out.extend_from_slice(&v.to_le_bytes());
+    Ok(())
+}
+
+fn put_f64_vec(out: &mut Vec<u8>, values: &[f64]) -> Result<(), WireError> {
+    put_u32(out, u32::try_from(values.len()).map_err(|_| WireError::Malformed("vector too long"))?);
+    for &v in values {
+        put_f64(out, v)?;
+    }
+    Ok(())
+}
+
+fn put_index_pairs(out: &mut Vec<u8>, rows: &[(u32, u64)]) -> Result<(), WireError> {
+    put_u32(out, u32::try_from(rows.len()).map_err(|_| WireError::Malformed("vector too long"))?);
+    for &(table, row) in rows {
+        put_u32(out, table);
+        put_u64(out, row);
+    }
+    Ok(())
+}
+
+fn put_sample(out: &mut Vec<u8>, sample: &Sample) -> Result<(), WireError> {
+    put_f64_vec(out, &sample.dense)?;
+    put_u32(
+        out,
+        u32::try_from(sample.sparse.len()).map_err(|_| WireError::Malformed("too many tables"))?,
+    );
+    for ids in &sample.sparse {
+        put_u32(out, u32::try_from(ids.len()).map_err(|_| WireError::Malformed("too many ids"))?);
+        for &id in ids {
+            put_u64(out, id as u64);
+        }
+    }
+    put_f64(out, sample.label)
+}
+
+impl Frame {
+    /// Encode the frame as `[u32 length][payload]`, ready to write to a socket.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::NonFinite`] if any float is NaN/infinite; [`WireError::Malformed`]
+    /// if a vector exceeds `u32` length.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut payload = Vec::with_capacity(64);
+        match self {
+            Frame::InferRequest { id, time_minutes, sample } => {
+                payload.push(TAG_INFER_REQUEST);
+                put_u64(&mut payload, *id);
+                put_f64(&mut payload, *time_minutes)?;
+                put_sample(&mut payload, sample)?;
+            }
+            Frame::InferReply { id, prediction } => {
+                payload.push(TAG_INFER_REPLY);
+                put_u64(&mut payload, *id);
+                put_f64(&mut payload, *prediction)?;
+            }
+            Frame::InferShed { id } => {
+                payload.push(TAG_INFER_SHED);
+                put_u64(&mut payload, *id);
+            }
+            Frame::PullSupport => payload.push(TAG_PULL_SUPPORT),
+            Frame::Support { rows } => {
+                payload.push(TAG_SUPPORT);
+                put_index_pairs(&mut payload, rows)?;
+            }
+            Frame::PullLoraRows { rows } => {
+                payload.push(TAG_PULL_LORA_ROWS);
+                put_index_pairs(&mut payload, rows)?;
+            }
+            Frame::LoraRows { rows } | Frame::PushLoraRows { rows } => {
+                payload.push(if matches!(self, Frame::LoraRows { .. }) {
+                    TAG_LORA_ROWS
+                } else {
+                    TAG_PUSH_LORA_ROWS
+                });
+                put_u32(
+                    &mut payload,
+                    u32::try_from(rows.len()).map_err(|_| WireError::Malformed("vector too long"))?,
+                );
+                for row in rows {
+                    put_u32(&mut payload, row.table);
+                    put_u64(&mut payload, row.row);
+                    put_f64_vec(&mut payload, &row.values)?;
+                }
+            }
+            Frame::PullB { table } => {
+                payload.push(TAG_PULL_B);
+                put_u32(&mut payload, *table);
+            }
+            Frame::BFactor { table, source_rank, values }
+            | Frame::PushB { table, source_rank, values } => {
+                payload.push(if matches!(self, Frame::BFactor { .. }) {
+                    TAG_B_FACTOR
+                } else {
+                    TAG_PUSH_B
+                });
+                put_u32(&mut payload, *table);
+                put_u32(&mut payload, *source_rank);
+                put_f64_vec(&mut payload, values)?;
+            }
+            Frame::PushEmbeddingRows { rows } => {
+                payload.push(TAG_PUSH_EMBEDDING_ROWS);
+                put_u32(
+                    &mut payload,
+                    u32::try_from(rows.len()).map_err(|_| WireError::Malformed("vector too long"))?,
+                );
+                for row in rows {
+                    put_u32(&mut payload, row.table);
+                    put_u64(&mut payload, row.row);
+                    put_f64_vec(&mut payload, &row.values)?;
+                }
+            }
+            Frame::FullModel { params } => {
+                payload.push(TAG_FULL_MODEL);
+                put_f64_vec(&mut payload, params)?;
+            }
+            Frame::Publish => payload.push(TAG_PUBLISH),
+            Frame::Ack => payload.push(TAG_ACK),
+            Frame::Nack { reason } => {
+                payload.push(TAG_NACK);
+                let bytes = reason.as_bytes();
+                put_u32(
+                    &mut payload,
+                    u32::try_from(bytes.len()).map_err(|_| WireError::Malformed("reason too long"))?,
+                );
+                payload.extend_from_slice(bytes);
+            }
+            Frame::Bye => payload.push(TAG_BYE),
+        }
+        let len = u32::try_from(payload.len()).map_err(|_| WireError::Malformed("payload too long"))?;
+        if len > MAX_FRAME_BYTES {
+            return Err(WireError::TooLarge(len));
+        }
+        let mut out = Vec::with_capacity(4 + payload.len());
+        put_u32(&mut out, len);
+        out.extend_from_slice(&payload);
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Cursor over one frame payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        let v = f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes"));
+        if !v.is_finite() {
+            return Err(WireError::NonFinite);
+        }
+        Ok(v)
+    }
+
+    /// A length-prefixed f64 vector; the count is validated against the remaining
+    /// payload before anything is allocated.
+    fn f64_vec(&mut self) -> Result<Vec<f64>, WireError> {
+        let count = self.u32()? as usize;
+        if self.buf.len() < count.saturating_mul(8) {
+            return Err(WireError::Truncated);
+        }
+        (0..count).map(|_| self.f64()).collect()
+    }
+
+    fn index_pairs(&mut self) -> Result<Vec<(u32, u64)>, WireError> {
+        let count = self.u32()? as usize;
+        if self.buf.len() < count.saturating_mul(12) {
+            return Err(WireError::Truncated);
+        }
+        (0..count).map(|_| Ok((self.u32()?, self.u64()?))).collect()
+    }
+
+    fn lora_rows(&mut self) -> Result<Vec<LoraRowUpdate>, WireError> {
+        let count = self.u32()? as usize;
+        // Each entry is at least table(4) + row(8) + count(4) bytes.
+        if self.buf.len() < count.saturating_mul(16) {
+            return Err(WireError::Truncated);
+        }
+        (0..count)
+            .map(|_| {
+                Ok(LoraRowUpdate {
+                    table: self.u32()?,
+                    row: self.u64()?,
+                    values: self.f64_vec()?,
+                })
+            })
+            .collect()
+    }
+
+    fn sample(&mut self) -> Result<Sample, WireError> {
+        let dense = self.f64_vec()?;
+        let num_tables = self.u32()? as usize;
+        if self.buf.len() < num_tables.saturating_mul(4) {
+            return Err(WireError::Truncated);
+        }
+        let mut sparse = Vec::with_capacity(num_tables);
+        for _ in 0..num_tables {
+            let count = self.u32()? as usize;
+            if self.buf.len() < count.saturating_mul(8) {
+                return Err(WireError::Truncated);
+            }
+            let ids: Result<Vec<usize>, WireError> =
+                (0..count).map(|_| Ok(self.u64()? as usize)).collect();
+            sparse.push(ids?);
+        }
+        let label = self.f64()?;
+        Ok(Sample::new(dense, sparse, label))
+    }
+}
+
+impl Frame {
+    /// Decode one frame payload (the bytes after the length prefix).
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] for malformed, truncated, over-long, or non-finite input.
+    /// Never panics on arbitrary bytes.
+    pub fn decode(payload: &[u8]) -> Result<Frame, WireError> {
+        let mut r = Reader { buf: payload };
+        let frame = match r.u8()? {
+            TAG_INFER_REQUEST => Frame::InferRequest {
+                id: r.u64()?,
+                time_minutes: r.f64()?,
+                sample: r.sample()?,
+            },
+            TAG_INFER_REPLY => Frame::InferReply {
+                id: r.u64()?,
+                prediction: r.f64()?,
+            },
+            TAG_INFER_SHED => Frame::InferShed { id: r.u64()? },
+            TAG_PULL_SUPPORT => Frame::PullSupport,
+            TAG_SUPPORT => Frame::Support { rows: r.index_pairs()? },
+            TAG_PULL_LORA_ROWS => Frame::PullLoraRows { rows: r.index_pairs()? },
+            TAG_LORA_ROWS => Frame::LoraRows { rows: r.lora_rows()? },
+            TAG_PUSH_LORA_ROWS => Frame::PushLoraRows { rows: r.lora_rows()? },
+            TAG_PULL_B => Frame::PullB { table: r.u32()? },
+            TAG_B_FACTOR => Frame::BFactor {
+                table: r.u32()?,
+                source_rank: r.u32()?,
+                values: r.f64_vec()?,
+            },
+            TAG_PUSH_B => Frame::PushB {
+                table: r.u32()?,
+                source_rank: r.u32()?,
+                values: r.f64_vec()?,
+            },
+            TAG_PUSH_EMBEDDING_ROWS => Frame::PushEmbeddingRows {
+                rows: r
+                    .lora_rows()?
+                    .into_iter()
+                    .map(|row| EmbeddingRowUpdate {
+                        table: row.table,
+                        row: row.row,
+                        values: row.values,
+                    })
+                    .collect(),
+            },
+            TAG_FULL_MODEL => Frame::FullModel { params: r.f64_vec()? },
+            TAG_PUBLISH => Frame::Publish,
+            TAG_ACK => Frame::Ack,
+            TAG_NACK => {
+                let len = r.u32()? as usize;
+                let bytes = r.take(len)?;
+                Frame::Nack {
+                    reason: String::from_utf8(bytes.to_vec())
+                        .map_err(|_| WireError::Malformed("reason is not UTF-8"))?,
+                }
+            }
+            TAG_BYE => Frame::Bye,
+            tag => return Err(WireError::BadTag(tag)),
+        };
+        if !r.buf.is_empty() {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(frame)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Socket helpers
+// ---------------------------------------------------------------------------
+
+/// Write one frame, returning the number of bytes that hit the wire (length prefix
+/// included) so callers can account traffic at the socket.
+///
+/// # Errors
+///
+/// Encoding errors and socket errors.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<usize, WireError> {
+    let bytes = frame.encode()?;
+    w.write_all(&bytes)?;
+    Ok(bytes.len())
+}
+
+/// Read one frame. Returns `Ok(None)` on a clean EOF at a frame boundary; an EOF inside
+/// a frame is [`WireError::Truncated`]. On success also returns the number of bytes
+/// consumed from the wire (length prefix included).
+///
+/// # Errors
+///
+/// Decoding errors and socket errors.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(Frame, usize)>, WireError> {
+    let mut len_bytes = [0u8; 4];
+    // A clean EOF before any length byte means the peer closed between frames.
+    let mut filled = 0usize;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(WireError::Truncated);
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    let frame = Frame::decode(&payload)?;
+    Ok(Some((frame, 4 + payload.len())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Every frame variant with representative payloads, including the degenerate ones
+    /// the satellite calls out: empty supports and maximum-length rows.
+    fn exemplars() -> Vec<Frame> {
+        let long_row: Vec<f64> = (0..4096).map(|i| (i as f64).sin()).collect();
+        vec![
+            Frame::InferRequest {
+                id: 7,
+                time_minutes: 12.5,
+                sample: Sample::new(vec![0.5, -1.0], vec![vec![1, 2], vec![], vec![9]], 1.0),
+            },
+            Frame::InferReply { id: 7, prediction: 0.75 },
+            Frame::InferShed { id: 8 },
+            Frame::PullSupport,
+            Frame::Support { rows: vec![] },
+            Frame::Support { rows: vec![(0, 5), (1, u64::MAX)] },
+            Frame::PullLoraRows { rows: vec![(0, 1)] },
+            Frame::LoraRows { rows: vec![] },
+            Frame::LoraRows {
+                rows: vec![LoraRowUpdate { table: 0, row: 3, values: long_row.clone() }],
+            },
+            Frame::PushLoraRows {
+                rows: vec![
+                    LoraRowUpdate { table: 1, row: 0, values: vec![] },
+                    LoraRowUpdate { table: 0, row: 2, values: vec![1.0, -2.0] },
+                ],
+            },
+            Frame::PullB { table: 3 },
+            Frame::BFactor { table: 3, source_rank: 4, values: long_row.clone() },
+            Frame::PushB { table: 3, source_rank: 4, values: vec![0.0; 8] },
+            Frame::PushEmbeddingRows {
+                rows: vec![EmbeddingRowUpdate { table: 0, row: 11, values: vec![0.5; 8] }],
+            },
+            Frame::PushEmbeddingRows { rows: vec![] },
+            Frame::FullModel { params: long_row },
+            Frame::Publish,
+            Frame::Ack,
+            Frame::Nack { reason: "geometry mismatch".into() },
+            Frame::Bye,
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for frame in exemplars() {
+            let bytes = frame.encode().unwrap();
+            let (decoded, consumed) =
+                read_frame(&mut &bytes[..]).unwrap().expect("one frame present");
+            assert_eq!(decoded, frame);
+            assert_eq!(consumed, bytes.len());
+            // And the payload decoder agrees with the stream reader.
+            assert_eq!(Frame::decode(&bytes[4..]).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_streams_concatenate() {
+        let mut bytes = Vec::new();
+        for frame in [Frame::Publish, Frame::Ack, Frame::Bye] {
+            bytes.extend_from_slice(&frame.encode().unwrap());
+        }
+        let mut cursor = &bytes[..];
+        let mut seen = Vec::new();
+        while let Some((frame, _)) = read_frame(&mut cursor).unwrap() {
+            seen.push(frame);
+        }
+        assert_eq!(seen, vec![Frame::Publish, Frame::Ack, Frame::Bye]);
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected_on_encode() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let frame = Frame::InferReply { id: 1, prediction: bad };
+            assert!(matches!(frame.encode(), Err(WireError::NonFinite)));
+            let frame = Frame::FullModel { params: vec![1.0, bad] };
+            assert!(matches!(frame.encode(), Err(WireError::NonFinite)));
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected_on_decode() {
+        let good = Frame::InferReply { id: 1, prediction: 0.5 }.encode().unwrap();
+        // The prediction occupies the trailing 8 bytes; overwrite with NaN bits.
+        let mut bad = good;
+        let n = bad.len();
+        bad[n - 8..].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(Frame::decode(&bad[4..]), Err(WireError::NonFinite)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_bounded() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(read_frame(&mut &bytes[..]), Err(WireError::TooLarge(_))));
+    }
+
+    #[test]
+    fn unknown_tag_and_trailing_bytes_are_errors() {
+        assert!(matches!(Frame::decode(&[200]), Err(WireError::BadTag(200))));
+        let mut bytes = Frame::Ack.encode().unwrap()[4..].to_vec();
+        bytes.push(0);
+        assert!(matches!(Frame::decode(&bytes), Err(WireError::TrailingBytes)));
+        assert!(matches!(Frame::decode(&[]), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn every_strict_prefix_of_every_exemplar_errors() {
+        // Deterministic truncation sweep over every exemplar frame: a decoder that
+        // panics (or succeeds) on any strict payload prefix is broken.
+        for frame in exemplars() {
+            let payload = &frame.encode().unwrap()[4..];
+            for cut in 0..payload.len() {
+                assert!(
+                    Frame::decode(&payload[..cut]).is_err(),
+                    "prefix of length {cut} of {frame:?} must not decode"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Round-trip identity over generated LoRA row exchanges.
+        #[test]
+        fn prop_lora_rows_round_trip(
+            entries in proptest::collection::vec(
+                (0u32..8, 0u64..10_000, proptest::collection::vec(-10.0f64..10.0, 0..32)),
+                0..16,
+            ),
+        ) {
+            let frame = Frame::PushLoraRows {
+                rows: entries
+                    .into_iter()
+                    .map(|(table, row, values)| LoraRowUpdate { table, row, values })
+                    .collect(),
+            };
+            let bytes = frame.encode().unwrap();
+            let (decoded, _) = read_frame(&mut &bytes[..]).unwrap().unwrap();
+            prop_assert_eq!(decoded, frame);
+        }
+
+        /// Round-trip identity over generated samples (multi-hot, empty tables, labels).
+        #[test]
+        fn prop_infer_request_round_trips(
+            id in 0u64..u64::MAX,
+            minutes in 0.0f64..10_000.0,
+            dense in proptest::collection::vec(-5.0f64..5.0, 0..8),
+            sparse in proptest::collection::vec(
+                proptest::collection::vec(0usize..100_000, 0..6), 0..5),
+            label in 0.0f64..1.0,
+        ) {
+            let frame = Frame::InferRequest {
+                id,
+                time_minutes: minutes,
+                sample: Sample::new(dense, sparse, label),
+            };
+            let bytes = frame.encode().unwrap();
+            let (decoded, consumed) = read_frame(&mut &bytes[..]).unwrap().unwrap();
+            prop_assert_eq!(decoded, frame);
+            prop_assert_eq!(consumed, bytes.len());
+        }
+
+        /// Truncation fuzz: decoding any strict prefix of a valid frame errors cleanly.
+        #[test]
+        fn prop_truncated_frames_error_never_panic(
+            entries in proptest::collection::vec(
+                (0u32..8, 0u64..10_000, proptest::collection::vec(-10.0f64..10.0, 0..16)),
+                0..8,
+            ),
+            cut_fraction in 0.0f64..1.0,
+        ) {
+            let frame = Frame::LoraRows {
+                rows: entries
+                    .into_iter()
+                    .map(|(table, row, values)| LoraRowUpdate { table, row, values })
+                    .collect(),
+            };
+            let payload = &frame.encode().unwrap()[4..];
+            let cut = ((payload.len() as f64) * cut_fraction) as usize;
+            if cut < payload.len() {
+                prop_assert!(Frame::decode(&payload[..cut]).is_err());
+            }
+            // The stream reader must also surface truncation mid-payload as an error.
+            let full = frame.encode().unwrap();
+            let stream_cut = 4 + cut;
+            if stream_cut < full.len() {
+                prop_assert!(read_frame(&mut &full[..stream_cut]).is_err());
+            }
+        }
+
+        /// Corrupt-byte fuzz: flipping any single payload byte either decodes to some
+        /// frame or errors — it never panics.
+        #[test]
+        fn prop_corrupted_payload_never_panics(
+            pos_fraction in 0.0f64..1.0,
+            xor in 1u8..=255,
+        ) {
+            let frame = Frame::BFactor { table: 1, source_rank: 2, values: vec![0.5; 16] };
+            let mut payload = frame.encode().unwrap()[4..].to_vec();
+            let pos = ((payload.len() as f64) * pos_fraction) as usize % payload.len();
+            payload[pos] ^= xor;
+            let _ = Frame::decode(&payload); // must return, not panic
+        }
+    }
+}

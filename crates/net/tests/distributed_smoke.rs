@@ -1,0 +1,175 @@
+//! End-to-end tests of the TCP tier: raw protocol round-trips against one replica
+//! server, and the distributed backend executing scenarios over real sockets.
+
+use liveupdate::config::LiveUpdateConfig;
+use liveupdate::engine::ServingNode;
+use liveupdate_dlrm::model::{DlrmConfig, DlrmModel};
+use liveupdate_net::wire::{read_frame, write_frame, Frame, LoraRowUpdate};
+use liveupdate_net::{DistributedBackend, ReplicaServer};
+use liveupdate_runtime::config::{RuntimeConfig, UpdateMode};
+use liveupdate_scenario::{BackendKind, ExecutionBackend, Scenario, SyncProvenance};
+use liveupdate_workload::{SyntheticWorkload, WorkloadConfig};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn tiny_node(seed: u64) -> ServingNode {
+    let model = DlrmModel::new(DlrmConfig::tiny(2, 200, 8), seed);
+    ServingNode::new(model, LiveUpdateConfig::default())
+}
+
+fn tiny_runtime_config() -> RuntimeConfig {
+    RuntimeConfig {
+        num_workers: 1,
+        max_batch: 8,
+        batch_deadline_us: 500,
+        update: UpdateMode::Disabled,
+        ..RuntimeConfig::default()
+    }
+}
+
+/// Send one frame and read one reply on a blocking stream.
+fn call(stream: &mut TcpStream, frame: &Frame) -> Frame {
+    write_frame(stream, frame).expect("write frame");
+    read_frame(stream).expect("read frame").expect("reply present").0
+}
+
+#[test]
+fn replica_server_serves_and_syncs_over_tcp() {
+    let server = ReplicaServer::start(
+        tiny_node(3),
+        tiny_runtime_config(),
+        Duration::from_millis(50),
+        None,
+    )
+    .expect("start server");
+    let mut conn = TcpStream::connect(server.addr()).expect("connect");
+    conn.set_nodelay(true).unwrap();
+
+    // Inference over the socket: the worker pipeline answers with a probability.
+    let mut w = SyntheticWorkload::new(WorkloadConfig {
+        num_tables: 2,
+        table_size: 200,
+        ..WorkloadConfig::default()
+    });
+    let sample = w.sample_at(0.0);
+    match call(
+        &mut conn,
+        &Frame::InferRequest { id: 42, time_minutes: 0.0, sample },
+    ) {
+        Frame::InferReply { id, prediction } => {
+            assert_eq!(id, 42);
+            assert!((0.0..=1.0).contains(&prediction), "prediction {prediction}");
+        }
+        other => panic!("expected InferReply, got {other:?}"),
+    }
+
+    // Control plane: support starts empty, a pushed row + publish becomes visible.
+    assert_eq!(call(&mut conn, &Frame::PullSupport), Frame::Support { rows: vec![] });
+    let pushed = Frame::PushLoraRows {
+        rows: vec![LoraRowUpdate { table: 0, row: 7, values: vec![1.0; 4] }],
+    };
+    assert_eq!(call(&mut conn, &pushed), Frame::Ack);
+    assert_eq!(call(&mut conn, &Frame::Publish), Frame::Ack);
+    assert_eq!(
+        call(&mut conn, &Frame::PullSupport),
+        Frame::Support { rows: vec![(0, 7)] }
+    );
+    // The pushed row's values come back on a pull.
+    match call(&mut conn, &Frame::PullLoraRows { rows: vec![(0, 7)] }) {
+        Frame::LoraRows { rows } => {
+            assert_eq!(rows.len(), 1);
+            assert_eq!(rows[0].values, vec![1.0; 4]);
+        }
+        other => panic!("expected LoraRows, got {other:?}"),
+    }
+    // B factor round-trips with the adapter's rank.
+    match call(&mut conn, &Frame::PullB { table: 0 }) {
+        Frame::BFactor { table: 0, source_rank, values } => {
+            assert_eq!(source_rank, 4);
+            assert_eq!(values.len(), 4 * 8);
+        }
+        other => panic!("expected BFactor, got {other:?}"),
+    }
+    // Out-of-bounds pushes are rejected without killing the node.
+    match call(
+        &mut conn,
+        &Frame::PushLoraRows {
+            rows: vec![LoraRowUpdate { table: 9, row: 0, values: vec![] }],
+        },
+    ) {
+        Frame::Nack { .. } => {}
+        other => panic!("expected Nack, got {other:?}"),
+    }
+
+    write_frame(&mut conn, &Frame::Bye).unwrap();
+    drop(conn);
+    let infer_bytes = server.bytes().infer.load(std::sync::atomic::Ordering::Relaxed);
+    let control_bytes = server.bytes().control.load(std::sync::atomic::Ordering::Relaxed);
+    let (report, node) = server.shutdown();
+    assert_eq!(report.completed, 1, "one request served through the worker pipeline");
+    assert!(node.loras()[0].is_active(7), "pushed LoRA row reached the authoritative node");
+    assert!(infer_bytes > 0, "inference traffic was accounted at the socket");
+    assert!(control_bytes > 0, "control traffic was accounted at the socket");
+}
+
+#[test]
+fn full_model_frame_replaces_the_replica_model() {
+    let server = ReplicaServer::start(
+        tiny_node(5),
+        tiny_runtime_config(),
+        Duration::from_millis(50),
+        None,
+    )
+    .expect("start server");
+    let mut conn = TcpStream::connect(server.addr()).expect("connect");
+
+    let fresh = DlrmModel::new(DlrmConfig::tiny(2, 200, 8), 999);
+    let params = fresh.export_parameters();
+    // A wrong-length vector is rejected...
+    match call(&mut conn, &Frame::FullModel { params: vec![0.0; 3] }) {
+        Frame::Nack { .. } => {}
+        other => panic!("expected Nack, got {other:?}"),
+    }
+    // ...the right-length vector swaps the whole model.
+    assert_eq!(call(&mut conn, &Frame::FullModel { params }), Frame::Ack);
+    drop(conn);
+    let (_, node) = server.shutdown();
+    assert_eq!(node.serving_model().export_parameters(), fresh.export_parameters());
+}
+
+/// A scenario small enough that a distributed run finishes in well under a second.
+fn tiny_scenario(name: &str) -> Scenario {
+    let mut s = Scenario::small(name);
+    s.horizon.duration_minutes = 20.0;
+    s.horizon.requests_per_window = 96;
+    s.policy.online_rounds_per_window = 3;
+    s.topology.workers = 1;
+    s.realtime.wall_seconds = 0.4;
+    s.realtime.target_qps = 400.0;
+    s.realtime.update_interval_ms = 50;
+    s
+}
+
+#[test]
+fn distributed_backend_runs_a_scenario_on_sockets() {
+    let mut scenario = tiny_scenario("distributed_smoke");
+    scenario.topology.replicas = 2;
+    let report = DistributedBackend.run(&scenario).expect("distributed run");
+    assert_eq!(report.backend, BackendKind::Distributed);
+    assert_eq!(report.strategy, "LiveUpdate");
+    assert_eq!(report.sync_provenance, SyncProvenance::MeasuredWire);
+    assert!(report.requests_served > 0, "traffic crossed the sockets");
+    assert!(report.qps.unwrap() > 0.0);
+    assert!(report.p99_latency_ms.is_some());
+    assert!(report.mean_auc.is_some());
+    assert_eq!(report.sync_bytes, 0, "LiveUpdate ships zero parameter bytes on the wire");
+    assert!(report.publications > 0, "replicas published fresh epochs");
+    assert!(report.lora_memory_bytes.unwrap() > 0);
+}
+
+#[test]
+fn invalid_scenario_is_rejected_before_any_socket_opens() {
+    let mut scenario = tiny_scenario("bad");
+    scenario.topology.workers = 0;
+    assert!(DistributedBackend.run(&scenario).is_err());
+}

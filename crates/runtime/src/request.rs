@@ -1,12 +1,38 @@
 //! The unit of work flowing through the runtime's queues.
 
 use liveupdate_dlrm::sample::Sample;
+use std::fmt;
 use std::time::Instant;
 
+/// Completion callback carrying one prediction back to whatever transport submitted the
+/// request (the TCP replica server hands the value to its connection writer; in-process
+/// submitters usually don't attach one). Invoked by the worker thread right after the
+/// batch containing the request is served.
+pub struct ReplyTo(Box<dyn FnOnce(f64) + Send>);
+
+impl ReplyTo {
+    /// Wrap a completion callback.
+    #[must_use]
+    pub fn new(f: impl FnOnce(f64) + Send + 'static) -> Self {
+        Self(Box::new(f))
+    }
+
+    /// Deliver the prediction to the submitter.
+    pub fn complete(self, prediction: f64) {
+        (self.0)(prediction);
+    }
+}
+
+impl fmt::Debug for ReplyTo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ReplyTo")
+    }
+}
+
 /// One inference request: the sample to score, its simulated stream timestamp (what the
-/// online trainer treats as "now" for retention and drift), and the wall-clock submit
-/// instant the latency measurement starts from.
-#[derive(Debug, Clone)]
+/// online trainer treats as "now" for retention and drift), the wall-clock submit
+/// instant the latency measurement starts from, and an optional reply path.
+#[derive(Debug)]
 pub struct Request {
     /// The request payload.
     pub sample: Sample,
@@ -14,16 +40,19 @@ pub struct Request {
     pub time_minutes: f64,
     /// Wall-clock instant the request entered the system.
     pub submitted: Instant,
+    /// Where to deliver the prediction, if the submitter wants it back.
+    pub reply: Option<ReplyTo>,
 }
 
 impl Request {
-    /// Create a request submitted now.
+    /// Create a request submitted now, with no reply path.
     #[must_use]
     pub fn new(sample: Sample, time_minutes: f64) -> Self {
         Self {
             sample,
             time_minutes,
             submitted: Instant::now(),
+            reply: None,
         }
     }
 }

@@ -4,16 +4,16 @@ use crate::config::{RuntimeConfig, UpdateMode};
 use crate::epoch::EpochPublisher;
 use crate::policy::{LiveUpdatePolicy, UpdatePolicy};
 use crate::report::{RuntimeReport, UpdaterReport, WorkerReport};
-use crate::request::Request;
+use crate::request::{ReplyTo, Request};
 use crate::router::Router;
-use crate::updater::{run_updater, IngestBatch, UpdaterParams};
+use crate::updater::{run_updater, NodeCommand, UpdaterMsg, UpdaterParams};
 use crate::worker::{run_sync_worker, run_worker};
 use liveupdate::engine::ServingNode;
 use liveupdate::snapshot::ServingSnapshot;
 use liveupdate_dlrm::sample::Sample;
 use liveupdate_sim::latency::LatencyRecorder;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, sync_channel, SyncSender, TrySendError};
+use std::sync::mpsc::{channel, sync_channel, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -46,6 +46,8 @@ pub struct ServingRuntime {
     workers: Vec<JoinHandle<WorkerReport>>,
     sync_worker: Option<JoinHandle<(WorkerReport, UpdaterReport, ServingNode)>>,
     updater: Option<JoinHandle<(UpdaterReport, ServingNode)>>,
+    /// Command path into the updater thread (None in synchronous mode).
+    node_tx: Option<Sender<UpdaterMsg>>,
     processed: Arc<AtomicU64>,
     submitted: AtomicU64,
     dropped: AtomicU64,
@@ -130,6 +132,7 @@ impl ServingRuntime {
         let mut workers = Vec::new();
         let mut sync_worker = None;
         let mut updater = None;
+        let mut node_tx = None;
         match (cfg.update, background) {
             (
                 UpdateMode::Synchronous {
@@ -163,7 +166,7 @@ impl ServingRuntime {
             (_, background) => {
                 // Ingest-only (Disabled / NoUpdate) or a policy-driven background updater.
                 let (interval, policy) = background.unwrap_or((Duration::from_secs(3600), None));
-                let (ingest_tx, ingest_rx) = channel::<IngestBatch>();
+                let (ingest_tx, ingest_rx) = channel::<UpdaterMsg>();
                 for (index, rx) in receivers.into_iter().enumerate() {
                     let reader = publisher.reader();
                     let worker_ingest = ingest_tx.clone();
@@ -177,9 +180,10 @@ impl ServingRuntime {
                             .expect("spawn worker"),
                     );
                 }
-                // Workers hold the only ingest senders now; when the last worker exits,
-                // the updater's channel disconnects and it shuts down too.
-                drop(ingest_tx);
+                // The workers and the runtime's command handle hold the senders; the
+                // updater shuts down when the workers have exited AND the runtime
+                // dropped its handle in `finish`.
+                node_tx = Some(ingest_tx);
                 let params = UpdaterParams { interval, policy };
                 let publisher_for_updater = Arc::clone(&publisher);
                 updater = Some(
@@ -201,6 +205,7 @@ impl ServingRuntime {
             workers,
             sync_worker,
             updater,
+            node_tx,
             processed,
             submitted: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
@@ -240,6 +245,63 @@ impl ServingRuntime {
         true
     }
 
+    /// Run a closure against the authoritative [`ServingNode`] on the updater thread and
+    /// return its result. The closure serialises with ingest and update blocks (it runs
+    /// between them, never concurrently), which is how a transport tier applies sparse
+    /// LoRA merges and parameter pulls without adding a single lock to the serve path.
+    /// Blocks the caller until the closure has run.
+    ///
+    /// # Panics
+    ///
+    /// Panics in `Synchronous` mode (no updater thread owns the node there) or if the
+    /// updater thread is gone.
+    pub fn with_node<R, F>(&self, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut ServingNode) -> R + Send + 'static,
+    {
+        self.node_call(f, false)
+    }
+
+    /// [`Self::with_node`] followed by an epoch-swap publication of the node's fresh
+    /// snapshot (recorded in the updater's publication history). Use this when the
+    /// closure changed serving-visible state — e.g. after importing merged LoRA rows or
+    /// a parameter shipment — so workers adopt the change on their next batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics in `Synchronous` mode or if the updater thread is gone.
+    pub fn with_node_publish<R, F>(&self, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut ServingNode) -> R + Send + 'static,
+    {
+        self.node_call(f, true)
+    }
+
+    fn node_call<R, F>(&self, f: F, publish: bool) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut ServingNode) -> R + Send + 'static,
+    {
+        let tx = self
+            .node_tx
+            .as_ref()
+            .expect("node access requires a background updater (not Synchronous mode)");
+        let (result_tx, result_rx) = channel::<R>();
+        let (done_tx, done_rx) = channel::<()>();
+        let command = NodeCommand {
+            run: Box::new(move |node| {
+                let _ = result_tx.send(f(node));
+            }),
+            publish,
+            done: done_tx,
+        };
+        tx.send(UpdaterMsg::Command(command)).expect("updater thread alive");
+        done_rx.recv().expect("updater executed the command");
+        result_rx.recv().expect("command produced a result")
+    }
+
     /// Blocking submit (backpressure instead of shedding): used by deterministic test
     /// drivers. Returns `false` if the worker's queue is closed.
     pub fn submit(&self, worker: usize, sample: Sample, time_minutes: f64) -> bool {
@@ -258,11 +320,18 @@ impl ServingRuntime {
         time_minutes: f64,
         scheduled: Instant,
     ) -> SubmitOutcome {
-        let request = Request {
-            sample,
-            time_minutes,
-            submitted: scheduled,
-        };
+        self.submit_request(
+            worker,
+            Request {
+                sample,
+                time_minutes,
+                submitted: scheduled,
+                reply: None,
+            },
+        )
+    }
+
+    fn submit_request(&self, worker: usize, request: Request) -> SubmitOutcome {
         match self.senders[worker].try_send(request) {
             Ok(()) => {
                 self.submitted.fetch_add(1, Ordering::Relaxed);
@@ -307,6 +376,28 @@ impl ServingRuntime {
         self.submit_scheduled(worker, sample, time_minutes, scheduled)
     }
 
+    /// Routed non-blocking submit carrying a [`ReplyTo`] — the serving worker delivers
+    /// the prediction through it right after the batch is served. A shed request drops
+    /// the reply path unused (the transport tier reports the shed itself).
+    pub fn submit_routed_with_reply(
+        &self,
+        sample: Sample,
+        time_minutes: f64,
+        scheduled: Instant,
+        reply: ReplyTo,
+    ) -> SubmitOutcome {
+        let worker = self.router.route(&sample);
+        self.submit_request(
+            worker,
+            Request {
+                sample,
+                time_minutes,
+                submitted: scheduled,
+                reply: Some(reply),
+            },
+        )
+    }
+
     /// Non-blocking routed submit stamped "now".
     pub fn try_submit_routed(&self, sample: Sample, time_minutes: f64) -> SubmitOutcome {
         self.submit_routed_scheduled(sample, time_minutes, Instant::now())
@@ -321,8 +412,10 @@ impl ServingRuntime {
     #[must_use]
     pub fn finish(mut self) -> (RuntimeReport, ServingNode) {
         // Dropping the request senders disconnects the worker queues; workers drain and
-        // exit, their ingest senders drop, and the updater follows.
+        // exit, their ingest senders drop, and — once the runtime's own command handle
+        // is gone too — the updater follows.
         self.senders.clear();
+        drop(self.node_tx.take());
         let mut per_worker: Vec<WorkerReport> = self
             .workers
             .drain(..)
@@ -498,6 +591,69 @@ mod tests {
         let (report, _) = runtime.finish();
         assert_eq!(report.dropped, shed);
         assert_eq!(report.completed + report.dropped, 64);
+    }
+
+    #[test]
+    fn with_node_accesses_and_publishes() {
+        let runtime = ServingRuntime::start(
+            tiny_node(9),
+            RuntimeConfig {
+                num_workers: 1,
+                update: UpdateMode::Disabled,
+                ..RuntimeConfig::default()
+            },
+        );
+        // Read-only access returns a value without bumping the epoch.
+        let steps = runtime.with_node(|node| node.steps());
+        assert_eq!(steps, 0);
+        assert_eq!(runtime.publisher().epoch(), 0);
+        // A publishing access mutates serving-visible state and swaps a fresh epoch.
+        let before = runtime.publisher().load().1.checksum();
+        runtime.with_node_publish(|node| {
+            node.import_lora_row(0, 3, vec![1.0; node.loras()[0].rank()]);
+        });
+        assert_eq!(runtime.publisher().epoch(), 1);
+        let after = runtime.publisher().load().1.checksum();
+        assert_ne!(before, after, "the published snapshot reflects the import");
+        let (report, node) = runtime.finish();
+        assert_eq!(report.updater.publications, 1);
+        assert_eq!(report.updater.published.len(), 2, "initial + command publication");
+        assert!(node.loras()[0].is_active(3));
+    }
+
+    #[test]
+    fn submit_with_reply_delivers_predictions() {
+        let runtime = ServingRuntime::start(
+            tiny_node(11),
+            RuntimeConfig {
+                num_workers: 2,
+                max_batch: 8,
+                batch_deadline_us: 500,
+                update: UpdateMode::Disabled,
+                ..RuntimeConfig::default()
+            },
+        );
+        let mut w = tiny_workload();
+        let batch = w.batch_at(0.0, 32);
+        let (tx, rx) = std::sync::mpsc::channel::<f64>();
+        for sample in batch.iter() {
+            let tx = tx.clone();
+            let reply = crate::request::ReplyTo::new(move |p| {
+                let _ = tx.send(p);
+            });
+            let _ = runtime.submit_routed_with_reply(sample.clone(), 0.0, Instant::now(), reply);
+        }
+        drop(tx);
+        let predictions: Vec<f64> = rx.into_iter().collect();
+        let (report, node) = runtime.finish();
+        assert_eq!(predictions.len() as u64, report.completed);
+        assert!(predictions.iter().all(|p| (0.0..=1.0).contains(p)));
+        // Replies come from the same snapshot the workers served.
+        let snap = node.snapshot();
+        let expected: Vec<f64> = batch.iter().map(|s| snap.predict(s)).collect();
+        for p in &predictions {
+            assert!(expected.iter().any(|e| (e - p).abs() < 1e-12));
+        }
     }
 
     #[test]

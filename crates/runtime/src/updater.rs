@@ -10,6 +10,12 @@
 //! `examples/live_serving.rs` quantifies. With no policy installed (`NoUpdate` /
 //! `UpdateMode::Disabled`) the thread only drains the channel: the baseline arm keeps
 //! the ingestion cost identical and removes only the update + publication work.
+//!
+//! Besides ingest, the channel carries [`NodeCommand`]s — closures a transport tier
+//! (e.g. the TCP replica server applying a sparse LoRA merge or a parameter pull) runs
+//! against the authoritative node, optionally followed by an epoch-swap publication.
+//! Commands execute on this thread, so they serialise naturally with update blocks and
+//! never race the policy for the node.
 
 use crate::epoch::EpochPublisher;
 use crate::policy::UpdatePolicy;
@@ -17,7 +23,7 @@ use crate::report::UpdaterReport;
 use liveupdate::engine::ServingNode;
 use liveupdate::snapshot::ServingSnapshot;
 use liveupdate_dlrm::sample::MiniBatch;
-use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -30,6 +36,23 @@ pub(crate) struct IngestBatch {
     pub batch: MiniBatch,
 }
 
+/// A closure to run against the authoritative node on the updater thread, with an
+/// optional publication afterwards. `done` is signalled once the closure (and the
+/// publication, when requested) has completed.
+pub(crate) struct NodeCommand {
+    pub run: Box<dyn FnOnce(&mut ServingNode) + Send>,
+    pub publish: bool,
+    pub done: Sender<()>,
+}
+
+/// Everything that can arrive on the updater's channel.
+pub(crate) enum UpdaterMsg {
+    /// Served traffic from a worker.
+    Ingest(IngestBatch),
+    /// A node access request from [`crate::runtime::ServingRuntime::with_node`].
+    Command(NodeCommand),
+}
+
 /// The updater arrangement: the wall-clock cadence plus the pluggable policy that runs
 /// at each tick. `policy == None` is ingest-only (the `NoUpdate` baseline arm).
 pub(crate) struct UpdaterParams {
@@ -37,9 +60,22 @@ pub(crate) struct UpdaterParams {
     pub policy: Option<Box<dyn UpdatePolicy>>,
 }
 
-/// Run the updater until every worker's ingest sender is gone.
+/// Publish a fresh snapshot of `node` and record it in the report's history.
+fn publish_snapshot(
+    node: &ServingNode,
+    publisher: &Arc<EpochPublisher<ServingSnapshot>>,
+    report: &mut UpdaterReport,
+) {
+    let snapshot = node.snapshot();
+    let checksum = snapshot.checksum();
+    let epoch = publisher.publish(snapshot);
+    report.publications += 1;
+    report.published.push((epoch, checksum));
+}
+
+/// Run the updater until every ingest/command sender is gone.
 pub(crate) fn run_updater(
-    ingest_rx: &Receiver<IngestBatch>,
+    ingest_rx: &Receiver<UpdaterMsg>,
     mut node: ServingNode,
     publisher: &Arc<EpochPublisher<ServingSnapshot>>,
     mut params: UpdaterParams,
@@ -51,13 +87,14 @@ pub(crate) fn run_updater(
     let mut last_update = Instant::now();
     loop {
         // Sleep on the channel until the next update deadline (or effectively forever
-        // when no policy is installed — the disconnect wakes us for shutdown).
+        // when no policy is installed — the disconnect wakes us for shutdown, a command
+        // wakes us for node access).
         let timeout = match params.policy {
             None => Duration::from_secs(3600),
             Some(_) => params.interval.saturating_sub(last_update.elapsed()),
         };
         match ingest_rx.recv_timeout(timeout) {
-            Ok(ingest) => {
+            Ok(UpdaterMsg::Ingest(ingest)) => {
                 node_time = node_time.max(ingest.time_minutes);
                 report.ingested_batches += 1;
                 report.ingested_requests += ingest.batch.len() as u64;
@@ -65,6 +102,13 @@ pub(crate) fn run_updater(
                 if let Some(policy) = params.policy.as_mut() {
                     policy.observe(ingest.time_minutes, &ingest.batch);
                 }
+            }
+            Ok(UpdaterMsg::Command(command)) => {
+                (command.run)(&mut node);
+                if command.publish {
+                    publish_snapshot(&node, publisher, &mut report);
+                }
+                let _ = command.done.send(());
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
@@ -76,11 +120,7 @@ pub(crate) fn run_updater(
                 report.update_rounds += tick.rounds;
                 report.params_pulled += tick.params_pulled;
                 if tick.publish {
-                    let snapshot = node.snapshot();
-                    let checksum = snapshot.checksum();
-                    let epoch = publisher.publish(snapshot);
-                    report.publications += 1;
-                    report.published.push((epoch, checksum));
+                    publish_snapshot(&node, publisher, &mut report);
                 }
                 report
                     .round_times_ms
@@ -90,11 +130,23 @@ pub(crate) fn run_updater(
         }
     }
     // Workers are gone; fold any traffic still queued into the buffer so the returned
-    // node reflects everything that was served.
-    while let Ok(ingest) = ingest_rx.try_recv() {
-        report.ingested_batches += 1;
-        report.ingested_requests += ingest.batch.len() as u64;
-        node.ingest_batch(ingest.time_minutes, &ingest.batch);
+    // node reflects everything that was served. Stray commands are completed too so no
+    // caller is left blocked.
+    while let Ok(msg) = ingest_rx.try_recv() {
+        match msg {
+            UpdaterMsg::Ingest(ingest) => {
+                report.ingested_batches += 1;
+                report.ingested_requests += ingest.batch.len() as u64;
+                node.ingest_batch(ingest.time_minutes, &ingest.batch);
+            }
+            UpdaterMsg::Command(command) => {
+                (command.run)(&mut node);
+                if command.publish {
+                    publish_snapshot(&node, publisher, &mut report);
+                }
+                let _ = command.done.send(());
+            }
+        }
     }
     (report, node)
 }

@@ -10,8 +10,8 @@
 use crate::batcher::{next_batch, BatcherConfig};
 use crate::epoch::{EpochPublisher, EpochReader};
 use crate::report::{UpdaterReport, WorkerReport};
-use crate::request::Request;
-use crate::updater::IngestBatch;
+use crate::request::{ReplyTo, Request};
+use crate::updater::{IngestBatch, UpdaterMsg};
 use liveupdate::engine::ServingNode;
 use liveupdate::snapshot::ServingSnapshot;
 use liveupdate_dlrm::sample::MiniBatch;
@@ -20,32 +20,42 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Split a closed batch into `(submit instants, sim-time high-water mark, mini-batch)`.
-fn unpack(batch: Vec<Request>) -> (Vec<Instant>, f64, MiniBatch) {
+/// Split a closed batch into `(submit instants, reply paths, sim-time high-water mark,
+/// mini-batch)`; the instants and replies stay index-aligned with the batch samples.
+fn unpack(batch: Vec<Request>) -> (Vec<Instant>, Vec<Option<ReplyTo>>, f64, MiniBatch) {
     let mut submitted = Vec::with_capacity(batch.len());
+    let mut replies = Vec::with_capacity(batch.len());
     let mut time_minutes = f64::NEG_INFINITY;
     let mut samples = Vec::with_capacity(batch.len());
     for request in batch {
         submitted.push(request.submitted);
+        replies.push(request.reply);
         time_minutes = time_minutes.max(request.time_minutes);
         samples.push(request.sample);
     }
-    (submitted, time_minutes, MiniBatch::new(samples))
+    (submitted, replies, time_minutes, MiniBatch::new(samples))
 }
 
-/// Serve one mini-batch from `snapshot` and fold the results into `report`.
+/// Serve one mini-batch from `snapshot`, fold the results into `report`, and deliver
+/// each prediction to any submitter that attached a reply path.
 fn serve_and_record(
     snapshot: &ServingSnapshot,
     mini_batch: &MiniBatch,
     submitted: &[Instant],
+    replies: Vec<Option<ReplyTo>>,
     report: &mut WorkerReport,
 ) {
-    let serve = snapshot.serve_batch(mini_batch);
+    let (serve, predictions) = snapshot.serve_batch_with_predictions(mini_batch);
     let completion = Instant::now();
     for &instant in submitted {
         report
             .latency
             .record(completion.saturating_duration_since(instant).as_secs_f64() * 1e3);
+    }
+    for (reply, &prediction) in replies.into_iter().zip(&predictions) {
+        if let Some(reply) = reply {
+            reply.complete(prediction);
+        }
     }
     report.served += serve.requests as u64;
     report.batches += 1;
@@ -60,21 +70,21 @@ pub(crate) fn run_worker(
     rx: &Receiver<Request>,
     batcher: &BatcherConfig,
     mut reader: EpochReader<ServingSnapshot>,
-    ingest_tx: &Sender<IngestBatch>,
+    ingest_tx: &Sender<UpdaterMsg>,
     processed: &AtomicU64,
 ) -> WorkerReport {
     let mut report = WorkerReport::default();
     while let Some(batch) = next_batch(rx, batcher) {
         reader.refresh();
-        let (submitted, time_minutes, mini_batch) = unpack(batch);
-        serve_and_record(reader.get(), &mini_batch, &submitted, &mut report);
+        let (submitted, replies, time_minutes, mini_batch) = unpack(batch);
+        serve_and_record(reader.get(), &mini_batch, &submitted, replies, &mut report);
         // The updater owns the mutable node; served traffic reaches its retention
         // buffer through this channel. If the updater is gone the run is shutting
         // down — serving continues, ingestion is simply dropped.
-        let _ = ingest_tx.send(IngestBatch {
+        let _ = ingest_tx.send(UpdaterMsg::Ingest(IngestBatch {
             time_minutes,
             batch: mini_batch,
-        });
+        }));
         processed.fetch_add(submitted.len() as u64, Ordering::Release);
     }
     report.snapshot_refreshes = reader.refreshes();
@@ -103,8 +113,8 @@ pub(crate) fn run_sync_worker(
     let mut batches_since_update = 0usize;
     while let Some(batch) = next_batch(rx, batcher) {
         reader.refresh();
-        let (submitted, time_minutes, mini_batch) = unpack(batch);
-        serve_and_record(reader.get(), &mini_batch, &submitted, &mut report);
+        let (submitted, replies, time_minutes, mini_batch) = unpack(batch);
+        serve_and_record(reader.get(), &mini_batch, &submitted, replies, &mut report);
 
         node.ingest_batch(time_minutes, &mini_batch);
         updater.ingested_batches += 1;

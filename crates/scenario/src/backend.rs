@@ -14,9 +14,11 @@
 //!   the first real-contention measurement of QuickUpdate and DeltaUpdate cadences.
 //!
 //! Adding a fourth engine means implementing this one trait; nothing about scenarios,
-//! reports, or the comparison driver changes.
+//! reports, or the comparison driver changes. The `liveupdate_net` crate does exactly
+//! that: its `DistributedBackend` runs the same scenarios over real localhost TCP
+//! sockets (N replica servers, wire-measured sync traffic).
 
-use crate::report::{BackendKind, ScenarioReport};
+use crate::report::{BackendKind, ScenarioReport, SyncProvenance};
 use crate::scenario::Scenario;
 use liveupdate::error::ConfigError;
 use liveupdate::experiment::{run_strategy_with_training_delay, warmed_up_model};
@@ -115,6 +117,7 @@ impl ExecutionBackend for AnalyticBackend {
         report.update_events = analytic_update_events(scenario);
         report.update_cost_minutes_per_hour = cost_minutes;
         report.sync_bytes = sync_bytes;
+        report.sync_provenance = SyncProvenance::AnalyticModel;
         report.lora_memory_bytes = result.lora_memory_fraction.map(|fraction| {
             let base_bytes: usize =
                 exp.dlrm.table_sizes.iter().sum::<usize>() * exp.dlrm.embedding_dim * 8;
@@ -160,7 +163,11 @@ impl ExecutionBackend for SimBackend {
                 windows * scenario.policy.online_rounds_per_window as u64
                     * scenario.topology.replicas as u64;
             report.publications = summary.sync_reports.len() as u64;
-            report.sync_bytes = summary.ledger.total_bytes_per_rank;
+            // Local training ships no parameters; the measured fabric traffic is the
+            // sparse LoRA exchange, reported under its own field.
+            report.sync_bytes = 0;
+            report.lora_sync_bytes = summary.ledger.total_bytes_per_rank;
+            report.sync_provenance = SyncProvenance::SimulatedFabric;
             report.lora_memory_bytes =
                 Some(summary.final_lora_memory_bytes.iter().sum::<usize>() as u64);
             report.timeline = summary.timeline;
@@ -173,6 +180,7 @@ impl ExecutionBackend for SimBackend {
             report.requests_served = windows * scenario.horizon.requests_per_window as u64;
             report.update_events = analytic_update_events(scenario);
             report.sync_bytes = analytic_bytes;
+            report.sync_provenance = SyncProvenance::AnalyticModel;
             report.timeline = result.timeline;
         }
         Ok(report)
@@ -267,6 +275,7 @@ impl ExecutionBackend for RealtimeBackend {
         };
         report.update_cost_minutes_per_hour = cost_minutes;
         report.sync_bytes = run_report.updater.params_pulled * 8;
+        report.sync_provenance = SyncProvenance::CountedInProcess;
         report.publication_history = run_report.updater.published;
         report.lora_memory_bytes = if strategy.trains_locally() {
             Some(final_node.lora_memory_bytes() as u64)
@@ -310,7 +319,9 @@ mod tests {
         assert_eq!(r.backend, BackendKind::Sim);
         assert_eq!(r.timeline.len(), 2);
         assert!(r.publications > 0, "sparse syncs happened");
-        assert!(r.sync_bytes > 0, "sim measures AllGather traffic");
+        assert_eq!(r.sync_bytes, 0, "LiveUpdate ships no parameters");
+        assert!(r.lora_sync_bytes > 0, "sim measures the AllGather LoRA traffic");
+        assert_eq!(r.sync_provenance, SyncProvenance::SimulatedFabric);
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub mod report;
 pub mod scenario;
 
 pub use backend::{all_backends, AnalyticBackend, ExecutionBackend, RealtimeBackend, SimBackend};
-pub use report::{auc_agreement, BackendKind, ScenarioReport};
+pub use report::{auc_agreement, BackendKind, ScenarioReport, SyncProvenance};
 pub use scenario::{
     HorizonSpec, PolicySpec, RealtimeSpec, Scenario, ScenarioError, TopologySpec, WorkloadSpec,
 };

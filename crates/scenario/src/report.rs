@@ -18,6 +18,9 @@ pub enum BackendKind {
     Sim,
     /// The real multithreaded runtime (`liveupdate_runtime`).
     Realtime,
+    /// The TCP multi-replica tier (`liveupdate_net`): N replica servers on localhost
+    /// sockets, sync traffic measured on the wire.
+    Distributed,
 }
 
 impl BackendKind {
@@ -28,6 +31,37 @@ impl BackendKind {
             BackendKind::Analytic => "analytic",
             BackendKind::Sim => "sim",
             BackendKind::Realtime => "realtime",
+            BackendKind::Distributed => "distributed",
+        }
+    }
+}
+
+/// How a report's synchronisation-byte numbers were obtained. PR 4's backends each
+/// counted "sync bytes" their own way (analytic projection, simulated fabric charge,
+/// whole parameters counted in-process); with real wire measurements joining the table,
+/// every report now says explicitly where its bytes came from, so `scenario_compare`
+/// can label columns instead of silently mixing provenances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncProvenance {
+    /// Projected from the paper's analytic cost model (no traffic ever existed).
+    AnalyticModel,
+    /// Charged against the discrete-event cluster's modelled fabric.
+    SimulatedFabric,
+    /// Whole parameters counted as they moved between threads of one process.
+    CountedInProcess,
+    /// Bytes counted at a real socket (frame lengths summed at send/receive).
+    MeasuredWire,
+}
+
+impl SyncProvenance {
+    /// Stable lowercase label used in summary lines and artifacts.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            SyncProvenance::AnalyticModel => "analytic",
+            SyncProvenance::SimulatedFabric => "sim-fabric",
+            SyncProvenance::CountedInProcess => "counted",
+            SyncProvenance::MeasuredWire => "wire",
         }
     }
 }
@@ -67,10 +101,17 @@ pub struct ScenarioReport {
     pub mean_update_ms: Option<f64>,
     /// The paper's analytic per-hour update cost for this strategy/cadence, minutes.
     pub update_cost_minutes_per_hour: f64,
-    /// Parameter bytes synchronised over the horizon: analytic transfer bytes
-    /// (analytic), measured AllGather bytes per rank (sim), or measured shipped-row
-    /// bytes (realtime).
+    /// **Parameter-shipment** bytes over the horizon: what the training cluster pushed
+    /// into the serving tier (full models, top-changed rows). Zero for local-training
+    /// strategies on every backend — that absence is the paper's core claim. See
+    /// `sync_provenance` for how the number was obtained.
     pub sync_bytes: u64,
+    /// **Sparse LoRA exchange** bytes between replicas (Algorithm 3 traffic): the `A`
+    /// rows and `B` factors replicas swap so corrections agree on the exchanged
+    /// support. Zero for parameter-pull strategies and for single-node backends.
+    pub lora_sync_bytes: u64,
+    /// Where `sync_bytes` / `lora_sync_bytes` came from.
+    pub sync_provenance: SyncProvenance,
     /// `(epoch, checksum)` publication history (realtime only).
     pub publication_history: Vec<(u64, u64)>,
     /// Final LoRA adapter memory in bytes (local-training strategies only).
@@ -98,6 +139,8 @@ impl ScenarioReport {
             mean_update_ms: None,
             update_cost_minutes_per_hour: 0.0,
             sync_bytes: 0,
+            lora_sync_bytes: 0,
+            sync_provenance: SyncProvenance::AnalyticModel,
             publication_history: Vec::new(),
             lora_memory_bytes: None,
         }
@@ -110,7 +153,7 @@ impl ScenarioReport {
             v.map_or_else(|| "-".to_string(), |v| format!("{v:.3}"))
         }
         format!(
-            "{:<9} {:<15} auc={} qps={} p50={} p99={} updates={} pubs={} cost={:.3}min/h sync={}B",
+            "{:<11} {:<15} auc={} qps={} p50={} p99={} updates={} pubs={} cost={:.3}min/h param_sync={}B lora_sync={}B [{}]",
             self.backend.name(),
             self.strategy,
             opt(self.mean_auc),
@@ -121,6 +164,8 @@ impl ScenarioReport {
             self.publications,
             self.update_cost_minutes_per_hour,
             self.sync_bytes,
+            self.lora_sync_bytes,
+            self.sync_provenance.label(),
         )
     }
 
@@ -143,6 +188,7 @@ impl ScenarioReport {
                 "minutes/hour",
             ),
             (format!("{prefix}_sync_bytes"), self.sync_bytes as f64, "bytes"),
+            (format!("{prefix}_lora_sync_bytes"), self.lora_sync_bytes as f64, "bytes"),
         ];
         if let Some(auc) = self.mean_auc {
             rows.push((format!("{prefix}_mean_auc"), auc, "auc"));
@@ -176,6 +222,26 @@ mod tests {
         assert_eq!(BackendKind::Analytic.name(), "analytic");
         assert_eq!(BackendKind::Sim.name(), "sim");
         assert_eq!(BackendKind::Realtime.name(), "realtime");
+        assert_eq!(BackendKind::Distributed.name(), "distributed");
+    }
+
+    #[test]
+    fn provenance_labels_are_stable() {
+        assert_eq!(SyncProvenance::AnalyticModel.label(), "analytic");
+        assert_eq!(SyncProvenance::SimulatedFabric.label(), "sim-fabric");
+        assert_eq!(SyncProvenance::CountedInProcess.label(), "counted");
+        assert_eq!(SyncProvenance::MeasuredWire.label(), "wire");
+    }
+
+    #[test]
+    fn summary_line_labels_both_byte_kinds() {
+        let mut r = ScenarioReport::new("s", BackendKind::Distributed, "LiveUpdate");
+        r.sync_provenance = SyncProvenance::MeasuredWire;
+        r.lora_sync_bytes = 42;
+        let line = r.summary_line();
+        assert!(line.contains("param_sync=0B"));
+        assert!(line.contains("lora_sync=42B"));
+        assert!(line.contains("[wire]"));
     }
 
     #[test]

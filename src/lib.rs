@@ -12,8 +12,11 @@
 //! * [`runtime`] — the real `std::thread` serving runtime: open-loop Poisson load
 //!   generation, deadline batching, epoch-swap LoRA publication, measured QPS/P99.
 //! * [`scenario`] — the unified scenario/backend API: one serializable experiment
-//!   description executed by three engines (analytic, discrete-event sim, real threads)
-//!   into one report schema.
+//!   description executed by multiple engines (analytic, discrete-event sim, real
+//!   threads, TCP sockets) into one report schema.
+//! * [`net`] — distributed serving over TCP: the length-prefixed wire protocol,
+//!   socket-based sparse LoRA sync, and the fourth execution backend with
+//!   wire-measured sync bytes.
 //!
 //! # Quickstart
 //!
@@ -27,6 +30,7 @@
 pub use liveupdate as core;
 pub use liveupdate_dlrm as dlrm;
 pub use liveupdate_linalg as linalg;
+pub use liveupdate_net as net;
 pub use liveupdate_runtime as runtime;
 pub use liveupdate_scenario as scenario;
 pub use liveupdate_sim as sim;

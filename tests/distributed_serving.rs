@@ -1,0 +1,99 @@
+//! Integration tests of the TCP serving tier: the distributed backend must agree with
+//! the real-thread backend at N=1 (same scenario, one extra socket hop) and, at N=2,
+//! the wire-measured sync traffic must reproduce the paper's cost ordering.
+
+use liveupdate_repro::core::strategy::StrategyKind;
+use liveupdate_repro::net::DistributedBackend;
+use liveupdate_repro::scenario::{
+    auc_agreement, BackendKind, ExecutionBackend, RealtimeBackend, Scenario, SyncProvenance,
+};
+
+fn quick_compare() -> Scenario {
+    let path = format!("{}/scenarios/quick_compare.json", env!("CARGO_MANIFEST_DIR"));
+    Scenario::from_file(&path).expect("quick_compare.json loads")
+}
+
+/// Acceptance pin: at one replica the distributed engine is the realtime engine plus a
+/// socket, so the end-of-run held-out AUC of the two must land within 0.05 of each
+/// other on the shipped `quick_compare` scenario.
+#[test]
+fn distributed_n1_matches_realtime_auc_on_quick_compare() {
+    let mut scenario = quick_compare();
+    scenario.topology.replicas = 1;
+    // Keep the test fast; the Day-1 checkpoint and eval protocol stay identical.
+    scenario.realtime.wall_seconds = 1.0;
+
+    let realtime = RealtimeBackend.run(&scenario).expect("realtime run");
+    let distributed = DistributedBackend.run(&scenario).expect("distributed run");
+    assert_eq!(distributed.backend, BackendKind::Distributed);
+    assert!(distributed.requests_served > 0, "sockets carried traffic");
+
+    let delta = auc_agreement(&realtime, &distributed).expect("both engines report AUC");
+    assert!(
+        delta < 0.05,
+        "realtime vs distributed mean AUC differ by {delta:.4} (>= 0.05): realtime={:?} distributed={:?}",
+        realtime.mean_auc,
+        distributed.mean_auc,
+    );
+}
+
+/// Acceptance pin: at N=2 the measured wire bytes preserve the paper's ordering —
+/// LiveUpdate ships zero parameter bytes, QuickUpdate ships a fraction, DeltaUpdate
+/// ships whole models.
+#[test]
+fn distributed_n2_wire_bytes_preserve_the_papers_ordering() {
+    let mut scenario = quick_compare();
+    scenario.topology.replicas = 2;
+    scenario.topology.workers = 1;
+    scenario.realtime.wall_seconds = 0.8;
+    scenario.realtime.target_qps = 400.0;
+
+    let run = |strategy: StrategyKind| {
+        DistributedBackend
+            .run(&scenario.with_strategy(strategy))
+            .unwrap_or_else(|e| panic!("{}: {e}", strategy.name()))
+    };
+    let live = run(StrategyKind::LiveUpdate);
+    let quick = run(StrategyKind::QuickUpdate { fraction: 0.05 });
+    let delta = run(StrategyKind::DeltaUpdate);
+
+    for report in [&live, &quick, &delta] {
+        assert_eq!(report.sync_provenance, SyncProvenance::MeasuredWire);
+        assert!(report.requests_served > 0, "{}: no traffic served", report.strategy);
+    }
+    assert_eq!(live.sync_bytes, 0, "LiveUpdate must ship zero parameter bytes on the wire");
+    assert!(
+        quick.sync_bytes > 0,
+        "QuickUpdate must ship top-changed rows on the wire"
+    );
+    assert!(
+        quick.sync_bytes < delta.sync_bytes,
+        "QuickUpdate ({}B) must ship less than DeltaUpdate ({}B)",
+        quick.sync_bytes,
+        delta.sync_bytes,
+    );
+    // LiveUpdate's cross-replica LoRA exchange is real but tiny compared to models.
+    assert!(
+        live.lora_sync_bytes < delta.sync_bytes,
+        "the sparse LoRA exchange ({}B) must undercut full-model shipping ({}B)",
+        live.lora_sync_bytes,
+        delta.sync_bytes,
+    );
+}
+
+/// Every shipped scenario file runs on the distributed backend unchanged (bounded to a
+/// short wall so CI stays fast).
+#[test]
+fn shipped_scenario_files_run_on_the_distributed_backend() {
+    for file in ["quick_compare.json", "distributed_quick.json"] {
+        let path = format!("{}/scenarios/{file}", env!("CARGO_MANIFEST_DIR"));
+        let mut scenario = Scenario::from_file(&path).unwrap_or_else(|e| panic!("{file}: {e}"));
+        scenario.realtime.wall_seconds = 0.3;
+        scenario.realtime.target_qps = 300.0;
+        let report = DistributedBackend
+            .run(&scenario)
+            .unwrap_or_else(|e| panic!("{file} on distributed: {e}"));
+        assert!(report.requests_served > 0, "{file}: no traffic served");
+        assert!(report.qps.unwrap() > 0.0, "{file}: no measured throughput");
+    }
+}

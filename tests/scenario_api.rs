@@ -42,11 +42,25 @@ fn scenario_file_round_trip_drives_an_identical_run() {
 
 #[test]
 fn shipped_scenario_files_parse_and_validate() {
-    for file in ["quick_compare.json", "criteo_cluster.json"] {
+    for file in ["quick_compare.json", "criteo_cluster.json", "distributed_quick.json"] {
         let path = format!("{}/scenarios/{file}", env!("CARGO_MANIFEST_DIR"));
         let scenario = Scenario::from_file(&path).unwrap_or_else(|e| panic!("{file}: {e}"));
         assert!(scenario.validate().is_ok(), "{file} must validate");
     }
+}
+
+#[test]
+fn backend_registry_superset_includes_the_distributed_engine() {
+    // Validation gates every backend run identically (shipped files are covered by
+    // shipped_scenario_files_parse_and_validate; bounded *runs* on the distributed
+    // backend live in tests/distributed_serving.rs). What this pins is the registry:
+    // the superset keeps the in-process engines in fidelity order and appends the TCP
+    // tier, so comparison drivers iterate all four.
+    let kinds: Vec<&str> = liveupdate_repro::net::all_backends_with_distributed()
+        .iter()
+        .map(|b| b.name())
+        .collect();
+    assert_eq!(kinds, vec!["analytic", "sim", "realtime", "distributed"]);
 }
 
 #[test]
