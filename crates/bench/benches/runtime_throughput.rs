@@ -11,7 +11,7 @@
 
 use liveupdate::config::LiveUpdateConfig;
 use liveupdate::engine::ServingNode;
-use liveupdate_bench::{header, write_bench_json, BenchMetric};
+use liveupdate_bench::{header, merge_bench_json, BenchMetric};
 use liveupdate_dlrm::model::{DlrmConfig, DlrmModel};
 use liveupdate_runtime::config::{RuntimeConfig, UpdateMode};
 use liveupdate_runtime::loadgen::{run_open_loop, LoadGenConfig};
@@ -121,7 +121,7 @@ fn main() {
         BenchMetric::new("mean_update_round", on.updater.mean_round_ms(), "ms"),
         BenchMetric::new("max_update_round", on.updater.max_round_ms(), "ms"),
     ];
-    if let Err(e) = write_bench_json("runtime", &metrics) {
+    if let Err(e) = merge_bench_json("runtime", &metrics) {
         eprintln!("could not write BENCH_runtime.json: {e}");
     }
 }

@@ -127,15 +127,59 @@ pub fn bench_json(bench: &str, metrics: &[BenchMetric]) -> String {
 ///
 /// Propagates the underlying I/O error.
 pub fn write_bench_json(bench: &str, metrics: &[BenchMetric]) -> std::io::Result<std::path::PathBuf> {
+    let path = bench_json_path(bench);
+    std::fs::write(&path, bench_json(bench, metrics))?;
+    println!("wrote {} ({} metrics)", path.display(), metrics.len());
+    Ok(path)
+}
+
+/// Where `write_bench_json` puts the artifact for `bench`.
+fn bench_json_path(bench: &str) -> std::path::PathBuf {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
         .filter(|p| p.is_dir())
         .map_or_else(|| std::path::PathBuf::from("."), std::path::Path::to_path_buf);
-    let path = root.join(format!("BENCH_{bench}.json"));
-    std::fs::write(&path, bench_json(bench, metrics))?;
-    println!("wrote {} ({} metrics)", path.display(), metrics.len());
-    Ok(path)
+    root.join(format!("BENCH_{bench}.json"))
+}
+
+/// [`write_bench_json`] that preserves metrics already in `BENCH_<bench>.json` instead of
+/// clobbering them: existing rows whose names do not collide with `metrics` are kept (in
+/// file order, ahead of the new rows). This lets several bench binaries contribute to one
+/// artifact — `runtime_throughput` and `fig17_memory_optimization` both feed
+/// `BENCH_runtime.json` regardless of which ran last. A missing or unparsable file
+/// degrades to a plain write.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error from the final write.
+pub fn merge_bench_json(bench: &str, metrics: &[BenchMetric]) -> std::io::Result<std::path::PathBuf> {
+    use liveupdate_scenario::json::Json;
+    let mut combined: Vec<BenchMetric> = Vec::new();
+    if let Ok(text) = std::fs::read_to_string(bench_json_path(bench)) {
+        if let Ok(doc) = Json::parse(&text) {
+            if let Some(Json::Arr(rows)) = doc.get("metrics") {
+                for row in rows {
+                    let (Some(Json::Str(name)), Some(Json::Str(unit))) = (row.get("name"), row.get("unit"))
+                    else {
+                        continue;
+                    };
+                    if metrics.iter().any(|m| m.name == *name) {
+                        continue; // the new measurement supersedes the stored one
+                    }
+                    // Non-finite values serialize as null; read them back as NaN so they
+                    // round-trip to null again.
+                    let value = match row.get("value") {
+                        Some(Json::Num(v)) => *v,
+                        _ => f64::NAN,
+                    };
+                    combined.push(BenchMetric::new(name, value, unit));
+                }
+            }
+        }
+    }
+    combined.extend(metrics.iter().cloned());
+    write_bench_json(bench, &combined)
 }
 
 /// Map a unified [`ScenarioReport`](liveupdate_scenario::ScenarioReport) onto bench
@@ -229,6 +273,24 @@ mod tests {
         assert!(path.parent().unwrap().join("Cargo.toml").is_file());
         let written = std::fs::read_to_string(&path).unwrap();
         assert_eq!(written, bench_json("selftest", &[BenchMetric::new("m", 1.0, "u")]));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn merge_bench_json_keeps_foreign_metrics_and_supersedes_colliding_ones() {
+        let first = [BenchMetric::new("kept", 1.0, "u"), BenchMetric::new("stale", 2.0, "u")];
+        let path = write_bench_json("mergetest", &first).unwrap();
+        let merged = merge_bench_json(
+            "mergetest",
+            &[BenchMetric::new("stale", 9.0, "u"), BenchMetric::new("added", 3.0, "u")],
+        )
+        .unwrap();
+        assert_eq!(path, merged);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("{\"name\": \"kept\", \"value\": 1, \"unit\": \"u\"}"), "{text}");
+        assert!(text.contains("{\"name\": \"stale\", \"value\": 9, \"unit\": \"u\"}"), "{text}");
+        assert!(text.contains("{\"name\": \"added\", \"value\": 3, \"unit\": \"u\"}"), "{text}");
+        assert!(!text.contains("\"value\": 2"), "superseded value must be gone: {text}");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -45,6 +45,28 @@ impl DotInteraction {
         out
     }
 
+    /// Forward pass over `num_vectors` vectors of dimension `dim` stored contiguously in
+    /// `flat` (vector `i` at `flat[i*dim..(i+1)*dim]`), written into a reusable buffer.
+    /// Allocation-free variant of [`Self::forward`] for the hot serving path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len() != num_vectors * dim` or `num_vectors == 0`.
+    pub fn forward_flat_into(flat: &[f64], num_vectors: usize, dim: usize, out: &mut Vec<f64>) {
+        assert!(num_vectors > 0, "interaction needs at least one vector");
+        assert_eq!(flat.len(), num_vectors * dim, "flat interaction input has wrong length");
+        out.clear();
+        out.reserve(Self::output_dim(num_vectors, dim));
+        out.extend_from_slice(flat);
+        for i in 0..num_vectors {
+            let vi = &flat[i * dim..(i + 1) * dim];
+            for j in (i + 1)..num_vectors {
+                let vj = &flat[j * dim..(j + 1) * dim];
+                out.push(liveupdate_linalg::vector::dot(vi, vj));
+            }
+        }
+    }
+
     /// Backward pass: given `dL/d(output)`, return `dL/d(vectorᵢ)` for every input vector.
     ///
     /// # Panics
@@ -114,6 +136,19 @@ mod tests {
     #[should_panic(expected = "at least one vector")]
     fn forward_empty_panics() {
         let _ = DotInteraction::forward(&[]);
+    }
+
+    #[test]
+    fn forward_flat_into_matches_forward() {
+        let vectors = vec![vec![0.5, -1.0, 2.0], vec![1.5, 0.3, -0.7], vec![-0.2, 0.8, 1.1]];
+        let flat: Vec<f64> = vectors.iter().flatten().copied().collect();
+        let mut out = vec![99.0; 3]; // stale contents must be cleared
+        DotInteraction::forward_flat_into(&flat, 3, 3, &mut out);
+        let expected = DotInteraction::forward(&vectors);
+        assert_eq!(out.len(), expected.len());
+        for (a, b) in out.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-12);
+        }
     }
 
     #[test]

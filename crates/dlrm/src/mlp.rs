@@ -131,6 +131,22 @@ impl DenseLayer {
         )
     }
 
+    /// Inference-only forward pass into a caller-provided buffer: no `LayerCache`, no
+    /// allocation. Uses the blocked GEMV kernel, so summation order (and hence the last
+    /// ulp) can differ from [`Self::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != in_dim` or `out.len() != out_dim`.
+    pub fn forward_into(&self, input: &[f64], out: &mut [f64]) {
+        assert_eq!(input.len(), self.in_dim, "dense layer input dimension mismatch");
+        assert_eq!(out.len(), self.out_dim, "dense layer output dimension mismatch");
+        liveupdate_linalg::matrix::gemv_row_major(&self.weights, self.out_dim, self.in_dim, input, out);
+        for (o, b) in out.iter_mut().zip(&self.bias) {
+            *o = self.activation.apply(*o + b);
+        }
+    }
+
     /// Backward pass: given `dL/dy`, return `(dL/dx, layer gradient)`.
     ///
     /// # Panics
@@ -208,6 +224,14 @@ impl DenseLayer {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Mlp {
     layers: Vec<DenseLayer>,
+}
+
+/// Reusable ping-pong buffers for [`Mlp::infer`]. One scratch can be shared by any
+/// number of MLPs and samples; buffers grow to the widest layer seen and stay there.
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    a: Vec<f64>,
+    b: Vec<f64>,
 }
 
 /// Forward cache of a whole MLP (one entry per layer).
@@ -312,6 +336,22 @@ impl Mlp {
             current = out;
         }
         (current, MlpCache { caches })
+    }
+
+    /// Inference-only forward pass reusing caller scratch buffers: no per-layer `Vec`s,
+    /// no backprop cache. Returns a slice (living in `scratch`) holding the final layer's
+    /// output. Numerically equivalent to [`Self::forward`] up to summation order.
+    pub fn infer<'s>(&self, input: &[f64], scratch: &'s mut MlpScratch) -> &'s [f64] {
+        let MlpScratch { a, b } = scratch;
+        a.clear();
+        a.extend_from_slice(input);
+        let (mut src, mut dst) = (a, b);
+        for layer in &self.layers {
+            dst.resize(layer.out_dim(), 0.0);
+            layer.forward_into(src, dst);
+            std::mem::swap(&mut src, &mut dst);
+        }
+        src
     }
 
     /// Backward pass: given `dL/d(output)`, return `(dL/d(input), gradients)`.
@@ -522,6 +562,21 @@ mod tests {
         for (a, b) in acc.layers.iter().zip(&g1.layers) {
             for (x, y) in a.weights.iter().zip(&b.weights) {
                 assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mlp = Mlp::new(&[5, 17, 9, 2], 42);
+        let mut scratch = MlpScratch::default();
+        for trial in 0..8 {
+            let x: Vec<f64> = (0..5).map(|i| (i as f64 - 2.0) * 0.3 + trial as f64 * 0.1).collect();
+            let (expected, _) = mlp.forward(&x);
+            let got = mlp.infer(&x, &mut scratch);
+            assert_eq!(got.len(), expected.len());
+            for (g, e) in got.iter().zip(&expected) {
+                assert!((g - e).abs() < 1e-12, "{g} vs {e}");
             }
         }
     }

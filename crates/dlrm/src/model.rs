@@ -9,11 +9,11 @@
 //! * `apply_gradients` / `train_batch` — the training-cluster path,
 //! * `evaluate` — AUC/LogLoss over a batch, used by every accuracy experiment.
 
-use crate::embedding::{EmbeddingTable, SparseGradient};
+use crate::embedding::{EmbeddingTable, SparseGradient, StorageKind};
 use crate::interaction::DotInteraction;
 use crate::loss::{bce_with_logits, bce_with_logits_grad, sigmoid};
 use crate::metrics::{Auc, LogLoss};
-use crate::mlp::{Mlp, MlpCache, MlpGradient};
+use crate::mlp::{Mlp, MlpCache, MlpGradient, MlpScratch};
 use crate::optim::{OptimizerConfig, OptimizerKind};
 use crate::sample::{MiniBatch, Sample};
 use serde::{Deserialize, Serialize};
@@ -92,6 +92,52 @@ impl DlrmConfig {
         if !self.optimizer.is_valid() {
             return Err("optimizer configuration is invalid".into());
         }
+        // Production geometries (10⁶–10⁷ rows) put `rows × dim` within a few orders of
+        // magnitude of usize on 32-bit targets; reject overflowing shapes here so scenario
+        // files fail with an error instead of a wrapped allocation size.
+        let mut total: usize = 0;
+        for &size in &self.table_sizes {
+            let cells = size
+                .checked_mul(self.embedding_dim)
+                .ok_or_else(|| format!("embedding table geometry {size}x{} overflows usize", self.embedding_dim))?;
+            total = total
+                .checked_add(cells)
+                .ok_or_else(|| "total embedding parameter count overflows usize".to_string())?;
+        }
+        Ok(())
+    }
+
+    /// Check that a sample's shape and sparse indices fit this model geometry — the
+    /// ingest-boundary guard that keeps a malformed request from panicking a lookup deep
+    /// inside a serving worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate_sample(&self, sample: &Sample) -> Result<(), String> {
+        if sample.dense.len() != self.dense_dim {
+            return Err(format!(
+                "sample has {} dense features but the model expects {}",
+                sample.dense.len(),
+                self.dense_dim
+            ));
+        }
+        if sample.sparse.len() != self.table_sizes.len() {
+            return Err(format!(
+                "sample addresses {} tables but the model has {}",
+                sample.sparse.len(),
+                self.table_sizes.len()
+            ));
+        }
+        if sample.dense.iter().any(|d| !d.is_finite()) {
+            return Err("sample has a non-finite dense feature".into());
+        }
+        for (t, ids) in sample.sparse.iter().enumerate() {
+            let rows = self.table_sizes[t];
+            if let Some(&bad) = ids.iter().find(|&&id| id >= rows) {
+                return Err(format!("sparse index {bad} out of bounds for table {t} with {rows} rows"));
+            }
+        }
         Ok(())
     }
 }
@@ -116,6 +162,20 @@ struct ForwardCache {
     top_cache: MlpCache,
     interaction_inputs: Vec<Vec<f64>>,
     logit: f64,
+}
+
+/// Reusable buffers for the allocation-free inference path
+/// ([`DlrmModel::predict_with_scratch`]). One scratch serves any number of samples; each
+/// buffer grows to the model's widest intermediate and stays there.
+#[derive(Debug, Clone, Default)]
+pub struct InferenceScratch {
+    /// Flat `(num_tables + 1) × d` buffer: bottom-MLP output, then one pooled embedding
+    /// per table — the interaction layer's input laid out contiguously.
+    vectors: Vec<f64>,
+    /// Interaction output feeding the top MLP.
+    interacted: Vec<f64>,
+    /// Ping-pong buffers shared by the bottom and top MLP.
+    mlp: MlpScratch,
 }
 
 /// The deep-learning recommendation model of paper Fig. 1.
@@ -185,6 +245,30 @@ impl DlrmModel {
         &self.tables[index]
     }
 
+    /// Convert every embedding table to the given row storage (f64, fp16, or int8).
+    ///
+    /// Quantizing is lossy for the stored rows but exact for subsequently written
+    /// (master-overlay) rows; MLP parameters always stay f64.
+    pub fn convert_embedding_storage(&mut self, kind: StorageKind) {
+        for table in &mut self.tables {
+            table.convert_storage(kind);
+        }
+    }
+
+    /// Row-storage kind of the embedding tables (all tables share one kind after
+    /// [`Self::convert_embedding_storage`]; freshly built models are f64).
+    #[must_use]
+    pub fn embedding_storage_kind(&self) -> StorageKind {
+        self.tables.first().map_or(StorageKind::F64, EmbeddingTable::storage_kind)
+    }
+
+    /// Resident bytes of all embedding tables under their current storage (codes +
+    /// scales + f64 master overlay) — the fig17 memory-optimization metric.
+    #[must_use]
+    pub fn embedding_memory_bytes(&self) -> usize {
+        self.tables.iter().map(EmbeddingTable::memory_bytes).sum()
+    }
+
     /// Copy the `fraction` of embedding rows with the largest parameter change from
     /// `source` into this model, per table — the QuickUpdate-α% transfer rule. Returns
     /// the copied row indices per table (what an update shipment would contain).
@@ -217,23 +301,22 @@ impl DlrmModel {
                 pulled.push(Vec::new());
                 continue;
             }
+            let dim = source.table(t).dim();
+            let mut src_row = vec![0.0; dim];
+            let mut dst_row = vec![0.0; dim];
             let mut deltas: Vec<(usize, f64)> = (0..rows)
                 .map(|i| {
-                    let d: f64 = source
-                        .table(t)
-                        .row(i)
-                        .iter()
-                        .zip(self.table(t).row(i))
-                        .map(|(a, b)| (a - b) * (a - b))
-                        .sum();
+                    source.table(t).row_into(i, &mut src_row);
+                    self.table(t).row_into(i, &mut dst_row);
+                    let d: f64 = src_row.iter().zip(&dst_row).map(|(a, b)| (a - b) * (a - b)).sum();
                     (i, d)
                 })
                 .collect();
             deltas.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             let top: Vec<usize> = deltas.into_iter().take(k).map(|(i, _)| i).collect();
             for &i in &top {
-                let row = source.table(t).row(i).to_vec();
-                self.tables[t].set_row(i, &row);
+                source.table(t).row_into(i, &mut src_row);
+                self.tables[t].set_row(i, &src_row);
             }
             pulled.push(top);
         }
@@ -257,7 +340,7 @@ impl DlrmModel {
     pub fn export_parameters(&self) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.parameter_count());
         for table in &self.tables {
-            out.extend_from_slice(table.as_slice());
+            table.export_rows_into(&mut out);
         }
         self.bottom.export_params(&mut out);
         self.top.export_params(&mut out);
@@ -279,12 +362,7 @@ impl DlrmModel {
         );
         let mut rest = params;
         for table in &mut self.tables {
-            let dim = table.dim();
-            for row in 0..table.num_rows() {
-                let (values, tail) = rest.split_at(dim);
-                table.row_mut(row).copy_from_slice(values);
-                rest = tail;
-            }
+            table.import_rows(&mut rest);
         }
         self.bottom.import_params(&mut rest);
         self.top.import_params(&mut rest);
@@ -354,6 +432,61 @@ impl DlrmModel {
     #[must_use]
     pub fn predict_batch(&self, batch: &MiniBatch) -> Vec<f64> {
         batch.iter().map(|s| self.predict(s)).collect()
+    }
+
+    /// Allocation-free single-sample inference reusing caller scratch. This is the hot
+    /// serving path: pooled gathers go through [`EmbeddingTable::pooled_lookup_into`]
+    /// (dequant-inline, no per-lookup `Vec`s) and both MLPs run on the blocked GEMV
+    /// kernel. Numerically equivalent to [`Self::predict`] up to summation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample shape does not match the model (see
+    /// [`DlrmConfig::validate_sample`] for the non-panicking ingest-boundary check).
+    #[must_use]
+    pub fn predict_with_scratch(&self, sample: &Sample, scratch: &mut InferenceScratch) -> f64 {
+        let tables = &self.tables;
+        self.predict_pooled_with_scratch(
+            sample,
+            scratch,
+            |t, ids, out| tables[t].pooled_lookup_into(ids, out),
+        )
+    }
+
+    /// Like [`Self::predict_with_scratch`] but with the pooled-embedding gather supplied
+    /// by the caller: `gather(table, ids, out)` must write the mean-pooled embedding of
+    /// `ids` into `out`. This is how the serving snapshot layers its hot-row cache (and
+    /// the LiveUpdate engine its LoRA correction) over the base tables without giving up
+    /// the scratch fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample shape does not match the model.
+    pub fn predict_pooled_with_scratch(
+        &self,
+        sample: &Sample,
+        scratch: &mut InferenceScratch,
+        mut gather: impl FnMut(usize, &[usize], &mut [f64]),
+    ) -> f64 {
+        assert_eq!(sample.dense.len(), self.config.dense_dim, "sample dense dimension mismatch");
+        assert_eq!(
+            sample.sparse.len(),
+            self.tables.len(),
+            "sample addresses {} tables but the model has {}",
+            sample.sparse.len(),
+            self.tables.len()
+        );
+        let d = self.config.embedding_dim;
+        let n = self.tables.len() + 1;
+        scratch.vectors.resize(n * d, 0.0);
+        let bottom_out = self.bottom.infer(&sample.dense, &mut scratch.mlp);
+        scratch.vectors[..d].copy_from_slice(bottom_out);
+        for (t, ids) in sample.sparse.iter().enumerate() {
+            gather(t, ids, &mut scratch.vectors[(t + 1) * d..(t + 2) * d]);
+        }
+        DotInteraction::forward_flat_into(&scratch.vectors, n, d, &mut scratch.interacted);
+        let logit = self.top.infer(&scratch.interacted, &mut scratch.mlp)[0];
+        sigmoid(logit)
     }
 
     /// Full backward pass over a batch. Gradients are averaged over the batch.
@@ -502,6 +635,71 @@ mod tests {
         let mut cfg = config();
         cfg.embedding_dim = 0;
         let _ = DlrmModel::new(cfg, 0);
+    }
+
+    #[test]
+    fn validate_rejects_overflowing_geometry() {
+        let mut cfg = config();
+        cfg.table_sizes = vec![usize::MAX / 4];
+        cfg.embedding_dim = 8;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("overflows"), "unexpected error: {err}");
+        let mut cfg = config();
+        cfg.table_sizes = vec![usize::MAX / 9; 10];
+        cfg.embedding_dim = 1;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_sample_catches_bad_shapes() {
+        let cfg = config();
+        let good = Sample::new(vec![0.1, 0.2], vec![vec![5], vec![7], vec![49]], 1.0);
+        assert!(cfg.validate_sample(&good).is_ok());
+        let bad_dense = Sample::new(vec![0.1], vec![vec![5], vec![7], vec![49]], 1.0);
+        assert!(cfg.validate_sample(&bad_dense).is_err());
+        let bad_tables = Sample::new(vec![0.1, 0.2], vec![vec![5]], 1.0);
+        assert!(cfg.validate_sample(&bad_tables).is_err());
+        let bad_index = Sample::new(vec![0.1, 0.2], vec![vec![5], vec![50], vec![0]], 1.0);
+        let err = cfg.validate_sample(&bad_index).unwrap_err();
+        assert!(err.contains("out of bounds"), "unexpected error: {err}");
+        let bad_value = Sample::new(vec![0.1, f64::NAN], vec![vec![5], vec![7], vec![0]], 1.0);
+        assert!(cfg.validate_sample(&bad_value).is_err());
+    }
+
+    #[test]
+    fn scratch_prediction_matches_predict() {
+        let model = DlrmModel::new(config(), 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut scratch = InferenceScratch::default();
+        for _ in 0..20 {
+            let s = random_sample(&mut rng, model.config(), 1.0);
+            let slow = model.predict(&s);
+            let fast = model.predict_with_scratch(&s, &mut scratch);
+            assert!((slow - fast).abs() < 1e-12, "{slow} vs {fast}");
+        }
+    }
+
+    #[test]
+    fn quantized_model_predictions_track_f64() {
+        use crate::embedding::StorageKind;
+        let f64_model = DlrmModel::new(config(), 8);
+        let mut rng = StdRng::seed_from_u64(10);
+        let samples: Vec<Sample> = (0..30).map(|_| random_sample(&mut rng, f64_model.config(), 1.0)).collect();
+        for kind in [StorageKind::F16, StorageKind::I8] {
+            let mut q = f64_model.clone();
+            q.convert_embedding_storage(kind);
+            assert_eq!(q.embedding_storage_kind(), kind);
+            assert!(q.embedding_memory_bytes() < f64_model.embedding_memory_bytes());
+            let mut scratch = InferenceScratch::default();
+            for s in &samples {
+                let exact = f64_model.predict(s);
+                let quant = q.predict_with_scratch(s, &mut scratch);
+                assert!(
+                    (exact - quant).abs() < 0.05,
+                    "{kind:?}: prediction drifted {exact} -> {quant}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -263,6 +263,27 @@ impl Matrix {
         Ok(self.iter_rows().map(|r| vector::dot(r, x)).collect())
     }
 
+    /// Matrix-vector product `self · x` written into a caller-provided buffer.
+    ///
+    /// Allocation-free variant of [`Matrix::matvec`] for hot serving loops; delegates to
+    /// [`gemv_row_major`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != self.cols()` or
+    /// `y.len() != self.rows()`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        if x.len() != self.cols || y.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: (x.len(), y.len()),
+                op: "matvec_into",
+            });
+        }
+        gemv_row_major(&self.data, self.rows, self.cols, x, y);
+        Ok(())
+    }
+
     /// Transposed matrix-vector product `selfᵀ · x`.
     ///
     /// # Errors
@@ -360,6 +381,38 @@ impl Matrix {
     #[must_use]
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
         Matrix::from_fn(indices.len(), self.cols, |i, j| self[(indices[i], j)])
+    }
+}
+
+/// Column-block width of [`gemv_row_major`]: 256 `f64`s = 2 KiB per row strip, so a
+/// block of `x` plus the row strips it touches stay L1/L2-resident while the matrix
+/// itself streams through memory once.
+const GEMV_COL_BLOCK: usize = 256;
+
+/// Blocked row-major GEMV: `y = A · x` where `a` is `rows × cols` row-major.
+///
+/// For the wide activations of production-geometry DLRMs the naive row-at-a-time loop
+/// re-reads all of `x` per row; blocking over columns keeps each `x` block hot in cache
+/// across every row before moving to the next block. Each partial product uses the
+/// unrolled [`vector::dot`] kernel.
+///
+/// # Panics
+///
+/// Panics if `a.len() != rows * cols`, `x.len() != cols`, or `y.len() != rows`.
+pub fn gemv_row_major(a: &[f64], rows: usize, cols: usize, x: &[f64], y: &mut [f64]) {
+    assert_eq!(a.len(), rows * cols, "gemv matrix data has wrong length");
+    assert_eq!(x.len(), cols, "gemv input has wrong length");
+    assert_eq!(y.len(), rows, "gemv output has wrong length");
+    y.fill(0.0);
+    let mut col0 = 0;
+    while col0 < cols {
+        let col1 = (col0 + GEMV_COL_BLOCK).min(cols);
+        let xb = &x[col0..col1];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = &a[r * cols + col0..r * cols + col1];
+            *yr += vector::dot(row, xb);
+        }
+        col0 = col1;
     }
 }
 
@@ -526,6 +579,31 @@ mod tests {
         assert_eq!(a.matvec_transposed(&[1.0, 1.0]).unwrap(), vec![1.0, 1.0, 5.0]);
         assert!(a.matvec(&[1.0]).is_err());
         assert!(a.matvec_transposed(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec() {
+        let a = Matrix::from_fn(7, 5, |i, j| (i * 5 + j) as f64 * 0.25 - 3.0);
+        let x: Vec<f64> = (0..5).map(|i| i as f64 - 2.0).collect();
+        let mut y = vec![f64::NAN; 7];
+        a.matvec_into(&x, &mut y).unwrap();
+        assert_eq!(y, a.matvec(&x).unwrap());
+        assert!(a.matvec_into(&x, &mut vec![0.0; 3]).is_err());
+        assert!(a.matvec_into(&[1.0], &mut y).is_err());
+    }
+
+    #[test]
+    fn gemv_blocked_matches_naive_across_block_boundary() {
+        // Wider than one column block so the blocked loop takes multiple strips.
+        let (rows, cols) = (3, 2 * super::GEMV_COL_BLOCK + 17);
+        let a: Vec<f64> = (0..rows * cols).map(|i| ((i % 29) as f64 - 14.0) * 0.1).collect();
+        let x: Vec<f64> = (0..cols).map(|i| ((i % 13) as f64 - 6.0) * 0.5).collect();
+        let mut y = vec![0.0; rows];
+        gemv_row_major(&a, rows, cols, &x, &mut y);
+        for r in 0..rows {
+            let naive: f64 = (0..cols).map(|c| a[r * cols + c] * x[c]).sum();
+            assert!((y[r] - naive).abs() < 1e-9, "row {r}: {} vs {naive}", y[r]);
+        }
     }
 
     #[test]

@@ -5,13 +5,30 @@
 
 /// Dot product of two equally long slices.
 ///
+/// Unrolled into four independent accumulators so the multiplies pipeline instead of
+/// serialising on one dependency chain — the scalar-code half of the cache-aware GEMV
+/// and gather kernels (the other half is the blocking in `matrix::gemv_row_major`).
+///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 #[must_use]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
-    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+    let mut acc = [0.0f64; 4];
+    let chunks = a.len() / 4;
+    for k in 0..chunks {
+        let i = k * 4;
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+    }
+    let mut tail = 0.0;
+    for i in chunks * 4..a.len() {
+        tail += a[i] * b[i];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 /// Euclidean (L2) norm of a slice.
@@ -38,15 +55,23 @@ pub fn norm_inf(a: &[f64]) -> f64 {
     a.iter().fold(0.0_f64, |acc, x| acc.max(x.abs()))
 }
 
-/// `y += alpha * x` (the classic AXPY kernel).
+/// `y += alpha * x` (the classic AXPY kernel), unrolled four-wide like [`dot`].
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy requires equal lengths");
-    for (yi, xi) in y.iter_mut().zip(x.iter()) {
-        *yi += alpha * xi;
+    let chunks = x.len() / 4;
+    for k in 0..chunks {
+        let i = k * 4;
+        y[i] += alpha * x[i];
+        y[i + 1] += alpha * x[i + 1];
+        y[i + 2] += alpha * x[i + 2];
+        y[i + 3] += alpha * x[i + 3];
+    }
+    for i in chunks * 4..x.len() {
+        y[i] += alpha * x[i];
     }
 }
 

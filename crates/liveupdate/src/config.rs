@@ -1,6 +1,7 @@
 //! System-wide configuration of a LiveUpdate deployment.
 
 use crate::error::ConfigError;
+use liveupdate_dlrm::embedding::StorageKind;
 use serde::{Deserialize, Serialize};
 
 /// Tunables of the LiveUpdate serving node, with defaults matching the paper.
@@ -44,6 +45,14 @@ pub struct LiveUpdateConfig {
     pub min_inference_ccds: usize,
     /// Maximum number of CCDs training may own.
     pub max_training_ccds: usize,
+    /// Row storage of the serving model's embedding tables: `F64` (exact), or `F16`/`I8`
+    /// quantized with an f64 master overlay for updater-touched rows. The frozen base
+    /// model always stays f64.
+    pub serving_storage: StorageKind,
+    /// Fraction of each table's most-accessed rows held dequantized in the snapshot's
+    /// hot-row cache (`0.0` disables the cache). Keyed by the live Zipf access CDF, so
+    /// the head of the distribution serves without touching quantized storage.
+    pub hot_cache_fraction: f64,
 }
 
 impl Default for LiveUpdateConfig {
@@ -66,6 +75,8 @@ impl Default for LiveUpdateConfig {
             p99_low_threshold_ms: 6.0,
             min_inference_ccds: 4,
             max_training_ccds: 4,
+            serving_storage: StorageKind::F64,
+            hot_cache_fraction: 0.0,
         }
     }
 }
@@ -134,6 +145,12 @@ impl LiveUpdateConfig {
         }
         if self.sync_interval_steps == 0 {
             return Err(ConfigError::NonPositive { field: "liveupdate.sync_interval_steps" });
+        }
+        if !(0.0..=1.0).contains(&self.hot_cache_fraction) {
+            return Err(ConfigError::Constraint {
+                field: "liveupdate.hot_cache_fraction",
+                requirement: "must be in [0, 1]",
+            });
         }
         if self.p99_low_threshold_ms >= self.p99_high_threshold_ms {
             return Err(ConfigError::Mismatch {
@@ -235,5 +252,21 @@ mod tests {
         c = LiveUpdateConfig::default();
         c.retention_max_records = 0;
         assert!(c.validate().is_err());
+
+        c = LiveUpdateConfig::default();
+        c.hot_cache_fraction = 1.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn quantized_serving_config_is_valid() {
+        let c = LiveUpdateConfig {
+            serving_storage: StorageKind::I8,
+            hot_cache_fraction: 0.1,
+            ..LiveUpdateConfig::default()
+        };
+        assert!(c.validate().is_ok());
+        assert_eq!(LiveUpdateConfig::default().serving_storage, StorageKind::F64);
+        assert_eq!(LiveUpdateConfig::default().hot_cache_fraction, 0.0);
     }
 }

@@ -116,9 +116,13 @@ impl ServingNode {
         let access = model.tables().iter().map(|t| AccessHistogram::new(t.num_rows())).collect();
         let hot_filter = HotIndexFilter::new(model.tables().len());
         let buffer = RetentionBuffer::new(config.retention_minutes, config.retention_max_records);
+        // The serving model alone takes the configured (possibly quantized) row storage;
+        // the frozen base model stays f64 so refresh/merge paths read exact values.
+        let mut serving_model = model.clone();
+        serving_model.convert_embedding_storage(config.serving_storage);
         Self {
             trainer: LoraTrainer::new(config.lora_learning_rate),
-            serving_model: model.clone(),
+            serving_model,
             base_model: model,
             loras,
             rank_adapters,
@@ -230,11 +234,38 @@ impl ServingNode {
     /// what the runtime's updater publishes after each round via the atomic epoch swap.
     #[must_use]
     pub fn snapshot(&self) -> crate::snapshot::ServingSnapshot {
-        crate::snapshot::ServingSnapshot::capture(
+        crate::snapshot::ServingSnapshot::capture_with_hot_rows(
             self.serving_model.clone(),
             self.hot_filter.clone(),
             self.steps,
+            self.build_hot_row_cache(),
         )
+    }
+
+    /// Build the snapshot's hot-row cache from the live access histograms: per table,
+    /// per table, the `hot_cache_fraction · num_rows` most-accessed ids (the head of the
+    /// Zipf access CDF) get their rows dequantized into the cache. Empty when the cache
+    /// is disabled (`hot_cache_fraction == 0`) or no traffic has been recorded yet.
+    fn build_hot_row_cache(&self) -> crate::snapshot::HotRowCache {
+        if self.config.hot_cache_fraction <= 0.0 {
+            return crate::snapshot::HotRowCache::default();
+        }
+        let ids: Vec<Vec<usize>> = self
+            .access
+            .iter()
+            .map(|h| {
+                if h.total_accesses() == 0 {
+                    return Vec::new();
+                }
+                // Strict top-k selection, not a count threshold: on a thinly-warmed
+                // histogram the top-fraction threshold collapses to 1 and a
+                // "count ≥ threshold" rule would admit every touched id — at production
+                // geometry that is tens of megabytes of "cache" holding the Zipf tail.
+                let k = ((h.num_ids() as f64) * self.config.hot_cache_fraction).round() as usize;
+                h.top_k_ids(k)
+            })
+            .collect();
+        crate::snapshot::HotRowCache::build(&self.serving_model, &ids)
     }
 
     /// Deterministic FNV-1a checksum of the node's full update-visible state: the serving
@@ -455,7 +486,9 @@ impl ServingNode {
     /// (paper Fig. 8, the hourly full update that bounds model drift).
     pub fn full_sync(&mut self, fresh_model: DlrmModel) {
         self.base_model = fresh_model.clone();
-        self.serving_model = fresh_model;
+        let mut serving = fresh_model;
+        serving.convert_embedding_storage(self.config.serving_storage);
+        self.serving_model = serving;
         for lora in &mut self.loras {
             lora.clear();
         }

@@ -102,6 +102,6 @@ pub use engine::ServingNode;
 pub use error::ConfigError;
 pub use lora::LoraTable;
 pub use replica::Replica;
-pub use snapshot::ServingSnapshot;
+pub use snapshot::{HotRowCache, ServingSnapshot};
 pub use strategy::StrategyKind;
 pub use sync::SparseLoraSync;

@@ -17,7 +17,7 @@
 use crate::engine::ServeReport;
 use crate::hot_index::HotIndexFilter;
 use liveupdate_dlrm::metrics::{Auc, LogLoss};
-use liveupdate_dlrm::model::DlrmModel;
+use liveupdate_dlrm::model::{DlrmModel, InferenceScratch};
 use liveupdate_dlrm::sample::{MiniBatch, Sample};
 use serde::{Deserialize, Serialize};
 
@@ -43,13 +43,160 @@ pub fn model_checksum(model: &DlrmModel, steps: u64) -> u64 {
     let mut hash = fnv1a_word(FNV_OFFSET, steps);
     for table in model.tables() {
         hash = fnv1a_word(hash, table.num_rows() as u64);
-        for row in 0..table.num_rows() {
-            for &v in table.row(row) {
+        // for_each_row decodes quantized storage (master rows exact), so the checksum is
+        // over the f64 values predictions actually see, whatever the row storage.
+        table.for_each_row(|_, row| {
+            for &v in row {
                 hash = fnv1a_word(hash, v.to_bits());
             }
-        }
+        });
     }
     hash
+}
+
+/// Dequantized f64 copies of the most-accessed embedding rows, frozen into a snapshot.
+///
+/// The cache is keyed by the live Zipf access CDF (the per-table access histograms a
+/// [`ServingNode`](crate::engine::ServingNode) maintains): the head of the distribution
+/// serves straight from contiguous f64 rows without touching quantized storage. Cached
+/// rows are built with [`EmbeddingTable::row_into`](liveupdate_dlrm::EmbeddingTable::row_into),
+/// so a hit is bit-identical to decoding the backing store.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HotRowCache {
+    tables: Vec<CachedTable>,
+}
+
+/// The cached head of one embedding table: ascending ids and their rows, flat. Lookups
+/// binary-search `ids`; the Zipf head is small (thousands of rows), so the id array stays
+/// L2-resident and a search costs a dozen comparisons against data already in cache. (A
+/// direct-map `id → slot` index was measured and rejected: at 10⁶ rows it adds 4 MB per
+/// table that every *cold* id probes, evicting exactly the rows the cache exists to keep
+/// hot.)
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct CachedTable {
+    dim: usize,
+    ids: Vec<usize>,
+    rows: Vec<f64>,
+}
+
+impl CachedTable {
+    fn lookup(&self, id: usize) -> Option<&[f64]> {
+        self.ids
+            .binary_search(&id)
+            .ok()
+            .map(|pos| &self.rows[pos * self.dim..(pos + 1) * self.dim])
+    }
+}
+
+impl HotRowCache {
+    /// Build a cache holding the given row ids of every table (one id list per table),
+    /// decoded from `model`'s current storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids_per_table.len()` does not match the table count or any id is out
+    /// of bounds.
+    #[must_use]
+    pub fn build(model: &DlrmModel, ids_per_table: &[Vec<usize>]) -> Self {
+        assert_eq!(
+            ids_per_table.len(),
+            model.tables().len(),
+            "hot-row cache needs one id list per table"
+        );
+        let tables = model
+            .tables()
+            .iter()
+            .zip(ids_per_table)
+            .map(|(table, ids)| {
+                let mut ids = ids.clone();
+                ids.sort_unstable();
+                ids.dedup();
+                let dim = table.dim();
+                let mut rows = vec![0.0; ids.len() * dim];
+                for (k, &id) in ids.iter().enumerate() {
+                    table.row_into(id, &mut rows[k * dim..(k + 1) * dim]);
+                }
+                CachedTable { dim, ids, rows }
+            })
+            .collect();
+        Self { tables }
+    }
+
+    /// The cached row, or `None` on a miss (uncached id or unknown table).
+    #[must_use]
+    pub fn lookup(&self, table: usize, id: usize) -> Option<&[f64]> {
+        self.tables.get(table).and_then(|t| t.lookup(id))
+    }
+
+    /// Cached ids of one table in ascending order (empty for unknown tables).
+    #[must_use]
+    pub fn cached_ids(&self, table: usize) -> &[usize] {
+        self.tables.get(table).map_or(&[], |t| &t.ids)
+    }
+
+    /// Total cached rows across tables.
+    #[must_use]
+    pub fn cached_rows(&self) -> usize {
+        self.tables.iter().map(|t| t.ids.len()).sum()
+    }
+
+    /// True when no rows are cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cached_rows() == 0
+    }
+
+    /// Resident bytes of the cache (ids + f64 rows).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|t| t.ids.len() * std::mem::size_of::<usize>() + t.rows.len() * std::mem::size_of::<f64>())
+            .sum()
+    }
+
+    /// Mean-pool `ids` of table index `table_idx` into `out`, taking each row from the
+    /// cache when it is hot and from `table`'s (possibly quantized) backing storage
+    /// otherwise. Partial hits are the point: a production multi-hot lookup pools dozens
+    /// of ids and almost never has *all* of them in the Zipf head, so an all-or-nothing
+    /// cache would silently serve everything from the backing store. Accumulation runs in
+    /// id order with rows bit-identical to their decoded values (see
+    /// [`EmbeddingTable::add_row_into`](liveupdate_dlrm::EmbeddingTable::add_row_into)),
+    /// so any mix of hits and misses matches the uncached gather exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of bounds or `out.len()` does not match the table dim.
+    pub fn pooled_gather(
+        &self,
+        table_idx: usize,
+        ids: &[usize],
+        out: &mut [f64],
+        table: &liveupdate_dlrm::EmbeddingTable,
+    ) {
+        let Some(ct) = self.tables.get(table_idx).filter(|ct| !ct.ids.is_empty()) else {
+            table.pooled_lookup_into(ids, out);
+            return;
+        };
+        out.fill(0.0);
+        if ids.is_empty() {
+            return;
+        }
+        for &id in ids {
+            match ct.lookup(id) {
+                Some(row) => {
+                    for (o, &v) in out.iter_mut().zip(row) {
+                        *o += v;
+                    }
+                }
+                None => table.add_row_into(id, out),
+            }
+        }
+        let inv = 1.0 / ids.len() as f64;
+        for o in out.iter_mut() {
+            *o *= inv;
+        }
+    }
 }
 
 /// The read-only serve pass shared by [`ServingSnapshot::serve_batch`] and the mutable
@@ -66,11 +213,28 @@ pub(crate) fn readonly_serve_with_predictions(
     hot: &HotIndexFilter,
     batch: &MiniBatch,
 ) -> (ServeReport, Vec<f64>) {
+    readonly_serve_cached(model, hot, &HotRowCache::default(), batch)
+}
+
+/// The full hot-path serve pass: scratch-buffer inference (no per-sample allocation)
+/// with pooled gathers answered from the hot-row cache when every id of a lookup is
+/// cached, falling back to the (possibly quantized) backing tables otherwise. Cache hits
+/// are bit-identical to the fallback, so report parity between cached and uncached
+/// callers is exact.
+pub(crate) fn readonly_serve_cached(
+    model: &DlrmModel,
+    hot: &HotIndexFilter,
+    cache: &HotRowCache,
+    batch: &MiniBatch,
+) -> (ServeReport, Vec<f64>) {
     let mut corrected = 0usize;
     let mut prediction_sum = 0.0;
     let mut predictions = Vec::with_capacity(batch.len());
+    let mut scratch = InferenceScratch::default();
     for sample in batch.iter() {
-        let p = model.predict(sample);
+        let p = model.predict_pooled_with_scratch(sample, &mut scratch, |t, ids, out| {
+            cache.pooled_gather(t, ids, out, model.table(t));
+        });
         prediction_sum += p;
         predictions.push(p);
         for (table_idx, ids) in sample.sparse.iter().enumerate() {
@@ -98,6 +262,7 @@ pub(crate) fn readonly_serve_with_predictions(
 pub struct ServingSnapshot {
     serving_model: DlrmModel,
     hot_filter: HotIndexFilter,
+    hot_rows: HotRowCache,
     steps: u64,
     checksum: u64,
 }
@@ -107,13 +272,32 @@ impl ServingSnapshot {
     /// The checksum is computed here, once, by the publisher.
     #[must_use]
     pub fn capture(serving_model: DlrmModel, hot_filter: HotIndexFilter, steps: u64) -> Self {
+        Self::capture_with_hot_rows(serving_model, hot_filter, steps, HotRowCache::default())
+    }
+
+    /// [`Self::capture`] with a pre-built hot-row cache (the publisher builds it from the
+    /// node's access histograms before freezing the snapshot).
+    #[must_use]
+    pub fn capture_with_hot_rows(
+        serving_model: DlrmModel,
+        hot_filter: HotIndexFilter,
+        steps: u64,
+        hot_rows: HotRowCache,
+    ) -> Self {
         let checksum = model_checksum(&serving_model, steps);
         Self {
             serving_model,
             hot_filter,
+            hot_rows,
             steps,
             checksum,
         }
+    }
+
+    /// The snapshot's hot-row cache (empty unless the publisher enabled it).
+    #[must_use]
+    pub fn hot_rows(&self) -> &HotRowCache {
+        &self.hot_rows
     }
 
     /// The frozen serving model (base + materialised LoRA corrections).
@@ -155,7 +339,7 @@ impl ServingSnapshot {
     /// runtime's updater applies off the serve path.
     #[must_use]
     pub fn serve_batch(&self, batch: &MiniBatch) -> ServeReport {
-        readonly_serve(&self.serving_model, &self.hot_filter, batch)
+        readonly_serve_cached(&self.serving_model, &self.hot_filter, &self.hot_rows, batch).0
     }
 
     /// [`Self::serve_batch`] that also returns the per-sample predictions in batch
@@ -163,7 +347,7 @@ impl ServingSnapshot {
     /// must hand each prediction back to its submitter.
     #[must_use]
     pub fn serve_batch_with_predictions(&self, batch: &MiniBatch) -> (ServeReport, Vec<f64>) {
-        readonly_serve_with_predictions(&self.serving_model, &self.hot_filter, batch)
+        readonly_serve_cached(&self.serving_model, &self.hot_filter, &self.hot_rows, batch)
     }
 
     /// Evaluate the snapshot on a labelled batch: `(AUC, mean log loss)`.
@@ -273,5 +457,96 @@ mod tests {
         n.online_update_round(1.0, 32);
         let batch = w.batch_at(3.0, 64);
         assert_eq!(n.snapshot().evaluate(&batch), n.evaluate(&batch));
+    }
+
+    fn quantized_cached_node() -> (ServingNode, SyntheticWorkload) {
+        let model = DlrmModel::new(
+            DlrmConfig {
+                table_sizes: vec![300, 300],
+                ..DlrmConfig::tiny(2, 300, 8)
+            },
+            11,
+        );
+        let cfg = LiveUpdateConfig {
+            serving_storage: liveupdate_dlrm::embedding::StorageKind::I8,
+            hot_cache_fraction: 0.2,
+            ..LiveUpdateConfig::default()
+        };
+        let w = SyntheticWorkload::new(WorkloadConfig {
+            num_tables: 2,
+            table_size: 300,
+            ..WorkloadConfig::default()
+        });
+        (ServingNode::new(model, cfg), w)
+    }
+
+    #[test]
+    fn hot_row_cache_hits_are_bit_identical_across_epoch_swap() {
+        let (mut n, mut w) = quantized_cached_node();
+        n.serve_batch(0.0, &w.batch_at(0.0, 128));
+        let snap = n.snapshot();
+        let cache = snap.hot_rows();
+        assert!(!cache.is_empty(), "traffic must populate the hot-row cache");
+        for t in 0..2 {
+            for &id in cache.cached_ids(t) {
+                let hit = cache.lookup(t, id).expect("cached id must hit");
+                let backing = snap.serving_model().table(t).row_to_vec(id);
+                assert_eq!(hit, &backing[..], "cache hit must be bit-identical to the backing store");
+            }
+        }
+        // Epoch swap: train, republish, and re-check bit-identity on the new snapshot.
+        n.online_update_round(1.0, 64);
+        let swapped = n.snapshot();
+        assert_ne!(swapped.checksum(), snap.checksum(), "the update must publish a new epoch");
+        let cache = swapped.hot_rows();
+        assert!(!cache.is_empty());
+        for t in 0..2 {
+            for &id in cache.cached_ids(t) {
+                let hit = cache.lookup(t, id).expect("cached id must hit");
+                let backing = swapped.serving_model().table(t).row_to_vec(id);
+                assert_eq!(hit, &backing[..]);
+            }
+        }
+        // The frozen first snapshot still answers from its own (old-epoch) cache.
+        for t in 0..2 {
+            for &id in snap.hot_rows().cached_ids(t) {
+                let hit = snap.hot_rows().lookup(t, id).expect("cached id must hit");
+                let backing = snap.serving_model().table(t).row_to_vec(id);
+                assert_eq!(hit, &backing[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn cached_serving_matches_uncached_bit_for_bit() {
+        let (mut n, mut w) = quantized_cached_node();
+        n.serve_batch(0.0, &w.batch_at(0.0, 128));
+        n.online_update_round(1.0, 32);
+        let snap = n.snapshot();
+        assert!(!snap.hot_rows().is_empty());
+        let batch = w.batch_at(2.0, 96);
+        let (cached_report, cached_preds) = snap.serve_batch_with_predictions(&batch);
+        // The same state captured without a cache must serve identical bits.
+        let bare = ServingSnapshot::capture(snap.serving_model().clone(), HotIndexFilter::new(2), snap.steps());
+        let (_, bare_preds) = bare.serve_batch_with_predictions(&batch);
+        assert_eq!(cached_preds, bare_preds, "cache hits must not change a single bit");
+        assert_eq!(cached_report.requests, batch.len());
+    }
+
+    #[test]
+    fn quantized_serving_snapshot_evaluates_close_to_f64() {
+        let (mut nq, mut w) = quantized_cached_node();
+        let (mut nf, _) = node_and_workload();
+        let traffic = w.batch_at(0.0, 256);
+        nq.serve_batch(0.0, &traffic);
+        nf.serve_batch(0.0, &traffic);
+        let eval = w.batch_at(1.0, 256);
+        let (auc_q, _) = nq.snapshot().evaluate(&eval);
+        let (auc_f, _) = nf.snapshot().evaluate(&eval);
+        let (auc_q, auc_f) = (auc_q.expect("two-class batch"), auc_f.expect("two-class batch"));
+        assert!(
+            (auc_q - auc_f).abs() < 0.01,
+            "int8 serving must stay within the stated AUC tolerance: {auc_f} vs {auc_q}"
+        );
     }
 }

@@ -18,6 +18,7 @@
 use crate::wire::{read_frame, write_frame, Frame, LoraRowUpdate, WireError};
 use liveupdate::engine::ServingNode;
 use liveupdate::sync::LoraPeer;
+use liveupdate_dlrm::model::DlrmConfig;
 use liveupdate_runtime::config::RuntimeConfig;
 use liveupdate_runtime::policy::UpdatePolicy;
 use liveupdate_runtime::report::RuntimeReport;
@@ -191,6 +192,9 @@ fn handle_connection(stream: TcpStream, runtime: &Arc<ServingRuntime>, bytes: &A
         Ok(s) => s,
         Err(_) => return,
     };
+    // The model geometry is fixed for the runtime's lifetime; snapshot it once so every
+    // inference frame can be validated without taking the node lock.
+    let model_config = runtime.with_node(|node| node.serving_model().config().clone());
     let (out_tx, out_rx) = channel::<Frame>();
     let writer_bytes = Arc::clone(bytes);
     let writer = thread::Builder::new()
@@ -228,7 +232,7 @@ fn handle_connection(stream: TcpStream, runtime: &Arc<ServingRuntime>, bytes: &A
                     &bytes.control
                 };
                 counter.fetch_add(n as u64, Ordering::Relaxed);
-                if !dispatch(frame, runtime, &out_tx) {
+                if !dispatch(frame, runtime, &model_config, &out_tx) {
                     break;
                 }
             }
@@ -248,9 +252,23 @@ fn handle_connection(stream: TcpStream, runtime: &Arc<ServingRuntime>, bytes: &A
 }
 
 /// Handle one inbound frame; returns `false` when the connection should close.
-fn dispatch(frame: Frame, runtime: &Arc<ServingRuntime>, out: &Sender<Frame>) -> bool {
+fn dispatch(
+    frame: Frame,
+    runtime: &Arc<ServingRuntime>,
+    model_config: &DlrmConfig,
+    out: &Sender<Frame>,
+) -> bool {
     match frame {
         Frame::InferRequest { id, time_minutes, sample } => {
+            // The wire codec guarantees well-formed bytes, not well-formed *geometry*:
+            // a sparse id past the table end or a wrong-arity sample would panic the
+            // worker thread mid-batch and take the whole replica down. Reject it here
+            // and keep serving the connection.
+            if let Err(reason) = model_config.validate_sample(&sample) {
+                return out
+                    .send(Frame::Nack { reason: format!("request {id}: {reason}") })
+                    .is_ok();
+            }
             let reply_tx = out.clone();
             let reply = ReplyTo::new(move |prediction| {
                 let _ = reply_tx.send(Frame::InferReply { id, prediction });

@@ -113,6 +113,65 @@ fn replica_server_serves_and_syncs_over_tcp() {
 }
 
 #[test]
+fn poison_infer_frames_are_nacked_and_the_replica_survives() {
+    let server = ReplicaServer::start(
+        tiny_node(11),
+        tiny_runtime_config(),
+        Duration::from_millis(50),
+        None,
+    )
+    .expect("start server");
+    let mut conn = TcpStream::connect(server.addr()).expect("connect");
+    conn.set_nodelay(true).unwrap();
+
+    let mut w = SyntheticWorkload::new(WorkloadConfig {
+        num_tables: 2,
+        table_size: 200,
+        ..WorkloadConfig::default()
+    });
+
+    // Every way a wire-valid sample can violate the model geometry: a sparse id past
+    // the table end (the index that used to panic the worker thread), a missing table,
+    // an extra table, and a wrong-arity dense vector. Each must come back as a typed
+    // Nack on this connection, with the worker untouched.
+    let mut oob = w.sample_at(0.0);
+    oob.sparse[1][0] = 200; // num_rows is 200, so id 200 is one past the end
+    let mut missing_table = w.sample_at(0.0);
+    missing_table.sparse.pop();
+    let mut extra_table = w.sample_at(0.0);
+    extra_table.sparse.push(vec![0]);
+    let mut bad_dense = w.sample_at(0.0);
+    bad_dense.dense.push(0.0);
+    for (i, sample) in [oob, missing_table, extra_table, bad_dense].into_iter().enumerate() {
+        let id = 1000 + i as u64;
+        match call(&mut conn, &Frame::InferRequest { id, time_minutes: 0.0, sample }) {
+            Frame::Nack { reason } => {
+                assert!(
+                    reason.contains(&format!("request {id}")),
+                    "Nack names the poisoned request: {reason}"
+                );
+            }
+            other => panic!("expected Nack for poison sample {i}, got {other:?}"),
+        }
+    }
+
+    // The replica still serves well-formed traffic on the same connection afterwards.
+    let good = w.sample_at(0.0);
+    match call(&mut conn, &Frame::InferRequest { id: 7, time_minutes: 0.0, sample: good }) {
+        Frame::InferReply { id, prediction } => {
+            assert_eq!(id, 7);
+            assert!((0.0..=1.0).contains(&prediction));
+        }
+        other => panic!("expected InferReply after poison frames, got {other:?}"),
+    }
+
+    write_frame(&mut conn, &Frame::Bye).unwrap();
+    drop(conn);
+    let (report, _node) = server.shutdown();
+    assert_eq!(report.completed, 1, "only the well-formed request reached a worker");
+}
+
+#[test]
 fn full_model_frame_replaces_the_replica_model() {
     let server = ReplicaServer::start(
         tiny_node(5),

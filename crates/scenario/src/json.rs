@@ -45,7 +45,7 @@ impl Json {
     /// Returns a [`JsonError`] describing the first syntax problem.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
         let bytes: Vec<char> = text.chars().collect();
-        let mut p = Parser { chars: &bytes, pos: 0 };
+        let mut p = Parser { chars: &bytes, pos: 0, depth: 0 };
         p.skip_ws();
         let value = p.value()?;
         p.skip_ws();
@@ -235,9 +235,16 @@ fn escape(s: &str) -> String {
     out
 }
 
+/// Nesting depth past which a document is rejected. Scenario files nest four or five
+/// levels deep; anything approaching this bound is hostile or corrupt input, and the
+/// recursive-descent parser must refuse it with a typed error rather than exhaust the
+/// stack.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     chars: &'a [char],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -278,14 +285,32 @@ impl Parser<'_> {
             Some('t') => self.literal("true", Json::Bool(true)),
             Some('f') => self.literal("false", Json::Bool(false)),
             Some('"') => self.string().map(Json::Str),
-            Some('[') => self.array(),
-            Some('{') => self.object(),
+            Some('[') => self.nested(Parser::array),
+            Some('{') => self.nested(Parser::object),
             Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
             other => Err(JsonError(format!(
                 "unexpected {:?} at offset {}",
                 other, self.pos
             ))),
         }
+    }
+
+    /// Run a container parse one level deeper, refusing documents nested past
+    /// [`MAX_DEPTH`] so corrupt or adversarial input cannot overflow the stack.
+    fn nested(
+        &mut self,
+        f: fn(&mut Self) -> Result<Json, JsonError>,
+    ) -> Result<Json, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(JsonError(format!(
+                "nesting deeper than {MAX_DEPTH} levels at offset {}",
+                self.pos
+            )));
+        }
+        self.depth += 1;
+        let result = f(self);
+        self.depth -= 1;
+        result
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
@@ -473,6 +498,23 @@ mod tests {
         assert!(Json::parse("{\"a\" 1}").is_err());
         assert!(Json::parse("1 2").is_err(), "trailing content");
         assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn pathological_nesting_is_an_error_not_a_stack_overflow() {
+        // A few thousand unclosed brackets would previously recurse once per bracket
+        // and take the process down; the depth cap turns them into a typed error.
+        for open in ["[", "{\"k\":[", "[[{\"a\":"] {
+            let bomb = open.repeat(20_000);
+            let err = Json::parse(&bomb).unwrap_err();
+            assert!(err.0.contains("nesting deeper"), "{err}");
+        }
+        // Depth just under the cap still parses.
+        let fine = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&fine).is_ok());
+        // Depth just over the cap errors.
+        let over = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+        assert!(Json::parse(&over).is_err());
     }
 
     #[test]

@@ -16,6 +16,7 @@ use liveupdate::config::LiveUpdateConfig;
 use liveupdate::error::ConfigError;
 use liveupdate::experiment::ExperimentConfig;
 use liveupdate::strategy::StrategyKind;
+use liveupdate_dlrm::embedding::StorageKind;
 use liveupdate_runtime::config::{RuntimeConfig, UpdateMode};
 use liveupdate_sim::cluster::ClusterSpec;
 use liveupdate_sim::collective::CollectiveAlgorithm;
@@ -81,6 +82,13 @@ pub struct WorkloadSpec {
     pub max_multi_hot: usize,
     /// Period of the ground-truth affinity rotation, in minutes (concept drift speed).
     pub drift_rotation_minutes: f64,
+    /// Row storage of the serving model's embedding tables (`"f64"`, `"f16"`, `"i8"`).
+    /// Production-geometry tables don't fit in cache — or sometimes in memory — at f64;
+    /// this knob turns on the quantized serving path on every backend.
+    pub row_storage: StorageKind,
+    /// Fraction of each table's hottest rows held dequantized in the serving snapshot's
+    /// hot-row cache (`0.0` disables it).
+    pub hot_cache_fraction: f64,
 }
 
 /// Serving topology: replica/worker counts, queue depths, batching, routing.
@@ -193,6 +201,8 @@ impl Scenario {
                 zipf_exponent: 1.05,
                 max_multi_hot: 2,
                 drift_rotation_minutes: 120.0,
+                row_storage: StorageKind::F64,
+                hot_cache_fraction: 0.0,
             },
             topology: TopologySpec {
                 replicas: 2,
@@ -292,13 +302,19 @@ impl Scenario {
     }
 
     /// The LiveUpdate node configuration implied by the strategy (fixed-rank ablations
-    /// pin the rank; everything else uses the paper defaults).
+    /// pin the rank; everything else uses the paper defaults), with the scenario's
+    /// serving-storage and hot-row-cache knobs applied — this is the single funnel
+    /// through which every backend builds its serving nodes, so quantized serving works
+    /// identically on the analytic, sim, realtime and distributed engines.
     #[must_use]
     pub fn liveupdate_config(&self) -> LiveUpdateConfig {
-        match self.policy.strategy {
+        let mut cfg = match self.policy.strategy {
             StrategyKind::LiveUpdateFixedRank { rank } => LiveUpdateConfig::with_fixed_rank(rank),
             _ => LiveUpdateConfig::default(),
-        }
+        };
+        cfg.serving_storage = self.workload.row_storage;
+        cfg.hot_cache_fraction = self.workload.hot_cache_fraction;
+        cfg
     }
 
     /// Project the scenario onto the analytic driver's [`ExperimentConfig`].
@@ -452,6 +468,14 @@ impl Scenario {
                         "drift_rotation_minutes".into(),
                         Json::Num(self.workload.drift_rotation_minutes),
                     ),
+                    (
+                        "row_storage".into(),
+                        Json::Str(self.workload.row_storage.name().to_string()),
+                    ),
+                    (
+                        "hot_cache_fraction".into(),
+                        Json::Num(self.workload.hot_cache_fraction),
+                    ),
                 ]),
             ),
             (
@@ -558,6 +582,16 @@ impl Scenario {
                 zipf_exponent: workload.field("zipf_exponent")?.as_f64()?,
                 max_multi_hot: workload.field("max_multi_hot")?.as_usize()?,
                 drift_rotation_minutes: workload.field("drift_rotation_minutes")?.as_f64()?,
+                // Both storage knobs are optional so pre-existing scenario files keep
+                // parsing (they default to the exact f64 path).
+                row_storage: match workload.get("row_storage") {
+                    None | Some(Json::Null) => StorageKind::F64,
+                    Some(s) => storage_from_name(s.as_str()?)?,
+                },
+                hot_cache_fraction: match workload.get("hot_cache_fraction") {
+                    None | Some(Json::Null) => 0.0,
+                    Some(f) => f.as_f64()?,
+                },
             },
             topology: TopologySpec {
                 replicas: topology.field("replicas")?.as_usize()?,
@@ -621,6 +655,11 @@ fn routing_from_name(name: &str) -> Result<ShardPolicy, ScenarioError> {
         "round_robin" => Ok(ShardPolicy::RoundRobin),
         other => Err(JsonError(format!("unknown routing policy \"{other}\"")).into()),
     }
+}
+
+fn storage_from_name(name: &str) -> Result<StorageKind, ScenarioError> {
+    StorageKind::from_name(name)
+        .ok_or_else(|| JsonError(format!("unknown row storage \"{name}\"")).into())
 }
 
 fn preset_from_name(name: &str) -> Result<DatasetPreset, ScenarioError> {
@@ -712,6 +751,40 @@ mod tests {
             let parsed = Scenario::from_json(&s.to_json()).unwrap();
             assert_eq!(parsed.seed, seed);
         }
+    }
+
+    #[test]
+    fn storage_knobs_round_trip_and_reach_the_node_config() {
+        for (kind, fraction) in
+            [(StorageKind::F64, 0.0), (StorageKind::F16, 0.1), (StorageKind::I8, 0.25)]
+        {
+            let mut s = Scenario::small("storage");
+            s.workload.row_storage = kind;
+            s.workload.hot_cache_fraction = fraction;
+            assert_eq!(s.validate(), Ok(()));
+            let parsed = Scenario::from_json(&s.to_json()).unwrap();
+            assert_eq!(s, parsed);
+            // The knobs funnel into the LiveUpdate node config on every backend.
+            let cfg = s.liveupdate_config();
+            assert_eq!(cfg.serving_storage, kind);
+            assert_eq!(cfg.hot_cache_fraction, fraction);
+            assert_eq!(s.experiment_config().liveupdate.serving_storage, kind);
+        }
+        // Older scenario files without the knobs parse to the exact f64 path.
+        let mut text = Scenario::small("legacy").to_json();
+        text = text.replace("    \"row_storage\": \"f64\",\n", "");
+        text = text.replace(",\n    \"hot_cache_fraction\": 0\n", "\n");
+        assert!(!text.contains("row_storage"));
+        let parsed = Scenario::from_json(&text).unwrap();
+        assert_eq!(parsed.workload.row_storage, StorageKind::F64);
+        assert_eq!(parsed.workload.hot_cache_fraction, 0.0);
+        // Unknown storage names are parse errors, not panics.
+        let bad = Scenario::small("bad").to_json().replace("\"f64\"", "\"f8\"");
+        assert!(matches!(Scenario::from_json(&bad), Err(ScenarioError::Parse(_))));
+        // An out-of-range cache fraction is a typed config error.
+        let mut s = Scenario::small("bad");
+        s.workload.hot_cache_fraction = 1.5;
+        assert!(matches!(s.validate(), Err(ConfigError::Constraint { .. })));
     }
 
     #[test]

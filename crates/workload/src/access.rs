@@ -128,6 +128,30 @@ impl AccessHistogram {
             .collect()
     }
 
+    /// The `k` most-accessed ids (ties broken by ascending id), in ascending id order.
+    /// Ids that were never accessed are excluded, so the result can be shorter than `k`.
+    ///
+    /// Unlike a count threshold, this bounds the result size even when the histogram is
+    /// thinly populated: with few recorded accesses a `threshold_for_top_fraction`
+    /// collapses to 1 and "count ≥ threshold" selects the *entire* touched set, which at
+    /// production geometry is exactly the unbounded-memory outcome a caller sizing a
+    /// cache needs to avoid.
+    #[must_use]
+    pub fn top_k_ids(&self, k: usize) -> Vec<usize> {
+        let mut touched: Vec<(u64, usize)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(id, &c)| (c, id))
+            .collect();
+        touched.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        touched.truncate(k);
+        let mut ids: Vec<usize> = touched.into_iter().map(|(_, id)| id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// Reset all counters to zero.
     pub fn reset(&mut self) {
         self.counts.iter_mut().for_each(|c| *c = 0);
@@ -205,6 +229,28 @@ mod tests {
         h.record_all(z.sample_many(&mut rng, 200_000));
         let share = h.top_share(0.1);
         assert!(share > 0.75, "top-10% share {share}");
+    }
+
+    #[test]
+    fn top_k_is_bounded_on_a_thin_histogram() {
+        // A thinly-warmed histogram over a large id space: most touched ids have count 1,
+        // so any count-threshold rule degenerates to "everything touched". top_k_ids must
+        // stay bounded by k and prefer the truly hot head.
+        let mut h = AccessHistogram::new(100_000);
+        for id in 0..5_000 {
+            h.record(id); // the long tail, one access each
+        }
+        for _ in 0..10 {
+            h.record_all([7usize, 11, 13]); // the actual head
+        }
+        assert_eq!(h.threshold_for_top_fraction(0.01).max(1), 1, "threshold collapses");
+        assert_eq!(h.ids_with_count_at_least(1).len(), 5_000, "threshold rule is unbounded");
+        let top = h.top_k_ids(3);
+        assert_eq!(top, vec![7, 11, 13]);
+        assert!(h.top_k_ids(10_000).len() == 5_000, "never more than the touched set");
+        assert!(h.top_k_ids(0).is_empty());
+        // Ties (equal counts) break deterministically by ascending id.
+        assert_eq!(h.top_k_ids(5), vec![0, 1, 7, 11, 13]);
     }
 
     #[test]

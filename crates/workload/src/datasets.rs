@@ -28,19 +28,38 @@ pub enum DatasetPreset {
     AvazuTb,
     /// Criteo synthetically scaled to 50 TB of EMTs (systems-centric evaluation).
     CriteoTb,
+    /// Production-geometry preset actually instantiated at 10⁶ rows per table: unlike
+    /// the Table-II presets, the simulation scale *is* the logical scale, so embedding
+    /// tables exceed any CPU last-level cache and the quantized-storage / blocked-kernel
+    /// path is exercised for real.
+    Prod1M,
+    /// Production-geometry preset actually instantiated at 10⁷ rows per table (single
+    /// table; ~1.3 GB of f64 embeddings — intended for the analytic backend and
+    /// release-mode benchmarks, not debug-mode unit tests).
+    Prod10M,
 }
 
 impl DatasetPreset {
-    /// All presets in the order of paper Table II.
+    /// All presets: the paper's Table II in order, followed by the production-geometry
+    /// presets whose simulation scale is their logical scale.
     #[must_use]
-    pub fn all() -> [DatasetPreset; 5] {
+    pub fn all() -> [DatasetPreset; 7] {
         [
             DatasetPreset::Avazu,
             DatasetPreset::Criteo,
             DatasetPreset::BdTb,
             DatasetPreset::AvazuTb,
             DatasetPreset::CriteoTb,
+            DatasetPreset::Prod1M,
+            DatasetPreset::Prod10M,
         ]
+    }
+
+    /// The production-geometry presets that are instantiated at full row count
+    /// (10⁶ / 10⁷ rows per table) rather than scaled down for simulation.
+    #[must_use]
+    pub fn production_geometry() -> [DatasetPreset; 2] {
+        [DatasetPreset::Prod1M, DatasetPreset::Prod10M]
     }
 
     /// The three production-scale presets used in the systems experiments (Fig. 14).
@@ -64,6 +83,8 @@ impl DatasetPreset {
             DatasetPreset::BdTb => "BD-TB",
             DatasetPreset::AvazuTb => "Avazu-TB",
             DatasetPreset::CriteoTb => "Criteo-TB",
+            DatasetPreset::Prod1M => "Prod-1M",
+            DatasetPreset::Prod10M => "Prod-10M",
         }
     }
 
@@ -149,6 +170,41 @@ impl DatasetPreset {
                 },
                 sim_table_size: 3_000,
                 sim_num_tables: 5,
+                sim_embedding_dim: 16,
+            },
+            // For the production-geometry presets the simulation scale IS the logical
+            // scale (scale_factor == 1): `embedding_table_bytes` equals exactly
+            // rows × tables × dim × 8, and experiments allocate that many rows for real.
+            DatasetPreset::Prod1M => DatasetSpec {
+                preset: *self,
+                samples: 100_000_000,
+                dataset_bytes: gb(10.0),
+                embedding_table_bytes: (1_000_000 * 2 * 16 * 8) as u64,
+                num_sparse_fields: 2,
+                drift: DriftConfig {
+                    rotation_period_minutes: 240.0,
+                    affinity_scale: 1.4,
+                    emerging_fraction: 0.08,
+                    emerging_ramp_minutes: 60.0,
+                },
+                sim_table_size: 1_000_000,
+                sim_num_tables: 2,
+                sim_embedding_dim: 16,
+            },
+            DatasetPreset::Prod10M => DatasetSpec {
+                preset: *self,
+                samples: 1_000_000_000,
+                dataset_bytes: gb(100.0),
+                embedding_table_bytes: (10_000_000u64) * 16 * 8,
+                num_sparse_fields: 1,
+                drift: DriftConfig {
+                    rotation_period_minutes: 240.0,
+                    affinity_scale: 1.4,
+                    emerging_fraction: 0.08,
+                    emerging_ramp_minutes: 60.0,
+                },
+                sim_table_size: 10_000_000,
+                sim_num_tables: 1,
                 sim_embedding_dim: 16,
             },
         }
@@ -242,9 +298,36 @@ mod tests {
     #[test]
     fn all_presets_listed_once() {
         let all = DatasetPreset::all();
-        assert_eq!(all.len(), 5);
+        assert_eq!(all.len(), 7);
         let names: Vec<&str> = all.iter().map(DatasetPreset::name).collect();
-        assert_eq!(names, vec!["Avazu", "Criteo", "BD-TB", "Avazu-TB", "Criteo-TB"]);
+        assert_eq!(
+            names,
+            vec!["Avazu", "Criteo", "BD-TB", "Avazu-TB", "Criteo-TB", "Prod-1M", "Prod-10M"]
+        );
+    }
+
+    #[test]
+    fn production_geometry_presets_are_full_scale() {
+        for preset in DatasetPreset::production_geometry() {
+            let spec = preset.spec();
+            // Simulation scale is the logical scale: the analytic byte accounting and
+            // the instantiated tables describe the same model.
+            assert!(
+                (spec.scale_factor() - 1.0).abs() < 1e-12,
+                "{} scale factor {}",
+                preset.name(),
+                spec.scale_factor()
+            );
+            assert!(spec.sim_table_size >= 1_000_000);
+            // Exceeds any plausible last-level cache (≥ 64 MiB of f64 embeddings).
+            assert!(spec.embedding_table_bytes >= 64 * 1024 * 1024);
+            assert!(!spec.is_tb_scale());
+            let wl = spec.workload_config(7);
+            assert!(wl.is_valid(), "{} workload invalid", preset.name());
+            assert!(spec.dlrm_config().validate().is_ok());
+        }
+        assert_eq!(DatasetPreset::Prod1M.spec().sim_table_size, 1_000_000);
+        assert_eq!(DatasetPreset::Prod10M.spec().sim_table_size, 10_000_000);
     }
 
     #[test]

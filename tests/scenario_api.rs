@@ -3,10 +3,12 @@
 //! strategy of the paper's taxonomy executes on the real-thread backend.
 
 use liveupdate_repro::core::strategy::StrategyKind;
+use liveupdate_repro::dlrm::embedding::StorageKind;
 use liveupdate_repro::scenario::{
     all_backends, auc_agreement, AnalyticBackend, BackendKind, ExecutionBackend, RealtimeBackend,
     Scenario, SimBackend,
 };
+use liveupdate_repro::scenario::scenario::ScenarioError;
 
 /// A scenario small enough that all three backends finish in a few seconds combined.
 fn tiny(name: &str) -> Scenario {
@@ -42,10 +44,73 @@ fn scenario_file_round_trip_drives_an_identical_run() {
 
 #[test]
 fn shipped_scenario_files_parse_and_validate() {
-    for file in ["quick_compare.json", "criteo_cluster.json", "distributed_quick.json"] {
+    for file in
+        ["quick_compare.json", "criteo_cluster.json", "distributed_quick.json", "prod_1m.json"]
+    {
         let path = format!("{}/scenarios/{file}", env!("CARGO_MANIFEST_DIR"));
         let scenario = Scenario::from_file(&path).unwrap_or_else(|e| panic!("{file}: {e}"));
         assert!(scenario.validate().is_ok(), "{file} must validate");
+    }
+}
+
+#[test]
+fn corrupt_scenario_json_is_an_error_never_a_panic() {
+    let good = tiny("corrupt").to_json();
+    // Truncations at every prefix length: each must return a typed error.
+    for cut in 0..good.len() {
+        if cut == good.trim_end().len() {
+            continue; // the full document (modulo trailing newline) parses fine
+        }
+        let truncated = &good[..cut];
+        if truncated.trim().is_empty() {
+            assert!(Scenario::from_json(truncated).is_err());
+            continue;
+        }
+        match Scenario::from_json(truncated) {
+            Err(_) => {}
+            Ok(_) => panic!("truncation at {cut} unexpectedly parsed"),
+        }
+    }
+    // A nesting bomb that would previously overflow the recursive-descent parser's
+    // stack is rejected with a parse error.
+    let bomb = format!("{}{}", "{\"workload\":[".repeat(50_000), "1");
+    assert!(matches!(Scenario::from_json(&bomb), Err(ScenarioError::Parse(_))));
+    // Wrong-typed and garbage field values are parse errors.
+    for (from, to) in [
+        ("\"seed\": 7", "\"seed\": \"not-a-number\""),
+        ("\"workers\": 2", "\"workers\": -3"),
+        ("\"strategy\": \"LiveUpdate\"", "\"strategy\": 42"),
+        ("\"row_storage\": \"f64\"", "\"row_storage\": \"f8\""),
+    ] {
+        let text = good.replace(from, to);
+        assert_ne!(text, good, "replacement {from:?} did not apply");
+        assert!(
+            matches!(Scenario::from_json(&text), Err(ScenarioError::Parse(_))),
+            "{to} should be a parse error"
+        );
+    }
+}
+
+#[test]
+fn quantized_serving_matches_f64_auc_on_quick_compare() {
+    // The shipped comparison scenario, served with f64, f16, and int8 embedding rows:
+    // quantized serving must stay within the paper's accuracy envelope (< 0.01 AUC).
+    let path = format!("{}/scenarios/quick_compare.json", env!("CARGO_MANIFEST_DIR"));
+    let base = Scenario::from_file(&path).unwrap();
+    let f64_report = AnalyticBackend.run(&base).unwrap();
+    let f64_auc = f64_report.mean_auc.expect("f64 run reports AUC");
+    for kind in [StorageKind::F16, StorageKind::I8] {
+        let mut quant = base.clone();
+        quant.workload.row_storage = kind;
+        quant.workload.hot_cache_fraction = 0.1;
+        let report = AnalyticBackend.run(&quant).unwrap();
+        let auc = report.mean_auc.expect("quantized run reports AUC");
+        let delta = (auc - f64_auc).abs();
+        assert!(
+            delta < 0.01,
+            "{} serving drifted {delta:.4} AUC from f64 ({auc:.4} vs {f64_auc:.4})",
+            kind.name()
+        );
     }
 }
 
