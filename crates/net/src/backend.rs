@@ -3,9 +3,11 @@
 //! [`DistributedBackend`] implements [`ExecutionBackend`], so every
 //! `scenarios/*.json` that runs on the analytic, discrete-event, and real-thread
 //! engines runs here unchanged — except that `topology.replicas` now means real
-//! [`ReplicaServer`](crate::server::ReplicaServer)s behind TCP listeners, the request
-//! path crosses a real network boundary, and the strategy's sync traffic is measured
-//! as bytes on the wire ([`SyncProvenance::MeasuredWire`]).
+//! [`ReplicaServer`](crate::server::ReplicaServer)s behind TCP listeners (each served
+//! by its epoll event-loop thread, with the driver's data plane pipelining one
+//! connection per replica through [`MultiConnClient`](crate::client::MultiConnClient)),
+//! the request path crosses a real network boundary, and the strategy's sync traffic
+//! is measured as bytes on the wire ([`SyncProvenance::MeasuredWire`]).
 //!
 //! The run protocol deliberately mirrors
 //! [`RealtimeBackend`](liveupdate_scenario::RealtimeBackend) — identical Day-1

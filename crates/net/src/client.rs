@@ -1,0 +1,305 @@
+//! A many-connection, pipelining client over the same [`crate::poll`] readiness loop
+//! the server uses.
+//!
+//! [`MultiConnClient`] owns N nonblocking connections to one replica and multiplexes
+//! them through a single [`Poller`] on the *caller's* thread — no thread pair per
+//! connection on the client side either. Sends are buffered (per-connection outbound
+//! queue, drained opportunistically and on `EPOLLOUT`); receives run inbound bytes
+//! through a per-connection [`FrameAssembler`] and hand every complete frame to the
+//! caller's sink with its connection index.
+//!
+//! This is the measurement harness for the open-loop many-connection sweep
+//! (`benches/net_many_conn.rs`) and the churn/pipelining tests: one thread can keep
+//! 2048 connections with hundreds of in-flight request ids each, which a blocking
+//! one-stream-per-thread client cannot do on a small box.
+
+use crate::poll::{Interest, Poller};
+use crate::wire::{Frame, FrameAssembler, WireError};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::time::{Duration, Instant};
+
+struct ClientConn {
+    stream: TcpStream,
+    assembler: FrameAssembler,
+    out: Vec<u8>,
+    out_pos: usize,
+    want_write: bool,
+    closed: bool,
+}
+
+impl ClientConn {
+    fn out_pending(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    fn flush(&mut self) -> bool {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return false,
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        true
+    }
+}
+
+/// N pipelined connections multiplexed on the caller's thread — to one replica
+/// ([`Self::connect`]) or one connection per replica ([`Self::connect_each`]).
+pub struct MultiConnClient {
+    poller: Poller,
+    conns: Vec<ClientConn>,
+    delivered_bytes: u64,
+}
+
+impl std::fmt::Debug for MultiConnClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiConnClient")
+            .field("connections", &self.conns.len())
+            .finish()
+    }
+}
+
+impl MultiConnClient {
+    /// Open `n` nonblocking connections to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates poller construction and connect failures.
+    pub fn connect(addr: SocketAddr, n: usize) -> std::io::Result<Self> {
+        Self::connect_each(&vec![addr; n])
+    }
+
+    /// Open one nonblocking connection per address; connection index i talks to
+    /// `addrs[i]` (the cluster driver's data plane: one pipelined connection per
+    /// replica).
+    ///
+    /// # Errors
+    ///
+    /// Propagates poller construction and connect failures.
+    pub fn connect_each(addrs: &[SocketAddr]) -> std::io::Result<Self> {
+        let poller = Poller::new()?;
+        let mut conns = Vec::with_capacity(addrs.len());
+        for (token, addr) in addrs.iter().enumerate() {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_nonblocking(true)?;
+            poller.add(stream.as_raw_fd(), token as u64, Interest::READ)?;
+            conns.push(ClientConn {
+                stream,
+                assembler: FrameAssembler::new(),
+                out: Vec::new(),
+                out_pos: 0,
+                want_write: false,
+                closed: false,
+            });
+        }
+        Ok(Self { poller, conns, delivered_bytes: 0 })
+    }
+
+    /// Number of connections (open or closed) this client was built with.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// `true` when the client was built with zero connections.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+
+    /// `true` while connection `conn` is still open (the server has not closed it).
+    #[must_use]
+    pub fn is_open(&self, conn: usize) -> bool {
+        !self.conns[conn].closed
+    }
+
+    /// How many connections are still open.
+    #[must_use]
+    pub fn open_count(&self) -> usize {
+        self.conns.iter().filter(|c| !c.closed).count()
+    }
+
+    /// Sum of delivered inbound frame lengths, socket-accounted (the byte tally the
+    /// cluster driver reports).
+    #[must_use]
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes
+    }
+
+    /// Queue `frame` on connection `conn` and opportunistically flush; returns the
+    /// frame's encoded length (its wire bytes). The frame is buffered even when the
+    /// socket is momentarily full; [`Self::poll`] finishes the write when the socket
+    /// drains. Sends on a closed connection are dropped silently and return 0 (the
+    /// sink already observed the close).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when the frame cannot be encoded (non-finite floats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conn` is out of range.
+    pub fn send(&mut self, conn: usize, frame: &Frame) -> Result<usize, WireError> {
+        let encoded = frame.encode()?;
+        let c = &mut self.conns[conn];
+        if c.closed {
+            return Ok(0);
+        }
+        c.out.extend_from_slice(&encoded);
+        if !c.flush() {
+            Self::close(&self.poller, c, conn as u64);
+        }
+        Ok(encoded.len())
+    }
+
+    /// Half-close connection `conn` for writing (the drain handshake the server's
+    /// reply-exact teardown expects): queued bytes are flushed first, then the write
+    /// side shuts down while replies keep arriving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conn` is out of range.
+    pub fn finish_sending(&mut self, conn: usize) {
+        let c = &mut self.conns[conn];
+        if c.closed {
+            return;
+        }
+        while c.out_pending() > 0 {
+            if !c.flush() {
+                Self::close(&self.poller, c, conn as u64);
+                return;
+            }
+            if c.out_pending() > 0 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        let _ = c.stream.shutdown(Shutdown::Write);
+    }
+
+    /// Drive readiness once: finish pending writes, read whatever arrived, and hand
+    /// every complete inbound frame to `sink` as `(connection index, frame)`. Returns
+    /// the number of frames delivered. A `timeout_ms` of 0 polls without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates poller failures. Per-connection I/O errors close that connection
+    /// instead of failing the call.
+    pub fn poll(
+        &mut self,
+        timeout_ms: i32,
+        mut sink: impl FnMut(usize, Frame),
+    ) -> std::io::Result<usize> {
+        let events: Vec<_> = self.poller.wait(Some(timeout_ms))?.to_vec();
+        let mut delivered = 0usize;
+        for event in events {
+            let idx = usize::try_from(event.token).expect("token fits usize");
+            let c = &mut self.conns[idx];
+            if c.closed {
+                continue;
+            }
+            if event.error {
+                Self::close(&self.poller, c, event.token);
+                continue;
+            }
+            if event.writable && !c.flush() {
+                Self::close(&self.poller, c, event.token);
+                continue;
+            }
+            if event.readable {
+                let mut scratch = [0u8; 16 * 1024];
+                loop {
+                    match c.stream.read(&mut scratch) {
+                        Ok(0) => {
+                            Self::close(&self.poller, c, event.token);
+                            break;
+                        }
+                        Ok(n) => c.assembler.extend(&scratch[..n]),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            Self::close(&self.poller, c, event.token);
+                            break;
+                        }
+                    }
+                }
+                while let Ok(Some((frame, n))) = c.assembler.next_frame() {
+                    self.delivered_bytes += n as u64;
+                    sink(idx, frame);
+                    delivered += 1;
+                }
+            }
+            if !c.closed {
+                let want_write = c.out_pending() > 0;
+                if want_write != c.want_write {
+                    let interest = if want_write { Interest::READ_WRITE } else { Interest::READ };
+                    if self
+                        .poller
+                        .modify(c.stream.as_raw_fd(), event.token, interest)
+                        .is_ok()
+                    {
+                        c.want_write = want_write;
+                    }
+                }
+            }
+        }
+        Ok(delivered)
+    }
+
+    /// Poll until `pending` frames have been delivered or `deadline` passes. Returns
+    /// the number of frames actually delivered (short on timeout or mass close).
+    ///
+    /// # Errors
+    ///
+    /// Propagates poller failures.
+    pub fn poll_until(
+        &mut self,
+        mut pending: usize,
+        deadline: Instant,
+        mut sink: impl FnMut(usize, Frame),
+    ) -> std::io::Result<usize> {
+        let mut delivered = 0usize;
+        while pending > 0 {
+            if self.conns.iter().all(|c| c.closed) {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let remaining_ms =
+                i32::try_from(deadline.duration_since(now).as_millis().min(100)).unwrap_or(100);
+            let got = self.poll(remaining_ms.max(1), &mut sink)?;
+            delivered += got;
+            pending = pending.saturating_sub(got);
+        }
+        Ok(delivered)
+    }
+
+    fn close(poller: &Poller, c: &mut ClientConn, _token: u64) {
+        let _ = poller.delete(c.stream.as_raw_fd());
+        let _ = c.stream.shutdown(Shutdown::Both);
+        c.closed = true;
+    }
+}
+
+impl Drop for MultiConnClient {
+    fn drop(&mut self) {
+        for c in &mut self.conns {
+            if !c.closed {
+                let _ = self.poller.delete(c.stream.as_raw_fd());
+                let _ = c.stream.shutdown(Shutdown::Both);
+                c.closed = true;
+            }
+        }
+    }
+}

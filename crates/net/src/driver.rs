@@ -6,8 +6,11 @@
 //! * **Data plane** — the driver replays the open-loop Poisson arrival schedule
 //!   (same pacer, same no-coordinated-omission discipline as
 //!   [`liveupdate_runtime::loadgen`]) and routes each request to a replica with the
-//!   same [`StreamSharder`] policy the in-process routers use; predictions stream back
-//!   asynchronously on per-replica reader threads.
+//!   same [`StreamSharder`] policy the in-process routers use. One pipelined
+//!   connection per replica, all multiplexed on the loadgen thread itself through
+//!   [`MultiConnClient`]: predictions are drained between scheduled sends, so the
+//!   driver needs no per-replica reader threads and a single connection carries every
+//!   in-flight request to its replica.
 //! * **Control plane** — a sync thread on dedicated connections executes the
 //!   strategy's update traffic as real frames: the sparse LoRA gather/merge/broadcast
 //!   of Algorithm 3 for local-training strategies, top-changed-row shipments for
@@ -20,6 +23,7 @@
 //! zero (no parameter frame is ever sent), while its sparse LoRA exchange is reported
 //! separately — the paper's near-zero-shipping claim as a wire fact.
 
+use crate::client::MultiConnClient;
 use crate::server::ReplicaServer;
 use crate::wire::{read_frame, write_frame, Frame, LoraRowUpdate, WireError};
 use liveupdate::engine::ServingNode;
@@ -118,13 +122,25 @@ pub struct DistributedReport {
     pub per_replica: Vec<RuntimeReport>,
 }
 
-/// Tally of one data connection's reader thread.
+/// Tally of the data plane's inbound frames (all connections merged).
 #[derive(Debug, Default)]
 struct ReaderTally {
     replies: u64,
     shed: u64,
     prediction_sum: f64,
-    bytes: u64,
+}
+
+impl ReaderTally {
+    fn record(&mut self, frame: &Frame) {
+        match frame {
+            Frame::InferReply { prediction, .. } => {
+                self.replies += 1;
+                self.prediction_sum += prediction;
+            }
+            Frame::InferShed { .. } => self.shed += 1,
+            _ => {}
+        }
+    }
 }
 
 /// What the sync thread hands back when joined.
@@ -181,39 +197,10 @@ pub fn run_distributed(
     let addrs: Vec<SocketAddr> = servers.iter().map(ReplicaServer::addr).collect();
 
     // --- data plane ------------------------------------------------------------------
-    let mut data_writers = Vec::with_capacity(cfg.replicas);
-    let mut reader_threads: Vec<JoinHandle<ReaderTally>> = Vec::with_capacity(cfg.replicas);
-    for addr in &addrs {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let read_half = stream.try_clone()?;
-        reader_threads.push(
-            thread::Builder::new()
-                .name("lu-net-tally".into())
-                .spawn(move || {
-                    let mut reader = read_half;
-                    let mut tally = ReaderTally::default();
-                    loop {
-                        match read_frame(&mut reader) {
-                            Ok(Some((Frame::InferReply { prediction, .. }, n))) => {
-                                tally.replies += 1;
-                                tally.prediction_sum += prediction;
-                                tally.bytes += n as u64;
-                            }
-                            Ok(Some((Frame::InferShed { .. }, n))) => {
-                                tally.shed += 1;
-                                tally.bytes += n as u64;
-                            }
-                            Ok(Some((_, n))) => tally.bytes += n as u64,
-                            Ok(None) | Err(_) => break,
-                        }
-                    }
-                    tally
-                })
-                .expect("spawn reply tally thread"),
-        );
-        data_writers.push(stream);
-    }
+    // One pipelined connection per replica, multiplexed on this thread: replies drain
+    // between scheduled sends, so no reader threads exist on the driver side either.
+    let mut data = MultiConnClient::connect_each(&addrs)?;
+    let mut tally = ReaderTally::default();
 
     // --- control plane ---------------------------------------------------------------
     let stop = Arc::new(AtomicBool::new(false));
@@ -249,9 +236,20 @@ pub fn run_distributed(
         if offset >= cfg.duration {
             break;
         }
-        let now = started.elapsed();
-        if offset > now {
-            thread::sleep(offset - now);
+        // Until this request's scheduled instant, drain whatever replies arrived.
+        loop {
+            let now = started.elapsed();
+            if offset <= now {
+                break;
+            }
+            let remaining = offset - now;
+            if remaining >= Duration::from_millis(1) {
+                let wait_ms =
+                    i32::try_from(remaining.as_millis().min(10)).unwrap_or(10).max(1);
+                let _ = data.poll(wait_ms, |_, frame| tally.record(&frame));
+            } else {
+                thread::sleep(remaining);
+            }
         }
         let sample = pool[pool_cursor % pool.len()].clone();
         pool_cursor += 1;
@@ -262,24 +260,27 @@ pub fn run_distributed(
         let frame = Frame::InferRequest { id: next_id, time_minutes: sim_minutes, sample };
         next_id += 1;
         offered += 1;
-        match write_frame(&mut data_writers[replica], &frame) {
+        match data.send(replica, &frame) {
+            Ok(0) => break, // replica gone; the run is over
             Ok(n) => infer_bytes_out += n as u64,
-            Err(_) => break, // replica gone; the run is over
+            Err(_) => break, // degenerate frame; the run is over
         }
     }
     drop(traffic_tx);
 
     // --- teardown --------------------------------------------------------------------
-    // Close the write direction so replicas see EOF once their queues drain; the reader
-    // threads keep collecting in-flight replies until the server side closes.
-    for stream in &data_writers {
-        let _ = stream.shutdown(Shutdown::Write);
+    // Close the write direction so replicas see EOF once their queues drain, then keep
+    // polling: the server's reply-exact teardown holds each connection open until every
+    // in-flight reply has flushed, and closes it only then.
+    for replica in 0..cfg.replicas {
+        data.finish_sending(replica);
     }
-    let tallies: Vec<ReaderTally> = reader_threads
-        .into_iter()
-        .map(|t| t.join().expect("reply tally thread panicked"))
-        .collect();
-    drop(data_writers);
+    let drain_deadline = Instant::now() + Duration::from_secs(30);
+    while data.open_count() > 0 && Instant::now() < drain_deadline {
+        let _ = data.poll(50, |_, frame| tally.record(&frame));
+    }
+    let infer_bytes_in = data.delivered_bytes();
+    drop(data);
 
     stop.store(true, Ordering::Release);
     let sync = sync_thread.join().expect("sync thread panicked");
@@ -303,11 +304,8 @@ pub fn run_distributed(
         publications += report.updater.publications;
         update_events += report.updater.update_rounds;
     }
-    let replies: u64 = tallies.iter().map(|t| t.replies).sum();
-    let shed: u64 = tallies.iter().map(|t| t.shed).sum();
-    let prediction_sum: f64 = tallies.iter().map(|t| t.prediction_sum).sum();
-    let infer_bytes =
-        infer_bytes_out + tallies.iter().map(|t| t.bytes).sum::<u64>();
+    let ReaderTally { replies, shed, prediction_sum } = tally;
+    let infer_bytes = infer_bytes_out + infer_bytes_in;
 
     let report = DistributedReport {
         replicas: cfg.replicas,

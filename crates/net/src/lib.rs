@@ -26,11 +26,20 @@
 //!   sparse LoRA row exchange, `B`-factor broadcast, top-changed-row pulls, full-model
 //!   pulls. Property-tested for round-trip identity, non-finite rejection, and
 //!   truncation safety.
+//! * [`poll`] — a dependency-free readiness layer: [`poll::Poller`] wraps
+//!   `epoll_create1`/`epoll_ctl`/`epoll_wait` and [`poll::Waker`] wraps `eventfd`
+//!   through a minimal FFI shim, so the tier needs no external crates.
 //! * [`server`] — [`server::ReplicaServer`]: one
 //!   [`ServingRuntime`](liveupdate_runtime::runtime::ServingRuntime) behind a TCP
-//!   listener. Inference frames enter the worker queues like in-process submissions
-//!   (workers deliver predictions back through the connection); control frames execute
-//!   against the authoritative node on the updater thread.
+//!   listener, served by **one epoll event-loop thread** that owns every connection in
+//!   nonblocking mode (incremental frame decode, replies routed back by connection id,
+//!   outbound buffers drained on `EPOLLOUT`, reply-exact teardown under churn).
+//!   Inference frames enter the worker queues like in-process submissions; control
+//!   frames execute against the authoritative node on the updater thread. A corrected
+//!   thread-per-connection engine remains as the no-epoll fallback.
+//! * [`client`] — [`client::MultiConnClient`]: N pipelined connections multiplexed on
+//!   the caller's thread over the same poller; the harness behind the
+//!   many-connection sweep (`cargo bench --bench net_many_conn`) and churn tests.
 //! * [`driver`] — [`driver::run_distributed`]: spawn N replicas, drive routed open-loop
 //!   load, execute the strategy's update traffic as real frames, and measure every byte
 //!   at the socket.
@@ -47,11 +56,14 @@
 //! socket arithmetic, not estimates.
 
 pub mod backend;
+pub mod client;
 pub mod driver;
+pub mod poll;
 pub mod server;
 pub mod wire;
 
 pub use backend::{all_backends_with_distributed, DistributedBackend};
+pub use client::MultiConnClient;
 pub use driver::{run_distributed, DistributedConfig, DistributedReport};
 pub use server::ReplicaServer;
 pub use wire::{Frame, WireError};

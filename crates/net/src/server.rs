@@ -2,33 +2,66 @@
 //!
 //! A [`ReplicaServer`] is the paper's inference node made network-addressable. Inference
 //! frames flow into the runtime's worker queues exactly like in-process submissions (the
-//! worker delivers each prediction back through the connection's writer), and control
-//! frames — sparse LoRA row exchange, `B`-factor broadcast, top-changed-row pulls,
-//! full-model pulls, publication — execute against the authoritative node via
-//! [`ServingRuntime::with_node`], so they serialise with the updater's own blocks and
-//! never add a lock to the serve path.
+//! worker delivers each prediction back through the connection's outbound queue), and
+//! control frames — sparse LoRA row exchange, `B`-factor broadcast, top-changed-row
+//! pulls, full-model pulls, publication — execute against the authoritative node on the
+//! updater thread ([`ServingRuntime::with_node_async`]), so they serialise with the
+//! updater's own blocks and never add a lock to the serve path.
 //!
-//! Threading: one non-blocking accept loop plus, per connection, a reader thread (frame
-//! dispatch) and a writer thread (all outbound frames funnel through one channel, so
-//! worker replies and control acknowledgements never interleave mid-frame). Lifecycle
-//! and reporting stay in-process: [`ReplicaServer::shutdown`] unblocks every connection,
-//! joins the threads, and returns the runtime's measured report plus the final node —
-//! the sockets are the data path, not the management plane.
+//! # Threading: an epoll event loop, not a thread pair per connection
+//!
+//! One event-loop thread owns *every* connection socket (plus the listener and a wakeup
+//! eventfd) through [`crate::poll::Poller`]:
+//!
+//! * **Sockets are nonblocking** and level-triggered. Readiness drives incremental frame
+//!   decode through [`crate::wire::FrameAssembler`] — a read may end mid-length-prefix or
+//!   mid-payload and resumes exactly there on the next readiness.
+//! * **Replies are routed by connection id.** A worker finishing a batch (or the updater
+//!   completing a control command) pushes `(connection token, frame)` onto one shared
+//!   channel and rings the loop's waker; the loop encodes into that connection's
+//!   outbound buffer and drains it, arming `EPOLLOUT` only while unflushed bytes remain.
+//! * **Pipelining is the point.** The wire protocol's request `id` already correlates
+//!   replies; with the event loop a single connection can carry hundreds of in-flight
+//!   requests, each answered as its batch completes — order of replies is batch
+//!   completion order, not submission order.
+//! * **The loop never blocks on the model.** Inference submits are `try_send` (a full
+//!   queue sheds with an `InferShed` frame), control frames are fire-and-forget updater
+//!   commands whose completion callback delivers the reply after any publication.
+//!
+//! Connection teardown is reply-exact: a peer that half-closes (EOF) or sends `Bye`
+//! stops being read, but the connection stays open until every accepted request has
+//! answered (`InferReply`), every pending control command has acknowledged, and the
+//! outbound buffer has flushed — then the socket closes and leaves the registry, so
+//! connection churn never grows server state.
+//!
+//! Where a poller cannot be constructed, [`ReplicaServer::start`] falls back to the
+//! historical thread-per-connection arrangement ([`ReplicaServer::start_threaded`]),
+//! kept correct under churn: finished handler threads are reaped as their connections
+//! close (bookkeeping stays bounded), a closing runtime nacks in-flight requests with
+//! `InferShed` instead of silently dropping them, and the connection writer flushes
+//! only when its outbound channel momentarily drains rather than after every frame.
+//!
+//! Lifecycle and reporting stay in-process: [`ReplicaServer::shutdown`] unblocks every
+//! connection, joins the threads, and returns the runtime's measured report plus the
+//! final node — the sockets are the data path, not the management plane.
 
-use crate::wire::{read_frame, write_frame, Frame, LoraRowUpdate, WireError};
+use crate::poll::{Interest, Poller, Waker};
+use crate::wire::{read_frame, write_frame, Frame, FrameAssembler, LoraRowUpdate, WireError};
 use liveupdate::engine::ServingNode;
 use liveupdate::sync::LoraPeer;
 use liveupdate_dlrm::model::DlrmConfig;
+use liveupdate_dlrm::sample::Sample;
 use liveupdate_runtime::config::RuntimeConfig;
 use liveupdate_runtime::policy::UpdatePolicy;
 use liveupdate_runtime::report::RuntimeReport;
 use liveupdate_runtime::request::ReplyTo;
 use liveupdate_runtime::runtime::{ServingRuntime, SubmitOutcome};
 use std::collections::HashMap;
-use std::io::BufWriter;
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Sender};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -43,16 +76,46 @@ pub struct ServerBytes {
     pub control: AtomicU64,
 }
 
-/// A running TCP replica: listener + connection threads around one [`ServingRuntime`].
+impl ServerBytes {
+    fn count(&self, frame: &Frame, n: u64) {
+        let counter = if matches!(
+            frame,
+            Frame::InferRequest { .. } | Frame::InferReply { .. } | Frame::InferShed { .. }
+        ) {
+            &self.infer
+        } else {
+            &self.control
+        };
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Which engine serves the sockets.
+enum Engine {
+    /// The epoll readiness loop: one thread owns every connection.
+    EventLoop {
+        waker: Arc<Waker>,
+        thread: Option<JoinHandle<()>>,
+    },
+    /// Thread-per-connection fallback (reader + writer thread per accepted socket).
+    Threaded {
+        /// Open connections by id, so `shutdown` can force blocked readers out.
+        /// Handlers remove their entry on exit — connection churn must not grow the
+        /// registry (pinned by `tests/connection_churn.rs`).
+        live_streams: Arc<Mutex<HashMap<u64, TcpStream>>>,
+        accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    },
+}
+
+/// A running TCP replica: listener + serving engine around one [`ServingRuntime`].
 pub struct ReplicaServer {
     addr: SocketAddr,
     runtime: Arc<ServingRuntime>,
     stop: Arc<AtomicBool>,
-    /// Open connections by id, so `shutdown` can force blocked readers out. Handlers
-    /// remove their entry on exit — connection churn must not grow the registry.
-    live_streams: Arc<Mutex<HashMap<u64, TcpStream>>>,
-    accept_thread: Option<JoinHandle<Vec<JoinHandle<()>>>>,
     bytes: Arc<ServerBytes>,
+    open_connections: Arc<AtomicUsize>,
+    handler_backlog: Arc<AtomicUsize>,
+    engine: Engine,
 }
 
 impl std::fmt::Debug for ReplicaServer {
@@ -67,6 +130,9 @@ impl ReplicaServer {
     /// `interval` (`None` = ingest-only, the arrangement parameter-pull strategies use —
     /// their updates arrive as control frames instead).
     ///
+    /// Connections are served by the epoll event loop; if a poller cannot be
+    /// constructed the server falls back to [`Self::start_threaded`]'s arrangement.
+    ///
     /// # Errors
     ///
     /// Propagates listener-creation failures.
@@ -80,25 +146,126 @@ impl ReplicaServer {
         interval: Duration,
         policy: Option<Box<dyn UpdatePolicy>>,
     ) -> std::io::Result<Self> {
+        match Poller::new().and_then(|p| Waker::new().map(|w| (p, w))) {
+            Ok((poller, waker)) => {
+                Self::start_event_loop(node, cfg, interval, policy, poller, waker)
+            }
+            Err(_) => Self::start_threaded(node, cfg, interval, policy),
+        }
+    }
+
+    fn start_parts(
+        node: ServingNode,
+        cfg: RuntimeConfig,
+        interval: Duration,
+        policy: Option<Box<dyn UpdatePolicy>>,
+    ) -> std::io::Result<(Arc<ServingRuntime>, TcpListener, SocketAddr)> {
         let runtime = Arc::new(ServingRuntime::start_with_policy(node, cfg, interval, policy));
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        Ok((runtime, listener, addr))
+    }
+
+    /// Start with the epoll engine (the default path of [`Self::start`]).
+    fn start_event_loop(
+        node: ServingNode,
+        cfg: RuntimeConfig,
+        interval: Duration,
+        policy: Option<Box<dyn UpdatePolicy>>,
+        poller: Poller,
+        waker: Waker,
+    ) -> std::io::Result<Self> {
+        let (runtime, listener, addr) = Self::start_parts(node, cfg, interval, policy)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let bytes = Arc::new(ServerBytes::default());
+        let open_connections = Arc::new(AtomicUsize::new(0));
+        let waker = Arc::new(waker);
+
+        // The model geometry is fixed for the runtime's lifetime; snapshot it once so
+        // every inference frame can be validated without a node round-trip.
+        let model_config = runtime.with_node(|node| node.serving_model().config().clone());
+        let (reply_tx, reply_rx) = channel::<(u64, Frame)>();
+        let mut event_loop = EventLoop {
+            poller,
+            listener,
+            conns: HashMap::new(),
+            next_token: TOKEN_CONN_BASE,
+            reply_rx,
+            ctx: LoopCtx {
+                runtime: Arc::clone(&runtime),
+                reply_tx,
+                waker: Arc::clone(&waker),
+                model_config,
+                bytes: Arc::clone(&bytes),
+                open_connections: Arc::clone(&open_connections),
+            },
+            stop: Arc::clone(&stop),
+        };
+        let thread = thread::Builder::new()
+            .name(format!("lu-net-loop-{}", addr.port()))
+            .spawn(move || event_loop.run())
+            .expect("spawn event loop thread");
+
+        Ok(Self {
+            addr,
+            runtime,
+            stop,
+            bytes,
+            open_connections,
+            handler_backlog: Arc::new(AtomicUsize::new(0)),
+            engine: Engine::EventLoop { waker, thread: Some(thread) },
+        })
+    }
+
+    /// Start with the thread-per-connection fallback engine: an accept loop that spawns
+    /// a reader + writer thread pair per connection and reaps them as connections
+    /// close. Public so the fallback stays tested; [`Self::start`] only uses it when no
+    /// epoll instance is available.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener-creation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime configuration is invalid.
+    pub fn start_threaded(
+        node: ServingNode,
+        cfg: RuntimeConfig,
+        interval: Duration,
+        policy: Option<Box<dyn UpdatePolicy>>,
+    ) -> std::io::Result<Self> {
+        let (runtime, listener, addr) = Self::start_parts(node, cfg, interval, policy)?;
         let stop = Arc::new(AtomicBool::new(false));
         let live_streams: Arc<Mutex<HashMap<u64, TcpStream>>> =
             Arc::new(Mutex::new(HashMap::new()));
         let bytes = Arc::new(ServerBytes::default());
+        let open_connections = Arc::new(AtomicUsize::new(0));
+        let handler_backlog = Arc::new(AtomicUsize::new(0));
 
         let accept_runtime = Arc::clone(&runtime);
         let accept_stop = Arc::clone(&stop);
         let accept_streams = Arc::clone(&live_streams);
         let accept_bytes = Arc::clone(&bytes);
+        let accept_open = Arc::clone(&open_connections);
+        let accept_backlog = Arc::clone(&handler_backlog);
         let accept_thread = thread::Builder::new()
             .name(format!("lu-net-accept-{}", addr.port()))
             .spawn(move || {
-                let mut handlers = Vec::new();
+                let mut handlers: HashMap<u64, JoinHandle<()>> = HashMap::new();
+                // Connections report themselves here when their handler finishes, so
+                // the accept loop joins exactly the threads that are already done —
+                // under churn the handler map stays bounded by *live* connections.
+                let finished: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
                 let mut next_conn_id = 0u64;
                 while !accept_stop.load(Ordering::Acquire) {
+                    for conn_id in finished.lock().expect("finished list").drain(..) {
+                        if let Some(handle) = handlers.remove(&conn_id) {
+                            let _ = handle.join();
+                            accept_backlog.store(handlers.len(), Ordering::Release);
+                        }
+                    }
                     match listener.accept() {
                         Ok((stream, _peer)) => {
                             let _ = stream.set_nodelay(true);
@@ -110,18 +277,25 @@ impl ReplicaServer {
                                     .expect("stream registry")
                                     .insert(conn_id, registered);
                             }
+                            accept_open.fetch_add(1, Ordering::AcqRel);
                             let runtime = Arc::clone(&accept_runtime);
                             let bytes = Arc::clone(&accept_bytes);
                             let registry = Arc::clone(&accept_streams);
-                            handlers.push(
+                            let open = Arc::clone(&accept_open);
+                            let done = Arc::clone(&finished);
+                            handlers.insert(
+                                conn_id,
                                 thread::Builder::new()
                                     .name("lu-net-conn".into())
                                     .spawn(move || {
                                         handle_connection(stream, &runtime, &bytes);
                                         registry.lock().expect("stream registry").remove(&conn_id);
+                                        open.fetch_sub(1, Ordering::AcqRel);
+                                        done.lock().expect("finished list").push(conn_id);
                                     })
                                     .expect("spawn connection handler"),
                             );
+                            accept_backlog.store(handlers.len(), Ordering::Release);
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             thread::sleep(Duration::from_millis(1));
@@ -129,7 +303,7 @@ impl ReplicaServer {
                         Err(_) => break,
                     }
                 }
-                handlers
+                handlers.into_values().collect()
             })
             .expect("spawn accept thread");
 
@@ -137,9 +311,13 @@ impl ReplicaServer {
             addr,
             runtime,
             stop,
-            live_streams,
-            accept_thread: Some(accept_thread),
             bytes,
+            open_connections,
+            handler_backlog,
+            engine: Engine::Threaded {
+                live_streams,
+                accept: Some(accept_thread),
+            },
         })
     }
 
@@ -155,6 +333,21 @@ impl ReplicaServer {
         &self.bytes
     }
 
+    /// Number of currently open connections. Churn must return this to zero — the
+    /// registry growth bug this counter pins down in `tests/connection_churn.rs`.
+    #[must_use]
+    pub fn open_connections(&self) -> usize {
+        self.open_connections.load(Ordering::Acquire)
+    }
+
+    /// Per-connection handler threads currently tracked (thread-per-connection engine
+    /// only; always 0 on the event loop). Bounded by live connections, not by total
+    /// connections ever accepted.
+    #[must_use]
+    pub fn handler_backlog(&self) -> usize {
+        self.handler_backlog.load(Ordering::Acquire)
+    }
+
     /// Stop accepting, unblock and join every connection, shut the runtime down, and
     /// return its measured report plus the final authoritative node. Clients should
     /// close (or `Bye`) their connections first; any still-open socket is forcibly shut
@@ -166,23 +359,541 @@ impl ReplicaServer {
     #[must_use]
     pub fn shutdown(mut self) -> (RuntimeReport, ServingNode) {
         self.stop.store(true, Ordering::Release);
-        // Force every still-open connection closed; blocked readers see EOF/error.
-        for (_, stream) in self.live_streams.lock().expect("stream registry").drain() {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-        let handlers = self
-            .accept_thread
-            .take()
-            .expect("accept thread present")
-            .join()
-            .expect("accept thread panicked");
-        for handler in handlers {
-            handler.join().expect("connection handler panicked");
+        match &mut self.engine {
+            Engine::EventLoop { waker, thread } => {
+                waker.wake();
+                thread
+                    .take()
+                    .expect("event loop thread present")
+                    .join()
+                    .expect("event loop thread panicked");
+            }
+            Engine::Threaded { live_streams, accept } => {
+                // Force every still-open connection closed; blocked readers see
+                // EOF/error.
+                for (_, stream) in live_streams.lock().expect("stream registry").drain() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                let handlers = accept
+                    .take()
+                    .expect("accept thread present")
+                    .join()
+                    .expect("accept thread panicked");
+                for handler in handlers {
+                    handler.join().expect("connection handler panicked");
+                }
+            }
         }
         let runtime = Arc::try_unwrap(self.runtime).expect("every handler released the runtime");
         runtime.finish()
     }
 }
+
+// ---------------------------------------------------------------------------
+// Frame classification (shared by both engines)
+// ---------------------------------------------------------------------------
+
+/// What one inbound frame asks of the replica.
+enum Inbound {
+    /// Score a sample through the worker pipeline; reply `InferReply`/`InferShed`.
+    Infer {
+        id: u64,
+        time_minutes: f64,
+        sample: Sample,
+    },
+    /// Execute against the authoritative node on the updater thread and reply with the
+    /// returned frame, publishing a fresh snapshot first when `publish` is set.
+    Control {
+        publish: bool,
+        action: Box<dyn FnOnce(&mut ServingNode) -> Frame + Send>,
+    },
+    /// Graceful close; stop reading, flush what is owed, then close.
+    Bye,
+    /// A reply-direction frame a replica never receives; nack and close.
+    BadDirection,
+}
+
+/// Bounds-check a `(table, row)` pair against the node's geometry.
+fn in_bounds(node: &ServingNode, table: u32, row: u64) -> bool {
+    let tables = node.serving_model().tables();
+    (table as usize) < tables.len() && (row as usize) < tables[table as usize].num_rows()
+}
+
+fn outcome_frame(outcome: Result<(), &'static str>) -> Frame {
+    match outcome {
+        Ok(()) => Frame::Ack,
+        Err(reason) => Frame::Nack { reason: reason.to_string() },
+    }
+}
+
+/// Map an inbound frame onto the action that executes it. Control arms are plain
+/// node-to-frame closures, so the blocking engine runs them via
+/// [`ServingRuntime::with_node`] and the event loop via
+/// [`ServingRuntime::with_node_async`] — one protocol, two schedulers.
+fn classify(frame: Frame) -> Inbound {
+    match frame {
+        Frame::InferRequest { id, time_minutes, sample } => {
+            Inbound::Infer { id, time_minutes, sample }
+        }
+        Frame::PullSupport => Inbound::Control {
+            publish: false,
+            action: Box::new(|node| Frame::Support {
+                rows: node
+                    .lora_support()
+                    .into_iter()
+                    .map(|(table, row)| (table as u32, row as u64))
+                    .collect(),
+            }),
+        },
+        Frame::PullLoraRows { rows } => Inbound::Control {
+            publish: false,
+            action: Box::new(move |node| Frame::LoraRows {
+                rows: rows
+                    .into_iter()
+                    .filter(|&(table, row)| in_bounds(node, table, row))
+                    .map(|(table, row)| LoraRowUpdate {
+                        table,
+                        row,
+                        values: node.export_lora_row(table as usize, row as usize),
+                    })
+                    .collect(),
+            }),
+        },
+        Frame::PushLoraRows { rows } => Inbound::Control {
+            publish: false,
+            // Stage the rows without materialising: the B broadcast may still follow,
+            // and the Publish frame rematerialises every active row once.
+            action: Box::new(move |node| {
+                for row in &rows {
+                    if !in_bounds(node, row.table, row.row) {
+                        return outcome_frame(Err("LoRA row index out of bounds"));
+                    }
+                }
+                for row in rows {
+                    LoraPeer::import_a_row(node, row.table as usize, row.row as usize, row.values);
+                }
+                outcome_frame(Ok(()))
+            }),
+        },
+        Frame::PullB { table } => Inbound::Control {
+            publish: false,
+            action: Box::new(move |node| {
+                let t = table as usize;
+                if t >= node.loras().len() {
+                    return Frame::Nack { reason: "table out of bounds".into() };
+                }
+                Frame::BFactor {
+                    table,
+                    source_rank: LoraPeer::lora_rank(node, t) as u32,
+                    values: LoraPeer::export_b(node, t),
+                }
+            }),
+        },
+        Frame::PushB { table, source_rank, values } => Inbound::Control {
+            publish: false,
+            action: Box::new(move |node| {
+                let t = table as usize;
+                if t >= node.loras().len() {
+                    return outcome_frame(Err("table out of bounds"));
+                }
+                if values.len() != source_rank as usize * node.loras()[t].dim() {
+                    return outcome_frame(Err("B factor shape mismatch"));
+                }
+                LoraPeer::import_b(node, t, &values, source_rank as usize);
+                outcome_frame(Ok(()))
+            }),
+        },
+        Frame::PushEmbeddingRows { rows } => Inbound::Control {
+            publish: true,
+            action: Box::new(move |node| {
+                let dim = node.serving_model().config().embedding_dim;
+                for row in &rows {
+                    if !in_bounds(node, row.table, row.row) {
+                        return outcome_frame(Err("embedding row index out of bounds"));
+                    }
+                    if row.values.len() != dim {
+                        return outcome_frame(Err("embedding row dimension mismatch"));
+                    }
+                }
+                for row in rows {
+                    node.apply_embedding_row_pull(row.table as usize, row.row as usize, &row.values);
+                }
+                outcome_frame(Ok(()))
+            }),
+        },
+        Frame::FullModel { params } => Inbound::Control {
+            publish: true,
+            action: Box::new(move |node| {
+                if params.len() != node.serving_model().parameter_count() {
+                    return outcome_frame(Err("parameter vector length mismatch"));
+                }
+                let mut fresh = node.serving_model().clone();
+                fresh.import_parameters(&params);
+                node.full_sync(fresh);
+                outcome_frame(Ok(()))
+            }),
+        },
+        Frame::Publish => Inbound::Control {
+            publish: true,
+            action: Box::new(|node| {
+                node.refresh_serving_rows();
+                Frame::Ack
+            }),
+        },
+        Frame::Bye => Inbound::Bye,
+        // A replica never receives reply-direction frames; reject and close.
+        Frame::InferReply { .. }
+        | Frame::InferShed { .. }
+        | Frame::Support { .. }
+        | Frame::LoraRows { .. }
+        | Frame::BFactor { .. }
+        | Frame::Ack
+        | Frame::Nack { .. } => Inbound::BadDirection,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine 1: the epoll event loop
+// ---------------------------------------------------------------------------
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const TOKEN_CONN_BASE: u64 = 2;
+
+/// Per-connection state owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    /// Incremental inbound frame decode (resumes mid-frame across readiness events).
+    assembler: FrameAssembler,
+    /// Encoded-but-unwritten outbound bytes; `out_pos` marks the flushed prefix.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Replies the runtime still owes this connection: accepted inference requests plus
+    /// in-flight control commands. The connection may only close once this drains.
+    owed: u64,
+    /// Reading has stopped (peer EOF, `Bye`, or protocol error); close once `owed`
+    /// reaches zero and the outbound buffer is flushed.
+    draining: bool,
+    /// Whether the current epoll registration includes write interest.
+    want_write: bool,
+}
+
+impl Conn {
+    fn out_pending(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    /// Append an encoded frame to the outbound buffer, accounting its bytes.
+    fn enqueue(&mut self, frame: &Frame, bytes: &ServerBytes) {
+        match frame.encode() {
+            Ok(encoded) => {
+                bytes.count(frame, encoded.len() as u64);
+                self.out.extend_from_slice(&encoded);
+            }
+            // Our own frames only fail to encode on non-finite floats (a degenerate
+            // model); the peer can't be answered, so drain the connection.
+            Err(_) => self.draining = true,
+        }
+    }
+
+    /// Write as much of the outbound buffer as the socket accepts.
+    /// Returns `false` when the connection died mid-write.
+    fn flush(&mut self) -> bool {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return false,
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        true
+    }
+
+    /// `true` once the connection owes nothing more and may close.
+    fn drained(&self) -> bool {
+        self.draining && self.owed == 0 && self.out_pending() == 0
+    }
+}
+
+/// Everything a dispatch needs besides the connection itself.
+struct LoopCtx {
+    runtime: Arc<ServingRuntime>,
+    reply_tx: Sender<(u64, Frame)>,
+    waker: Arc<Waker>,
+    model_config: DlrmConfig,
+    bytes: Arc<ServerBytes>,
+    open_connections: Arc<AtomicUsize>,
+}
+
+struct EventLoop {
+    poller: Poller,
+    listener: TcpListener,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    reply_rx: Receiver<(u64, Frame)>,
+    ctx: LoopCtx,
+    stop: Arc<AtomicBool>,
+}
+
+impl EventLoop {
+    fn run(&mut self) {
+        if self
+            .poller
+            .add(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)
+            .is_err()
+            || self.poller.add(self.ctx.waker.fd(), TOKEN_WAKER, Interest::READ).is_err()
+        {
+            return;
+        }
+        while !self.stop.load(Ordering::Acquire) {
+            // The waker covers replies and shutdown; the timeout is only a backstop so
+            // a lost wakeup can never wedge the loop.
+            let events = match self.poller.wait(Some(100)) {
+                Ok(events) => events.to_vec(),
+                Err(_) => break,
+            };
+            for event in events {
+                match event.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.ctx.waker.drain(),
+                    token => self.conn_ready(token, event.readable, event.writable, event.error),
+                }
+            }
+            self.drain_replies();
+        }
+        // Shutdown: force every connection closed (peers see EOF) and unregister.
+        for (_, conn) in self.conns.drain() {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            self.ctx.open_connections.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self.poller.add(stream.as_raw_fd(), token, Interest::READ).is_err() {
+                        continue;
+                    }
+                    self.ctx.open_connections.fetch_add(1, Ordering::AcqRel);
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            token,
+                            assembler: FrameAssembler::new(),
+                            out: Vec::new(),
+                            out_pos: 0,
+                            owed: 0,
+                            draining: false,
+                            want_write: false,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Route completed worker replies / control acknowledgements into their
+    /// connections' outbound buffers, then flush exactly the connections touched.
+    /// Never scans the whole registry — per-wakeup work is O(replies), not O(open
+    /// connections), which is what keeps the tail flat at 2048 connections.
+    fn drain_replies(&mut self) {
+        let mut touched: Vec<u64> = Vec::new();
+        while let Ok((token, frame)) = self.reply_rx.try_recv() {
+            // A reply for a connection that already died is dropped on the floor —
+            // exactly what the blocking engine's broken-pipe write did.
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.owed = conn.owed.saturating_sub(1);
+                conn.enqueue(&frame, &self.ctx.bytes);
+                if touched.last() != Some(&token) {
+                    touched.push(token);
+                }
+            }
+        }
+        touched.dedup();
+        for token in touched {
+            self.service_conn(token);
+        }
+    }
+
+    /// Flush a connection's outbound buffer, close it if dead or fully drained, and
+    /// keep its epoll write-interest in sync with whether bytes remain queued.
+    fn service_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if !conn.flush() || conn.drained() {
+            self.close_conn(token);
+            return;
+        }
+        let want_write = conn.out_pending() > 0;
+        if want_write != conn.want_write {
+            let interest = if want_write { Interest::READ_WRITE } else { Interest::READ };
+            if self.poller.modify(conn.stream.as_raw_fd(), token, interest).is_ok() {
+                conn.want_write = want_write;
+            }
+        }
+    }
+
+    fn conn_ready(&mut self, token: u64, readable: bool, writable: bool, error: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if error {
+            self.close_conn(token);
+            return;
+        }
+        let mut alive = true;
+        if writable {
+            alive = conn.flush();
+        }
+        if alive && readable && !conn.draining {
+            alive = read_ready(conn, &self.ctx);
+        }
+        if alive {
+            self.service_conn(token);
+        } else {
+            self.close_conn(token);
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            self.ctx.open_connections.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Drain the socket into the assembler and dispatch every complete frame.
+/// Returns `false` when the connection died (hard error); EOF and protocol errors set
+/// `draining` instead so owed replies still flush.
+fn read_ready(conn: &mut Conn, ctx: &LoopCtx) -> bool {
+    let mut scratch = [0u8; 16 * 1024];
+    let mut saw_eof = false;
+    loop {
+        match conn.stream.read(&mut scratch) {
+            Ok(0) => {
+                saw_eof = true;
+                break;
+            }
+            Ok(n) => conn.assembler.extend(&scratch[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    while !conn.draining {
+        match conn.assembler.next_frame() {
+            Ok(Some((frame, n))) => {
+                ctx.bytes.count(&frame, n as u64);
+                dispatch_event(conn, frame, ctx);
+            }
+            Ok(None) => break,
+            Err(_) => {
+                // Framing alignment is lost; answer with a typed Nack and drain.
+                conn.enqueue(&Frame::Nack { reason: "malformed frame".into() }, &ctx.bytes);
+                conn.draining = true;
+            }
+        }
+    }
+    if saw_eof {
+        // Half-close: the peer is done sending but still reads replies — the driver's
+        // data connections end exactly this way. Owed replies keep the socket open.
+        conn.draining = true;
+    }
+    true
+}
+
+/// Handle one decoded frame on the event loop: inference goes to the worker queues with
+/// a reply path back through the loop's channel, control goes to the updater thread as
+/// a fire-and-forget command, `Bye`/garbage start the drain.
+fn dispatch_event(conn: &mut Conn, frame: Frame, ctx: &LoopCtx) {
+    match classify(frame) {
+        Inbound::Infer { id, time_minutes, sample } => {
+            // The wire codec guarantees well-formed bytes, not well-formed *geometry*:
+            // a sparse id past the table end or a wrong-arity sample would panic the
+            // worker thread mid-batch and take the whole replica down. Reject it here
+            // and keep serving the connection.
+            if let Err(reason) = ctx.model_config.validate_sample(&sample) {
+                conn.enqueue(
+                    &Frame::Nack { reason: format!("request {id}: {reason}") },
+                    &ctx.bytes,
+                );
+                return;
+            }
+            let reply_tx = ctx.reply_tx.clone();
+            let waker = Arc::clone(&ctx.waker);
+            let token = conn.token;
+            let reply = ReplyTo::new(move |prediction| {
+                let _ = reply_tx.send((token, Frame::InferReply { id, prediction }));
+                waker.wake();
+            });
+            match ctx.runtime.submit_routed_with_reply(sample, time_minutes, Instant::now(), reply)
+            {
+                SubmitOutcome::Accepted => conn.owed += 1,
+                SubmitOutcome::Shed => {
+                    conn.enqueue(&Frame::InferShed { id }, &ctx.bytes);
+                }
+                SubmitOutcome::Closed => {
+                    // The runtime is shutting down: tell the client instead of letting
+                    // it hang on a reply that will never come, then drain.
+                    conn.enqueue(&Frame::InferShed { id }, &ctx.bytes);
+                    conn.draining = true;
+                }
+            }
+        }
+        Inbound::Control { publish, action } => {
+            let reply_tx = ctx.reply_tx.clone();
+            let waker = Arc::clone(&ctx.waker);
+            let token = conn.token;
+            let sent = ctx.runtime.with_node_async(
+                move |node| action(node),
+                publish,
+                move |reply| {
+                    let _ = reply_tx.send((token, reply));
+                    waker.wake();
+                },
+            );
+            if sent {
+                conn.owed += 1;
+            } else {
+                // No updater to run the command (runtime shutting down): drain.
+                conn.draining = true;
+            }
+        }
+        Inbound::Bye => conn.draining = true,
+        Inbound::BadDirection => {
+            conn.enqueue(
+                &Frame::Nack { reason: "unexpected frame direction".into() },
+                &ctx.bytes,
+            );
+            conn.draining = true;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine 2: thread-per-connection fallback
+// ---------------------------------------------------------------------------
 
 /// Serve one connection until EOF/`Bye`/error: dispatch inference frames into the
 /// runtime, execute control frames against the authoritative node, and funnel every
@@ -200,22 +911,22 @@ fn handle_connection(stream: TcpStream, runtime: &Arc<ServingRuntime>, bytes: &A
     let writer = thread::Builder::new()
         .name("lu-net-writer".into())
         .spawn(move || {
-            let mut w = BufWriter::new(write_half);
-            while let Ok(frame) = out_rx.recv() {
-                let counter = if matches!(frame, Frame::InferReply { .. } | Frame::InferShed { .. })
-                {
-                    &writer_bytes.infer
-                } else {
-                    &writer_bytes.control
-                };
-                match write_frame(&mut w, &frame) {
-                    Ok(n) => {
-                        counter.fetch_add(n as u64, Ordering::Relaxed);
-                        if std::io::Write::flush(&mut w).is_err() {
-                            break;
-                        }
+            let mut w = std::io::BufWriter::new(write_half);
+            'outer: while let Ok(frame) = out_rx.recv() {
+                // Under pipelined load, flushing after every frame defeats the
+                // BufWriter; write every frame already queued, then flush once when the
+                // channel momentarily drains (which is also what keeps a single
+                // in-flight request prompt).
+                let mut next = Some(frame);
+                while let Some(frame) = next.take() {
+                    match write_frame(&mut w, &frame) {
+                        Ok(n) => writer_bytes.count(&frame, n as u64),
+                        Err(_) => break 'outer,
                     }
-                    Err(_) => break,
+                    next = out_rx.try_recv().ok();
+                }
+                if w.flush().is_err() {
+                    break;
                 }
             }
         })
@@ -226,13 +937,8 @@ fn handle_connection(stream: TcpStream, runtime: &Arc<ServingRuntime>, bytes: &A
         match read_frame(&mut reader) {
             Ok(None) => break,
             Ok(Some((frame, n))) => {
-                let counter = if matches!(frame, Frame::InferRequest { .. }) {
-                    &bytes.infer
-                } else {
-                    &bytes.control
-                };
-                counter.fetch_add(n as u64, Ordering::Relaxed);
-                if !dispatch(frame, runtime, &model_config, &out_tx) {
+                bytes.count(&frame, n as u64);
+                if !dispatch_blocking(frame, runtime, &model_config, &out_tx) {
                     break;
                 }
             }
@@ -251,19 +957,16 @@ fn handle_connection(stream: TcpStream, runtime: &Arc<ServingRuntime>, bytes: &A
     let _ = reader.shutdown(Shutdown::Both);
 }
 
-/// Handle one inbound frame; returns `false` when the connection should close.
-fn dispatch(
+/// Handle one inbound frame on a connection thread; returns `false` when the connection
+/// should close.
+fn dispatch_blocking(
     frame: Frame,
     runtime: &Arc<ServingRuntime>,
     model_config: &DlrmConfig,
     out: &Sender<Frame>,
 ) -> bool {
-    match frame {
-        Frame::InferRequest { id, time_minutes, sample } => {
-            // The wire codec guarantees well-formed bytes, not well-formed *geometry*:
-            // a sparse id past the table end or a wrong-arity sample would panic the
-            // worker thread mid-batch and take the whole replica down. Reject it here
-            // and keep serving the connection.
+    match classify(frame) {
+        Inbound::Infer { id, time_minutes, sample } => {
             if let Err(reason) = model_config.validate_sample(&sample) {
                 return out
                     .send(Frame::Nack { reason: format!("request {id}: {reason}") })
@@ -278,138 +981,27 @@ fn dispatch(
                 SubmitOutcome::Shed => {
                     let _ = out.send(Frame::InferShed { id });
                 }
-                SubmitOutcome::Closed => return false,
+                SubmitOutcome::Closed => {
+                    // Shutting down: a silent close would leave the client waiting on
+                    // request `id` forever; shed it explicitly, then close.
+                    let _ = out.send(Frame::InferShed { id });
+                    return false;
+                }
             }
             true
         }
-        Frame::PullSupport => {
-            let rows = runtime.with_node(|node| {
-                node.lora_support()
-                    .into_iter()
-                    .map(|(table, row)| (table as u32, row as u64))
-                    .collect::<Vec<_>>()
-            });
-            out.send(Frame::Support { rows }).is_ok()
+        Inbound::Control { publish, action } => {
+            let reply = if publish {
+                runtime.with_node_publish(move |node| action(node))
+            } else {
+                runtime.with_node(move |node| action(node))
+            };
+            out.send(reply).is_ok()
         }
-        Frame::PullLoraRows { rows } => {
-            let exported = runtime.with_node(move |node| {
-                rows.into_iter()
-                    .filter(|&(table, row)| in_bounds(node, table, row))
-                    .map(|(table, row)| LoraRowUpdate {
-                        table,
-                        row,
-                        values: node.export_lora_row(table as usize, row as usize),
-                    })
-                    .collect::<Vec<_>>()
-            });
-            out.send(Frame::LoraRows { rows: exported }).is_ok()
-        }
-        Frame::PushLoraRows { rows } => {
-            // Stage the rows without materialising: the B broadcast may still follow,
-            // and the Publish frame rematerialises every active row once.
-            let outcome = runtime.with_node(move |node| {
-                for row in &rows {
-                    if !in_bounds(node, row.table, row.row) {
-                        return Err("LoRA row index out of bounds");
-                    }
-                }
-                for row in rows {
-                    LoraPeer::import_a_row(node, row.table as usize, row.row as usize, row.values);
-                }
-                Ok(())
-            });
-            send_outcome(out, outcome)
-        }
-        Frame::PullB { table } => {
-            let exported = runtime.with_node(move |node| {
-                let table = table as usize;
-                if table >= node.loras().len() {
-                    return None;
-                }
-                Some((LoraPeer::export_b(node, table), LoraPeer::lora_rank(node, table) as u32))
-            });
-            match exported {
-                Some((values, source_rank)) => {
-                    out.send(Frame::BFactor { table, source_rank, values }).is_ok()
-                }
-                None => out
-                    .send(Frame::Nack { reason: "table out of bounds".into() })
-                    .is_ok(),
-            }
-        }
-        Frame::PushB { table, source_rank, values } => {
-            let outcome = runtime.with_node(move |node| {
-                let table = table as usize;
-                if table >= node.loras().len() {
-                    return Err("table out of bounds");
-                }
-                if values.len() != source_rank as usize * node.loras()[table].dim() {
-                    return Err("B factor shape mismatch");
-                }
-                LoraPeer::import_b(node, table, &values, source_rank as usize);
-                Ok(())
-            });
-            send_outcome(out, outcome)
-        }
-        Frame::PushEmbeddingRows { rows } => {
-            let outcome = runtime.with_node_publish(move |node| {
-                let dim = node.serving_model().config().embedding_dim;
-                for row in &rows {
-                    if !in_bounds(node, row.table, row.row) {
-                        return Err("embedding row index out of bounds");
-                    }
-                    if row.values.len() != dim {
-                        return Err("embedding row dimension mismatch");
-                    }
-                }
-                for row in rows {
-                    node.apply_embedding_row_pull(row.table as usize, row.row as usize, &row.values);
-                }
-                Ok(())
-            });
-            send_outcome(out, outcome)
-        }
-        Frame::FullModel { params } => {
-            let outcome = runtime.with_node_publish(move |node| {
-                if params.len() != node.serving_model().parameter_count() {
-                    return Err("parameter vector length mismatch");
-                }
-                let mut fresh = node.serving_model().clone();
-                fresh.import_parameters(&params);
-                node.full_sync(fresh);
-                Ok(())
-            });
-            send_outcome(out, outcome)
-        }
-        Frame::Publish => {
-            runtime.with_node_publish(liveupdate::engine::ServingNode::refresh_serving_rows);
-            out.send(Frame::Ack).is_ok()
-        }
-        Frame::Bye => false,
-        // A replica never receives reply-direction frames; reject and close.
-        Frame::InferReply { .. }
-        | Frame::InferShed { .. }
-        | Frame::Support { .. }
-        | Frame::LoraRows { .. }
-        | Frame::BFactor { .. }
-        | Frame::Ack
-        | Frame::Nack { .. } => {
+        Inbound::Bye => false,
+        Inbound::BadDirection => {
             let _ = out.send(Frame::Nack { reason: "unexpected frame direction".into() });
             false
         }
     }
-}
-
-/// Bounds-check a `(table, row)` pair against the node's geometry.
-fn in_bounds(node: &ServingNode, table: u32, row: u64) -> bool {
-    let tables = node.serving_model().tables();
-    (table as usize) < tables.len() && (row as usize) < tables[table as usize].num_rows()
-}
-
-fn send_outcome(out: &Sender<Frame>, outcome: Result<(), &'static str>) -> bool {
-    let frame = match outcome {
-        Ok(()) => Frame::Ack,
-        Err(reason) => Frame::Nack { reason: reason.to_string() },
-    };
-    out.send(frame).is_ok()
 }

@@ -591,6 +591,85 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(Frame, usize)>, WireErro
     Ok(Some((frame, 4 + payload.len())))
 }
 
+// ---------------------------------------------------------------------------
+// Incremental decode
+// ---------------------------------------------------------------------------
+
+/// Resumable frame decoding for nonblocking sockets: feed whatever bytes the kernel
+/// handed over with [`FrameAssembler::extend`], then pop complete frames with
+/// [`FrameAssembler::next_frame`] until it returns `Ok(None)` (mid-frame, need more
+/// bytes). This is [`read_frame`]'s contract re-cut for a readiness event loop, where a
+/// read may end anywhere — inside a length prefix, inside a payload — and the decoder
+/// must pick up exactly where it left off on the next readiness.
+///
+/// Errors are terminal for the stream, exactly as they are for [`read_frame`]: after a
+/// [`WireError`], framing alignment is lost and the connection must close.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Bytes before `pos` belong to frames already returned; compacted lazily so
+    /// per-frame cost stays amortised O(frame length), not O(buffer length).
+    pos: usize,
+}
+
+impl FrameAssembler {
+    /// An empty assembler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append bytes read from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered bytes not yet decoded into a frame.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` when no partial frame is buffered — the stream is at a frame boundary,
+    /// so a peer EOF here is clean rather than a truncation.
+    #[must_use]
+    pub fn at_boundary(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Decode the next complete frame, if the buffer holds one. Returns the frame plus
+    /// its wire length (length prefix included), mirroring [`read_frame`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] a complete-but-invalid frame produces, plus
+    /// [`WireError::TooLarge`] as soon as a length prefix exceeds [`MAX_FRAME_BYTES`]
+    /// (before the payload is buffered, so a corrupt prefix cannot balloon memory).
+    pub fn next_frame(&mut self) -> Result<Option<(Frame, usize)>, WireError> {
+        let pending = &self.buf[self.pos..];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(pending[..4].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_BYTES {
+            return Err(WireError::TooLarge(len));
+        }
+        let total = 4 + len as usize;
+        if pending.len() < total {
+            return Ok(None);
+        }
+        let frame = Frame::decode(&pending[4..total])?;
+        self.pos += total;
+        // Compact once the consumed prefix dominates, so the buffer never grows
+        // proportionally to connection lifetime.
+        if self.pos >= 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(Some((frame, total)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -699,6 +778,96 @@ mod tests {
         bytes.push(0);
         assert!(matches!(Frame::decode(&bytes), Err(WireError::TrailingBytes)));
         assert!(matches!(Frame::decode(&[]), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn assembler_reassembles_byte_at_a_time() {
+        // The hardest arrival pattern a nonblocking read can produce: one byte per
+        // readiness. Every exemplar must pop out exactly once, at the right boundary,
+        // with the right wire length.
+        let frames = exemplars();
+        let mut bytes = Vec::new();
+        let mut lengths = Vec::new();
+        for frame in &frames {
+            let encoded = frame.encode().unwrap();
+            lengths.push(encoded.len());
+            bytes.extend_from_slice(&encoded);
+        }
+        let mut asm = FrameAssembler::new();
+        let mut decoded = Vec::new();
+        for &b in &bytes {
+            asm.extend(&[b]);
+            while let Some((frame, n)) = asm.next_frame().unwrap() {
+                decoded.push((frame, n));
+            }
+        }
+        assert!(asm.at_boundary(), "all bytes consumed at a frame boundary");
+        assert_eq!(decoded.len(), frames.len());
+        for ((frame, n), (expected, len)) in decoded.into_iter().zip(frames.into_iter().zip(lengths))
+        {
+            assert_eq!(frame, expected);
+            assert_eq!(n, len);
+        }
+    }
+
+    #[test]
+    fn assembler_reports_mid_frame_state_and_bulk_chunks() {
+        let frame = Frame::FullModel { params: vec![0.25; 512] };
+        let bytes = frame.encode().unwrap();
+        let mut asm = FrameAssembler::new();
+        // A partial frame is not a boundary (a peer EOF here would be truncation).
+        asm.extend(&bytes[..bytes.len() / 2]);
+        assert!(asm.next_frame().unwrap().is_none());
+        assert!(!asm.at_boundary());
+        // The rest of the frame plus the start of the next arrive in one chunk.
+        let next = Frame::Ack.encode().unwrap();
+        let mut chunk = bytes[bytes.len() / 2..].to_vec();
+        chunk.extend_from_slice(&next[..2]);
+        asm.extend(&chunk);
+        let (decoded, n) = asm.next_frame().unwrap().expect("first frame complete");
+        assert_eq!(decoded, frame);
+        assert_eq!(n, bytes.len());
+        assert!(!asm.at_boundary(), "two bytes of the next frame are pending");
+        asm.extend(&next[2..]);
+        assert_eq!(asm.next_frame().unwrap().unwrap().0, Frame::Ack);
+        assert!(asm.at_boundary());
+    }
+
+    #[test]
+    fn assembler_rejects_oversized_prefix_before_buffering_payload() {
+        let mut asm = FrameAssembler::new();
+        asm.extend(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        assert!(matches!(asm.next_frame(), Err(WireError::TooLarge(_))));
+    }
+
+    #[test]
+    fn assembler_surfaces_payload_decode_errors() {
+        // A complete frame with an unknown tag is a terminal stream error.
+        let mut asm = FrameAssembler::new();
+        asm.extend(&1u32.to_le_bytes());
+        asm.extend(&[250]);
+        assert!(matches!(asm.next_frame(), Err(WireError::BadTag(250))));
+    }
+
+    #[test]
+    fn assembler_compacts_under_sustained_traffic() {
+        // Pipelined-connection regression: the consumed prefix must not accumulate
+        // forever. After many frames the internal buffer stays bounded by frame size,
+        // not by connection lifetime.
+        let frame = Frame::InferReply { id: 9, prediction: 0.5 };
+        let encoded = frame.encode().unwrap();
+        let mut asm = FrameAssembler::new();
+        for _ in 0..10_000 {
+            asm.extend(&encoded);
+            let (decoded, _) = asm.next_frame().unwrap().expect("frame complete");
+            assert_eq!(decoded, frame);
+        }
+        assert!(asm.at_boundary());
+        assert!(
+            asm.buf.len() < 64 * 1024,
+            "buffer stayed bounded, got {} bytes",
+            asm.buf.len()
+        );
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Connection-churn and pipelining stress tests for the TCP tier.
+//!
+//! These pin the bugfixes this tier's rearchitecture shipped with:
+//! * churn (many short-lived connections, sequential and concurrent) leaves the server
+//!   with zero open connections and bounded handler bookkeeping — the thread-per-
+//!   connection engine used to leak one JoinHandle per connection ever accepted;
+//! * a single connection can pipeline hundreds of in-flight request ids and every
+//!   reply maps back to its request — throughput that the old flush-per-frame writer
+//!   throttled and the event loop's buffered outbound path restores;
+//! * shutdown stays prompt after heavy churn.
+//!
+//! Every test runs against both engines: the epoll event loop (the default) and the
+//! thread-per-connection fallback.
+
+use liveupdate::config::LiveUpdateConfig;
+use liveupdate::engine::ServingNode;
+use liveupdate_dlrm::model::{DlrmConfig, DlrmModel};
+use liveupdate_net::wire::{read_frame, write_frame, Frame};
+use liveupdate_net::{MultiConnClient, ReplicaServer};
+use liveupdate_runtime::config::{RuntimeConfig, UpdateMode};
+use liveupdate_workload::{SyntheticWorkload, WorkloadConfig};
+use std::collections::HashSet;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn tiny_node(seed: u64) -> ServingNode {
+    let model = DlrmModel::new(DlrmConfig::tiny(2, 200, 8), seed);
+    ServingNode::new(model, LiveUpdateConfig::default())
+}
+
+fn tiny_runtime_config() -> RuntimeConfig {
+    RuntimeConfig {
+        num_workers: 1,
+        max_batch: 32,
+        batch_deadline_us: 200,
+        update: UpdateMode::Disabled,
+        ..RuntimeConfig::default()
+    }
+}
+
+fn start_server(event_loop: bool) -> ReplicaServer {
+    let node = tiny_node(7);
+    let cfg = tiny_runtime_config();
+    let interval = Duration::from_millis(50);
+    if event_loop {
+        ReplicaServer::start(node, cfg, interval, None).expect("start event-loop server")
+    } else {
+        ReplicaServer::start_threaded(node, cfg, interval, None).expect("start threaded server")
+    }
+}
+
+fn workload() -> SyntheticWorkload {
+    SyntheticWorkload::new(WorkloadConfig {
+        num_tables: 2,
+        table_size: 200,
+        ..WorkloadConfig::default()
+    })
+}
+
+/// Wait (bounded) for the server's open-connection gauge to hit zero; teardown on both
+/// engines completes asynchronously after the client side closes.
+fn wait_for_empty_registry(server: &ReplicaServer) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.open_connections() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "registry never drained: {} connections still open",
+            server.open_connections()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn churn_leaves_no_state(event_loop: bool) {
+    let server = start_server(event_loop);
+    let mut w = workload();
+
+    // Sequential churn: one request per connection, 600 connections.
+    for i in 0..600u64 {
+        let mut conn = TcpStream::connect(server.addr()).expect("connect");
+        conn.set_nodelay(true).unwrap();
+        let sample = w.sample_at(0.0);
+        write_frame(&mut conn, &Frame::InferRequest { id: i, time_minutes: 0.0, sample })
+            .expect("write");
+        match read_frame(&mut conn).expect("read").expect("reply").0 {
+            Frame::InferReply { id, .. } | Frame::InferShed { id } => assert_eq!(id, i),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        write_frame(&mut conn, &Frame::Bye).expect("bye");
+        drop(conn);
+
+        // The handler map must track live connections, not total accepted: with one
+        // connection at a time it stays O(1) even 500 connections in.
+        if event_loop {
+            assert_eq!(server.handler_backlog(), 0, "event loop spawns no handlers");
+        } else if i % 100 == 99 {
+            assert!(
+                server.handler_backlog() <= 8,
+                "handler bookkeeping grew with total connections: {} tracked after {} conns",
+                server.handler_backlog(),
+                i + 1
+            );
+        }
+    }
+
+    // Concurrent churn: 8 threads × 50 connections each, all overlapping.
+    let addr = server.addr();
+    let threads: Vec<_> = (0..8u64)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut w = workload();
+                for i in 0..50u64 {
+                    let id = t * 1000 + i;
+                    let mut conn = TcpStream::connect(addr).expect("connect");
+                    conn.set_nodelay(true).unwrap();
+                    let sample = w.sample_at(0.0);
+                    write_frame(
+                        &mut conn,
+                        &Frame::InferRequest { id, time_minutes: 0.0, sample },
+                    )
+                    .expect("write");
+                    match read_frame(&mut conn).expect("read").expect("reply").0 {
+                        Frame::InferReply { id: got, .. } | Frame::InferShed { id: got } => {
+                            assert_eq!(got, id);
+                        }
+                        other => panic!("unexpected reply {other:?}"),
+                    }
+                    write_frame(&mut conn, &Frame::Bye).expect("bye");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("churn thread");
+    }
+
+    // 1000 connections later: the registry is empty and bookkeeping is bounded.
+    wait_for_empty_registry(&server);
+    assert!(
+        server.handler_backlog() <= 8,
+        "handler bookkeeping leaked: {} tracked after churn",
+        server.handler_backlog()
+    );
+
+    // Shutdown is prompt — the old engine joined every handler ever spawned here.
+    let started = Instant::now();
+    let (report, _node) = server.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown took {:?} after churn",
+        started.elapsed()
+    );
+    assert!(report.completed > 0, "churn traffic reached the workers");
+}
+
+#[test]
+fn churn_leaves_no_state_event_loop() {
+    churn_leaves_no_state(true);
+}
+
+#[test]
+fn churn_leaves_no_state_threaded() {
+    churn_leaves_no_state(false);
+}
+
+/// One connection, 256 requests in flight before the first reply is read. Every reply
+/// id maps back to a submitted id exactly once, in batch-completion (not submission)
+/// order — the pipelining contract the request `id` field exists for.
+fn pipelining_maps_ids(event_loop: bool) {
+    let server = start_server(event_loop);
+    let mut w = workload();
+    let mut client = MultiConnClient::connect(server.addr(), 1).expect("connect");
+
+    const IN_FLIGHT: u64 = 256;
+    for id in 0..IN_FLIGHT {
+        let sample = w.sample_at(0.0);
+        client
+            .send(0, &Frame::InferRequest { id, time_minutes: 0.0, sample })
+            .expect("send");
+    }
+
+    let mut seen: HashSet<u64> = HashSet::new();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let delivered = client
+        .poll_until(IN_FLIGHT as usize, deadline, |conn, frame| {
+            assert_eq!(conn, 0);
+            match frame {
+                Frame::InferReply { id, prediction } => {
+                    assert!((0.0..=1.0).contains(&prediction), "prediction {prediction}");
+                    assert!(seen.insert(id), "duplicate reply for id {id}");
+                }
+                Frame::InferShed { id } => {
+                    assert!(seen.insert(id), "duplicate shed for id {id}");
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        })
+        .expect("poll");
+    assert_eq!(delivered as u64, IN_FLIGHT, "every in-flight request answered");
+    assert_eq!(
+        seen,
+        (0..IN_FLIGHT).collect::<HashSet<u64>>(),
+        "reply ids map one-to-one onto request ids"
+    );
+
+    client.send(0, &Frame::Bye).expect("bye");
+    drop(client);
+    wait_for_empty_registry(&server);
+    let _ = server.shutdown();
+}
+
+#[test]
+fn pipelining_maps_ids_event_loop() {
+    pipelining_maps_ids(true);
+}
+
+#[test]
+fn pipelining_maps_ids_threaded() {
+    pipelining_maps_ids(false);
+}
+
+/// The reply-exact drain: a client that half-closes after a burst still receives every
+/// owed reply before the server closes the socket.
+#[test]
+fn half_close_drains_owed_replies() {
+    let server = start_server(true);
+    let mut w = workload();
+    let mut client = MultiConnClient::connect(server.addr(), 1).expect("connect");
+
+    const BURST: u64 = 64;
+    for id in 0..BURST {
+        let sample = w.sample_at(0.0);
+        client
+            .send(0, &Frame::InferRequest { id, time_minutes: 0.0, sample })
+            .expect("send");
+    }
+    client.finish_sending(0); // shutdown(Write): no more requests, replies still owed
+
+    let mut seen: HashSet<u64> = HashSet::new();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    client
+        .poll_until(BURST as usize, deadline, |_, frame| match frame {
+            Frame::InferReply { id, .. } | Frame::InferShed { id } => {
+                seen.insert(id);
+            }
+            other => panic!("unexpected frame {other:?}"),
+        })
+        .expect("poll");
+    assert_eq!(
+        seen,
+        (0..BURST).collect::<HashSet<u64>>(),
+        "every owed reply arrived after the half-close"
+    );
+    drop(client);
+    wait_for_empty_registry(&server);
+    let _ = server.shutdown();
+}

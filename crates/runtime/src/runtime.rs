@@ -279,27 +279,62 @@ impl ServingRuntime {
         self.node_call(f, true)
     }
 
+    /// Nonblocking node access: enqueue `f` to run against the authoritative
+    /// [`ServingNode`] on the updater thread (serialised with ingest and update blocks
+    /// exactly like [`Self::with_node`]), optionally publish a fresh epoch-swapped
+    /// snapshot, and then invoke `done` with `f`'s result — *after* the publication, so
+    /// a transport tier that acknowledges from `done` never acks an update the serve
+    /// path cannot see yet. The caller is not blocked; `done` runs on the updater
+    /// thread and must be cheap (hand the value to a channel, ring a waker).
+    ///
+    /// Returns `false` if no updater thread is available to run the command
+    /// (synchronous mode, or the updater already shut down); `f` and `done` are dropped
+    /// unrun in that case.
+    pub fn with_node_async<R, F, G>(&self, f: F, publish: bool, done: G) -> bool
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut ServingNode) -> R + Send + 'static,
+        G: FnOnce(R) + Send + 'static,
+    {
+        let Some(tx) = self.node_tx.as_ref() else {
+            return false;
+        };
+        // The result crosses from `run` to `done` through a slot both closures share;
+        // the updater runs them in order on one thread, so the slot is always filled.
+        let slot: Arc<std::sync::Mutex<Option<R>>> = Arc::new(std::sync::Mutex::new(None));
+        let fill = Arc::clone(&slot);
+        let command = NodeCommand {
+            run: Box::new(move |node| {
+                *fill.lock().expect("result slot") = Some(f(node));
+            }),
+            publish,
+            done: Box::new(move || {
+                let result = slot.lock().expect("result slot").take();
+                done(result.expect("command ran before completion"));
+            }),
+        };
+        tx.send(UpdaterMsg::Command(command)).is_ok()
+    }
+
     fn node_call<R, F>(&self, f: F, publish: bool) -> R
     where
         R: Send + 'static,
         F: FnOnce(&mut ServingNode) -> R + Send + 'static,
     {
-        let tx = self
-            .node_tx
-            .as_ref()
-            .expect("node access requires a background updater (not Synchronous mode)");
+        assert!(
+            self.node_tx.is_some(),
+            "node access requires a background updater (not Synchronous mode)"
+        );
         let (result_tx, result_rx) = channel::<R>();
-        let (done_tx, done_rx) = channel::<()>();
-        let command = NodeCommand {
-            run: Box::new(move |node| {
-                let _ = result_tx.send(f(node));
-            }),
+        let sent = self.with_node_async(
+            f,
             publish,
-            done: done_tx,
-        };
-        tx.send(UpdaterMsg::Command(command)).expect("updater thread alive");
-        done_rx.recv().expect("updater executed the command");
-        result_rx.recv().expect("command produced a result")
+            move |result| {
+                let _ = result_tx.send(result);
+            },
+        );
+        assert!(sent, "updater thread alive");
+        result_rx.recv().expect("updater executed the command")
     }
 
     /// Blocking submit (backpressure instead of shedding): used by deterministic test
@@ -654,6 +689,38 @@ mod tests {
         for p in &predictions {
             assert!(expected.iter().any(|e| (e - p).abs() < 1e-12));
         }
+    }
+
+    #[test]
+    fn with_node_async_completes_after_publication() {
+        let runtime = ServingRuntime::start(
+            tiny_node(13),
+            RuntimeConfig {
+                num_workers: 1,
+                update: UpdateMode::Disabled,
+                ..RuntimeConfig::default()
+            },
+        );
+        let publisher = Arc::clone(runtime.publisher());
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, u64)>();
+        let sent = runtime.with_node_async(
+            |node| {
+                node.import_lora_row(0, 3, vec![1.0; node.loras()[0].rank()]);
+                node.loras()[0].active_rows()
+            },
+            true,
+            move |active| {
+                // `done` runs after the epoch swap: the publication is already visible.
+                let _ = tx.send((active, publisher.epoch()));
+            },
+        );
+        assert!(sent, "background updater accepts async commands");
+        let (active, epoch_at_done) = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(active, 1);
+        assert_eq!(epoch_at_done, 1, "completion observes the published epoch");
+        let (report, node) = runtime.finish();
+        assert_eq!(report.updater.publications, 1);
+        assert!(node.loras()[0].is_active(3));
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::report::UpdaterReport;
 use liveupdate::engine::ServingNode;
 use liveupdate::snapshot::ServingSnapshot;
 use liveupdate_dlrm::sample::MiniBatch;
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -37,12 +37,14 @@ pub(crate) struct IngestBatch {
 }
 
 /// A closure to run against the authoritative node on the updater thread, with an
-/// optional publication afterwards. `done` is signalled once the closure (and the
-/// publication, when requested) has completed.
+/// optional publication afterwards. `done` is invoked once the closure (and the
+/// publication, when requested) has completed — a blocking caller signals itself
+/// through a channel, a nonblocking one (the event-loop server) delivers the reply
+/// frame from here.
 pub(crate) struct NodeCommand {
     pub run: Box<dyn FnOnce(&mut ServingNode) + Send>,
     pub publish: bool,
-    pub done: Sender<()>,
+    pub done: Box<dyn FnOnce() + Send>,
 }
 
 /// Everything that can arrive on the updater's channel.
@@ -108,7 +110,7 @@ pub(crate) fn run_updater(
                 if command.publish {
                     publish_snapshot(&node, publisher, &mut report);
                 }
-                let _ = command.done.send(());
+                (command.done)();
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
@@ -144,7 +146,7 @@ pub(crate) fn run_updater(
                 if command.publish {
                     publish_snapshot(&node, publisher, &mut report);
                 }
-                let _ = command.done.send(());
+                (command.done)();
             }
         }
     }

@@ -12,7 +12,7 @@
 //!
 //! Emits the machine-readable `BENCH_net.json` artifact.
 
-use liveupdate_bench::{scenario_metrics, write_bench_json, BenchMetric};
+use liveupdate_bench::{merge_bench_json, scenario_metrics, BenchMetric};
 use liveupdate_repro::core::strategy::StrategyKind;
 use liveupdate_repro::net::DistributedBackend;
 use liveupdate_repro::scenario::{ExecutionBackend, Scenario, ScenarioReport};
@@ -104,5 +104,7 @@ fn main() {
         f64::from(u8::from(quick.sync_bytes < delta.sync_bytes)),
         "bool",
     ));
-    write_bench_json("net", &metrics).expect("write BENCH_net.json");
+    // Merge (not overwrite): BENCH_net.json also carries the many-connection sweep
+    // rows from `benches/net_many_conn.rs`; each producer refreshes only its own rows.
+    merge_bench_json("net", &metrics).expect("merge BENCH_net.json");
 }
