@@ -57,6 +57,7 @@ fn run_arm(update: UpdateMode, workers: usize, qps: f64, seconds: f64) -> Runtim
             // measured under (don't silently change methodology across PRs).
             routing: liveupdate_workload::shard::ShardPolicy::RoundRobin,
             update,
+            telemetry: true,
         },
     );
     let loadgen = LoadGenConfig {

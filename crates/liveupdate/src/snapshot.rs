@@ -20,6 +20,8 @@ use liveupdate_dlrm::metrics::{Auc, LogLoss};
 use liveupdate_dlrm::model::{DlrmModel, InferenceScratch};
 use liveupdate_dlrm::sample::{MiniBatch, Sample};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// FNV-1a offset basis / prime (64-bit), matching the stable hash the stream sharder
 /// uses — deterministic across runs and platforms.
@@ -61,9 +63,36 @@ pub fn model_checksum(model: &DlrmModel, steps: u64) -> u64 {
 /// serves straight from contiguous f64 rows without touching quantized storage. Cached
 /// rows are built with [`EmbeddingTable::row_into`](liveupdate_dlrm::EmbeddingTable::row_into),
 /// so a hit is bit-identical to decoding the backing store.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct HotRowCache {
     tables: Vec<CachedTable>,
+    /// Per-table hit/miss tallies. `Arc`-shared, so every clone of a snapshot — and,
+    /// via [`HotRowCache::adopt_stats`], every successor snapshot — accumulates into
+    /// the same counters: the telemetry layer reads one cumulative number per table
+    /// even as publications replace the cache itself. Excluded from equality (two
+    /// caches holding the same rows are the same cache, however often each was hit).
+    stats: Arc<Vec<CacheTableStats>>,
+}
+
+/// Lock-free hit/miss tally of one cached table.
+#[derive(Debug, Default)]
+pub struct CacheTableStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheTableStats {
+    /// `(hits, misses)` so far.
+    #[must_use]
+    pub fn get(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+impl PartialEq for HotRowCache {
+    fn eq(&self, other: &Self) -> bool {
+        self.tables == other.tables
+    }
 }
 
 /// The cached head of one embedding table: ascending ids and their rows, flat. Lookups
@@ -118,8 +147,39 @@ impl HotRowCache {
                 }
                 CachedTable { dim, ids, rows }
             })
-            .collect();
-        Self { tables }
+            .collect::<Vec<_>>();
+        let stats = Arc::new((0..tables.len()).map(|_| CacheTableStats::default()).collect());
+        Self { tables, stats }
+    }
+
+    /// Per-table hit/miss tally, or `None` for unknown tables (and for the default
+    /// empty cache, which tallies nothing).
+    #[must_use]
+    pub fn table_stats(&self, table: usize) -> Option<&CacheTableStats> {
+        self.stats.get(table)
+    }
+
+    /// Number of tables carrying a tally (equals the table count for built caches).
+    #[must_use]
+    pub fn stats_tables(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Continue `prev`'s hit/miss tallies: fold whatever this cache already counted
+    /// into `prev`'s counters and share them from here on. The publisher calls this
+    /// when swapping a fresh snapshot in over an old one, so per-table cache telemetry
+    /// is cumulative across publications instead of resetting at every epoch. A table
+    /// count mismatch (different model shape) keeps the fresh tallies instead.
+    pub fn adopt_stats(&mut self, prev: &HotRowCache) {
+        if prev.stats.len() != self.stats.len() || Arc::ptr_eq(&prev.stats, &self.stats) {
+            return;
+        }
+        for (old, young) in prev.stats.iter().zip(self.stats.iter()) {
+            let (h, m) = young.get();
+            old.hits.fetch_add(h, Ordering::Relaxed);
+            old.misses.fetch_add(m, Ordering::Relaxed);
+        }
+        self.stats = Arc::clone(&prev.stats);
     }
 
     /// The cached row, or `None` on a miss (uncached id or unknown table).
@@ -175,6 +235,10 @@ impl HotRowCache {
         table: &liveupdate_dlrm::EmbeddingTable,
     ) {
         let Some(ct) = self.tables.get(table_idx).filter(|ct| !ct.ids.is_empty()) else {
+            // No cached head for this table: every id is a miss by definition.
+            if let Some(stats) = self.stats.get(table_idx) {
+                stats.misses.fetch_add(ids.len() as u64, Ordering::Relaxed);
+            }
             table.pooled_lookup_into(ids, out);
             return;
         };
@@ -182,15 +246,23 @@ impl HotRowCache {
         if ids.is_empty() {
             return;
         }
+        let mut hits = 0u64;
         for &id in ids {
             match ct.lookup(id) {
                 Some(row) => {
+                    hits += 1;
                     for (o, &v) in out.iter_mut().zip(row) {
                         *o += v;
                     }
                 }
                 None => table.add_row_into(id, out),
             }
+        }
+        // One pair of relaxed adds per gather, not per id: the telemetry cost on the
+        // serve path stays independent of pooling width.
+        if let Some(stats) = self.stats.get(table_idx) {
+            stats.hits.fetch_add(hits, Ordering::Relaxed);
+            stats.misses.fetch_add(ids.len() as u64 - hits, Ordering::Relaxed);
         }
         let inv = 1.0 / ids.len() as f64;
         for o in out.iter_mut() {
@@ -298,6 +370,13 @@ impl ServingSnapshot {
     #[must_use]
     pub fn hot_rows(&self) -> &HotRowCache {
         &self.hot_rows
+    }
+
+    /// Carry `prev`'s cumulative hot-row-cache hit/miss tallies forward into this
+    /// snapshot (see [`HotRowCache::adopt_stats`]). Publishers call this right before
+    /// the epoch swap so cache telemetry survives snapshot replacement.
+    pub fn adopt_cache_stats(&mut self, prev: &ServingSnapshot) {
+        self.hot_rows.adopt_stats(&prev.hot_rows);
     }
 
     /// The frozen serving model (base + materialised LoRA corrections).

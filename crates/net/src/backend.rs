@@ -136,6 +136,9 @@ impl ExecutionBackend for DistributedBackend {
         } else {
             None
         };
+        // Replica 0's registry, scraped over `Frame::Stats` while the server was
+        // still serving — the wire-measured analogue of the realtime scrape.
+        report.telemetry = run.telemetry;
         Ok(report)
     }
 }

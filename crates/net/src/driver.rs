@@ -118,8 +118,36 @@ pub struct DistributedReport {
     pub param_sync_bytes: u64,
     /// Mean of the received predictions.
     pub mean_prediction: f64,
+    /// Telemetry rows scraped from replica 0 over a live `Stats` round-trip just
+    /// before shutdown (empty when the replicas run with telemetry off).
+    pub telemetry: Vec<(String, f64)>,
     /// Per-replica runtime reports.
     pub per_replica: Vec<RuntimeReport>,
+}
+
+/// Scrape a live replica's telemetry over one dedicated connection: `Stats` out,
+/// `StatsReply` back, then a graceful `Bye`. This is the programmatic form of what a
+/// metrics collector would poll; `examples/live_stats.rs` renders the result as text.
+///
+/// # Errors
+///
+/// Socket failures, or an unexpected reply frame (`InvalidData`).
+pub fn scrape_replica(addr: SocketAddr) -> std::io::Result<Vec<(String, f64)>> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut conn = ControlConn { stream, bytes: 0 };
+    let reply = conn
+        .call(&Frame::Stats)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let _ = write_frame(&mut conn.stream, &Frame::Bye);
+    let _ = conn.stream.shutdown(Shutdown::Both);
+    match reply {
+        Frame::StatsReply { metrics } => Ok(metrics),
+        other => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("expected StatsReply, got {other:?}"),
+        )),
+    }
 }
 
 /// Tally of the data plane's inbound frames (all connections merged).
@@ -286,6 +314,10 @@ pub fn run_distributed(
     let sync = sync_thread.join().expect("sync thread panicked");
     let wall_seconds = started.elapsed().as_secs_f64();
 
+    // Scrape replica 0 while it is still serving: the report's telemetry rows come
+    // from a real `Stats` round-trip against a live server, not from the post-mortem.
+    let telemetry = scrape_replica(addrs[0]).unwrap_or_default();
+
     let mut reports = Vec::with_capacity(cfg.replicas);
     let mut final_nodes = Vec::with_capacity(cfg.replicas);
     for server in servers {
@@ -327,6 +359,7 @@ pub fn run_distributed(
         lora_sync_bytes: sync.lora_bytes,
         param_sync_bytes: sync.param_bytes,
         mean_prediction: if replies > 0 { prediction_sum / replies as f64 } else { 0.0 },
+        telemetry,
         per_replica: reports,
     };
     Ok((report, final_nodes))

@@ -24,8 +24,8 @@
 //!
 //! * [`wire`] — the length-prefixed binary codec: inference requests/predictions,
 //!   sparse LoRA row exchange, `B`-factor broadcast, top-changed-row pulls, full-model
-//!   pulls. Property-tested for round-trip identity, non-finite rejection, and
-//!   truncation safety.
+//!   pulls, and live telemetry scrapes (`Stats`/`StatsReply`). Property-tested for
+//!   round-trip identity, non-finite rejection, and truncation safety.
 //! * [`poll`] — a dependency-free readiness layer: [`poll::Poller`] wraps
 //!   `epoll_create1`/`epoll_ctl`/`epoll_wait` and [`poll::Waker`] wraps `eventfd`
 //!   through a minimal FFI shim, so the tier needs no external crates.
@@ -42,7 +42,9 @@
 //!   many-connection sweep (`cargo bench --bench net_many_conn`) and churn tests.
 //! * [`driver`] — [`driver::run_distributed`]: spawn N replicas, drive routed open-loop
 //!   load, execute the strategy's update traffic as real frames, and measure every byte
-//!   at the socket.
+//!   at the socket. [`driver::scrape_replica`] makes the monitoring round-trip a
+//!   one-liner: connect, send `Stats`, return the replica's flattened live telemetry
+//!   (both serving engines answer with the same gauge names).
 //! * [`backend`] — [`backend::DistributedBackend`], the fourth
 //!   [`ExecutionBackend`](liveupdate_scenario::ExecutionBackend): every
 //!   `scenarios/*.json` runs on sockets unchanged and reports into the same
@@ -64,6 +66,6 @@ pub mod wire;
 
 pub use backend::{all_backends_with_distributed, DistributedBackend};
 pub use client::MultiConnClient;
-pub use driver::{run_distributed, DistributedConfig, DistributedReport};
+pub use driver::{run_distributed, scrape_replica, DistributedConfig, DistributedReport};
 pub use server::ReplicaServer;
 pub use wire::{Frame, WireError};

@@ -51,6 +51,7 @@ use liveupdate::engine::ServingNode;
 use liveupdate::sync::LoraPeer;
 use liveupdate_dlrm::model::DlrmConfig;
 use liveupdate_dlrm::sample::Sample;
+use liveupdate_obs::{Counter, Gauge, LogLinearHistogram};
 use liveupdate_runtime::config::RuntimeConfig;
 use liveupdate_runtime::policy::UpdatePolicy;
 use liveupdate_runtime::report::RuntimeReport;
@@ -193,6 +194,7 @@ impl ReplicaServer {
             next_token: TOKEN_CONN_BASE,
             reply_rx,
             ctx: LoopCtx {
+                stats: LoopStats::new(&runtime),
                 runtime: Arc::clone(&runtime),
                 reply_tx,
                 waker: Arc::clone(&waker),
@@ -282,13 +284,14 @@ impl ReplicaServer {
                             let bytes = Arc::clone(&accept_bytes);
                             let registry = Arc::clone(&accept_streams);
                             let open = Arc::clone(&accept_open);
+                            let backlog = Arc::clone(&accept_backlog);
                             let done = Arc::clone(&finished);
                             handlers.insert(
                                 conn_id,
                                 thread::Builder::new()
                                     .name("lu-net-conn".into())
                                     .spawn(move || {
-                                        handle_connection(stream, &runtime, &bytes);
+                                        handle_connection(stream, &runtime, &bytes, &open, &backlog);
                                         registry.lock().expect("stream registry").remove(&conn_id);
                                         open.fetch_sub(1, Ordering::AcqRel);
                                         done.lock().expect("finished list").push(conn_id);
@@ -407,10 +410,25 @@ enum Inbound {
         publish: bool,
         action: Box<dyn FnOnce(&mut ServingNode) -> Frame + Send>,
     },
+    /// Scrape the runtime's telemetry registry; reply `StatsReply` inline (no updater
+    /// round-trip — the registry is lock-free on the serving side).
+    Stats,
     /// Graceful close; stop reading, flush what is owed, then close.
     Bye,
     /// A reply-direction frame a replica never receives; nack and close.
     BadDirection,
+}
+
+/// Fold the server-level connection gauges into the runtime's registry (when telemetry
+/// is on) and scrape it. Both engines answer `Stats` through here, so the gauge names —
+/// `net_open_connections`, `net_handler_backlog` — are identical regardless of which
+/// engine serves the socket.
+fn stats_reply(runtime: &ServingRuntime, open: usize, backlog: usize) -> Frame {
+    if let Some(tel) = runtime.telemetry() {
+        tel.registry.gauge("net_open_connections").set(open as i64);
+        tel.registry.gauge("net_handler_backlog").set(backlog as i64);
+    }
+    Frame::StatsReply { metrics: runtime.scrape() }
 }
 
 /// Bounds-check a `(table, row)` pair against the node's geometry.
@@ -540,6 +558,7 @@ fn classify(frame: Frame) -> Inbound {
                 Frame::Ack
             }),
         },
+        Frame::Stats => Inbound::Stats,
         Frame::Bye => Inbound::Bye,
         // A replica never receives reply-direction frames; reject and close.
         Frame::InferReply { .. }
@@ -548,7 +567,8 @@ fn classify(frame: Frame) -> Inbound {
         | Frame::LoraRows { .. }
         | Frame::BFactor { .. }
         | Frame::Ack
-        | Frame::Nack { .. } => Inbound::BadDirection,
+        | Frame::Nack { .. }
+        | Frame::StatsReply { .. } => Inbound::BadDirection,
     }
 }
 
@@ -622,6 +642,27 @@ impl Conn {
     }
 }
 
+/// Pre-registered event-loop telemetry handles (present iff the runtime keeps a
+/// registry). Loop-level health that per-request metrics cannot show: how often the
+/// loop wakes, how much readiness each wake amortises, and how many replies the
+/// runtime currently owes across all connections.
+struct LoopStats {
+    wakeups: Arc<Counter>,
+    ready_events: Arc<LogLinearHistogram>,
+    owed: Arc<Gauge>,
+}
+
+impl LoopStats {
+    fn new(runtime: &ServingRuntime) -> Option<Self> {
+        let tel = runtime.telemetry()?;
+        Some(Self {
+            wakeups: tel.registry.counter("net_wakeups_total"),
+            ready_events: tel.registry.histogram("net_ready_events_per_wake"),
+            owed: tel.registry.gauge("net_owed_replies"),
+        })
+    }
+}
+
 /// Everything a dispatch needs besides the connection itself.
 struct LoopCtx {
     runtime: Arc<ServingRuntime>,
@@ -630,6 +671,7 @@ struct LoopCtx {
     model_config: DlrmConfig,
     bytes: Arc<ServerBytes>,
     open_connections: Arc<AtomicUsize>,
+    stats: Option<LoopStats>,
 }
 
 struct EventLoop {
@@ -659,6 +701,10 @@ impl EventLoop {
                 Ok(events) => events.to_vec(),
                 Err(_) => break,
             };
+            if let Some(stats) = &self.ctx.stats {
+                stats.wakeups.inc();
+                stats.ready_events.record(events.len() as f64);
+            }
             for event in events {
                 match event.token {
                     TOKEN_LISTENER => self.accept_ready(),
@@ -720,7 +766,12 @@ impl EventLoop {
             // A reply for a connection that already died is dropped on the floor —
             // exactly what the blocking engine's broken-pipe write did.
             if let Some(conn) = self.conns.get_mut(&token) {
-                conn.owed = conn.owed.saturating_sub(1);
+                if conn.owed > 0 {
+                    conn.owed -= 1;
+                    if let Some(stats) = &self.ctx.stats {
+                        stats.owed.dec();
+                    }
+                }
                 conn.enqueue(&frame, &self.ctx.bytes);
                 if touched.last() != Some(&token) {
                     touched.push(token);
@@ -779,6 +830,10 @@ impl EventLoop {
             let _ = self.poller.delete(conn.stream.as_raw_fd());
             let _ = conn.stream.shutdown(Shutdown::Both);
             self.ctx.open_connections.fetch_sub(1, Ordering::AcqRel);
+            if let Some(stats) = &self.ctx.stats {
+                // Replies owed to a dead connection will be dropped on arrival.
+                stats.owed.add(-(conn.owed as i64));
+            }
         }
     }
 }
@@ -849,7 +904,12 @@ fn dispatch_event(conn: &mut Conn, frame: Frame, ctx: &LoopCtx) {
             });
             match ctx.runtime.submit_routed_with_reply(sample, time_minutes, Instant::now(), reply)
             {
-                SubmitOutcome::Accepted => conn.owed += 1,
+                SubmitOutcome::Accepted => {
+                    conn.owed += 1;
+                    if let Some(stats) = &ctx.stats {
+                        stats.owed.inc();
+                    }
+                }
                 SubmitOutcome::Shed => {
                     conn.enqueue(&Frame::InferShed { id }, &ctx.bytes);
                 }
@@ -875,10 +935,19 @@ fn dispatch_event(conn: &mut Conn, frame: Frame, ctx: &LoopCtx) {
             );
             if sent {
                 conn.owed += 1;
+                if let Some(stats) = &ctx.stats {
+                    stats.owed.inc();
+                }
             } else {
                 // No updater to run the command (runtime shutting down): drain.
                 conn.draining = true;
             }
+        }
+        Inbound::Stats => {
+            // Answered inline from the lock-free registry: a scrape never waits on the
+            // updater and never blocks a worker.
+            let open = ctx.open_connections.load(Ordering::Acquire);
+            conn.enqueue(&stats_reply(&ctx.runtime, open, 0), &ctx.bytes);
         }
         Inbound::Bye => conn.draining = true,
         Inbound::BadDirection => {
@@ -897,8 +966,15 @@ fn dispatch_event(conn: &mut Conn, frame: Frame, ctx: &LoopCtx) {
 
 /// Serve one connection until EOF/`Bye`/error: dispatch inference frames into the
 /// runtime, execute control frames against the authoritative node, and funnel every
-/// outbound frame through the single writer thread.
-fn handle_connection(stream: TcpStream, runtime: &Arc<ServingRuntime>, bytes: &Arc<ServerBytes>) {
+/// outbound frame through the single writer thread. `open`/`backlog` are the server's
+/// connection gauges, folded into the telemetry registry when a `Stats` frame arrives.
+fn handle_connection(
+    stream: TcpStream,
+    runtime: &Arc<ServingRuntime>,
+    bytes: &Arc<ServerBytes>,
+    open: &Arc<AtomicUsize>,
+    backlog: &Arc<AtomicUsize>,
+) {
     let write_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -938,7 +1014,7 @@ fn handle_connection(stream: TcpStream, runtime: &Arc<ServingRuntime>, bytes: &A
             Ok(None) => break,
             Ok(Some((frame, n))) => {
                 bytes.count(&frame, n as u64);
-                if !dispatch_blocking(frame, runtime, &model_config, &out_tx) {
+                if !dispatch_blocking(frame, runtime, &model_config, &out_tx, open, backlog) {
                     break;
                 }
             }
@@ -964,6 +1040,8 @@ fn dispatch_blocking(
     runtime: &Arc<ServingRuntime>,
     model_config: &DlrmConfig,
     out: &Sender<Frame>,
+    open: &Arc<AtomicUsize>,
+    backlog: &Arc<AtomicUsize>,
 ) -> bool {
     match classify(frame) {
         Inbound::Infer { id, time_minutes, sample } => {
@@ -996,6 +1074,16 @@ fn dispatch_blocking(
             } else {
                 runtime.with_node(move |node| action(node))
             };
+            out.send(reply).is_ok()
+        }
+        Inbound::Stats => {
+            // Same gauge names as the event-loop engine, folded through the shared
+            // helper — a driver scraping a replica cannot tell the engines apart.
+            let reply = stats_reply(
+                runtime,
+                open.load(Ordering::Acquire),
+                backlog.load(Ordering::Acquire),
+            );
             out.send(reply).is_ok()
         }
         Inbound::Bye => false,

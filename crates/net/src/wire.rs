@@ -103,6 +103,7 @@ pub struct EmbeddingRowUpdate {
 /// | `PushEmbeddingRows` | driver → replica | `Ack` | QuickUpdate top-changed-row shipment |
 /// | `FullModel` | driver → replica | `Ack` | DeltaUpdate full-parameter shipment |
 /// | `Publish` | driver → replica | `Ack` | rematerialise + epoch-swap a fresh snapshot |
+/// | `Stats` | driver → replica | `StatsReply` | scrape the replica's live telemetry |
 /// | `Bye` | driver → replica | — | graceful connection close |
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -185,6 +186,15 @@ pub enum Frame {
     },
     /// Rematerialise serving rows and publish a fresh epoch-swapped snapshot.
     Publish,
+    /// Scrape the replica's live telemetry registry.
+    Stats,
+    /// The flattened telemetry snapshot: sorted `(metric name, value)` rows, exactly
+    /// the output of `ServingRuntime::scrape`. Empty when the replica runs with
+    /// telemetry disabled.
+    StatsReply {
+        /// The `(name, value)` metric rows.
+        metrics: Vec<(String, f64)>,
+    },
     /// Positive acknowledgement of the preceding push.
     Ack,
     /// Negative acknowledgement (the push was rejected; state unchanged).
@@ -214,6 +224,8 @@ const TAG_PUBLISH: u8 = 14;
 const TAG_ACK: u8 = 15;
 const TAG_NACK: u8 = 16;
 const TAG_BYE: u8 = 17;
+const TAG_STATS: u8 = 18;
+const TAG_STATS_REPLY: u8 = 19;
 
 // ---------------------------------------------------------------------------
 // Encoding
@@ -360,6 +372,25 @@ impl Frame {
                 payload.extend_from_slice(bytes);
             }
             Frame::Bye => payload.push(TAG_BYE),
+            Frame::Stats => payload.push(TAG_STATS),
+            Frame::StatsReply { metrics } => {
+                payload.push(TAG_STATS_REPLY);
+                put_u32(
+                    &mut payload,
+                    u32::try_from(metrics.len())
+                        .map_err(|_| WireError::Malformed("vector too long"))?,
+                );
+                for (name, value) in metrics {
+                    let bytes = name.as_bytes();
+                    put_u32(
+                        &mut payload,
+                        u32::try_from(bytes.len())
+                            .map_err(|_| WireError::Malformed("metric name too long"))?,
+                    );
+                    payload.extend_from_slice(bytes);
+                    put_f64(&mut payload, *value)?;
+                }
+            }
         }
         let len = u32::try_from(payload.len()).map_err(|_| WireError::Malformed("payload too long"))?;
         if len > MAX_FRAME_BYTES {
@@ -526,6 +557,24 @@ impl Frame {
                 }
             }
             TAG_BYE => Frame::Bye,
+            TAG_STATS => Frame::Stats,
+            TAG_STATS_REPLY => {
+                let count = r.u32()? as usize;
+                // Each entry is at least name-length(4) + value(8) bytes.
+                if r.buf.len() < count.saturating_mul(12) {
+                    return Err(WireError::Truncated);
+                }
+                let metrics: Result<Vec<(String, f64)>, WireError> = (0..count)
+                    .map(|_| {
+                        let len = r.u32()? as usize;
+                        let bytes = r.take(len)?;
+                        let name = String::from_utf8(bytes.to_vec())
+                            .map_err(|_| WireError::Malformed("metric name is not UTF-8"))?;
+                        Ok((name, r.f64()?))
+                    })
+                    .collect();
+                Frame::StatsReply { metrics: metrics? }
+            }
             tag => return Err(WireError::BadTag(tag)),
         };
         if !r.buf.is_empty() {
@@ -710,6 +759,15 @@ mod tests {
             Frame::PushEmbeddingRows { rows: vec![] },
             Frame::FullModel { params: long_row },
             Frame::Publish,
+            Frame::Stats,
+            Frame::StatsReply { metrics: vec![] },
+            Frame::StatsReply {
+                metrics: vec![
+                    ("epoch_age_us".into(), 1234.0),
+                    ("serve_latency_us_p99".into(), 8_500.25),
+                    ("serve_requests_total".into(), 1e6),
+                ],
+            },
             Frame::Ack,
             Frame::Nack { reason: "geometry mismatch".into() },
             Frame::Bye,
@@ -749,6 +807,8 @@ mod tests {
             let frame = Frame::InferReply { id: 1, prediction: bad };
             assert!(matches!(frame.encode(), Err(WireError::NonFinite)));
             let frame = Frame::FullModel { params: vec![1.0, bad] };
+            assert!(matches!(frame.encode(), Err(WireError::NonFinite)));
+            let frame = Frame::StatsReply { metrics: vec![("x".into(), bad)] };
             assert!(matches!(frame.encode(), Err(WireError::NonFinite)));
         }
     }
@@ -953,6 +1013,56 @@ mod tests {
             let stream_cut = 4 + cut;
             if stream_cut < full.len() {
                 prop_assert!(read_frame(&mut &full[..stream_cut]).is_err());
+            }
+        }
+
+        /// Round-trip identity over generated telemetry scrapes, including empty names
+        /// and multi-byte UTF-8 (the codec stores raw UTF-8 bytes).
+        #[test]
+        fn prop_stats_reply_round_trips(
+            metrics in proptest::collection::vec(
+                (
+                    proptest::collection::vec(0u8..28, 0..40).prop_map(|cs| {
+                        cs.into_iter()
+                            .map(|c| match c {
+                                26 => '_',
+                                27 => 'µ', // exercise a multi-byte code point
+                                c => (b'a' + c) as char,
+                            })
+                            .collect::<String>()
+                    }),
+                    -1e12f64..1e12,
+                ),
+                0..32,
+            ),
+        ) {
+            let frame = Frame::StatsReply { metrics };
+            let bytes = frame.encode().unwrap();
+            let (decoded, consumed) = read_frame(&mut &bytes[..]).unwrap().unwrap();
+            prop_assert_eq!(decoded, frame);
+            prop_assert_eq!(consumed, bytes.len());
+        }
+
+        /// Truncation fuzz parity for the stats frames: any strict prefix errors
+        /// cleanly, matching the guarantee of every other frame.
+        #[test]
+        fn prop_truncated_stats_reply_errors_never_panics(
+            metrics in proptest::collection::vec(
+                (
+                    proptest::collection::vec(0u8..26, 1..24).prop_map(|cs| {
+                        cs.into_iter().map(|c| (b'a' + c) as char).collect::<String>()
+                    }),
+                    0.0f64..1e9,
+                ),
+                1..16,
+            ),
+            cut_fraction in 0.0f64..1.0,
+        ) {
+            let frame = Frame::StatsReply { metrics };
+            let payload = &frame.encode().unwrap()[4..];
+            let cut = ((payload.len() as f64) * cut_fraction) as usize;
+            if cut < payload.len() {
+                prop_assert!(Frame::decode(&payload[..cut]).is_err());
             }
         }
 

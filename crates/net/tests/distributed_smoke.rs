@@ -7,6 +7,7 @@ use liveupdate_dlrm::model::{DlrmConfig, DlrmModel};
 use liveupdate_net::wire::{read_frame, write_frame, Frame, LoraRowUpdate};
 use liveupdate_net::{DistributedBackend, ReplicaServer};
 use liveupdate_runtime::config::{RuntimeConfig, UpdateMode};
+use liveupdate_runtime::policy::{LiveUpdatePolicy, UpdatePolicy};
 use liveupdate_scenario::{BackendKind, ExecutionBackend, Scenario, SyncProvenance};
 use liveupdate_workload::{SyntheticWorkload, WorkloadConfig};
 use std::net::TcpStream;
@@ -196,6 +197,104 @@ fn full_model_frame_replaces_the_replica_model() {
     assert_eq!(node.serving_model().export_parameters(), fresh.export_parameters());
 }
 
+#[test]
+fn stats_frame_scrapes_live_telemetry_with_freshness_gauges() {
+    // A replica with a live policy-driven updater publishes fresh epochs; a Stats
+    // round-trip against the serving socket must expose the freshness gauges.
+    let policy: Box<dyn UpdatePolicy> =
+        Box::new(LiveUpdatePolicy { rounds_per_update: 1, batch_size: 8 });
+    let server = ReplicaServer::start(
+        tiny_node(17),
+        tiny_runtime_config(),
+        Duration::from_millis(20),
+        Some(policy),
+    )
+    .expect("start server");
+    let mut conn = TcpStream::connect(server.addr()).expect("connect");
+    conn.set_nodelay(true).unwrap();
+
+    // Serve a little traffic so the serve-side counters move.
+    let mut w = SyntheticWorkload::new(WorkloadConfig {
+        num_tables: 2,
+        table_size: 200,
+        ..WorkloadConfig::default()
+    });
+    for id in 0..8u64 {
+        let sample = w.sample_at(0.0);
+        match call(&mut conn, &Frame::InferRequest { id, time_minutes: 0.0, sample }) {
+            Frame::InferReply { .. } | Frame::InferShed { .. } => {}
+            other => panic!("expected an inference outcome, got {other:?}"),
+        }
+    }
+
+    // Scrape over the same connection the requests used.
+    let rows = match call(&mut conn, &Frame::Stats) {
+        Frame::StatsReply { metrics } => metrics,
+        other => panic!("expected StatsReply, got {other:?}"),
+    };
+    let get = |name: &str| {
+        rows.iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("metric {name} missing from scrape: {rows:?}"))
+            .1
+    };
+    assert!(get("epoch_age_us") >= 0.0, "freshness gauge present and sane");
+    assert!(get("serve_requests_total") >= 1.0, "served traffic counted");
+    assert!(get("serve_latency_us_count") >= 1.0, "latency histogram populated");
+    assert!(get("net_open_connections") >= 1.0, "this connection is counted");
+    let _ = get("net_handler_backlog");
+    assert!(rows.iter().all(|(_, v)| v.is_finite()), "every scraped value is finite");
+
+    // The dedicated helper sees the same registry from a fresh connection.
+    let scraped = liveupdate_net::scrape_replica(server.addr()).expect("scrape_replica");
+    assert!(scraped.iter().any(|(n, _)| n == "epoch_age_us"));
+
+    write_frame(&mut conn, &Frame::Bye).unwrap();
+    drop(conn);
+    let (report, _node) = server.shutdown();
+    assert!(!report.telemetry.is_empty(), "final report carries the registry snapshot");
+}
+
+#[test]
+fn both_engines_expose_the_same_connection_gauges() {
+    // Satellite: the threaded fallback and the epoll loop must answer Stats with
+    // identical gauge names, so a scraper cannot tell the engines apart.
+    let event_loop =
+        ReplicaServer::start(tiny_node(23), tiny_runtime_config(), Duration::from_millis(50), None)
+            .expect("start event-loop server");
+    let threaded = ReplicaServer::start_threaded(
+        tiny_node(23),
+        tiny_runtime_config(),
+        Duration::from_millis(50),
+        None,
+    )
+    .expect("start threaded server");
+
+    for server in [&event_loop, &threaded] {
+        let rows = liveupdate_net::scrape_replica(server.addr()).expect("scrape");
+        for gauge in ["net_open_connections", "net_handler_backlog"] {
+            assert!(
+                rows.iter().any(|(n, _)| n == gauge),
+                "{gauge} missing from scrape: {rows:?}"
+            );
+        }
+    }
+
+    let (_, _) = event_loop.shutdown();
+    let (_, _) = threaded.shutdown();
+}
+
+#[test]
+fn telemetry_disabled_replica_answers_stats_with_no_rows() {
+    let cfg = RuntimeConfig { telemetry: false, ..tiny_runtime_config() };
+    let server = ReplicaServer::start(tiny_node(29), cfg, Duration::from_millis(50), None)
+        .expect("start server");
+    let rows = liveupdate_net::scrape_replica(server.addr()).expect("scrape");
+    assert!(rows.is_empty(), "telemetry off means an empty scrape, got {rows:?}");
+    let (report, _node) = server.shutdown();
+    assert!(report.telemetry.is_empty());
+}
+
 /// A scenario small enough that a distributed run finishes in well under a second.
 fn tiny_scenario(name: &str) -> Scenario {
     let mut s = Scenario::small(name);
@@ -221,6 +320,14 @@ fn distributed_backend_runs_a_scenario_on_sockets() {
     assert!(report.qps.unwrap() > 0.0);
     assert!(report.p99_latency_ms.is_some());
     assert!(report.mean_auc.is_some());
+    // Scraped live from replica 0 over Frame::Stats, with the shared metric names.
+    for name in ["epoch_age_us", "serve_requests_total", "serve_latency_us_p99"] {
+        assert!(
+            report.telemetry.iter().any(|(n, _)| n == name),
+            "{name} missing from distributed telemetry: {:?}",
+            report.telemetry
+        );
+    }
     assert_eq!(report.sync_bytes, 0, "LiveUpdate ships zero parameter bytes on the wire");
     assert!(report.publications > 0, "replicas published fresh epochs");
     assert!(report.lora_memory_bytes.unwrap() > 0);

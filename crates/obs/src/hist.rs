@@ -1,0 +1,401 @@
+//! Log-linear histograms: one relaxed atomic increment per recorded value.
+//!
+//! The bucket of a positive `f64` is read straight out of its IEEE-754 bit pattern:
+//! the exponent field picks the octave, the top [`SUB_BITS`] mantissa bits pick one of
+//! [`SUBS`] linear sub-buckets inside it. Every bucket therefore spans a ~3.1% relative
+//! range (1/32 of an octave), which bounds the error of any percentile query by one
+//! bucket — precise enough for latency tails, cheap enough for the serve path: no
+//! `log`, no comparison ladder, no branch on the value's magnitude.
+//!
+//! All histograms share one fixed shape ([`NUM_BUCKETS`] buckets covering
+//! 2^[`MIN_EXP`] ..= 2^([`MAX_EXP`]+1), with an underflow and an overflow bucket at the
+//! ends), so any two histograms merge bucket-wise. Writers only ever execute a single
+//! `fetch_add(1, Relaxed)`; readers scan the buckets with relaxed loads — a query
+//! concurrent with writes sees each bucket's count torn-free (each load is atomic) and
+//! answers from whatever prefix of the writes it observed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Mantissa bits used for linear subdivision: 2^5 = 32 sub-buckets per octave.
+pub const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave.
+pub const SUBS: usize = 1 << SUB_BITS;
+/// Smallest finite octave: values below 2^-20 (~0.95e-6) land in the underflow bucket.
+pub const MIN_EXP: i32 = -20;
+/// Largest finite octave: values at or above 2^44 (~1.76e13) land in the overflow
+/// bucket. Microsecond-scaled latencies up to half a year fit in range.
+pub const MAX_EXP: i32 = 43;
+/// Total bucket count: underflow + 64 octaves x 32 sub-buckets + overflow.
+pub const NUM_BUCKETS: usize = 2 + (MAX_EXP - MIN_EXP + 1) as usize * SUBS;
+
+/// Bucket index of `v`. Non-positive values, NaN, and sub-range magnitudes map to the
+/// underflow bucket 0; values beyond the top octave (including +inf) map to the
+/// overflow bucket [`NUM_BUCKETS`]` - 1`.
+#[must_use]
+pub fn bucket_index(v: f64) -> usize {
+    if !(v > 0.0) {
+        return 0;
+    }
+    let bits = v.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    if exp < MIN_EXP {
+        return 0;
+    }
+    if exp > MAX_EXP {
+        return NUM_BUCKETS - 1;
+    }
+    let sub = ((bits >> (52 - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+    1 + (exp - MIN_EXP) as usize * SUBS + sub
+}
+
+/// Representative value of a bucket: the midpoint of its range. The underflow bucket
+/// reports 0.0 and the overflow bucket reports its lower edge, 2^([`MAX_EXP`]+1).
+#[must_use]
+pub fn bucket_value(index: usize) -> f64 {
+    if index == 0 {
+        return 0.0;
+    }
+    if index >= NUM_BUCKETS - 1 {
+        return 2f64.powi(MAX_EXP + 1);
+    }
+    let i = index - 1;
+    let exp = MIN_EXP + (i / SUBS) as i32;
+    let sub = (i % SUBS) as f64;
+    2f64.powi(exp) * (1.0 + (sub + 0.5) / SUBS as f64)
+}
+
+/// A mergeable log-linear histogram over positive `f64` values.
+///
+/// [`LogLinearHistogram::record`] is the only operation instrumented code performs and
+/// it is exactly one relaxed `fetch_add` — no lock, no allocation, no float math beyond
+/// reading the bit pattern. Queries ([`count`](Self::count),
+/// [`percentile`](Self::percentile), [`snapshot`](Self::snapshot)) never pause writers.
+pub struct LogLinearHistogram {
+    buckets: Box<[AtomicU64]>,
+}
+
+impl LogLinearHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self { buckets: buckets.into_boxed_slice() }
+    }
+
+    /// Record one observation: a single relaxed atomic increment.
+    #[inline]
+    pub fn record(&self, v: f64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` observations of `v` at once (merging, replay).
+    #[inline]
+    pub fn record_n(&self, v: f64, n: u64) {
+        if n > 0 {
+            self.buckets[bucket_index(v)].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Fold `other`'s counts into `self`, bucket-wise. Both sides may be receiving
+    /// concurrent writes; each transferred count is whatever `other` held at the moment
+    /// its bucket was read.
+    pub fn merge_from(&self, other: &Self) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Reset every bucket to zero. Racing writers may land increments before or after
+    /// the sweep; telemetry resets are inherently approximate under load.
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Total recorded observations (relaxed scan).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Streaming nearest-rank percentile (`p` in `[0, 100]`) without allocating: one
+    /// pass for the total, one rank walk. Returns `None` when empty. Under concurrent
+    /// writes the answer reflects some prefix of the write stream; it is always the
+    /// representative value of a real bucket, never a torn number.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0 * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        let mut last_nonempty = 0usize;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                last_nonempty = i;
+                cumulative += n;
+                if cumulative >= rank {
+                    return Some(bucket_value(i));
+                }
+            }
+        }
+        // Writers removed between the two passes cannot happen (counts only grow), but
+        // a racing reset can; fall back to the highest populated bucket seen.
+        Some(bucket_value(last_nonempty))
+    }
+
+    /// Median shortcut.
+    #[must_use]
+    pub fn p50(&self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// Tail shortcut.
+    #[must_use]
+    pub fn p99(&self) -> Option<f64> {
+        self.percentile(99.0)
+    }
+
+    /// A point-in-time copy of the bucket counts for offline analysis.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+impl Default for LogLinearHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for LogLinearHistogram {
+    fn clone(&self) -> Self {
+        let fresh = Self::new();
+        fresh.merge_from(self);
+        fresh
+    }
+}
+
+impl std::fmt::Debug for LogLinearHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogLinearHistogram")
+            .field("count", &self.count())
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .finish()
+    }
+}
+
+/// An immutable copy of a histogram's bucket counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// The per-bucket counts (length [`NUM_BUCKETS`]).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations in the snapshot.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Nearest-rank percentile over the frozen counts (`p` in `[0, 100]`).
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0 * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            cumulative += n;
+            if n > 0 && cumulative >= rank {
+                return Some(bucket_value(i));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn degenerate_values_go_to_the_edge_buckets() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-1.5), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(1e-12), 0, "below 2^-20 underflows");
+        assert_eq!(bucket_index(f64::INFINITY), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(1e20), NUM_BUCKETS - 1, "beyond 2^44 overflows");
+        assert_eq!(bucket_value(0), 0.0);
+        assert_eq!(bucket_value(NUM_BUCKETS - 1), 2f64.powi(MAX_EXP + 1));
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_midpoints_are_close() {
+        let mut prev = 0usize;
+        let mut v = 2f64.powi(MIN_EXP);
+        while v < 2f64.powi(MAX_EXP + 1) {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "bucket index must not decrease with the value");
+            prev = idx;
+            if idx != 0 && idx != NUM_BUCKETS - 1 {
+                let mid = bucket_value(idx);
+                let rel = (mid - v).abs() / v;
+                assert!(rel <= 1.0 / SUBS as f64, "midpoint {mid} vs {v}: rel err {rel}");
+            }
+            v *= 1.01;
+        }
+    }
+
+    #[test]
+    fn record_count_and_percentiles_of_known_distribution() {
+        let h = LogLinearHistogram::new();
+        for i in 1..=1000 {
+            h.record(f64::from(i));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.p50().expect("non-empty");
+        let p99 = h.p99().expect("non-empty");
+        // Answers are bucket midpoints within ~3.1% of the exact nearest-rank values.
+        assert!((p50 / 500.0 - 1.0).abs() < 0.05, "p50 {p50} far from 500");
+        assert!((p99 / 990.0 - 1.0).abs() < 0.05, "p99 {p99} far from 990");
+        assert!(h.percentile(0.0).expect("non-empty") <= h.percentile(100.0).expect("non-empty"));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = LogLinearHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.snapshot().percentile(99.0), None);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_exact_and_clone_preserves_counts() {
+        let a = LogLinearHistogram::new();
+        let b = LogLinearHistogram::new();
+        for i in 1..=100 {
+            a.record(f64::from(i));
+            b.record(f64::from(i) * 1000.0);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), 200);
+        let cloned = a.clone();
+        assert_eq!(cloned.snapshot(), a.snapshot());
+        a.reset();
+        assert_eq!(a.count(), 0);
+        assert_eq!(cloned.count(), 200, "clone is independent of the original");
+    }
+
+    /// Satellite: N writer threads + a merging reader. After the join, bucket totals in
+    /// the merged view are exact; while running, every percentile read is a valid
+    /// bucket value (never torn, never panicking).
+    #[test]
+    fn concurrent_recording_keeps_totals_exact_and_reads_untorn() {
+        const WRITERS: usize = 4;
+        const PER_WRITER: u64 = 50_000;
+        let shared = Arc::new(LogLinearHistogram::new());
+        let merged = Arc::new(LogLinearHistogram::new());
+        let mut handles = Vec::new();
+        for w in 0..WRITERS {
+            let h = Arc::clone(&shared);
+            handles.push(thread::spawn(move || {
+                for i in 0..PER_WRITER {
+                    // Spread across several octaves, deterministic per writer.
+                    let v = 1.0 + ((i * 7 + w as u64 * 13) % 10_000) as f64;
+                    h.record(v);
+                }
+            }));
+        }
+        // The reader merges and queries concurrently with the writers.
+        let reader = {
+            let h = Arc::clone(&shared);
+            let m = Arc::clone(&merged);
+            thread::spawn(move || {
+                for _ in 0..200 {
+                    m.merge_from(&h);
+                    if let Some(p) = h.percentile(99.0) {
+                        let idx = bucket_index(p);
+                        assert!(
+                            (bucket_value(idx) - p).abs() <= f64::EPSILON * p.abs(),
+                            "percentile must be a bucket representative, got {p}"
+                        );
+                    }
+                    std::hint::spin_loop();
+                }
+            })
+        };
+        for h in handles {
+            h.join().expect("writer");
+        }
+        reader.join().expect("reader");
+        assert_eq!(shared.count(), WRITERS as u64 * PER_WRITER, "no lost increments");
+        // One final merge into a fresh histogram reproduces the totals exactly.
+        let exact = LogLinearHistogram::new();
+        exact.merge_from(&shared);
+        assert_eq!(exact.snapshot(), shared.snapshot());
+    }
+
+    proptest! {
+        /// Percentile error is bounded by one bucket versus an exact sort: the bucket
+        /// index of the histogram's answer is within 1 of the bucket index of the true
+        /// nearest-rank sample.
+        #[test]
+        fn prop_percentile_within_one_bucket_of_exact(
+            values in proptest::collection::vec(1e-3f64..1e9, 1..400),
+            p in 0.0f64..100.0,
+        ) {
+            let h = LogLinearHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_by(f64::total_cmp);
+            let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize)
+                .clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let approx = h.percentile(p).expect("non-empty");
+            let d = bucket_index(approx) as i64 - bucket_index(exact) as i64;
+            prop_assert!(d.abs() <= 1, "approx {approx} vs exact {exact}: {d} buckets apart");
+        }
+
+        /// Percentiles are monotone in p even on adversarial inputs.
+        #[test]
+        fn prop_percentiles_monotone(
+            values in proptest::collection::vec(1e-3f64..1e9, 1..200),
+            lo in 0.0f64..100.0,
+            hi in 0.0f64..100.0,
+        ) {
+            let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+            let h = LogLinearHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            prop_assert!(h.percentile(lo).expect("x") <= h.percentile(hi).expect("y"));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Near-zero-overhead telemetry for the liveupdate serving stack.
+//!
+//! The paper's central claim is a *measured* property — P99 latency barely moves while
+//! model updates publish — so the observability layer that watches the system must obey
+//! the same discipline the serve path does: **no locks, no allocation, and exactly one
+//! relaxed atomic increment per recorded value on the hot path**. This crate provides
+//! the three primitives the rest of the workspace instruments itself with, with zero
+//! dependencies (not even the vendored ones):
+//!
+//! * [`hist::LogLinearHistogram`] — a fixed-shape log-linear histogram over positive
+//!   `f64` values. The bucket index is computed from the value's IEEE-754 bit pattern
+//!   (32 sub-buckets per octave, ~3% relative bucket width), so recording is one
+//!   relaxed `fetch_add` with no float transcendentals. Histograms with the same shape
+//!   merge bucket-wise, and P50/P99 queries run against a snapshot scan without ever
+//!   pausing writers.
+//! * [`registry::MetricsRegistry`] — a name-sharded registry of counters, gauges, and
+//!   histograms. Registration and scraping take a shard lock; the serve path never
+//!   does, because instrumented code holds pre-registered `Arc` handles and touches
+//!   only the atomics inside them. [`render_text`] turns a scraped snapshot into
+//!   Prometheus-style text exposition.
+//! * [`trace::TraceRing`] — a fixed-capacity ring of timestamped [`trace::TraceEvent`]s
+//!   (update rounds, epoch publications, batch closes, shed/hedge decisions). Writers
+//!   claim a slot with one `fetch_add` and publish through a per-slot sequence word;
+//!   they never block, never allocate, and never wait for readers. Draining is
+//!   on-demand and tolerates concurrent writes (a torn slot is rejected, not returned).
+//!
+//! The freshness story — `epoch_age_us`, requests-served-per-epoch, and
+//! publication-to-first-serve lag — is built *on* these primitives by
+//! `liveupdate_runtime::telemetry`, and exported live over the wire by
+//! `liveupdate_net`'s `Frame::Stats`.
+
+pub mod hist;
+pub mod registry;
+pub mod trace;
+
+pub use hist::{HistogramSnapshot, LogLinearHistogram};
+pub use registry::{Counter, Gauge, MetricsRegistry};
+pub use trace::{TraceEvent, TraceKind, TraceRing};
+
+/// Render a flattened metrics snapshot (`[(name, value)]`, as produced by
+/// [`MetricsRegistry::snapshot`] or received over the wire in a `StatsReply`) as
+/// Prometheus-style text exposition: one `name value` line per row, `#`-prefixed
+/// comment header, stable (input) order.
+///
+/// [`MetricsRegistry::render_text`] produces the richer local form (with `# TYPE`
+/// comments and `quantile` labels); this free function is the one a scraper uses on
+/// rows that crossed the wire, where only names and values survive.
+#[must_use]
+pub fn render_text(rows: &[(String, f64)]) -> String {
+    let mut out = String::with_capacity(rows.len() * 32 + 64);
+    out.push_str("# liveupdate_obs snapshot: ");
+    out.push_str(&rows.len().to_string());
+    out.push_str(" series\n");
+    for (name, value) in rows {
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&format_value(*value));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a metric value the way the text exposition wants it: integers without a
+/// fractional part, everything else in plain decimal.
+pub(crate) fn format_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_text_emits_one_line_per_row_in_order() {
+        let rows = vec![
+            ("serve_requests_total".to_string(), 42.0),
+            ("serve_latency_us_p99".to_string(), 1234.5),
+        ];
+        let text = render_text(&rows);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with('#'));
+        assert_eq!(lines[1], "serve_requests_total 42");
+        assert_eq!(lines[2], "serve_latency_us_p99 1234.5");
+    }
+
+    #[test]
+    fn render_text_of_empty_snapshot_is_just_the_header() {
+        let text = render_text(&[]);
+        assert_eq!(text.lines().count(), 1);
+    }
+}

@@ -1,0 +1,349 @@
+//! The sharded metrics registry: locked only at registration and scrape time.
+//!
+//! Instrumented code calls [`MetricsRegistry::counter`] / [`gauge`](MetricsRegistry::gauge)
+//! / [`histogram`](MetricsRegistry::histogram) **once, at setup**, and keeps the
+//! returned `Arc` handle. The serve path then touches only the atomics inside the
+//! handle — the registry's shard mutexes exist so that registration and scraping can
+//! race each other safely, and they are never taken while serving. Names are hashed
+//! (FNV-1a) across [`NUM_SHARDS`] shards so even scrape-heavy callers contend on at
+//! most one shard at a time.
+
+use crate::hist::LogLinearHistogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shard count of the name map. A power of two so the hash folds with a mask.
+pub const NUM_SHARDS: usize = 16;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n > 0 {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value (queue depths, open connections, ages).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Replace the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add (possibly negative) `delta`.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtract one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<LogLinearHistogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// FNV-1a over the metric name; cheap, dependency-free, good enough to spread names.
+fn shard_of(name: &str) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) & (NUM_SHARDS - 1)
+}
+
+/// A name-sharded registry of counters, gauges, and histograms.
+///
+/// Get-or-register calls return the *same* `Arc` for the same name, so any number of
+/// subsystems can share a metric by agreeing on its name. Scraping
+/// ([`snapshot`](Self::snapshot), [`render_text`](Self::render_text)) walks the shards
+/// one lock at a time and reads the atomics — it never blocks a writer, because
+/// writers hold handles and do not take shard locks.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    shards: [Mutex<BTreeMap<String, Metric>>; NUM_SHARDS],
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())) }
+    }
+
+    fn get_or_insert(&self, name: &str, fresh: impl FnOnce() -> Metric) -> Metric {
+        let mut shard = self.shards[shard_of(name)].lock().expect("registry shard poisoned");
+        shard.entry(name.to_string()).or_insert_with(fresh).clone()
+    }
+
+    /// Get or register the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, || Metric::Counter(Arc::new(Counter::default()))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register the gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, || Metric::Gauge(Arc::new(Gauge::default()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register the histogram `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<LogLinearHistogram> {
+        match self.get_or_insert(name, || Metric::Histogram(Arc::new(LogLinearHistogram::new()))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Every registered metric, cloned out shard by shard and sorted by name.
+    fn collect(&self) -> Vec<(String, Metric)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("registry shard poisoned");
+            out.extend(shard.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Flatten the registry into `(name, value)` rows, sorted by name: counters and
+    /// gauges one row each; histograms as `<name>_p50`, `<name>_p99`, and
+    /// `<name>_count`. This is the form `Frame::StatsReply` ships over the wire and
+    /// `ScenarioReport::telemetry` stores — every value finite, empty histograms
+    /// reporting 0 percentiles.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        let mut rows = Vec::new();
+        for (name, metric) in self.collect() {
+            match metric {
+                Metric::Counter(c) => rows.push((name, c.get() as f64)),
+                Metric::Gauge(g) => rows.push((name, g.get() as f64)),
+                Metric::Histogram(h) => {
+                    rows.push((format!("{name}_p50"), h.p50().unwrap_or(0.0)));
+                    rows.push((format!("{name}_p99"), h.p99().unwrap_or(0.0)));
+                    rows.push((format!("{name}_count"), h.count() as f64));
+                }
+            }
+        }
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    /// Prometheus-style text exposition with `# TYPE` comments; histograms are
+    /// summaries with `quantile` labels plus a `_count` series.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, metric) in self.collect() {
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let p50 = h.p50().unwrap_or(0.0);
+                    let p99 = h.p99().unwrap_or(0.0);
+                    out.push_str(&format!("# TYPE {name} summary\n"));
+                    out.push_str(&format!(
+                        "{name}{{quantile=\"0.5\"}} {}\n",
+                        crate::format_value(p50)
+                    ));
+                    out.push_str(&format!(
+                        "{name}{{quantile=\"0.99\"}} {}\n",
+                        crate::format_value(p99)
+                    ));
+                    out.push_str(&format!("{name}_count {}\n", h.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn get_or_register_returns_the_same_handle() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("requests_total");
+        let b = r.counter("requests_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "both handles point at the same counter");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        let _ = r.counter("x");
+        let _ = r.gauge("x");
+    }
+
+    #[test]
+    fn gauge_add_sub_and_set() {
+        let r = MetricsRegistry::new();
+        let g = r.gauge("queue_depth");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-5);
+        assert_eq!(g.get(), -5);
+    }
+
+    #[test]
+    fn snapshot_flattens_histograms_and_sorts() {
+        let r = MetricsRegistry::new();
+        r.counter("b_total").add(7);
+        r.gauge("a_gauge").set(3);
+        let h = r.histogram("lat_us");
+        for i in 1..=100 {
+            h.record(f64::from(i));
+        }
+        let rows = r.snapshot();
+        let names: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a_gauge", "b_total", "lat_us_count", "lat_us_p50", "lat_us_p99"]);
+        let by_name: std::collections::BTreeMap<_, _> =
+            rows.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        assert_eq!(by_name["b_total"], 7.0);
+        assert_eq!(by_name["a_gauge"], 3.0);
+        assert_eq!(by_name["lat_us_count"], 100.0);
+        assert!(by_name["lat_us_p50"] > 0.0);
+        assert!(rows.iter().all(|(_, v)| v.is_finite()));
+    }
+
+    #[test]
+    fn render_text_has_type_lines_and_quantile_labels() {
+        let r = MetricsRegistry::new();
+        r.counter("served_total").add(5);
+        r.histogram("lat_us").record(42.0);
+        let text = r.render_text();
+        assert!(text.contains("# TYPE served_total counter"));
+        assert!(text.contains("served_total 5"));
+        assert!(text.contains("# TYPE lat_us summary"));
+        assert!(text.contains("lat_us{quantile=\"0.5\"}"));
+        assert!(text.contains("lat_us{quantile=\"0.99\"}"));
+        assert!(text.contains("lat_us_count 1"));
+    }
+
+    #[test]
+    fn concurrent_registration_and_scraping_agree() {
+        let r = Arc::new(MetricsRegistry::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let r = Arc::clone(&r);
+            handles.push(thread::spawn(move || {
+                for i in 0..50 {
+                    // Half the names are shared across threads, half unique.
+                    let c = r.counter(&format!("shared_{}", i % 10));
+                    c.inc();
+                    let c = r.counter(&format!("own_{t}_{i}"));
+                    c.inc();
+                    let _ = r.snapshot();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("thread");
+        }
+        let rows = r.snapshot();
+        let shared_total: f64 = rows
+            .iter()
+            .filter(|(n, _)| n.starts_with("shared_"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(shared_total, 200.0, "4 threads x 50 shared increments");
+        assert_eq!(rows.len(), 10 + 200, "10 shared + 4x50 unique counters");
+    }
+}

@@ -1,0 +1,302 @@
+//! A fixed-capacity, never-blocking ring of timestamped trace events.
+//!
+//! Writers (workers, the updater, the event loop) call [`TraceRing::push`] from the
+//! hot path: one `fetch_add` claims a slot, a handful of relaxed stores fill it, and a
+//! release store of the slot's sequence word publishes it. No lock, no allocation, no
+//! waiting — a writer can always push, overwriting the oldest event once the ring is
+//! full. Readers drain on demand with [`TraceRing::drain`]; a slot that is mid-write
+//! (or whose field checksum does not validate, the multi-writer wrap-race case) is
+//! simply skipped, so readers can never observe a torn event and never block a writer.
+//!
+//! Each slot is a seqlock: the writer invalidates (`seq = 0`), writes the fields, then
+//! publishes a unique non-zero sequence (its claim ticket + 1). A reader accepts a
+//! slot only if the sequence it saw before and after the field reads is the same
+//! non-zero value *and* the stored checksum matches the fields — the checksum closes
+//! the classic multi-writer seqlock hole where two writers wrapping the same slot
+//! interleave field stores yet leave a stable sequence.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// What happened. Payload meanings (`a`, `b`) are per-kind, documented per variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TraceKind {
+    /// An update round ran on the updater thread. `a` = rounds in the block,
+    /// `b` = block duration in microseconds.
+    UpdateRound = 1,
+    /// A snapshot was published through the epoch swap. `a` = epoch, `b` = checksum.
+    EpochPublish = 2,
+    /// A worker closed and served a batch. `a` = batch size, `b` = serve micros.
+    BatchClose = 3,
+    /// A request was shed at a full queue. `a` = worker index, `b` = unused.
+    Shed = 4,
+    /// A hedge/retry decision (reserved for the SLA-aware batcher). `a`/`b` free-form.
+    Hedge = 5,
+    /// A stats scrape was answered. `a` = series count, `b` = unused.
+    Scrape = 6,
+}
+
+impl TraceKind {
+    fn from_u64(v: u64) -> Option<Self> {
+        match v {
+            1 => Some(Self::UpdateRound),
+            2 => Some(Self::EpochPublish),
+            3 => Some(Self::BatchClose),
+            4 => Some(Self::Shed),
+            5 => Some(Self::Hedge),
+            6 => Some(Self::Scrape),
+            _ => None,
+        }
+    }
+}
+
+/// One drained trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Microseconds since the ring was created.
+    pub at_us: u64,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Kind-specific payload (see [`TraceKind`]).
+    pub a: u64,
+    /// Kind-specific payload (see [`TraceKind`]).
+    pub b: u64,
+}
+
+/// One ring slot: a per-slot seqlock plus a field checksum.
+struct Slot {
+    seq: AtomicU64,
+    at_us: AtomicU64,
+    kind: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+    check: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            at_us: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+            check: AtomicU64::new(0),
+        }
+    }
+}
+
+fn checksum(seq: u64, at_us: u64, kind: u64, a: u64, b: u64) -> u64 {
+    // Mix with distinct odd multipliers so field permutations don't cancel.
+    seq.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ at_us.wrapping_mul(0xbf58_476d_1ce4_e5b9)
+        ^ kind.wrapping_mul(0x94d0_49bb_1331_11eb)
+        ^ a.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        ^ b.wrapping_mul(0xff51_afd7_ed55_8ccd)
+}
+
+/// The fixed-capacity multi-writer trace ring.
+pub struct TraceRing {
+    slots: Box<[Slot]>,
+    /// Next claim ticket; `ticket % capacity` is the slot, `ticket + 1` the sequence.
+    head: AtomicU64,
+    /// Highest sequence already returned by [`Self::drain`].
+    drained_upto: AtomicU64,
+    created: Instant,
+}
+
+impl TraceRing {
+    /// A ring holding the most recent `capacity` events (rounded up to a power of two,
+    /// minimum 8).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(8).next_power_of_two();
+        let slots: Vec<Slot> = (0..capacity).map(|_| Slot::empty()).collect();
+        Self {
+            slots: slots.into_boxed_slice(),
+            head: AtomicU64::new(0),
+            drained_upto: AtomicU64::new(0),
+            created: Instant::now(),
+        }
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever pushed (including overwritten ones).
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Record an event, timestamped now. Never blocks, never allocates; once the ring
+    /// is full each push overwrites the oldest slot.
+    pub fn push(&self, kind: TraceKind, a: u64, b: u64) {
+        let at_us = u64::try_from(self.created.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket as usize) & (self.slots.len() - 1)];
+        let seq = ticket + 1;
+        // Invalidate; the AcqRel RMW keeps the field stores below from floating above it.
+        slot.seq.swap(0, Ordering::AcqRel);
+        slot.at_us.store(at_us, Ordering::Relaxed);
+        slot.kind.store(kind as u64, Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.check.store(checksum(seq, at_us, kind as u64, a, b), Ordering::Relaxed);
+        // Publish; the release store keeps the field stores above from sinking below it.
+        slot.seq.store(seq, Ordering::Release);
+    }
+
+    /// Return every event published since the previous drain, oldest first, and
+    /// advance the drain cursor past them. Events overwritten before they were drained
+    /// are lost (the ring keeps only the newest `capacity`); slots mid-write or failing
+    /// validation are skipped. Concurrent pushes during the drain may or may not be
+    /// included — they will surface in the next drain if missed.
+    #[must_use]
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let upto = self.drained_upto.load(Ordering::Acquire);
+        let mut found: Vec<(u64, TraceEvent)> = Vec::new();
+        let mut max_seq = upto;
+        for slot in self.slots.iter() {
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 == 0 || s1 <= upto {
+                continue;
+            }
+            let at_us = slot.at_us.load(Ordering::Relaxed);
+            let kind = slot.kind.load(Ordering::Relaxed);
+            let a = slot.a.load(Ordering::Relaxed);
+            let b = slot.b.load(Ordering::Relaxed);
+            let check = slot.check.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            let s2 = slot.seq.load(Ordering::Relaxed);
+            if s1 != s2 || check != checksum(s1, at_us, kind, a, b) {
+                continue; // mid-write or wrap-torn: skip, never return garbage
+            }
+            let Some(kind) = TraceKind::from_u64(kind) else { continue };
+            max_seq = max_seq.max(s1);
+            found.push((s1, TraceEvent { at_us, kind, a, b }));
+        }
+        found.sort_by_key(|&(seq, _)| seq);
+        // Advance the cursor monotonically; racing drains may split the events between
+        // them but never return the same event twice.
+        let mut current = upto;
+        while current < max_seq {
+            match self.drained_upto.compare_exchange(
+                current,
+                max_seq,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(seen) => {
+                    if seen >= max_seq {
+                        // Another drain got there first; drop what it already claimed.
+                        found.retain(|&(seq, _)| seq > seen);
+                        break;
+                    }
+                    current = seen;
+                }
+            }
+        }
+        found.into_iter().map(|(_, e)| e).collect()
+    }
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("capacity", &self.capacity())
+            .field("pushed", &self.pushed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn push_then_drain_returns_events_in_order() {
+        let ring = TraceRing::new(64);
+        ring.push(TraceKind::EpochPublish, 1, 0xabc);
+        ring.push(TraceKind::BatchClose, 32, 250);
+        ring.push(TraceKind::Shed, 0, 0);
+        let events = ring.drain();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, TraceKind::EpochPublish);
+        assert_eq!((events[0].a, events[0].b), (1, 0xabc));
+        assert_eq!(events[1].kind, TraceKind::BatchClose);
+        assert_eq!(events[2].kind, TraceKind::Shed);
+        assert!(events.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+    }
+
+    #[test]
+    fn drain_is_incremental_and_never_repeats() {
+        let ring = TraceRing::new(64);
+        ring.push(TraceKind::UpdateRound, 1, 10);
+        assert_eq!(ring.drain().len(), 1);
+        assert_eq!(ring.drain().len(), 0, "already drained");
+        ring.push(TraceKind::UpdateRound, 2, 20);
+        let events = ring.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].a, 2);
+    }
+
+    #[test]
+    fn ring_keeps_only_the_newest_capacity_events() {
+        let ring = TraceRing::new(8);
+        assert_eq!(ring.capacity(), 8);
+        for i in 0..20u64 {
+            ring.push(TraceKind::BatchClose, i, 0);
+        }
+        let events = ring.drain();
+        assert_eq!(events.len(), 8, "older events were overwritten");
+        let payloads: Vec<u64> = events.iter().map(|e| e.a).collect();
+        assert_eq!(payloads, (12..20).collect::<Vec<u64>>());
+        assert_eq!(ring.pushed(), 20);
+    }
+
+    #[test]
+    fn concurrent_writers_never_produce_torn_events() {
+        let ring = Arc::new(TraceRing::new(256));
+        let mut handles = Vec::new();
+        for w in 0..4u64 {
+            let ring = Arc::clone(&ring);
+            handles.push(thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    // Encode the writer in both payloads so a torn mix is detectable.
+                    ring.push(TraceKind::BatchClose, w * 1_000_000 + i, w);
+                }
+            }));
+        }
+        // Drain continuously while writers run; every returned event must be
+        // internally consistent.
+        let reader = {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || {
+                let mut seen = 0usize;
+                for _ in 0..500 {
+                    for e in ring.drain() {
+                        assert_eq!(e.a / 1_000_000, e.b, "torn event: a={} b={}", e.a, e.b);
+                        seen += 1;
+                    }
+                }
+                seen
+            })
+        };
+        for h in handles {
+            h.join().expect("writer");
+        }
+        let _ = reader.join().expect("reader");
+        assert_eq!(ring.pushed(), 40_000);
+        for e in ring.drain() {
+            assert_eq!(e.a / 1_000_000, e.b);
+        }
+    }
+}

@@ -52,6 +52,13 @@ pub struct RuntimeConfig {
     pub routing: ShardPolicy,
     /// The updater arrangement.
     pub update: UpdateMode,
+    /// Whether the runtime creates a [`Telemetry`](crate::telemetry::Telemetry)
+    /// registry and instruments its threads with it. On by default; the
+    /// `obs_overhead` bench runs both arms to pin the instrumentation cost on the
+    /// serve path at near zero. With telemetry off,
+    /// [`ServingRuntime::scrape`](crate::runtime::ServingRuntime::scrape) returns no
+    /// rows.
+    pub telemetry: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -67,6 +74,7 @@ impl Default for RuntimeConfig {
                 rounds_per_update: 1,
                 batch_size: 32,
             },
+            telemetry: true,
         }
     }
 }

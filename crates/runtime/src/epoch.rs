@@ -16,12 +16,19 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// The write side: owns the current `(epoch, value)` slot.
 #[derive(Debug)]
 pub struct EpochPublisher<T> {
     slot: Mutex<(u64, Arc<T>)>,
     epoch: AtomicU64,
+    /// When the publisher was created — the zero point of the publish stamps.
+    created: Instant,
+    /// Microseconds (since `created`) of the most recent publication. Lets any thread
+    /// answer "how old is the published snapshot?" — the freshness gauge `epoch_age_us`
+    /// — with one relaxed load and no lock.
+    published_at_us: AtomicU64,
 }
 
 impl<T> EpochPublisher<T> {
@@ -31,7 +38,13 @@ impl<T> EpochPublisher<T> {
         Arc::new(Self {
             slot: Mutex::new((0, Arc::new(initial))),
             epoch: AtomicU64::new(0),
+            created: Instant::now(),
+            published_at_us: AtomicU64::new(0),
         })
+    }
+
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.created.elapsed().as_micros()).unwrap_or(u64::MAX)
     }
 
     /// Replace the published value, returning the new epoch. The slot lock is held only
@@ -40,10 +53,19 @@ impl<T> EpochPublisher<T> {
         let mut slot = self.slot.lock().expect("epoch slot poisoned");
         let next = slot.0 + 1;
         *slot = (next, Arc::new(value));
+        self.published_at_us.store(self.now_us(), Ordering::Release);
         // Publish the change detector while still holding the lock, so a reader that
         // sees the new epoch and then locks the slot can never find an older pair.
         self.epoch.store(next, Ordering::Release);
         next
+    }
+
+    /// Age of the current publication in microseconds: how long the serving snapshot
+    /// has gone without replacement. This is the paper's freshness metric as a live
+    /// number; one relaxed load, safe to call from any thread at any rate.
+    #[must_use]
+    pub fn publish_age_us(&self) -> u64 {
+        self.now_us().saturating_sub(self.published_at_us.load(Ordering::Acquire))
     }
 
     /// The most recently published epoch.
@@ -116,6 +138,14 @@ impl<T> EpochReader<T> {
     #[must_use]
     pub fn refreshes(&self) -> u64 {
         self.refreshes
+    }
+
+    /// Age of the publisher's *current* publication (see
+    /// [`EpochPublisher::publish_age_us`]). Immediately after a [`Self::refresh`] that
+    /// adopted, this is the publication-to-first-serve lag of the adopted snapshot.
+    #[must_use]
+    pub fn publish_age_us(&self) -> u64 {
+        self.publisher.publish_age_us()
     }
 }
 

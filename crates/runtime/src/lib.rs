@@ -47,6 +47,12 @@
 //! * **Measurement** ([`report`]) — real wall-clock QPS, P50/P99/max latency (via
 //!   [`liveupdate_sim::latency::LatencyRecorder`]), shed counts, batch shapes, update
 //!   round times, and the full `(epoch, checksum)` publication history.
+//! * **Telemetry** ([`telemetry`]) — a [`liveupdate_obs`] registry shared by every
+//!   thread: lock-free counters/gauges/histograms under the workspace-wide metric-name
+//!   contract plus a trace ring of update/publish/batch/shed events. Scrape live with
+//!   [`runtime::ServingRuntime::scrape`]; the final snapshot lands in
+//!   [`report::RuntimeReport::telemetry`]. Disable per-run with
+//!   [`config::RuntimeConfig::telemetry`].
 //!
 //! The update modes of [`config::UpdateMode`] form the interference experiment:
 //! `Disabled` is the baseline arm (identical ingestion, no training), `Background` is
@@ -92,6 +98,7 @@ pub mod report;
 pub mod request;
 pub mod router;
 pub mod runtime;
+pub mod telemetry;
 mod updater;
 mod worker;
 
@@ -107,3 +114,4 @@ pub use report::{RuntimeReport, UpdaterReport, WorkerReport};
 pub use request::Request;
 pub use router::Router;
 pub use runtime::{ServingRuntime, SubmitOutcome};
+pub use telemetry::Telemetry;

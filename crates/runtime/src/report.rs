@@ -87,6 +87,10 @@ pub struct RuntimeReport {
     pub updater: UpdaterReport,
     /// Raw per-worker reports.
     pub per_worker: Vec<WorkerReport>,
+    /// Final flattened telemetry snapshot (`name → value` rows, sorted by name),
+    /// scraped from the runtime's registry after every thread folded in its last
+    /// values. Empty when the runtime ran with `telemetry: false`.
+    pub telemetry: Vec<(String, f64)>,
 }
 
 impl RuntimeReport {
@@ -164,6 +168,7 @@ mod tests {
             snapshot_refreshes: 4,
             updater: UpdaterReport::default(),
             per_worker: Vec::new(),
+            telemetry: Vec::new(),
         };
         assert!((r.mean_batch_size() - 10.0).abs() < 1e-12);
         assert!((r.drop_rate() - 0.1).abs() < 1e-12);

@@ -6,11 +6,13 @@ use crate::policy::{LiveUpdatePolicy, UpdatePolicy};
 use crate::report::{RuntimeReport, UpdaterReport, WorkerReport};
 use crate::request::{ReplyTo, Request};
 use crate::router::Router;
+use crate::telemetry::Telemetry;
 use crate::updater::{run_updater, NodeCommand, UpdaterMsg, UpdaterParams};
 use crate::worker::{run_sync_worker, run_worker};
 use liveupdate::engine::ServingNode;
 use liveupdate::snapshot::ServingSnapshot;
 use liveupdate_dlrm::sample::Sample;
+use liveupdate_obs::TraceKind;
 use liveupdate_sim::latency::LatencyRecorder;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Sender, SyncSender, TrySendError};
@@ -48,6 +50,8 @@ pub struct ServingRuntime {
     updater: Option<JoinHandle<(UpdaterReport, ServingNode)>>,
     /// Command path into the updater thread (None in synchronous mode).
     node_tx: Option<Sender<UpdaterMsg>>,
+    /// Shared metric handles (None when `cfg.telemetry` is off).
+    telemetry: Option<Arc<Telemetry>>,
     processed: Arc<AtomicU64>,
     submitted: AtomicU64,
     dropped: AtomicU64,
@@ -117,6 +121,7 @@ impl ServingRuntime {
         }
         let publisher = EpochPublisher::new(node.snapshot());
         let initial_checksum = publisher.load().1.checksum();
+        let telemetry = cfg.telemetry.then(|| Arc::new(Telemetry::new()));
         let processed = Arc::new(AtomicU64::new(0));
         let batcher = cfg.batcher();
         let router = Router::new(cfg.routing, cfg.num_workers);
@@ -145,6 +150,7 @@ impl ServingRuntime {
                 let rx = receivers.pop().expect("one worker in synchronous mode");
                 let publisher_for_worker = Arc::clone(&publisher);
                 let processed_for_worker = Arc::clone(&processed);
+                let telemetry_for_worker = telemetry.clone();
                 sync_worker = Some(
                     thread::Builder::new()
                         .name("lu-sync-worker".into())
@@ -158,6 +164,7 @@ impl ServingRuntime {
                                 rounds,
                                 batch_size,
                                 &processed_for_worker,
+                                telemetry_for_worker.as_deref(),
                             )
                         })
                         .expect("spawn sync worker"),
@@ -171,11 +178,19 @@ impl ServingRuntime {
                     let reader = publisher.reader();
                     let worker_ingest = ingest_tx.clone();
                     let processed_for_worker = Arc::clone(&processed);
+                    let telemetry_for_worker = telemetry.clone();
                     workers.push(
                         thread::Builder::new()
                             .name(format!("lu-worker-{index}"))
                             .spawn(move || {
-                                run_worker(&rx, &batcher, reader, &worker_ingest, &processed_for_worker)
+                                run_worker(
+                                    &rx,
+                                    &batcher,
+                                    reader,
+                                    &worker_ingest,
+                                    &processed_for_worker,
+                                    telemetry_for_worker.as_deref(),
+                                )
                             })
                             .expect("spawn worker"),
                     );
@@ -186,11 +201,19 @@ impl ServingRuntime {
                 node_tx = Some(ingest_tx);
                 let params = UpdaterParams { interval, policy };
                 let publisher_for_updater = Arc::clone(&publisher);
+                let telemetry_for_updater = telemetry.clone();
                 updater = Some(
                     thread::Builder::new()
                         .name("lu-updater".into())
                         .spawn(move || {
-                            run_updater(&ingest_rx, node, &publisher_for_updater, params, initial_checksum)
+                            run_updater(
+                                &ingest_rx,
+                                node,
+                                &publisher_for_updater,
+                                params,
+                                initial_checksum,
+                                telemetry_for_updater.as_deref(),
+                            )
                         })
                         .expect("spawn updater"),
                 );
@@ -206,6 +229,7 @@ impl ServingRuntime {
             sync_worker,
             updater,
             node_tx,
+            telemetry,
             processed,
             submitted: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
@@ -223,6 +247,52 @@ impl ServingRuntime {
     #[must_use]
     pub fn publisher(&self) -> &Arc<EpochPublisher<ServingSnapshot>> {
         &self.publisher
+    }
+
+    /// The runtime's telemetry handles, or `None` when started with
+    /// `cfg.telemetry == false`. Transport tiers use this to fold their own series
+    /// (e.g. `net_open_connections`) into the same registry a scrape reads.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// Refresh the scrape-time gauges and return the full flattened metrics snapshot
+    /// (`[(name, value)]`, sorted by name) — the payload of a `Frame::StatsReply` and
+    /// of [`RuntimeReport::telemetry`](crate::report::RuntimeReport). Empty when
+    /// telemetry is off. Never blocks serving: gauge refresh is a handful of relaxed
+    /// stores plus one brief epoch-slot lock (the same cost as an epoch adoption), and
+    /// the registry walk reads atomics shard by shard.
+    #[must_use]
+    pub fn scrape(&self) -> Vec<(String, f64)> {
+        let Some(tel) = &self.telemetry else {
+            return Vec::new();
+        };
+        self.refresh_gauges(tel);
+        tel.registry.snapshot()
+    }
+
+    /// Compute the sampled gauges: snapshot freshness (`epoch_age_us`), queue depth,
+    /// and the cumulative per-table hot-row-cache tallies of the live snapshot.
+    fn refresh_gauges(&self, tel: &Telemetry) {
+        tel.epoch_age_us.set(i64::try_from(self.publisher.publish_age_us()).unwrap_or(i64::MAX));
+        tel.snapshot_epoch.set(i64::try_from(self.publisher.epoch()).unwrap_or(i64::MAX));
+        let submitted = self.submitted.load(Ordering::Relaxed);
+        let completed = self.processed.load(Ordering::Acquire);
+        tel.queue_depth.set(i64::try_from(submitted.saturating_sub(completed)).unwrap_or(i64::MAX));
+        let (_, snapshot) = self.publisher.load();
+        let hot = snapshot.hot_rows();
+        for t in 0..hot.stats_tables() {
+            if let Some(stats) = hot.table_stats(t) {
+                let (hits, misses) = stats.get();
+                tel.registry
+                    .gauge(&format!("hot_row_cache_hits_t{t}"))
+                    .set(i64::try_from(hits).unwrap_or(i64::MAX));
+                tel.registry
+                    .gauge(&format!("hot_row_cache_misses_t{t}"))
+                    .set(i64::try_from(misses).unwrap_or(i64::MAX));
+            }
+        }
     }
 
     /// Requests fully served so far.
@@ -374,6 +444,10 @@ impl ServingRuntime {
             }
             Err(TrySendError::Full(_)) => {
                 self.dropped.fetch_add(1, Ordering::Relaxed);
+                if let Some(tel) = &self.telemetry {
+                    tel.requests_shed.inc();
+                    tel.trace.push(TraceKind::Shed, worker as u64, 0);
+                }
                 SubmitOutcome::Shed
             }
             Err(TrySendError::Disconnected(_)) => SubmitOutcome::Closed,
@@ -478,6 +552,8 @@ impl ServingRuntime {
             corrected += w.lora_corrected_lookups;
             refreshes += w.snapshot_refreshes;
         }
+        // The final registry snapshot, after every thread folded its last values in.
+        let telemetry = self.scrape();
         let report = RuntimeReport {
             num_workers: self.cfg.num_workers,
             wall_seconds,
@@ -490,6 +566,7 @@ impl ServingRuntime {
             lora_corrected_lookups: corrected,
             snapshot_refreshes: refreshes,
             updater: updater_report,
+            telemetry,
             per_worker,
         };
         (report, node)

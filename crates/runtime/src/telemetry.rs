@@ -1,0 +1,161 @@
+//! Runtime telemetry: pre-registered metric handles over [`liveupdate_obs`].
+//!
+//! [`Telemetry`] is created once per [`ServingRuntime`](crate::runtime::ServingRuntime)
+//! (when [`RuntimeConfig::telemetry`](crate::config::RuntimeConfig::telemetry) is on)
+//! and cloned by `Arc` into every worker and the updater. All hot-path instrumentation
+//! goes through the handles below — one relaxed atomic operation per recorded value,
+//! never a registry lock — and everything is scraped through
+//! [`MetricsRegistry::snapshot`], locally via
+//! [`ServingRuntime::scrape`](crate::runtime::ServingRuntime::scrape) or remotely via
+//! the net tier's `Frame::Stats`.
+//!
+//! # Metric names
+//!
+//! The names below are the workspace-wide contract: every execution backend
+//! (analytic, sim, realtime, distributed) reports the same names in its
+//! `ScenarioReport::telemetry` section, so dashboards and tests compare like with
+//! like. Histograms flatten to `<name>_p50` / `<name>_p99` / `<name>_count` rows.
+//!
+//! | name | kind | meaning |
+//! |------|------|---------|
+//! | `serve_requests_total` | counter | requests served to completion |
+//! | `serve_requests_shed_total` | counter | requests shed at a full queue |
+//! | `serve_batches_total` | counter | batches closed and served |
+//! | `serve_batch_occupancy` | histogram | requests per closed batch |
+//! | `serve_latency_us` | histogram | per-request submit-to-completion latency |
+//! | `serve_batch_duration_us` | histogram | per-batch serve call duration |
+//! | `serve_queue_depth` | gauge | submitted minus completed (sampled at scrape) |
+//! | `update_rounds_total` | counter | update rounds run by the updater |
+//! | `update_round_duration_us` | histogram | duration of each update block |
+//! | `publications_total` | counter | epoch-swap publications |
+//! | `snapshot_epoch` | gauge | most recently published epoch |
+//! | `epoch_age_us` | gauge | age of the published snapshot (set at scrape) |
+//! | `publish_to_first_serve_us` | histogram | publication-to-adoption lag per worker |
+//! | `requests_per_epoch` | histogram | requests a worker served from one epoch |
+//! | `hot_row_cache_hits_t<i>` | gauge | cumulative cache hits, table `i` (scrape) |
+//! | `hot_row_cache_misses_t<i>` | gauge | cumulative cache misses, table `i` (scrape) |
+//!
+//! The net tier adds `net_*` series (wakeups, ready events, owed replies, open
+//! connections, handler backlog) through the same registry; see
+//! `liveupdate_net::server`.
+
+use liveupdate_obs::{Counter, Gauge, LogLinearHistogram, MetricsRegistry, TraceRing};
+use std::sync::Arc;
+
+/// Default trace-ring capacity: enough for minutes of update/publication/batch events
+/// at realistic rates without growing unbounded.
+pub const TRACE_CAPACITY: usize = 4096;
+
+/// Pre-registered metric handles shared by every thread of one runtime.
+#[derive(Debug)]
+pub struct Telemetry {
+    /// The backing registry (for scrapes, text exposition, and net-tier extensions).
+    pub registry: Arc<MetricsRegistry>,
+    /// The trace ring (update rounds, publications, batch closes, sheds).
+    pub trace: Arc<TraceRing>,
+    /// `serve_requests_total`.
+    pub requests_total: Arc<Counter>,
+    /// `serve_requests_shed_total`.
+    pub requests_shed: Arc<Counter>,
+    /// `serve_batches_total`.
+    pub batches_total: Arc<Counter>,
+    /// `serve_batch_occupancy`.
+    pub batch_occupancy: Arc<LogLinearHistogram>,
+    /// `serve_latency_us`.
+    pub serve_latency_us: Arc<LogLinearHistogram>,
+    /// `serve_batch_duration_us`.
+    pub serve_batch_us: Arc<LogLinearHistogram>,
+    /// `serve_queue_depth` (sampled at scrape time from the submit/complete counters).
+    pub queue_depth: Arc<Gauge>,
+    /// `update_rounds_total`.
+    pub update_rounds: Arc<Counter>,
+    /// `update_round_duration_us`.
+    pub update_round_us: Arc<LogLinearHistogram>,
+    /// `publications_total`.
+    pub publications: Arc<Counter>,
+    /// `snapshot_epoch`.
+    pub snapshot_epoch: Arc<Gauge>,
+    /// `epoch_age_us` (set at scrape time from the publisher's publish stamp).
+    pub epoch_age_us: Arc<Gauge>,
+    /// `publish_to_first_serve_us`.
+    pub publish_to_first_serve_us: Arc<LogLinearHistogram>,
+    /// `requests_per_epoch`.
+    pub requests_per_epoch: Arc<LogLinearHistogram>,
+}
+
+impl Telemetry {
+    /// Build a fresh registry and register every runtime metric in it.
+    #[must_use]
+    pub fn new() -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        let trace = Arc::new(TraceRing::new(TRACE_CAPACITY));
+        Self {
+            requests_total: registry.counter("serve_requests_total"),
+            requests_shed: registry.counter("serve_requests_shed_total"),
+            batches_total: registry.counter("serve_batches_total"),
+            batch_occupancy: registry.histogram("serve_batch_occupancy"),
+            serve_latency_us: registry.histogram("serve_latency_us"),
+            serve_batch_us: registry.histogram("serve_batch_duration_us"),
+            queue_depth: registry.gauge("serve_queue_depth"),
+            update_rounds: registry.counter("update_rounds_total"),
+            update_round_us: registry.histogram("update_round_duration_us"),
+            publications: registry.counter("publications_total"),
+            snapshot_epoch: registry.gauge("snapshot_epoch"),
+            epoch_age_us: registry.gauge("epoch_age_us"),
+            publish_to_first_serve_us: registry.histogram("publish_to_first_serve_us"),
+            requests_per_epoch: registry.histogram("requests_per_epoch"),
+            registry,
+            trace,
+        }
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contract_names_are_registered() {
+        let tel = Telemetry::new();
+        let rows = tel.registry.snapshot();
+        let names: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
+        for expected in [
+            "serve_requests_total",
+            "serve_requests_shed_total",
+            "serve_batches_total",
+            "serve_batch_occupancy_p99",
+            "serve_latency_us_p50",
+            "serve_latency_us_p99",
+            "serve_batch_duration_us_count",
+            "serve_queue_depth",
+            "update_rounds_total",
+            "update_round_duration_us_p99",
+            "publications_total",
+            "snapshot_epoch",
+            "epoch_age_us",
+            "publish_to_first_serve_us_p99",
+            "requests_per_epoch_p50",
+        ] {
+            assert!(names.contains(&expected), "missing metric {expected}: {names:?}");
+        }
+    }
+
+    #[test]
+    fn handles_feed_the_registry() {
+        let tel = Telemetry::new();
+        tel.requests_total.add(10);
+        tel.serve_latency_us.record(125.0);
+        tel.snapshot_epoch.set(7);
+        let rows: std::collections::BTreeMap<String, f64> =
+            tel.registry.snapshot().into_iter().collect();
+        assert_eq!(rows["serve_requests_total"], 10.0);
+        assert_eq!(rows["serve_latency_us_count"], 1.0);
+        assert_eq!(rows["snapshot_epoch"], 7.0);
+    }
+}

@@ -20,9 +20,11 @@
 use crate::epoch::EpochPublisher;
 use crate::policy::UpdatePolicy;
 use crate::report::UpdaterReport;
+use crate::telemetry::Telemetry;
 use liveupdate::engine::ServingNode;
 use liveupdate::snapshot::ServingSnapshot;
 use liveupdate_dlrm::sample::MiniBatch;
+use liveupdate_obs::TraceKind;
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -62,17 +64,29 @@ pub(crate) struct UpdaterParams {
     pub policy: Option<Box<dyn UpdatePolicy>>,
 }
 
-/// Publish a fresh snapshot of `node` and record it in the report's history.
+/// Publish a fresh snapshot of `node` and record it in the report's history. With
+/// telemetry on, the outgoing snapshot's hot-row-cache tallies are carried into the
+/// fresh one first (so cache telemetry is cumulative across epochs), and the
+/// publication lands in the counters and the trace ring.
 fn publish_snapshot(
     node: &ServingNode,
     publisher: &Arc<EpochPublisher<ServingSnapshot>>,
     report: &mut UpdaterReport,
+    telemetry: Option<&Telemetry>,
 ) {
-    let snapshot = node.snapshot();
+    let mut snapshot = node.snapshot();
+    if telemetry.is_some() {
+        snapshot.adopt_cache_stats(&publisher.load().1);
+    }
     let checksum = snapshot.checksum();
     let epoch = publisher.publish(snapshot);
     report.publications += 1;
     report.published.push((epoch, checksum));
+    if let Some(tel) = telemetry {
+        tel.publications.inc();
+        tel.snapshot_epoch.set(i64::try_from(epoch).unwrap_or(i64::MAX));
+        tel.trace.push(TraceKind::EpochPublish, epoch, checksum);
+    }
 }
 
 /// Run the updater until every ingest/command sender is gone.
@@ -82,6 +96,7 @@ pub(crate) fn run_updater(
     publisher: &Arc<EpochPublisher<ServingSnapshot>>,
     mut params: UpdaterParams,
     initial_checksum: u64,
+    telemetry: Option<&Telemetry>,
 ) -> (UpdaterReport, ServingNode) {
     let mut report = UpdaterReport::default();
     report.published.push((0, initial_checksum));
@@ -108,7 +123,7 @@ pub(crate) fn run_updater(
             Ok(UpdaterMsg::Command(command)) => {
                 (command.run)(&mut node);
                 if command.publish {
-                    publish_snapshot(&node, publisher, &mut report);
+                    publish_snapshot(&node, publisher, &mut report, telemetry);
                 }
                 (command.done)();
             }
@@ -122,11 +137,15 @@ pub(crate) fn run_updater(
                 report.update_rounds += tick.rounds;
                 report.params_pulled += tick.params_pulled;
                 if tick.publish {
-                    publish_snapshot(&node, publisher, &mut report);
+                    publish_snapshot(&node, publisher, &mut report, telemetry);
                 }
-                report
-                    .round_times_ms
-                    .push(round_started.elapsed().as_secs_f64() * 1e3);
+                let round_ms = round_started.elapsed().as_secs_f64() * 1e3;
+                report.round_times_ms.push(round_ms);
+                if let Some(tel) = telemetry {
+                    tel.update_rounds.add(tick.rounds);
+                    tel.update_round_us.record(round_ms * 1e3);
+                    tel.trace.push(TraceKind::UpdateRound, tick.rounds, (round_ms * 1e3) as u64);
+                }
                 last_update = Instant::now();
             }
         }
@@ -144,7 +163,7 @@ pub(crate) fn run_updater(
             UpdaterMsg::Command(command) => {
                 (command.run)(&mut node);
                 if command.publish {
-                    publish_snapshot(&node, publisher, &mut report);
+                    publish_snapshot(&node, publisher, &mut report, telemetry);
                 }
                 (command.done)();
             }

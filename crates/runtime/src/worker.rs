@@ -5,16 +5,20 @@
 //! serve the batch read-only, record per-request latencies, and hand the served traffic
 //! to the updater over the ingest channel. The worker never takes a lock that the
 //! trainer holds — snapshot adoption is the epoch swap's `Arc` clone, and everything
-//! else is thread-local.
+//! else is thread-local. Telemetry follows the same discipline: every instrumented
+//! point is a relaxed atomic op on a pre-registered handle, and a runtime started with
+//! `telemetry: false` skips even those behind one predictable branch.
 
 use crate::batcher::{next_batch, BatcherConfig};
 use crate::epoch::{EpochPublisher, EpochReader};
 use crate::report::{UpdaterReport, WorkerReport};
 use crate::request::{ReplyTo, Request};
+use crate::telemetry::Telemetry;
 use crate::updater::{IngestBatch, UpdaterMsg};
 use liveupdate::engine::ServingNode;
 use liveupdate::snapshot::ServingSnapshot;
 use liveupdate_dlrm::sample::MiniBatch;
+use liveupdate_obs::TraceKind;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
@@ -44,13 +48,17 @@ fn serve_and_record(
     submitted: &[Instant],
     replies: Vec<Option<ReplyTo>>,
     report: &mut WorkerReport,
+    telemetry: Option<&Telemetry>,
 ) {
     let (serve, predictions) = snapshot.serve_batch_with_predictions(mini_batch);
     let completion = Instant::now();
     for &instant in submitted {
-        report
-            .latency
-            .record(completion.saturating_duration_since(instant).as_secs_f64() * 1e3);
+        let ms = completion.saturating_duration_since(instant).as_secs_f64() * 1e3;
+        report.latency.record(ms);
+        if let Some(tel) = telemetry {
+            // The per-request hot-path cost of live telemetry: one relaxed increment.
+            tel.serve_latency_us.record(ms * 1e3);
+        }
     }
     for (reply, &prediction) in replies.into_iter().zip(&predictions) {
         if let Some(reply) = reply {
@@ -63,6 +71,48 @@ fn serve_and_record(
     report.prediction_sum += serve.mean_prediction * serve.requests as f64;
 }
 
+/// Per-worker freshness accounting: requests served from the current epoch, and the
+/// histograms they feed when the epoch moves.
+struct EpochTally {
+    requests_this_epoch: u64,
+}
+
+impl EpochTally {
+    fn new() -> Self {
+        Self { requests_this_epoch: 0 }
+    }
+
+    /// Call right after `reader.refresh()`: when a new snapshot was adopted, record
+    /// the publication-to-first-serve lag and close out the previous epoch's request
+    /// count.
+    fn on_refresh(&mut self, adopted: bool, reader: &EpochReader<ServingSnapshot>, tel: &Telemetry) {
+        if !adopted {
+            return;
+        }
+        tel.publish_to_first_serve_us.record(reader.publish_age_us() as f64);
+        if self.requests_this_epoch > 0 {
+            tel.requests_per_epoch.record(self.requests_this_epoch as f64);
+        }
+        self.requests_this_epoch = 0;
+    }
+
+    /// Flush the final epoch's request count at worker exit.
+    fn finish(&mut self, tel: &Telemetry) {
+        if self.requests_this_epoch > 0 {
+            tel.requests_per_epoch.record(self.requests_this_epoch as f64);
+        }
+    }
+}
+
+/// Record the per-batch serve metrics (occupancy, duration, counters, trace event).
+fn record_batch(tel: &Telemetry, n: usize, serve_us: u64) {
+    tel.batches_total.inc();
+    tel.requests_total.add(n as u64);
+    tel.batch_occupancy.record(n as f64);
+    tel.serve_batch_us.record(serve_us as f64);
+    tel.trace.push(TraceKind::BatchClose, n as u64, serve_us);
+}
+
 /// The standard worker loop (Background / Disabled update modes): serve from the
 /// published snapshot, forward served traffic to the updater. Runs until the request
 /// channel is disconnected and drained.
@@ -72,12 +122,24 @@ pub(crate) fn run_worker(
     mut reader: EpochReader<ServingSnapshot>,
     ingest_tx: &Sender<UpdaterMsg>,
     processed: &AtomicU64,
+    telemetry: Option<&Telemetry>,
 ) -> WorkerReport {
     let mut report = WorkerReport::default();
+    let mut tally = EpochTally::new();
     while let Some(batch) = next_batch(rx, batcher) {
-        reader.refresh();
+        let adopted = reader.refresh();
+        if let Some(tel) = telemetry {
+            tally.on_refresh(adopted, &reader, tel);
+        }
         let (submitted, replies, time_minutes, mini_batch) = unpack(batch);
-        serve_and_record(reader.get(), &mini_batch, &submitted, replies, &mut report);
+        let n = mini_batch.len();
+        let serve_started = Instant::now();
+        serve_and_record(reader.get(), &mini_batch, &submitted, replies, &mut report, telemetry);
+        if let Some(tel) = telemetry {
+            let serve_us = u64::try_from(serve_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            record_batch(tel, n, serve_us);
+            tally.requests_this_epoch += n as u64;
+        }
         // The updater owns the mutable node; served traffic reaches its retention
         // buffer through this channel. If the updater is gone the run is shutting
         // down — serving continues, ingestion is simply dropped.
@@ -86,6 +148,9 @@ pub(crate) fn run_worker(
             batch: mini_batch,
         }));
         processed.fetch_add(submitted.len() as u64, Ordering::Release);
+    }
+    if let Some(tel) = telemetry {
+        tally.finish(tel);
     }
     report.snapshot_refreshes = reader.refreshes();
     report.last_epoch = reader.epoch();
@@ -106,15 +171,27 @@ pub(crate) fn run_sync_worker(
     rounds: usize,
     batch_size: usize,
     processed: &AtomicU64,
+    telemetry: Option<&Telemetry>,
 ) -> (WorkerReport, UpdaterReport, ServingNode) {
     let mut report = WorkerReport::default();
     let mut updater = UpdaterReport::default();
     let mut reader = publisher.reader();
+    let mut tally = EpochTally::new();
     let mut batches_since_update = 0usize;
     while let Some(batch) = next_batch(rx, batcher) {
-        reader.refresh();
+        let adopted = reader.refresh();
+        if let Some(tel) = telemetry {
+            tally.on_refresh(adopted, &reader, tel);
+        }
         let (submitted, replies, time_minutes, mini_batch) = unpack(batch);
-        serve_and_record(reader.get(), &mini_batch, &submitted, replies, &mut report);
+        let n = mini_batch.len();
+        let serve_started = Instant::now();
+        serve_and_record(reader.get(), &mini_batch, &submitted, replies, &mut report, telemetry);
+        if let Some(tel) = telemetry {
+            let serve_us = u64::try_from(serve_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            record_batch(tel, n, serve_us);
+            tally.requests_this_epoch += n as u64;
+        }
 
         node.ingest_batch(time_minutes, &mini_batch);
         updater.ingested_batches += 1;
@@ -128,16 +205,30 @@ pub(crate) fn run_sync_worker(
                 node.online_update_round(time_minutes, batch_size);
                 updater.update_rounds += 1;
             }
-            let snapshot = node.snapshot();
+            let mut snapshot = node.snapshot();
+            if telemetry.is_some() {
+                snapshot.adopt_cache_stats(&publisher.load().1);
+            }
             let checksum = snapshot.checksum();
             let epoch = publisher.publish(snapshot);
             updater.publications += 1;
             updater.published.push((epoch, checksum));
-            updater
-                .round_times_ms
-                .push(round_started.elapsed().as_secs_f64() * 1e3);
+            let round_ms = round_started.elapsed().as_secs_f64() * 1e3;
+            updater.round_times_ms.push(round_ms);
+            if let Some(tel) = telemetry {
+                let round_us = (round_ms * 1e3) as u64;
+                tel.update_rounds.add(rounds as u64);
+                tel.update_round_us.record(round_ms * 1e3);
+                tel.publications.inc();
+                tel.snapshot_epoch.set(i64::try_from(epoch).unwrap_or(i64::MAX));
+                tel.trace.push(TraceKind::UpdateRound, rounds as u64, round_us);
+                tel.trace.push(TraceKind::EpochPublish, epoch, checksum);
+            }
         }
         processed.fetch_add(submitted.len() as u64, Ordering::Release);
+    }
+    if let Some(tel) = telemetry {
+        tally.finish(tel);
     }
     report.snapshot_refreshes = reader.refreshes();
     report.last_epoch = reader.epoch();

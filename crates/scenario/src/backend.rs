@@ -124,6 +124,7 @@ impl ExecutionBackend for AnalyticBackend {
             (fraction * base_bytes as f64) as u64
         });
         report.timeline = result.timeline;
+        report.synthesize_telemetry();
         Ok(report)
     }
 }
@@ -183,6 +184,7 @@ impl ExecutionBackend for SimBackend {
             report.sync_provenance = SyncProvenance::AnalyticModel;
             report.timeline = result.timeline;
         }
+        report.synthesize_telemetry();
         Ok(report)
     }
 }
@@ -282,6 +284,9 @@ impl ExecutionBackend for RealtimeBackend {
         } else {
             None
         };
+        // A real scrape, not a synthesis: the runtime's registry snapshot taken at
+        // `finish()` after every thread folded in its final values.
+        report.telemetry = run_report.telemetry;
         Ok(report)
     }
 }
@@ -311,6 +316,17 @@ mod tests {
         assert_eq!(r.sync_bytes, 0, "LiveUpdate ships no parameters");
         assert!(r.lora_memory_bytes.unwrap() > 0);
         assert_eq!(r.requests_served, 2 * 96);
+        // Synthesized telemetry answers the shared contract names.
+        let get = |name: &str| {
+            r.telemetry
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("{name} missing: {:?}", r.telemetry))
+                .1
+        };
+        assert_eq!(get("serve_requests_total"), (2 * 96) as f64);
+        assert_eq!(get("update_rounds_total"), r.update_events as f64);
+        assert_eq!(get("serve_requests_shed_total"), 0.0);
     }
 
     #[test]
@@ -322,6 +338,11 @@ mod tests {
         assert_eq!(r.sync_bytes, 0, "LiveUpdate ships no parameters");
         assert!(r.lora_sync_bytes > 0, "sim measures the AllGather LoRA traffic");
         assert_eq!(r.sync_provenance, SyncProvenance::SimulatedFabric);
+        assert!(
+            r.telemetry.iter().any(|(n, v)| n == "publications_total" && *v > 0.0),
+            "sim synthesizes the shared telemetry names: {:?}",
+            r.telemetry
+        );
     }
 
     #[test]

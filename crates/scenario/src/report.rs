@@ -116,6 +116,13 @@ pub struct ScenarioReport {
     pub publication_history: Vec<(u64, u64)>,
     /// Final LoRA adapter memory in bytes (local-training strategies only).
     pub lora_memory_bytes: Option<u64>,
+    /// Flattened telemetry rows `(name, value)`, sorted by name, using the shared
+    /// metric-name contract (`serve_requests_total`, `publications_total`,
+    /// `serve_latency_us_p99`, …). Realtime and distributed backends scrape them
+    /// from the live registry; analytic and sim synthesize the same names from
+    /// their own accounting so dashboards read one schema across all four engines.
+    #[serde(default)]
+    pub telemetry: Vec<(String, f64)>,
 }
 
 impl ScenarioReport {
@@ -143,7 +150,29 @@ impl ScenarioReport {
             sync_provenance: SyncProvenance::AnalyticModel,
             publication_history: Vec::new(),
             lora_memory_bytes: None,
+            telemetry: Vec::new(),
         }
+    }
+
+    /// Synthesize the shared-contract telemetry rows from the report's own counters.
+    /// Backends without a live registry (analytic, sim) call this so every backend's
+    /// report answers the same metric names; registry-backed backends overwrite the
+    /// rows with a real scrape instead.
+    pub fn synthesize_telemetry(&mut self) {
+        let mut rows = vec![
+            ("publications_total".to_string(), self.publications as f64),
+            ("serve_requests_shed_total".to_string(), self.dropped as f64),
+            ("serve_requests_total".to_string(), self.requests_served as f64),
+            ("update_rounds_total".to_string(), self.update_events as f64),
+        ];
+        if let Some(p50) = self.p50_latency_ms {
+            rows.push(("serve_latency_us_p50".to_string(), p50 * 1000.0));
+        }
+        if let Some(p99) = self.p99_latency_ms {
+            rows.push(("serve_latency_us_p99".to_string(), p99 * 1000.0));
+        }
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        self.telemetry = rows;
     }
 
     /// One human-readable summary row (used by `examples/scenario_compare.rs`).

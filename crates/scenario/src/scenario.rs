@@ -395,6 +395,7 @@ impl Scenario {
             batch_deadline_us: self.topology.batch_deadline_us,
             routing: self.topology.routing,
             update,
+            telemetry: true,
         }
     }
 

@@ -58,6 +58,7 @@ fn run_arm(label: &str, update: UpdateMode, workers: usize, qps: f64, seconds: f
             // numbers of earlier PRs were measured under.
             routing: liveupdate_repro::workload::shard::ShardPolicy::RoundRobin,
             update,
+            telemetry: true,
         },
     );
     let loadgen = LoadGenConfig {

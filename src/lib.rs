@@ -17,6 +17,9 @@
 //! * [`net`] — distributed serving over TCP: the length-prefixed wire protocol,
 //!   socket-based sparse LoRA sync, and the fourth execution backend with
 //!   wire-measured sync bytes.
+//! * [`obs`] — dependency-free telemetry: the sharded lock-free metrics registry,
+//!   log-linear latency histograms, the trace ring buffer, and the Prometheus-style
+//!   text renderer behind `Frame::Stats` and every report's `telemetry` rows.
 //!
 //! # Quickstart
 //!
@@ -31,6 +34,7 @@ pub use liveupdate as core;
 pub use liveupdate_dlrm as dlrm;
 pub use liveupdate_linalg as linalg;
 pub use liveupdate_net as net;
+pub use liveupdate_obs as obs;
 pub use liveupdate_runtime as runtime;
 pub use liveupdate_scenario as scenario;
 pub use liveupdate_sim as sim;

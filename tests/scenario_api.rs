@@ -158,6 +158,16 @@ fn one_scenario_runs_unmodified_on_all_three_backends() {
             "{} reported no accuracy",
             backend.name()
         );
+        // The shared metric-name contract: every backend's report answers the same
+        // telemetry names, whether scraped from a live registry or synthesized.
+        for name in ["serve_requests_total", "update_rounds_total", "publications_total"] {
+            assert!(
+                report.telemetry.iter().any(|(n, _)| n == name),
+                "{} missing telemetry row {name}: {:?}",
+                backend.name(),
+                report.telemetry
+            );
+        }
     }
 }
 
