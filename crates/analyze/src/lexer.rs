@@ -1,0 +1,509 @@
+//! A hand-rolled Rust lexer: just enough token structure for the invariant passes.
+//!
+//! The passes need to answer questions like "is this `unsafe` a keyword or part of a
+//! string?" and "which comment sits on the line above this atomic?". That requires a
+//! lexer that gets the hard token boundaries right — nested block comments, raw strings
+//! with arbitrary hash fences, byte/char literals, and the lifetime-vs-char-literal
+//! ambiguity — but it does **not** require a parser: no precedence, no AST, no spans
+//! beyond line numbers. Everything else (numbers, multi-character operators) is lexed
+//! loosely; the passes match token *sequences*, so `::` arriving as two `:` puncts is
+//! fine.
+//!
+//! The lexer never fails: malformed input (unterminated string, stray byte) degrades to
+//! best-effort tokens so a half-edited file still produces findings instead of a crash.
+
+/// What a token is. Text-carrying variants keep the source slice (comments keep their
+/// delimiters; strings keep only the *content*, so `"unsafe"` can never look like a
+/// keyword to a pass).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe`, `fn`, `Ordering`, ...).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — distinguished from char literals.
+    Lifetime,
+    /// A numeric literal, lexed loosely (suffixes and `0x`/`.`/`e` runs included).
+    Number,
+    /// A string-ish literal: `"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `'c'`, `b'c'`.
+    /// `text` holds the unescaped-as-written content between the delimiters.
+    StrLit,
+    /// A `//` line comment (text includes the `//`; doc `///` and `//!` included).
+    LineComment,
+    /// A `/* … */` block comment, nested fences handled (text includes delimiters).
+    BlockComment,
+    /// Any single punctuation byte (`{`, `:`, `.`, `#`, ...).
+    Punct(char),
+}
+
+/// One lexed token with its 1-based source line (the line it *starts* on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// True for an identifier with exactly this text.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True for this punctuation character.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// True for either comment kind.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied();
+        if let Some(b) = b {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        b
+    }
+
+    fn take_while(&mut self, f: impl Fn(u8) -> bool) {
+        while self.peek(0).is_some_and(&f) {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lex `src` into a token stream. Never fails; see module docs for the guarantees.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        let start = cur.pos;
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                cur.take_while(|b| b != b'\n');
+                out.push(tok(TokenKind::LineComment, src, start, cur.pos, line));
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                lex_block_comment(&mut cur);
+                out.push(tok(TokenKind::BlockComment, src, start, cur.pos, line));
+            }
+            b'"' => {
+                cur.bump();
+                let content_start = cur.pos;
+                lex_cooked_string(&mut cur, b'"');
+                let content_end = cur.pos.saturating_sub(1).max(content_start);
+                out.push(tok(
+                    TokenKind::StrLit,
+                    src,
+                    content_start,
+                    content_end,
+                    line,
+                ));
+            }
+            b'\'' => lex_quote(&mut cur, src, &mut out, line),
+            b'0'..=b'9' => {
+                // Loose number lexing: swallow suffixes and exponent/hex runs, but stop
+                // a `.` from eating a `..` range or a method call (`1.max(2)`).
+                cur.take_while(is_ident_continue);
+                while cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+                    cur.bump();
+                    cur.take_while(is_ident_continue);
+                }
+                out.push(tok(TokenKind::Number, src, start, cur.pos, line));
+            }
+            b if is_ident_start(b) => {
+                cur.take_while(is_ident_continue);
+                let text = &src[start..cur.pos];
+                if is_literal_prefix(text, &cur) {
+                    // `r"…"`, `r#"…"#`, `br#"…"#`, `b"…"`, `b'…'`: the identifier was
+                    // actually a literal prefix; lex the literal body from here.
+                    lex_prefixed_literal(&mut cur, src, &mut out, text, line);
+                } else {
+                    out.push(tok(TokenKind::Ident, src, start, cur.pos, line));
+                }
+            }
+            _ => {
+                cur.bump();
+                out.push(Token {
+                    kind: TokenKind::Punct(b as char),
+                    text: (b as char).to_string(),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn tok(kind: TokenKind, src: &str, start: usize, end: usize, line: u32) -> Token {
+    // Slice at the byte level and convert lossily: the never-fail guarantee must hold
+    // even if a boundary lands mid-way through a multi-byte char in malformed input.
+    let text = String::from_utf8_lossy(&src.as_bytes()[start..end]).into_owned();
+    Token { kind, text, line }
+}
+
+/// After lexing an identifier, decide whether it is actually the prefix of a string
+/// literal (`r`, `b`, `br`) whose body starts at the cursor.
+fn is_literal_prefix(ident: &str, cur: &Cursor<'_>) -> bool {
+    let next = cur.peek(0);
+    match ident {
+        "r" | "br" => matches!(next, Some(b'"') | Some(b'#')),
+        "b" => matches!(next, Some(b'"') | Some(b'\'')),
+        _ => false,
+    }
+}
+
+fn lex_prefixed_literal(
+    cur: &mut Cursor<'_>,
+    src: &str,
+    out: &mut Vec<Token>,
+    prefix: &str,
+    line: u32,
+) {
+    match (prefix, cur.peek(0)) {
+        ("b", Some(b'\'')) => {
+            cur.bump();
+            let start = cur.pos;
+            lex_cooked_string(cur, b'\'');
+            let end = cur.pos.saturating_sub(1).max(start);
+            out.push(tok(TokenKind::StrLit, src, start, end, line));
+        }
+        ("b", Some(b'"')) => {
+            cur.bump();
+            let start = cur.pos;
+            lex_cooked_string(cur, b'"');
+            let end = cur.pos.saturating_sub(1).max(start);
+            out.push(tok(TokenKind::StrLit, src, start, end, line));
+        }
+        (_, _) => {
+            // Raw string (`r`/`br`): count the hash fence, then scan for `"` + fence.
+            let mut hashes = 0usize;
+            while cur.peek(0) == Some(b'#') {
+                hashes += 1;
+                cur.bump();
+            }
+            if cur.peek(0) != Some(b'"') {
+                // `r#foo` is a raw identifier, not a string: emit the hashes we ate as
+                // puncts and the identifier; the passes treat `r#ident` as `ident`.
+                for _ in 0..hashes {
+                    out.push(Token {
+                        kind: TokenKind::Punct('#'),
+                        text: "#".into(),
+                        line,
+                    });
+                }
+                let start = cur.pos;
+                cur.take_while(is_ident_continue);
+                if cur.pos > start {
+                    out.push(tok(TokenKind::Ident, src, start, cur.pos, line));
+                }
+                return;
+            }
+            cur.bump(); // opening quote
+            let start = cur.pos;
+            let mut content_end = cur.pos;
+            'scan: while let Some(b) = cur.bump() {
+                if b == b'"' {
+                    // A candidate close: need `hashes` hashes right here.
+                    let mut seen = 0usize;
+                    while seen < hashes && cur.peek(0) == Some(b'#') {
+                        cur.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break 'scan;
+                    }
+                }
+                content_end = cur.pos;
+            }
+            out.push(tok(TokenKind::StrLit, src, start, content_end, line));
+        }
+    }
+}
+
+/// Consume a (possibly nested) block comment; the cursor starts at the opening `/`.
+fn lex_block_comment(cur: &mut Cursor<'_>) {
+    cur.bump(); // '/'
+    cur.bump(); // '*'
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some(b'*'), Some(b'/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break, // unterminated: swallow to EOF
+        }
+    }
+}
+
+/// Consume a cooked (escape-processing) literal body up to the unescaped `close` quote.
+/// The cursor starts just after the opening quote and ends just after the closing one.
+fn lex_cooked_string(cur: &mut Cursor<'_>, close: u8) {
+    while let Some(b) = cur.bump() {
+        if b == b'\\' {
+            cur.bump(); // the escaped byte (covers `\"`, `\'`, `\\`, `\n`, `\u{…}` head)
+        } else if b == close {
+            return;
+        }
+    }
+}
+
+/// A `'`: lifetime or char literal. `'a'` is a char, `'a` (no closing quote after one
+/// identifier) is a lifetime, `'\n'` is a char, `'static` is a lifetime.
+fn lex_quote(cur: &mut Cursor<'_>, src: &str, out: &mut Vec<Token>, line: u32) {
+    let start = cur.pos;
+    cur.bump(); // the opening `'`
+    match cur.peek(0) {
+        Some(b'\\') => {
+            // Escape: definitely a char literal.
+            let content_start = cur.pos;
+            lex_cooked_string(cur, b'\'');
+            let end = cur.pos.saturating_sub(1).max(content_start);
+            out.push(tok(TokenKind::StrLit, src, content_start, end, line));
+        }
+        Some(b) if is_ident_start(b) => {
+            if cur.peek(1) == Some(b'\'') {
+                // 'x' — single identifier char then a close quote.
+                let content_start = cur.pos;
+                cur.bump();
+                cur.bump();
+                out.push(tok(
+                    TokenKind::StrLit,
+                    src,
+                    content_start,
+                    content_start + 1,
+                    line,
+                ));
+            } else {
+                // 'ident — a lifetime.
+                cur.take_while(is_ident_continue);
+                out.push(tok(TokenKind::Lifetime, src, start, cur.pos, line));
+            }
+        }
+        Some(b'\'') => {
+            // `''` — malformed; eat both quotes and move on.
+            cur.bump();
+            out.push(tok(TokenKind::StrLit, src, cur.pos, cur.pos, line));
+        }
+        Some(_) => {
+            // Non-identifier char literal: '+', ' ', '0', 'µ' (multi-byte code points
+            // included: swallow the UTF-8 continuation bytes of the first char).
+            let content_start = cur.pos;
+            cur.bump();
+            cur.take_while(|b| b & 0xC0 == 0x80);
+            let content_end = cur.pos;
+            if cur.peek(0) == Some(b'\'') {
+                cur.bump();
+            }
+            out.push(tok(
+                TokenKind::StrLit,
+                src,
+                content_start,
+                content_end,
+                line,
+            ));
+        }
+        None => {
+            out.push(Token {
+                kind: TokenKind::Punct('\''),
+                text: "'".into(),
+                line,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let toks = lex("a /* outer /* inner */ still comment */ b");
+        assert_eq!(toks.len(), 3);
+        assert!(toks[0].is_ident("a"));
+        assert_eq!(toks[1].kind, TokenKind::BlockComment);
+        assert!(toks[1].text.contains("inner"));
+        assert!(toks[2].is_ident("b"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_hide_their_content() {
+        let toks = lex(r###"let s = r##"unsafe { "quoted" }"## ;"###);
+        let strs: Vec<&Token> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::StrLit)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, r#"unsafe { "quoted" }"#);
+        // The `unsafe` inside the raw string must NOT surface as an identifier.
+        assert!(!idents(r###"r##"unsafe"##"###).contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'static str { 'q' ; x }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static"]);
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::StrLit)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, ["q"]);
+    }
+
+    #[test]
+    fn escaped_char_literals_and_quotes() {
+        let toks = lex(r#"let c = '\''; let n = '\n'; let s = "a \" b";"#);
+        let lits: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::StrLit)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, [r"\'", r"\n", r#"a \" b"#]);
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_is_not_an_ident() {
+        let src = r#"
+            // this comment says unsafe
+            /* so does unsafe this one */
+            let a = "unsafe";
+            let b = 'u';
+        "#;
+        assert!(!idents(src).contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = lex(r##"let a = b"bytes"; let c = b'x'; let r = br#"raw"#;"##);
+        let lits: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::StrLit)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(lits.contains(&"bytes"));
+        assert!(lits.contains(&"x"));
+        assert!(lits.contains(&"raw"));
+        // The `b`/`br` prefixes never surface as identifiers.
+        assert!(!idents(r#"b"s" br"t""#)
+            .iter()
+            .any(|i| i == "b" || i == "br"));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_accurate() {
+        let toks = lex("a\nb\n\n  c /* x\ny */ d");
+        let find = |name: &str| toks.iter().find(|t| t.is_ident(name)).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 2);
+        assert_eq!(find("c"), 4);
+        assert_eq!(find("d"), 5, "the block comment spans a newline");
+    }
+
+    #[test]
+    fn raw_identifiers_surface_as_plain_identifiers() {
+        assert!(idents("let r#type = 1;").contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_method_calls() {
+        let k = kinds("1..2");
+        assert_eq!(
+            k,
+            [
+                TokenKind::Number,
+                TokenKind::Punct('.'),
+                TokenKind::Punct('.'),
+                TokenKind::Number
+            ]
+        );
+        assert!(idents("1.0_f64.max(2.0)").contains(&"max".to_string()));
+    }
+
+    #[test]
+    fn multibyte_char_literals_do_not_panic() {
+        let toks = lex("let c = 'µ'; let d = '→'; x");
+        let lits: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::StrLit)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, ["µ", "→"]);
+        assert!(
+            toks.last().unwrap().is_ident("x"),
+            "lexing continues past the literal"
+        );
+    }
+
+    #[test]
+    fn unterminated_tokens_do_not_panic() {
+        let _ = lex("let s = \"unterminated");
+        let _ = lex("/* unterminated");
+        let _ = lex("let c = '");
+        let _ = lex("r#\"unterminated raw");
+    }
+}

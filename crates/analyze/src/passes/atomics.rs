@@ -1,0 +1,84 @@
+//! Pass 2 — the atomic-ordering audit.
+//!
+//! Two rules, plus a census:
+//!
+//! 1. **`Ordering::SeqCst` anywhere** requires an adjacent `// ORDERING:` comment. The
+//!    workspace deliberately has none today: sequential consistency in lock-free code
+//!    is usually a sign the author stopped reasoning, and it costs a full fence on the
+//!    hot path. If one ever becomes necessary, the justification documents why the
+//!    cheaper orderings are insufficient.
+//! 2. **`Acquire` / `Release` / `AcqRel` on the publication path** — the files that
+//!    implement the epoch-swap protocol the paper's near-zero-overhead claim rests on
+//!    ([`PUBLICATION_PATH`]) — require an adjacent `// ORDERING:` comment naming the
+//!    happens-before edge the ordering establishes. `Relaxed` is exempt everywhere:
+//!    it asserts *no* edge, so there is nothing to justify.
+//!
+//! The census (crate → variant → count) goes into the report so reviews can diff the
+//! workspace's ordering profile: a new `AcqRel` in a crate that had none is exactly the
+//! kind of change that should be visible at review time.
+
+use crate::{seq_matches, Finding, Report, SeqPat, Workspace};
+
+pub(crate) const PASS: &str = "atomic-ordering";
+
+/// The justification marker an audited ordering needs adjacent to it.
+pub const MARKER: &str = "ORDERING:";
+
+/// Files implementing epoch-swap publication: every non-relaxed ordering here is part
+/// of the protocol's correctness argument and must say which edge it establishes.
+pub const PUBLICATION_PATH: &[&str] = &[
+    "crates/runtime/src/epoch.rs",
+    "crates/liveupdate/src/snapshot.rs",
+];
+
+const VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+pub(crate) fn run(ws: &Workspace, report: &mut Report) {
+    for file in &ws.files {
+        let on_publication_path = PUBLICATION_PATH.iter().any(|p| file.path_ends_with(p));
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if !toks[i].is_ident("Ordering") {
+                continue;
+            }
+            let Some(variant) = VARIANTS.iter().find(|v| {
+                seq_matches(
+                    &toks[i..],
+                    &[
+                        SeqPat::Ident("Ordering"),
+                        SeqPat::Punct(':'),
+                        SeqPat::Punct(':'),
+                        SeqPat::Ident(v),
+                    ],
+                )
+            }) else {
+                // `std::cmp::Ordering::Less` and bare `Ordering` imports fall through.
+                continue;
+            };
+            let line = toks[i + 3].line;
+            *report
+                .ordering_census
+                .entry(file.crate_name().to_string())
+                .or_default()
+                .entry((*variant).to_string())
+                .or_insert(0) += 1;
+            let needs_justification = *variant == "SeqCst"
+                || (on_publication_path && matches!(*variant, "Acquire" | "Release" | "AcqRel"));
+            if needs_justification && !file.has_adjacent_justification(line, MARKER) {
+                let why = if *variant == "SeqCst" {
+                    "SeqCst costs a full fence; justify why weaker orderings are insufficient"
+                } else {
+                    "publication-path ordering must name the happens-before edge it establishes"
+                };
+                report.findings.push(Finding {
+                    pass: PASS,
+                    path: file.path.clone(),
+                    line,
+                    message: format!(
+                        "`Ordering::{variant}` without an adjacent `// ORDERING:` comment ({why})"
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Pass 4 — the metric-name contract check.
+//!
+//! PR 8 put every execution tier under one metric-name contract, documented twice: the
+//! table in `liveupdate_runtime::telemetry`'s module docs (the programmer-facing half)
+//! and the README's Observability table (the user-facing half). Nothing enforced
+//! either. This pass cross-references three sets:
+//!
+//! * **Call sites** — every string literal passed to a registry constructor
+//!   (`.counter("…")`, `.gauge("…")`, `.histogram("…")`) in workspace sources,
+//!   including literals inside `format!` for templated families
+//!   (`hot_row_cache_hits_t{t}`).
+//! * **The telemetry-doc table** — first-column backticked names in the markdown table
+//!   inside `crates/runtime/src/telemetry.rs` doc comments.
+//! * **The README table** — first-column backticked names in the Observability
+//!   section's table.
+//!
+//! Rules: every call-site name must appear in the contract (union of both tables);
+//! every contract name must have at least one call site (no dead rows); every
+//! telemetry-doc name must also be in the README (the user-facing table is the
+//! superset — it additionally carries the net tier's names); and no table may list a
+//! name twice. Templated names are compared with `<…>`/`{…}` placeholders normalized
+//! to a `*` wildcard.
+//!
+//! The `crates/obs` sources are exempt from call-site collection: that crate *defines*
+//! the registry, and its unit tests register throwaway names.
+
+use crate::lexer::TokenKind;
+use crate::{Finding, Report, SourceFile, Workspace};
+use std::collections::BTreeMap;
+
+pub(crate) const PASS: &str = "metric-contract";
+
+/// Where the programmer-facing contract table lives.
+pub const CONTRACT_FILE: &str = "crates/runtime/src/telemetry.rs";
+
+/// Path prefix exempt from call-site collection (the registry implementation itself).
+const EXEMPT_PREFIX: &str = "crates/obs/";
+
+pub(crate) fn run(ws: &Workspace, report: &mut Report) {
+    // --- collect the two contract tables ---
+    let telemetry_names: Vec<(String, u32)> = ws
+        .files
+        .iter()
+        .find(|f| f.path_ends_with(CONTRACT_FILE))
+        .map(table_names_from_doc_comments)
+        .unwrap_or_default();
+    let readme_names: Vec<(String, u32)> = ws
+        .readme
+        .as_deref()
+        .map(observability_table_names)
+        .unwrap_or_default();
+    if telemetry_names.is_empty() && readme_names.is_empty() {
+        // Fixture workspaces exercising other passes carry no contract at all.
+        return;
+    }
+
+    check_duplicates(&telemetry_names, CONTRACT_FILE, report);
+    check_duplicates(&readme_names, "README.md", report);
+
+    // The README table is the superset: every programmer-facing name must be there.
+    for (name, line) in &telemetry_names {
+        if !readme_names.iter().any(|(r, _)| r == name) {
+            report.findings.push(Finding {
+                pass: PASS,
+                path: CONTRACT_FILE.to_string(),
+                line: *line,
+                message: format!(
+                    "metric `{name}` is in the telemetry-doc contract but missing from \
+                     the README Observability table"
+                ),
+            });
+        }
+    }
+
+    let mut contract: Vec<String> = Vec::new();
+    for (name, _) in telemetry_names.iter().chain(readme_names.iter()) {
+        if !contract.contains(name) {
+            contract.push(name.clone());
+        }
+    }
+
+    // --- collect call sites ---
+    let mut call_sites: Vec<(String, String, u32)> = Vec::new(); // (name, path, line)
+    for file in &ws.files {
+        if file.path.starts_with(EXEMPT_PREFIX) {
+            continue;
+        }
+        collect_call_sites(file, &mut call_sites);
+    }
+
+    // --- cross-reference ---
+    for (name, path, line) in &call_sites {
+        let normalized = normalize(name);
+        if !contract
+            .iter()
+            .any(|c| wildcard_eq(&normalize(c), &normalized))
+        {
+            report.findings.push(Finding {
+                pass: PASS,
+                path: path.clone(),
+                line: *line,
+                message: format!(
+                    "metric name `{name}` is registered here but absent from the \
+                     contract (telemetry docs + README Observability table) — typo, or \
+                     document it in both tables"
+                ),
+            });
+        }
+    }
+    for name in &contract {
+        let normalized = normalize(name);
+        if !call_sites
+            .iter()
+            .any(|(c, _, _)| wildcard_eq(&normalized, &normalize(c)))
+        {
+            report.findings.push(Finding {
+                pass: PASS,
+                path: "README.md".to_string(),
+                line: readme_names
+                    .iter()
+                    .chain(telemetry_names.iter())
+                    .find(|(n, _)| n == name)
+                    .map_or(1, |(_, l)| *l),
+                message: format!(
+                    "contract metric `{name}` has no registration call site anywhere — \
+                     dead contract row or renamed metric"
+                ),
+            });
+        }
+    }
+
+    report.metric_contract = contract;
+}
+
+fn check_duplicates(names: &[(String, u32)], where_: &str, report: &mut Report) {
+    let mut seen: BTreeMap<&str, u32> = BTreeMap::new();
+    for (name, line) in names {
+        if let Some(first) = seen.get(name.as_str()) {
+            report.findings.push(Finding {
+                pass: PASS,
+                path: where_.to_string(),
+                line: *line,
+                message: format!("metric `{name}` listed twice (first at line {first})"),
+            });
+        } else {
+            seen.insert(name, *line);
+        }
+    }
+}
+
+/// Backticked names in the first column of markdown table rows inside `//!` comments.
+fn table_names_from_doc_comments(file: &SourceFile) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for t in &file.tokens {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = t
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim();
+        if let Some(names) = first_cell_names(body) {
+            for n in names {
+                out.push((n, t.line));
+            }
+        }
+    }
+    out
+}
+
+/// Backticked names in the first column of the README's Observability table.
+fn observability_table_names(readme: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for (i, line) in readme.lines().enumerate() {
+        let lineno = i as u32 + 1;
+        if line.contains("**Observability**") {
+            in_section = true;
+            continue;
+        }
+        if in_section {
+            // The section ends at the next numbered architecture item or heading.
+            if line.starts_with("## ") || is_next_numbered_item(line) {
+                break;
+            }
+            if let Some(names) = first_cell_names(line.trim()) {
+                for n in names {
+                    out.push((n, lineno));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn is_next_numbered_item(line: &str) -> bool {
+    let mut chars = line.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    first.is_ascii_digit() && line.contains(". **")
+}
+
+/// For a markdown table row `| `a` / `b` | kind | … |`, the backticked names of the
+/// first cell. `None` for non-table or backtick-free lines (headers, separators).
+fn first_cell_names(line: &str) -> Option<Vec<String>> {
+    let rest = line.strip_prefix('|')?;
+    let first_cell = rest.split('|').next()?;
+    let names: Vec<String> = backticked(first_cell);
+    if names.is_empty() {
+        None
+    } else {
+        Some(names)
+    }
+}
+
+fn backticked(s: &str) -> Vec<String> {
+    // split('`') alternates outside/inside text; odd indices are inside backticks.
+    s.split('`')
+        .enumerate()
+        .filter(|(i, t)| i % 2 == 1 && !t.is_empty())
+        .map(|(_, t)| t.to_string())
+        .collect()
+}
+
+/// Find `.counter("…")` / `.gauge("…")` / `.histogram("…")` registrations; the name is
+/// the first string literal inside the call's parentheses (which also catches
+/// `.gauge(&format!("…{t}…"))`).
+fn collect_call_sites(file: &SourceFile, out: &mut Vec<(String, String, u32)>) {
+    let toks: Vec<&crate::lexer::Token> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        let is_ctor = toks[i].is_punct('.')
+            && (toks[i + 1].is_ident("counter")
+                || toks[i + 1].is_ident("gauge")
+                || toks[i + 1].is_ident("histogram"))
+            && toks[i + 2].is_punct('(');
+        if is_ctor {
+            let mut depth = 0usize;
+            for t in &toks[i + 2..] {
+                if t.is_punct('(') {
+                    depth += 1;
+                } else if t.is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.kind == TokenKind::StrLit {
+                    out.push((t.text.clone(), file.path.clone(), t.line));
+                    break;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Collapse `<…>` and `{…}` placeholder runs to `*` so `hot_row_cache_hits_t<i>`
+/// (docs) and `hot_row_cache_hits_t{t}` (format! call site) compare equal.
+fn normalize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut depth = 0usize;
+    for c in name.chars() {
+        match c {
+            '<' | '{' => {
+                if depth == 0 {
+                    out.push('*');
+                }
+                depth += 1;
+            }
+            '>' | '}' => depth = depth.saturating_sub(1),
+            c if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Equality where `*` in either side matches any run of characters in the other.
+fn wildcard_eq(a: &str, b: &str) -> bool {
+    if !a.contains('*') && !b.contains('*') {
+        return a == b;
+    }
+    // Match the starred side against the plain side; if both carry stars, require the
+    // star-free segments to agree in order (sufficient for metric-family names).
+    let (pat, s) = if a.contains('*') { (a, b) } else { (b, a) };
+    segments_match(pat, s)
+}
+
+fn segments_match(pat: &str, s: &str) -> bool {
+    let segs: Vec<&str> = pat.split('*').collect();
+    let mut pos = 0usize;
+    for (k, seg) in segs.iter().enumerate() {
+        if seg.is_empty() {
+            continue;
+        }
+        if k == 0 {
+            if !s.starts_with(seg) {
+                return false;
+            }
+            pos = seg.len();
+        } else if k == segs.len() - 1 {
+            return s.len() >= pos && s[pos..].ends_with(seg);
+        } else {
+            match s[pos..].find(seg) {
+                Some(at) => pos += at + seg.len(),
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_and_wildcards() {
+        assert_eq!(
+            normalize("hot_row_cache_hits_t<i>"),
+            "hot_row_cache_hits_t*"
+        );
+        assert_eq!(
+            normalize("hot_row_cache_hits_t{t}"),
+            "hot_row_cache_hits_t*"
+        );
+        assert!(wildcard_eq(
+            "hot_row_cache_hits_t*",
+            "hot_row_cache_hits_t*"
+        ));
+        assert!(wildcard_eq(
+            "hot_row_cache_hits_t*",
+            "hot_row_cache_hits_t7"
+        ));
+        assert!(!wildcard_eq(
+            "hot_row_cache_hits_t*",
+            "hot_row_cache_misses_t7"
+        ));
+        assert!(wildcard_eq("serve_latency_us", "serve_latency_us"));
+        assert!(!wildcard_eq("serve_latency_us", "serve_latency_ms"));
+    }
+
+    #[test]
+    fn backtick_extraction() {
+        assert_eq!(
+            backticked(" `a_total` / `b_total` "),
+            vec!["a_total".to_string(), "b_total".to_string()]
+        );
+        assert!(backticked("no names here").is_empty());
+    }
+
+    #[test]
+    fn first_cell_ignores_later_columns() {
+        let names = first_cell_names("| `a` | counter | about `b` |").unwrap();
+        assert_eq!(names, vec!["a".to_string()]);
+        assert!(first_cell_names("|------|------|").is_none());
+        assert!(first_cell_names("| name | kind | meaning |").is_none());
+    }
+}

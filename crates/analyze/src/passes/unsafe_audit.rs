@@ -1,0 +1,64 @@
+//! Pass 1 — the unsafe audit.
+//!
+//! Every `unsafe` keyword in the workspace (block, fn, impl, trait, extern block) must
+//! be immediately preceded by a `// SAFETY:` comment stating *why* the operation is
+//! sound — the Rust standard library's own convention, enforced. The pass also emits a
+//! machine-readable inventory of every site, so a review can diff "what unsafe exists"
+//! across PRs instead of rediscovering it.
+//!
+//! The lexer guarantees `unsafe` inside strings, chars, or comments never trips the
+//! pass; doc text discussing unsafety is free.
+
+use crate::{Finding, Report, UnsafeSite, Workspace};
+
+pub(crate) const PASS: &str = "unsafe-audit";
+
+/// The justification marker an unsafe site needs adjacent to it.
+pub const MARKER: &str = "SAFETY:";
+
+pub(crate) fn run(ws: &Workspace, report: &mut Report) {
+    for file in &ws.files {
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if !t.is_ident("unsafe") {
+                continue;
+            }
+            let kind = toks[i + 1..]
+                .iter()
+                .find(|n| !n.is_comment())
+                .map_or("other", |next| {
+                    if next.is_ident("fn") {
+                        "fn"
+                    } else if next.is_ident("impl") {
+                        "impl"
+                    } else if next.is_ident("trait") {
+                        "trait"
+                    } else if next.is_ident("extern") {
+                        "extern"
+                    } else if next.is_punct('{') {
+                        "block"
+                    } else {
+                        "other"
+                    }
+                });
+            let justified = file.has_adjacent_justification(t.line, MARKER);
+            report.unsafe_inventory.push(UnsafeSite {
+                path: file.path.clone(),
+                line: t.line,
+                kind,
+                justified,
+            });
+            if !justified {
+                report.findings.push(Finding {
+                    pass: PASS,
+                    path: file.path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`unsafe` {kind} without an adjacent `// SAFETY:` comment \
+                         explaining why it is sound"
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Pass 5 — the wire-tag audit.
+//!
+//! The wire protocol identifies every frame by a `TAG_*` byte constant in `wire.rs`.
+//! Three things can silently rot there: a new tag can collide with or skip past an
+//! existing value (breaking cross-version decode), a tag can gain an encode arm
+//! without a decode arm (frames written that no reader accepts), or vice versa (dead
+//! protocol surface). The pass parses every `const TAG_X: u8 = n;` declaration and
+//! checks:
+//!
+//! * values are **unique** and **dense** — exactly `1..=N` with no holes, so a tag
+//!   byte is always attributable and the `match` in decode stays total over the range;
+//! * every tag is used in at least one **decode arm** (`TAG_X =>`) and exactly one —
+//!   a duplicate arm would shadow;
+//! * every tag has at least one **encode-side use** (any non-declaration,
+//!   non-match-arm occurrence).
+
+use crate::lexer::TokenKind;
+use crate::{Finding, Report, Workspace};
+
+pub(crate) const PASS: &str = "wire-tags";
+
+/// The file holding the tag constants and both codec halves.
+pub const WIRE_FILE: &str = "wire.rs";
+
+pub(crate) fn run(ws: &Workspace, report: &mut Report) {
+    for file in &ws.files {
+        if !file.path_ends_with(WIRE_FILE) {
+            continue;
+        }
+        audit_file(file, report);
+    }
+}
+
+fn audit_file(file: &crate::SourceFile, report: &mut Report) {
+    let toks: Vec<&crate::lexer::Token> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+
+    // Declarations: const TAG_X : u8 = <number> ;
+    let mut tags: Vec<(String, u8, u32, usize)> = Vec::new(); // (name, value, line, tok idx)
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("const") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        if !(name_tok.kind == TokenKind::Ident && name_tok.text.starts_with("TAG_")) {
+            continue;
+        }
+        let Some(value_tok) = toks[i..]
+            .iter()
+            .take(8)
+            .find(|t| t.kind == TokenKind::Number)
+        else {
+            continue;
+        };
+        match value_tok.text.parse::<u8>() {
+            Ok(v) => tags.push((name_tok.text.clone(), v, name_tok.line, i + 1)),
+            Err(_) => report.findings.push(Finding {
+                pass: PASS,
+                path: file.path.clone(),
+                line: name_tok.line,
+                message: format!(
+                    "wire tag `{}` has a non-u8 value `{}`",
+                    name_tok.text, value_tok.text
+                ),
+            }),
+        }
+    }
+    if tags.is_empty() {
+        return;
+    }
+
+    // Uniqueness + density: the sorted values must be exactly 1..=N.
+    let mut values: Vec<(u8, &str, u32)> = tags
+        .iter()
+        .map(|(n, v, l, _)| (*v, n.as_str(), *l))
+        .collect();
+    values.sort_unstable();
+    for w in values.windows(2) {
+        if w[0].0 == w[1].0 {
+            report.findings.push(Finding {
+                pass: PASS,
+                path: file.path.clone(),
+                line: w[1].2,
+                message: format!(
+                    "wire tag value {} is assigned to both `{}` and `{}`",
+                    w[0].0, w[0].1, w[1].1
+                ),
+            });
+        }
+    }
+    for (expect, (got, name, line)) in (1..).zip(values.iter()) {
+        if *got != expect && !values.iter().any(|(v, _, _)| *v == expect) {
+            report.findings.push(Finding {
+                pass: PASS,
+                path: file.path.clone(),
+                line: *line,
+                message: format!(
+                    "wire tags are not dense: expected value {expect} to exist, found \
+                     `{name}` = {got} — renumber or fill the hole"
+                ),
+            });
+            break;
+        }
+    }
+
+    // Usage: decode arms (`TAG_X =>`) and encode uses (anything else).
+    for (name, _value, line, decl_idx) in &tags {
+        let mut decode_arms = 0usize;
+        let mut encode_uses = 0usize;
+        for (j, t) in toks.iter().enumerate() {
+            if j == *decl_idx || !t.is_ident(name) {
+                continue;
+            }
+            if toks.get(j + 1).is_some_and(|n| n.is_punct('='))
+                && toks.get(j + 2).is_some_and(|n| n.is_punct('>'))
+            {
+                decode_arms += 1;
+            } else {
+                encode_uses += 1;
+            }
+        }
+        if decode_arms == 0 {
+            report.findings.push(Finding {
+                pass: PASS,
+                path: file.path.clone(),
+                line: *line,
+                message: format!(
+                    "wire tag `{name}` has no decode arm (`{name} =>`): frames with \
+                     this tag would be rejected by every reader"
+                ),
+            });
+        }
+        if decode_arms > 1 {
+            report.findings.push(Finding {
+                pass: PASS,
+                path: file.path.clone(),
+                line: *line,
+                message: format!(
+                    "wire tag `{name}` has {decode_arms} decode arms; one would shadow"
+                ),
+            });
+        }
+        if encode_uses == 0 {
+            report.findings.push(Finding {
+                pass: PASS,
+                path: file.path.clone(),
+                line: *line,
+                message: format!(
+                    "wire tag `{name}` is never encoded: dead protocol surface or a \
+                     missing encode arm"
+                ),
+            });
+        }
+    }
+
+    report
+        .wire_tags
+        .extend(tags.into_iter().map(|(n, v, _, _)| (n, v)));
+}

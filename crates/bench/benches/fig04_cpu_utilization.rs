@@ -12,7 +12,10 @@ fn main() {
     let arrival = ArrivalModel::default();
     let util_model = UtilizationModel::default();
 
-    println!("{:>6} {:>18} {:>18}", "hour", "normalised load", "CPU utilisation");
+    println!(
+        "{:>6} {:>18} {:>18}",
+        "hour", "normalised load", "CPU utilisation"
+    );
     let mut peak: f64 = 0.0;
     for hour in 0..24 {
         let t = hour as f64 * 60.0;

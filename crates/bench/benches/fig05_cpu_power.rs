@@ -15,7 +15,10 @@ fn main() {
     let power = CpuPowerModel::dual_epyc_9684x();
     let training_ccd_fraction: f64 = 2.0 / 12.0 * 6.0; // trainer busy on its CCD share most of the time
 
-    println!("{:>8} {:>20} {:>22} {:>12}", "minute", "infer-only (W)", "infer+training (W)", "increase");
+    println!(
+        "{:>8} {:>20} {:>22} {:>12}",
+        "minute", "infer-only (W)", "infer+training (W)", "increase"
+    );
     let mut total_increase = 0.0;
     let evening_start = 19.0 * 60.0;
     for minute in 0..15 {

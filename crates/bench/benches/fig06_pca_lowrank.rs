@@ -6,7 +6,11 @@ use liveupdate_bench::{accuracy_config, header};
 use liveupdate_workload::datasets::DatasetPreset;
 
 fn rank_for(curve: &PcaCurve, alpha: f64) -> usize {
-    curve.cumulative.iter().position(|&v| v >= alpha).map_or(curve.cumulative.len(), |k| k + 1)
+    curve
+        .cumulative
+        .iter()
+        .position(|&v| v >= alpha)
+        .map_or(curve.cumulative.len(), |k| k + 1)
 }
 
 fn main() {
@@ -22,11 +26,19 @@ fn main() {
     let num_tables = cfg.dlrm.table_sizes.len();
     let mut spread: Vec<(usize, usize, usize)> = Vec::new();
     for table in 0..num_tables {
-        let ranks: Vec<usize> = curves.iter().filter(|c| c.table == table).map(|c| rank_for(c, 0.8)).collect();
+        let ranks: Vec<usize> = curves
+            .iter()
+            .filter(|c| c.table == table)
+            .map(|c| rank_for(c, 0.8))
+            .collect();
         if ranks.is_empty() {
             continue;
         }
-        spread.push((table, *ranks.iter().min().unwrap(), *ranks.iter().max().unwrap()));
+        spread.push((
+            table,
+            *ranks.iter().min().unwrap(),
+            *ranks.iter().max().unwrap(),
+        ));
     }
     let smallest = spread.iter().min_by_key(|(_, lo, hi)| hi - lo).copied();
     let largest = spread.iter().max_by_key(|(_, lo, hi)| hi - lo).copied();
@@ -34,9 +46,17 @@ fn main() {
     for (label, pick) in [("smallest spread", smallest), ("largest spread", largest)] {
         if let Some((table, lo, hi)) = pick {
             println!("\ntable {table} ({label}): rank for 80% variance ranges {lo}..{hi} across iterations");
-            println!("{:>10} {}", "iteration", "cumulative variance of top-1..top-8 components");
+            println!(
+                "{:>10} cumulative variance of top-1..top-8 components",
+                "iteration"
+            );
             for c in curves.iter().filter(|c| c.table == table) {
-                let head: Vec<String> = c.cumulative.iter().take(8).map(|v| format!("{v:.2}")).collect();
+                let head: Vec<String> = c
+                    .cumulative
+                    .iter()
+                    .take(8)
+                    .map(|v| format!("{v:.2}"))
+                    .collect();
                 println!("{:>10} [{}]", c.iteration, head.join(", "));
             }
         }

@@ -19,9 +19,15 @@ fn main() {
     let sweep = sync_delay_sweep(&cfg, &delays);
     let baseline = sweep.first().map(|(_, auc)| *auc).unwrap_or(0.0);
 
-    println!("{:>20} {:>12} {:>18}", "sync interval (min)", "mean AUC", "gap vs instant (pp)");
+    println!(
+        "{:>20} {:>12} {:>18}",
+        "sync interval (min)", "mean AUC", "gap vs instant (pp)"
+    );
     for (delay, auc) in &sweep {
-        println!("{delay:>20.0} {auc:>12.4} {:>18.3}", (auc - baseline) * 100.0);
+        println!(
+            "{delay:>20.0} {auc:>12.4} {:>18.3}",
+            (auc - baseline) * 100.0
+        );
     }
     series_row("\nseries (interval, mean AUC)", &sweep);
     println!("paper check: the accuracy gap grows as the sync interval lengthens.");

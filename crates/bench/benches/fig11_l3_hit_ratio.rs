@@ -24,8 +24,14 @@ fn main() {
         );
     }
 
-    let naive = outcomes.iter().find(|o| o.mode == IsolationMode::NaiveColocation).unwrap();
-    let reuse = outcomes.iter().find(|o| o.mode == IsolationMode::SchedulingAndReuse).unwrap();
+    let naive = outcomes
+        .iter()
+        .find(|o| o.mode == IsolationMode::NaiveColocation)
+        .unwrap();
+    let reuse = outcomes
+        .iter()
+        .find(|o| o.mode == IsolationMode::SchedulingAndReuse)
+        .unwrap();
     println!(
         "\npaper check (Fig. 11a, data reuse): training hit ratio {:.1}% -> {:.1}%",
         naive.training_hit_ratio.unwrap_or(0.0) * 100.0,

@@ -8,7 +8,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    header("Figure 12", "CDF of embedding access distribution under the production-like skew");
+    header(
+        "Figure 12",
+        "CDF of embedding access distribution under the production-like skew",
+    );
     let rows = 100_000;
     let accesses = 2_000_000;
     let zipf = ZipfSampler::new(rows, 1.05);

@@ -13,8 +13,15 @@ fn main() {
     let model = UpdateCostModel::default();
     for preset in DatasetPreset::tb_scale() {
         let spec = preset.spec();
-        println!("\ndataset {} ({:.0} TB of embeddings):", preset.name(), spec.embedding_table_bytes as f64 / 1e12);
-        println!("{:<18} {:>14} {:>18} {:>20}", "strategy", "interval (min)", "cost (min/hour)", "bytes moved (TB)");
+        println!(
+            "\ndataset {} ({:.0} TB of embeddings):",
+            preset.name(),
+            spec.embedding_table_bytes as f64 / 1e12
+        );
+        println!(
+            "{:<18} {:>14} {:>18} {:>20}",
+            "strategy", "interval (min)", "cost (min/hour)", "bytes moved (TB)"
+        );
         for row in model.figure14_sweep(&spec) {
             println!(
                 "{:<18} {:>14.0} {:>18.1} {:>20.2}",
@@ -25,7 +32,11 @@ fn main() {
             );
         }
         let live5 = model.hourly_cost(liveupdate::StrategyKind::LiveUpdate, &spec, 5.0);
-        let quick5 = model.hourly_cost(liveupdate::StrategyKind::QuickUpdate { fraction: 0.05 }, &spec, 5.0);
+        let quick5 = model.hourly_cost(
+            liveupdate::StrategyKind::QuickUpdate { fraction: 0.05 },
+            &spec,
+            5.0,
+        );
         println!(
             "paper check: at 5-minute intervals LiveUpdate costs {:.1} min/hour, {:.1}x cheaper than QuickUpdate",
             live5.cost_minutes,

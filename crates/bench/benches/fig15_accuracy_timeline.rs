@@ -33,7 +33,9 @@ fn main() {
     for w in 0..windows {
         print!("{:>8.0}", results[0].timeline[w].time_minutes);
         for r in &results {
-            let auc = r.timeline[w].auc.map_or("     n/a".to_string(), |a| format!("{a:.4}"));
+            let auc = r.timeline[w]
+                .auc
+                .map_or("     n/a".to_string(), |a| format!("{a:.4}"));
             print!(" {auc:>16}");
         }
         println!();
@@ -43,6 +45,8 @@ fn main() {
     for r in &results {
         println!("  {:<18} {:.4}", r.strategy.name(), r.mean_auc);
     }
-    println!("\npaper check: LiveUpdate tracks or exceeds DeltaUpdate for most of the horizon, the gap");
+    println!(
+        "\npaper check: LiveUpdate tracks or exceeds DeltaUpdate for most of the horizon, the gap"
+    );
     println!("narrows as local-error accumulates towards the hour, and the 60-minute full sync resets it.");
 }

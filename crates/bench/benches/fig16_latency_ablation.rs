@@ -25,7 +25,13 @@ fn main() {
         );
     }
 
-    let p99 = |mode: IsolationMode| outcomes.iter().find(|o| o.mode == mode).map(|o| o.p99_ms).unwrap_or(0.0);
+    let p99 = |mode: IsolationMode| {
+        outcomes
+            .iter()
+            .find(|o| o.mode == mode)
+            .map(|o| o.p99_ms)
+            .unwrap_or(0.0)
+    };
     println!(
         "\npaper check: naive co-location inflates P99 by {:.1}x over inference-only;",
         p99(IsolationMode::NaiveColocation) / p99(IsolationMode::InferenceOnly).max(1e-9)

@@ -107,9 +107,11 @@ fn production_geometry(requests: usize) {
     // Optimized path: int8 serving rows plus the Zipf-head hot-row cache, served through
     // the allocation-free scratch pipeline of an immutable snapshot with every mutating
     // side effect off the serve path (the runtime's updater applies them between rounds).
-    let mut live_cfg = LiveUpdateConfig::default();
-    live_cfg.serving_storage = StorageKind::I8;
-    live_cfg.hot_cache_fraction = 0.01;
+    let live_cfg = LiveUpdateConfig {
+        serving_storage: StorageKind::I8,
+        hot_cache_fraction: 0.01,
+        ..LiveUpdateConfig::default()
+    };
     let mut node = ServingNode::new(model, live_cfg);
     node.serve_batch(0.0, &eval); // record accesses so the cache sees the Zipf head
     let snapshot = node.snapshot();
@@ -125,8 +127,18 @@ fn production_geometry(requests: usize) {
     let ratio = |bytes: usize| f64_bytes as f64 / bytes as f64;
     println!("{:<34} {:>14} {:>18}", "storage", "bytes", "ratio vs f64");
     println!("{:<34} {:>14} {:>17.2}x", "f64 rows", f64_bytes, 1.0);
-    println!("{:<34} {:>14} {:>17.2}x", "f16 rows", f16_bytes, ratio(f16_bytes));
-    println!("{:<34} {:>14} {:>17.2}x", "int8 rows (per-row scale)", i8_bytes, ratio(i8_bytes));
+    println!(
+        "{:<34} {:>14} {:>17.2}x",
+        "f16 rows",
+        f16_bytes,
+        ratio(f16_bytes)
+    );
+    println!(
+        "{:<34} {:>14} {:>17.2}x",
+        "int8 rows (per-row scale)",
+        i8_bytes,
+        ratio(i8_bytes)
+    );
     println!(
         "hot-row cache: {} rows, {} bytes (top {:.1}% of the access CDF)",
         snapshot.hot_rows().cached_rows(),
@@ -178,8 +190,10 @@ fn main() {
         let mut workload = SyntheticWorkload::new(cfg.workload.clone());
 
         // Run the LiveUpdate node for a while so the dynamic rank and the pruning converge.
-        let mut live_cfg = LiveUpdateConfig::default();
-        live_cfg.adaptation_interval_steps = 16;
+        let live_cfg = LiveUpdateConfig {
+            adaptation_interval_steps: 16,
+            ..LiveUpdateConfig::default()
+        };
         let mut node = ServingNode::new(model, live_cfg);
         for window in 0..8 {
             let t = window as f64 * 5.0;
@@ -193,8 +207,12 @@ fn main() {
         let rows = spec.sim_table_size;
         let dim = spec.sim_embedding_dim;
         let tables = spec.sim_num_tables;
-        let fixed16: usize = (0..tables).map(|_| full_table_lora_bytes(rows, dim, 16)).sum();
-        let fixed64: usize = (0..tables).map(|_| full_table_lora_bytes(rows, dim, 64)).sum();
+        let fixed16: usize = (0..tables)
+            .map(|_| full_table_lora_bytes(rows, dim, 16))
+            .sum();
+        let fixed64: usize = (0..tables)
+            .map(|_| full_table_lora_bytes(rows, dim, 64))
+            .sum();
         let dynamic_only: usize = node
             .current_ranks()
             .iter()
@@ -202,11 +220,28 @@ fn main() {
             .sum();
         let dynamic_pruned = node.lora_memory_bytes();
 
-        println!("\ndataset {} ({} tables x {} rows, d = {}):", preset.name(), tables, rows, dim);
-        println!("{:<34} {:>14} {:>22}", "configuration", "bytes", "reduction vs rank-64");
+        println!(
+            "\ndataset {} ({} tables x {} rows, d = {}):",
+            preset.name(),
+            tables,
+            rows,
+            dim
+        );
+        println!(
+            "{:<34} {:>14} {:>22}",
+            "configuration", "bytes", "reduction vs rank-64"
+        );
         let reduction = |bytes: usize| 100.0 * (1.0 - bytes as f64 / fixed64 as f64);
-        println!("{:<34} {:>14} {:>21.1}%", "fixed rank 64 (all rows)", fixed64, 0.0);
-        println!("{:<34} {:>14} {:>21.1}%", "fixed rank 16 (all rows)", fixed16, reduction(fixed16));
+        println!(
+            "{:<34} {:>14} {:>21.1}%",
+            "fixed rank 64 (all rows)", fixed64, 0.0
+        );
+        println!(
+            "{:<34} {:>14} {:>21.1}%",
+            "fixed rank 16 (all rows)",
+            fixed16,
+            reduction(fixed16)
+        );
         println!(
             "{:<34} {:>14} {:>21.1}%",
             format!("dynamic rank (ranks {:?})", node.current_ranks()),

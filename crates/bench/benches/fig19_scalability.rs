@@ -58,9 +58,21 @@ fn main() {
             summary.ledger.mean_bytes_per_rank(),
             "bytes",
         ));
-        metrics.push(BenchMetric::new(&format!("tree_sync_n{n}"), tree_min, "minutes"));
-        metrics.push(BenchMetric::new(&format!("ring_sync_n{n}"), ring_min, "minutes"));
-        metrics.push(BenchMetric::new(&format!("mean_auc_n{n}"), summary.mean_auc, "auc"));
+        metrics.push(BenchMetric::new(
+            &format!("tree_sync_n{n}"),
+            tree_min,
+            "minutes",
+        ));
+        metrics.push(BenchMetric::new(
+            &format!("ring_sync_n{n}"),
+            ring_min,
+            "minutes",
+        ));
+        metrics.push(BenchMetric::new(
+            &format!("mean_auc_n{n}"),
+            summary.mean_auc,
+            "auc",
+        ));
         println!(
             "{:>8} {:>14.1} {:>18.2} {:>18.2} {:>12}",
             n,
@@ -78,8 +90,16 @@ fn main() {
         let tree_min = tree.allgather_minutes(n, payload);
         let ring_min = ring.allgather_minutes(n, payload);
         tree_series.push((n as f64, tree_min));
-        metrics.push(BenchMetric::new(&format!("tree_sync_projected_n{n}"), tree_min, "minutes"));
-        metrics.push(BenchMetric::new(&format!("ring_sync_projected_n{n}"), ring_min, "minutes"));
+        metrics.push(BenchMetric::new(
+            &format!("tree_sync_projected_n{n}"),
+            tree_min,
+            "minutes",
+        ));
+        metrics.push(BenchMetric::new(
+            &format!("ring_sync_projected_n{n}"),
+            ring_min,
+            "minutes",
+        ));
         println!(
             "{:>8} {:>14} {:>18.2} {:>18.2} {:>12}",
             n, "-", tree_min, ring_min, "projected"
@@ -87,15 +107,30 @@ fn main() {
     }
     series_row("\ntree series (nodes, minutes)", &tree_series);
 
-    let at8 = tree_series.iter().find(|(n, _)| *n == 8.0).map(|(_, t)| *t).unwrap_or(0.0);
-    let at48 = tree_series.iter().find(|(n, _)| *n == 48.0).map(|(_, t)| *t).unwrap_or(0.0);
+    let at8 = tree_series
+        .iter()
+        .find(|(n, _)| *n == 8.0)
+        .map(|(_, t)| *t)
+        .unwrap_or(0.0);
+    let at48 = tree_series
+        .iter()
+        .find(|(n, _)| *n == 48.0)
+        .map(|(_, t)| *t)
+        .unwrap_or(0.0);
     println!(
         "paper check: 8 -> 48 nodes grows sync time by {:.1}x (log-like, not 6x), and the projected",
         at48 / at8.max(1e-9)
     );
-    println!("48-node sync stays under 10 minutes: {}", if at48 < 10.0 { "yes" } else { "no" });
+    println!(
+        "48-node sync stays under 10 minutes: {}",
+        if at48 < 10.0 { "yes" } else { "no" }
+    );
 
-    metrics.push(BenchMetric::new("tree_growth_8_to_48", at48 / at8.max(1e-9), "ratio"));
+    metrics.push(BenchMetric::new(
+        "tree_growth_8_to_48",
+        at48 / at8.max(1e-9),
+        "ratio",
+    ));
     if let Err(e) = write_bench_json("scalability", &metrics) {
         eprintln!("could not write BENCH_scalability.json: {e}");
     }

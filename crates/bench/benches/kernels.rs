@@ -19,7 +19,9 @@ fn bench_embedding_lookup() {
     let model = DlrmModel::new(DlrmConfig::tiny(4, 10_000, 16), 1);
     let mut rng = StdRng::seed_from_u64(2);
     let ids: Vec<usize> = (0..64).map(|_| rng.gen_range(0..10_000)).collect();
-    time_kernel("embedding_pooled_lookup_64", || model.table(0).pooled_lookup(black_box(&ids)));
+    time_kernel("embedding_pooled_lookup_64", || {
+        model.table(0).pooled_lookup(black_box(&ids))
+    });
 }
 
 fn bench_lora_row() {
@@ -28,7 +30,9 @@ fn bench_lora_row() {
         lora.set_a_row(i, vec![0.1; 4]);
     }
     let base = vec![0.5; 16];
-    time_kernel("lora_effective_row", || lora.effective_row(black_box(500), black_box(&base)));
+    time_kernel("lora_effective_row", || {
+        lora.effective_row(black_box(500), black_box(&base))
+    });
 
     // Same populated table: the gradient step must be measured against the 1000
     // active A-rows, not a fresh near-empty map.
@@ -59,7 +63,9 @@ fn bench_train_step() {
     time_kernel("lora_train_step_batch32", || {
         trainer.train_step(&model, &mut loras, black_box(&batch))
     });
-    time_kernel("dlrm_forward_batch32", || model.predict_batch(black_box(&batch)));
+    time_kernel("dlrm_forward_batch32", || {
+        model.predict_batch(black_box(&batch))
+    });
 }
 
 fn bench_rank_adaptation_kernels() {
@@ -72,7 +78,10 @@ fn bench_rank_adaptation_kernels() {
 }
 
 fn main() {
-    header("Kernels", "hot serving/update-path kernels, wall-clock ns per iteration");
+    header(
+        "Kernels",
+        "hot serving/update-path kernels, wall-clock ns per iteration",
+    );
     bench_embedding_lookup();
     bench_lora_row();
     bench_train_step();

@@ -28,7 +28,10 @@ use liveupdate_workload::{SyntheticWorkload, WorkloadConfig};
 use std::time::{Duration, Instant};
 
 fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 struct SweepPoint {
@@ -60,7 +63,11 @@ fn run_point(server: &ReplicaServer, n_conn: usize, rate: f64, seconds: f64) -> 
         client
             .send(
                 conn,
-                &Frame::InferRequest { id: u64::MAX - conn as u64, time_minutes: 0.0, sample },
+                &Frame::InferRequest {
+                    id: u64::MAX - conn as u64,
+                    time_minutes: 0.0,
+                    sample,
+                },
             )
             .expect("warmup send");
     }
@@ -96,7 +103,14 @@ fn run_point(server: &ReplicaServer, n_conn: usize, rate: f64, seconds: f64) -> 
         let sample = w.sample_at(0.0);
         send_at.push(Instant::now());
         client
-            .send(i % n_conn, &Frame::InferRequest { id: i as u64, time_minutes: 0.0, sample })
+            .send(
+                i % n_conn,
+                &Frame::InferRequest {
+                    id: i as u64,
+                    time_minutes: 0.0,
+                    sample,
+                },
+            )
             .expect("send");
     }
 
@@ -169,7 +183,10 @@ fn main() {
             point.sheds,
             point.lost
         );
-        assert_eq!(point.lost, 0, "every open-loop request must be answered or shed");
+        assert_eq!(
+            point.lost, 0,
+            "every open-loop request must be answered or shed"
+        );
         points.push(point);
     }
     let _ = server.shutdown();
@@ -190,8 +207,16 @@ fn main() {
     let mut metrics: Vec<BenchMetric> = Vec::new();
     for point in &points {
         let n = point.connections;
-        metrics.push(BenchMetric::new(&format!("many_conn_p99_ms_{n}"), point.p99_ms, "ms"));
-        metrics.push(BenchMetric::new(&format!("many_conn_mean_ms_{n}"), point.mean_ms, "ms"));
+        metrics.push(BenchMetric::new(
+            &format!("many_conn_p99_ms_{n}"),
+            point.p99_ms,
+            "ms",
+        ));
+        metrics.push(BenchMetric::new(
+            &format!("many_conn_mean_ms_{n}"),
+            point.mean_ms,
+            "ms",
+        ));
         metrics.push(BenchMetric::new(
             &format!("many_conn_qps_{n}"),
             point.qps,

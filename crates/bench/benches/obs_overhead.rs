@@ -28,7 +28,10 @@ use liveupdate_workload::{SyntheticWorkload, WorkloadConfig};
 use std::time::Duration;
 
 fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn run_arm(telemetry: bool, workers: usize, qps: f64, seconds: f64) -> RuntimeReport {
@@ -118,12 +121,19 @@ fn main() {
     }
     let off = best_off.expect("off reps ran");
     let on = best_on.expect("on reps ran");
-    assert!(off.telemetry.is_empty(), "disabled arm must not scrape rows");
+    assert!(
+        off.telemetry.is_empty(),
+        "disabled arm must not scrape rows"
+    );
     assert!(!on.telemetry.is_empty(), "enabled arm must scrape rows");
 
     let p99_off = off.latency.p99().unwrap_or(0.0);
     let p99_on = on.latency.p99().unwrap_or(0.0);
-    let ratio = if p99_off > 0.0 { p99_on / p99_off } else { f64::NAN };
+    let ratio = if p99_off > 0.0 {
+        p99_on / p99_off
+    } else {
+        f64::NAN
+    };
     println!(
         "\ntelemetry cost: P99 {:.3}ms -> {:.3}ms ({:.3}x; gate is 1.05x under pinned-load CI)",
         p99_off, p99_on, ratio

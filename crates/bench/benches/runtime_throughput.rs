@@ -22,7 +22,10 @@ use liveupdate_workload::{SyntheticWorkload, WorkloadConfig};
 use std::time::Duration;
 
 fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn node() -> ServingNode {
@@ -102,7 +105,11 @@ fn main() {
 
     let p99_off = off.latency.p99().unwrap_or(0.0);
     let p99_on = on.latency.p99().unwrap_or(0.0);
-    let degradation = if p99_off > 0.0 { p99_on / p99_off } else { f64::NAN };
+    let degradation = if p99_off > 0.0 {
+        p99_on / p99_off
+    } else {
+        f64::NAN
+    };
     println!(
         "\ninterference: P99 {:.3}ms -> {:.3}ms ({:.2}x), {} update rounds published over {:.1}s",
         p99_off, p99_on, degradation, on.updater.publications, on.wall_seconds
@@ -118,7 +125,11 @@ fn main() {
         BenchMetric::new("p99_degradation", degradation, "ratio"),
         BenchMetric::new("mean_batch_updater_on", on.mean_batch_size(), "requests"),
         BenchMetric::new("drop_rate_updater_on", on.drop_rate(), "fraction"),
-        BenchMetric::new("update_publications", on.updater.publications as f64, "count"),
+        BenchMetric::new(
+            "update_publications",
+            on.updater.publications as f64,
+            "count",
+        ),
         BenchMetric::new("mean_update_round", on.updater.mean_round_ms(), "ms"),
         BenchMetric::new("max_update_round", on.updater.max_round_ms(), "ms"),
     ];

@@ -29,6 +29,8 @@ fn main() {
             spec.sim_table_size,
         );
     }
-    println!("\nThe first three columns match the paper's Table II; the last column is the scaled-down");
+    println!(
+        "\nThe first three columns match the paper's Table II; the last column is the scaled-down"
+    );
     println!("simulation shape used for laptop-scale accuracy experiments (see DESIGN.md §1).");
 }

@@ -6,19 +6,23 @@ use liveupdate::strategy::StrategyKind;
 use liveupdate_bench::{accuracy_config, header};
 use liveupdate_workload::datasets::DatasetPreset;
 
+/// One strategy's row in a dataset column: `(strategy name, AUC improvement pp,
+/// LoRA memory fraction)`.
+type StrategyRow = (String, f64, Option<f64>);
+
 fn main() {
     header(
         "Table III",
         "average AUC improvement (pp) over DeltaUpdate, 10-minute update intervals, 1-hour horizon",
     );
     let strategies = StrategyKind::table3_rows();
-    let mut per_dataset: Vec<(String, Vec<(String, f64, Option<f64>)>)> = Vec::new();
+    let mut per_dataset: Vec<(String, Vec<StrategyRow>)> = Vec::new();
 
     for preset in DatasetPreset::accuracy() {
         let cfg = accuracy_config(preset, 53);
         let results = run_all(&cfg, &strategies);
         let improvements = auc_improvement_over_delta(&results);
-        let rows: Vec<(String, f64, Option<f64>)> = results
+        let rows: Vec<StrategyRow> = results
             .iter()
             .zip(&improvements)
             .map(|(r, (name, imp))| (name.clone(), *imp, r.lora_memory_fraction))
@@ -49,5 +53,7 @@ fn main() {
     }
 
     println!("\npaper check: NoUpdate is the worst row; LiveUpdate variants sit at or above the");
-    println!("DeltaUpdate baseline (paper reports +0.04 to +0.24 pp) while QuickUpdate sits below it.");
+    println!(
+        "DeltaUpdate baseline (paper reports +0.04 to +0.24 pp) while QuickUpdate sits below it."
+    );
 }

@@ -19,7 +19,10 @@ pub fn header(experiment: &str, description: &str) {
 
 /// Print a standard "series" row: a label followed by `(x, y)` pairs.
 pub fn series_row(label: &str, points: &[(f64, f64)]) {
-    let formatted: Vec<String> = points.iter().map(|(x, y)| format!("({x:.2}, {y:.4})")).collect();
+    let formatted: Vec<String> = points
+        .iter()
+        .map(|(x, y)| format!("({x:.2}, {y:.4})"))
+        .collect();
     println!("{label}: {}", formatted.join(" "));
 }
 
@@ -28,7 +31,7 @@ pub fn series_row(label: &str, points: &[(f64, f64)]) {
 /// completes in minutes on a laptop.
 #[must_use]
 pub fn full_eval() -> bool {
-    std::env::var("LIVEUPDATE_FULL_EVAL").map_or(false, |v| v == "1")
+    std::env::var("LIVEUPDATE_FULL_EVAL").is_ok_and(|v| v == "1")
 }
 
 /// Experiment configuration for an accuracy benchmark on one dataset preset. The reduced
@@ -126,7 +129,10 @@ pub fn bench_json(bench: &str, metrics: &[BenchMetric]) -> String {
 /// # Errors
 ///
 /// Propagates the underlying I/O error.
-pub fn write_bench_json(bench: &str, metrics: &[BenchMetric]) -> std::io::Result<std::path::PathBuf> {
+pub fn write_bench_json(
+    bench: &str,
+    metrics: &[BenchMetric],
+) -> std::io::Result<std::path::PathBuf> {
     let path = bench_json_path(bench);
     std::fs::write(&path, bench_json(bench, metrics))?;
     println!("wrote {} ({} metrics)", path.display(), metrics.len());
@@ -139,7 +145,10 @@ fn bench_json_path(bench: &str) -> std::path::PathBuf {
         .ancestors()
         .nth(2)
         .filter(|p| p.is_dir())
-        .map_or_else(|| std::path::PathBuf::from("."), std::path::Path::to_path_buf);
+        .map_or_else(
+            || std::path::PathBuf::from("."),
+            std::path::Path::to_path_buf,
+        );
     root.join(format!("BENCH_{bench}.json"))
 }
 
@@ -153,14 +162,18 @@ fn bench_json_path(bench: &str) -> std::path::PathBuf {
 /// # Errors
 ///
 /// Propagates the underlying I/O error from the final write.
-pub fn merge_bench_json(bench: &str, metrics: &[BenchMetric]) -> std::io::Result<std::path::PathBuf> {
+pub fn merge_bench_json(
+    bench: &str,
+    metrics: &[BenchMetric],
+) -> std::io::Result<std::path::PathBuf> {
     use liveupdate_scenario::json::Json;
     let mut combined: Vec<BenchMetric> = Vec::new();
     if let Ok(text) = std::fs::read_to_string(bench_json_path(bench)) {
         if let Ok(doc) = Json::parse(&text) {
             if let Some(Json::Arr(rows)) = doc.get("metrics") {
                 for row in rows {
-                    let (Some(Json::Str(name)), Some(Json::Str(unit))) = (row.get("name"), row.get("unit"))
+                    let (Some(Json::Str(name)), Some(Json::Str(unit))) =
+                        (row.get("name"), row.get("unit"))
                     else {
                         continue;
                     };
@@ -243,7 +256,11 @@ mod tests {
     #[test]
     fn accuracy_config_valid_for_every_preset() {
         for preset in DatasetPreset::all() {
-            assert!(accuracy_config(preset, 3).is_valid(), "{} config invalid", preset.name());
+            assert!(
+                accuracy_config(preset, 3).is_valid(),
+                "{} config invalid",
+                preset.name()
+            );
         }
     }
 
@@ -272,25 +289,46 @@ mod tests {
         // Anchored at the workspace root, independent of the process's cwd.
         assert!(path.parent().unwrap().join("Cargo.toml").is_file());
         let written = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(written, bench_json("selftest", &[BenchMetric::new("m", 1.0, "u")]));
+        assert_eq!(
+            written,
+            bench_json("selftest", &[BenchMetric::new("m", 1.0, "u")])
+        );
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
     fn merge_bench_json_keeps_foreign_metrics_and_supersedes_colliding_ones() {
-        let first = [BenchMetric::new("kept", 1.0, "u"), BenchMetric::new("stale", 2.0, "u")];
+        let first = [
+            BenchMetric::new("kept", 1.0, "u"),
+            BenchMetric::new("stale", 2.0, "u"),
+        ];
         let path = write_bench_json("mergetest", &first).unwrap();
         let merged = merge_bench_json(
             "mergetest",
-            &[BenchMetric::new("stale", 9.0, "u"), BenchMetric::new("added", 3.0, "u")],
+            &[
+                BenchMetric::new("stale", 9.0, "u"),
+                BenchMetric::new("added", 3.0, "u"),
+            ],
         )
         .unwrap();
         assert_eq!(path, merged);
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.contains("{\"name\": \"kept\", \"value\": 1, \"unit\": \"u\"}"), "{text}");
-        assert!(text.contains("{\"name\": \"stale\", \"value\": 9, \"unit\": \"u\"}"), "{text}");
-        assert!(text.contains("{\"name\": \"added\", \"value\": 3, \"unit\": \"u\"}"), "{text}");
-        assert!(!text.contains("\"value\": 2"), "superseded value must be gone: {text}");
+        assert!(
+            text.contains("{\"name\": \"kept\", \"value\": 1, \"unit\": \"u\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("{\"name\": \"stale\", \"value\": 9, \"unit\": \"u\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("{\"name\": \"added\", \"value\": 3, \"unit\": \"u\"}"),
+            "{text}"
+        );
+        assert!(
+            !text.contains("\"value\": 2"),
+            "superseded value must be gone: {text}"
+        );
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -302,7 +340,9 @@ mod tests {
         report.mean_auc = Some(0.6);
         let metrics = scenario_metrics(&report);
         assert_eq!(metrics.len(), report.metric_rows().len());
-        assert!(metrics.iter().any(|m| m.name == "realtime_liveupdate_qps" && m.value == 123.0));
+        assert!(metrics
+            .iter()
+            .any(|m| m.name == "realtime_liveupdate_qps" && m.value == 123.0));
     }
 
     #[test]

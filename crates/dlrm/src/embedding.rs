@@ -109,7 +109,7 @@ fn f16_encode(v: f64) -> u16 {
         return sign | (half + round);
     }
     let half = ((half_exp as u32) << 10) | (mant >> 13);
-    let round = ((mant >> 12) & 1) as u32;
+    let round = (mant >> 12) & 1;
     sign.wrapping_add((half + round) as u16)
 }
 
@@ -281,7 +281,10 @@ impl EmbeddingTable {
                 let mut codes = vec![0u16; len];
                 for row in 0..self.num_rows {
                     self.row_into(row, &mut row_buf);
-                    for (c, &v) in codes[row * self.dim..(row + 1) * self.dim].iter_mut().zip(&row_buf) {
+                    for (c, &v) in codes[row * self.dim..(row + 1) * self.dim]
+                        .iter_mut()
+                        .zip(&row_buf)
+                    {
                         *c = f16_encode(v);
                     }
                 }
@@ -294,7 +297,10 @@ impl EmbeddingTable {
                     self.row_into(row, &mut row_buf);
                     let scale = i8_row_scale(&row_buf);
                     scales[row] = scale;
-                    for (c, &v) in codes[row * self.dim..(row + 1) * self.dim].iter_mut().zip(&row_buf) {
+                    for (c, &v) in codes[row * self.dim..(row + 1) * self.dim]
+                        .iter_mut()
+                        .zip(&row_buf)
+                    {
                         *c = i8_encode(v, scale);
                     }
                 }
@@ -353,7 +359,9 @@ impl EmbeddingTable {
         let backing = match &self.storage {
             RowStorage::F64(w) => w.len() * std::mem::size_of::<f64>(),
             RowStorage::F16(c) => c.len() * std::mem::size_of::<u16>(),
-            RowStorage::I8 { codes, scales } => codes.len() + scales.len() * std::mem::size_of::<f64>(),
+            RowStorage::I8 { codes, scales } => {
+                codes.len() + scales.len() * std::mem::size_of::<f64>()
+            }
         };
         backing + self.master.len() * self.dim * std::mem::size_of::<f64>()
     }
@@ -367,7 +375,11 @@ impl EmbeddingTable {
     /// [`Self::row_into`] / [`Self::row_to_vec`] there).
     #[must_use]
     pub fn row(&self, id: usize) -> &[f64] {
-        assert!(id < self.num_rows, "embedding id {id} out of bounds ({})", self.num_rows);
+        assert!(
+            id < self.num_rows,
+            "embedding id {id} out of bounds ({})",
+            self.num_rows
+        );
         if let RowStorage::F64(w) = &self.storage {
             return &w[id * self.dim..(id + 1) * self.dim];
         }
@@ -384,7 +396,11 @@ impl EmbeddingTable {
     ///
     /// Panics if `id >= num_rows` or `out.len() != dim`.
     pub fn row_into(&self, id: usize, out: &mut [f64]) {
-        assert!(id < self.num_rows, "embedding id {id} out of bounds ({})", self.num_rows);
+        assert!(
+            id < self.num_rows,
+            "embedding id {id} out of bounds ({})",
+            self.num_rows
+        );
         assert_eq!(out.len(), self.dim, "output buffer dimension mismatch");
         if !matches!(self.storage, RowStorage::F64(_)) {
             if let Some(exact) = self.master.get(&id) {
@@ -401,7 +417,10 @@ impl EmbeddingTable {
             }
             RowStorage::I8 { codes, scales } => {
                 let scale = scales[id];
-                for (o, &code) in out.iter_mut().zip(&codes[id * self.dim..(id + 1) * self.dim]) {
+                for (o, &code) in out
+                    .iter_mut()
+                    .zip(&codes[id * self.dim..(id + 1) * self.dim])
+                {
                     *o = f64::from(code) * scale;
                 }
             }
@@ -417,7 +436,11 @@ impl EmbeddingTable {
     ///
     /// Panics if `id >= num_rows` or `acc.len() != dim`.
     pub fn add_row_into(&self, id: usize, acc: &mut [f64]) {
-        assert!(id < self.num_rows, "embedding id {id} out of bounds ({})", self.num_rows);
+        assert!(
+            id < self.num_rows,
+            "embedding id {id} out of bounds ({})",
+            self.num_rows
+        );
         assert_eq!(acc.len(), self.dim, "accumulator dimension mismatch");
         if !matches!(self.storage, RowStorage::F64(_)) {
             if let Some(exact) = self.master.get(&id) {
@@ -440,7 +463,10 @@ impl EmbeddingTable {
             }
             RowStorage::I8 { codes, scales } => {
                 let scale = scales[id];
-                for (o, &code) in acc.iter_mut().zip(&codes[id * self.dim..(id + 1) * self.dim]) {
+                for (o, &code) in acc
+                    .iter_mut()
+                    .zip(&codes[id * self.dim..(id + 1) * self.dim])
+                {
                     *o += f64::from(code) * scale;
                 }
             }
@@ -482,14 +508,22 @@ impl EmbeddingTable {
     ///
     /// Panics if `id >= num_rows`.
     pub fn row_mut(&mut self, id: usize) -> &mut [f64] {
-        assert!(id < self.num_rows, "embedding id {id} out of bounds ({})", self.num_rows);
+        assert!(
+            id < self.num_rows,
+            "embedding id {id} out of bounds ({})",
+            self.num_rows
+        );
         if !matches!(self.storage, RowStorage::F64(_)) && !self.master.contains_key(&id) {
             let decoded = self.row_to_vec(id);
             self.master.insert(id, decoded);
         }
         match &mut self.storage {
             RowStorage::F64(w) => &mut w[id * self.dim..(id + 1) * self.dim],
-            _ => self.master.get_mut(&id).expect("row promoted to master above").as_mut_slice(),
+            _ => self
+                .master
+                .get_mut(&id)
+                .expect("row promoted to master above")
+                .as_mut_slice(),
         }
     }
 
@@ -510,7 +544,11 @@ impl EmbeddingTable {
         match &self.storage {
             RowStorage::F64(w) => {
                 for &id in ids {
-                    assert!(id < self.num_rows, "embedding id {id} out of bounds ({})", self.num_rows);
+                    assert!(
+                        id < self.num_rows,
+                        "embedding id {id} out of bounds ({})",
+                        self.num_rows
+                    );
                     let row = &w[id * self.dim..(id + 1) * self.dim];
                     for (o, &v) in out.iter_mut().zip(row) {
                         *o += v;
@@ -519,7 +557,11 @@ impl EmbeddingTable {
             }
             RowStorage::F16(c) => {
                 for &id in ids {
-                    assert!(id < self.num_rows, "embedding id {id} out of bounds ({})", self.num_rows);
+                    assert!(
+                        id < self.num_rows,
+                        "embedding id {id} out of bounds ({})",
+                        self.num_rows
+                    );
                     if let Some(exact) = self.master.get(&id) {
                         for (o, &v) in out.iter_mut().zip(exact) {
                             *o += v;
@@ -534,7 +576,11 @@ impl EmbeddingTable {
             }
             RowStorage::I8 { codes, scales } => {
                 for &id in ids {
-                    assert!(id < self.num_rows, "embedding id {id} out of bounds ({})", self.num_rows);
+                    assert!(
+                        id < self.num_rows,
+                        "embedding id {id} out of bounds ({})",
+                        self.num_rows
+                    );
                     if let Some(exact) = self.master.get(&id) {
                         for (o, &v) in out.iter_mut().zip(exact) {
                             *o += v;
@@ -594,7 +640,11 @@ impl EmbeddingTable {
     pub fn apply_adagrad(&mut self, grad: &SparseGradient, learning_rate: f64, eps: f64) {
         assert_eq!(grad.dim(), self.dim, "gradient dimension mismatch");
         for (&id, g) in grad.iter() {
-            assert!(id < self.num_rows, "embedding id {id} out of bounds ({})", self.num_rows);
+            assert!(
+                id < self.num_rows,
+                "embedding id {id} out of bounds ({})",
+                self.num_rows
+            );
             let sq_mean: f64 = g.iter().map(|x| x * x).sum::<f64>() / self.dim as f64;
             let state = self.adagrad_state.entry(id).or_insert(0.0);
             *state += sq_mean;
@@ -627,7 +677,11 @@ impl EmbeddingTable {
     /// Panics if `values.len() != dim` or `id` is out of bounds.
     pub fn set_row(&mut self, id: usize, values: &[f64]) {
         assert_eq!(values.len(), self.dim, "row dimension mismatch");
-        assert!(id < self.num_rows, "embedding id {id} out of bounds ({})", self.num_rows);
+        assert!(
+            id < self.num_rows,
+            "embedding id {id} out of bounds ({})",
+            self.num_rows
+        );
         match &mut self.storage {
             RowStorage::F64(w) => w[id * self.dim..(id + 1) * self.dim].copy_from_slice(values),
             _ => {
@@ -644,7 +698,10 @@ impl EmbeddingTable {
     ///
     /// Panics on shape mismatch.
     pub fn copy_from(&mut self, other: &EmbeddingTable) {
-        assert_eq!(self.num_rows, other.num_rows, "row count mismatch in copy_from");
+        assert_eq!(
+            self.num_rows, other.num_rows,
+            "row count mismatch in copy_from"
+        );
         assert_eq!(self.dim, other.dim, "dim mismatch in copy_from");
         self.master.clear();
         if let (RowStorage::F64(dst), RowStorage::F64(src)) = (&mut self.storage, &other.storage) {
@@ -684,7 +741,10 @@ impl EmbeddingTable {
     /// Panics on shape mismatch.
     #[must_use]
     pub fn changed_rows(&self, other: &EmbeddingTable, tolerance: f64) -> Vec<usize> {
-        assert_eq!(self.num_rows, other.num_rows, "row count mismatch in changed_rows");
+        assert_eq!(
+            self.num_rows, other.num_rows,
+            "row count mismatch in changed_rows"
+        );
         assert_eq!(self.dim, other.dim, "dim mismatch in changed_rows");
         let mut a = vec![0.0; self.dim];
         let mut b = vec![0.0; self.dim];
@@ -705,7 +765,10 @@ impl EmbeddingTable {
     /// Panics on shape mismatch.
     #[must_use]
     pub fn squared_distance(&self, other: &EmbeddingTable) -> f64 {
-        assert_eq!(self.num_rows, other.num_rows, "shape mismatch in squared_distance");
+        assert_eq!(
+            self.num_rows, other.num_rows,
+            "shape mismatch in squared_distance"
+        );
         assert_eq!(self.dim, other.dim, "shape mismatch in squared_distance");
         let mut a = vec![0.0; self.dim];
         let mut b = vec![0.0; self.dim];
@@ -713,7 +776,11 @@ impl EmbeddingTable {
         for i in 0..self.num_rows {
             self.row_into(i, &mut a);
             other.row_into(i, &mut b);
-            total += a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>();
+            total += a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>();
         }
         total
     }
@@ -747,7 +814,10 @@ impl EmbeddingTable {
     /// Panics if `rest` holds fewer than `num_rows * dim` values.
     pub fn import_rows(&mut self, rest: &mut &[f64]) {
         let needed = self.parameter_count();
-        assert!(rest.len() >= needed, "parameter stream too short for table import");
+        assert!(
+            rest.len() >= needed,
+            "parameter stream too short for table import"
+        );
         let (head, tail) = rest.split_at(needed);
         self.master.clear();
         let dim = self.dim;
@@ -904,7 +974,11 @@ mod tests {
         let small = EmbeddingTable::new(10, 6, 42);
         let large = EmbeddingTable::new(1000, 6, 42);
         for id in 0..10 {
-            assert_eq!(small.row(id), large.row(id), "row {id} differs with table size");
+            assert_eq!(
+                small.row(id),
+                large.row(id),
+                "row {id} differs with table size"
+            );
         }
     }
 
@@ -927,7 +1001,11 @@ mod tests {
         // Regression: `new`/`zeros` used to allocate a num_rows-long accumulator
         // eagerly; it must grow on first touch only.
         let t = EmbeddingTable::new(10_000, 4, 3);
-        assert_eq!(t.adagrad_entries(), 0, "no accumulator rows before any update");
+        assert_eq!(
+            t.adagrad_entries(),
+            0,
+            "no accumulator rows before any update"
+        );
         let z = EmbeddingTable::zeros(10_000, 4);
         assert_eq!(z.adagrad_entries(), 0);
 
@@ -936,7 +1014,11 @@ mod tests {
         g.accumulate(17, &[1.0; 4]);
         g.accumulate(9_999, &[1.0; 4]);
         t.apply_adagrad(&g, 0.1, 1e-8);
-        assert_eq!(t.adagrad_entries(), 2, "exactly the touched rows grow state");
+        assert_eq!(
+            t.adagrad_entries(),
+            2,
+            "exactly the touched rows grow state"
+        );
     }
 
     #[test]
@@ -979,7 +1061,7 @@ mod tests {
     fn f16_round_trip_is_close() {
         for &v in &[0.0, 1.0, -1.0, 0.5, -0.25, 0.1, 123.456, -0.0078125, 1e-5] {
             let back = f16_decode(f16_encode(v));
-            let tol = (v as f64).abs().max(1e-4) * 1e-3 + 1e-7;
+            let tol = v.abs().max(1e-4) * 1e-3 + 1e-7;
             assert!((back - v).abs() <= tol, "f16 round trip {v} -> {back}");
         }
         assert_eq!(f16_decode(f16_encode(0.0)), 0.0);
@@ -1223,11 +1305,11 @@ mod tests {
             let t = EmbeddingTable::new(30, 4, 7);
             let pooled = t.pooled_lookup(&ids);
             // The mean of rows must lie within [min, max] of the contributing coordinates.
-            for j in 0..4 {
+            for (j, &pooled_j) in pooled.iter().enumerate() {
                 let vals: Vec<f64> = ids.iter().map(|&id| t.row(id)[j]).collect();
                 let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
                 let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                prop_assert!(pooled[j] >= lo - 1e-12 && pooled[j] <= hi + 1e-12);
+                prop_assert!(pooled_j >= lo - 1e-12 && pooled_j <= hi + 1e-12);
             }
         }
 

@@ -54,7 +54,11 @@ impl DotInteraction {
     /// Panics if `flat.len() != num_vectors * dim` or `num_vectors == 0`.
     pub fn forward_flat_into(flat: &[f64], num_vectors: usize, dim: usize, out: &mut Vec<f64>) {
         assert!(num_vectors > 0, "interaction needs at least one vector");
-        assert_eq!(flat.len(), num_vectors * dim, "flat interaction input has wrong length");
+        assert_eq!(
+            flat.len(),
+            num_vectors * dim,
+            "flat interaction input has wrong length"
+        );
         out.clear();
         out.reserve(Self::output_dim(num_vectors, dim));
         out.extend_from_slice(flat);
@@ -77,7 +81,11 @@ impl DotInteraction {
         assert!(!vectors.is_empty(), "interaction needs at least one vector");
         let dim = vectors[0].len();
         let expected = Self::output_dim(vectors.len(), dim);
-        assert_eq!(grad_output.len(), expected, "interaction gradient dimension mismatch");
+        assert_eq!(
+            grad_output.len(),
+            expected,
+            "interaction gradient dimension mismatch"
+        );
 
         let mut grads = vec![vec![0.0; dim]; vectors.len()];
         // Pass-through part: the first `n·dim` outputs are the concatenated input vectors.
@@ -140,7 +148,11 @@ mod tests {
 
     #[test]
     fn forward_flat_into_matches_forward() {
-        let vectors = vec![vec![0.5, -1.0, 2.0], vec![1.5, 0.3, -0.7], vec![-0.2, 0.8, 1.1]];
+        let vectors = vec![
+            vec![0.5, -1.0, 2.0],
+            vec![1.5, 0.3, -0.7],
+            vec![-0.2, 0.8, 1.1],
+        ];
         let flat: Vec<f64> = vectors.iter().flatten().copied().collect();
         let mut out = vec![99.0; 3]; // stale contents must be cleared
         DotInteraction::forward_flat_into(&flat, 3, 3, &mut out);
@@ -153,13 +165,20 @@ mod tests {
 
     #[test]
     fn backward_matches_finite_difference() {
-        let vectors = vec![vec![0.5, -1.0, 2.0], vec![1.5, 0.3, -0.7], vec![-0.2, 0.8, 1.1]];
+        let vectors = vec![
+            vec![0.5, -1.0, 2.0],
+            vec![1.5, 0.3, -0.7],
+            vec![-0.2, 0.8, 1.1],
+        ];
         let out = DotInteraction::forward(&vectors);
         // Loss = 0.5 * ||out||², so dL/dout = out.
         let grads = DotInteraction::backward(&vectors, &out);
 
         let loss = |vs: &[Vec<f64>]| -> f64 {
-            DotInteraction::forward(vs).iter().map(|x| 0.5 * x * x).sum()
+            DotInteraction::forward(vs)
+                .iter()
+                .map(|x| 0.5 * x * x)
+                .sum()
         };
         let eps = 1e-6;
         for vi in 0..vectors.len() {

@@ -32,7 +32,11 @@ pub fn mean_bce_with_logits(pairs: &[(f64, f64)]) -> f64 {
     if pairs.is_empty() {
         return 0.0;
     }
-    pairs.iter().map(|&(x, y)| bce_with_logits(x, y)).sum::<f64>() / pairs.len() as f64
+    pairs
+        .iter()
+        .map(|&(x, y)| bce_with_logits(x, y))
+        .sum::<f64>()
+        / pairs.len() as f64
 }
 
 #[cfg(test)]

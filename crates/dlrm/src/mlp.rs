@@ -74,9 +74,14 @@ impl DenseLayer {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut StdRng) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "layer dimensions must be positive"
+        );
         let bound = (6.0 / (in_dim + out_dim) as f64).sqrt();
-        let weights = (0..in_dim * out_dim).map(|_| rng.gen_range(-bound..bound)).collect();
+        let weights = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
         Self {
             in_dim,
             out_dim,
@@ -111,15 +116,19 @@ impl DenseLayer {
     /// Panics if `input.len() != in_dim`.
     #[must_use]
     pub fn forward(&self, input: &[f64]) -> (Vec<f64>, LayerCache) {
-        assert_eq!(input.len(), self.in_dim, "dense layer input dimension mismatch");
+        assert_eq!(
+            input.len(),
+            self.in_dim,
+            "dense layer input dimension mismatch"
+        );
         let mut pre = vec![0.0; self.out_dim];
-        for o in 0..self.out_dim {
-            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
-            let mut acc = self.bias[o];
+        let rows = self.weights.chunks_exact(self.in_dim);
+        for ((p, &b), row) in pre.iter_mut().zip(&self.bias).zip(rows) {
+            let mut acc = b;
             for (w, x) in row.iter().zip(input) {
                 acc += w * x;
             }
-            pre[o] = acc;
+            *p = acc;
         }
         let out = pre.iter().map(|&x| self.activation.apply(x)).collect();
         (
@@ -139,9 +148,23 @@ impl DenseLayer {
     ///
     /// Panics if `input.len() != in_dim` or `out.len() != out_dim`.
     pub fn forward_into(&self, input: &[f64], out: &mut [f64]) {
-        assert_eq!(input.len(), self.in_dim, "dense layer input dimension mismatch");
-        assert_eq!(out.len(), self.out_dim, "dense layer output dimension mismatch");
-        liveupdate_linalg::matrix::gemv_row_major(&self.weights, self.out_dim, self.in_dim, input, out);
+        assert_eq!(
+            input.len(),
+            self.in_dim,
+            "dense layer input dimension mismatch"
+        );
+        assert_eq!(
+            out.len(),
+            self.out_dim,
+            "dense layer output dimension mismatch"
+        );
+        liveupdate_linalg::matrix::gemv_row_major(
+            &self.weights,
+            self.out_dim,
+            self.in_dim,
+            input,
+            out,
+        );
         for (o, b) in out.iter_mut().zip(&self.bias) {
             *o = self.activation.apply(*o + b);
         }
@@ -154,7 +177,11 @@ impl DenseLayer {
     /// Panics if `grad_output.len() != out_dim`.
     #[must_use]
     pub fn backward(&self, cache: &LayerCache, grad_output: &[f64]) -> (Vec<f64>, LayerGradient) {
-        assert_eq!(grad_output.len(), self.out_dim, "dense layer gradient dimension mismatch");
+        assert_eq!(
+            grad_output.len(),
+            self.out_dim,
+            "dense layer gradient dimension mismatch"
+        );
         let mut grad_pre = vec![0.0; self.out_dim];
         for o in 0..self.out_dim {
             grad_pre[o] = grad_output[o] * self.activation.derivative(cache.pre_activation[o]);
@@ -209,8 +236,16 @@ impl DenseLayer {
     ///
     /// Panics if the gradient shapes do not match this layer.
     pub fn apply_gradient(&mut self, grad: &LayerGradient, learning_rate: f64) {
-        assert_eq!(grad.weights.len(), self.weights.len(), "weight gradient shape mismatch");
-        assert_eq!(grad.bias.len(), self.bias.len(), "bias gradient shape mismatch");
+        assert_eq!(
+            grad.weights.len(),
+            self.weights.len(),
+            "weight gradient shape mismatch"
+        );
+        assert_eq!(
+            grad.bias.len(),
+            self.bias.len(),
+            "bias gradient shape mismatch"
+        );
         for (w, g) in self.weights.iter_mut().zip(&grad.weights) {
             *w -= learning_rate * g;
         }
@@ -254,7 +289,11 @@ impl MlpGradient {
     ///
     /// Panics if the structures do not match.
     pub fn accumulate(&mut self, other: &MlpGradient) {
-        assert_eq!(self.layers.len(), other.layers.len(), "MLP gradient layer count mismatch");
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "MLP gradient layer count mismatch"
+        );
         for (mine, theirs) in self.layers.iter_mut().zip(&other.layers) {
             for (a, b) in mine.weights.iter_mut().zip(&theirs.weights) {
                 *a += b;
@@ -287,7 +326,10 @@ impl Mlp {
     /// Panics if fewer than two dimensions are supplied or any dimension is zero.
     #[must_use]
     pub fn new(dims: &[usize], seed: u64) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least an input and an output dimension");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least an input and an output dimension"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for i in 0..dims.len() - 1 {
@@ -370,7 +412,12 @@ impl Mlp {
             layer_grads[idx] = lgrad;
             grad = grad_in;
         }
-        (grad, MlpGradient { layers: layer_grads })
+        (
+            grad,
+            MlpGradient {
+                layers: layer_grads,
+            },
+        )
     }
 
     /// Zero-valued gradient with the same structure as this MLP.
@@ -414,7 +461,11 @@ impl Mlp {
     ///
     /// Panics if the gradient structure does not match.
     pub fn apply_gradient(&mut self, grad: &MlpGradient, learning_rate: f64) {
-        assert_eq!(grad.layers.len(), self.layers.len(), "MLP gradient layer count mismatch");
+        assert_eq!(
+            grad.layers.len(),
+            self.layers.len(),
+            "MLP gradient layer count mismatch"
+        );
         for (layer, g) in self.layers.iter_mut().zip(&grad.layers) {
             layer.apply_gradient(g, learning_rate);
         }
@@ -495,7 +546,7 @@ mod tests {
         assert_eq!(mlp.in_dim(), 13);
         assert_eq!(mlp.out_dim(), 8);
         assert_eq!(mlp.num_layers(), 3);
-        let (out, _) = mlp.forward(&vec![0.1; 13]);
+        let (out, _) = mlp.forward(&[0.1; 13]);
         assert_eq!(out.len(), 8);
     }
 
@@ -523,7 +574,10 @@ mod tests {
             mlp.apply_gradient(&grads, 0.05);
         }
         let final_loss = loss_of(&mlp);
-        assert!(final_loss < initial * 0.01, "loss {initial} -> {final_loss}");
+        assert!(
+            final_loss < initial * 0.01,
+            "loss {initial} -> {final_loss}"
+        );
     }
 
     #[test]
@@ -571,7 +625,9 @@ mod tests {
         let mlp = Mlp::new(&[5, 17, 9, 2], 42);
         let mut scratch = MlpScratch::default();
         for trial in 0..8 {
-            let x: Vec<f64> = (0..5).map(|i| (i as f64 - 2.0) * 0.3 + trial as f64 * 0.1).collect();
+            let x: Vec<f64> = (0..5)
+                .map(|i| (i as f64 - 2.0) * 0.3 + trial as f64 * 0.1)
+                .collect();
             let (expected, _) = mlp.forward(&x);
             let got = mlp.infer(&x, &mut scratch);
             assert_eq!(got.len(), expected.len());

@@ -68,7 +68,10 @@ impl DlrmConfig {
     /// Total number of embedding parameters across all tables.
     #[must_use]
     pub fn embedding_parameter_count(&self) -> usize {
-        self.table_sizes.iter().map(|s| s * self.embedding_dim).sum()
+        self.table_sizes
+            .iter()
+            .map(|s| s * self.embedding_dim)
+            .sum()
     }
 
     /// Validate the configuration; returns a human-readable reason when invalid.
@@ -80,7 +83,7 @@ impl DlrmConfig {
         if self.table_sizes.is_empty() {
             return Err("at least one embedding table is required".into());
         }
-        if self.table_sizes.iter().any(|&s| s == 0) {
+        if self.table_sizes.contains(&0) {
             return Err("embedding tables must have at least one row".into());
         }
         if self.embedding_dim == 0 {
@@ -97,9 +100,12 @@ impl DlrmConfig {
         // files fail with an error instead of a wrapped allocation size.
         let mut total: usize = 0;
         for &size in &self.table_sizes {
-            let cells = size
-                .checked_mul(self.embedding_dim)
-                .ok_or_else(|| format!("embedding table geometry {size}x{} overflows usize", self.embedding_dim))?;
+            let cells = size.checked_mul(self.embedding_dim).ok_or_else(|| {
+                format!(
+                    "embedding table geometry {size}x{} overflows usize",
+                    self.embedding_dim
+                )
+            })?;
             total = total
                 .checked_add(cells)
                 .ok_or_else(|| "total embedding parameter count overflows usize".to_string())?;
@@ -135,7 +141,9 @@ impl DlrmConfig {
         for (t, ids) in sample.sparse.iter().enumerate() {
             let rows = self.table_sizes[t];
             if let Some(&bad) = ids.iter().find(|&&id| id >= rows) {
-                return Err(format!("sparse index {bad} out of bounds for table {t} with {rows} rows"));
+                return Err(format!(
+                    "sparse index {bad} out of bounds for table {t} with {rows} rows"
+                ));
             }
         }
         Ok(())
@@ -202,7 +210,9 @@ impl DlrmModel {
             .table_sizes
             .iter()
             .enumerate()
-            .map(|(i, &size)| EmbeddingTable::new(size, config.embedding_dim, seed.wrapping_add(i as u64 + 1)))
+            .map(|(i, &size)| {
+                EmbeddingTable::new(size, config.embedding_dim, seed.wrapping_add(i as u64 + 1))
+            })
             .collect();
         let mut bottom_dims = vec![config.dense_dim];
         bottom_dims.extend_from_slice(&config.bottom_hidden);
@@ -259,7 +269,9 @@ impl DlrmModel {
     /// [`Self::convert_embedding_storage`]; freshly built models are f64).
     #[must_use]
     pub fn embedding_storage_kind(&self) -> StorageKind {
-        self.tables.first().map_or(StorageKind::F64, EmbeddingTable::storage_kind)
+        self.tables
+            .first()
+            .map_or(StorageKind::F64, EmbeddingTable::storage_kind)
     }
 
     /// Resident bytes of all embedding tables under their current storage (codes +
@@ -308,7 +320,11 @@ impl DlrmModel {
                 .map(|i| {
                     source.table(t).row_into(i, &mut src_row);
                     self.table(t).row_into(i, &mut dst_row);
-                    let d: f64 = src_row.iter().zip(&dst_row).map(|(a, b)| (a - b) * (a - b)).sum();
+                    let d: f64 = src_row
+                        .iter()
+                        .zip(&dst_row)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
                     (i, d)
                 })
                 .collect();
@@ -328,7 +344,11 @@ impl DlrmModel {
     pub fn parameter_count(&self) -> usize {
         self.bottom.parameter_count()
             + self.top.parameter_count()
-            + self.tables.iter().map(EmbeddingTable::parameter_count).sum::<usize>()
+            + self
+                .tables
+                .iter()
+                .map(EmbeddingTable::parameter_count)
+                .sum::<usize>()
     }
 
     /// Every trainable parameter as one flat vector in the canonical order: embedding
@@ -424,7 +444,11 @@ impl DlrmModel {
     /// Panics if `pooled.len()` does not match the number of tables.
     #[must_use]
     pub fn predict_with_pooled(&self, sample: &Sample, pooled: &[Vec<f64>]) -> f64 {
-        assert_eq!(pooled.len(), self.tables.len(), "pooled embedding count mismatch");
+        assert_eq!(
+            pooled.len(),
+            self.tables.len(),
+            "pooled embedding count mismatch"
+        );
         sigmoid(self.forward_with_embeddings(sample, pooled).logit)
     }
 
@@ -446,11 +470,9 @@ impl DlrmModel {
     #[must_use]
     pub fn predict_with_scratch(&self, sample: &Sample, scratch: &mut InferenceScratch) -> f64 {
         let tables = &self.tables;
-        self.predict_pooled_with_scratch(
-            sample,
-            scratch,
-            |t, ids, out| tables[t].pooled_lookup_into(ids, out),
-        )
+        self.predict_pooled_with_scratch(sample, scratch, |t, ids, out| {
+            tables[t].pooled_lookup_into(ids, out)
+        })
     }
 
     /// Like [`Self::predict_with_scratch`] but with the pooled-embedding gather supplied
@@ -468,7 +490,11 @@ impl DlrmModel {
         scratch: &mut InferenceScratch,
         mut gather: impl FnMut(usize, &[usize], &mut [f64]),
     ) -> f64 {
-        assert_eq!(sample.dense.len(), self.config.dense_dim, "sample dense dimension mismatch");
+        assert_eq!(
+            sample.dense.len(),
+            self.config.dense_dim,
+            "sample dense dimension mismatch"
+        );
         assert_eq!(
             sample.sparse.len(),
             self.tables.len(),
@@ -496,7 +522,10 @@ impl DlrmModel {
     /// Panics if the batch is empty or a sample's shape does not match the model.
     #[must_use]
     pub fn compute_gradients(&self, batch: &MiniBatch) -> BatchGradients {
-        assert!(!batch.is_empty(), "cannot compute gradients for an empty batch");
+        assert!(
+            !batch.is_empty(),
+            "cannot compute gradients for an empty batch"
+        );
         let mut bottom_grad = self.bottom.zero_gradient();
         let mut top_grad = self.top.zero_gradient();
         let mut emb_grads: Vec<SparseGradient> = self
@@ -517,7 +546,8 @@ impl DlrmModel {
             top_grad.accumulate(&tg);
 
             // Interaction backward.
-            let grads_vectors = DotInteraction::backward(&cache.interaction_inputs, &grad_interacted);
+            let grads_vectors =
+                DotInteraction::backward(&cache.interaction_inputs, &grad_interacted);
 
             // Bottom MLP backward (input vector 0).
             let (_, bg) = self.bottom.backward(&cache.bottom_cache, &grads_vectors[0]);
@@ -554,7 +584,8 @@ impl DlrmModel {
     /// Apply previously computed gradients with the configured optimiser.
     pub fn apply_gradients(&mut self, grads: &BatchGradients) {
         let opt = self.config.optimizer;
-        self.bottom.apply_gradient(&grads.bottom, opt.dense_learning_rate);
+        self.bottom
+            .apply_gradient(&grads.bottom, opt.dense_learning_rate);
         self.top.apply_gradient(&grads.top, opt.dense_learning_rate);
         for (table, grad) in self.tables.iter_mut().zip(&grads.embeddings) {
             match opt.sparse_optimizer {
@@ -600,7 +631,9 @@ mod tests {
     }
 
     fn random_sample(rng: &mut StdRng, cfg: &DlrmConfig, label: f64) -> Sample {
-        let dense = (0..cfg.dense_dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let dense = (0..cfg.dense_dim)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         let sparse = cfg
             .table_sizes
             .iter()
@@ -684,7 +717,9 @@ mod tests {
         use crate::embedding::StorageKind;
         let f64_model = DlrmModel::new(config(), 8);
         let mut rng = StdRng::seed_from_u64(10);
-        let samples: Vec<Sample> = (0..30).map(|_| random_sample(&mut rng, f64_model.config(), 1.0)).collect();
+        let samples: Vec<Sample> = (0..30)
+            .map(|_| random_sample(&mut rng, f64_model.config(), 1.0))
+            .collect();
         for kind in [StorageKind::F16, StorageKind::I8] {
             let mut q = f64_model.clone();
             q.convert_embedding_storage(kind);
@@ -750,7 +785,11 @@ mod tests {
                 let label = if id < 25 { 1.0 } else { 0.0 };
                 Sample::new(
                     vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)],
-                    vec![vec![id], vec![rng.gen_range(0..50)], vec![rng.gen_range(0..50)]],
+                    vec![
+                        vec![id],
+                        vec![rng.gen_range(0..50)],
+                        vec![rng.gen_range(0..50)],
+                    ],
                     label,
                 )
             })
@@ -804,7 +843,7 @@ mod tests {
         let analytic = grads.embeddings[0].get(2).unwrap().to_vec();
 
         let eps = 1e-6;
-        for k in 0..4 {
+        for (k, &analytic_k) in analytic.iter().enumerate() {
             let mut plus = model.clone();
             plus.tables_mut()[0].row_mut(2)[k] += eps;
             let mut minus = model.clone();
@@ -813,9 +852,8 @@ mod tests {
             let loss_minus = minus.compute_gradients(&batch).loss;
             let numeric = (loss_plus - loss_minus) / (2.0 * eps);
             assert!(
-                (numeric - analytic[k]).abs() < 1e-4,
-                "coord {k}: numeric {numeric} vs analytic {}",
-                analytic[k]
+                (numeric - analytic_k).abs() < 1e-4,
+                "coord {k}: numeric {numeric} vs analytic {analytic_k}"
             );
         }
     }
@@ -830,7 +868,10 @@ mod tests {
         let same = model.predict_with_pooled(&sample, &own_pooled);
         assert!((base - same).abs() < 1e-12);
         let different = model.predict_with_pooled(&sample, &[vec![10.0, -10.0, 10.0, -10.0]]);
-        assert!((different - base).abs() > 1e-9, "a very different embedding must change the output");
+        assert!(
+            (different - base).abs() > 1e-9,
+            "a very different embedding must change the output"
+        );
     }
 
     #[test]
@@ -838,7 +879,11 @@ mod tests {
         let cfg = config();
         let mut source = DlrmModel::new(cfg.clone(), 5);
         let mut rng = StdRng::seed_from_u64(6);
-        let batch = MiniBatch::new((0..32).map(|_| random_sample(&mut rng, &cfg, 1.0)).collect());
+        let batch = MiniBatch::new(
+            (0..32)
+                .map(|_| random_sample(&mut rng, &cfg, 1.0))
+                .collect(),
+        );
         // Move the source away from its initialisation so the transfer is observable.
         for _ in 0..5 {
             source.train_batch(&batch);

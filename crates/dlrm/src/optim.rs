@@ -73,7 +73,10 @@ mod tests {
     fn default_is_valid_adagrad() {
         let c = OptimizerConfig::default();
         assert!(c.is_valid());
-        assert!(matches!(c.sparse_optimizer, OptimizerKind::RowWiseAdagrad { .. }));
+        assert!(matches!(
+            c.sparse_optimizer,
+            OptimizerKind::RowWiseAdagrad { .. }
+        ));
     }
 
     #[test]
@@ -87,13 +90,17 @@ mod tests {
 
     #[test]
     fn invalid_configs_detected() {
-        let mut c = OptimizerConfig::default();
-        c.dense_learning_rate = 0.0;
+        let mut c = OptimizerConfig {
+            dense_learning_rate: 0.0,
+            ..OptimizerConfig::default()
+        };
         assert!(!c.is_valid());
         c.dense_learning_rate = f64::NAN;
         assert!(!c.is_valid());
-        c = OptimizerConfig::default();
-        c.sparse_learning_rate = -1.0;
+        c = OptimizerConfig {
+            sparse_learning_rate: -1.0,
+            ..OptimizerConfig::default()
+        };
         assert!(!c.is_valid());
     }
 }

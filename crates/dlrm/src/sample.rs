@@ -19,7 +19,11 @@ impl Sample {
     /// Create a sample from its parts.
     #[must_use]
     pub fn new(dense: Vec<f64>, sparse: Vec<Vec<usize>>, label: f64) -> Self {
-        Self { dense, sparse, label }
+        Self {
+            dense,
+            sparse,
+            label,
+        }
     }
 
     /// Number of embedding tables this sample addresses.

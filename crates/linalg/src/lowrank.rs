@@ -99,7 +99,9 @@ impl LowRankFactors {
     /// Reconstruct the dense product `A·B`.
     #[must_use]
     pub fn reconstruct(&self) -> Matrix {
-        self.a.matmul(&self.b).expect("factor shapes are validated at construction")
+        self.a
+            .matmul(&self.b)
+            .expect("factor shapes are validated at construction")
     }
 
     /// Reconstruct a single row `A[i]·B` without materialising the full product — the

@@ -420,14 +420,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -447,7 +453,11 @@ impl Sub<&Matrix> for &Matrix {
     type Output = Matrix;
 
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix subtraction shape mismatch"
+        );
         let mut out = self.clone();
         out.add_scaled(-1.0, rhs).expect("shapes already checked");
         out
@@ -458,7 +468,8 @@ impl Mul<&Matrix> for &Matrix {
     type Output = Matrix;
 
     fn mul(self, rhs: &Matrix) -> Matrix {
-        self.matmul(rhs).expect("matrix multiplication shape mismatch")
+        self.matmul(rhs)
+            .expect("matrix multiplication shape mismatch")
     }
 }
 
@@ -469,7 +480,12 @@ impl fmt::Debug for Matrix {
         for i in 0..show {
             let row = self.row(i);
             let cells: Vec<String> = row.iter().take(8).map(|v| format!("{v:>10.4}")).collect();
-            writeln!(f, "  [{}{}]", cells.join(", "), if self.cols > 8 { ", …" } else { "" })?;
+            writeln!(
+                f,
+                "  [{}{}]",
+                cells.join(", "),
+                if self.cols > 8 { ", …" } else { "" }
+            )?;
         }
         if self.rows > show {
             writeln!(f, "  … ({} more rows)", self.rows - show)?;
@@ -576,7 +592,10 @@ mod tests {
     fn matvec_and_transposed() {
         let a = Matrix::from_vec(2, 3, vec![1.0, 0.0, 2.0, 0.0, 1.0, 3.0]).unwrap();
         assert_eq!(a.matvec(&[1.0, 1.0, 1.0]).unwrap(), vec![3.0, 4.0]);
-        assert_eq!(a.matvec_transposed(&[1.0, 1.0]).unwrap(), vec![1.0, 1.0, 5.0]);
+        assert_eq!(
+            a.matvec_transposed(&[1.0, 1.0]).unwrap(),
+            vec![1.0, 1.0, 5.0]
+        );
         assert!(a.matvec(&[1.0]).is_err());
         assert!(a.matvec_transposed(&[1.0]).is_err());
     }
@@ -588,7 +607,7 @@ mod tests {
         let mut y = vec![f64::NAN; 7];
         a.matvec_into(&x, &mut y).unwrap();
         assert_eq!(y, a.matvec(&x).unwrap());
-        assert!(a.matvec_into(&x, &mut vec![0.0; 3]).is_err());
+        assert!(a.matvec_into(&x, &mut [0.0; 3]).is_err());
         assert!(a.matvec_into(&[1.0], &mut y).is_err());
     }
 
@@ -596,7 +615,9 @@ mod tests {
     fn gemv_blocked_matches_naive_across_block_boundary() {
         // Wider than one column block so the blocked loop takes multiple strips.
         let (rows, cols) = (3, 2 * super::GEMV_COL_BLOCK + 17);
-        let a: Vec<f64> = (0..rows * cols).map(|i| ((i % 29) as f64 - 14.0) * 0.1).collect();
+        let a: Vec<f64> = (0..rows * cols)
+            .map(|i| ((i % 29) as f64 - 14.0) * 0.1)
+            .collect();
         let x: Vec<f64> = (0..cols).map(|i| ((i % 13) as f64 - 6.0) * 0.5).collect();
         let mut y = vec![0.0; rows];
         gemv_row_major(&a, rows, cols, &x, &mut y);

@@ -192,7 +192,9 @@ mod tests {
 
     #[test]
     fn eigenvalues_sorted_and_nonnegative() {
-        let data = Matrix::from_fn(40, 6, |i, j| ((i * 3 + j * 7) % 13) as f64 + (j as f64).sin());
+        let data = Matrix::from_fn(40, 6, |i, j| {
+            ((i * 3 + j * 7) % 13) as f64 + (j as f64).sin()
+        });
         let pca = Pca::fit(&data).unwrap();
         for w in pca.eigenvalues().windows(2) {
             assert!(w[0] >= w[1] - 1e-12);
@@ -249,7 +251,10 @@ mod tests {
         let data = Matrix::from_fn(20, 4, |i, j| (i as f64 * 0.1 + 1.0) * (j as f64 + 1.0));
         let pca = Pca::fit_uncentered(&data).unwrap();
         let svd = Svd::compute(&data).unwrap();
-        assert_eq!(pca.rank_for_variance(0.8), svd.rank_for_energy(0.8).unwrap());
+        assert_eq!(
+            pca.rank_for_variance(0.8),
+            svd.rank_for_energy(0.8).unwrap()
+        );
         assert!(pca.column_means().iter().all(|&m| m == 0.0));
     }
 
@@ -306,7 +311,11 @@ mod tests {
             .collect();
         let data = Matrix::from_rows(&rows).unwrap();
         let pca = Pca::fit(&data).unwrap();
-        assert!(pca.rank_for_variance(0.8) <= 3, "rank = {}", pca.rank_for_variance(0.8));
+        assert!(
+            pca.rank_for_variance(0.8) <= 3,
+            "rank = {}",
+            pca.rank_for_variance(0.8)
+        );
     }
 
     proptest! {

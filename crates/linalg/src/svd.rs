@@ -97,14 +97,14 @@ impl Svd {
             }
             let u_col = self.u.col(idx);
             let v_col = self.v.col(idx);
-            for i in 0..n {
-                let scale = sigma * u_col[i];
+            for (i, &u) in u_col.iter().enumerate() {
+                let scale = sigma * u;
                 if scale == 0.0 {
                     continue;
                 }
                 let row = out.row_mut(i);
-                for j in 0..d {
-                    row[j] += scale * v_col[j];
+                for (r, &v) in row.iter_mut().zip(&v_col) {
+                    *r += scale * v;
                 }
             }
         }
@@ -179,11 +179,11 @@ impl Svd {
                     let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
                     let c = 1.0 / (1.0 + t * t).sqrt();
                     let s = c * t;
-                    for i in 0..n {
-                        let wp = w[p][i];
-                        let wq = w[q][i];
-                        w[p][i] = c * wp - s * wq;
-                        w[q][i] = s * wp + c * wq;
+                    let (head, tail) = w.split_at_mut(q);
+                    for (wp, wq) in head[p].iter_mut().zip(tail[0].iter_mut()) {
+                        let (a, b) = (*wp, *wq);
+                        *wp = c * a - s * b;
+                        *wq = s * a + c * b;
                     }
                     for i in 0..d {
                         let vp = v[(i, p)];
@@ -212,7 +212,11 @@ impl Svd {
         // Column norms are the singular values; normalised columns are U.
         let mut order: Vec<usize> = (0..d).collect();
         let sigmas: Vec<f64> = (0..d).map(|j| vector::norm2(&w[j])).collect();
-        order.sort_by(|&i, &j| sigmas[j].partial_cmp(&sigmas[i]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&i, &j| {
+            sigmas[j]
+                .partial_cmp(&sigmas[i])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
 
         let mut u = Matrix::zeros(n, d);
         let mut v_sorted = Matrix::zeros(d, d);
@@ -311,7 +315,9 @@ mod tests {
 
     #[test]
     fn energy_captured_monotone() {
-        let a = Matrix::from_fn(8, 4, |i, j| (i as f64 * 0.3 + 1.0) * (j as f64 + 1.0) + (i % 3) as f64);
+        let a = Matrix::from_fn(8, 4, |i, j| {
+            (i as f64 * 0.3 + 1.0) * (j as f64 + 1.0) + (i % 3) as f64
+        });
         let svd = Svd::compute(&a).unwrap();
         let mut prev = 0.0;
         for k in 0..=svd.len() {
@@ -345,7 +351,11 @@ mod tests {
         let svd = Svd::compute(&a).unwrap();
         for k in 0..svd.len() {
             let err = (&a - &svd.truncated(k)).frobenius_norm();
-            let expected: f64 = svd.singular_values[k..].iter().map(|s| s * s).sum::<f64>().sqrt();
+            let expected: f64 = svd.singular_values[k..]
+                .iter()
+                .map(|s| s * s)
+                .sum::<f64>()
+                .sqrt();
             assert!((err - expected).abs() < 1e-7, "k={k}: {err} vs {expected}");
         }
     }

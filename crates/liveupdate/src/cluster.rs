@@ -90,10 +90,14 @@ impl ClusterConfig {
         use crate::error::ConfigError;
         self.experiment.validate()?;
         if self.num_replicas == 0 {
-            return Err(ConfigError::NonPositive { field: "cluster.num_replicas" });
+            return Err(ConfigError::NonPositive {
+                field: "cluster.num_replicas",
+            });
         }
         if self.sync_interval_minutes <= 0.0 {
-            return Err(ConfigError::NonPositive { field: "cluster.sync_interval_minutes" });
+            return Err(ConfigError::NonPositive {
+                field: "cluster.sync_interval_minutes",
+            });
         }
         if !self.spec.is_valid() {
             return Err(ConfigError::Constraint {
@@ -204,17 +208,27 @@ impl ServingCluster {
         assert!(cfg.is_valid(), "invalid cluster configuration");
         let replicas: Vec<Replica> = (0..cfg.num_replicas)
             .map(|rank| {
-                Replica::new(rank, ServingNode::new(day1_model.clone(), cfg.experiment.liveupdate))
+                Replica::new(
+                    rank,
+                    ServingNode::new(day1_model.clone(), cfg.experiment.liveupdate),
+                )
             })
             .collect();
         let sharder = StreamSharder::new(cfg.routing, cfg.num_replicas);
-        let sync = SparseLoraSync::new(cfg.num_replicas, cfg.experiment.liveupdate.sync_interval_steps);
+        let sync = SparseLoraSync::new(
+            cfg.num_replicas,
+            cfg.experiment.liveupdate.sync_interval_steps,
+        );
         let collective = cfg.spec.intra_collective(cfg.algorithm);
-        let windows = (cfg.experiment.duration_minutes / cfg.experiment.window_minutes).ceil() as usize;
+        let windows =
+            (cfg.experiment.duration_minutes / cfg.experiment.window_minutes).ceil() as usize;
         let mut queue = EventQueue::new();
         queue.schedule_at(0.0, ClusterEvent::ServeWindow { window: 0 });
         if cfg.sync_interval_minutes <= cfg.experiment.duration_minutes + 1e-9 {
-            queue.schedule_at(cfg.sync_interval_minutes, ClusterEvent::SyncLora { index: 0 });
+            queue.schedule_at(
+                cfg.sync_interval_minutes,
+                ClusterEvent::SyncLora { index: 0 },
+            );
         }
         Self {
             cfg,
@@ -329,13 +343,17 @@ impl ServingCluster {
     }
 
     fn on_sync(&mut self, rel_time: f64, index: usize) {
-        let (report, support) = self.sync.synchronize_peers(&mut self.replicas, &self.collective);
+        let (report, support) = self
+            .sync
+            .synchronize_peers(&mut self.replicas, &self.collective);
         self.last_sync_support = support;
-        self.ledger.charge(report.bytes_per_rank, report.allgather_seconds);
+        self.ledger
+            .charge(report.bytes_per_rank, report.allgather_seconds);
         self.sync_reports.push(report);
         let next = rel_time + self.cfg.sync_interval_minutes;
         if next <= self.cfg.experiment.duration_minutes + 1e-9 {
-            self.queue.schedule_at(next, ClusterEvent::SyncLora { index: index + 1 });
+            self.queue
+                .schedule_at(next, ClusterEvent::SyncLora { index: index + 1 });
         }
     }
 
@@ -489,7 +507,10 @@ mod tests {
         assert_eq!(summary.timeline.len(), 2);
         assert_eq!(summary.requests_served, 2 * 96);
         assert_eq!(summary.per_replica_requests.len(), 2);
-        assert!(summary.per_replica_requests.iter().all(|&r| r > 0), "both replicas saw traffic");
+        assert!(
+            summary.per_replica_requests.iter().all(|&r| r > 0),
+            "both replicas saw traffic"
+        );
         // One sync per window.
         assert_eq!(summary.sync_reports.len(), 2);
         assert_eq!(summary.ledger.syncs, 2);
@@ -500,7 +521,10 @@ mod tests {
     #[test]
     fn sync_costs_match_the_analytic_models() {
         let mut cluster = ServingCluster::new(small_cfg(4));
-        let collective = cluster.config().spec.intra_collective(cluster.config().algorithm);
+        let collective = cluster
+            .config()
+            .spec
+            .intra_collective(cluster.config().algorithm);
         let summary = cluster.run();
         let mut total_bytes = 0u64;
         for report in &summary.sync_reports {
@@ -513,8 +537,7 @@ mod tests {
             // indices·rank·8 bytes of A rows plus the touched tables' 4×8 B factors.
             assert!(report.bytes_per_rank >= (report.indices_exchanged * 4 * 8) as u64);
             assert!(
-                report.bytes_per_rank
-                    <= (report.indices_exchanged * 4 * 8 + 2 * 4 * 8 * 8) as u64
+                report.bytes_per_rank <= (report.indices_exchanged * 4 * 8 + 2 * 4 * 8 * 8) as u64
             );
             total_bytes += report.bytes_per_rank;
         }
@@ -528,7 +551,10 @@ mod tests {
         let summary = ServingCluster::new(cfg).run();
         let max = *summary.per_replica_requests.iter().max().unwrap();
         let min = *summary.per_replica_requests.iter().min().unwrap();
-        assert!(max - min <= 1, "round robin must balance to within one request");
+        assert!(
+            max - min <= 1,
+            "round robin must balance to within one request"
+        );
     }
 
     #[test]
@@ -547,7 +573,10 @@ mod tests {
         assert_eq!(cluster.mean_auc, baseline.mean_auc);
         assert_eq!(cluster.mean_logloss, baseline.mean_logloss);
         assert_eq!(cluster.requests_served, baseline.requests_served);
-        assert_eq!(cluster.final_lora_memory_bytes, baseline.final_lora_memory_bytes);
+        assert_eq!(
+            cluster.final_lora_memory_bytes,
+            baseline.final_lora_memory_bytes
+        );
     }
 
     #[test]

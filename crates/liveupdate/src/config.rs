@@ -95,10 +95,14 @@ impl LiveUpdateConfig {
             });
         }
         if self.initial_rank == 0 {
-            return Err(ConfigError::NonPositive { field: "liveupdate.initial_rank" });
+            return Err(ConfigError::NonPositive {
+                field: "liveupdate.initial_rank",
+            });
         }
         if self.min_rank == 0 {
-            return Err(ConfigError::NonPositive { field: "liveupdate.min_rank" });
+            return Err(ConfigError::NonPositive {
+                field: "liveupdate.min_rank",
+            });
         }
         if self.min_rank > self.max_rank {
             return Err(ConfigError::Mismatch {
@@ -108,10 +112,14 @@ impl LiveUpdateConfig {
             });
         }
         if self.adaptation_interval_steps == 0 {
-            return Err(ConfigError::NonPositive { field: "liveupdate.adaptation_interval_steps" });
+            return Err(ConfigError::NonPositive {
+                field: "liveupdate.adaptation_interval_steps",
+            });
         }
         if self.pruning_window_steps == 0 {
-            return Err(ConfigError::NonPositive { field: "liveupdate.pruning_window_steps" });
+            return Err(ConfigError::NonPositive {
+                field: "liveupdate.pruning_window_steps",
+            });
         }
         if !(self.lora_learning_rate > 0.0 && self.lora_learning_rate.is_finite()) {
             return Err(ConfigError::Constraint {
@@ -138,13 +146,19 @@ impl LiveUpdateConfig {
             });
         }
         if self.retention_minutes <= 0.0 {
-            return Err(ConfigError::NonPositive { field: "liveupdate.retention_minutes" });
+            return Err(ConfigError::NonPositive {
+                field: "liveupdate.retention_minutes",
+            });
         }
         if self.retention_max_records == 0 {
-            return Err(ConfigError::NonPositive { field: "liveupdate.retention_max_records" });
+            return Err(ConfigError::NonPositive {
+                field: "liveupdate.retention_max_records",
+            });
         }
         if self.sync_interval_steps == 0 {
-            return Err(ConfigError::NonPositive { field: "liveupdate.sync_interval_steps" });
+            return Err(ConfigError::NonPositive {
+                field: "liveupdate.sync_interval_steps",
+            });
         }
         if !(0.0..=1.0).contains(&self.hot_cache_fraction) {
             return Err(ConfigError::Constraint {
@@ -204,57 +218,83 @@ mod tests {
 
     #[test]
     fn invalid_configurations_rejected() {
-        let mut c = LiveUpdateConfig::default();
-        c.variance_threshold = 1.5;
+        let c = LiveUpdateConfig {
+            variance_threshold: 1.5,
+            ..LiveUpdateConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        c = LiveUpdateConfig::default();
-        c.min_rank = 10;
-        c.max_rank = 5;
+        let c = LiveUpdateConfig {
+            min_rank: 10,
+            max_rank: 5,
+            ..LiveUpdateConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        c = LiveUpdateConfig::default();
-        c.lora_learning_rate = 0.0;
+        let c = LiveUpdateConfig {
+            lora_learning_rate: 0.0,
+            ..LiveUpdateConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        c = LiveUpdateConfig::default();
-        c.min_table_fraction = 0.0;
+        let c = LiveUpdateConfig {
+            min_table_fraction: 0.0,
+            ..LiveUpdateConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        c = LiveUpdateConfig::default();
-        c.max_table_fraction = 0.001;
+        let c = LiveUpdateConfig {
+            max_table_fraction: 0.001,
+            ..LiveUpdateConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        c = LiveUpdateConfig::default();
-        c.p99_low_threshold_ms = 20.0;
+        let c = LiveUpdateConfig {
+            p99_low_threshold_ms: 20.0,
+            ..LiveUpdateConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        c = LiveUpdateConfig::default();
-        c.retention_minutes = 0.0;
+        let c = LiveUpdateConfig {
+            retention_minutes: 0.0,
+            ..LiveUpdateConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        c = LiveUpdateConfig::default();
-        c.sync_interval_steps = 0;
+        let c = LiveUpdateConfig {
+            sync_interval_steps: 0,
+            ..LiveUpdateConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        c = LiveUpdateConfig::default();
-        c.adaptation_interval_steps = 0;
+        let c = LiveUpdateConfig {
+            adaptation_interval_steps: 0,
+            ..LiveUpdateConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        c = LiveUpdateConfig::default();
-        c.initial_rank = 0;
+        let c = LiveUpdateConfig {
+            initial_rank: 0,
+            ..LiveUpdateConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        c = LiveUpdateConfig::default();
-        c.hot_fraction = 0.0;
+        let c = LiveUpdateConfig {
+            hot_fraction: 0.0,
+            ..LiveUpdateConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        c = LiveUpdateConfig::default();
-        c.retention_max_records = 0;
+        let c = LiveUpdateConfig {
+            retention_max_records: 0,
+            ..LiveUpdateConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        c = LiveUpdateConfig::default();
-        c.hot_cache_fraction = 1.5;
+        let c = LiveUpdateConfig {
+            hot_cache_fraction: 1.5,
+            ..LiveUpdateConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -266,7 +306,10 @@ mod tests {
             ..LiveUpdateConfig::default()
         };
         assert!(c.validate().is_ok());
-        assert_eq!(LiveUpdateConfig::default().serving_storage, StorageKind::F64);
+        assert_eq!(
+            LiveUpdateConfig::default().serving_storage,
+            StorageKind::F64
+        );
         assert_eq!(LiveUpdateConfig::default().hot_cache_fraction, 0.0);
     }
 }

@@ -93,12 +93,21 @@ impl ServingNode {
             .tables()
             .iter()
             .enumerate()
-            .map(|(i, t)| LoraTable::new(t.num_rows(), t.dim(), config.initial_rank, 1000 + i as u64))
+            .map(|(i, t)| {
+                LoraTable::new(t.num_rows(), t.dim(), config.initial_rank, 1000 + i as u64)
+            })
             .collect();
         let rank_adapters = model
             .tables()
             .iter()
-            .map(|_| RankAdapter::new(config.variance_threshold, config.initial_rank, config.min_rank, config.max_rank))
+            .map(|_| {
+                RankAdapter::new(
+                    config.variance_threshold,
+                    config.initial_rank,
+                    config.min_rank,
+                    config.max_rank,
+                )
+            })
             .collect();
         let pruners = model
             .tables()
@@ -113,7 +122,11 @@ impl ServingNode {
                 )
             })
             .collect();
-        let access = model.tables().iter().map(|t| AccessHistogram::new(t.num_rows())).collect();
+        let access = model
+            .tables()
+            .iter()
+            .map(|t| AccessHistogram::new(t.num_rows()))
+            .collect();
         let hot_filter = HotIndexFilter::new(model.tables().len());
         let buffer = RetentionBuffer::new(config.retention_minutes, config.retention_max_records);
         // The serving model alone takes the configured (possibly quantized) row storage;
@@ -310,7 +323,11 @@ impl ServingNode {
     /// every `adaptation_interval_steps` rounds — adapt the rank and prune the tables.
     ///
     /// Returns a report; a round with an empty buffer is a no-op with zero rows updated.
-    pub fn online_update_round(&mut self, _time_minutes: f64, batch_size: usize) -> UpdateRoundReport {
+    pub fn online_update_round(
+        &mut self,
+        _time_minutes: f64,
+        batch_size: usize,
+    ) -> UpdateRoundReport {
         let batch = self.buffer.sample_batch(&mut self.rng, batch_size.max(1));
         if batch.is_empty() {
             return UpdateRoundReport {
@@ -323,14 +340,17 @@ impl ServingNode {
                 lora_memory_bytes: self.lora_memory_bytes(),
             };
         }
-        let report = self.trainer.train_step(&self.serving_model, &mut self.loras, &batch);
+        let report = self
+            .trainer
+            .train_step(&self.serving_model, &mut self.loras, &batch);
         self.steps += 1;
 
         // Refresh the serving rows for every touched index and mark them hot.
         let mut touched_rows = Vec::new();
         for (table_idx, touched) in report.touched_per_table.iter().enumerate() {
             for &row in touched {
-                let eff = self.loras[table_idx].effective_row(row, self.base_model.table(table_idx).row(row));
+                let eff = self.loras[table_idx]
+                    .effective_row(row, self.base_model.table(table_idx).row(row));
                 self.serving_model.tables_mut()[table_idx].set_row(row, &eff);
                 touched_rows.push((table_idx, row));
             }
@@ -340,7 +360,9 @@ impl ServingNode {
         }
 
         // Periodic adaptation (Algorithm 1).
-        let adapted = self.steps % self.config.adaptation_interval_steps as u64 == 0;
+        let adapted = self
+            .steps
+            .is_multiple_of(self.config.adaptation_interval_steps as u64);
         let mut pruned_rows = 0usize;
         if adapted {
             for table_idx in 0..self.loras.len() {
@@ -348,13 +370,15 @@ impl ServingNode {
                 self.loras[table_idx].resize_rank(decision.rank);
 
                 // Retune τ_prune from the live access skew (top hot_fraction boundary).
-                let threshold = self.access[table_idx].threshold_for_top_fraction(self.config.hot_fraction);
+                let threshold =
+                    self.access[table_idx].threshold_for_top_fraction(self.config.hot_fraction);
                 if threshold != u64::MAX {
                     self.pruners[table_idx].set_prune_threshold(threshold.max(1));
                 }
                 let prune = self.pruners[table_idx].decide();
                 pruned_rows += self.loras[table_idx].prune_to(&prune.active_indices);
-                self.hot_filter.retain(table_idx, &self.loras[table_idx].active_indices());
+                self.hot_filter
+                    .retain(table_idx, &self.loras[table_idx].active_indices());
             }
         }
 
@@ -559,8 +583,10 @@ mod tests {
     #[should_panic(expected = "invalid LiveUpdate configuration")]
     fn invalid_config_rejected() {
         let model = DlrmModel::new(DlrmConfig::tiny(1, 10, 4), 0);
-        let mut cfg = LiveUpdateConfig::default();
-        cfg.variance_threshold = 0.0;
+        let cfg = LiveUpdateConfig {
+            variance_threshold: 0.0,
+            ..LiveUpdateConfig::default()
+        };
         let _ = ServingNode::new(model, cfg);
     }
 
@@ -571,7 +597,10 @@ mod tests {
         let batch = w.batch_at(0.0, 32);
         let report = n.serve_batch(0.0, &batch);
         assert_eq!(report.requests, 32);
-        assert_eq!(report.lora_corrected_lookups, 0, "nothing is hot before any update");
+        assert_eq!(
+            report.lora_corrected_lookups, 0,
+            "nothing is hot before any update"
+        );
         assert!(report.mean_prediction > 0.0 && report.mean_prediction < 1.0);
         assert_eq!(n.buffered_records(), 32);
     }
@@ -618,14 +647,19 @@ mod tests {
                 }
             }
         }
-        assert!(any_diff, "LoRA corrections must be visible in the serving model");
+        assert!(
+            any_diff,
+            "LoRA corrections must be visible in the serving model"
+        );
     }
 
     #[test]
     fn adaptation_triggers_on_interval() {
         let model = DlrmModel::new(DlrmConfig::tiny(1, 200, 8), 5);
-        let mut cfg = LiveUpdateConfig::default();
-        cfg.adaptation_interval_steps = 3;
+        let cfg = LiveUpdateConfig {
+            adaptation_interval_steps: 3,
+            ..LiveUpdateConfig::default()
+        };
         let mut n = ServingNode::new(model, cfg);
         let mut w = SyntheticWorkload::new(WorkloadConfig {
             num_tables: 1,

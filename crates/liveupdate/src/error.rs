@@ -55,7 +55,11 @@ impl fmt::Display for ConfigError {
             ConfigError::Constraint { field, requirement } => {
                 write!(f, "{field}: {requirement}")
             }
-            ConfigError::Mismatch { left, right, requirement } => {
+            ConfigError::Mismatch {
+                left,
+                right,
+                requirement,
+            } => {
                 write!(f, "{left} and {right} disagree: {requirement}")
             }
         }
@@ -70,8 +74,13 @@ mod tests {
 
     #[test]
     fn display_names_the_field() {
-        let e = ConfigError::NonPositive { field: "experiment.duration_minutes" };
-        assert_eq!(e.to_string(), "experiment.duration_minutes must be positive");
+        let e = ConfigError::NonPositive {
+            field: "experiment.duration_minutes",
+        };
+        assert_eq!(
+            e.to_string(),
+            "experiment.duration_minutes must be positive"
+        );
         assert_eq!(e.field(), "experiment.duration_minutes");
 
         let e = ConfigError::Constraint {

@@ -143,16 +143,24 @@ impl ExperimentConfig {
             });
         }
         if self.duration_minutes <= 0.0 {
-            return Err(ConfigError::NonPositive { field: "experiment.duration_minutes" });
+            return Err(ConfigError::NonPositive {
+                field: "experiment.duration_minutes",
+            });
         }
         if self.window_minutes <= 0.0 {
-            return Err(ConfigError::NonPositive { field: "experiment.window_minutes" });
+            return Err(ConfigError::NonPositive {
+                field: "experiment.window_minutes",
+            });
         }
         if self.requests_per_window == 0 {
-            return Err(ConfigError::NonPositive { field: "experiment.requests_per_window" });
+            return Err(ConfigError::NonPositive {
+                field: "experiment.requests_per_window",
+            });
         }
         if self.training_batch_size == 0 {
-            return Err(ConfigError::NonPositive { field: "experiment.training_batch_size" });
+            return Err(ConfigError::NonPositive {
+                field: "experiment.training_batch_size",
+            });
         }
         self.liveupdate.validate()
     }
@@ -295,7 +303,8 @@ pub fn run_strategy_with_training_delay(
                 }
             }
             StrategyKind::QuickUpdate { fraction } => {
-                if rel_time + cfg.window_minutes - last_full_sync >= cfg.full_sync_interval_minutes {
+                if rel_time + cfg.window_minutes - last_full_sync >= cfg.full_sync_interval_minutes
+                {
                     serving_model = training_model.clone();
                     last_full_sync = rel_time + cfg.window_minutes;
                     last_sync = last_full_sync;
@@ -321,7 +330,8 @@ pub fn run_strategy_with_training_delay(
                 for _ in 0..cfg.online_rounds_per_window {
                     n.online_update_round(t, cfg.online_batch_size);
                 }
-                if rel_time + cfg.window_minutes - last_full_sync >= cfg.full_sync_interval_minutes {
+                if rel_time + cfg.window_minutes - last_full_sync >= cfg.full_sync_interval_minutes
+                {
                     n.full_sync(training_model.clone());
                     last_full_sync = rel_time + cfg.window_minutes;
                 }
@@ -349,7 +359,8 @@ pub(crate) fn aggregate_means(timeline: &[TimelinePoint]) -> (f64, f64) {
     } else {
         aucs.iter().sum::<f64>() / aucs.len() as f64
     };
-    let mean_logloss = timeline.iter().map(|p| p.logloss).sum::<f64>() / timeline.len().max(1) as f64;
+    let mean_logloss =
+        timeline.iter().map(|p| p.logloss).sum::<f64>() / timeline.len().max(1) as f64;
     (mean_auc, mean_logloss)
 }
 
@@ -397,7 +408,8 @@ pub fn update_ratio_run(cfg: &ExperimentConfig, window_lengths_minutes: &[f64]) 
             let snapshot: Vec<_> = model.tables().to_vec();
             let windows = (len / cfg.window_minutes).ceil().max(1.0) as usize;
             for w in 0..windows {
-                let t = cfg.warmup_minutes + w as f64 * cfg.window_minutes + cfg.window_minutes / 2.0;
+                let t =
+                    cfg.warmup_minutes + w as f64 * cfg.window_minutes + cfg.window_minutes / 2.0;
                 let batch = workload.batch_at(t, cfg.requests_per_window);
                 train_on(&mut model, &batch, cfg.training_batch_size);
             }
@@ -455,7 +467,10 @@ pub fn gradient_rank_analysis(cfg: &ExperimentConfig, iterations: usize) -> Vec<
 /// Prequential accuracy of a never-updated model with explicit full syncs at the listed
 /// times (paper Fig. 3b: accuracy decays between updates and recovers after each one).
 #[must_use]
-pub fn accuracy_decay_run(cfg: &ExperimentConfig, full_sync_times_minutes: &[f64]) -> Vec<TimelinePoint> {
+pub fn accuracy_decay_run(
+    cfg: &ExperimentConfig,
+    full_sync_times_minutes: &[f64],
+) -> Vec<TimelinePoint> {
     assert!(cfg.is_valid(), "invalid experiment configuration");
     let (day1_model, mut workload) = warmed_up_model(cfg);
     let mut training_model = day1_model.clone();
@@ -531,7 +546,9 @@ mod tests {
     #[test]
     fn liveupdate_reports_memory_fraction() {
         let r = run_strategy(&cfg(), StrategyKind::LiveUpdate);
-        let frac = r.lora_memory_fraction.expect("LiveUpdate tracks LoRA memory");
+        let frac = r
+            .lora_memory_fraction
+            .expect("LiveUpdate tracks LoRA memory");
         assert!(frac > 0.0 && frac < 1.0);
     }
 
@@ -570,7 +587,10 @@ mod tests {
         let ratios = update_ratio_run(&cfg(), &[10.0, 30.0]);
         assert_eq!(ratios.len(), 2);
         assert!(ratios[0].1 > 0.0, "some rows must change in 10 minutes");
-        assert!(ratios[1].1 >= ratios[0].1, "longer windows change at least as many rows");
+        assert!(
+            ratios[1].1 >= ratios[0].1,
+            "longer windows change at least as many rows"
+        );
         assert!(ratios[1].1 <= 1.0);
     }
 
@@ -590,7 +610,10 @@ mod tests {
         }
         // The paper's observation: a handful of components captures 80 % of the variance.
         let small_rank = curves.iter().filter(|c| {
-            c.cumulative.iter().position(|&v| v >= 0.8).map_or(false, |k| k + 1 <= 8)
+            c.cumulative
+                .iter()
+                .position(|&v| v >= 0.8)
+                .is_some_and(|k| k < 8)
         });
         assert!(small_rank.count() > curves.len() / 2);
     }

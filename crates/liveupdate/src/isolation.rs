@@ -188,7 +188,9 @@ pub fn evaluate_mode(mode: IsolationMode, config: &ContentionConfig) -> Contenti
                 };
                 let hit = match (&mut training_cache, mode) {
                     // Naive co-location: training thrashes the single shared cache.
-                    (None, IsolationMode::NaiveColocation) => inference_cache.access(row, config.row_bytes),
+                    (None, IsolationMode::NaiveColocation) => {
+                        inference_cache.access(row, config.row_bytes)
+                    }
                     (Some(cache), _) => cache.access(row, config.row_bytes),
                     (None, _) => false,
                 };
@@ -216,13 +218,16 @@ pub fn evaluate_mode(mode: IsolationMode, config: &ContentionConfig) -> Contenti
         service.dram_demand_bytes_per_sec(config.requests_per_second, inference_hit_ratio),
     ));
     if let Some(train_hit) = training_hit_ratio {
-        let raw_demand =
-            config.training_lookups_per_second * (1.0 - train_hit) * config.training_bytes_per_access as f64;
+        let raw_demand = config.training_lookups_per_second
+            * (1.0 - train_hit)
+            * config.training_bytes_per_access as f64;
         // Under NUMA-aware scheduling the trainer's memory traffic is confined to its CCD
         // share by hardware-enforced QoS; naive co-location has no such cap.
         let demand = match mode {
-            IsolationMode::Scheduling | IsolationMode::SchedulingAndReuse => raw_demand
-                .min(config.training_bandwidth_cap_fraction.clamp(0.0, 1.0) * memory.peak_bytes_per_second),
+            IsolationMode::Scheduling | IsolationMode::SchedulingAndReuse => raw_demand.min(
+                config.training_bandwidth_cap_fraction.clamp(0.0, 1.0)
+                    * memory.peak_bytes_per_second,
+            ),
             _ => raw_demand,
         };
         memory.set_demand(BandwidthDemand::new("training", demand));
@@ -247,7 +252,10 @@ pub fn evaluate_mode(mode: IsolationMode, config: &ContentionConfig) -> Contenti
 /// Evaluate every isolation mode with the same configuration (the Fig. 16 ablation).
 #[must_use]
 pub fn evaluate_all(config: &ContentionConfig) -> Vec<ContentionOutcome> {
-    IsolationMode::all().iter().map(|m| evaluate_mode(*m, config)).collect()
+    IsolationMode::all()
+        .iter()
+        .map(|m| evaluate_mode(*m, config))
+        .collect()
 }
 
 #[cfg(test)]
@@ -262,7 +270,11 @@ mod tests {
     }
 
     fn get(outcomes: &[ContentionOutcome], mode: IsolationMode) -> ContentionOutcome {
-        outcomes.iter().find(|o| o.mode == mode).cloned().expect("mode present")
+        outcomes
+            .iter()
+            .find(|o| o.mode == mode)
+            .cloned()
+            .expect("mode present")
     }
 
     #[test]
@@ -316,17 +328,31 @@ mod tests {
         let reuse = get(&o, IsolationMode::SchedulingAndReuse);
         // Naive co-location is the worst; scheduling helps; reuse+scheduling is nearly
         // indistinguishable from inference-only.
-        assert!(naive.p99_ms > only.p99_ms * 1.3, "naive {} vs only {}", naive.p99_ms, only.p99_ms);
+        assert!(
+            naive.p99_ms > only.p99_ms * 1.3,
+            "naive {} vs only {}",
+            naive.p99_ms,
+            only.p99_ms
+        );
         assert!(sched.p99_ms < naive.p99_ms);
         assert!(reuse.p99_ms <= sched.p99_ms + 1e-9);
-        assert!(reuse.p99_ms < only.p99_ms * 1.25, "reuse {} vs only {}", reuse.p99_ms, only.p99_ms);
+        assert!(
+            reuse.p99_ms < only.p99_ms * 1.25,
+            "reuse {} vs only {}",
+            reuse.p99_ms,
+            only.p99_ms
+        );
     }
 
     #[test]
     fn inference_only_has_no_training_stats() {
         let o = outcomes();
-        assert!(get(&o, IsolationMode::InferenceOnly).training_hit_ratio.is_none());
-        assert!(get(&o, IsolationMode::NaiveColocation).training_hit_ratio.is_some());
+        assert!(get(&o, IsolationMode::InferenceOnly)
+            .training_hit_ratio
+            .is_none());
+        assert!(get(&o, IsolationMode::NaiveColocation)
+            .training_hit_ratio
+            .is_some());
     }
 
     #[test]

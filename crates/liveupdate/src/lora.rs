@@ -46,7 +46,9 @@ impl LoraTable {
         assert!(rank > 0, "rank must be at least 1");
         let mut rng = StdRng::seed_from_u64(seed);
         let bound = 1.0 / (dim as f64).sqrt();
-        let b = (0..rank * dim).map(|_| rng.gen_range(-bound..bound)).collect();
+        let b = (0..rank * dim)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
         Self {
             num_rows,
             dim,
@@ -162,7 +164,11 @@ impl LoraTable {
     /// Panics if the gradient length does not match `dim` or the index is out of bounds.
     pub fn apply_row_gradient(&mut self, index: usize, grad: &[f64], learning_rate: f64) {
         assert_eq!(grad.len(), self.dim, "gradient dimension mismatch");
-        assert!(index < self.num_rows, "index {index} out of bounds ({})", self.num_rows);
+        assert!(
+            index < self.num_rows,
+            "index {index} out of bounds ({})",
+            self.num_rows
+        );
         const EPS: f64 = 1e-8;
         let sq_mean: f64 = grad.iter().map(|g| g * g).sum::<f64>() / self.dim as f64;
         let a_old = self
@@ -182,8 +188,7 @@ impl LoraTable {
             *ga = grad.iter().zip(b_row).map(|(g, b)| g * b).sum();
         }
         // dL/dB = A_old[i]ᵀ · g  (k×1 · 1×d = k×d)
-        for k in 0..self.rank {
-            let coeff = a_old[k];
+        for (k, &coeff) in a_old.iter().enumerate().take(self.rank) {
             if coeff == 0.0 {
                 continue;
             }
@@ -206,7 +211,11 @@ impl LoraTable {
     /// bounds.
     pub fn set_a_row(&mut self, index: usize, row: Vec<f64>) {
         assert_eq!(row.len(), self.rank, "A row length must equal the rank");
-        assert!(index < self.num_rows, "index {index} out of bounds ({})", self.num_rows);
+        assert!(
+            index < self.num_rows,
+            "index {index} out of bounds ({})",
+            self.num_rows
+        );
         self.a_rows.insert(index, row);
     }
 
@@ -281,7 +290,11 @@ impl LoraTable {
     ///
     /// Panics if the base table shape does not match.
     pub fn merge_into(&mut self, base: &mut liveupdate_dlrm::EmbeddingTable) {
-        assert_eq!(base.num_rows(), self.num_rows, "row count mismatch in merge_into");
+        assert_eq!(
+            base.num_rows(),
+            self.num_rows,
+            "row count mismatch in merge_into"
+        );
         assert_eq!(base.dim(), self.dim, "dimension mismatch in merge_into");
         let indices = self.active_indices();
         for idx in indices {
@@ -312,7 +325,7 @@ impl LoraTable {
     #[must_use]
     pub fn to_dense_delta(&self) -> Matrix {
         let mut m = Matrix::zeros(self.num_rows, self.dim);
-        for (&idx, _) in &self.a_rows {
+        for &idx in self.a_rows.keys() {
             let delta = self.delta_row(idx);
             m.row_mut(idx).copy_from_slice(&delta);
         }
@@ -370,7 +383,10 @@ mod tests {
         let final_loss = loss(&t);
         assert!(t.is_active(3));
         assert_eq!(t.active_rows(), 1);
-        assert!(final_loss < initial * 0.05, "loss {initial} -> {final_loss}");
+        assert!(
+            final_loss < initial * 0.05,
+            "loss {initial} -> {final_loss}"
+        );
     }
 
     #[test]
@@ -411,7 +427,7 @@ mod tests {
     fn prune_keeps_only_requested_rows() {
         let mut t = table();
         for idx in [1, 2, 3, 4, 5] {
-            t.apply_row_gradient(idx, &vec![0.1; 8], 0.1);
+            t.apply_row_gradient(idx, &[0.1; 8], 0.1);
         }
         assert_eq!(t.active_rows(), 5);
         let pruned = t.prune_to(&[2, 4]);

@@ -50,7 +50,12 @@ impl UsagePruner {
     ///
     /// Panics if `window_steps == 0`, `min_size > max_size`, or `max_size == 0`.
     #[must_use]
-    pub fn new(window_steps: usize, prune_threshold: u64, min_size: usize, max_size: usize) -> Self {
+    pub fn new(
+        window_steps: usize,
+        prune_threshold: u64,
+        min_size: usize,
+        max_size: usize,
+    ) -> Self {
         assert!(window_steps > 0, "window must cover at least one step");
         assert!(max_size > 0, "max size must be positive");
         assert!(min_size <= max_size, "min size must not exceed max size");

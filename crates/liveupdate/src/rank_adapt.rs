@@ -44,7 +44,12 @@ impl RankAdapter {
     /// Panics if `variance_threshold` is outside `(0, 1]`, `initial_rank == 0`, or
     /// `min_rank > max_rank` / `min_rank == 0`.
     #[must_use]
-    pub fn new(variance_threshold: f64, initial_rank: usize, min_rank: usize, max_rank: usize) -> Self {
+    pub fn new(
+        variance_threshold: f64,
+        initial_rank: usize,
+        min_rank: usize,
+        max_rank: usize,
+    ) -> Self {
         assert!(
             variance_threshold > 0.0 && variance_threshold <= 1.0,
             "variance threshold must be in (0, 1]"
@@ -97,7 +102,8 @@ impl RankAdapter {
             Ok(pca) => {
                 let r = pca.rank_for_variance(self.variance_threshold);
                 if r > 0 {
-                    self.observed_ranks.push(r.clamp(self.min_rank, self.max_rank));
+                    self.observed_ranks
+                        .push(r.clamp(self.min_rank, self.max_rank));
                 }
             }
             Err(_) => {
@@ -175,7 +181,11 @@ mod tests {
         }
         let decision = adapter.adapt();
         assert_eq!(decision.snapshots_used, 8);
-        assert!(decision.rank <= 3, "rank {} should be near 2", decision.rank);
+        assert!(
+            decision.rank <= 3,
+            "rank {} should be near 2",
+            decision.rank
+        );
         assert!(decision.rank >= 1);
         assert_eq!(adapter.decisions(), 1);
         assert_eq!(adapter.pending_snapshots(), 0);
@@ -188,7 +198,11 @@ mod tests {
             adapter.observe(&low_rank_gradient(60, 16, 12, 100 + s));
         }
         let decision = adapter.adapt();
-        assert!(decision.rank >= 6, "rank {} should be high for rank-12 gradients", decision.rank);
+        assert!(
+            decision.rank >= 6,
+            "rank {} should be high for rank-12 gradients",
+            decision.rank
+        );
     }
 
     #[test]

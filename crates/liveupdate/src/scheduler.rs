@@ -173,7 +173,8 @@ mod tests {
     #[test]
     fn min_inference_bound_respected() {
         // Start with inference already at the minimum.
-        let mut s = AdaptiveCcdScheduler::new(CcdPartition::new(CpuSpec::small(8), 4), 10.0, 6.0, 4, 8);
+        let mut s =
+            AdaptiveCcdScheduler::new(CcdPartition::new(CpuSpec::small(8), 4), 10.0, 6.0, 4, 8);
         assert_eq!(s.step(1.0), SchedulerAction::NoChange);
         assert_eq!(s.inference_ccds(), 4);
     }
@@ -188,6 +189,9 @@ mod tests {
         }
         // The controller should settle where p99 is inside [6, 10] ms: 1 or 2 training CCDs.
         let final_training = s.training_ccds();
-        assert!((1..=2).contains(&final_training), "settled at {final_training} training CCDs");
+        assert!(
+            (1..=2).contains(&final_training),
+            "settled at {final_training} training CCDs"
+        );
     }
 }

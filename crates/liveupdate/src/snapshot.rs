@@ -85,7 +85,10 @@ impl CacheTableStats {
     /// `(hits, misses)` so far.
     #[must_use]
     pub fn get(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -148,7 +151,11 @@ impl HotRowCache {
                 CachedTable { dim, ids, rows }
             })
             .collect::<Vec<_>>();
-        let stats = Arc::new((0..tables.len()).map(|_| CacheTableStats::default()).collect());
+        let stats = Arc::new(
+            (0..tables.len())
+                .map(|_| CacheTableStats::default())
+                .collect(),
+        );
         Self { tables, stats }
     }
 
@@ -211,7 +218,10 @@ impl HotRowCache {
     pub fn memory_bytes(&self) -> usize {
         self.tables
             .iter()
-            .map(|t| t.ids.len() * std::mem::size_of::<usize>() + t.rows.len() * std::mem::size_of::<f64>())
+            .map(|t| {
+                t.ids.len() * std::mem::size_of::<usize>()
+                    + t.rows.len() * std::mem::size_of::<f64>()
+            })
             .sum()
     }
 
@@ -262,7 +272,9 @@ impl HotRowCache {
         // serve path stays independent of pooling width.
         if let Some(stats) = self.stats.get(table_idx) {
             stats.hits.fetch_add(hits, Ordering::Relaxed);
-            stats.misses.fetch_add(ids.len() as u64 - hits, Ordering::Relaxed);
+            stats
+                .misses
+                .fetch_add(ids.len() as u64 - hits, Ordering::Relaxed);
         }
         let inv = 1.0 / ids.len() as f64;
         for o in out.iter_mut() {
@@ -274,7 +286,11 @@ impl HotRowCache {
 /// The read-only serve pass shared by [`ServingSnapshot::serve_batch`] and the mutable
 /// [`ServingNode::serve_batch`](crate::engine::ServingNode::serve_batch): predict every
 /// sample and count the lookups that take the LoRA-corrected path. Touches no state.
-pub(crate) fn readonly_serve(model: &DlrmModel, hot: &HotIndexFilter, batch: &MiniBatch) -> ServeReport {
+pub(crate) fn readonly_serve(
+    model: &DlrmModel,
+    hot: &HotIndexFilter,
+    batch: &MiniBatch,
+) -> ServeReport {
     readonly_serve_with_predictions(model, hot, batch).0
 }
 
@@ -523,7 +539,11 @@ mod tests {
         let a = n.snapshot();
         n.online_update_round(1.0, 32);
         let b = n.snapshot();
-        assert_ne!(a.checksum(), b.checksum(), "training must change the checksum");
+        assert_ne!(
+            a.checksum(),
+            b.checksum(),
+            "training must change the checksum"
+        );
         // Same state captured twice hashes identically.
         assert_eq!(b.checksum(), n.snapshot().checksum());
         assert_eq!(model_checksum(a.serving_model(), 0), a.checksum());
@@ -570,13 +590,21 @@ mod tests {
             for &id in cache.cached_ids(t) {
                 let hit = cache.lookup(t, id).expect("cached id must hit");
                 let backing = snap.serving_model().table(t).row_to_vec(id);
-                assert_eq!(hit, &backing[..], "cache hit must be bit-identical to the backing store");
+                assert_eq!(
+                    hit,
+                    &backing[..],
+                    "cache hit must be bit-identical to the backing store"
+                );
             }
         }
         // Epoch swap: train, republish, and re-check bit-identity on the new snapshot.
         n.online_update_round(1.0, 64);
         let swapped = n.snapshot();
-        assert_ne!(swapped.checksum(), snap.checksum(), "the update must publish a new epoch");
+        assert_ne!(
+            swapped.checksum(),
+            snap.checksum(),
+            "the update must publish a new epoch"
+        );
         let cache = swapped.hot_rows();
         assert!(!cache.is_empty());
         for t in 0..2 {
@@ -606,9 +634,16 @@ mod tests {
         let batch = w.batch_at(2.0, 96);
         let (cached_report, cached_preds) = snap.serve_batch_with_predictions(&batch);
         // The same state captured without a cache must serve identical bits.
-        let bare = ServingSnapshot::capture(snap.serving_model().clone(), HotIndexFilter::new(2), snap.steps());
+        let bare = ServingSnapshot::capture(
+            snap.serving_model().clone(),
+            HotIndexFilter::new(2),
+            snap.steps(),
+        );
         let (_, bare_preds) = bare.serve_batch_with_predictions(&batch);
-        assert_eq!(cached_preds, bare_preds, "cache hits must not change a single bit");
+        assert_eq!(
+            cached_preds, bare_preds,
+            "cache hits must not change a single bit"
+        );
         assert_eq!(cached_report.requests, batch.len());
     }
 
@@ -622,7 +657,10 @@ mod tests {
         let eval = w.batch_at(1.0, 256);
         let (auc_q, _) = nq.snapshot().evaluate(&eval);
         let (auc_f, _) = nf.snapshot().evaluate(&eval);
-        let (auc_q, auc_f) = (auc_q.expect("two-class batch"), auc_f.expect("two-class batch"));
+        let (auc_q, auc_f) = (
+            auc_q.expect("two-class batch"),
+            auc_f.expect("two-class batch"),
+        );
         assert!(
             (auc_q - auc_f).abs() < 0.01,
             "int8 serving must stay within the stated AUC tolerance: {auc_f} vs {auc_q}"

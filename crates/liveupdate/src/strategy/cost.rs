@@ -68,7 +68,12 @@ impl UpdateCostModel {
 
     /// Per-hour cost of a strategy on a dataset at the given update interval.
     #[must_use]
-    pub fn hourly_cost(&self, strategy: StrategyKind, dataset: &DatasetSpec, interval_minutes: f64) -> HourlyCost {
+    pub fn hourly_cost(
+        &self,
+        strategy: StrategyKind,
+        dataset: &DatasetSpec,
+        interval_minutes: f64,
+    ) -> HourlyCost {
         let interval = interval_minutes.max(1.0);
         let updates_per_hour = (60.0 / interval).floor().max(1.0);
         let emb_bytes = dataset.embedding_table_bytes as f64;
@@ -93,9 +98,10 @@ impl UpdateCostModel {
                 let trainer_cores = self.cluster.num_nodes as f64
                     * self.cluster.node.cpu.total_cores() as f64
                     * self.trainer_core_fraction;
-                let compute_seconds =
-                    samples_per_hour * self.lora_microseconds_per_sample * 1e-6 / trainer_cores.max(1.0);
-                let overhead_seconds = self.liveupdate_overhead_seconds_per_event * updates_per_hour;
+                let compute_seconds = samples_per_hour * self.lora_microseconds_per_sample * 1e-6
+                    / trainer_cores.max(1.0);
+                let overhead_seconds =
+                    self.liveupdate_overhead_seconds_per_event * updates_per_hour;
                 ((compute_seconds + overhead_seconds) / 60.0, 0u64)
             }
         };
@@ -130,7 +136,9 @@ impl UpdateCostModel {
         interval_minutes: f64,
         horizon_minutes: f64,
     ) -> Vec<f64> {
-        let per_event_minutes = self.hourly_cost(strategy, dataset, interval_minutes).cost_minutes
+        let per_event_minutes = self
+            .hourly_cost(strategy, dataset, interval_minutes)
+            .cost_minutes
             / (60.0 / interval_minutes.max(1.0)).floor().max(1.0);
         let mut completions = Vec::new();
         let mut busy_until: f64 = 0.0;
@@ -184,7 +192,11 @@ mod tests {
     fn delta_update_is_prohibitive_at_high_frequency() {
         // Paper Fig. 14: at 5-minute intervals DeltaUpdate exceeds the hour.
         let c = model().hourly_cost(StrategyKind::DeltaUpdate, &tb_dataset(), 5.0);
-        assert!(c.cost_minutes > 45.0, "delta cost {} min should approach/exceed the hour", c.cost_minutes);
+        assert!(
+            c.cost_minutes > 45.0,
+            "delta cost {} min should approach/exceed the hour",
+            c.cost_minutes
+        );
         assert!(c.bytes_transferred > 0);
     }
 
@@ -209,8 +221,17 @@ mod tests {
         let q5 = m.hourly_cost(StrategyKind::QuickUpdate { fraction: 0.05 }, &d, 5.0);
         // Paper: LiveUpdate at 5-minute intervals costs only a few minutes per hour and at
         // least 2× less than QuickUpdate.
-        assert!(l5.cost_minutes < 10.0, "liveupdate cost {} min", l5.cost_minutes);
-        assert!(l5.cost_minutes * 2.0 < q5.cost_minutes, "{} vs {}", l5.cost_minutes, q5.cost_minutes);
+        assert!(
+            l5.cost_minutes < 10.0,
+            "liveupdate cost {} min",
+            l5.cost_minutes
+        );
+        assert!(
+            l5.cost_minutes * 2.0 < q5.cost_minutes,
+            "{} vs {}",
+            l5.cost_minutes,
+            q5.cost_minutes
+        );
         // Largely independent of the frequency: within 2 minutes across the sweep.
         assert!((l5.cost_minutes - l20.cost_minutes).abs() < 2.0);
         assert_eq!(l5.bytes_transferred, 0);
@@ -221,7 +242,9 @@ mod tests {
         let rows = model().figure14_sweep(&tb_dataset());
         assert_eq!(rows.len(), 3 * 4);
         assert!(rows.iter().any(|r| r.interval_minutes == 5.0));
-        assert!(rows.iter().any(|r| matches!(r.strategy, StrategyKind::LiveUpdate)));
+        assert!(rows
+            .iter()
+            .any(|r| matches!(r.strategy, StrategyKind::LiveUpdate)));
     }
 
     #[test]
@@ -231,7 +254,12 @@ mod tests {
         // DeltaUpdate events are slow (few completions per hour); LiveUpdate completes many.
         let delta = m.update_timeline(StrategyKind::DeltaUpdate, &d, 15.0, 60.0);
         let live = m.update_timeline(StrategyKind::LiveUpdate, &d, 5.0, 60.0);
-        assert!(live.len() > delta.len(), "live {} vs delta {}", live.len(), delta.len());
+        assert!(
+            live.len() > delta.len(),
+            "live {} vs delta {}",
+            live.len(),
+            delta.len()
+        );
         // Completion times are monotonically increasing and within the horizon.
         for w in live.windows(2) {
             assert!(w[0] < w[1]);

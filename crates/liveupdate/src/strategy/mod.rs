@@ -81,13 +81,19 @@ impl StrategyKind {
     /// Whether this strategy performs any inter-cluster parameter transfer.
     #[must_use]
     pub fn transfers_parameters(&self) -> bool {
-        matches!(self, StrategyKind::DeltaUpdate | StrategyKind::QuickUpdate { .. })
+        matches!(
+            self,
+            StrategyKind::DeltaUpdate | StrategyKind::QuickUpdate { .. }
+        )
     }
 
     /// Whether this strategy trains locally on the inference nodes.
     #[must_use]
     pub fn trains_locally(&self) -> bool {
-        matches!(self, StrategyKind::LiveUpdate | StrategyKind::LiveUpdateFixedRank { .. })
+        matches!(
+            self,
+            StrategyKind::LiveUpdate | StrategyKind::LiveUpdateFixedRank { .. }
+        )
     }
 }
 
@@ -99,10 +105,19 @@ mod tests {
     fn names_match_paper_labels() {
         assert_eq!(StrategyKind::NoUpdate.name(), "NoUpdate");
         assert_eq!(StrategyKind::DeltaUpdate.name(), "DeltaUpdate");
-        assert_eq!(StrategyKind::QuickUpdate { fraction: 0.05 }.name(), "QuickUpdate-5%");
-        assert_eq!(StrategyKind::QuickUpdate { fraction: 0.10 }.name(), "QuickUpdate-10%");
+        assert_eq!(
+            StrategyKind::QuickUpdate { fraction: 0.05 }.name(),
+            "QuickUpdate-5%"
+        );
+        assert_eq!(
+            StrategyKind::QuickUpdate { fraction: 0.10 }.name(),
+            "QuickUpdate-10%"
+        );
         assert_eq!(StrategyKind::LiveUpdate.name(), "LiveUpdate");
-        assert_eq!(StrategyKind::LiveUpdateFixedRank { rank: 16 }.name(), "LiveUpdate-16");
+        assert_eq!(
+            StrategyKind::LiveUpdateFixedRank { rank: 16 }.name(),
+            "LiveUpdate-16"
+        );
     }
 
     #[test]

@@ -156,7 +156,7 @@ impl SparseLoraSync {
     /// (Algorithm 3 line 8).
     pub fn tick(&mut self) -> bool {
         self.step += 1;
-        self.step % self.sync_interval_steps as u64 == 0
+        self.step.is_multiple_of(self.sync_interval_steps as u64)
     }
 
     /// The global union of modified indices, `I_all` (Algorithm 3 line 9).
@@ -236,11 +236,12 @@ impl SparseLoraSync {
         let plan = self.merge_plan();
         let mut max_row_len = 0usize;
         for assignment in &plan {
-            let winning_row = peers[assignment.winner].export_a_row(assignment.table, assignment.row);
+            let winning_row =
+                peers[assignment.winner].export_a_row(assignment.table, assignment.row);
             max_row_len = max_row_len.max(winning_row.len());
-            for rank in 0..self.num_ranks {
+            for (rank, peer) in peers.iter_mut().enumerate() {
                 if rank != assignment.winner {
-                    peers[rank].import_a_row(assignment.table, assignment.row, winning_row.clone());
+                    peer.import_a_row(assignment.table, assignment.row, winning_row.clone());
                 }
             }
         }
@@ -249,9 +250,9 @@ impl SparseLoraSync {
             let b = peers[winner].export_b(table);
             let source_rank = peers[winner].lora_rank(table);
             b_bytes += b.len() * std::mem::size_of::<f64>();
-            for rank in 0..self.num_ranks {
+            for (rank, peer) in peers.iter_mut().enumerate() {
                 if rank != winner {
-                    peers[rank].import_b(table, &b, source_rank);
+                    peer.import_b(table, &b, source_rank);
                 }
             }
         }
@@ -284,7 +285,10 @@ mod tests {
     use proptest::prelude::*;
 
     fn collective() -> CollectiveModel {
-        CollectiveModel::new(NetworkLink::infiniband_edr(), CollectiveAlgorithm::TreeAllGather)
+        CollectiveModel::new(
+            NetworkLink::infiniband_edr(),
+            CollectiveAlgorithm::TreeAllGather,
+        )
     }
 
     fn replicas(num_ranks: usize) -> Vec<Vec<LoraTable>> {
@@ -386,8 +390,16 @@ mod tests {
         assert_eq!(
             plan,
             vec![
-                MergeAssignment { table: 0, row: 7, winner: 2 },
-                MergeAssignment { table: 1, row: 3, winner: 1 },
+                MergeAssignment {
+                    table: 0,
+                    row: 7,
+                    winner: 2
+                },
+                MergeAssignment {
+                    table: 1,
+                    row: 3,
+                    winner: 1
+                },
             ]
         );
         assert_eq!(s.table_winners(), vec![(0, 2), (1, 1)]);
@@ -526,9 +538,9 @@ mod tests {
         let cost = |n: usize| {
             let mut s = SparseLoraSync::new(n, 8);
             let mut reps = replicas(n);
-            for r in 0..n {
+            for (r, rep) in reps.iter_mut().enumerate() {
                 for row in 0..20 {
-                    reps[r][0].set_a_row(row, vec![r as f64, 1.0]);
+                    rep[0].set_a_row(row, vec![r as f64, 1.0]);
                     s.record_update(r, 0, row);
                 }
             }

@@ -80,14 +80,14 @@ impl ExecutionBackend for DistributedBackend {
         let mut driving_workload = workload.clone();
         let (run, final_nodes) = run_distributed(nodes, &day1_model, &mut driving_workload, &cfg)
             .map_err(|e| {
-                // Socket setup failing is an environment problem, but the trait's error
-                // type is ConfigError; surface it as the closest constraint violation.
-                eprintln!("distributed backend socket setup failed: {e}");
-                liveupdate::error::ConfigError::Constraint {
-                    field: "scenario.topology.replicas",
-                    requirement: "localhost TCP sockets must be available",
-                }
-            })?;
+            // Socket setup failing is an environment problem, but the trait's error
+            // type is ConfigError; surface it as the closest constraint violation.
+            eprintln!("distributed backend socket setup failed: {e}");
+            liveupdate::error::ConfigError::Constraint {
+                field: "scenario.topology.replicas",
+                requirement: "localhost TCP sockets must be available",
+            }
+        })?;
 
         // End-of-run freshness, same protocol as the realtime backend: skip past every
         // sample the run could have served or trained on, then probe each replica's
@@ -117,7 +117,11 @@ impl ExecutionBackend for DistributedBackend {
         );
 
         let mut report = ScenarioReport::new(&scenario.name, self.kind(), &strategy.name());
-        report.mean_auc = if auc_count > 0 { Some(auc_sum / auc_count as f64) } else { None };
+        report.mean_auc = if auc_count > 0 {
+            Some(auc_sum / auc_count as f64)
+        } else {
+            None
+        };
         report.mean_logloss = Some(logloss_sum / final_nodes.len().max(1) as f64);
         report.requests_served = run.completed;
         report.dropped = run.shed;
@@ -132,7 +136,12 @@ impl ExecutionBackend for DistributedBackend {
         report.sync_provenance = SyncProvenance::MeasuredWire;
         report.publication_history = run.publication_history;
         report.lora_memory_bytes = if strategy.trains_locally() {
-            Some(final_nodes.iter().map(|n| n.lora_memory_bytes() as u64).sum())
+            Some(
+                final_nodes
+                    .iter()
+                    .map(|n| n.lora_memory_bytes() as u64)
+                    .sum(),
+            )
         } else {
             None
         };

@@ -13,7 +13,7 @@
 //! 2048 connections with hundreds of in-flight request ids each, which a blocking
 //! one-stream-per-thread client cannot do on a small box.
 
-use crate::poll::{Interest, Poller};
+use crate::poll::{Event, Interest, Poller};
 use crate::wire::{Frame, FrameAssembler, WireError};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
@@ -58,6 +58,9 @@ pub struct MultiConnClient {
     poller: Poller,
     conns: Vec<ClientConn>,
     delivered_bytes: u64,
+    /// Readiness scratch reused across `poll` calls — grown once, never reallocated in
+    /// steady state.
+    ready: Vec<Event>,
 }
 
 impl std::fmt::Debug for MultiConnClient {
@@ -102,7 +105,12 @@ impl MultiConnClient {
                 closed: false,
             });
         }
-        Ok(Self { poller, conns, delivered_bytes: 0 })
+        Ok(Self {
+            poller,
+            conns,
+            delivered_bytes: 0,
+            ready: Vec::new(),
+        })
     }
 
     /// Number of connections (open or closed) this client was built with.
@@ -199,9 +207,13 @@ impl MultiConnClient {
         timeout_ms: i32,
         mut sink: impl FnMut(usize, Frame),
     ) -> std::io::Result<usize> {
-        let events: Vec<_> = self.poller.wait(Some(timeout_ms))?.to_vec();
+        let mut events = std::mem::take(&mut self.ready);
+        if let Err(e) = self.poller.wait_into(Some(timeout_ms), &mut events) {
+            self.ready = events;
+            return Err(e);
+        }
         let mut delivered = 0usize;
-        for event in events {
+        for &event in &events {
             let idx = usize::try_from(event.token).expect("token fits usize");
             let c = &mut self.conns[idx];
             if c.closed {
@@ -241,7 +253,11 @@ impl MultiConnClient {
             if !c.closed {
                 let want_write = c.out_pending() > 0;
                 if want_write != c.want_write {
-                    let interest = if want_write { Interest::READ_WRITE } else { Interest::READ };
+                    let interest = if want_write {
+                        Interest::READ_WRITE
+                    } else {
+                        Interest::READ
+                    };
                     if self
                         .poller
                         .modify(c.stream.as_raw_fd(), event.token, interest)
@@ -252,6 +268,7 @@ impl MultiConnClient {
                 }
             }
         }
+        self.ready = events;
         Ok(delivered)
     }
 

@@ -199,7 +199,11 @@ pub fn run_distributed(
     workload: &mut SyntheticWorkload,
     cfg: &DistributedConfig,
 ) -> std::io::Result<(DistributedReport, Vec<ServingNode>)> {
-    assert_eq!(nodes.len(), cfg.replicas, "one node per replica is required");
+    assert_eq!(
+        nodes.len(),
+        cfg.replicas,
+        "one node per replica is required"
+    );
     assert!(cfg.replicas > 0, "at least one replica is required");
     assert!(cfg.sample_pool > 0, "sample pool must be non-empty");
 
@@ -220,7 +224,12 @@ pub fn run_distributed(
         } else {
             None
         };
-        servers.push(ReplicaServer::start(node, cfg.runtime.clone(), cfg.update_interval, policy)?);
+        servers.push(ReplicaServer::start(
+            node,
+            cfg.runtime.clone(),
+            cfg.update_interval,
+            policy,
+        )?);
     }
     let addrs: Vec<SocketAddr> = servers.iter().map(ReplicaServer::addr).collect();
 
@@ -236,7 +245,11 @@ pub fn run_distributed(
     let sync_thread = spawn_sync_thread(&addrs, cfg, day1_model, &stop, traffic_rx)?;
     // Only the parameter-pull baselines keep a shadow trainer; otherwise drop the
     // sender so the sync thread's drain is a no-op.
-    let traffic_tx = if needs_shadow_trainer(cfg.strategy) { Some(traffic_tx) } else { None };
+    let traffic_tx = if needs_shadow_trainer(cfg.strategy) {
+        Some(traffic_tx)
+    } else {
+        None
+    };
 
     // --- open-loop load --------------------------------------------------------------
     let mut pacer = RealTimePacer::for_target_qps(
@@ -260,7 +273,7 @@ pub fn run_distributed(
     let mut pool_cursor = 0usize;
     let mut sharder = StreamSharder::new(cfg.routing, cfg.replicas);
     loop {
-        let (offset, sim_minutes) = pacer.next();
+        let (offset, sim_minutes) = pacer.next_arrival();
         if offset >= cfg.duration {
             break;
         }
@@ -272,8 +285,9 @@ pub fn run_distributed(
             }
             let remaining = offset - now;
             if remaining >= Duration::from_millis(1) {
-                let wait_ms =
-                    i32::try_from(remaining.as_millis().min(10)).unwrap_or(10).max(1);
+                let wait_ms = i32::try_from(remaining.as_millis().min(10))
+                    .unwrap_or(10)
+                    .max(1);
                 let _ = data.poll(wait_ms, |_, frame| tally.record(&frame));
             } else {
                 thread::sleep(remaining);
@@ -285,7 +299,11 @@ pub fn run_distributed(
         if let Some(tx) = &traffic_tx {
             let _ = tx.send(sample.clone());
         }
-        let frame = Frame::InferRequest { id: next_id, time_minutes: sim_minutes, sample };
+        let frame = Frame::InferRequest {
+            id: next_id,
+            time_minutes: sim_minutes,
+            sample,
+        };
         next_id += 1;
         offered += 1;
         match data.send(replica, &frame) {
@@ -336,7 +354,11 @@ pub fn run_distributed(
         publications += report.updater.publications;
         update_events += report.updater.update_rounds;
     }
-    let ReaderTally { replies, shed, prediction_sum } = tally;
+    let ReaderTally {
+        replies,
+        shed,
+        prediction_sum,
+    } = tally;
     let infer_bytes = infer_bytes_out + infer_bytes_in;
 
     let report = DistributedReport {
@@ -346,7 +368,11 @@ pub fn run_distributed(
         replies,
         shed,
         completed,
-        qps: if wall_seconds > 0.0 { completed as f64 / wall_seconds } else { 0.0 },
+        qps: if wall_seconds > 0.0 {
+            completed as f64 / wall_seconds
+        } else {
+            0.0
+        },
         latency,
         update_events,
         publications,
@@ -358,7 +384,11 @@ pub fn run_distributed(
         infer_bytes,
         lora_sync_bytes: sync.lora_bytes,
         param_sync_bytes: sync.param_bytes,
-        mean_prediction: if replies > 0 { prediction_sum / replies as f64 } else { 0.0 },
+        mean_prediction: if replies > 0 {
+            prediction_sum / replies as f64
+        } else {
+            0.0
+        },
         telemetry,
         per_replica: reports,
     };
@@ -413,7 +443,10 @@ fn spawn_sync_thread(
 /// The control-plane loop: drain shadow traffic, tick on the cadence, ship frames.
 /// Whether a strategy's driver side keeps a shadow "training cluster" model.
 fn needs_shadow_trainer(strategy: StrategyKind) -> bool {
-    matches!(strategy, StrategyKind::QuickUpdate { .. } | StrategyKind::DeltaUpdate)
+    matches!(
+        strategy,
+        StrategyKind::QuickUpdate { .. } | StrategyKind::DeltaUpdate
+    )
 }
 
 fn run_sync_loop(
@@ -425,8 +458,11 @@ fn run_sync_loop(
 ) -> SyncOutcome {
     // The shadow "training cluster" of the parameter-pull baselines, plus the last
     // shipped state QuickUpdate diffs against.
-    let mut shadow =
-        if needs_shadow_trainer(cfg.strategy) { Some(day1_model.clone()) } else { None };
+    let mut shadow = if needs_shadow_trainer(cfg.strategy) {
+        Some(day1_model.clone())
+    } else {
+        None
+    };
     let mut last_shipped = shadow.clone();
     let mut pending: Vec<Sample> = Vec::new();
     let mut ticks = 0u64;
@@ -458,7 +494,7 @@ fn run_sync_loop(
                 }
                 StrategyKind::QuickUpdate { fraction } => {
                     let full = cfg.full_sync_every_ticks > 0
-                        && ticks % cfg.full_sync_every_ticks as u64 == 0;
+                        && ticks.is_multiple_of(cfg.full_sync_every_ticks as u64);
                     let shadow = shadow.as_ref().expect("shadow trainer");
                     let last_shipped = last_shipped.as_mut().expect("last shipped state");
                     param_bytes += if full {
@@ -491,7 +527,11 @@ fn run_sync_loop(
     // Attribute the per-connection tallies to whichever plane this strategy uses; the
     // per-tick sums above already hold the same total, so just reconcile.
     debug_assert_eq!(conn_bytes, lora_bytes + param_bytes);
-    SyncOutcome { ticks, lora_bytes, param_bytes }
+    SyncOutcome {
+        ticks,
+        lora_bytes,
+        param_bytes,
+    }
 }
 
 /// One sparse LoRA synchronisation over sockets (Algorithm 3 as frames): gather each
@@ -529,9 +569,9 @@ fn sparse_lora_sync_tick(conns: &mut [ControlConn]) -> u64 {
         if wanted.is_empty() {
             continue;
         }
-        if let Ok(Frame::LoraRows { rows }) =
-            conns[winner].call(&Frame::PullLoraRows { rows: wanted.clone() })
-        {
+        if let Ok(Frame::LoraRows { rows }) = conns[winner].call(&Frame::PullLoraRows {
+            rows: wanted.clone(),
+        }) {
             for row in rows {
                 merged.push(row);
                 winner_of.push(winner);
@@ -540,7 +580,7 @@ fn sparse_lora_sync_tick(conns: &mut [ControlConn]) -> u64 {
     }
 
     // Push the merged rows to every rank that does not already own them.
-    for rank in 0..num_ranks {
+    for (rank, conn) in conns.iter_mut().enumerate() {
         let rows: Vec<LoraRowUpdate> = merged
             .iter()
             .zip(&winner_of)
@@ -548,15 +588,19 @@ fn sparse_lora_sync_tick(conns: &mut [ControlConn]) -> u64 {
             .map(|(row, _)| row.clone())
             .collect();
         if !rows.is_empty() {
-            let _ = conns[rank].call(&Frame::PushLoraRows { rows });
+            let _ = conn.call(&Frame::PushLoraRows { rows });
         }
     }
 
     // Broadcast each touched table's B factor from its priority root.
     for (table, winner) in table_winners {
-        if let Ok(Frame::BFactor { table, source_rank, values }) =
-            conns[winner].call(&Frame::PullB { table: table as u32 })
-        {
+        if let Ok(Frame::BFactor {
+            table,
+            source_rank,
+            values,
+        }) = conns[winner].call(&Frame::PullB {
+            table: table as u32,
+        }) {
             for (rank, conn) in conns.iter_mut().enumerate() {
                 if rank != winner {
                     let _ = conn.call(&Frame::PushB {
@@ -582,7 +626,9 @@ fn full_model_tick(conns: &mut [ControlConn], shadow: &DlrmModel) -> u64 {
     let before: u64 = conns.iter().map(|c| c.bytes).sum();
     let params = shadow.export_parameters();
     for conn in conns.iter_mut() {
-        let _ = conn.call(&Frame::FullModel { params: params.clone() });
+        let _ = conn.call(&Frame::FullModel {
+            params: params.clone(),
+        });
     }
     conns.iter().map(|c| c.bytes).sum::<u64>() - before
 }

@@ -61,9 +61,15 @@ pub struct Interest {
 
 impl Interest {
     /// Read-only interest — the steady state of an idle connection.
-    pub const READ: Interest = Interest { readable: true, writable: false };
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
     /// Read + write interest — armed while a connection has unflushed outbound bytes.
-    pub const READ_WRITE: Interest = Interest { readable: true, writable: true };
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
 
     fn mask(self) -> u32 {
         let mut events = 0;
@@ -136,15 +142,26 @@ impl Poller {
     ///
     /// The `epoll_create1` errno as an [`io::Error`].
     pub fn new() -> io::Result<Self> {
+        // SAFETY: `epoll_create1` takes no pointers; any flag value is either accepted
+        // or rejected with an errno, checked below.
         let epfd = unsafe { ffi::epoll_create1(ffi::EPOLL_CLOEXEC) };
         if epfd < 0 {
             return Err(io::Error::last_os_error());
         }
-        Ok(Self { epfd, events: Vec::new() })
+        Ok(Self {
+            epfd,
+            events: Vec::new(),
+        })
     }
 
     fn ctl(&self, op: ffi::c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
-        let mut ev = RawEpollEvent { events, data: token };
+        let mut ev = RawEpollEvent {
+            events,
+            data: token,
+        };
+        // SAFETY: `ev` is a live, properly laid-out (`repr(C)`, packed on x86-64 to
+        // match the kernel ABI) stack value for the duration of the call; the kernel
+        // only reads it. Bad fds are rejected with an errno, checked below.
         let rc = unsafe { ffi::epoll_ctl(self.epfd, op, fd, &mut ev) };
         if rc < 0 {
             return Err(io::Error::last_os_error());
@@ -189,8 +206,28 @@ impl Poller {
     ///
     /// The `epoll_wait` errno (other than `EINTR`) as an [`io::Error`].
     pub fn wait(&mut self, timeout_ms: Option<i32>) -> io::Result<&[Event]> {
+        let mut events = std::mem::take(&mut self.events);
+        let res = self.wait_into(timeout_ms, &mut events);
+        self.events = events;
+        res?;
+        Ok(&self.events)
+    }
+
+    /// Like [`Poller::wait`], but fills a caller-owned buffer (cleared first) instead of
+    /// borrowing the poller's own. Event loops hoist the buffer outside their `while`
+    /// so the steady-state poll performs no allocation once the buffer has grown to its
+    /// high-water mark, and the poller itself stays free to borrow during dispatch.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_wait` errno (other than `EINTR`) as an [`io::Error`].
+    pub fn wait_into(&self, timeout_ms: Option<i32>, out: &mut Vec<Event>) -> io::Result<()> {
         const MAX_EVENTS: usize = 256;
+        out.clear();
         let mut raw = [RawEpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+        // SAFETY: `raw` is a live stack array of MAX_EVENTS properly laid-out ABI
+        // structs and `maxevents` tells the kernel exactly that capacity, so the write
+        // stays in bounds; `n` is the count of initialized entries, checked below.
         let n = unsafe {
             ffi::epoll_wait(
                 self.epfd,
@@ -202,28 +239,28 @@ impl Poller {
         if n < 0 {
             let err = io::Error::last_os_error();
             if err.kind() == io::ErrorKind::Interrupted {
-                self.events.clear();
-                return Ok(&self.events);
+                return Ok(());
             }
             return Err(err);
         }
-        self.events.clear();
         for ev in &raw[..n as usize] {
             // Copy out of the (possibly packed) ABI struct before touching fields.
             let RawEpollEvent { events, data } = *ev;
-            self.events.push(Event {
+            out.push(Event {
                 token: data,
                 readable: events & (ffi::EPOLLIN | ffi::EPOLLRDHUP | ffi::EPOLLHUP) != 0,
                 writable: events & ffi::EPOLLOUT != 0,
                 error: events & (ffi::EPOLLERR | ffi::EPOLLHUP) != 0,
             });
         }
-        Ok(&self.events)
+        Ok(())
     }
 }
 
 impl Drop for Poller {
     fn drop(&mut self) {
+        // SAFETY: `epfd` was returned by a successful `epoll_create1` in `new` and is
+        // closed exactly once, here; no other close path exists.
         unsafe {
             ffi::close(self.epfd);
         }
@@ -238,8 +275,11 @@ pub struct Waker {
     fd: RawFd,
 }
 
-// The fd is only ever read/written through atomic 8-byte eventfd operations.
+// SAFETY: a `Waker` is just an owned eventfd descriptor; moving it between threads
+// moves only the integer, and the fd stays valid until `Drop` closes it.
 unsafe impl Send for Waker {}
+// SAFETY: concurrent `wake`/`drain` calls are independent 8-byte eventfd syscalls the
+// kernel serializes; the struct holds no other mutable state to race on.
 unsafe impl Sync for Waker {}
 
 impl Waker {
@@ -249,6 +289,8 @@ impl Waker {
     ///
     /// The `eventfd` errno as an [`io::Error`].
     pub fn new() -> io::Result<Self> {
+        // SAFETY: `eventfd` takes no pointers; invalid flags are rejected with an
+        // errno, checked below.
         let fd = unsafe { ffi::eventfd(0, ffi::EFD_CLOEXEC | ffi::EFD_NONBLOCK) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
@@ -267,6 +309,8 @@ impl Waker {
     /// loop (nobody is left to wake).
     pub fn wake(&self) {
         let one: u64 = 1;
+        // SAFETY: the buffer is a live 8-byte stack array and the count passed matches
+        // its length exactly; `fd` is owned by `self` and open until `Drop`.
         unsafe {
             ffi::write(self.fd, one.to_ne_bytes().as_ptr(), 8);
         }
@@ -275,6 +319,8 @@ impl Waker {
     /// Clear pending wakes so the next [`Poller::wait`] blocks again.
     pub fn drain(&self) {
         let mut buf = [0u8; 8];
+        // SAFETY: the buffer is a live 8-byte stack array and the count passed matches
+        // its length exactly; eventfd reads write at most 8 bytes.
         unsafe {
             ffi::read(self.fd, buf.as_mut_ptr(), 8);
         }
@@ -283,6 +329,8 @@ impl Waker {
 
 impl Drop for Waker {
     fn drop(&mut self) {
+        // SAFETY: `fd` was returned by a successful `eventfd` in `new` and is closed
+        // exactly once, here; no other close path exists.
         unsafe {
             ffi::close(self.fd);
         }
@@ -322,7 +370,9 @@ mod tests {
         assert!(!events[0].writable);
 
         // Write interest on an idle socket reports writable immediately.
-        poller.modify(b.as_raw_fd(), 7, Interest::READ_WRITE).unwrap();
+        poller
+            .modify(b.as_raw_fd(), 7, Interest::READ_WRITE)
+            .unwrap();
         let events = poller.wait(Some(1000)).unwrap().to_vec();
         assert!(events.iter().any(|e| e.writable));
 
@@ -354,7 +404,10 @@ mod tests {
         let started = Instant::now();
         let events = poller.wait(Some(5000)).unwrap();
         assert!(events.iter().any(|e| e.token == 1 && e.readable));
-        assert!(started.elapsed() < Duration::from_secs(4), "the wake cut the wait short");
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "the wake cut the wait short"
+        );
         handle.join().unwrap();
 
         // Draining clears the doorbell; the next zero-timeout wait is quiet.

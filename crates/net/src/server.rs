@@ -121,7 +121,9 @@ pub struct ReplicaServer {
 
 impl std::fmt::Debug for ReplicaServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ReplicaServer").field("addr", &self.addr).finish()
+        f.debug_struct("ReplicaServer")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 
@@ -161,7 +163,9 @@ impl ReplicaServer {
         interval: Duration,
         policy: Option<Box<dyn UpdatePolicy>>,
     ) -> std::io::Result<(Arc<ServingRuntime>, TcpListener, SocketAddr)> {
-        let runtime = Arc::new(ServingRuntime::start_with_policy(node, cfg, interval, policy));
+        let runtime = Arc::new(ServingRuntime::start_with_policy(
+            node, cfg, interval, policy,
+        ));
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -193,6 +197,7 @@ impl ReplicaServer {
             conns: HashMap::new(),
             next_token: TOKEN_CONN_BASE,
             reply_rx,
+            touched: Vec::new(),
             ctx: LoopCtx {
                 stats: LoopStats::new(&runtime),
                 runtime: Arc::clone(&runtime),
@@ -216,7 +221,10 @@ impl ReplicaServer {
             bytes,
             open_connections,
             handler_backlog: Arc::new(AtomicUsize::new(0)),
-            engine: Engine::EventLoop { waker, thread: Some(thread) },
+            engine: Engine::EventLoop {
+                waker,
+                thread: Some(thread),
+            },
         })
     }
 
@@ -291,7 +299,9 @@ impl ReplicaServer {
                                 thread::Builder::new()
                                     .name("lu-net-conn".into())
                                     .spawn(move || {
-                                        handle_connection(stream, &runtime, &bytes, &open, &backlog);
+                                        handle_connection(
+                                            stream, &runtime, &bytes, &open, &backlog,
+                                        );
                                         registry.lock().expect("stream registry").remove(&conn_id);
                                         open.fetch_sub(1, Ordering::AcqRel);
                                         done.lock().expect("finished list").push(conn_id);
@@ -371,7 +381,10 @@ impl ReplicaServer {
                     .join()
                     .expect("event loop thread panicked");
             }
-            Engine::Threaded { live_streams, accept } => {
+            Engine::Threaded {
+                live_streams,
+                accept,
+            } => {
                 // Force every still-open connection closed; blocked readers see
                 // EOF/error.
                 for (_, stream) in live_streams.lock().expect("stream registry").drain() {
@@ -426,9 +439,13 @@ enum Inbound {
 fn stats_reply(runtime: &ServingRuntime, open: usize, backlog: usize) -> Frame {
     if let Some(tel) = runtime.telemetry() {
         tel.registry.gauge("net_open_connections").set(open as i64);
-        tel.registry.gauge("net_handler_backlog").set(backlog as i64);
+        tel.registry
+            .gauge("net_handler_backlog")
+            .set(backlog as i64);
     }
-    Frame::StatsReply { metrics: runtime.scrape() }
+    Frame::StatsReply {
+        metrics: runtime.scrape(),
+    }
 }
 
 /// Bounds-check a `(table, row)` pair against the node's geometry.
@@ -440,7 +457,9 @@ fn in_bounds(node: &ServingNode, table: u32, row: u64) -> bool {
 fn outcome_frame(outcome: Result<(), &'static str>) -> Frame {
     match outcome {
         Ok(()) => Frame::Ack,
-        Err(reason) => Frame::Nack { reason: reason.to_string() },
+        Err(reason) => Frame::Nack {
+            reason: reason.to_string(),
+        },
     }
 }
 
@@ -450,9 +469,15 @@ fn outcome_frame(outcome: Result<(), &'static str>) -> Frame {
 /// [`ServingRuntime::with_node_async`] — one protocol, two schedulers.
 fn classify(frame: Frame) -> Inbound {
     match frame {
-        Frame::InferRequest { id, time_minutes, sample } => {
-            Inbound::Infer { id, time_minutes, sample }
-        }
+        Frame::InferRequest {
+            id,
+            time_minutes,
+            sample,
+        } => Inbound::Infer {
+            id,
+            time_minutes,
+            sample,
+        },
         Frame::PullSupport => Inbound::Control {
             publish: false,
             action: Box::new(|node| Frame::Support {
@@ -498,7 +523,9 @@ fn classify(frame: Frame) -> Inbound {
             action: Box::new(move |node| {
                 let t = table as usize;
                 if t >= node.loras().len() {
-                    return Frame::Nack { reason: "table out of bounds".into() };
+                    return Frame::Nack {
+                        reason: "table out of bounds".into(),
+                    };
                 }
                 Frame::BFactor {
                     table,
@@ -507,7 +534,11 @@ fn classify(frame: Frame) -> Inbound {
                 }
             }),
         },
-        Frame::PushB { table, source_rank, values } => Inbound::Control {
+        Frame::PushB {
+            table,
+            source_rank,
+            values,
+        } => Inbound::Control {
             publish: false,
             action: Box::new(move |node| {
                 let t = table as usize;
@@ -534,7 +565,11 @@ fn classify(frame: Frame) -> Inbound {
                     }
                 }
                 for row in rows {
-                    node.apply_embedding_row_pull(row.table as usize, row.row as usize, &row.values);
+                    node.apply_embedding_row_pull(
+                        row.table as usize,
+                        row.row as usize,
+                        &row.values,
+                    );
                 }
                 outcome_frame(Ok(()))
             }),
@@ -682,6 +717,9 @@ struct EventLoop {
     reply_rx: Receiver<(u64, Frame)>,
     ctx: LoopCtx,
     stop: Arc<AtomicBool>,
+    /// Scratch for `drain_replies`: the tokens touched by one reply sweep. A struct
+    /// field so the steady-state loop reuses one grown-once buffer per wakeup.
+    touched: Vec<u64>,
 }
 
 impl EventLoop {
@@ -690,22 +728,27 @@ impl EventLoop {
             .poller
             .add(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)
             .is_err()
-            || self.poller.add(self.ctx.waker.fd(), TOKEN_WAKER, Interest::READ).is_err()
+            || self
+                .poller
+                .add(self.ctx.waker.fd(), TOKEN_WAKER, Interest::READ)
+                .is_err()
         {
             return;
         }
+        // Readiness scratch, hoisted so the steady-state poll never allocates: it grows
+        // to the 256-event high-water mark once and is cleared in place per wakeup.
+        let mut events = Vec::with_capacity(256);
         while !self.stop.load(Ordering::Acquire) {
             // The waker covers replies and shutdown; the timeout is only a backstop so
             // a lost wakeup can never wedge the loop.
-            let events = match self.poller.wait(Some(100)) {
-                Ok(events) => events.to_vec(),
-                Err(_) => break,
-            };
+            if self.poller.wait_into(Some(100), &mut events).is_err() {
+                break;
+            }
             if let Some(stats) = &self.ctx.stats {
                 stats.wakeups.inc();
                 stats.ready_events.record(events.len() as f64);
             }
-            for event in events {
+            for &event in &events {
                 match event.token {
                     TOKEN_LISTENER => self.accept_ready(),
                     TOKEN_WAKER => self.ctx.waker.drain(),
@@ -732,7 +775,11 @@ impl EventLoop {
                     }
                     let token = self.next_token;
                     self.next_token += 1;
-                    if self.poller.add(stream.as_raw_fd(), token, Interest::READ).is_err() {
+                    if self
+                        .poller
+                        .add(stream.as_raw_fd(), token, Interest::READ)
+                        .is_err()
+                    {
                         continue;
                     }
                     self.ctx.open_connections.fetch_add(1, Ordering::AcqRel);
@@ -761,7 +808,10 @@ impl EventLoop {
     /// Never scans the whole registry — per-wakeup work is O(replies), not O(open
     /// connections), which is what keeps the tail flat at 2048 connections.
     fn drain_replies(&mut self) {
-        let mut touched: Vec<u64> = Vec::new();
+        // Reuse the struct-field scratch (taken to appease the borrow checker while
+        // `self.service_conn` runs): steady state allocates nothing.
+        let mut touched = std::mem::take(&mut self.touched);
+        touched.clear();
         while let Ok((token, frame)) = self.reply_rx.try_recv() {
             // A reply for a connection that already died is dropped on the floor —
             // exactly what the blocking engine's broken-pipe write did.
@@ -779,9 +829,10 @@ impl EventLoop {
             }
         }
         touched.dedup();
-        for token in touched {
+        for &token in &touched {
             self.service_conn(token);
         }
+        self.touched = touched;
     }
 
     /// Flush a connection's outbound buffer, close it if dead or fully drained, and
@@ -796,8 +847,16 @@ impl EventLoop {
         }
         let want_write = conn.out_pending() > 0;
         if want_write != conn.want_write {
-            let interest = if want_write { Interest::READ_WRITE } else { Interest::READ };
-            if self.poller.modify(conn.stream.as_raw_fd(), token, interest).is_ok() {
+            let interest = if want_write {
+                Interest::READ_WRITE
+            } else {
+                Interest::READ
+            };
+            if self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, interest)
+                .is_ok()
+            {
                 conn.want_write = want_write;
             }
         }
@@ -865,7 +924,12 @@ fn read_ready(conn: &mut Conn, ctx: &LoopCtx) -> bool {
             Ok(None) => break,
             Err(_) => {
                 // Framing alignment is lost; answer with a typed Nack and drain.
-                conn.enqueue(&Frame::Nack { reason: "malformed frame".into() }, &ctx.bytes);
+                conn.enqueue(
+                    &Frame::Nack {
+                        reason: "malformed frame".into(),
+                    },
+                    &ctx.bytes,
+                );
                 conn.draining = true;
             }
         }
@@ -883,14 +947,20 @@ fn read_ready(conn: &mut Conn, ctx: &LoopCtx) -> bool {
 /// a fire-and-forget command, `Bye`/garbage start the drain.
 fn dispatch_event(conn: &mut Conn, frame: Frame, ctx: &LoopCtx) {
     match classify(frame) {
-        Inbound::Infer { id, time_minutes, sample } => {
+        Inbound::Infer {
+            id,
+            time_minutes,
+            sample,
+        } => {
             // The wire codec guarantees well-formed bytes, not well-formed *geometry*:
             // a sparse id past the table end or a wrong-arity sample would panic the
             // worker thread mid-batch and take the whole replica down. Reject it here
             // and keep serving the connection.
             if let Err(reason) = ctx.model_config.validate_sample(&sample) {
                 conn.enqueue(
-                    &Frame::Nack { reason: format!("request {id}: {reason}") },
+                    &Frame::Nack {
+                        reason: format!("request {id}: {reason}"),
+                    },
                     &ctx.bytes,
                 );
                 return;
@@ -902,7 +972,9 @@ fn dispatch_event(conn: &mut Conn, frame: Frame, ctx: &LoopCtx) {
                 let _ = reply_tx.send((token, Frame::InferReply { id, prediction }));
                 waker.wake();
             });
-            match ctx.runtime.submit_routed_with_reply(sample, time_minutes, Instant::now(), reply)
+            match ctx
+                .runtime
+                .submit_routed_with_reply(sample, time_minutes, Instant::now(), reply)
             {
                 SubmitOutcome::Accepted => {
                     conn.owed += 1;
@@ -952,7 +1024,9 @@ fn dispatch_event(conn: &mut Conn, frame: Frame, ctx: &LoopCtx) {
         Inbound::Bye => conn.draining = true,
         Inbound::BadDirection => {
             conn.enqueue(
-                &Frame::Nack { reason: "unexpected frame direction".into() },
+                &Frame::Nack {
+                    reason: "unexpected frame direction".into(),
+                },
                 &ctx.bytes,
             );
             conn.draining = true;
@@ -1020,7 +1094,9 @@ fn handle_connection(
             }
             Err(WireError::Io(_)) | Err(WireError::Truncated) => break, // peer gone / forced close
             Err(_) => {
-                let _ = out_tx.send(Frame::Nack { reason: "malformed frame".into() });
+                let _ = out_tx.send(Frame::Nack {
+                    reason: "malformed frame".into(),
+                });
                 break;
             }
         }
@@ -1044,10 +1120,16 @@ fn dispatch_blocking(
     backlog: &Arc<AtomicUsize>,
 ) -> bool {
     match classify(frame) {
-        Inbound::Infer { id, time_minutes, sample } => {
+        Inbound::Infer {
+            id,
+            time_minutes,
+            sample,
+        } => {
             if let Err(reason) = model_config.validate_sample(&sample) {
                 return out
-                    .send(Frame::Nack { reason: format!("request {id}: {reason}") })
+                    .send(Frame::Nack {
+                        reason: format!("request {id}: {reason}"),
+                    })
                     .is_ok();
             }
             let reply_tx = out.clone();
@@ -1088,7 +1170,9 @@ fn dispatch_blocking(
         }
         Inbound::Bye => false,
         Inbound::BadDirection => {
-            let _ = out.send(Frame::Nack { reason: "unexpected frame direction".into() });
+            let _ = out.send(Frame::Nack {
+                reason: "unexpected frame direction".into(),
+            });
             false
         }
     }

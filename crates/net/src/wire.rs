@@ -248,7 +248,10 @@ fn put_f64(out: &mut Vec<u8>, v: f64) -> Result<(), WireError> {
 }
 
 fn put_f64_vec(out: &mut Vec<u8>, values: &[f64]) -> Result<(), WireError> {
-    put_u32(out, u32::try_from(values.len()).map_err(|_| WireError::Malformed("vector too long"))?);
+    put_u32(
+        out,
+        u32::try_from(values.len()).map_err(|_| WireError::Malformed("vector too long"))?,
+    );
     for &v in values {
         put_f64(out, v)?;
     }
@@ -256,7 +259,10 @@ fn put_f64_vec(out: &mut Vec<u8>, values: &[f64]) -> Result<(), WireError> {
 }
 
 fn put_index_pairs(out: &mut Vec<u8>, rows: &[(u32, u64)]) -> Result<(), WireError> {
-    put_u32(out, u32::try_from(rows.len()).map_err(|_| WireError::Malformed("vector too long"))?);
+    put_u32(
+        out,
+        u32::try_from(rows.len()).map_err(|_| WireError::Malformed("vector too long"))?,
+    );
     for &(table, row) in rows {
         put_u32(out, table);
         put_u64(out, row);
@@ -271,7 +277,10 @@ fn put_sample(out: &mut Vec<u8>, sample: &Sample) -> Result<(), WireError> {
         u32::try_from(sample.sparse.len()).map_err(|_| WireError::Malformed("too many tables"))?,
     );
     for ids in &sample.sparse {
-        put_u32(out, u32::try_from(ids.len()).map_err(|_| WireError::Malformed("too many ids"))?);
+        put_u32(
+            out,
+            u32::try_from(ids.len()).map_err(|_| WireError::Malformed("too many ids"))?,
+        );
         for &id in ids {
             put_u64(out, id as u64);
         }
@@ -289,7 +298,11 @@ impl Frame {
     pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut payload = Vec::with_capacity(64);
         match self {
-            Frame::InferRequest { id, time_minutes, sample } => {
+            Frame::InferRequest {
+                id,
+                time_minutes,
+                sample,
+            } => {
                 payload.push(TAG_INFER_REQUEST);
                 put_u64(&mut payload, *id);
                 put_f64(&mut payload, *time_minutes)?;
@@ -321,7 +334,8 @@ impl Frame {
                 });
                 put_u32(
                     &mut payload,
-                    u32::try_from(rows.len()).map_err(|_| WireError::Malformed("vector too long"))?,
+                    u32::try_from(rows.len())
+                        .map_err(|_| WireError::Malformed("vector too long"))?,
                 );
                 for row in rows {
                     put_u32(&mut payload, row.table);
@@ -333,8 +347,16 @@ impl Frame {
                 payload.push(TAG_PULL_B);
                 put_u32(&mut payload, *table);
             }
-            Frame::BFactor { table, source_rank, values }
-            | Frame::PushB { table, source_rank, values } => {
+            Frame::BFactor {
+                table,
+                source_rank,
+                values,
+            }
+            | Frame::PushB {
+                table,
+                source_rank,
+                values,
+            } => {
                 payload.push(if matches!(self, Frame::BFactor { .. }) {
                     TAG_B_FACTOR
                 } else {
@@ -348,7 +370,8 @@ impl Frame {
                 payload.push(TAG_PUSH_EMBEDDING_ROWS);
                 put_u32(
                     &mut payload,
-                    u32::try_from(rows.len()).map_err(|_| WireError::Malformed("vector too long"))?,
+                    u32::try_from(rows.len())
+                        .map_err(|_| WireError::Malformed("vector too long"))?,
                 );
                 for row in rows {
                     put_u32(&mut payload, row.table);
@@ -367,7 +390,8 @@ impl Frame {
                 let bytes = reason.as_bytes();
                 put_u32(
                     &mut payload,
-                    u32::try_from(bytes.len()).map_err(|_| WireError::Malformed("reason too long"))?,
+                    u32::try_from(bytes.len())
+                        .map_err(|_| WireError::Malformed("reason too long"))?,
                 );
                 payload.extend_from_slice(bytes);
             }
@@ -392,7 +416,8 @@ impl Frame {
                 }
             }
         }
-        let len = u32::try_from(payload.len()).map_err(|_| WireError::Malformed("payload too long"))?;
+        let len =
+            u32::try_from(payload.len()).map_err(|_| WireError::Malformed("payload too long"))?;
         if len > MAX_FRAME_BYTES {
             return Err(WireError::TooLarge(len));
         }
@@ -427,11 +452,15 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn f64(&mut self) -> Result<f64, WireError> {
@@ -519,10 +548,18 @@ impl Frame {
             },
             TAG_INFER_SHED => Frame::InferShed { id: r.u64()? },
             TAG_PULL_SUPPORT => Frame::PullSupport,
-            TAG_SUPPORT => Frame::Support { rows: r.index_pairs()? },
-            TAG_PULL_LORA_ROWS => Frame::PullLoraRows { rows: r.index_pairs()? },
-            TAG_LORA_ROWS => Frame::LoraRows { rows: r.lora_rows()? },
-            TAG_PUSH_LORA_ROWS => Frame::PushLoraRows { rows: r.lora_rows()? },
+            TAG_SUPPORT => Frame::Support {
+                rows: r.index_pairs()?,
+            },
+            TAG_PULL_LORA_ROWS => Frame::PullLoraRows {
+                rows: r.index_pairs()?,
+            },
+            TAG_LORA_ROWS => Frame::LoraRows {
+                rows: r.lora_rows()?,
+            },
+            TAG_PUSH_LORA_ROWS => Frame::PushLoraRows {
+                rows: r.lora_rows()?,
+            },
             TAG_PULL_B => Frame::PullB { table: r.u32()? },
             TAG_B_FACTOR => Frame::BFactor {
                 table: r.u32()?,
@@ -545,7 +582,9 @@ impl Frame {
                     })
                     .collect(),
             },
-            TAG_FULL_MODEL => Frame::FullModel { params: r.f64_vec()? },
+            TAG_FULL_MODEL => Frame::FullModel {
+                params: r.f64_vec()?,
+            },
             TAG_PUBLISH => Frame::Publish,
             TAG_ACK => Frame::Ack,
             TAG_NACK => {
@@ -734,27 +773,56 @@ mod tests {
                 time_minutes: 12.5,
                 sample: Sample::new(vec![0.5, -1.0], vec![vec![1, 2], vec![], vec![9]], 1.0),
             },
-            Frame::InferReply { id: 7, prediction: 0.75 },
+            Frame::InferReply {
+                id: 7,
+                prediction: 0.75,
+            },
             Frame::InferShed { id: 8 },
             Frame::PullSupport,
             Frame::Support { rows: vec![] },
-            Frame::Support { rows: vec![(0, 5), (1, u64::MAX)] },
+            Frame::Support {
+                rows: vec![(0, 5), (1, u64::MAX)],
+            },
             Frame::PullLoraRows { rows: vec![(0, 1)] },
             Frame::LoraRows { rows: vec![] },
             Frame::LoraRows {
-                rows: vec![LoraRowUpdate { table: 0, row: 3, values: long_row.clone() }],
+                rows: vec![LoraRowUpdate {
+                    table: 0,
+                    row: 3,
+                    values: long_row.clone(),
+                }],
             },
             Frame::PushLoraRows {
                 rows: vec![
-                    LoraRowUpdate { table: 1, row: 0, values: vec![] },
-                    LoraRowUpdate { table: 0, row: 2, values: vec![1.0, -2.0] },
+                    LoraRowUpdate {
+                        table: 1,
+                        row: 0,
+                        values: vec![],
+                    },
+                    LoraRowUpdate {
+                        table: 0,
+                        row: 2,
+                        values: vec![1.0, -2.0],
+                    },
                 ],
             },
             Frame::PullB { table: 3 },
-            Frame::BFactor { table: 3, source_rank: 4, values: long_row.clone() },
-            Frame::PushB { table: 3, source_rank: 4, values: vec![0.0; 8] },
+            Frame::BFactor {
+                table: 3,
+                source_rank: 4,
+                values: long_row.clone(),
+            },
+            Frame::PushB {
+                table: 3,
+                source_rank: 4,
+                values: vec![0.0; 8],
+            },
             Frame::PushEmbeddingRows {
-                rows: vec![EmbeddingRowUpdate { table: 0, row: 11, values: vec![0.5; 8] }],
+                rows: vec![EmbeddingRowUpdate {
+                    table: 0,
+                    row: 11,
+                    values: vec![0.5; 8],
+                }],
             },
             Frame::PushEmbeddingRows { rows: vec![] },
             Frame::FullModel { params: long_row },
@@ -769,7 +837,9 @@ mod tests {
                 ],
             },
             Frame::Ack,
-            Frame::Nack { reason: "geometry mismatch".into() },
+            Frame::Nack {
+                reason: "geometry mismatch".into(),
+            },
             Frame::Bye,
         ]
     }
@@ -778,8 +848,9 @@ mod tests {
     fn every_frame_round_trips() {
         for frame in exemplars() {
             let bytes = frame.encode().unwrap();
-            let (decoded, consumed) =
-                read_frame(&mut &bytes[..]).unwrap().expect("one frame present");
+            let (decoded, consumed) = read_frame(&mut &bytes[..])
+                .unwrap()
+                .expect("one frame present");
             assert_eq!(decoded, frame);
             assert_eq!(consumed, bytes.len());
             // And the payload decoder agrees with the stream reader.
@@ -804,23 +875,38 @@ mod tests {
     #[test]
     fn non_finite_floats_are_rejected_on_encode() {
         for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
-            let frame = Frame::InferReply { id: 1, prediction: bad };
+            let frame = Frame::InferReply {
+                id: 1,
+                prediction: bad,
+            };
             assert!(matches!(frame.encode(), Err(WireError::NonFinite)));
-            let frame = Frame::FullModel { params: vec![1.0, bad] };
+            let frame = Frame::FullModel {
+                params: vec![1.0, bad],
+            };
             assert!(matches!(frame.encode(), Err(WireError::NonFinite)));
-            let frame = Frame::StatsReply { metrics: vec![("x".into(), bad)] };
+            let frame = Frame::StatsReply {
+                metrics: vec![("x".into(), bad)],
+            };
             assert!(matches!(frame.encode(), Err(WireError::NonFinite)));
         }
     }
 
     #[test]
     fn non_finite_floats_are_rejected_on_decode() {
-        let good = Frame::InferReply { id: 1, prediction: 0.5 }.encode().unwrap();
+        let good = Frame::InferReply {
+            id: 1,
+            prediction: 0.5,
+        }
+        .encode()
+        .unwrap();
         // The prediction occupies the trailing 8 bytes; overwrite with NaN bits.
         let mut bad = good;
         let n = bad.len();
         bad[n - 8..].copy_from_slice(&f64::NAN.to_le_bytes());
-        assert!(matches!(Frame::decode(&bad[4..]), Err(WireError::NonFinite)));
+        assert!(matches!(
+            Frame::decode(&bad[4..]),
+            Err(WireError::NonFinite)
+        ));
     }
 
     #[test]
@@ -828,7 +914,10 @@ mod tests {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
         bytes.extend_from_slice(&[0u8; 16]);
-        assert!(matches!(read_frame(&mut &bytes[..]), Err(WireError::TooLarge(_))));
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(WireError::TooLarge(_))
+        ));
     }
 
     #[test]
@@ -836,7 +925,10 @@ mod tests {
         assert!(matches!(Frame::decode(&[200]), Err(WireError::BadTag(200))));
         let mut bytes = Frame::Ack.encode().unwrap()[4..].to_vec();
         bytes.push(0);
-        assert!(matches!(Frame::decode(&bytes), Err(WireError::TrailingBytes)));
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(WireError::TrailingBytes)
+        ));
         assert!(matches!(Frame::decode(&[]), Err(WireError::Truncated)));
     }
 
@@ -863,7 +955,8 @@ mod tests {
         }
         assert!(asm.at_boundary(), "all bytes consumed at a frame boundary");
         assert_eq!(decoded.len(), frames.len());
-        for ((frame, n), (expected, len)) in decoded.into_iter().zip(frames.into_iter().zip(lengths))
+        for ((frame, n), (expected, len)) in
+            decoded.into_iter().zip(frames.into_iter().zip(lengths))
         {
             assert_eq!(frame, expected);
             assert_eq!(n, len);
@@ -872,7 +965,9 @@ mod tests {
 
     #[test]
     fn assembler_reports_mid_frame_state_and_bulk_chunks() {
-        let frame = Frame::FullModel { params: vec![0.25; 512] };
+        let frame = Frame::FullModel {
+            params: vec![0.25; 512],
+        };
         let bytes = frame.encode().unwrap();
         let mut asm = FrameAssembler::new();
         // A partial frame is not a boundary (a peer EOF here would be truncation).
@@ -887,7 +982,10 @@ mod tests {
         let (decoded, n) = asm.next_frame().unwrap().expect("first frame complete");
         assert_eq!(decoded, frame);
         assert_eq!(n, bytes.len());
-        assert!(!asm.at_boundary(), "two bytes of the next frame are pending");
+        assert!(
+            !asm.at_boundary(),
+            "two bytes of the next frame are pending"
+        );
         asm.extend(&next[2..]);
         assert_eq!(asm.next_frame().unwrap().unwrap().0, Frame::Ack);
         assert!(asm.at_boundary());
@@ -914,7 +1012,10 @@ mod tests {
         // Pipelined-connection regression: the consumed prefix must not accumulate
         // forever. After many frames the internal buffer stays bounded by frame size,
         // not by connection lifetime.
-        let frame = Frame::InferReply { id: 9, prediction: 0.5 };
+        let frame = Frame::InferReply {
+            id: 9,
+            prediction: 0.5,
+        };
         let encoded = frame.encode().unwrap();
         let mut asm = FrameAssembler::new();
         for _ in 0..10_000 {

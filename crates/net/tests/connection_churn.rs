@@ -80,8 +80,15 @@ fn churn_leaves_no_state(event_loop: bool) {
         let mut conn = TcpStream::connect(server.addr()).expect("connect");
         conn.set_nodelay(true).unwrap();
         let sample = w.sample_at(0.0);
-        write_frame(&mut conn, &Frame::InferRequest { id: i, time_minutes: 0.0, sample })
-            .expect("write");
+        write_frame(
+            &mut conn,
+            &Frame::InferRequest {
+                id: i,
+                time_minutes: 0.0,
+                sample,
+            },
+        )
+        .expect("write");
         match read_frame(&mut conn).expect("read").expect("reply").0 {
             Frame::InferReply { id, .. } | Frame::InferShed { id } => assert_eq!(id, i),
             other => panic!("unexpected reply {other:?}"),
@@ -116,7 +123,11 @@ fn churn_leaves_no_state(event_loop: bool) {
                     let sample = w.sample_at(0.0);
                     write_frame(
                         &mut conn,
-                        &Frame::InferRequest { id, time_minutes: 0.0, sample },
+                        &Frame::InferRequest {
+                            id,
+                            time_minutes: 0.0,
+                            sample,
+                        },
                     )
                     .expect("write");
                     match read_frame(&mut conn).expect("read").expect("reply").0 {
@@ -175,7 +186,14 @@ fn pipelining_maps_ids(event_loop: bool) {
     for id in 0..IN_FLIGHT {
         let sample = w.sample_at(0.0);
         client
-            .send(0, &Frame::InferRequest { id, time_minutes: 0.0, sample })
+            .send(
+                0,
+                &Frame::InferRequest {
+                    id,
+                    time_minutes: 0.0,
+                    sample,
+                },
+            )
             .expect("send");
     }
 
@@ -196,7 +214,10 @@ fn pipelining_maps_ids(event_loop: bool) {
             }
         })
         .expect("poll");
-    assert_eq!(delivered as u64, IN_FLIGHT, "every in-flight request answered");
+    assert_eq!(
+        delivered as u64, IN_FLIGHT,
+        "every in-flight request answered"
+    );
     assert_eq!(
         seen,
         (0..IN_FLIGHT).collect::<HashSet<u64>>(),
@@ -231,7 +252,14 @@ fn half_close_drains_owed_replies() {
     for id in 0..BURST {
         let sample = w.sample_at(0.0);
         client
-            .send(0, &Frame::InferRequest { id, time_minutes: 0.0, sample })
+            .send(
+                0,
+                &Frame::InferRequest {
+                    id,
+                    time_minutes: 0.0,
+                    sample,
+                },
+            )
             .expect("send");
     }
     client.finish_sending(0); // shutdown(Write): no more requests, replies still owed

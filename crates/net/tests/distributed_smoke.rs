@@ -31,7 +31,10 @@ fn tiny_runtime_config() -> RuntimeConfig {
 /// Send one frame and read one reply on a blocking stream.
 fn call(stream: &mut TcpStream, frame: &Frame) -> Frame {
     write_frame(stream, frame).expect("write frame");
-    read_frame(stream).expect("read frame").expect("reply present").0
+    read_frame(stream)
+        .expect("read frame")
+        .expect("reply present")
+        .0
 }
 
 #[test]
@@ -55,7 +58,11 @@ fn replica_server_serves_and_syncs_over_tcp() {
     let sample = w.sample_at(0.0);
     match call(
         &mut conn,
-        &Frame::InferRequest { id: 42, time_minutes: 0.0, sample },
+        &Frame::InferRequest {
+            id: 42,
+            time_minutes: 0.0,
+            sample,
+        },
     ) {
         Frame::InferReply { id, prediction } => {
             assert_eq!(id, 42);
@@ -65,9 +72,16 @@ fn replica_server_serves_and_syncs_over_tcp() {
     }
 
     // Control plane: support starts empty, a pushed row + publish becomes visible.
-    assert_eq!(call(&mut conn, &Frame::PullSupport), Frame::Support { rows: vec![] });
+    assert_eq!(
+        call(&mut conn, &Frame::PullSupport),
+        Frame::Support { rows: vec![] }
+    );
     let pushed = Frame::PushLoraRows {
-        rows: vec![LoraRowUpdate { table: 0, row: 7, values: vec![1.0; 4] }],
+        rows: vec![LoraRowUpdate {
+            table: 0,
+            row: 7,
+            values: vec![1.0; 4],
+        }],
     };
     assert_eq!(call(&mut conn, &pushed), Frame::Ack);
     assert_eq!(call(&mut conn, &Frame::Publish), Frame::Ack);
@@ -85,7 +99,11 @@ fn replica_server_serves_and_syncs_over_tcp() {
     }
     // B factor round-trips with the adapter's rank.
     match call(&mut conn, &Frame::PullB { table: 0 }) {
-        Frame::BFactor { table: 0, source_rank, values } => {
+        Frame::BFactor {
+            table: 0,
+            source_rank,
+            values,
+        } => {
             assert_eq!(source_rank, 4);
             assert_eq!(values.len(), 4 * 8);
         }
@@ -95,7 +113,11 @@ fn replica_server_serves_and_syncs_over_tcp() {
     match call(
         &mut conn,
         &Frame::PushLoraRows {
-            rows: vec![LoraRowUpdate { table: 9, row: 0, values: vec![] }],
+            rows: vec![LoraRowUpdate {
+                table: 9,
+                row: 0,
+                values: vec![],
+            }],
         },
     ) {
         Frame::Nack { .. } => {}
@@ -104,13 +126,31 @@ fn replica_server_serves_and_syncs_over_tcp() {
 
     write_frame(&mut conn, &Frame::Bye).unwrap();
     drop(conn);
-    let infer_bytes = server.bytes().infer.load(std::sync::atomic::Ordering::Relaxed);
-    let control_bytes = server.bytes().control.load(std::sync::atomic::Ordering::Relaxed);
+    let infer_bytes = server
+        .bytes()
+        .infer
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let control_bytes = server
+        .bytes()
+        .control
+        .load(std::sync::atomic::Ordering::Relaxed);
     let (report, node) = server.shutdown();
-    assert_eq!(report.completed, 1, "one request served through the worker pipeline");
-    assert!(node.loras()[0].is_active(7), "pushed LoRA row reached the authoritative node");
-    assert!(infer_bytes > 0, "inference traffic was accounted at the socket");
-    assert!(control_bytes > 0, "control traffic was accounted at the socket");
+    assert_eq!(
+        report.completed, 1,
+        "one request served through the worker pipeline"
+    );
+    assert!(
+        node.loras()[0].is_active(7),
+        "pushed LoRA row reached the authoritative node"
+    );
+    assert!(
+        infer_bytes > 0,
+        "inference traffic was accounted at the socket"
+    );
+    assert!(
+        control_bytes > 0,
+        "control traffic was accounted at the socket"
+    );
 }
 
 #[test]
@@ -143,9 +183,19 @@ fn poison_infer_frames_are_nacked_and_the_replica_survives() {
     extra_table.sparse.push(vec![0]);
     let mut bad_dense = w.sample_at(0.0);
     bad_dense.dense.push(0.0);
-    for (i, sample) in [oob, missing_table, extra_table, bad_dense].into_iter().enumerate() {
+    for (i, sample) in [oob, missing_table, extra_table, bad_dense]
+        .into_iter()
+        .enumerate()
+    {
         let id = 1000 + i as u64;
-        match call(&mut conn, &Frame::InferRequest { id, time_minutes: 0.0, sample }) {
+        match call(
+            &mut conn,
+            &Frame::InferRequest {
+                id,
+                time_minutes: 0.0,
+                sample,
+            },
+        ) {
             Frame::Nack { reason } => {
                 assert!(
                     reason.contains(&format!("request {id}")),
@@ -158,7 +208,14 @@ fn poison_infer_frames_are_nacked_and_the_replica_survives() {
 
     // The replica still serves well-formed traffic on the same connection afterwards.
     let good = w.sample_at(0.0);
-    match call(&mut conn, &Frame::InferRequest { id: 7, time_minutes: 0.0, sample: good }) {
+    match call(
+        &mut conn,
+        &Frame::InferRequest {
+            id: 7,
+            time_minutes: 0.0,
+            sample: good,
+        },
+    ) {
         Frame::InferReply { id, prediction } => {
             assert_eq!(id, 7);
             assert!((0.0..=1.0).contains(&prediction));
@@ -169,7 +226,10 @@ fn poison_infer_frames_are_nacked_and_the_replica_survives() {
     write_frame(&mut conn, &Frame::Bye).unwrap();
     drop(conn);
     let (report, _node) = server.shutdown();
-    assert_eq!(report.completed, 1, "only the well-formed request reached a worker");
+    assert_eq!(
+        report.completed, 1,
+        "only the well-formed request reached a worker"
+    );
 }
 
 #[test]
@@ -186,7 +246,12 @@ fn full_model_frame_replaces_the_replica_model() {
     let fresh = DlrmModel::new(DlrmConfig::tiny(2, 200, 8), 999);
     let params = fresh.export_parameters();
     // A wrong-length vector is rejected...
-    match call(&mut conn, &Frame::FullModel { params: vec![0.0; 3] }) {
+    match call(
+        &mut conn,
+        &Frame::FullModel {
+            params: vec![0.0; 3],
+        },
+    ) {
         Frame::Nack { .. } => {}
         other => panic!("expected Nack, got {other:?}"),
     }
@@ -194,15 +259,20 @@ fn full_model_frame_replaces_the_replica_model() {
     assert_eq!(call(&mut conn, &Frame::FullModel { params }), Frame::Ack);
     drop(conn);
     let (_, node) = server.shutdown();
-    assert_eq!(node.serving_model().export_parameters(), fresh.export_parameters());
+    assert_eq!(
+        node.serving_model().export_parameters(),
+        fresh.export_parameters()
+    );
 }
 
 #[test]
 fn stats_frame_scrapes_live_telemetry_with_freshness_gauges() {
     // A replica with a live policy-driven updater publishes fresh epochs; a Stats
     // round-trip against the serving socket must expose the freshness gauges.
-    let policy: Box<dyn UpdatePolicy> =
-        Box::new(LiveUpdatePolicy { rounds_per_update: 1, batch_size: 8 });
+    let policy: Box<dyn UpdatePolicy> = Box::new(LiveUpdatePolicy {
+        rounds_per_update: 1,
+        batch_size: 8,
+    });
     let server = ReplicaServer::start(
         tiny_node(17),
         tiny_runtime_config(),
@@ -221,7 +291,14 @@ fn stats_frame_scrapes_live_telemetry_with_freshness_gauges() {
     });
     for id in 0..8u64 {
         let sample = w.sample_at(0.0);
-        match call(&mut conn, &Frame::InferRequest { id, time_minutes: 0.0, sample }) {
+        match call(
+            &mut conn,
+            &Frame::InferRequest {
+                id,
+                time_minutes: 0.0,
+                sample,
+            },
+        ) {
             Frame::InferReply { .. } | Frame::InferShed { .. } => {}
             other => panic!("expected an inference outcome, got {other:?}"),
         }
@@ -238,12 +315,24 @@ fn stats_frame_scrapes_live_telemetry_with_freshness_gauges() {
             .unwrap_or_else(|| panic!("metric {name} missing from scrape: {rows:?}"))
             .1
     };
-    assert!(get("epoch_age_us") >= 0.0, "freshness gauge present and sane");
+    assert!(
+        get("epoch_age_us") >= 0.0,
+        "freshness gauge present and sane"
+    );
     assert!(get("serve_requests_total") >= 1.0, "served traffic counted");
-    assert!(get("serve_latency_us_count") >= 1.0, "latency histogram populated");
-    assert!(get("net_open_connections") >= 1.0, "this connection is counted");
+    assert!(
+        get("serve_latency_us_count") >= 1.0,
+        "latency histogram populated"
+    );
+    assert!(
+        get("net_open_connections") >= 1.0,
+        "this connection is counted"
+    );
     let _ = get("net_handler_backlog");
-    assert!(rows.iter().all(|(_, v)| v.is_finite()), "every scraped value is finite");
+    assert!(
+        rows.iter().all(|(_, v)| v.is_finite()),
+        "every scraped value is finite"
+    );
 
     // The dedicated helper sees the same registry from a fresh connection.
     let scraped = liveupdate_net::scrape_replica(server.addr()).expect("scrape_replica");
@@ -252,16 +341,23 @@ fn stats_frame_scrapes_live_telemetry_with_freshness_gauges() {
     write_frame(&mut conn, &Frame::Bye).unwrap();
     drop(conn);
     let (report, _node) = server.shutdown();
-    assert!(!report.telemetry.is_empty(), "final report carries the registry snapshot");
+    assert!(
+        !report.telemetry.is_empty(),
+        "final report carries the registry snapshot"
+    );
 }
 
 #[test]
 fn both_engines_expose_the_same_connection_gauges() {
     // Satellite: the threaded fallback and the epoll loop must answer Stats with
     // identical gauge names, so a scraper cannot tell the engines apart.
-    let event_loop =
-        ReplicaServer::start(tiny_node(23), tiny_runtime_config(), Duration::from_millis(50), None)
-            .expect("start event-loop server");
+    let event_loop = ReplicaServer::start(
+        tiny_node(23),
+        tiny_runtime_config(),
+        Duration::from_millis(50),
+        None,
+    )
+    .expect("start event-loop server");
     let threaded = ReplicaServer::start_threaded(
         tiny_node(23),
         tiny_runtime_config(),
@@ -286,11 +382,17 @@ fn both_engines_expose_the_same_connection_gauges() {
 
 #[test]
 fn telemetry_disabled_replica_answers_stats_with_no_rows() {
-    let cfg = RuntimeConfig { telemetry: false, ..tiny_runtime_config() };
+    let cfg = RuntimeConfig {
+        telemetry: false,
+        ..tiny_runtime_config()
+    };
     let server = ReplicaServer::start(tiny_node(29), cfg, Duration::from_millis(50), None)
         .expect("start server");
     let rows = liveupdate_net::scrape_replica(server.addr()).expect("scrape");
-    assert!(rows.is_empty(), "telemetry off means an empty scrape, got {rows:?}");
+    assert!(
+        rows.is_empty(),
+        "telemetry off means an empty scrape, got {rows:?}"
+    );
     let (report, _node) = server.shutdown();
     assert!(report.telemetry.is_empty());
 }
@@ -321,14 +423,21 @@ fn distributed_backend_runs_a_scenario_on_sockets() {
     assert!(report.p99_latency_ms.is_some());
     assert!(report.mean_auc.is_some());
     // Scraped live from replica 0 over Frame::Stats, with the shared metric names.
-    for name in ["epoch_age_us", "serve_requests_total", "serve_latency_us_p99"] {
+    for name in [
+        "epoch_age_us",
+        "serve_requests_total",
+        "serve_latency_us_p99",
+    ] {
         assert!(
             report.telemetry.iter().any(|(n, _)| n == name),
             "{name} missing from distributed telemetry: {:?}",
             report.telemetry
         );
     }
-    assert_eq!(report.sync_bytes, 0, "LiveUpdate ships zero parameter bytes on the wire");
+    assert_eq!(
+        report.sync_bytes, 0,
+        "LiveUpdate ships zero parameter bytes on the wire"
+    );
     assert!(report.publications > 0, "replicas published fresh epochs");
     assert!(report.lora_memory_bytes.unwrap() > 0);
 }

@@ -33,7 +33,7 @@ pub const NUM_BUCKETS: usize = 2 + (MAX_EXP - MIN_EXP + 1) as usize * SUBS;
 /// overflow bucket [`NUM_BUCKETS`]` - 1`.
 #[must_use]
 pub fn bucket_index(v: f64) -> usize {
-    if !(v > 0.0) {
+    if v.is_nan() || v <= 0.0 {
         return 0;
     }
     let bits = v.to_bits();
@@ -79,7 +79,9 @@ impl LogLinearHistogram {
     #[must_use]
     pub fn new() -> Self {
         let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
-        Self { buckets: buckets.into_boxed_slice() }
+        Self {
+            buckets: buckets.into_boxed_slice(),
+        }
     }
 
     /// Record one observation: a single relaxed atomic increment.
@@ -167,7 +169,11 @@ impl LogLinearHistogram {
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
-            counts: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 }
@@ -265,7 +271,10 @@ mod tests {
             if idx != 0 && idx != NUM_BUCKETS - 1 {
                 let mid = bucket_value(idx);
                 let rel = (mid - v).abs() / v;
-                assert!(rel <= 1.0 / SUBS as f64, "midpoint {mid} vs {v}: rel err {rel}");
+                assert!(
+                    rel <= 1.0 / SUBS as f64,
+                    "midpoint {mid} vs {v}: rel err {rel}"
+                );
             }
             v *= 1.01;
         }
@@ -353,7 +362,11 @@ mod tests {
             h.join().expect("writer");
         }
         reader.join().expect("reader");
-        assert_eq!(shared.count(), WRITERS as u64 * PER_WRITER, "no lost increments");
+        assert_eq!(
+            shared.count(),
+            WRITERS as u64 * PER_WRITER,
+            "no lost increments"
+        );
         // One final merge into a fresh histogram reproduces the totals exactly.
         let exact = LogLinearHistogram::new();
         exact.merge_from(&shared);

@@ -126,11 +126,15 @@ impl MetricsRegistry {
     /// An empty registry.
     #[must_use]
     pub fn new() -> Self {
-        Self { shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())) }
+        Self {
+            shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
+        }
     }
 
     fn get_or_insert(&self, name: &str, fresh: impl FnOnce() -> Metric) -> Metric {
-        let mut shard = self.shards[shard_of(name)].lock().expect("registry shard poisoned");
+        let mut shard = self.shards[shard_of(name)]
+            .lock()
+            .expect("registry shard poisoned");
         shard.entry(name.to_string()).or_insert_with(fresh).clone()
     }
 
@@ -167,7 +171,9 @@ impl MetricsRegistry {
     /// Panics if `name` is already registered as a different metric kind.
     #[must_use]
     pub fn histogram(&self, name: &str) -> Arc<LogLinearHistogram> {
-        match self.get_or_insert(name, || Metric::Histogram(Arc::new(LogLinearHistogram::new()))) {
+        match self.get_or_insert(name, || {
+            Metric::Histogram(Arc::new(LogLinearHistogram::new()))
+        }) {
             Metric::Histogram(h) => h,
             other => panic!("metric {name:?} already registered as a {}", other.kind()),
         }
@@ -293,7 +299,16 @@ mod tests {
         }
         let rows = r.snapshot();
         let names: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
-        assert_eq!(names, vec!["a_gauge", "b_total", "lat_us_count", "lat_us_p50", "lat_us_p99"]);
+        assert_eq!(
+            names,
+            vec![
+                "a_gauge",
+                "b_total",
+                "lat_us_count",
+                "lat_us_p50",
+                "lat_us_p99"
+            ]
+        );
         let by_name: std::collections::BTreeMap<_, _> =
             rows.iter().map(|(n, v)| (n.as_str(), *v)).collect();
         assert_eq!(by_name["b_total"], 7.0);

@@ -146,7 +146,8 @@ impl TraceRing {
         slot.kind.store(kind as u64, Ordering::Relaxed);
         slot.a.store(a, Ordering::Relaxed);
         slot.b.store(b, Ordering::Relaxed);
-        slot.check.store(checksum(seq, at_us, kind as u64, a, b), Ordering::Relaxed);
+        slot.check
+            .store(checksum(seq, at_us, kind as u64, a, b), Ordering::Relaxed);
         // Publish; the release store keeps the field stores above from sinking below it.
         slot.seq.store(seq, Ordering::Release);
     }
@@ -176,7 +177,9 @@ impl TraceRing {
             if s1 != s2 || check != checksum(s1, at_us, kind, a, b) {
                 continue; // mid-write or wrap-torn: skip, never return garbage
             }
-            let Some(kind) = TraceKind::from_u64(kind) else { continue };
+            let Some(kind) = TraceKind::from_u64(kind) else {
+                continue;
+            };
             max_seq = max_seq.max(s1);
             found.push((s1, TraceEvent { at_us, kind, a, b }));
         }

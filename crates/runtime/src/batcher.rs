@@ -73,14 +73,25 @@ mod tests {
             batch_deadline: Duration::from_secs(5),
         };
         let batch = next_batch(&rx, &cfg).unwrap();
-        assert_eq!(batch.len(), 4, "full batch closes at max_batch, not deadline");
+        assert_eq!(
+            batch.len(),
+            4,
+            "full batch closes at max_batch, not deadline"
+        );
         assert_eq!(batch[0].sample.sparse[0][0], 0);
         assert_eq!(batch[3].sample.sparse[0][0], 3);
         // The remaining 6 form the next batches.
         assert_eq!(next_batch(&rx, &cfg).unwrap().len(), 4);
         drop(tx);
-        assert_eq!(next_batch(&rx, &cfg).unwrap().len(), 2, "disconnect flushes the tail");
-        assert!(next_batch(&rx, &cfg).is_none(), "drained + disconnected ends the worker");
+        assert_eq!(
+            next_batch(&rx, &cfg).unwrap().len(),
+            2,
+            "disconnect flushes the tail"
+        );
+        assert!(
+            next_batch(&rx, &cfg).is_none(),
+            "drained + disconnected ends the worker"
+        );
     }
 
     #[test]
@@ -95,7 +106,10 @@ mod tests {
         let batch = next_batch(&rx, &cfg).unwrap();
         let waited = started.elapsed();
         assert_eq!(batch.len(), 1, "deadline closes an underfull batch");
-        assert!(waited >= Duration::from_millis(15), "must wait for the deadline, waited {waited:?}");
+        assert!(
+            waited >= Duration::from_millis(15),
+            "must wait for the deadline, waited {waited:?}"
+        );
         drop(tx);
     }
 
@@ -116,7 +130,11 @@ mod tests {
             batch_deadline: Duration::from_millis(500),
         };
         let batch = next_batch(&rx, &cfg).unwrap();
-        assert_eq!(batch.len(), 3, "stragglers arriving before the deadline coalesce");
+        assert_eq!(
+            batch.len(),
+            3,
+            "stragglers arriving before the deadline coalesce"
+        );
         sender.join().unwrap();
     }
 

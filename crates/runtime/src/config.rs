@@ -96,13 +96,19 @@ impl RuntimeConfig {
     /// Returns a typed [`ConfigError`] naming the first violated constraint.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.num_workers == 0 {
-            return Err(ConfigError::NonPositive { field: "runtime.num_workers" });
+            return Err(ConfigError::NonPositive {
+                field: "runtime.num_workers",
+            });
         }
         if self.queue_capacity == 0 {
-            return Err(ConfigError::NonPositive { field: "runtime.queue_capacity" });
+            return Err(ConfigError::NonPositive {
+                field: "runtime.queue_capacity",
+            });
         }
         if self.max_batch == 0 {
-            return Err(ConfigError::NonPositive { field: "runtime.max_batch" });
+            return Err(ConfigError::NonPositive {
+                field: "runtime.max_batch",
+            });
         }
         match self.update {
             UpdateMode::Disabled => {}
@@ -112,10 +118,14 @@ impl RuntimeConfig {
                 ..
             } => {
                 if rounds_per_update == 0 {
-                    return Err(ConfigError::NonPositive { field: "runtime.update.rounds_per_update" });
+                    return Err(ConfigError::NonPositive {
+                        field: "runtime.update.rounds_per_update",
+                    });
                 }
                 if batch_size == 0 {
-                    return Err(ConfigError::NonPositive { field: "runtime.update.batch_size" });
+                    return Err(ConfigError::NonPositive {
+                        field: "runtime.update.batch_size",
+                    });
                 }
             }
             UpdateMode::Synchronous {
@@ -130,13 +140,19 @@ impl RuntimeConfig {
                     });
                 }
                 if every_batches == 0 {
-                    return Err(ConfigError::NonPositive { field: "runtime.update.every_batches" });
+                    return Err(ConfigError::NonPositive {
+                        field: "runtime.update.every_batches",
+                    });
                 }
                 if rounds == 0 {
-                    return Err(ConfigError::NonPositive { field: "runtime.update.rounds" });
+                    return Err(ConfigError::NonPositive {
+                        field: "runtime.update.rounds",
+                    });
                 }
                 if batch_size == 0 {
-                    return Err(ConfigError::NonPositive { field: "runtime.update.batch_size" });
+                    return Err(ConfigError::NonPositive {
+                        field: "runtime.update.batch_size",
+                    });
                 }
             }
         }
@@ -155,26 +171,37 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = RuntimeConfig::default();
-        c.num_workers = 0;
+        let c = RuntimeConfig {
+            num_workers: 0,
+            ..RuntimeConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = RuntimeConfig::default();
-        c.queue_capacity = 0;
+        let c = RuntimeConfig {
+            queue_capacity: 0,
+            ..RuntimeConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = RuntimeConfig::default();
-        c.max_batch = 0;
+        let c = RuntimeConfig {
+            max_batch: 0,
+            ..RuntimeConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = RuntimeConfig::default();
-        c.update = UpdateMode::Synchronous {
-            every_batches: 1,
-            rounds: 1,
-            batch_size: 8,
+        let mut c = RuntimeConfig {
+            update: UpdateMode::Synchronous {
+                every_batches: 1,
+                rounds: 1,
+                batch_size: 8,
+            },
+            ..RuntimeConfig::default()
         };
         c.num_workers = 2;
-        assert!(c.validate().is_err(), "synchronous mode is single-worker only");
+        assert!(
+            c.validate().is_err(),
+            "synchronous mode is single-worker only"
+        );
         c.num_workers = 1;
         assert_eq!(c.validate(), Ok(()));
     }

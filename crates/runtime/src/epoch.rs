@@ -53,9 +53,15 @@ impl<T> EpochPublisher<T> {
         let mut slot = self.slot.lock().expect("epoch slot poisoned");
         let next = slot.0 + 1;
         *slot = (next, Arc::new(value));
+        // ORDERING: Release pairs with the Acquire load in `publish_age_us`, so a
+        // thread that observes the new timestamp also observes everything written
+        // before this publication.
         self.published_at_us.store(self.now_us(), Ordering::Release);
         // Publish the change detector while still holding the lock, so a reader that
         // sees the new epoch and then locks the slot can never find an older pair.
+        // ORDERING: Release pairs with the Acquire loads in `epoch`/`refresh`; a reader
+        // that sees `next` is guaranteed to find at least this `(epoch, value)` pair
+        // behind the slot lock — the happens-before edge of the publication protocol.
         self.epoch.store(next, Ordering::Release);
         next
     }
@@ -65,12 +71,17 @@ impl<T> EpochPublisher<T> {
     /// number; one relaxed load, safe to call from any thread at any rate.
     #[must_use]
     pub fn publish_age_us(&self) -> u64 {
-        self.now_us().saturating_sub(self.published_at_us.load(Ordering::Acquire))
+        // ORDERING: Acquire pairs with the Release store in `publish`; the timestamp
+        // read here is never newer than the publication it describes.
+        let published_at = self.published_at_us.load(Ordering::Acquire);
+        self.now_us().saturating_sub(published_at)
     }
 
     /// The most recently published epoch.
     #[must_use]
     pub fn epoch(&self) -> u64 {
+        // ORDERING: Acquire pairs with the Release store in `publish`; observing epoch
+        // N here makes the N-th slot contents visible to a subsequent `load`.
         self.epoch.load(Ordering::Acquire)
     }
 
@@ -108,6 +119,9 @@ impl<T> EpochReader<T> {
     /// Adopt the latest publication if the epoch moved. Returns `true` when a newer
     /// snapshot was adopted. The fast path (no new epoch) is a single atomic load.
     pub fn refresh(&mut self) -> bool {
+        // ORDERING: Acquire pairs with the Release store in `publish`; a changed epoch
+        // guarantees the slot behind the lock already holds the pair for that epoch
+        // (or newer), so the `load` below can never adopt a stale value.
         if self.publisher.epoch.load(Ordering::Acquire) == self.cached_epoch {
             return false;
         }

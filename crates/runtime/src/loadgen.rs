@@ -69,8 +69,12 @@ pub fn run_open_loop(
     cfg: &LoadGenConfig,
 ) -> LoadGenReport {
     assert!(cfg.sample_pool > 0, "sample pool must be non-empty");
-    let mut pacer =
-        RealTimePacer::for_target_qps(cfg.arrival.clone(), cfg.target_qps, cfg.start_minutes, cfg.seed);
+    let mut pacer = RealTimePacer::for_target_qps(
+        cfg.arrival.clone(),
+        cfg.target_qps,
+        cfg.start_minutes,
+        cfg.seed,
+    );
     // Pre-generate the request pool across the replayed sim span so drift/popularity
     // structure is preserved without paying generation cost on the hot loop.
     let sim_span_minutes = cfg.duration.as_secs_f64() * pacer.sim_minutes_per_wall_second();
@@ -84,7 +88,7 @@ pub fn run_open_loop(
     let started = Instant::now();
     let mut pool_cursor = 0usize;
     loop {
-        let (offset, sim_minutes) = pacer.next();
+        let (offset, sim_minutes) = pacer.next_arrival();
         if offset >= cfg.duration {
             break;
         }

@@ -90,7 +90,11 @@ impl UpdatePolicy for LiveUpdatePolicy {
             node.online_update_round(now_minutes, self.batch_size);
             rounds += 1;
         }
-        PolicyTick { rounds, publish: true, params_pulled: 0 }
+        PolicyTick {
+            rounds,
+            publish: true,
+            params_pulled: 0,
+        }
     }
 }
 
@@ -106,7 +110,10 @@ impl DeltaUpdatePolicy {
     /// Start from `training` (normally a clone of the node's Day-1 checkpoint).
     #[must_use]
     pub fn new(training: DlrmModel, training_batch_size: usize) -> Self {
-        Self { training, training_batch_size }
+        Self {
+            training,
+            training_batch_size,
+        }
     }
 }
 
@@ -123,7 +130,11 @@ impl UpdatePolicy for DeltaUpdatePolicy {
         // A full-model sync ships every parameter, dense layers included.
         let params = self.training.parameter_count() as u64;
         node.full_sync(self.training.clone());
-        PolicyTick { rounds: 1, publish: true, params_pulled: params }
+        PolicyTick {
+            rounds: 1,
+            publish: true,
+            params_pulled: params,
+        }
     }
 }
 
@@ -160,7 +171,10 @@ impl QuickUpdatePolicy {
 
 impl UpdatePolicy for QuickUpdatePolicy {
     fn name(&self) -> String {
-        StrategyKind::QuickUpdate { fraction: self.fraction }.name()
+        StrategyKind::QuickUpdate {
+            fraction: self.fraction,
+        }
+        .name()
     }
 
     fn observe(&mut self, _time_minutes: f64, batch: &MiniBatch) {
@@ -169,14 +183,19 @@ impl UpdatePolicy for QuickUpdatePolicy {
 
     fn update_block(&mut self, node: &mut ServingNode, _now_minutes: f64) -> PolicyTick {
         self.ticks += 1;
-        let params_pulled = if self.full_sync_every > 0 && self.ticks % self.full_sync_every == 0 {
-            node.full_sync(self.training.clone());
-            self.training.parameter_count() as u64
-        } else {
-            let dim = self.training.config().embedding_dim as u64;
-            node.partial_sync(&self.training, self.fraction) as u64 * dim
-        };
-        PolicyTick { rounds: 1, publish: true, params_pulled }
+        let params_pulled =
+            if self.full_sync_every > 0 && self.ticks.is_multiple_of(self.full_sync_every) {
+                node.full_sync(self.training.clone());
+                self.training.parameter_count() as u64
+            } else {
+                let dim = self.training.config().embedding_dim as u64;
+                node.partial_sync(&self.training, self.fraction) as u64 * dim
+            };
+        PolicyTick {
+            rounds: 1,
+            publish: true,
+            params_pulled,
+        }
     }
 }
 
@@ -237,7 +256,10 @@ mod tests {
     fn liveupdate_policy_trains_the_node_and_publishes() {
         let mut node = ServingNode::new(model(1), LiveUpdateConfig::default());
         node.serve_batch(0.0, &traffic(64));
-        let mut policy = LiveUpdatePolicy { rounds_per_update: 2, batch_size: 32 };
+        let mut policy = LiveUpdatePolicy {
+            rounds_per_update: 2,
+            batch_size: 32,
+        };
         let tick = policy.update_block(&mut node, 1.0);
         assert_eq!(tick.rounds, 2);
         assert!(tick.publish);
@@ -256,7 +278,10 @@ mod tests {
         assert!(tick.publish);
         // The whole model moves: embeddings *and* the dense layers.
         assert_eq!(tick.params_pulled, model(1).parameter_count() as u64);
-        assert!(tick.params_pulled > 2 * 120 * 8, "must exceed the embedding rows alone");
+        assert!(
+            tick.params_pulled > 2 * 120 * 8,
+            "must exceed the embedding rows alone"
+        );
         // The shadow trainer learned, so a full sync moves parameters.
         assert_ne!(node.serving_model().table(0).row(0), &before[..]);
     }
@@ -270,7 +295,11 @@ mod tests {
         // 10 % of 120 rows per table, 2 tables, dim 8 values per row.
         assert_eq!(first.params_pulled, 24 * 8);
         let second = policy.update_block(&mut node, 2.0);
-        assert_eq!(second.params_pulled, model(1).parameter_count() as u64, "every 2nd tick is a full sync");
+        assert_eq!(
+            second.params_pulled,
+            model(1).parameter_count() as u64,
+            "every 2nd tick is a full sync"
+        );
     }
 
     #[test]
@@ -280,7 +309,13 @@ mod tests {
         let named = |s: StrategyKind| policy_for_strategy(s, &m, 1, 32, 32, 4).unwrap().name();
         assert_eq!(named(StrategyKind::LiveUpdate), "LiveUpdate");
         assert_eq!(named(StrategyKind::DeltaUpdate), "DeltaUpdate");
-        assert_eq!(named(StrategyKind::QuickUpdate { fraction: 0.05 }), "QuickUpdate-5%");
-        assert_eq!(named(StrategyKind::LiveUpdateFixedRank { rank: 8 }), "LiveUpdate");
+        assert_eq!(
+            named(StrategyKind::QuickUpdate { fraction: 0.05 }),
+            "QuickUpdate-5%"
+        );
+        assert_eq!(
+            named(StrategyKind::LiveUpdateFixedRank { rank: 8 }),
+            "LiveUpdate"
+        );
     }
 }

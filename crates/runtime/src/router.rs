@@ -54,7 +54,9 @@ impl Router {
     pub fn route(&self, sample: &Sample) -> usize {
         match self.policy {
             ShardPolicy::HashByUser => StreamSharder::hash_route(sample, self.num_workers),
-            ShardPolicy::RoundRobin => self.rotation.fetch_add(1, Ordering::Relaxed) % self.num_workers,
+            ShardPolicy::RoundRobin => {
+                self.rotation.fetch_add(1, Ordering::Relaxed) % self.num_workers
+            }
         }
     }
 }

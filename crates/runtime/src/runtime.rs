@@ -72,16 +72,21 @@ impl ServingRuntime {
     #[must_use]
     pub fn start(node: ServingNode, cfg: RuntimeConfig) -> Self {
         match cfg.update {
-            UpdateMode::Synchronous { .. } | UpdateMode::Disabled => {
-                Self::spawn(node, cfg, None)
-            }
+            UpdateMode::Synchronous { .. } | UpdateMode::Disabled => Self::spawn(node, cfg, None),
             UpdateMode::Background {
                 interval,
                 rounds_per_update,
                 batch_size,
             } => {
-                let policy = LiveUpdatePolicy { rounds_per_update, batch_size };
-                Self::spawn(node, cfg, Some((interval, Some(Box::new(policy) as Box<dyn UpdatePolicy>))))
+                let policy = LiveUpdatePolicy {
+                    rounds_per_update,
+                    batch_size,
+                };
+                Self::spawn(
+                    node,
+                    cfg,
+                    Some((interval, Some(Box::new(policy) as Box<dyn UpdatePolicy>))),
+                )
             }
         }
     }
@@ -275,11 +280,14 @@ impl ServingRuntime {
     /// Compute the sampled gauges: snapshot freshness (`epoch_age_us`), queue depth,
     /// and the cumulative per-table hot-row-cache tallies of the live snapshot.
     fn refresh_gauges(&self, tel: &Telemetry) {
-        tel.epoch_age_us.set(i64::try_from(self.publisher.publish_age_us()).unwrap_or(i64::MAX));
-        tel.snapshot_epoch.set(i64::try_from(self.publisher.epoch()).unwrap_or(i64::MAX));
+        tel.epoch_age_us
+            .set(i64::try_from(self.publisher.publish_age_us()).unwrap_or(i64::MAX));
+        tel.snapshot_epoch
+            .set(i64::try_from(self.publisher.epoch()).unwrap_or(i64::MAX));
         let submitted = self.submitted.load(Ordering::Relaxed);
         let completed = self.processed.load(Ordering::Acquire);
-        tel.queue_depth.set(i64::try_from(submitted.saturating_sub(completed)).unwrap_or(i64::MAX));
+        tel.queue_depth
+            .set(i64::try_from(submitted.saturating_sub(completed)).unwrap_or(i64::MAX));
         let (_, snapshot) = self.publisher.load();
         let hot = snapshot.hot_rows();
         for t in 0..hot.stats_tables() {
@@ -396,13 +404,9 @@ impl ServingRuntime {
             "node access requires a background updater (not Synchronous mode)"
         );
         let (result_tx, result_rx) = channel::<R>();
-        let sent = self.with_node_async(
-            f,
-            publish,
-            move |result| {
-                let _ = result_tx.send(result);
-            },
-        );
+        let sent = self.with_node_async(f, publish, move |result| {
+            let _ = result_tx.send(result);
+        });
         assert!(sent, "updater thread alive");
         result_rx.recv().expect("updater executed the command")
     }
@@ -410,10 +414,12 @@ impl ServingRuntime {
     /// Blocking submit (backpressure instead of shedding): used by deterministic test
     /// drivers. Returns `false` if the worker's queue is closed.
     pub fn submit(&self, worker: usize, sample: Sample, time_minutes: f64) -> bool {
-        self.senders[worker].send(Request::new(sample, time_minutes)).map_or(false, |()| {
-            self.submitted.fetch_add(1, Ordering::Relaxed);
-            true
-        })
+        self.senders[worker]
+            .send(Request::new(sample, time_minutes))
+            .is_ok_and(|()| {
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                true
+            })
     }
 
     /// Non-blocking submit with an explicit scheduled-arrival stamp: the open-loop
@@ -531,7 +537,8 @@ impl ServingRuntime {
             .map(|h| h.join().expect("worker thread panicked"))
             .collect();
         let (updater_report, node) = if let Some(handle) = self.sync_worker.take() {
-            let (worker_report, updater_report, node) = handle.join().expect("sync worker panicked");
+            let (worker_report, updater_report, node) =
+                handle.join().expect("sync worker panicked");
             per_worker.push(worker_report);
             (updater_report, node)
         } else {
@@ -560,7 +567,11 @@ impl ServingRuntime {
             submitted: self.submitted.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
             completed,
-            qps: if wall_seconds > 0.0 { completed as f64 / wall_seconds } else { 0.0 },
+            qps: if wall_seconds > 0.0 {
+                completed as f64 / wall_seconds
+            } else {
+                0.0
+            },
             latency,
             batches,
             lora_corrected_lookups: corrected,
@@ -610,13 +621,19 @@ mod tests {
         for (i, sample) in batch.iter().enumerate() {
             assert!(runtime.submit(i % 2, sample.clone(), 0.0));
         }
-        assert!(runtime.wait_processed(64, Duration::from_secs(20)), "all requests must complete");
+        assert!(
+            runtime.wait_processed(64, Duration::from_secs(20)),
+            "all requests must complete"
+        );
         let (report, node) = runtime.finish();
         assert_eq!(report.completed, 64);
         assert_eq!(report.submitted, 64);
         assert_eq!(report.dropped, 0);
         assert_eq!(report.latency.len(), 64);
-        assert!(report.batches >= 8, "64 requests at max_batch 8 need >= 8 batches");
+        assert!(
+            report.batches >= 8,
+            "64 requests at max_batch 8 need >= 8 batches"
+        );
         assert!(report.qps > 0.0);
         assert_eq!(report.num_workers, 2);
         assert_eq!(report.per_worker.len(), 2);
@@ -673,7 +690,10 @@ mod tests {
             assert_eq!(epoch, i as u64);
         }
         // Workers adopted at least one publication between them.
-        assert!(report.snapshot_refreshes >= 1, "a worker should have observed a new epoch");
+        assert!(
+            report.snapshot_refreshes >= 1,
+            "a worker should have observed a new epoch"
+        );
     }
 
     #[test]
@@ -699,7 +719,10 @@ mod tests {
                 shed += 1;
             }
         }
-        assert!(shed > 0, "a capacity-4 queue cannot absorb 64 instant arrivals");
+        assert!(
+            shed > 0,
+            "a capacity-4 queue cannot absorb 64 instant arrivals"
+        );
         let (report, _) = runtime.finish();
         assert_eq!(report.dropped, shed);
         assert_eq!(report.completed + report.dropped, 64);
@@ -729,7 +752,11 @@ mod tests {
         assert_ne!(before, after, "the published snapshot reflects the import");
         let (report, node) = runtime.finish();
         assert_eq!(report.updater.publications, 1);
-        assert_eq!(report.updater.published.len(), 2, "initial + command publication");
+        assert_eq!(
+            report.updater.published.len(),
+            2,
+            "initial + command publication"
+        );
         assert!(node.loras()[0].is_active(3));
     }
 

@@ -142,7 +142,10 @@ mod tests {
             "publish_to_first_serve_us_p99",
             "requests_per_epoch_p50",
         ] {
-            assert!(names.contains(&expected), "missing metric {expected}: {names:?}");
+            assert!(
+                names.contains(&expected),
+                "missing metric {expected}: {names:?}"
+            );
         }
     }
 

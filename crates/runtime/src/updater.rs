@@ -84,7 +84,8 @@ fn publish_snapshot(
     report.published.push((epoch, checksum));
     if let Some(tel) = telemetry {
         tel.publications.inc();
-        tel.snapshot_epoch.set(i64::try_from(epoch).unwrap_or(i64::MAX));
+        tel.snapshot_epoch
+            .set(i64::try_from(epoch).unwrap_or(i64::MAX));
         tel.trace.push(TraceKind::EpochPublish, epoch, checksum);
     }
 }
@@ -144,7 +145,8 @@ pub(crate) fn run_updater(
                 if let Some(tel) = telemetry {
                     tel.update_rounds.add(tick.rounds);
                     tel.update_round_us.record(round_ms * 1e3);
-                    tel.trace.push(TraceKind::UpdateRound, tick.rounds, (round_ms * 1e3) as u64);
+                    tel.trace
+                        .push(TraceKind::UpdateRound, tick.rounds, (round_ms * 1e3) as u64);
                 }
                 last_update = Instant::now();
             }

@@ -79,19 +79,28 @@ struct EpochTally {
 
 impl EpochTally {
     fn new() -> Self {
-        Self { requests_this_epoch: 0 }
+        Self {
+            requests_this_epoch: 0,
+        }
     }
 
     /// Call right after `reader.refresh()`: when a new snapshot was adopted, record
     /// the publication-to-first-serve lag and close out the previous epoch's request
     /// count.
-    fn on_refresh(&mut self, adopted: bool, reader: &EpochReader<ServingSnapshot>, tel: &Telemetry) {
+    fn on_refresh(
+        &mut self,
+        adopted: bool,
+        reader: &EpochReader<ServingSnapshot>,
+        tel: &Telemetry,
+    ) {
         if !adopted {
             return;
         }
-        tel.publish_to_first_serve_us.record(reader.publish_age_us() as f64);
+        tel.publish_to_first_serve_us
+            .record(reader.publish_age_us() as f64);
         if self.requests_this_epoch > 0 {
-            tel.requests_per_epoch.record(self.requests_this_epoch as f64);
+            tel.requests_per_epoch
+                .record(self.requests_this_epoch as f64);
         }
         self.requests_this_epoch = 0;
     }
@@ -99,7 +108,8 @@ impl EpochTally {
     /// Flush the final epoch's request count at worker exit.
     fn finish(&mut self, tel: &Telemetry) {
         if self.requests_this_epoch > 0 {
-            tel.requests_per_epoch.record(self.requests_this_epoch as f64);
+            tel.requests_per_epoch
+                .record(self.requests_this_epoch as f64);
         }
     }
 }
@@ -134,7 +144,14 @@ pub(crate) fn run_worker(
         let (submitted, replies, time_minutes, mini_batch) = unpack(batch);
         let n = mini_batch.len();
         let serve_started = Instant::now();
-        serve_and_record(reader.get(), &mini_batch, &submitted, replies, &mut report, telemetry);
+        serve_and_record(
+            reader.get(),
+            &mini_batch,
+            &submitted,
+            replies,
+            &mut report,
+            telemetry,
+        );
         if let Some(tel) = telemetry {
             let serve_us = u64::try_from(serve_started.elapsed().as_micros()).unwrap_or(u64::MAX);
             record_batch(tel, n, serve_us);
@@ -186,7 +203,14 @@ pub(crate) fn run_sync_worker(
         let (submitted, replies, time_minutes, mini_batch) = unpack(batch);
         let n = mini_batch.len();
         let serve_started = Instant::now();
-        serve_and_record(reader.get(), &mini_batch, &submitted, replies, &mut report, telemetry);
+        serve_and_record(
+            reader.get(),
+            &mini_batch,
+            &submitted,
+            replies,
+            &mut report,
+            telemetry,
+        );
         if let Some(tel) = telemetry {
             let serve_us = u64::try_from(serve_started.elapsed().as_micros()).unwrap_or(u64::MAX);
             record_batch(tel, n, serve_us);
@@ -220,8 +244,10 @@ pub(crate) fn run_sync_worker(
                 tel.update_rounds.add(rounds as u64);
                 tel.update_round_us.record(round_ms * 1e3);
                 tel.publications.inc();
-                tel.snapshot_epoch.set(i64::try_from(epoch).unwrap_or(i64::MAX));
-                tel.trace.push(TraceKind::UpdateRound, rounds as u64, round_us);
+                tel.snapshot_epoch
+                    .set(i64::try_from(epoch).unwrap_or(i64::MAX));
+                tel.trace
+                    .push(TraceKind::UpdateRound, rounds as u64, round_us);
                 tel.trace.push(TraceKind::EpochPublish, epoch, checksum);
             }
         }

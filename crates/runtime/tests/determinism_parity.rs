@@ -96,8 +96,16 @@ fn one_worker_synchronous_runtime_matches_plain_serving_loop_bit_for_bit() {
     let (report, node) = runtime.finish();
 
     // Full bit-for-bit state equality.
-    assert_eq!(node.steps(), reference.steps(), "same number of update rounds");
-    assert_eq!(node.serving_model(), reference.serving_model(), "serving models diverged");
+    assert_eq!(
+        node.steps(),
+        reference.steps(),
+        "same number of update rounds"
+    );
+    assert_eq!(
+        node.serving_model(),
+        reference.serving_model(),
+        "serving models diverged"
+    );
     assert_eq!(node.loras(), reference.loras(), "LoRA factors diverged");
     assert_eq!(node.current_ranks(), reference.current_ranks());
     assert_eq!(node.lora_memory_bytes(), reference.lora_memory_bytes());
@@ -109,17 +117,31 @@ fn one_worker_synchronous_runtime_matches_plain_serving_loop_bit_for_bit() {
     );
     // And the published view converged to the final state.
     let (epoch, snapshot) = runtime_final(&report);
-    assert_eq!(epoch, (WINDOWS * 1) as u64, "one publication per window");
-    assert_eq!(snapshot, node.snapshot().checksum(), "last published snapshot is the final state");
+    assert_eq!(epoch, WINDOWS as u64, "one publication per window");
+    assert_eq!(
+        snapshot,
+        node.snapshot().checksum(),
+        "last published snapshot is the final state"
+    );
 
     assert_eq!(report.completed, (WINDOW * WINDOWS) as u64);
-    assert_eq!(report.batches, WINDOWS as u64, "every window closed as one full batch");
-    assert_eq!(report.updater.update_rounds, (WINDOWS * ROUNDS_PER_WINDOW) as u64);
+    assert_eq!(
+        report.batches, WINDOWS as u64,
+        "every window closed as one full batch"
+    );
+    assert_eq!(
+        report.updater.update_rounds,
+        (WINDOWS * ROUNDS_PER_WINDOW) as u64
+    );
 }
 
 /// Last published `(epoch, checksum)` of a run.
 fn runtime_final(report: &liveupdate_runtime::report::RuntimeReport) -> (u64, u64) {
-    *report.updater.published.last().expect("at least the initial publication")
+    *report
+        .updater
+        .published
+        .last()
+        .expect("at least the initial publication")
 }
 
 #[test]

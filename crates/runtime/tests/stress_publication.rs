@@ -55,7 +55,11 @@ fn readers_never_observe_torn_or_unpublished_state() {
                 reader.refresh();
                 let snapshot = reader.get();
                 // Invariant 1: the snapshot is internally consistent (not torn).
-                assert!(snapshot.verify_checksum(), "torn snapshot observed at epoch {}", reader.epoch());
+                assert!(
+                    snapshot.verify_checksum(),
+                    "torn snapshot observed at epoch {}",
+                    reader.epoch()
+                );
                 // Invariant 3: epochs are monotone per reader.
                 assert!(
                     reader.epoch() >= last_epoch,
@@ -86,7 +90,11 @@ fn readers_never_observe_torn_or_unpublished_state() {
     done.store(true, Ordering::Release);
 
     let published_by_epoch: HashMap<u64, u64> = published.iter().copied().collect();
-    assert_eq!(published_by_epoch.len(), PUBLICATIONS as usize + 1, "epochs are unique");
+    assert_eq!(
+        published_by_epoch.len(),
+        PUBLICATIONS as usize + 1,
+        "epochs are unique"
+    );
 
     let mut total_observed_epochs = 0usize;
     for handle in readers {
@@ -102,7 +110,10 @@ fn readers_never_observe_torn_or_unpublished_state() {
         }
         total_observed_epochs += observed.len();
     }
-    assert!(total_observed_epochs >= READERS, "every reader observed at least its initial epoch");
+    assert!(
+        total_observed_epochs >= READERS,
+        "every reader observed at least its initial epoch"
+    );
     assert_eq!(publisher.epoch(), PUBLICATIONS);
 
     // Training must have produced PUBLICATIONS distinct checksums (the rounds had data).

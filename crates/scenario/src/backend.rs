@@ -73,7 +73,10 @@ fn analytic_cost(scenario: &Scenario) -> (f64, u64) {
         scenario.policy.update_interval_minutes,
     );
     let horizon_hours = scenario.horizon.duration_minutes / 60.0;
-    (cost.cost_minutes, (cost.bytes_transferred as f64 * horizon_hours) as u64)
+    (
+        cost.cost_minutes,
+        (cost.bytes_transferred as f64 * horizon_hours) as u64,
+    )
 }
 
 /// Update events a windowed (analytic) run performs over the horizon.
@@ -109,8 +112,11 @@ impl ExecutionBackend for AnalyticBackend {
         let (cost_minutes, sync_bytes) = analytic_cost(scenario);
         let windows = result.timeline.len() as u64;
 
-        let mut report =
-            ScenarioReport::new(&scenario.name, self.kind(), &scenario.policy.strategy.name());
+        let mut report = ScenarioReport::new(
+            &scenario.name,
+            self.kind(),
+            &scenario.policy.strategy.name(),
+        );
         report.mean_auc = Some(result.mean_auc);
         report.mean_logloss = Some(result.mean_logloss);
         report.requests_served = windows * scenario.horizon.requests_per_window as u64;
@@ -150,8 +156,7 @@ impl ExecutionBackend for SimBackend {
         scenario.validate()?;
         let strategy = scenario.policy.strategy;
         let (cost_minutes, analytic_bytes) = analytic_cost(scenario);
-        let mut report =
-            ScenarioReport::new(&scenario.name, self.kind(), &strategy.name());
+        let mut report = ScenarioReport::new(&scenario.name, self.kind(), &strategy.name());
         report.update_cost_minutes_per_hour = cost_minutes;
 
         if strategy.trains_locally() {
@@ -160,9 +165,9 @@ impl ExecutionBackend for SimBackend {
             report.mean_auc = Some(summary.mean_auc);
             report.mean_logloss = Some(summary.mean_logloss);
             report.requests_served = summary.requests_served;
-            report.update_events =
-                windows * scenario.policy.online_rounds_per_window as u64
-                    * scenario.topology.replicas as u64;
+            report.update_events = windows
+                * scenario.policy.online_rounds_per_window as u64
+                * scenario.topology.replicas as u64;
             report.publications = summary.sync_reports.len() as u64;
             // Local training ships no parameters; the measured fabric traffic is the
             // sparse LoRA exchange, reported under its own field.
@@ -207,8 +212,7 @@ impl ExecutionBackend for RealtimeBackend {
 
         // Identical Day-1 checkpoint to the other backends: same warm-up, same stream.
         let (day1_model, workload) = warmed_up_model(&exp);
-        let mut node =
-            liveupdate::engine::ServingNode::new(day1_model.clone(), exp.liveupdate);
+        let mut node = liveupdate::engine::ServingNode::new(day1_model.clone(), exp.liveupdate);
         // Pre-fill the retention buffer so the first update block has data.
         let mut prefill = workload.clone();
         node.serve_batch(
@@ -259,8 +263,7 @@ impl ExecutionBackend for RealtimeBackend {
 
         let (cost_minutes, _) = analytic_cost(scenario);
 
-        let mut report =
-            ScenarioReport::new(&scenario.name, self.kind(), &strategy.name());
+        let mut report = ScenarioReport::new(&scenario.name, self.kind(), &strategy.name());
         report.mean_auc = auc;
         report.mean_logloss = Some(logloss);
         report.requests_served = run_report.completed;
@@ -312,7 +315,10 @@ mod tests {
         assert_eq!(r.backend, BackendKind::Analytic);
         assert_eq!(r.timeline.len(), 2);
         assert!(r.mean_auc.unwrap() > 0.4);
-        assert!(r.update_cost_minutes_per_hour > 0.0, "LiveUpdate trains, so cost > 0");
+        assert!(
+            r.update_cost_minutes_per_hour > 0.0,
+            "LiveUpdate trains, so cost > 0"
+        );
         assert_eq!(r.sync_bytes, 0, "LiveUpdate ships no parameters");
         assert!(r.lora_memory_bytes.unwrap() > 0);
         assert_eq!(r.requests_served, 2 * 96);
@@ -336,10 +342,15 @@ mod tests {
         assert_eq!(r.timeline.len(), 2);
         assert!(r.publications > 0, "sparse syncs happened");
         assert_eq!(r.sync_bytes, 0, "LiveUpdate ships no parameters");
-        assert!(r.lora_sync_bytes > 0, "sim measures the AllGather LoRA traffic");
+        assert!(
+            r.lora_sync_bytes > 0,
+            "sim measures the AllGather LoRA traffic"
+        );
         assert_eq!(r.sync_provenance, SyncProvenance::SimulatedFabric);
         assert!(
-            r.telemetry.iter().any(|(n, v)| n == "publications_total" && *v > 0.0),
+            r.telemetry
+                .iter()
+                .any(|(n, v)| n == "publications_total" && *v > 0.0),
             "sim synthesizes the shared telemetry names: {:?}",
             r.telemetry
         );
@@ -361,7 +372,11 @@ mod tests {
         let mut s = tiny();
         s.topology.workers = 0;
         for backend in all_backends() {
-            assert!(backend.run(&s).is_err(), "{} accepted an invalid scenario", backend.name());
+            assert!(
+                backend.run(&s).is_err(),
+                "{} accepted an invalid scenario",
+                backend.name()
+            );
         }
     }
 }

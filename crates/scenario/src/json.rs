@@ -45,7 +45,11 @@ impl Json {
     /// Returns a [`JsonError`] describing the first syntax problem.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
         let bytes: Vec<char> = text.chars().collect();
-        let mut p = Parser { chars: &bytes, pos: 0, depth: 0 };
+        let mut p = Parser {
+            chars: &bytes,
+            pos: 0,
+            depth: 0,
+        };
         p.skip_ws();
         let value = p.value()?;
         p.skip_ws();
@@ -70,7 +74,8 @@ impl Json {
     ///
     /// Returns a [`JsonError`] naming the missing field.
     pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
-        self.get(key).ok_or_else(|| JsonError(format!("missing field \"{key}\"")))
+        self.get(key)
+            .ok_or_else(|| JsonError(format!("missing field \"{key}\"")))
     }
 
     /// The value as a number.
@@ -81,7 +86,10 @@ impl Json {
     pub fn as_f64(&self) -> Result<f64, JsonError> {
         match self {
             Json::Num(n) => Ok(*n),
-            other => Err(JsonError(format!("expected number, found {}", other.kind()))),
+            other => Err(JsonError(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -93,7 +101,9 @@ impl Json {
     pub fn as_u64(&self) -> Result<u64, JsonError> {
         let n = self.as_f64()?;
         if n < 0.0 || n.fract() != 0.0 || n > 2f64.powi(53) {
-            return Err(JsonError(format!("expected non-negative integer, found {n}")));
+            return Err(JsonError(format!(
+                "expected non-negative integer, found {n}"
+            )));
         }
         Ok(n as u64)
     }
@@ -115,7 +125,10 @@ impl Json {
     pub fn as_str(&self) -> Result<&str, JsonError> {
         match self {
             Json::Str(s) => Ok(s),
-            other => Err(JsonError(format!("expected string, found {}", other.kind()))),
+            other => Err(JsonError(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -297,10 +310,7 @@ impl Parser<'_> {
 
     /// Run a container parse one level deeper, refusing documents nested past
     /// [`MAX_DEPTH`] so corrupt or adversarial input cannot overflow the stack.
-    fn nested(
-        &mut self,
-        f: fn(&mut Self) -> Result<Json, JsonError>,
-    ) -> Result<Json, JsonError> {
+    fn nested(&mut self, f: fn(&mut Self) -> Result<Json, JsonError>) -> Result<Json, JsonError> {
         if self.depth >= MAX_DEPTH {
             return Err(JsonError(format!(
                 "nesting deeper than {MAX_DEPTH} levels at offset {}",
@@ -349,8 +359,7 @@ impl Parser<'_> {
                                 if !(0xDC00..0xE000).contains(&low) {
                                     return Err(JsonError("invalid low surrogate".into()));
                                 }
-                                let combined =
-                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                                 out.push(char::from_u32(combined).unwrap_or('\u{fffd}'));
                             } else if (0xDC00..0xE000).contains(&code) {
                                 return Err(JsonError("unpaired low surrogate".into()));
@@ -475,17 +484,23 @@ mod tests {
         assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
         assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
         assert_eq!(Json::parse("-12.5e2").unwrap(), Json::Num(-1250.0));
-        assert_eq!(Json::parse("\"a\\nb\\\"c\"").unwrap(), Json::Str("a\nb\"c".into()));
+        assert_eq!(
+            Json::parse("\"a\\nb\\\"c\"").unwrap(),
+            Json::Str("a\nb\"c".into())
+        );
     }
 
     #[test]
     fn parses_nested_structures() {
         let doc = Json::parse(r#"{"a": [1, 2, {"b": "x"}], "c": {}, "d": []}"#).unwrap();
-        assert_eq!(doc.field("a").unwrap(), &Json::Arr(vec![
-            Json::Num(1.0),
-            Json::Num(2.0),
-            Json::Obj(vec![("b".into(), Json::Str("x".into()))]),
-        ]));
+        assert_eq!(
+            doc.field("a").unwrap(),
+            &Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(2.0),
+                Json::Obj(vec![("b".into(), Json::Str("x".into()))]),
+            ])
+        );
         assert_eq!(doc.field("c").unwrap(), &Json::Obj(vec![]));
         assert_eq!(doc.field("d").unwrap(), &Json::Arr(vec![]));
     }

@@ -162,7 +162,10 @@ impl ScenarioReport {
         let mut rows = vec![
             ("publications_total".to_string(), self.publications as f64),
             ("serve_requests_shed_total".to_string(), self.dropped as f64),
-            ("serve_requests_total".to_string(), self.requests_served as f64),
+            (
+                "serve_requests_total".to_string(),
+                self.requests_served as f64,
+            ),
             ("update_rounds_total".to_string(), self.update_events as f64),
         ];
         if let Some(p50) = self.p50_latency_ms {
@@ -209,15 +212,31 @@ impl ScenarioReport {
             self.strategy.to_lowercase().replace(['-', '%'], "")
         );
         let mut rows = vec![
-            (format!("{prefix}_requests"), self.requests_served as f64, "requests"),
-            (format!("{prefix}_update_events"), self.update_events as f64, "events"),
+            (
+                format!("{prefix}_requests"),
+                self.requests_served as f64,
+                "requests",
+            ),
+            (
+                format!("{prefix}_update_events"),
+                self.update_events as f64,
+                "events",
+            ),
             (
                 format!("{prefix}_update_cost"),
                 self.update_cost_minutes_per_hour,
                 "minutes/hour",
             ),
-            (format!("{prefix}_sync_bytes"), self.sync_bytes as f64, "bytes"),
-            (format!("{prefix}_lora_sync_bytes"), self.lora_sync_bytes as f64, "bytes"),
+            (
+                format!("{prefix}_sync_bytes"),
+                self.sync_bytes as f64,
+                "bytes",
+            ),
+            (
+                format!("{prefix}_lora_sync_bytes"),
+                self.lora_sync_bytes as f64,
+                "bytes",
+            ),
         ];
         if let Some(auc) = self.mean_auc {
             rows.push((format!("{prefix}_mean_auc"), auc, "auc"));
@@ -288,7 +307,9 @@ mod tests {
         r.p99_latency_ms = Some(2.0);
         r.mean_auc = Some(0.6);
         let rows = r.metric_rows();
-        assert!(rows.iter().all(|(n, _, _)| n.starts_with("realtime_quickupdate5_")));
+        assert!(rows
+            .iter()
+            .all(|(n, _, _)| n.starts_with("realtime_quickupdate5_")));
         assert!(rows.iter().any(|(n, _, _)| n.ends_with("_qps")));
         assert!(rows.iter().any(|(n, _, _)| n.ends_with("_p99")));
     }

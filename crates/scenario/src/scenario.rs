@@ -263,7 +263,9 @@ impl Scenario {
             }
         }
         if self.policy.update_interval_minutes <= 0.0 {
-            return Err(ConfigError::NonPositive { field: "scenario.policy.update_interval_minutes" });
+            return Err(ConfigError::NonPositive {
+                field: "scenario.policy.update_interval_minutes",
+            });
         }
         if self.policy.full_sync_interval_minutes <= 0.0 {
             return Err(ConfigError::NonPositive {
@@ -271,22 +273,34 @@ impl Scenario {
             });
         }
         if self.realtime.target_qps <= 0.0 {
-            return Err(ConfigError::NonPositive { field: "scenario.realtime.target_qps" });
+            return Err(ConfigError::NonPositive {
+                field: "scenario.realtime.target_qps",
+            });
         }
         if self.realtime.wall_seconds <= 0.0 {
-            return Err(ConfigError::NonPositive { field: "scenario.realtime.wall_seconds" });
+            return Err(ConfigError::NonPositive {
+                field: "scenario.realtime.wall_seconds",
+            });
         }
         if self.realtime.update_interval_ms == 0 {
-            return Err(ConfigError::NonPositive { field: "scenario.realtime.update_interval_ms" });
+            return Err(ConfigError::NonPositive {
+                field: "scenario.realtime.update_interval_ms",
+            });
         }
         if self.realtime.rounds_per_update == 0 {
-            return Err(ConfigError::NonPositive { field: "scenario.realtime.rounds_per_update" });
+            return Err(ConfigError::NonPositive {
+                field: "scenario.realtime.rounds_per_update",
+            });
         }
         if self.policy.online_rounds_per_window == 0 {
-            return Err(ConfigError::NonPositive { field: "scenario.policy.online_rounds_per_window" });
+            return Err(ConfigError::NonPositive {
+                field: "scenario.policy.online_rounds_per_window",
+            });
         }
         if self.policy.online_batch_size == 0 {
-            return Err(ConfigError::NonPositive { field: "scenario.policy.online_batch_size" });
+            return Err(ConfigError::NonPositive {
+                field: "scenario.policy.online_batch_size",
+            });
         }
         // The derived configurations re-check everything they consume (and the cluster
         // check subsumes the experiment check).
@@ -460,11 +474,26 @@ impl Scenario {
                             .preset
                             .map_or(Json::Null, |p| Json::Str(p.name().to_string())),
                     ),
-                    ("num_tables".into(), Json::Num(self.workload.num_tables as f64)),
-                    ("table_size".into(), Json::Num(self.workload.table_size as f64)),
-                    ("embedding_dim".into(), Json::Num(self.workload.embedding_dim as f64)),
-                    ("zipf_exponent".into(), Json::Num(self.workload.zipf_exponent)),
-                    ("max_multi_hot".into(), Json::Num(self.workload.max_multi_hot as f64)),
+                    (
+                        "num_tables".into(),
+                        Json::Num(self.workload.num_tables as f64),
+                    ),
+                    (
+                        "table_size".into(),
+                        Json::Num(self.workload.table_size as f64),
+                    ),
+                    (
+                        "embedding_dim".into(),
+                        Json::Num(self.workload.embedding_dim as f64),
+                    ),
+                    (
+                        "zipf_exponent".into(),
+                        Json::Num(self.workload.zipf_exponent),
+                    ),
+                    (
+                        "max_multi_hot".into(),
+                        Json::Num(self.workload.max_multi_hot as f64),
+                    ),
                     (
                         "drift_rotation_minutes".into(),
                         Json::Num(self.workload.drift_rotation_minutes),
@@ -484,13 +513,22 @@ impl Scenario {
                 Json::Obj(vec![
                     ("replicas".into(), Json::Num(self.topology.replicas as f64)),
                     ("workers".into(), Json::Num(self.topology.workers as f64)),
-                    ("queue_capacity".into(), Json::Num(self.topology.queue_capacity as f64)),
-                    ("max_batch".into(), Json::Num(self.topology.max_batch as f64)),
+                    (
+                        "queue_capacity".into(),
+                        Json::Num(self.topology.queue_capacity as f64),
+                    ),
+                    (
+                        "max_batch".into(),
+                        Json::Num(self.topology.max_batch as f64),
+                    ),
                     (
                         "batch_deadline_us".into(),
                         Json::Num(self.topology.batch_deadline_us as f64),
                     ),
-                    ("routing".into(), Json::Str(routing_name(self.topology.routing).into())),
+                    (
+                        "routing".into(),
+                        Json::Str(routing_name(self.topology.routing).into()),
+                    ),
                 ]),
             ),
             (
@@ -522,14 +560,26 @@ impl Scenario {
             (
                 "horizon".into(),
                 Json::Obj(vec![
-                    ("duration_minutes".into(), Json::Num(self.horizon.duration_minutes)),
-                    ("window_minutes".into(), Json::Num(self.horizon.window_minutes)),
+                    (
+                        "duration_minutes".into(),
+                        Json::Num(self.horizon.duration_minutes),
+                    ),
+                    (
+                        "window_minutes".into(),
+                        Json::Num(self.horizon.window_minutes),
+                    ),
                     (
                         "requests_per_window".into(),
                         Json::Num(self.horizon.requests_per_window as f64),
                     ),
-                    ("warmup_minutes".into(), Json::Num(self.horizon.warmup_minutes)),
-                    ("warmup_epochs".into(), Json::Num(self.horizon.warmup_epochs as f64)),
+                    (
+                        "warmup_minutes".into(),
+                        Json::Num(self.horizon.warmup_minutes),
+                    ),
+                    (
+                        "warmup_epochs".into(),
+                        Json::Num(self.horizon.warmup_epochs as f64),
+                    ),
                     (
                         "training_batch_size".into(),
                         Json::Num(self.horizon.training_batch_size as f64),
@@ -756,9 +806,11 @@ mod tests {
 
     #[test]
     fn storage_knobs_round_trip_and_reach_the_node_config() {
-        for (kind, fraction) in
-            [(StorageKind::F64, 0.0), (StorageKind::F16, 0.1), (StorageKind::I8, 0.25)]
-        {
+        for (kind, fraction) in [
+            (StorageKind::F64, 0.0),
+            (StorageKind::F16, 0.1),
+            (StorageKind::I8, 0.25),
+        ] {
             let mut s = Scenario::small("storage");
             s.workload.row_storage = kind;
             s.workload.hot_cache_fraction = fraction;
@@ -780,8 +832,13 @@ mod tests {
         assert_eq!(parsed.workload.row_storage, StorageKind::F64);
         assert_eq!(parsed.workload.hot_cache_fraction, 0.0);
         // Unknown storage names are parse errors, not panics.
-        let bad = Scenario::small("bad").to_json().replace("\"f64\"", "\"f8\"");
-        assert!(matches!(Scenario::from_json(&bad), Err(ScenarioError::Parse(_))));
+        let bad = Scenario::small("bad")
+            .to_json()
+            .replace("\"f64\"", "\"f8\"");
+        assert!(matches!(
+            Scenario::from_json(&bad),
+            Err(ScenarioError::Parse(_))
+        ));
         // An out-of-range cache fraction is a typed config error.
         let mut s = Scenario::small("bad");
         s.workload.hot_cache_fraction = 1.5;
@@ -797,7 +854,10 @@ mod tests {
         let exp = s.experiment_config();
         assert!(exp.is_valid());
         // Preset overrides the custom geometry.
-        assert_eq!(exp.workload.num_tables, DatasetPreset::Criteo.spec().workload_config(7).num_tables);
+        assert_eq!(
+            exp.workload.num_tables,
+            DatasetPreset::Criteo.spec().workload_config(7).num_tables
+        );
     }
 
     #[test]
@@ -817,7 +877,13 @@ mod tests {
     fn invalid_scenarios_surface_typed_errors() {
         let mut s = Scenario::small("bad");
         s.name.clear();
-        assert!(matches!(s.validate(), Err(ConfigError::Constraint { field: "scenario.name", .. })));
+        assert!(matches!(
+            s.validate(),
+            Err(ConfigError::Constraint {
+                field: "scenario.name",
+                ..
+            })
+        ));
 
         let mut s = Scenario::small("bad");
         s.policy.strategy = StrategyKind::QuickUpdate { fraction: 1.5 };
@@ -827,7 +893,9 @@ mod tests {
         s.horizon.duration_minutes = 0.0;
         assert!(matches!(
             s.validate(),
-            Err(ConfigError::NonPositive { field: "experiment.duration_minutes" })
+            Err(ConfigError::NonPositive {
+                field: "experiment.duration_minutes"
+            })
         ));
 
         let mut s = Scenario::small("bad");
@@ -839,11 +907,17 @@ mod tests {
     fn unknown_names_are_parse_errors() {
         let mut text = Scenario::small("x").to_json();
         text = text.replace("\"hash_by_user\"", "\"teleport\"");
-        assert!(matches!(Scenario::from_json(&text), Err(ScenarioError::Parse(_))));
+        assert!(matches!(
+            Scenario::from_json(&text),
+            Err(ScenarioError::Parse(_))
+        ));
 
         let mut text = Scenario::small("x").to_json();
         text = text.replace("\"LiveUpdate\"", "\"MegaUpdate\"");
-        assert!(matches!(Scenario::from_json(&text), Err(ScenarioError::Parse(_))));
+        assert!(matches!(
+            Scenario::from_json(&text),
+            Err(ScenarioError::Parse(_))
+        ));
     }
 
     #[test]

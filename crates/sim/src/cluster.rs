@@ -168,7 +168,10 @@ mod tests {
         assert_eq!(per_node, total / 8);
         // The partition must fit in per-node DRAM.
         assert!(per_node < c.node.dram_bytes);
-        assert_eq!(ClusterSpec { num_nodes: 0, ..c }.embedding_bytes_per_node(total), 0);
+        assert_eq!(
+            ClusterSpec { num_nodes: 0, ..c }.embedding_bytes_per_node(total),
+            0
+        );
     }
 
     #[test]

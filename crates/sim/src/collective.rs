@@ -56,7 +56,9 @@ impl CollectiveModel {
                 let rounds = (num_nodes as f64).log2().ceil();
                 let serialisation =
                     (n - 1.0) * bytes_per_node as f64 / self.link.effective_bytes_per_second();
-                rounds * self.link.latency_us * 1e-6 + serialisation * (rounds / (n - 1.0)).max(1.0 / (n - 1.0)) + serialisation / n * rounds
+                rounds * self.link.latency_us * 1e-6
+                    + serialisation * (rounds / (n - 1.0)).max(1.0 / (n - 1.0))
+                    + serialisation / n * rounds
             }
             CollectiveAlgorithm::RingAllGather => {
                 // N-1 steps, each moving one shard and paying one latency.
@@ -85,11 +87,17 @@ mod tests {
     const GB: u64 = 1_000_000_000;
 
     fn tree() -> CollectiveModel {
-        CollectiveModel::new(NetworkLink::infiniband_edr(), CollectiveAlgorithm::TreeAllGather)
+        CollectiveModel::new(
+            NetworkLink::infiniband_edr(),
+            CollectiveAlgorithm::TreeAllGather,
+        )
     }
 
     fn ring() -> CollectiveModel {
-        CollectiveModel::new(NetworkLink::infiniband_edr(), CollectiveAlgorithm::RingAllGather)
+        CollectiveModel::new(
+            NetworkLink::infiniband_edr(),
+            CollectiveAlgorithm::RingAllGather,
+        )
     }
 
     #[test]
@@ -117,8 +125,11 @@ mod tests {
         let n = 32;
         let t = tree().allgather_seconds(n, payload);
         let r = ring().allgather_seconds(n, payload);
-        let b = CollectiveModel::new(NetworkLink::infiniband_edr(), CollectiveAlgorithm::SequentialBroadcast)
-            .allgather_seconds(n, payload);
+        let b = CollectiveModel::new(
+            NetworkLink::infiniband_edr(),
+            CollectiveAlgorithm::SequentialBroadcast,
+        )
+        .allgather_seconds(n, payload);
         assert!(t < r, "tree {t} should beat ring {r}");
         assert!(r < b, "ring {r} should beat sequential broadcast {b}");
     }
@@ -129,7 +140,10 @@ mod tests {
         let mut prev = 0.0;
         for n in 2..=48 {
             let cost = m.allgather_seconds(n, 10 * MB);
-            assert!(cost >= prev, "cost should be monotone in node count at n={n}");
+            assert!(
+                cost >= prev,
+                "cost should be monotone in node count at n={n}"
+            );
             prev = cost;
         }
         assert!(m.allgather_seconds(8, 20 * MB) > m.allgather_seconds(8, 10 * MB));
@@ -148,6 +162,9 @@ mod tests {
         // for LoRA-sized payloads (a few GB per node).
         let m = tree();
         let minutes = m.allgather_minutes(48, 4 * GB);
-        assert!(minutes < 10.0, "projected 48-node sync {minutes:.2} min should be < 10 min");
+        assert!(
+            minutes < 10.0,
+            "projected 48-node sync {minutes:.2} min should be < 10 min"
+        );
     }
 }

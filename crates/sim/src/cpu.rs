@@ -115,11 +115,15 @@ mod tests {
 
     #[test]
     fn invalid_specs_detected() {
-        let mut cpu = CpuSpec::default();
-        cpu.num_ccds = 0;
+        let cpu = CpuSpec {
+            num_ccds: 0,
+            ..CpuSpec::default()
+        };
         assert!(!cpu.is_valid());
-        let mut cpu = CpuSpec::default();
-        cpu.dram_bandwidth_bytes_per_sec = 0.0;
+        let cpu = CpuSpec {
+            dram_bandwidth_bytes_per_sec: 0.0,
+            ..CpuSpec::default()
+        };
         assert!(!cpu.is_valid());
         let mut cpu = CpuSpec::default();
         cpu.ccd.cores = 0;

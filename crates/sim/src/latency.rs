@@ -107,13 +107,16 @@ impl LatencyRecorder {
     /// Maximum recorded latency (exact), or `None` when empty.
     #[must_use]
     pub fn max(&self) -> Option<f64> {
-        self.samples_ms.iter().copied().fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+        self.samples_ms
+            .iter()
+            .copied()
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
     }
 
     /// Whether the P99 is at or below `sla_ms`. An empty recorder trivially meets the SLA.
     #[must_use]
     pub fn meets_sla(&self, sla_ms: f64) -> bool {
-        self.p99().map_or(true, |p| p <= sla_ms)
+        self.p99().is_none_or(|p| p <= sla_ms)
     }
 
     /// Merge another recorder's samples into this one. The histograms merge
@@ -154,7 +157,10 @@ mod tests {
             assert!(approx.abs() < 1e-6, "approx {approx} vs exact 0");
         } else {
             let rel = (approx - exact).abs() / exact.abs();
-            assert!(rel <= 0.05, "approx {approx} vs exact {exact}: rel err {rel}");
+            assert!(
+                rel <= 0.05,
+                "approx {approx} vs exact {exact}: rel err {rel}"
+            );
         }
     }
 
@@ -192,12 +198,15 @@ mod tests {
     #[test]
     fn p99_catches_tail_spikes() {
         let mut r = LatencyRecorder::new();
-        r.record_all(std::iter::repeat(5.0).take(985));
-        r.record_all(std::iter::repeat(50.0).take(15));
+        r.record_all(std::iter::repeat_n(5.0, 985));
+        r.record_all(std::iter::repeat_n(50.0, 15));
         assert!(r.p50().unwrap() < 10.0);
         assert_close(r.p99().unwrap(), 50.0);
         assert!(!r.meets_sla(20.0));
-        assert!(r.meets_sla(52.0), "one bucket of slack above the exact tail");
+        assert!(
+            r.meets_sla(52.0),
+            "one bucket of slack above the exact tail"
+        );
     }
 
     #[test]
@@ -231,7 +240,10 @@ mod tests {
             (None, None) => {}
             (Some(a), Some(e)) => {
                 let d = bucket_index(a) as i64 - bucket_index(e) as i64;
-                assert!(d.abs() <= 1, "{context}: approx {a} vs exact {e}: {d} buckets apart");
+                assert!(
+                    d.abs() <= 1,
+                    "{context}: approx {a} vs exact {e}: {d} buckets apart"
+                );
             }
             _ => panic!("{context}: emptiness disagrees: {approx:?} vs {exact:?}"),
         }
@@ -271,7 +283,11 @@ mod tests {
         assert_eq!(r.percentile(50.0), None);
         r.record(3.0);
         shadow.push(3.0);
-        assert_same_bucket(r.p50(), reference_percentile(&shadow, 50.0), "after reset + record");
+        assert_same_bucket(
+            r.p50(),
+            reference_percentile(&shadow, 50.0),
+            "after reset + record",
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ impl MemoryBandwidthModel {
     /// Panics if either parameter is not positive.
     #[must_use]
     pub fn new(peak_bytes_per_second: f64, idle_latency_ns: f64) -> Self {
-        assert!(peak_bytes_per_second > 0.0, "peak bandwidth must be positive");
+        assert!(
+            peak_bytes_per_second > 0.0,
+            "peak bandwidth must be positive"
+        );
         assert!(idle_latency_ns > 0.0, "idle latency must be positive");
         Self {
             peak_bytes_per_second,
@@ -184,7 +187,10 @@ mod tests {
         m.set_demand(BandwidthDemand::new("training", 200.0e9));
         let heavy = m.loaded_latency_ns();
         assert!(half > idle);
-        assert!(heavy > half * 1.5, "heavy load should inflate latency strongly");
+        assert!(
+            heavy > half * 1.5,
+            "heavy load should inflate latency strongly"
+        );
         assert!(heavy.is_finite());
     }
 

@@ -28,7 +28,10 @@ impl NetworkLink {
     pub fn new(bandwidth_gbps: f64, latency_us: f64, efficiency: f64) -> Self {
         assert!(bandwidth_gbps > 0.0, "bandwidth must be positive");
         assert!(latency_us >= 0.0, "latency must be non-negative");
-        assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency must be in (0, 1]");
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1]"
+        );
         Self {
             bandwidth_gbps,
             latency_us,

@@ -107,7 +107,10 @@ impl ServiceTimeModel {
     #[must_use]
     pub fn dram_demand_bytes_per_sec(&self, requests_per_second: f64, l3_hit_ratio: f64) -> f64 {
         let miss = 1.0 - l3_hit_ratio.clamp(0.0, 1.0);
-        requests_per_second.max(0.0) * self.lookups_per_request as f64 * miss * self.bytes_per_lookup as f64
+        requests_per_second.max(0.0)
+            * self.lookups_per_request as f64
+            * miss
+            * self.bytes_per_lookup as f64
     }
 }
 
@@ -150,7 +153,10 @@ mod tests {
         let st = ServiceTimeModel::default();
         let mem = MemoryBandwidthModel::ddr5_dual_socket();
         let lat = st.request_latency_ms(0.9, &mem);
-        assert!(lat < 10.0, "unloaded hot-cache latency {lat} should meet the 10 ms target");
+        assert!(
+            lat < 10.0,
+            "unloaded hot-cache latency {lat} should meet the 10 ms target"
+        );
     }
 
     #[test]
@@ -163,7 +169,10 @@ mod tests {
         // Heavy competing traffic inflates the miss path further.
         mem.set_demand(BandwidthDemand::new("training", 420.0e9));
         let contended = st.request_latency_ms(0.0, &mem);
-        assert!(contended > cold * 1.5, "contention should hurt: {cold} -> {contended}");
+        assert!(
+            contended > cold * 1.5,
+            "contention should hurt: {cold} -> {contended}"
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl CcdPartition {
     /// Number of CCDs assigned to inference.
     #[must_use]
     pub fn inference_ccds(&self) -> usize {
-        self.owners.iter().filter(|o| **o == CcdOwner::Inference).count()
+        self.owners
+            .iter()
+            .filter(|o| **o == CcdOwner::Inference)
+            .count()
     }
 
     /// Number of CCDs assigned to training.

@@ -147,8 +147,9 @@ impl ParameterServer {
     /// Drop updates older than `cutoff_minutes` that every node has already consumed
     /// (housekeeping; `min_consumed_version` is the minimum version across nodes).
     pub fn compact(&mut self, min_consumed_version: u64, cutoff_minutes: f64) {
-        self.updates
-            .retain(|u| u.version > min_consumed_version || u.publish_time_minutes >= cutoff_minutes);
+        self.updates.retain(|u| {
+            u.version > min_consumed_version || u.publish_time_minutes >= cutoff_minutes
+        });
     }
 }
 
@@ -234,7 +235,10 @@ mod tests {
         let mut ps = server();
         ps.publish(20_000 * GB, 0.0); // 20 TB
         let r = ps.sync(0, 0.0, None);
-        assert!(r.transfer_seconds / 60.0 > 26.0, "20 TB over 100GbE should take > 26 min");
+        assert!(
+            r.transfer_seconds / 60.0 > 26.0,
+            "20 TB over 100GbE should take > 26 min"
+        );
     }
 
     #[test]

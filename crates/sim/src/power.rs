@@ -28,7 +28,10 @@ impl CpuPowerModel {
     #[must_use]
     pub fn new(idle_watts: f64, dynamic_range_watts: f64, exponent: f64) -> Self {
         assert!(idle_watts >= 0.0, "idle power must be non-negative");
-        assert!(dynamic_range_watts >= 0.0, "dynamic range must be non-negative");
+        assert!(
+            dynamic_range_watts >= 0.0,
+            "dynamic range must be non-negative"
+        );
         assert!(exponent > 0.0, "exponent must be positive");
         Self {
             idle_watts,
@@ -100,7 +103,12 @@ impl UtilizationModel {
     /// Utilisation given a normalised serving load in `[0, 1]` and whether the trainer is
     /// active, scaled by the fraction of CCDs the trainer owns.
     #[must_use]
-    pub fn utilization(&self, normalized_load: f64, training_active: bool, training_ccd_fraction: f64) -> f64 {
+    pub fn utilization(
+        &self,
+        normalized_load: f64,
+        training_active: bool,
+        training_ccd_fraction: f64,
+    ) -> f64 {
         let load = normalized_load.clamp(0.0, 1.0);
         let mut u = self.inference_peak_utilization * load;
         if training_active {
@@ -151,7 +159,10 @@ mod tests {
         let infer_only = util.utilization(1.0, false, 0.0);
         let co_located = util.utilization(1.0, true, 0.8);
         let increase = power.relative_increase(infer_only, co_located);
-        assert!(increase > 0.05 && increase < 0.40, "relative increase {increase:.3}");
+        assert!(
+            increase > 0.05 && increase < 0.40,
+            "relative increase {increase:.3}"
+        );
     }
 
     #[test]

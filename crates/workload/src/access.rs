@@ -243,11 +243,22 @@ mod tests {
         for _ in 0..10 {
             h.record_all([7usize, 11, 13]); // the actual head
         }
-        assert_eq!(h.threshold_for_top_fraction(0.01).max(1), 1, "threshold collapses");
-        assert_eq!(h.ids_with_count_at_least(1).len(), 5_000, "threshold rule is unbounded");
+        assert_eq!(
+            h.threshold_for_top_fraction(0.01).max(1),
+            1,
+            "threshold collapses"
+        );
+        assert_eq!(
+            h.ids_with_count_at_least(1).len(),
+            5_000,
+            "threshold rule is unbounded"
+        );
         let top = h.top_k_ids(3);
         assert_eq!(top, vec![7, 11, 13]);
-        assert!(h.top_k_ids(10_000).len() == 5_000, "never more than the touched set");
+        assert!(
+            h.top_k_ids(10_000).len() == 5_000,
+            "never more than the touched set"
+        );
         assert!(h.top_k_ids(0).is_empty());
         // Ties (equal counts) break deterministically by ascending id.
         assert_eq!(h.top_k_ids(5), vec![0, 1, 7, 11, 13]);

@@ -174,11 +174,22 @@ impl RealTimePacer {
     ///
     /// Panics if `target_qps` is not positive or the model's base rate is not positive.
     #[must_use]
-    pub fn for_target_qps(model: ArrivalModel, target_qps: f64, start_minutes: f64, seed: u64) -> Self {
+    pub fn for_target_qps(
+        model: ArrivalModel,
+        target_qps: f64,
+        start_minutes: f64,
+        seed: u64,
+    ) -> Self {
         assert!(target_qps > 0.0, "target QPS must be positive");
-        assert!(model.base_rate_per_minute > 0.0, "base rate must be positive");
+        assert!(
+            model.base_rate_per_minute > 0.0,
+            "base rate must be positive"
+        );
         let compression = target_qps / model.base_rate_per_minute;
-        Self::new(PoissonArrivals::new(model, start_minutes, seed), compression)
+        Self::new(
+            PoissonArrivals::new(model, start_minutes, seed),
+            compression,
+        )
     }
 
     /// Simulated minutes that elapse per wall-clock second.
@@ -192,7 +203,7 @@ impl RealTimePacer {
     /// `sim_minutes` is the arrival's simulated timestamp (what the serving path treats
     /// as stream time). Wall offsets are strictly increasing; an open-loop generator
     /// sleeps until each offset and never waits for responses.
-    pub fn next(&mut self) -> (Duration, f64) {
+    pub fn next_arrival(&mut self) -> (Duration, f64) {
         let sim_t = self.arrivals.next_arrival_minutes();
         let wall_seconds = (sim_t - self.origin_minutes) / self.sim_minutes_per_wall_second;
         (Duration::from_secs_f64(wall_seconds.max(0.0)), sim_t)
@@ -272,7 +283,10 @@ mod tests {
         let mut last = 600.0;
         for _ in 0..500 {
             let t = a.next_arrival_minutes();
-            assert!(t > last, "arrival times must strictly increase: {t} after {last}");
+            assert!(
+                t > last,
+                "arrival times must strictly increase: {t} after {last}"
+            );
             assert_eq!(t, b.next_arrival_minutes(), "same seed, same stream");
             last = t;
         }
@@ -335,7 +349,7 @@ mod tests {
         let mut final_offset = Duration::ZERO;
         let n = 2_000;
         for _ in 0..n {
-            let (offset, sim_t) = pacer.next();
+            let (offset, sim_t) = pacer.next_arrival();
             assert!(offset >= last, "wall offsets must be non-decreasing");
             assert!(sim_t > 0.0);
             last = offset;
@@ -343,7 +357,10 @@ mod tests {
         }
         // 2000 arrivals at 500 QPS should span ~4 wall seconds (±15% sampling noise).
         let secs = final_offset.as_secs_f64();
-        assert!((3.4..=4.6).contains(&secs), "2000 arrivals at 500 QPS took {secs:.2}s of wall time");
+        assert!(
+            (3.4..=4.6).contains(&secs),
+            "2000 arrivals at 500 QPS took {secs:.2}s of wall time"
+        );
     }
 
     #[test]
@@ -353,7 +370,7 @@ mod tests {
         let mut pacer = RealTimePacer::for_target_qps(model.clone(), qps, 300.0, 5);
         let compression = pacer.sim_minutes_per_wall_second();
         assert!((compression - qps / model.base_rate_per_minute).abs() < 1e-12);
-        let (offset, sim_t) = pacer.next();
+        let (offset, sim_t) = pacer.next_arrival();
         // wall offset and sim time are consistent under the compression factor.
         let reconstructed = (sim_t - 300.0) / compression;
         assert!((offset.as_secs_f64() - reconstructed).abs() < 1e-9);

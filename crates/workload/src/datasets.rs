@@ -65,13 +65,21 @@ impl DatasetPreset {
     /// The three production-scale presets used in the systems experiments (Fig. 14).
     #[must_use]
     pub fn tb_scale() -> [DatasetPreset; 3] {
-        [DatasetPreset::AvazuTb, DatasetPreset::CriteoTb, DatasetPreset::BdTb]
+        [
+            DatasetPreset::AvazuTb,
+            DatasetPreset::CriteoTb,
+            DatasetPreset::BdTb,
+        ]
     }
 
     /// The three accuracy presets used in Table III.
     #[must_use]
     pub fn accuracy() -> [DatasetPreset; 3] {
-        [DatasetPreset::Avazu, DatasetPreset::Criteo, DatasetPreset::BdTb]
+        [
+            DatasetPreset::Avazu,
+            DatasetPreset::Criteo,
+            DatasetPreset::BdTb,
+        ]
     }
 
     /// Human-readable name matching the paper.
@@ -279,8 +287,10 @@ impl DatasetSpec {
     /// used to extrapolate simulated costs back to production scale.
     #[must_use]
     pub fn scale_factor(&self) -> f64 {
-        let sim_bytes =
-            (self.sim_table_size * self.sim_num_tables * self.sim_embedding_dim * std::mem::size_of::<f64>()) as f64;
+        let sim_bytes = (self.sim_table_size
+            * self.sim_num_tables
+            * self.sim_embedding_dim
+            * std::mem::size_of::<f64>()) as f64;
         self.embedding_table_bytes as f64 / sim_bytes
     }
 
@@ -302,7 +312,15 @@ mod tests {
         let names: Vec<&str> = all.iter().map(DatasetPreset::name).collect();
         assert_eq!(
             names,
-            vec!["Avazu", "Criteo", "BD-TB", "Avazu-TB", "Criteo-TB", "Prod-1M", "Prod-10M"]
+            vec![
+                "Avazu",
+                "Criteo",
+                "BD-TB",
+                "Avazu-TB",
+                "Criteo-TB",
+                "Prod-1M",
+                "Prod-10M"
+            ]
         );
     }
 
@@ -335,8 +353,14 @@ mod tests {
         assert_eq!(DatasetPreset::Avazu.spec().embedding_table_bytes, gb(0.55));
         assert_eq!(DatasetPreset::Criteo.spec().embedding_table_bytes, gb(1.9));
         assert_eq!(DatasetPreset::BdTb.spec().embedding_table_bytes, tb(50.0));
-        assert_eq!(DatasetPreset::AvazuTb.spec().embedding_table_bytes, tb(50.0));
-        assert_eq!(DatasetPreset::CriteoTb.spec().embedding_table_bytes, tb(50.0));
+        assert_eq!(
+            DatasetPreset::AvazuTb.spec().embedding_table_bytes,
+            tb(50.0)
+        );
+        assert_eq!(
+            DatasetPreset::CriteoTb.spec().embedding_table_bytes,
+            tb(50.0)
+        );
         assert_eq!(DatasetPreset::Avazu.spec().samples, 32_300_000);
         assert_eq!(DatasetPreset::Criteo.spec().samples, 45_800_000);
     }
@@ -352,7 +376,10 @@ mod tests {
 
     #[test]
     fn accuracy_presets_are_paper_columns() {
-        let names: Vec<&str> = DatasetPreset::accuracy().iter().map(DatasetPreset::name).collect();
+        let names: Vec<&str> = DatasetPreset::accuracy()
+            .iter()
+            .map(DatasetPreset::name)
+            .collect();
         assert_eq!(names, vec!["Avazu", "Criteo", "BD-TB"]);
     }
 
@@ -363,7 +390,11 @@ mod tests {
             let wl = spec.workload_config(7);
             assert!(wl.is_valid(), "{} workload invalid", preset.name());
             let dlrm = spec.dlrm_config();
-            assert!(dlrm.validate().is_ok(), "{} dlrm config invalid", preset.name());
+            assert!(
+                dlrm.validate().is_ok(),
+                "{} dlrm config invalid",
+                preset.name()
+            );
             assert_eq!(wl.num_tables, dlrm.table_sizes.len());
             assert_eq!(wl.table_size, dlrm.table_sizes[0]);
         }

@@ -128,11 +128,16 @@ impl AffinityDrift {
     /// Panics if `id >= table_size`.
     #[must_use]
     pub fn affinity(&self, id: usize, time_minutes: f64) -> f64 {
-        assert!(id < self.table_size, "id {id} out of bounds ({})", self.table_size);
+        assert!(
+            id < self.table_size,
+            "id {id} out of bounds ({})",
+            self.table_size
+        );
         let base = 2.0 * self.hash_unit(id, 2) - 1.0; // static component in [-1, 1]
         let phase = self.hash_unit(id, 3) * std::f64::consts::TAU;
         let rotation = if self.config.rotation_period_minutes.is_finite() {
-            (time_minutes / self.config.rotation_period_minutes * std::f64::consts::TAU + phase).sin()
+            (time_minutes / self.config.rotation_period_minutes * std::f64::consts::TAU + phase)
+                .sin()
         } else {
             phase.sin()
         };
@@ -175,14 +180,20 @@ mod tests {
 
     #[test]
     fn invalid_configs_detected() {
-        let mut c = DriftConfig::default();
-        c.rotation_period_minutes = 0.0;
+        let c = DriftConfig {
+            rotation_period_minutes: 0.0,
+            ..DriftConfig::default()
+        };
         assert!(!c.is_valid());
-        c = DriftConfig::default();
-        c.emerging_fraction = 1.5;
+        let c = DriftConfig {
+            emerging_fraction: 1.5,
+            ..DriftConfig::default()
+        };
         assert!(!c.is_valid());
-        c = DriftConfig::default();
-        c.emerging_ramp_minutes = -1.0;
+        let c = DriftConfig {
+            emerging_ramp_minutes: -1.0,
+            ..DriftConfig::default()
+        };
         assert!(!c.is_valid());
     }
 
@@ -240,9 +251,17 @@ mod tests {
         let frac = emerging.len() as f64 / 4000.0;
         assert!((frac - 0.5).abs() < 0.1, "emerging fraction {frac}");
         // At t=0 emerging items have zero affinity; later they do not (on average).
-        let at_zero: f64 = emerging.iter().take(100).map(|&id| d.affinity(id, 0.0).abs()).sum();
+        let at_zero: f64 = emerging
+            .iter()
+            .take(100)
+            .map(|&id| d.affinity(id, 0.0).abs())
+            .sum();
         assert!(at_zero < 1e-9);
-        let later: f64 = emerging.iter().take(100).map(|&id| d.affinity(id, 120.0).abs()).sum();
+        let later: f64 = emerging
+            .iter()
+            .take(100)
+            .map(|&id| d.affinity(id, 120.0).abs())
+            .sum();
         assert!(later > 0.1);
     }
 

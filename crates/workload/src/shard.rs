@@ -116,10 +116,17 @@ impl StreamSharder {
     /// shard.
     #[must_use]
     pub fn group(batch: &MiniBatch, assignments: &[usize], num_shards: usize) -> Vec<MiniBatch> {
-        assert_eq!(assignments.len(), batch.len(), "one assignment per sample is required");
+        assert_eq!(
+            assignments.len(),
+            batch.len(),
+            "one assignment per sample is required"
+        );
         let mut shards: Vec<Vec<Sample>> = vec![Vec::new(); num_shards];
         for (sample, &shard) in batch.iter().zip(assignments) {
-            assert!(shard < num_shards, "shard {shard} out of range ({num_shards})");
+            assert!(
+                shard < num_shards,
+                "shard {shard} out of range ({num_shards})"
+            );
             shards[shard].push(sample.clone());
         }
         shards.into_iter().map(MiniBatch::new).collect()
@@ -137,7 +144,10 @@ impl StreamSharder {
     where
         I: Iterator<Item = (f64, Sample)>,
     {
-        ShardedStream { inner: stream, sharder: self }
+        ShardedStream {
+            inner: stream,
+            sharder: self,
+        }
     }
 }
 

@@ -98,10 +98,18 @@ impl SyntheticWorkload {
         assert!(config.is_valid(), "invalid workload configuration");
         let zipf = ZipfSampler::new(config.table_size, config.zipf_exponent);
         let drifts = (0..config.num_tables)
-            .map(|t| AffinityDrift::new(config.drift, config.table_size, config.seed.wrapping_add(t as u64 * 1000)))
+            .map(|t| {
+                AffinityDrift::new(
+                    config.drift,
+                    config.table_size,
+                    config.seed.wrapping_add(t as u64 * 1000),
+                )
+            })
             .collect();
         let mut weight_rng = StdRng::seed_from_u64(config.seed.wrapping_mul(77).wrapping_add(5));
-        let dense_weights = (0..config.dense_dim).map(|_| weight_rng.gen_range(-0.5..0.5)).collect();
+        let dense_weights = (0..config.dense_dim)
+            .map(|_| weight_rng.gen_range(-0.5..0.5))
+            .collect();
         let rng = StdRng::seed_from_u64(config.seed);
         Self {
             config,
@@ -170,7 +178,9 @@ impl SyntheticWorkload {
                 .collect();
             sparse.push(ids);
         }
-        let dense: Vec<f64> = (0..self.config.dense_dim).map(|_| self.rng.gen_range(-1.0..1.0)).collect();
+        let dense: Vec<f64> = (0..self.config.dense_dim)
+            .map(|_| self.rng.gen_range(-1.0..1.0))
+            .collect();
         let mut sample = Sample::new(dense, sparse, 0.0);
         let p = self.ground_truth_probability(&sample, time_minutes);
         sample.label = if self.rng.gen::<f64>() < p { 1.0 } else { 0.0 };
@@ -225,8 +235,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid workload configuration")]
     fn invalid_config_rejected() {
-        let mut cfg = WorkloadConfig::default();
-        cfg.num_tables = 0;
+        let cfg = WorkloadConfig {
+            num_tables: 0,
+            ..WorkloadConfig::default()
+        };
         let _ = SyntheticWorkload::new(cfg);
     }
 
@@ -255,8 +267,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let mut a = workload();
-        let mut cfg = WorkloadConfig::default();
-        cfg.seed = 999;
+        let cfg = WorkloadConfig {
+            seed: 999,
+            ..WorkloadConfig::default()
+        };
         let mut b = SyntheticWorkload::new(cfg);
         assert_ne!(a.batch_at(0.0, 20), b.batch_at(0.0, 20));
     }
@@ -275,7 +289,10 @@ mod tests {
     fn labels_track_ground_truth_rate() {
         let mut w = workload();
         let ctr = w.empirical_ctr(0.0, 4000);
-        assert!(ctr > 0.05 && ctr < 0.95, "ctr {ctr} should be non-degenerate");
+        assert!(
+            ctr > 0.05 && ctr < 0.95,
+            "ctr {ctr} should be non-degenerate"
+        );
         assert_eq!(w.empirical_ctr(0.0, 0), 0.0);
     }
 
@@ -284,7 +301,10 @@ mod tests {
         let w = workload();
         let before = w.rank_to_id(0, 0.0);
         let after = w.rank_to_id(0, 31.0);
-        assert_ne!(before, after, "hot id should move after one rotation period");
+        assert_ne!(
+            before, after,
+            "hot id should move after one rotation period"
+        );
         // Within one rotation period the mapping is stable.
         assert_eq!(w.rank_to_id(0, 0.0), w.rank_to_id(0, 29.0));
     }
@@ -310,15 +330,22 @@ mod tests {
         let batch = w.batch_at(0.0, 200);
         let mut total_change = 0.0;
         for s in batch.iter() {
-            total_change += (w.ground_truth_probability(s, 0.0) - w.ground_truth_probability(s, 120.0)).abs();
+            total_change +=
+                (w.ground_truth_probability(s, 0.0) - w.ground_truth_probability(s, 120.0)).abs();
         }
-        assert!(total_change / 200.0 > 0.02, "drift too small: {}", total_change / 200.0);
+        assert!(
+            total_change / 200.0 > 0.02,
+            "drift too small: {}",
+            total_change / 200.0
+        );
     }
 
     #[test]
     fn stationary_workload_does_not_drift() {
-        let mut cfg = WorkloadConfig::default();
-        cfg.drift = DriftConfig::stationary();
+        let cfg = WorkloadConfig {
+            drift: DriftConfig::stationary(),
+            ..WorkloadConfig::default()
+        };
         let mut w = SyntheticWorkload::new(cfg);
         let batch = w.batch_at(0.0, 100);
         for s in batch.iter() {

@@ -28,7 +28,10 @@ impl ZipfSampler {
     #[must_use]
     pub fn new(n: usize, exponent: f64) -> Self {
         assert!(n > 0, "a Zipf sampler needs at least one rank");
-        assert!(exponent >= 0.0 && exponent.is_finite(), "exponent must be non-negative and finite");
+        assert!(
+            exponent >= 0.0 && exponent.is_finite(),
+            "exponent must be non-negative and finite"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 0..n {
@@ -79,7 +82,10 @@ impl ZipfSampler {
     /// Draw one rank.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf entries are finite")) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf entries are finite"))
+        {
             Ok(idx) => idx,
             Err(idx) => idx.min(self.cdf.len() - 1),
         }
@@ -168,7 +174,10 @@ mod tests {
         let samples = z.sample_many(&mut rng, 20_000);
         let hot = samples.iter().filter(|&&r| r < 100).count() as f64 / samples.len() as f64;
         let expected = z.top_share(0.1);
-        assert!((hot - expected).abs() < 0.05, "empirical {hot} vs expected {expected}");
+        assert!(
+            (hot - expected).abs() < 0.05,
+            "empirical {hot} vs expected {expected}"
+        );
     }
 
     #[test]

@@ -18,12 +18,18 @@ use liveupdate_repro::net::DistributedBackend;
 use liveupdate_repro::scenario::{ExecutionBackend, Scenario, ScenarioReport};
 
 fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
     let path = std::env::var("SCENARIO_FILE").unwrap_or_else(|_| {
-        format!("{}/scenarios/quick_compare.json", env!("CARGO_MANIFEST_DIR"))
+        format!(
+            "{}/scenarios/quick_compare.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
     });
     let mut scenario = match Scenario::from_file(&path) {
         Ok(s) => {
@@ -62,7 +68,12 @@ fn main() {
         reports.push(report);
     }
 
-    let by_name = |name: &str| reports.iter().find(|r| r.strategy == name).expect("arm ran");
+    let by_name = |name: &str| {
+        reports
+            .iter()
+            .find(|r| r.strategy == name)
+            .expect("arm ran")
+    };
     let live = by_name("LiveUpdate");
     let quick = by_name("QuickUpdate-5%");
     let delta = by_name("DeltaUpdate");

@@ -24,10 +24,17 @@ fn main() {
         StrategyKind::LiveUpdate,
     ];
 
-    println!("running {} strategies over {:.0} minutes of drifting traffic…\n", strategies.len(), config.duration_minutes);
+    println!(
+        "running {} strategies over {:.0} minutes of drifting traffic…\n",
+        strategies.len(),
+        config.duration_minutes
+    );
     let results = run_all(&config, &strategies);
 
-    println!("{:<18} {:>10} {:>12} {:>14}", "strategy", "mean AUC", "mean logloss", "LoRA memory");
+    println!(
+        "{:<18} {:>10} {:>12} {:>14}",
+        "strategy", "mean AUC", "mean logloss", "LoRA memory"
+    );
     for r in &results {
         println!(
             "{:<18} {:>10.4} {:>12.4} {:>13}",
@@ -45,10 +52,16 @@ fn main() {
     }
 
     println!("\nper-window AUC timeline (LiveUpdate):");
-    if let Some(live) = results.iter().find(|r| r.strategy == StrategyKind::LiveUpdate) {
+    if let Some(live) = results
+        .iter()
+        .find(|r| r.strategy == StrategyKind::LiveUpdate)
+    {
         for p in &live.timeline {
             let auc = p.auc.map_or("  n/a".to_string(), |a| format!("{a:.4}"));
-            println!("  t={:>5.1} min  auc={auc}  logloss={:.4}", p.time_minutes, p.logloss);
+            println!(
+                "  t={:>5.1} min  auc={auc}  logloss={:.4}",
+                p.time_minutes, p.logloss
+            );
         }
     }
 }

@@ -23,7 +23,10 @@ use liveupdate_repro::workload::{SyntheticWorkload, WorkloadConfig};
 use std::time::Duration;
 
 fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn build_node() -> ServingNode {
@@ -37,7 +40,13 @@ fn build_node() -> ServingNode {
     ServingNode::new(model, LiveUpdateConfig::default())
 }
 
-fn run_arm(label: &str, update: UpdateMode, workers: usize, qps: f64, seconds: f64) -> RuntimeReport {
+fn run_arm(
+    label: &str,
+    update: UpdateMode,
+    workers: usize,
+    qps: f64,
+    seconds: f64,
+) -> RuntimeReport {
     let mut workload = SyntheticWorkload::new(WorkloadConfig {
         num_tables: 2,
         table_size: 500,
@@ -109,7 +118,13 @@ fn main() {
         "live serving runtime: {workers} workers, ~{qps:.0} QPS offered, {seconds:.0}s per arm\n"
     );
 
-    let baseline = run_arm("baseline (updater disabled)", UpdateMode::Disabled, workers, qps, seconds);
+    let baseline = run_arm(
+        "baseline (updater disabled)",
+        UpdateMode::Disabled,
+        workers,
+        qps,
+        seconds,
+    );
     let live = run_arm(
         "LiveUpdate (background updater)",
         UpdateMode::Background {
@@ -124,14 +139,22 @@ fn main() {
 
     let p99_off = baseline.latency.p99().unwrap_or(0.0);
     let p99_on = live.latency.p99().unwrap_or(f64::INFINITY);
-    let ratio = if p99_off > 0.0 { p99_on / p99_off } else { f64::INFINITY };
+    let ratio = if p99_off > 0.0 {
+        p99_on / p99_off
+    } else {
+        f64::INFINITY
+    };
     println!("== interference ==");
     println!("P99 without updater: {p99_off:.3} ms");
     println!("P99 with updater:    {p99_on:.3} ms");
     println!("degradation:         {ratio:.2}x");
     println!(
         "near-zero overhead (P99 degradation < 2x): {}",
-        if ratio < 2.0 { "yes" } else { "NO — investigate" }
+        if ratio < 2.0 {
+            "yes"
+        } else {
+            "NO — investigate"
+        }
     );
     assert!(
         live.updater.publications > 0,

@@ -29,7 +29,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -65,8 +68,10 @@ fn main() {
             };
             // An explicit policy: the server's updater runs LoRA rounds and publishes
             // fresh epochs every interval (`None` would be ingest-only).
-            let policy: Box<dyn UpdatePolicy> =
-                Box::new(LiveUpdatePolicy { rounds_per_update: 1, batch_size: 16 });
+            let policy: Box<dyn UpdatePolicy> = Box::new(LiveUpdatePolicy {
+                rounds_per_update: 1,
+                batch_size: 16,
+            });
             ReplicaServer::start(node, cfg, Duration::from_millis(50), Some(policy))
                 .expect("start replica server")
         })
@@ -90,7 +95,11 @@ fn main() {
                 let mut sent = 0u64;
                 while !stop.load(Ordering::Acquire) {
                     let sample = w.sample_at(0.0);
-                    let req = Frame::InferRequest { id: sent, time_minutes: 0.0, sample };
+                    let req = Frame::InferRequest {
+                        id: sent,
+                        time_minutes: 0.0,
+                        sample,
+                    };
                     if write_frame(&mut conn, &req).is_err() {
                         break;
                     }
@@ -110,7 +119,10 @@ fn main() {
         std::thread::sleep(beat);
         match scrape_replica(servers[0].addr()) {
             Ok(rows) => {
-                println!("\n-- beat {beat_no}/{beats}: replica 0 ({}) --", servers[0].addr());
+                println!(
+                    "\n-- beat {beat_no}/{beats}: replica 0 ({}) --",
+                    servers[0].addr()
+                );
                 print!("{}", render_text(&rows));
                 last_scrape = rows;
             }
@@ -126,15 +138,21 @@ fn main() {
         completed += report.completed;
     }
     println!("\n{replicas} replicas completed {completed} requests ({offered} offered)");
-    assert!(!last_scrape.is_empty(), "the live scrape must return telemetry rows");
+    assert!(
+        !last_scrape.is_empty(),
+        "the live scrape must return telemetry rows"
+    );
     assert!(
         last_scrape.iter().any(|(n, _)| n == "epoch_age_us"),
         "freshness gauge missing from the live scrape"
     );
 
     let get = |name: &str| last_scrape.iter().find(|(n, _)| n == name).map(|&(_, v)| v);
-    let mut metrics =
-        vec![BenchMetric::new("live_scrape_rows", last_scrape.len() as f64, "rows")];
+    let mut metrics = vec![BenchMetric::new(
+        "live_scrape_rows",
+        last_scrape.len() as f64,
+        "rows",
+    )];
     for (row, unit) in [
         ("epoch_age_us", "us"),
         ("publications_total", "publications"),

@@ -16,7 +16,10 @@ use liveupdate_repro::sim::numa::CcdPartition;
 fn main() {
     // Part 1: the Fig. 16 ablation.
     let config = ContentionConfig::default();
-    println!("cache/bandwidth contention ablation ({} simulated requests per mode):\n", config.requests);
+    println!(
+        "cache/bandwidth contention ablation ({} simulated requests per mode):\n",
+        config.requests
+    );
     println!(
         "{:<22} {:>14} {:>14} {:>10} {:>10} {:>10}",
         "mode", "infer L3 hit", "train L3 hit", "DRAM util", "P50 (ms)", "P99 (ms)"
@@ -39,7 +42,10 @@ fn main() {
     println!("\nadaptive CCD partitioning (P99 thresholds: reclaim above 10 ms, grow training below 6 ms):\n");
     let partition = CcdPartition::new(CpuSpec::small(12), 10);
     let mut scheduler = AdaptiveCcdScheduler::new(partition, 10.0, 6.0, 4, 4);
-    println!("{:>5} {:>12} {:>16} {:>16}", "cycle", "P99 (ms)", "inference CCDs", "training CCDs");
+    println!(
+        "{:>5} {:>12} {:>16} {:>16}",
+        "cycle", "P99 (ms)", "inference CCDs", "training CCDs"
+    );
     for cycle in 0..12 {
         // A simple closed loop: measured latency grows with the training allocation.
         let p99 = 4.0 + 2.5 * scheduler.training_ccds() as f64 + if cycle < 4 { 4.0 } else { 0.0 };

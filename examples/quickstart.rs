@@ -37,7 +37,10 @@ fn main() {
     let mut node = ServingNode::new(model, LiveUpdateConfig::default());
 
     // 4. Serve 60 minutes of traffic in 5-minute windows.
-    println!("\n{:>6} {:>14} {:>14} {:>10} {:>12}", "minute", "frozen logloss", "live logloss", "lora rows", "lora memory");
+    println!(
+        "\n{:>6} {:>14} {:>14} {:>10} {:>12}",
+        "minute", "frozen logloss", "live logloss", "lora rows", "lora memory"
+    );
     for window in 0..12 {
         let t = window as f64 * 5.0;
         let batch = workload.batch_at(t, 256);

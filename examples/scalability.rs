@@ -57,8 +57,14 @@ fn main() {
     // Part 2: Fig. 19 — project the measured per-sync payload to production scale
     // (a few GB of active rows per node) and price the collective at larger clusters.
     let payload_per_node: u64 = 4_000_000_000;
-    let tree = CollectiveModel::new(NetworkLink::infiniband_edr(), CollectiveAlgorithm::TreeAllGather);
-    let ring = CollectiveModel::new(NetworkLink::infiniband_edr(), CollectiveAlgorithm::RingAllGather);
+    let tree = CollectiveModel::new(
+        NetworkLink::infiniband_edr(),
+        CollectiveAlgorithm::TreeAllGather,
+    );
+    let ring = CollectiveModel::new(
+        NetworkLink::infiniband_edr(),
+        CollectiveAlgorithm::RingAllGather,
+    );
     println!(
         "\nprojected AllGather at production payloads ({} GB of active rows per node):\n",
         payload_per_node / 1_000_000_000
@@ -97,5 +103,7 @@ fn main() {
         }
         println!();
     }
-    println!("LiveUpdate's cost stays flat as the update frequency rises; the baselines scale with it.");
+    println!(
+        "LiveUpdate's cost stays flat as the update frequency rises; the baselines scale with it."
+    );
 }

@@ -54,14 +54,20 @@ fn n4_cluster_converges_and_agrees_on_synced_support() {
     // below the 128-step adaptation interval) — assert that precondition first.
     let ranks0 = cluster.replicas()[0].node().current_ranks();
     for replica in cluster.replicas() {
-        assert_eq!(replica.node().current_ranks(), ranks0, "ranks diverged unexpectedly");
+        assert_eq!(
+            replica.node().current_ranks(),
+            ranks0,
+            "ranks diverged unexpectedly"
+        );
     }
     let support = cluster.last_sync_support().to_vec();
     assert!(!support.is_empty(), "final sync exchanged nothing");
     let replicas = cluster.replicas();
     let mut probe_ids: Vec<Vec<usize>> = vec![Vec::new(); 2];
     for assignment in &support {
-        let reference_row = replicas[0].node().export_lora_row(assignment.table, assignment.row);
+        let reference_row = replicas[0]
+            .node()
+            .export_lora_row(assignment.table, assignment.row);
         let reference_serving = replicas[0]
             .node()
             .serving_model()
@@ -70,12 +76,18 @@ fn n4_cluster_converges_and_agrees_on_synced_support() {
             .to_vec();
         for replica in &replicas[1..] {
             assert_eq!(
-                replica.node().export_lora_row(assignment.table, assignment.row),
+                replica
+                    .node()
+                    .export_lora_row(assignment.table, assignment.row),
                 reference_row,
                 "A rows diverged on synced row {assignment:?}"
             );
             assert_eq!(
-                replica.node().serving_model().table(assignment.table).row(assignment.row),
+                replica
+                    .node()
+                    .serving_model()
+                    .table(assignment.table)
+                    .row(assignment.row),
                 &reference_serving[..],
                 "serving rows diverged on synced row {assignment:?}"
             );
@@ -108,7 +120,10 @@ fn n1_cluster_reproduces_the_single_node_loop_exactly() {
     assert_eq!(cluster.mean_logloss, baseline.mean_logloss);
     assert_eq!(cluster.requests_served, baseline.requests_served);
     assert_eq!(cluster.per_replica_requests, baseline.per_replica_requests);
-    assert_eq!(cluster.final_lora_memory_bytes, baseline.final_lora_memory_bytes);
+    assert_eq!(
+        cluster.final_lora_memory_bytes,
+        baseline.final_lora_memory_bytes
+    );
 }
 
 #[test]
@@ -121,15 +136,19 @@ fn replica_sweep_is_deterministic_and_charges_analytic_costs() {
     let counts = [1usize, 2, 4, 8];
     let sweep = replica_sweep(&base, &counts);
     let again = replica_sweep(&base, &counts);
-    assert_eq!(sweep, again, "the sweep must be reproducible from the fixed seed");
+    assert_eq!(
+        sweep, again,
+        "the sweep must be reproducible from the fixed seed"
+    );
 
     for (summary, &n) in sweep.iter().zip(&counts) {
         assert_eq!(summary.num_replicas, n);
         // Same stream, same horizon: every cluster size serves the same total traffic.
         assert_eq!(summary.requests_served, 2 * 160);
         let spec = liveupdate_repro::sim::cluster::ClusterSpec::with_nodes(n);
-        let collective = spec
-            .intra_collective(liveupdate_repro::sim::collective::CollectiveAlgorithm::TreeAllGather);
+        let collective = spec.intra_collective(
+            liveupdate_repro::sim::collective::CollectiveAlgorithm::TreeAllGather,
+        );
         for report in &summary.sync_reports {
             // The charged AllGather time is exactly the CollectiveModel's analytic value
             // for the reported payload.
@@ -143,7 +162,11 @@ fn replica_sweep_is_deterministic_and_charges_analytic_costs() {
                 assert!(report.allgather_seconds > 0.0);
             }
         }
-        let total: f64 = summary.sync_reports.iter().map(|r| r.allgather_seconds).sum();
+        let total: f64 = summary
+            .sync_reports
+            .iter()
+            .map(|r| r.allgather_seconds)
+            .sum();
         assert!((summary.ledger.total_allgather_seconds - total).abs() < 1e-15);
     }
 
@@ -162,6 +185,10 @@ fn round_robin_cluster_serves_balanced_shards() {
     let summary = ServingCluster::new(cfg).run();
     let max = *summary.per_replica_requests.iter().max().unwrap();
     let min = *summary.per_replica_requests.iter().min().unwrap();
-    assert!(max - min <= 1, "round-robin shards must balance: {:?}", summary.per_replica_requests);
+    assert!(
+        max - min <= 1,
+        "round-robin shards must balance: {:?}",
+        summary.per_replica_requests
+    );
     assert_eq!(summary.requests_served, 2 * 160);
 }

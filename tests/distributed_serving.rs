@@ -9,7 +9,10 @@ use liveupdate_repro::scenario::{
 };
 
 fn quick_compare() -> Scenario {
-    let path = format!("{}/scenarios/quick_compare.json", env!("CARGO_MANIFEST_DIR"));
+    let path = format!(
+        "{}/scenarios/quick_compare.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
     Scenario::from_file(&path).expect("quick_compare.json loads")
 }
 
@@ -59,9 +62,16 @@ fn distributed_n2_wire_bytes_preserve_the_papers_ordering() {
 
     for report in [&live, &quick, &delta] {
         assert_eq!(report.sync_provenance, SyncProvenance::MeasuredWire);
-        assert!(report.requests_served > 0, "{}: no traffic served", report.strategy);
+        assert!(
+            report.requests_served > 0,
+            "{}: no traffic served",
+            report.strategy
+        );
     }
-    assert_eq!(live.sync_bytes, 0, "LiveUpdate must ship zero parameter bytes on the wire");
+    assert_eq!(
+        live.sync_bytes, 0,
+        "LiveUpdate must ship zero parameter bytes on the wire"
+    );
     assert!(
         quick.sync_bytes > 0,
         "QuickUpdate must ship top-changed rows on the wire"

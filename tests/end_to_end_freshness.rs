@@ -29,7 +29,12 @@ fn all_table3_strategies_run_and_produce_defined_metrics() {
     assert_eq!(results.len(), strategies.len());
     for r in &results {
         assert_eq!(r.timeline.len(), 3, "{} timeline length", r.strategy.name());
-        assert!(r.mean_auc > 0.3 && r.mean_auc <= 1.0, "{} auc {}", r.strategy.name(), r.mean_auc);
+        assert!(
+            r.mean_auc > 0.3 && r.mean_auc <= 1.0,
+            "{} auc {}",
+            r.strategy.name(),
+            r.mean_auc
+        );
         assert!(r.mean_logloss.is_finite() && r.mean_logloss > 0.0);
     }
     // Local-training strategies report LoRA memory; network strategies do not.

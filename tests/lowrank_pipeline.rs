@@ -32,7 +32,10 @@ fn dlrm_gradients_have_low_rank_structure_detectable_by_pca() {
     let pca = Pca::fit_uncentered(&snapshot).unwrap();
     let rank80 = pca.rank_for_variance(0.8);
     // The paper's observation (Fig. 6): a handful of components out of d=16 suffices.
-    assert!(rank80 <= 8, "80% of gradient variance should need few components, got {rank80}");
+    assert!(
+        rank80 <= 8,
+        "80% of gradient variance should need few components, got {rank80}"
+    );
 
     // The Eckart–Young factorisation at that rank reconstructs the snapshot well.
     let factors = LowRankFactors::from_matrix(&snapshot, rank80.max(1)).unwrap();
@@ -51,7 +54,12 @@ fn rank_adapter_and_svd_agree_on_effective_rank() {
         let grads = model.compute_gradients(&training_batch(&mut rng, 300, 128));
         adapter.observe(&grads.embeddings[0]);
         let (snapshot, _) = grads.embeddings[0].to_snapshot();
-        svd_ranks.push(Svd::compute(&snapshot).unwrap().rank_for_energy(0.8).unwrap());
+        svd_ranks.push(
+            Svd::compute(&snapshot)
+                .unwrap()
+                .rank_for_energy(0.8)
+                .unwrap(),
+        );
     }
     let decision = adapter.adapt();
     let mean_svd = svd_ranks.iter().sum::<usize>() as f64 / svd_ranks.len() as f64;
@@ -71,8 +79,12 @@ fn lora_reconstruction_matches_dense_low_rank_approximation() {
     let dim = 8;
     let rank = 2;
     let mut rng = StdRng::seed_from_u64(13);
-    let u: Vec<Vec<f64>> = (0..rows).map(|_| (0..rank).map(|_| rng.gen_range(-1.0f64..1.0)).collect()).collect();
-    let v: Vec<Vec<f64>> = (0..rank).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f64..1.0)).collect()).collect();
+    let u: Vec<Vec<f64>> = (0..rows)
+        .map(|_| (0..rank).map(|_| rng.gen_range(-1.0f64..1.0)).collect())
+        .collect();
+    let v: Vec<Vec<f64>> = (0..rank)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f64..1.0)).collect())
+        .collect();
     let target = |i: usize, j: usize| -> f64 { (0..rank).map(|k| u[i][k] * v[k][j]).sum() };
 
     let mut lora = LoraTable::new(rows, dim, rank, 7);
@@ -89,8 +101,8 @@ fn lora_reconstruction_matches_dense_low_rank_approximation() {
     let mut norm = 0.0;
     for i in 0..rows {
         let d = lora.delta_row(i);
-        for j in 0..dim {
-            err += (d[j] - target(i, j)).powi(2);
+        for (j, &dj) in d.iter().enumerate() {
+            err += (dj - target(i, j)).powi(2);
             norm += target(i, j).powi(2);
         }
     }

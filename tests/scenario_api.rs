@@ -4,11 +4,11 @@
 
 use liveupdate_repro::core::strategy::StrategyKind;
 use liveupdate_repro::dlrm::embedding::StorageKind;
+use liveupdate_repro::scenario::scenario::ScenarioError;
 use liveupdate_repro::scenario::{
     all_backends, auc_agreement, AnalyticBackend, BackendKind, ExecutionBackend, RealtimeBackend,
     Scenario, SimBackend,
 };
-use liveupdate_repro::scenario::scenario::ScenarioError;
 
 /// A scenario small enough that all three backends finish in a few seconds combined.
 fn tiny(name: &str) -> Scenario {
@@ -44,9 +44,12 @@ fn scenario_file_round_trip_drives_an_identical_run() {
 
 #[test]
 fn shipped_scenario_files_parse_and_validate() {
-    for file in
-        ["quick_compare.json", "criteo_cluster.json", "distributed_quick.json", "prod_1m.json"]
-    {
+    for file in [
+        "quick_compare.json",
+        "criteo_cluster.json",
+        "distributed_quick.json",
+        "prod_1m.json",
+    ] {
         let path = format!("{}/scenarios/{file}", env!("CARGO_MANIFEST_DIR"));
         let scenario = Scenario::from_file(&path).unwrap_or_else(|e| panic!("{file}: {e}"));
         assert!(scenario.validate().is_ok(), "{file} must validate");
@@ -74,7 +77,10 @@ fn corrupt_scenario_json_is_an_error_never_a_panic() {
     // A nesting bomb that would previously overflow the recursive-descent parser's
     // stack is rejected with a parse error.
     let bomb = format!("{}{}", "{\"workload\":[".repeat(50_000), "1");
-    assert!(matches!(Scenario::from_json(&bomb), Err(ScenarioError::Parse(_))));
+    assert!(matches!(
+        Scenario::from_json(&bomb),
+        Err(ScenarioError::Parse(_))
+    ));
     // Wrong-typed and garbage field values are parse errors.
     for (from, to) in [
         ("\"seed\": 7", "\"seed\": \"not-a-number\""),
@@ -95,7 +101,10 @@ fn corrupt_scenario_json_is_an_error_never_a_panic() {
 fn quantized_serving_matches_f64_auc_on_quick_compare() {
     // The shipped comparison scenario, served with f64, f16, and int8 embedding rows:
     // quantized serving must stay within the paper's accuracy envelope (< 0.01 AUC).
-    let path = format!("{}/scenarios/quick_compare.json", env!("CARGO_MANIFEST_DIR"));
+    let path = format!(
+        "{}/scenarios/quick_compare.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
     let base = Scenario::from_file(&path).unwrap();
     let f64_report = AnalyticBackend.run(&base).unwrap();
     let f64_auc = f64_report.mean_auc.expect("f64 run reports AUC");
@@ -140,7 +149,10 @@ fn analytic_and_sim_backends_agree_on_accuracy() {
     let sim = SimBackend.run(&scenario).unwrap();
     assert_eq!(analytic.timeline.len(), sim.timeline.len());
     let delta = auc_agreement(&analytic, &sim).expect("both report AUC");
-    assert!(delta < 0.1, "analytic vs sim mean AUC differ by {delta} (>= 0.1)");
+    assert!(
+        delta < 0.1,
+        "analytic vs sim mean AUC differ by {delta} (>= 0.1)"
+    );
 }
 
 #[test]
@@ -152,7 +164,11 @@ fn one_scenario_runs_unmodified_on_all_three_backends() {
             .unwrap_or_else(|e| panic!("{} backend failed: {e}", backend.name()));
         assert_eq!(report.scenario, "all_backends");
         assert_eq!(report.strategy, "LiveUpdate");
-        assert!(report.requests_served > 0, "{} served no traffic", backend.name());
+        assert!(
+            report.requests_served > 0,
+            "{} served no traffic",
+            backend.name()
+        );
         assert!(
             report.mean_auc.is_some(),
             "{} reported no accuracy",
@@ -160,7 +176,11 @@ fn one_scenario_runs_unmodified_on_all_three_backends() {
         );
         // The shared metric-name contract: every backend's report answers the same
         // telemetry names, whether scraped from a live registry or synthesized.
-        for name in ["serve_requests_total", "update_rounds_total", "publications_total"] {
+        for name in [
+            "serve_requests_total",
+            "update_rounds_total",
+            "publications_total",
+        ] {
             assert!(
                 report.telemetry.iter().any(|(n, _)| n == name),
                 "{} missing telemetry row {name}: {:?}",
@@ -184,7 +204,11 @@ fn realtime_backend_runs_every_strategy_of_the_taxonomy() {
             .unwrap_or_else(|e| panic!("{}: {e}", strategy.name()));
         assert_eq!(report.backend, BackendKind::Realtime);
         assert_eq!(report.strategy, strategy.name());
-        assert!(report.requests_served > 0, "{}: no traffic served", strategy.name());
+        assert!(
+            report.requests_served > 0,
+            "{}: no traffic served",
+            strategy.name()
+        );
         assert!(report.qps.unwrap() > 0.0);
         assert!(report.p99_latency_ms.is_some());
         assert!(

@@ -24,7 +24,10 @@ fn node_and_workload() -> (ServingNode, SyntheticWorkload) {
         seed: 5,
         ..WorkloadConfig::default()
     });
-    (ServingNode::new(model, LiveUpdateConfig::default()), workload)
+    (
+        ServingNode::new(model, LiveUpdateConfig::default()),
+        workload,
+    )
 }
 
 #[test]
@@ -44,7 +47,11 @@ fn serving_loop_keeps_memory_small_and_marks_hot_lookups() {
     let report = node.serve_batch(30.0, &batch);
     assert!(report.lora_corrected_lookups > 0);
     // ...while LoRA memory stays a small fraction of the base tables.
-    assert!(node.lora_memory_fraction() < 0.30, "fraction {}", node.lora_memory_fraction());
+    assert!(
+        node.lora_memory_fraction() < 0.30,
+        "fraction {}",
+        node.lora_memory_fraction()
+    );
     assert!(node.current_ranks().iter().all(|&r| (1..=64).contains(&r)));
 }
 
@@ -66,7 +73,10 @@ fn full_sync_bounds_drift_and_resets_adapters() {
     node.full_sync(fresh);
     assert!(node.loras().iter().all(|l| l.active_rows() == 0));
     let report = node.serve_batch(2.0, &workload.batch_at(2.0, 64));
-    assert_eq!(report.lora_corrected_lookups, 0, "nothing is hot right after a full sync");
+    assert_eq!(
+        report.lora_corrected_lookups, 0,
+        "nothing is hot right after a full sync"
+    );
 }
 
 #[test]
@@ -85,9 +95,18 @@ fn isolation_ablation_reproduces_figure16_ordering() {
     let only = p99(IsolationMode::InferenceOnly);
     let naive = p99(IsolationMode::NaiveColocation);
     let reuse = p99(IsolationMode::SchedulingAndReuse);
-    assert!(naive > only * 1.3, "naive co-location should inflate P99: {only} -> {naive}");
-    assert!(reuse < naive, "isolation should reduce P99: {naive} -> {reuse}");
-    assert!(reuse < only * 1.25, "full isolation should be near the inference-only bound");
+    assert!(
+        naive > only * 1.3,
+        "naive co-location should inflate P99: {only} -> {naive}"
+    );
+    assert!(
+        reuse < naive,
+        "isolation should reduce P99: {naive} -> {reuse}"
+    );
+    assert!(
+        reuse < only * 1.25,
+        "full isolation should be near the inference-only bound"
+    );
 }
 
 #[test]

@@ -24,12 +24,18 @@ fn umbrella_reexports_resolve() {
 #[test]
 fn default_config_validates() {
     let config = LiveUpdateConfig::default();
-    assert!(config.validate().is_ok(), "default LiveUpdateConfig must validate");
+    assert!(
+        config.validate().is_ok(),
+        "default LiveUpdateConfig must validate"
+    );
     assert!(config.variance_threshold > 0.0 && config.variance_threshold <= 1.0);
 }
 
 #[test]
 fn fixed_rank_config_validates() {
     let config = LiveUpdateConfig::with_fixed_rank(4);
-    assert!(config.validate().is_ok(), "fixed-rank LiveUpdateConfig must validate");
+    assert!(
+        config.validate().is_ok(),
+        "fixed-rank LiveUpdateConfig must validate"
+    );
 }

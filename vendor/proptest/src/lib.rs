@@ -158,14 +158,23 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { min: n, max_exclusive: n + 1 }
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
         }
     }
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
-            assert!(r.start < r.end, "vec strategy requires a non-empty length range");
-            SizeRange { min: r.start, max_exclusive: r.end }
+            assert!(
+                r.start < r.end,
+                "vec strategy requires a non-empty length range"
+            );
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
         }
     }
 
@@ -176,7 +185,10 @@ pub mod collection {
     }
 
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -203,7 +215,11 @@ pub fn seed_for(test_name: &str) -> u64 {
 
 /// Runs `cases` iterations of one property, drawing each argument from its strategy.
 /// Public because the [`proptest!`] expansion calls it; not part of the upstream API.
-pub fn run_cases<F: FnMut(&mut StdRng, u32)>(config: &ProptestConfig, test_name: &str, mut case: F) {
+pub fn run_cases<F: FnMut(&mut StdRng, u32)>(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut case: F,
+) {
     let mut rng = StdRng::seed_from_u64(seed_for(test_name));
     for index in 0..config.cases {
         // Give every case an independent sub-stream so one case's draw count cannot

@@ -204,7 +204,10 @@ mod tests {
             }
         }
         // Roughly balanced halves.
-        assert!((low as f64 - high as f64).abs() < 600.0, "low={low} high={high}");
+        assert!(
+            (low as f64 - high as f64).abs() < 600.0,
+            "low={low} high={high}"
+        );
     }
 
     #[test]
@@ -214,7 +217,10 @@ mod tests {
         for _ in 0..1_000 {
             seen[rng.gen_range(0..10usize)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all of 0..10 should appear in 1000 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all of 0..10 should appear in 1000 draws"
+        );
         for _ in 0..1_000 {
             let v = rng.gen_range(1..=3usize);
             assert!((1..=3).contains(&v));
