@@ -40,6 +40,10 @@ pub const HOT_FUNCTIONS: &[(&str, &str)] = &[
     ("crates/obs/src/registry.rs", "add"),
     ("crates/obs/src/registry.rs", "set"),
     ("crates/obs/src/trace.rs", "push"),
+    // The tracing hot path: a stage stamp is one relaxed store, a span publish is
+    // the fixed-slot seqlock write (PR 10).
+    ("crates/obs/src/span.rs", "stamp"),
+    ("crates/obs/src/span.rs", "push"),
     // The event-loop readiness dispatch: per-wakeup work allocates nothing (PR 7).
     ("crates/net/src/server.rs", "run"),
     ("crates/net/src/server.rs", "conn_ready"),

@@ -21,6 +21,12 @@
 //! name twice. Templated names are compared with `<…>`/`{…}` placeholders normalized
 //! to a `*` wildcard.
 //!
+//! The tracing stage histograms get a fourth view: the `STAGE_HISTOGRAMS` array in
+//! `crates/obs/src/span.rs` is the authoritative list of per-stage metric names
+//! (the scenario backends synthesize rows from it, the runtime registers from it).
+//! The pass keeps it and the contract's `stage_`-prefixed rows in **bidirectional**
+//! sync — an entry in either place missing from the other is a finding.
+//!
 //! The `crates/obs` sources are exempt from call-site collection: that crate *defines*
 //! the registry, and its unit tests register throwaway names.
 
@@ -35,6 +41,9 @@ pub const CONTRACT_FILE: &str = "crates/runtime/src/telemetry.rs";
 
 /// Path prefix exempt from call-site collection (the registry implementation itself).
 const EXEMPT_PREFIX: &str = "crates/obs/";
+
+/// Where the authoritative tracing stage-histogram names live.
+pub const STAGE_FILE: &str = "crates/obs/src/span.rs";
 
 pub(crate) fn run(ws: &Workspace, report: &mut Report) {
     // --- collect the two contract tables ---
@@ -129,7 +138,67 @@ pub(crate) fn run(ws: &Workspace, report: &mut Report) {
         }
     }
 
+    // --- stage-name sync: `STAGE_HISTOGRAMS` ⟷ the contract's `stage_` rows ---
+    if let Some(span_file) = ws.files.iter().find(|f| f.path_ends_with(STAGE_FILE)) {
+        let stages = stage_histogram_names(span_file);
+        for (name, line) in &stages {
+            if !contract.iter().any(|c| c == name) {
+                report.findings.push(Finding {
+                    pass: PASS,
+                    path: span_file.path.clone(),
+                    line: *line,
+                    message: format!(
+                        "stage histogram `{name}` is in STAGE_HISTOGRAMS but absent \
+                         from the metric contract — document it in the telemetry-doc \
+                         and README tables"
+                    ),
+                });
+            }
+        }
+        for name in contract.iter().filter(|n| n.starts_with("stage_")) {
+            if !stages.iter().any(|(s, _)| s == name) {
+                report.findings.push(Finding {
+                    pass: PASS,
+                    path: CONTRACT_FILE.to_string(),
+                    line: telemetry_names
+                        .iter()
+                        .chain(readme_names.iter())
+                        .find(|(n, _)| n == name)
+                        .map_or(1, |(_, l)| *l),
+                    message: format!(
+                        "contract stage metric `{name}` is not in STAGE_HISTOGRAMS \
+                         (`{STAGE_FILE}`) — the stage families must stay in \
+                         bidirectional sync"
+                    ),
+                });
+            }
+        }
+    }
+
     report.metric_contract = contract;
+}
+
+/// The string literals of the `STAGE_HISTOGRAMS` array declaration (up to the
+/// terminating `;`), with their lines.
+fn stage_histogram_names(file: &SourceFile) -> Vec<(String, u32)> {
+    let toks: Vec<&crate::lexer::Token> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+    let Some(decl) = toks.iter().position(|t| t.is_ident("STAGE_HISTOGRAMS")) else {
+        return Vec::new();
+    };
+    // Skip the type annotation (`[&str; N]` carries its own `;`) to the initializer.
+    let Some(eq) = toks[decl..].iter().position(|t| t.is_punct('=')) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for t in &toks[decl + eq..] {
+        if t.is_punct(';') {
+            break;
+        }
+        if t.kind == TokenKind::StrLit {
+            out.push((t.text.clone(), t.line));
+        }
+    }
+    out
 }
 
 fn check_duplicates(names: &[(String, u32)], where_: &str, report: &mut Report) {
@@ -173,6 +242,7 @@ fn table_names_from_doc_comments(file: &SourceFile) -> Vec<(String, u32)> {
 fn observability_table_names(readme: &str) -> Vec<(String, u32)> {
     let mut out = Vec::new();
     let mut in_section = false;
+    let mut in_table = false;
     for (i, line) in readme.lines().enumerate() {
         let lineno = i as u32 + 1;
         if line.contains("**Observability**") {
@@ -180,11 +250,17 @@ fn observability_table_names(readme: &str) -> Vec<(String, u32)> {
             continue;
         }
         if in_section {
-            // The section ends at the next numbered architecture item or heading.
+            // The contract is the *first* table in the section — later tables (the
+            // trace stage-stamp walkthrough) are illustrative, not metric names. The
+            // scan also ends at the next numbered architecture item or heading.
             if line.starts_with("## ") || is_next_numbered_item(line) {
                 break;
             }
+            if in_table && !line.trim_start().starts_with('|') {
+                break;
+            }
             if let Some(names) = first_cell_names(line.trim()) {
+                in_table = true;
                 for n in names {
                     out.push((n, lineno));
                 }

@@ -12,7 +12,10 @@
 //! * every tag is used in at least one **decode arm** (`TAG_X =>`) and exactly one —
 //!   a duplicate arm would shadow;
 //! * every tag has at least one **encode-side use** (any non-declaration,
-//!   non-match-arm occurrence).
+//!   non-match-arm occurrence);
+//! * every reply tag is **paired**: `TAG_X_REPLY` requires `TAG_X` (or
+//!   `TAG_X_REQUEST`) to exist — a reply no peer can solicit is dead protocol
+//!   surface, and usually means the request half was renamed without its reply.
 
 use crate::lexer::TokenKind;
 use crate::{Finding, Report, Workspace};
@@ -101,6 +104,25 @@ fn audit_file(file: &crate::SourceFile, report: &mut Report) {
                 ),
             });
             break;
+        }
+    }
+
+    // Reply pairing: a `TAG_X_REPLY` without its soliciting request tag.
+    for (name, _value, line, _) in &tags {
+        let Some(stem) = name.strip_suffix("_REPLY") else {
+            continue;
+        };
+        let request = format!("{stem}_REQUEST");
+        if !tags.iter().any(|(n, ..)| n == stem || *n == request) {
+            report.findings.push(Finding {
+                pass: PASS,
+                path: file.path.clone(),
+                line: *line,
+                message: format!(
+                    "reply tag `{name}` has no matching request tag (`{stem}` or \
+                     `{request}`): no peer can solicit this reply"
+                ),
+            });
         }
     }
 

@@ -351,6 +351,70 @@ fn dead_contract_row_fails() {
     assert!(got[0].contains("no registration call site"), "{got:?}");
 }
 
+// ------------------------------------------- metric-contract: stage-name sync
+
+/// Contract + README + call sites + span file, all agreeing on one stage family.
+const STAGE_CONTRACT: &str = "//! | metric | kind | meaning |\n\
+                              //! |---|---|---|\n\
+                              //! | `foo_total` | counter | things |\n\
+                              //! | `stage_x_us` | histogram | traced segment |\n";
+
+const STAGE_README: &str = "# Repo\n\n\
+    8. **Observability** — the contract:\n\n\
+       | metric | kind | meaning |\n\
+       |---|---|---|\n\
+       | `foo_total` | counter | things |\n\
+       | `stage_x_us` | histogram | traced segment |\n\n\
+    9. **Next item** — ends the section.\n";
+
+const STAGE_CALL_SITES: &str = "fn wire(reg: &Registry) {\n\
+    reg.counter(\"foo_total\");\n\
+    reg.histogram(\"stage_x_us\");\n\
+}\n";
+
+const SPAN_STAGES: &str = "pub const STAGE_HISTOGRAMS: [&str; 1] = [\"stage_x_us\"];\n";
+
+#[test]
+fn stage_names_in_sync_pass() {
+    let got = findings(
+        &[
+            ("crates/runtime/src/telemetry.rs", STAGE_CONTRACT),
+            ("crates/runtime/src/lib.rs", STAGE_CALL_SITES),
+            ("crates/obs/src/span.rs", SPAN_STAGES),
+        ],
+        Some(STAGE_README),
+        "metric-contract",
+    );
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn stage_name_drift_fails_both_directions() {
+    // The span array says `stage_y_us`, the contract says `stage_x_us`: one finding
+    // for the undocumented array entry, one for the orphaned contract row.
+    let drifted = SPAN_STAGES.replace("stage_x_us", "stage_y_us");
+    let got = findings(
+        &[
+            ("crates/runtime/src/telemetry.rs", STAGE_CONTRACT),
+            ("crates/runtime/src/lib.rs", STAGE_CALL_SITES),
+            ("crates/obs/src/span.rs", &drifted),
+        ],
+        Some(STAGE_README),
+        "metric-contract",
+    );
+    assert_eq!(got.len(), 2, "{got:?}");
+    assert!(
+        got.iter()
+            .any(|m| m.contains("stage_y_us") && m.contains("absent from the metric contract")),
+        "{got:?}"
+    );
+    assert!(
+        got.iter()
+            .any(|m| m.contains("stage_x_us") && m.contains("not in STAGE_HISTOGRAMS")),
+        "{got:?}"
+    );
+}
+
 // ------------------------------------------------------------------- wire-tags
 
 const CLEAN_WIRE: &str = "pub const TAG_A: u8 = 1;\n\
@@ -396,4 +460,37 @@ fn tag_never_encoded_fails() {
     let got = findings(&[("crates/net/src/wire.rs", &bad)], None, "wire-tags");
     assert_eq!(got.len(), 1, "{got:?}");
     assert!(got[0].contains("never encoded"), "{got:?}");
+}
+
+#[test]
+fn paired_reply_tags_pass() {
+    // Both pairing spellings are legal: `TAG_X` + `TAG_X_REPLY` and
+    // `TAG_Y_REQUEST` + `TAG_Y_REPLY`.
+    let src = "pub const TAG_X: u8 = 1;\n\
+        pub const TAG_X_REPLY: u8 = 2;\n\
+        pub const TAG_Y_REQUEST: u8 = 3;\n\
+        pub const TAG_Y_REPLY: u8 = 4;\n\
+        fn encode(buf: &mut Vec<u8>) {\n\
+            buf.push(TAG_X); buf.push(TAG_X_REPLY);\n\
+            buf.push(TAG_Y_REQUEST); buf.push(TAG_Y_REPLY);\n\
+        }\n\
+        fn decode(t: u8) {\n\
+            match t { TAG_X => {} TAG_X_REPLY => {} TAG_Y_REQUEST => {} TAG_Y_REPLY => {} _ => {} }\n\
+        }\n";
+    let got = findings(&[("crates/net/src/wire.rs", src)], None, "wire-tags");
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn reply_tag_without_request_fails() {
+    let src = "pub const TAG_A: u8 = 1;\n\
+        pub const TAG_ORPHAN_REPLY: u8 = 2;\n\
+        fn encode(buf: &mut Vec<u8>) { buf.push(TAG_A); buf.push(TAG_ORPHAN_REPLY); }\n\
+        fn decode(t: u8) { match t { TAG_A => {} TAG_ORPHAN_REPLY => {} _ => {} } }\n";
+    let got = findings(&[("crates/net/src/wire.rs", src)], None, "wire-tags");
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert!(
+        got[0].contains("TAG_ORPHAN_REPLY") && got[0].contains("no matching request tag"),
+        "{got:?}"
+    );
 }

@@ -66,6 +66,8 @@ fn run_point(server: &ReplicaServer, n_conn: usize, rate: f64, seconds: f64) -> 
                 &Frame::InferRequest {
                     id: u64::MAX - conn as u64,
                     time_minutes: 0.0,
+                    trace_id: 0,
+                    parent_span_id: 0,
                     sample,
                 },
             )
@@ -108,6 +110,8 @@ fn run_point(server: &ReplicaServer, n_conn: usize, rate: f64, seconds: f64) -> 
                 &Frame::InferRequest {
                     id: i as u64,
                     time_minutes: 0.0,
+                    trace_id: 0,
+                    parent_span_id: 0,
                     sample,
                 },
             )

@@ -61,6 +61,7 @@ fn run_arm(update: UpdateMode, workers: usize, qps: f64, seconds: f64) -> Runtim
             routing: liveupdate_workload::shard::ShardPolicy::RoundRobin,
             update,
             telemetry: true,
+            trace_sample_rate: 0.0,
         },
     );
     let loadgen = LoadGenConfig {

@@ -145,8 +145,10 @@ impl ExecutionBackend for DistributedBackend {
         } else {
             None
         };
-        // Replica 0's registry, scraped over `Frame::Stats` while the server was
-        // still serving — the wire-measured analogue of the realtime scrape.
+        // Cluster-merged rows from scraping *every* replica over `Frame::Stats` +
+        // `Frame::TraceDump` (histogram buckets summed before the percentile walk,
+        // counters summed, gauges maxed) — the wire-measured analogue of the
+        // realtime scrape.
         report.telemetry = run.telemetry;
         Ok(report)
     }

@@ -31,13 +31,17 @@ use liveupdate::strategy::StrategyKind;
 use liveupdate::sync::{MergeAssignment, SparseLoraSync};
 use liveupdate_dlrm::model::DlrmModel;
 use liveupdate_dlrm::sample::{MiniBatch, Sample};
+use liveupdate_obs::span::{SpanRecord, SpanRing, TraceContext, TraceSampler, STAGE_ENQUEUED};
+use liveupdate_obs::HistogramSnapshot;
 use liveupdate_runtime::config::RuntimeConfig;
 use liveupdate_runtime::policy::policy_for_strategy;
 use liveupdate_runtime::report::RuntimeReport;
+use liveupdate_runtime::telemetry::PUBLICATION_TRACE_FLAG;
 use liveupdate_sim::latency::LatencyRecorder;
 use liveupdate_workload::arrival::{ArrivalModel, RealTimePacer};
 use liveupdate_workload::shard::{ShardPolicy, StreamSharder};
 use liveupdate_workload::synthetic::SyntheticWorkload;
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -118,11 +122,36 @@ pub struct DistributedReport {
     pub param_sync_bytes: u64,
     /// Mean of the received predictions.
     pub mean_prediction: f64,
-    /// Telemetry rows scraped from replica 0 over a live `Stats` round-trip just
-    /// before shutdown (empty when the replicas run with telemetry off).
+    /// Cluster-merged telemetry rows from live `Stats`/`TraceDump` round-trips against
+    /// *every* replica just before shutdown: counters summed, gauges maxed, histogram
+    /// percentiles recomputed from the merged raw buckets (so the cluster P99 is the
+    /// true P99 over all replicas, not an average of per-replica P99s). Empty when the
+    /// replicas run with telemetry off.
     pub telemetry: Vec<(String, f64)>,
+    /// Each replica's own telemetry rows from the same scrape, index-aligned with
+    /// `per_replica`.
+    pub per_replica_telemetry: Vec<Vec<(String, f64)>>,
+    /// Driver-side request spans (stages `enqueued` = frame sent, `reply_flushed` =
+    /// reply received; the middle stages live on the replica).
+    pub driver_spans: Vec<SpanRecord>,
+    /// Per-replica spans drained over `Frame::TraceDump`, index-aligned with
+    /// `per_replica`.
+    pub replica_spans: Vec<Vec<SpanRecord>>,
+    /// End-to-end cross-node traces: driver-side and replica-side spans joined by
+    /// trace id.
+    pub traces: Vec<CrossNodeTrace>,
     /// Per-replica runtime reports.
     pub per_replica: Vec<RuntimeReport>,
+}
+
+impl DistributedReport {
+    /// The cluster-level per-stage latency breakdown, read from the merged telemetry
+    /// rows (same row family every backend reports; see
+    /// [`liveupdate_runtime::report::stage_breakdown`]).
+    #[must_use]
+    pub fn breakdown(&self) -> Vec<liveupdate_runtime::report::StageLatency> {
+        liveupdate_runtime::report::stage_breakdown(&self.telemetry)
+    }
 }
 
 /// Scrape a live replica's telemetry over one dedicated connection: `Stats` out,
@@ -150,20 +179,194 @@ pub fn scrape_replica(addr: SocketAddr) -> std::io::Result<Vec<(String, f64)>> {
     }
 }
 
-/// Tally of the data plane's inbound frames (all connections merged).
+/// One replica's share of a cluster scrape.
+#[derive(Debug, Default)]
+pub struct ReplicaScrape {
+    /// Flattened telemetry rows (`Frame::Stats`).
+    pub metrics: Vec<(String, f64)>,
+    /// Completed spans drained from the replica (`Frame::TraceDump`).
+    pub spans: Vec<SpanRecord>,
+    /// Raw histogram contents, reconstructed into mergeable snapshots.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// A whole cluster's telemetry: every replica scraped, plus the merged view.
+#[derive(Debug, Default)]
+pub struct ClusterScrape {
+    /// Each replica's scrape, index-aligned with the address list.
+    pub per_replica: Vec<ReplicaScrape>,
+    /// Cluster-level rows: counters summed, gauges maxed, histogram P50/P99/count
+    /// recomputed from the bucket-wise merge of every replica's raw histogram.
+    pub merged: Vec<(String, f64)>,
+}
+
+/// A driver-side and replica-side span joined by trace id: one request's end-to-end
+/// story across the wire.
+#[derive(Debug, Clone)]
+pub struct CrossNodeTrace {
+    /// The propagated trace id both spans carry.
+    pub trace_id: u64,
+    /// The driver's view (`enqueued` = frame sent, `reply_flushed` = reply received).
+    pub driver_span: SpanRecord,
+    /// Index of the replica that served the request.
+    pub replica: usize,
+    /// The replica's view (queue wait, batch wait, serve, reply flush).
+    pub replica_span: SpanRecord,
+}
+
+/// Scrape *all* replicas of a live cluster — `Stats` plus `TraceDump` round-trips on a
+/// dedicated connection per replica — and merge the results into cluster-level rows.
+/// The merged histogram percentiles are exact: raw buckets are summed across replicas
+/// before the percentile walk, never averaged after it.
+///
+/// # Errors
+///
+/// Socket failures, or an unexpected reply frame (`InvalidData`).
+pub fn scrape_cluster(addrs: &[SocketAddr]) -> std::io::Result<ClusterScrape> {
+    let mut per_replica = Vec::with_capacity(addrs.len());
+    for &addr in addrs {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut conn = ControlConn { stream, bytes: 0 };
+        let invalid =
+            |e: WireError| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string());
+        let stats = conn.call(&Frame::Stats).map_err(invalid)?;
+        let dump = conn.call(&Frame::TraceDump).map_err(invalid)?;
+        let _ = write_frame(&mut conn.stream, &Frame::Bye);
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        let (Frame::StatsReply { metrics }, Frame::TraceDumpReply { spans, histograms }) =
+            (stats, dump)
+        else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "expected StatsReply + TraceDumpReply",
+            ));
+        };
+        per_replica.push(ReplicaScrape {
+            metrics,
+            spans,
+            histograms: histograms
+                .into_iter()
+                .map(|(name, buckets)| (name, HistogramSnapshot::from_sparse(&buckets)))
+                .collect(),
+        });
+    }
+    let merged = merge_cluster_rows(&per_replica);
+    Ok(ClusterScrape {
+        per_replica,
+        merged,
+    })
+}
+
+/// Merge per-replica telemetry rows into cluster-level rows. `_total`/`_count`
+/// suffixed rows (counters, histogram populations) sum; `_p50`/`_p99` rows are
+/// recomputed from the bucket-wise merged histograms when the raw buckets are
+/// available (falling back to max otherwise); everything else (gauges) takes the max.
+fn merge_cluster_rows(per_replica: &[ReplicaScrape]) -> Vec<(String, f64)> {
+    // Bucket-merge every histogram family first.
+    let mut hists: HashMap<&str, HistogramSnapshot> = HashMap::new();
+    for scrape in per_replica {
+        for (name, snapshot) in &scrape.histograms {
+            hists
+                .entry(name.as_str())
+                .and_modify(|merged| merged.merge(snapshot))
+                .or_insert_with(|| snapshot.clone());
+        }
+    }
+    let mut merged: Vec<(String, f64)> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    for scrape in per_replica {
+        for (name, value) in &scrape.metrics {
+            if let Some(&i) = index.get(name) {
+                let slot = &mut merged[i].1;
+                if name.ends_with("_total") || name.ends_with("_count") {
+                    *slot += value;
+                } else {
+                    *slot = slot.max(*value);
+                }
+            } else {
+                index.insert(name.clone(), merged.len());
+                merged.push((name.clone(), *value));
+            }
+        }
+    }
+    for (name, value) in &mut merged {
+        let (base, p) = if let Some(base) = name.strip_suffix("_p50") {
+            (base, 0.50)
+        } else if let Some(base) = name.strip_suffix("_p99") {
+            (base, 0.99)
+        } else {
+            continue;
+        };
+        if let Some(percentile) = hists.get(base).and_then(|h| h.percentile(p)) {
+            *value = percentile;
+        }
+    }
+    merged.sort_by(|a, b| a.0.cmp(&b.0));
+    merged
+}
+
+/// Join driver-side spans with per-replica spans by trace id. Publication spans (top
+/// bit set) and unmatched spans are left out; a replica span joins only when its
+/// parent span id is the driver span's id, so stale ring leftovers cannot mispair.
+#[must_use]
+pub fn join_traces(
+    driver_spans: &[SpanRecord],
+    replica_spans: &[Vec<SpanRecord>],
+) -> Vec<CrossNodeTrace> {
+    let by_trace: HashMap<u64, &SpanRecord> = driver_spans
+        .iter()
+        .filter(|span| span.trace_id & PUBLICATION_TRACE_FLAG == 0)
+        .map(|span| (span.trace_id, span))
+        .collect();
+    let mut joined = Vec::new();
+    for (replica, spans) in replica_spans.iter().enumerate() {
+        for span in spans {
+            if let Some(&driver_span) = by_trace.get(&span.trace_id) {
+                if span.parent_span_id == driver_span.span_id {
+                    joined.push(CrossNodeTrace {
+                        trace_id: span.trace_id,
+                        driver_span: *driver_span,
+                        replica,
+                        replica_span: *span,
+                    });
+                }
+            }
+        }
+    }
+    joined.sort_by_key(|t| t.trace_id);
+    joined
+}
+
+/// Tally of the data plane's inbound frames (all connections merged), plus the
+/// driver-side spans still waiting for their reply.
 #[derive(Debug, Default)]
 struct ReaderTally {
     replies: u64,
     shed: u64,
     prediction_sum: f64,
+    /// Driver spans of in-flight traced requests, keyed by trace id. A reply closes
+    /// and publishes the span; a shed request's span is simply dropped unfinished
+    /// (`InferShed` carries no trace id, and a shed never reached the stages anyway).
+    inflight: HashMap<u64, TraceContext>,
 }
 
 impl ReaderTally {
     fn record(&mut self, frame: &Frame) {
         match frame {
-            Frame::InferReply { prediction, .. } => {
+            Frame::InferReply {
+                prediction,
+                trace_id,
+                ..
+            } => {
                 self.replies += 1;
                 self.prediction_sum += prediction;
+                if *trace_id != 0 {
+                    if let Some(trace) = self.inflight.remove(trace_id) {
+                        trace.stamp(liveupdate_obs::span::STAGE_REPLY_FLUSHED);
+                        trace.finish();
+                    }
+                }
             }
             Frame::InferShed { .. } => self.shed += 1,
             _ => {}
@@ -239,6 +442,13 @@ pub fn run_distributed(
     let mut data = MultiConnClient::connect_each(&addrs)?;
     let mut tally = ReaderTally::default();
 
+    // Driver-side tracing: the same deterministic sampler the replicas run, so both
+    // ends keep exactly the same trace ids; the driver's ring holds its half of each
+    // cross-node trace (send → reply receipt).
+    let sampler = TraceSampler::new(cfg.runtime.trace_sample_rate);
+    let driver_ring = (cfg.runtime.telemetry && sampler.rate() > 0.0)
+        .then(|| Arc::new(SpanRing::new(liveupdate_runtime::telemetry::SPAN_CAPACITY)));
+
     // --- control plane ---------------------------------------------------------------
     let stop = Arc::new(AtomicBool::new(false));
     let (traffic_tx, traffic_rx) = channel::<Sample>();
@@ -299,11 +509,27 @@ pub fn run_distributed(
         if let Some(tx) = &traffic_tx {
             let _ = tx.send(sample.clone());
         }
+        // Trace ids are the correlation ids shifted off zero (0 = untraced on the
+        // wire). The span opens here and closes when the reply frame arrives.
+        let trace_id = next_id + 1;
+        let trace = driver_ring
+            .as_ref()
+            .filter(|_| sampler.decide(trace_id))
+            .map(|ring| ring.context(trace_id, 0));
+        let (wire_trace_id, parent_span_id) = trace
+            .as_ref()
+            .map_or((0, 0), |trace| (trace_id, trace.span_id));
         let frame = Frame::InferRequest {
             id: next_id,
             time_minutes: sim_minutes,
+            trace_id: wire_trace_id,
+            parent_span_id,
             sample,
         };
+        if let Some(trace) = trace {
+            trace.stamp(STAGE_ENQUEUED);
+            tally.inflight.insert(trace_id, trace);
+        }
         next_id += 1;
         offered += 1;
         match data.send(replica, &frame) {
@@ -332,9 +558,17 @@ pub fn run_distributed(
     let sync = sync_thread.join().expect("sync thread panicked");
     let wall_seconds = started.elapsed().as_secs_f64();
 
-    // Scrape replica 0 while it is still serving: the report's telemetry rows come
-    // from a real `Stats` round-trip against a live server, not from the post-mortem.
-    let telemetry = scrape_replica(addrs[0]).unwrap_or_default();
+    // Scrape the whole cluster while it is still serving: the report's telemetry rows
+    // come from real `Stats`/`TraceDump` round-trips against every live server — per
+    // replica and bucket-merged — not from the post-mortem.
+    let cluster = scrape_cluster(&addrs).unwrap_or_default();
+    let driver_spans = driver_ring.as_ref().map(|r| r.drain()).unwrap_or_default();
+    let replica_spans: Vec<Vec<SpanRecord>> = cluster
+        .per_replica
+        .iter()
+        .map(|scrape| scrape.spans.clone())
+        .collect();
+    let traces = join_traces(&driver_spans, &replica_spans);
 
     let mut reports = Vec::with_capacity(cfg.replicas);
     let mut final_nodes = Vec::with_capacity(cfg.replicas);
@@ -358,6 +592,7 @@ pub fn run_distributed(
         replies,
         shed,
         prediction_sum,
+        ..
     } = tally;
     let infer_bytes = infer_bytes_out + infer_bytes_in;
 
@@ -389,7 +624,15 @@ pub fn run_distributed(
         } else {
             0.0
         },
-        telemetry,
+        telemetry: cluster.merged,
+        per_replica_telemetry: cluster
+            .per_replica
+            .into_iter()
+            .map(|scrape| scrape.metrics)
+            .collect(),
+        driver_spans,
+        replica_spans,
+        traces,
         per_replica: reports,
     };
     Ok((report, final_nodes))

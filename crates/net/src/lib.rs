@@ -66,6 +66,9 @@ pub mod wire;
 
 pub use backend::{all_backends_with_distributed, DistributedBackend};
 pub use client::MultiConnClient;
-pub use driver::{run_distributed, scrape_replica, DistributedConfig, DistributedReport};
+pub use driver::{
+    join_traces, run_distributed, scrape_cluster, scrape_replica, ClusterScrape, CrossNodeTrace,
+    DistributedConfig, DistributedReport, ReplicaScrape,
+};
 pub use server::ReplicaServer;
 pub use wire::{Frame, WireError};

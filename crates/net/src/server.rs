@@ -415,6 +415,8 @@ enum Inbound {
     Infer {
         id: u64,
         time_minutes: f64,
+        trace_id: u64,
+        parent_span_id: u64,
         sample: Sample,
     },
     /// Execute against the authoritative node on the updater thread and reply with the
@@ -426,6 +428,9 @@ enum Inbound {
     /// Scrape the runtime's telemetry registry; reply `StatsReply` inline (no updater
     /// round-trip — the registry is lock-free on the serving side).
     Stats,
+    /// Drain completed spans and raw histogram buckets; reply `TraceDumpReply` inline
+    /// (the span ring and the histograms are lock-free like the registry).
+    TraceDump,
     /// Graceful close; stop reading, flush what is owed, then close.
     Bye,
     /// A reply-direction frame a replica never receives; nack and close.
@@ -445,6 +450,20 @@ fn stats_reply(runtime: &ServingRuntime, open: usize, backlog: usize) -> Frame {
     }
     Frame::StatsReply {
         metrics: runtime.scrape(),
+    }
+}
+
+/// Drain the replica's completed spans and snapshot its histograms in mergeable
+/// bucket form. Both engines answer `TraceDump` through here; with telemetry off
+/// both vectors are empty, which a cluster scraper treats as "nothing to merge".
+fn trace_dump_reply(runtime: &ServingRuntime) -> Frame {
+    Frame::TraceDumpReply {
+        spans: runtime.drain_spans(),
+        histograms: runtime
+            .scrape_histograms()
+            .into_iter()
+            .map(|(name, snapshot)| (name, snapshot.nonzero_buckets()))
+            .collect(),
     }
 }
 
@@ -472,10 +491,14 @@ fn classify(frame: Frame) -> Inbound {
         Frame::InferRequest {
             id,
             time_minutes,
+            trace_id,
+            parent_span_id,
             sample,
         } => Inbound::Infer {
             id,
             time_minutes,
+            trace_id,
+            parent_span_id,
             sample,
         },
         Frame::PullSupport => Inbound::Control {
@@ -594,6 +617,7 @@ fn classify(frame: Frame) -> Inbound {
             }),
         },
         Frame::Stats => Inbound::Stats,
+        Frame::TraceDump => Inbound::TraceDump,
         Frame::Bye => Inbound::Bye,
         // A replica never receives reply-direction frames; reject and close.
         Frame::InferReply { .. }
@@ -603,7 +627,8 @@ fn classify(frame: Frame) -> Inbound {
         | Frame::BFactor { .. }
         | Frame::Ack
         | Frame::Nack { .. }
-        | Frame::StatsReply { .. } => Inbound::BadDirection,
+        | Frame::StatsReply { .. }
+        | Frame::TraceDumpReply { .. } => Inbound::BadDirection,
     }
 }
 
@@ -950,6 +975,8 @@ fn dispatch_event(conn: &mut Conn, frame: Frame, ctx: &LoopCtx) {
         Inbound::Infer {
             id,
             time_minutes,
+            trace_id,
+            parent_span_id,
             sample,
         } => {
             // The wire codec guarantees well-formed bytes, not well-formed *geometry*:
@@ -965,17 +992,35 @@ fn dispatch_event(conn: &mut Conn, frame: Frame, ctx: &LoopCtx) {
                 );
                 return;
             }
+            // Continue the driver's trace under its id: the deterministic sampler
+            // reaches the same verdict on both sides, so a nonzero wire trace id is
+            // kept here exactly when the driver kept it.
+            let trace = ctx.runtime.trace_context(trace_id, parent_span_id);
+            let (reply_trace_id, span_id) = trace
+                .as_ref()
+                .map_or((0, 0), |trace| (trace.trace_id, trace.span_id));
             let reply_tx = ctx.reply_tx.clone();
             let waker = Arc::clone(&ctx.waker);
             let token = conn.token;
             let reply = ReplyTo::new(move |prediction| {
-                let _ = reply_tx.send((token, Frame::InferReply { id, prediction }));
+                let _ = reply_tx.send((
+                    token,
+                    Frame::InferReply {
+                        id,
+                        trace_id: reply_trace_id,
+                        span_id,
+                        prediction,
+                    },
+                ));
                 waker.wake();
             });
-            match ctx
-                .runtime
-                .submit_routed_with_reply(sample, time_minutes, Instant::now(), reply)
-            {
+            match ctx.runtime.submit_routed_with_reply_traced(
+                sample,
+                time_minutes,
+                Instant::now(),
+                reply,
+                trace,
+            ) {
                 SubmitOutcome::Accepted => {
                     conn.owed += 1;
                     if let Some(stats) = &ctx.stats {
@@ -1020,6 +1065,10 @@ fn dispatch_event(conn: &mut Conn, frame: Frame, ctx: &LoopCtx) {
             // updater and never blocks a worker.
             let open = ctx.open_connections.load(Ordering::Acquire);
             conn.enqueue(&stats_reply(&ctx.runtime, open, 0), &ctx.bytes);
+        }
+        Inbound::TraceDump => {
+            // Inline like Stats: drains the lock-free span ring, never blocks workers.
+            conn.enqueue(&trace_dump_reply(&ctx.runtime), &ctx.bytes);
         }
         Inbound::Bye => conn.draining = true,
         Inbound::BadDirection => {
@@ -1123,6 +1172,8 @@ fn dispatch_blocking(
         Inbound::Infer {
             id,
             time_minutes,
+            trace_id,
+            parent_span_id,
             sample,
         } => {
             if let Err(reason) = model_config.validate_sample(&sample) {
@@ -1132,11 +1183,28 @@ fn dispatch_blocking(
                     })
                     .is_ok();
             }
+            // Same trace continuation as the event loop: the deterministic sampler
+            // keeps a nonzero wire trace id exactly when the driver kept it.
+            let trace = runtime.trace_context(trace_id, parent_span_id);
+            let (reply_trace_id, span_id) = trace
+                .as_ref()
+                .map_or((0, 0), |trace| (trace.trace_id, trace.span_id));
             let reply_tx = out.clone();
             let reply = ReplyTo::new(move |prediction| {
-                let _ = reply_tx.send(Frame::InferReply { id, prediction });
+                let _ = reply_tx.send(Frame::InferReply {
+                    id,
+                    trace_id: reply_trace_id,
+                    span_id,
+                    prediction,
+                });
             });
-            match runtime.submit_routed_with_reply(sample, time_minutes, Instant::now(), reply) {
+            match runtime.submit_routed_with_reply_traced(
+                sample,
+                time_minutes,
+                Instant::now(),
+                reply,
+                trace,
+            ) {
                 SubmitOutcome::Accepted => {}
                 SubmitOutcome::Shed => {
                     let _ = out.send(Frame::InferShed { id });
@@ -1168,6 +1236,7 @@ fn dispatch_blocking(
             );
             out.send(reply).is_ok()
         }
+        Inbound::TraceDump => out.send(trace_dump_reply(runtime)).is_ok(),
         Inbound::Bye => false,
         Inbound::BadDirection => {
             let _ = out.send(Frame::Nack {

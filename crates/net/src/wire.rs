@@ -19,6 +19,7 @@
 //!   anything is allocated.
 
 use liveupdate_dlrm::sample::Sample;
+use liveupdate_obs::span::{SpanRecord, NUM_STAGES};
 use std::fmt;
 use std::io::{Read, Write};
 
@@ -26,6 +27,10 @@ use std::io::{Read, Write};
 /// full-model shipment of every scenario in the repo, small enough that a corrupt
 /// length prefix cannot OOM the process.
 pub const MAX_FRAME_BYTES: u32 = 256 * 1024 * 1024;
+
+/// One named histogram's raw contents on the wire: sparse `(bucket index, count)`
+/// pairs, mergeable across replicas (unlike pre-flattened percentiles).
+pub type SparseHistogram = (String, Vec<(u32, u64)>);
 
 /// Anything that can go wrong encoding, decoding, or transporting a frame.
 #[derive(Debug)]
@@ -104,6 +109,7 @@ pub struct EmbeddingRowUpdate {
 /// | `FullModel` | driver → replica | `Ack` | DeltaUpdate full-parameter shipment |
 /// | `Publish` | driver → replica | `Ack` | rematerialise + epoch-swap a fresh snapshot |
 /// | `Stats` | driver → replica | `StatsReply` | scrape the replica's live telemetry |
+/// | `TraceDump` | driver → replica | `TraceDumpReply` | drain the replica's span ring + raw histograms |
 /// | `Bye` | driver → replica | — | graceful connection close |
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -113,6 +119,12 @@ pub enum Frame {
         id: u64,
         /// Simulated stream time in minutes.
         time_minutes: f64,
+        /// Distributed-trace id, propagated from the driver; `0` = untraced (the
+        /// replica re-runs the deterministic sampler on nonzero ids, so both sides
+        /// agree without a flag byte).
+        trace_id: u64,
+        /// The driver-side span id, recorded as the replica span's parent.
+        parent_span_id: u64,
         /// The sample to score.
         sample: Sample,
     },
@@ -120,6 +132,11 @@ pub enum Frame {
     InferReply {
         /// Correlation id of the request.
         id: u64,
+        /// The request's trace id echoed back (`0` = untraced), so a pipelined
+        /// driver can close its span without a lookaside table.
+        trace_id: u64,
+        /// The replica-side span id serving this request (`0` = untraced).
+        span_id: u64,
         /// Predicted click probability.
         prediction: f64,
     },
@@ -195,6 +212,18 @@ pub enum Frame {
         /// The `(name, value)` metric rows.
         metrics: Vec<(String, f64)>,
     },
+    /// Drain the replica's completed request/publication spans and pull its raw
+    /// histogram buckets (for exact cluster-level percentile merging).
+    TraceDump,
+    /// The replica's side of the distributed traces.
+    TraceDumpReply {
+        /// Completed spans drained from the replica's span ring (each drained span is
+        /// delivered exactly once across successive dumps).
+        spans: Vec<SpanRecord>,
+        /// Raw log-linear histogram contents, one [`SparseHistogram`] per metric —
+        /// mergeable across replicas, unlike pre-flattened percentiles.
+        histograms: Vec<SparseHistogram>,
+    },
     /// Positive acknowledgement of the preceding push.
     Ack,
     /// Negative acknowledgement (the push was rejected; state unchanged).
@@ -226,6 +255,8 @@ const TAG_NACK: u8 = 16;
 const TAG_BYE: u8 = 17;
 const TAG_STATS: u8 = 18;
 const TAG_STATS_REPLY: u8 = 19;
+const TAG_TRACE_DUMP: u8 = 20;
+const TAG_TRACE_DUMP_REPLY: u8 = 21;
 
 // ---------------------------------------------------------------------------
 // Encoding
@@ -301,16 +332,27 @@ impl Frame {
             Frame::InferRequest {
                 id,
                 time_minutes,
+                trace_id,
+                parent_span_id,
                 sample,
             } => {
                 payload.push(TAG_INFER_REQUEST);
                 put_u64(&mut payload, *id);
                 put_f64(&mut payload, *time_minutes)?;
+                put_u64(&mut payload, *trace_id);
+                put_u64(&mut payload, *parent_span_id);
                 put_sample(&mut payload, sample)?;
             }
-            Frame::InferReply { id, prediction } => {
+            Frame::InferReply {
+                id,
+                trace_id,
+                span_id,
+                prediction,
+            } => {
                 payload.push(TAG_INFER_REPLY);
                 put_u64(&mut payload, *id);
+                put_u64(&mut payload, *trace_id);
+                put_u64(&mut payload, *span_id);
                 put_f64(&mut payload, *prediction)?;
             }
             Frame::InferShed { id } => {
@@ -413,6 +455,46 @@ impl Frame {
                     );
                     payload.extend_from_slice(bytes);
                     put_f64(&mut payload, *value)?;
+                }
+            }
+            Frame::TraceDump => payload.push(TAG_TRACE_DUMP),
+            Frame::TraceDumpReply { spans, histograms } => {
+                payload.push(TAG_TRACE_DUMP_REPLY);
+                put_u32(
+                    &mut payload,
+                    u32::try_from(spans.len())
+                        .map_err(|_| WireError::Malformed("vector too long"))?,
+                );
+                for span in spans {
+                    put_u64(&mut payload, span.trace_id);
+                    put_u64(&mut payload, span.span_id);
+                    put_u64(&mut payload, span.parent_span_id);
+                    for &stamp in &span.stages {
+                        put_u64(&mut payload, stamp);
+                    }
+                }
+                put_u32(
+                    &mut payload,
+                    u32::try_from(histograms.len())
+                        .map_err(|_| WireError::Malformed("vector too long"))?,
+                );
+                for (name, buckets) in histograms {
+                    let bytes = name.as_bytes();
+                    put_u32(
+                        &mut payload,
+                        u32::try_from(bytes.len())
+                            .map_err(|_| WireError::Malformed("metric name too long"))?,
+                    );
+                    payload.extend_from_slice(bytes);
+                    put_u32(
+                        &mut payload,
+                        u32::try_from(buckets.len())
+                            .map_err(|_| WireError::Malformed("vector too long"))?,
+                    );
+                    for &(bucket, count) in buckets {
+                        put_u32(&mut payload, bucket);
+                        put_u64(&mut payload, count);
+                    }
                 }
             }
         }
@@ -540,10 +622,14 @@ impl Frame {
             TAG_INFER_REQUEST => Frame::InferRequest {
                 id: r.u64()?,
                 time_minutes: r.f64()?,
+                trace_id: r.u64()?,
+                parent_span_id: r.u64()?,
                 sample: r.sample()?,
             },
             TAG_INFER_REPLY => Frame::InferReply {
                 id: r.u64()?,
+                trace_id: r.u64()?,
+                span_id: r.u64()?,
                 prediction: r.f64()?,
             },
             TAG_INFER_SHED => Frame::InferShed { id: r.u64()? },
@@ -613,6 +699,56 @@ impl Frame {
                     })
                     .collect();
                 Frame::StatsReply { metrics: metrics? }
+            }
+            TAG_TRACE_DUMP => Frame::TraceDump,
+            TAG_TRACE_DUMP_REPLY => {
+                let span_count = r.u32()? as usize;
+                // Each span is 3 ids + NUM_STAGES stamps, all u64.
+                if r.buf.len() < span_count.saturating_mul((3 + NUM_STAGES) * 8) {
+                    return Err(WireError::Truncated);
+                }
+                let spans: Result<Vec<SpanRecord>, WireError> = (0..span_count)
+                    .map(|_| {
+                        let trace_id = r.u64()?;
+                        let span_id = r.u64()?;
+                        let parent_span_id = r.u64()?;
+                        let mut stages = [0u64; NUM_STAGES];
+                        for stamp in &mut stages {
+                            *stamp = r.u64()?;
+                        }
+                        Ok(SpanRecord {
+                            trace_id,
+                            span_id,
+                            parent_span_id,
+                            stages,
+                        })
+                    })
+                    .collect();
+                let hist_count = r.u32()? as usize;
+                // Each histogram is at least name-length(4) + bucket-count(4) bytes.
+                if r.buf.len() < hist_count.saturating_mul(8) {
+                    return Err(WireError::Truncated);
+                }
+                let histograms: Result<Vec<SparseHistogram>, WireError> = (0..hist_count)
+                    .map(|_| {
+                        let len = r.u32()? as usize;
+                        let bytes = r.take(len)?;
+                        let name = String::from_utf8(bytes.to_vec())
+                            .map_err(|_| WireError::Malformed("metric name is not UTF-8"))?;
+                        let bucket_count = r.u32()? as usize;
+                        if r.buf.len() < bucket_count.saturating_mul(12) {
+                            return Err(WireError::Truncated);
+                        }
+                        let buckets: Result<Vec<(u32, u64)>, WireError> = (0..bucket_count)
+                            .map(|_| Ok((r.u32()?, r.u64()?)))
+                            .collect();
+                        Ok((name, buckets?))
+                    })
+                    .collect();
+                Frame::TraceDumpReply {
+                    spans: spans?,
+                    histograms: histograms?,
+                }
             }
             tag => return Err(WireError::BadTag(tag)),
         };
@@ -771,11 +907,28 @@ mod tests {
             Frame::InferRequest {
                 id: 7,
                 time_minutes: 12.5,
+                trace_id: 0,
+                parent_span_id: 0,
                 sample: Sample::new(vec![0.5, -1.0], vec![vec![1, 2], vec![], vec![9]], 1.0),
+            },
+            Frame::InferRequest {
+                id: 8,
+                time_minutes: 0.0,
+                trace_id: 0xDEAD_BEEF,
+                parent_span_id: 42,
+                sample: Sample::new(vec![], vec![], 0.0),
             },
             Frame::InferReply {
                 id: 7,
+                trace_id: 0,
+                span_id: 0,
                 prediction: 0.75,
+            },
+            Frame::InferReply {
+                id: 8,
+                trace_id: 0xDEAD_BEEF,
+                span_id: 77,
+                prediction: 0.25,
             },
             Frame::InferShed { id: 8 },
             Frame::PullSupport,
@@ -836,6 +989,31 @@ mod tests {
                     ("serve_requests_total".into(), 1e6),
                 ],
             },
+            Frame::TraceDump,
+            Frame::TraceDumpReply {
+                spans: vec![],
+                histograms: vec![],
+            },
+            Frame::TraceDumpReply {
+                spans: vec![
+                    SpanRecord {
+                        trace_id: 11,
+                        span_id: 3,
+                        parent_span_id: 2,
+                        stages: [10, 20, 30, 40, 50],
+                    },
+                    SpanRecord {
+                        trace_id: u64::MAX,
+                        span_id: u64::MAX,
+                        parent_span_id: 0,
+                        stages: [1, 0, 0, 0, u64::MAX],
+                    },
+                ],
+                histograms: vec![
+                    ("stage_serve_us".into(), vec![(0, 1), (2049, u64::MAX)]),
+                    ("serve_latency_us".into(), vec![]),
+                ],
+            },
             Frame::Ack,
             Frame::Nack {
                 reason: "geometry mismatch".into(),
@@ -877,6 +1055,8 @@ mod tests {
         for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
             let frame = Frame::InferReply {
                 id: 1,
+                trace_id: 0,
+                span_id: 0,
                 prediction: bad,
             };
             assert!(matches!(frame.encode(), Err(WireError::NonFinite)));
@@ -895,6 +1075,8 @@ mod tests {
     fn non_finite_floats_are_rejected_on_decode() {
         let good = Frame::InferReply {
             id: 1,
+            trace_id: 0,
+            span_id: 0,
             prediction: 0.5,
         }
         .encode()
@@ -1014,6 +1196,8 @@ mod tests {
         // not by connection lifetime.
         let frame = Frame::InferReply {
             id: 9,
+            trace_id: 0,
+            span_id: 0,
             prediction: 0.5,
         };
         let encoded = frame.encode().unwrap();
@@ -1073,6 +1257,8 @@ mod tests {
         fn prop_infer_request_round_trips(
             id in 0u64..u64::MAX,
             minutes in 0.0f64..10_000.0,
+            trace_id in 0u64..u64::MAX,
+            parent_span_id in 0u64..1_000_000,
             dense in proptest::collection::vec(-5.0f64..5.0, 0..8),
             sparse in proptest::collection::vec(
                 proptest::collection::vec(0usize..100_000, 0..6), 0..5),
@@ -1081,6 +1267,8 @@ mod tests {
             let frame = Frame::InferRequest {
                 id,
                 time_minutes: minutes,
+                trace_id,
+                parent_span_id,
                 sample: Sample::new(dense, sparse, label),
             };
             let bytes = frame.encode().unwrap();
@@ -1161,6 +1349,50 @@ mod tests {
         ) {
             let frame = Frame::StatsReply { metrics };
             let payload = &frame.encode().unwrap()[4..];
+            let cut = ((payload.len() as f64) * cut_fraction) as usize;
+            if cut < payload.len() {
+                prop_assert!(Frame::decode(&payload[..cut]).is_err());
+            }
+        }
+
+        /// Round-trip identity over generated trace dumps (spans with partial stage
+        /// stamps, sparse histogram buckets, empty vectors).
+        #[test]
+        fn prop_trace_dump_reply_round_trips(
+            spans in proptest::collection::vec(
+                (1u64..u64::MAX, 1u64..u64::MAX, 0u64..u64::MAX,
+                 proptest::collection::vec(0u64..1_000_000, NUM_STAGES..NUM_STAGES + 1)),
+                0..12,
+            ),
+            histograms in proptest::collection::vec(
+                (
+                    proptest::collection::vec(0u8..26, 1..24).prop_map(|cs| {
+                        cs.into_iter().map(|c| (b'a' + c) as char).collect::<String>()
+                    }),
+                    proptest::collection::vec((0u32..2050, 0u64..1_000_000), 0..16),
+                ),
+                0..8,
+            ),
+            cut_fraction in 0.0f64..1.0,
+        ) {
+            let frame = Frame::TraceDumpReply {
+                spans: spans
+                    .into_iter()
+                    .map(|(trace_id, span_id, parent_span_id, stamps)| SpanRecord {
+                        trace_id,
+                        span_id,
+                        parent_span_id,
+                        stages: stamps.try_into().expect("exactly NUM_STAGES stamps"),
+                    })
+                    .collect(),
+                histograms,
+            };
+            let bytes = frame.encode().unwrap();
+            let (decoded, consumed) = read_frame(&mut &bytes[..]).unwrap().unwrap();
+            prop_assert_eq!(&decoded, &frame);
+            prop_assert_eq!(consumed, bytes.len());
+            // Truncation parity with every other frame: strict prefixes error cleanly.
+            let payload = &bytes[4..];
             let cut = ((payload.len() as f64) * cut_fraction) as usize;
             if cut < payload.len() {
                 prop_assert!(Frame::decode(&payload[..cut]).is_err());

@@ -85,6 +85,8 @@ fn churn_leaves_no_state(event_loop: bool) {
             &Frame::InferRequest {
                 id: i,
                 time_minutes: 0.0,
+                trace_id: 0,
+                parent_span_id: 0,
                 sample,
             },
         )
@@ -126,6 +128,8 @@ fn churn_leaves_no_state(event_loop: bool) {
                         &Frame::InferRequest {
                             id,
                             time_minutes: 0.0,
+                            trace_id: 0,
+                            parent_span_id: 0,
                             sample,
                         },
                     )
@@ -191,6 +195,8 @@ fn pipelining_maps_ids(event_loop: bool) {
                 &Frame::InferRequest {
                     id,
                     time_minutes: 0.0,
+                    trace_id: 0,
+                    parent_span_id: 0,
                     sample,
                 },
             )
@@ -203,7 +209,7 @@ fn pipelining_maps_ids(event_loop: bool) {
         .poll_until(IN_FLIGHT as usize, deadline, |conn, frame| {
             assert_eq!(conn, 0);
             match frame {
-                Frame::InferReply { id, prediction } => {
+                Frame::InferReply { id, prediction, .. } => {
                     assert!((0.0..=1.0).contains(&prediction), "prediction {prediction}");
                     assert!(seen.insert(id), "duplicate reply for id {id}");
                 }
@@ -257,6 +263,8 @@ fn half_close_drains_owed_replies() {
                 &Frame::InferRequest {
                     id,
                     time_minutes: 0.0,
+                    trace_id: 0,
+                    parent_span_id: 0,
                     sample,
                 },
             )

@@ -61,10 +61,12 @@ fn replica_server_serves_and_syncs_over_tcp() {
         &Frame::InferRequest {
             id: 42,
             time_minutes: 0.0,
+            trace_id: 0,
+            parent_span_id: 0,
             sample,
         },
     ) {
-        Frame::InferReply { id, prediction } => {
+        Frame::InferReply { id, prediction, .. } => {
             assert_eq!(id, 42);
             assert!((0.0..=1.0).contains(&prediction), "prediction {prediction}");
         }
@@ -193,6 +195,8 @@ fn poison_infer_frames_are_nacked_and_the_replica_survives() {
             &Frame::InferRequest {
                 id,
                 time_minutes: 0.0,
+                trace_id: 0,
+                parent_span_id: 0,
                 sample,
             },
         ) {
@@ -213,10 +217,12 @@ fn poison_infer_frames_are_nacked_and_the_replica_survives() {
         &Frame::InferRequest {
             id: 7,
             time_minutes: 0.0,
+            trace_id: 0,
+            parent_span_id: 0,
             sample: good,
         },
     ) {
-        Frame::InferReply { id, prediction } => {
+        Frame::InferReply { id, prediction, .. } => {
             assert_eq!(id, 7);
             assert!((0.0..=1.0).contains(&prediction));
         }
@@ -296,6 +302,8 @@ fn stats_frame_scrapes_live_telemetry_with_freshness_gauges() {
             &Frame::InferRequest {
                 id,
                 time_minutes: 0.0,
+                trace_id: 0,
+                parent_span_id: 0,
                 sample,
             },
         ) {

@@ -1,0 +1,172 @@
+//! Export collected spans as Chrome trace-event JSON (Perfetto-loadable).
+//!
+//! [`chrome_trace`] renders per-process span sets into the [Trace Event Format]: one
+//! JSON object with a `traceEvents` array of complete (`"ph": "X"`) events — one per
+//! consecutive stamped stage segment of each span — plus `process_name` metadata so
+//! the Perfetto UI labels each node ("driver", "replica0", …). Timestamps are the
+//! spans' own microsecond stamps: monotone within a process, with each process on its
+//! own clock (cross-process skew is expected; the per-process tracks stay accurate).
+//!
+//! The emitter is hand-rolled (this crate has zero dependencies); the output is
+//! plain ASCII and validates against any JSON parser.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::span::{SpanRecord, NUM_STAGES, STAGE_HISTOGRAMS, STAGE_NAMES};
+
+/// The display name of the segment between stage boundaries `from` and `to`:
+/// adjacent boundaries use the stage-histogram family name without its `stage_` /
+/// `_us` affixes (`queue_wait`, `batch_wait`, `serve`, `reply_flush`); wider
+/// segments (e.g. a driver span stamping only its endpoints) join the boundary
+/// names.
+#[must_use]
+pub fn segment_name(from: usize, to: usize) -> String {
+    if to == from + 1 && from < STAGE_HISTOGRAMS.len() {
+        let name = STAGE_HISTOGRAMS[from];
+        return name
+            .trim_start_matches("stage_")
+            .trim_end_matches("_us")
+            .to_string();
+    }
+    let from_name = STAGE_NAMES.get(from).copied().unwrap_or("?");
+    let to_name = STAGE_NAMES.get(to).copied().unwrap_or("?");
+    format!("{from_name}_to_{to_name}")
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_event(
+    out: &mut String,
+    first: &mut bool,
+    name: &str,
+    ph: &str,
+    pid: usize,
+    tid: u64,
+    body: &str,
+) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("\n    {\"name\":\"");
+    escape_json(name, out);
+    out.push_str(&format!("\",\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{tid}"));
+    out.push_str(body);
+    out.push('}');
+}
+
+/// Render `processes` — one `(process name, spans)` pair per node — as a Chrome
+/// trace-event JSON document. Load the result in Perfetto (`ui.perfetto.dev`) or
+/// `chrome://tracing`; each node is a process row, each span a track keyed by its
+/// span id, each stamped stage segment a complete event carrying the trace/span/
+/// parent ids in its `args`.
+#[must_use]
+pub fn chrome_trace(processes: &[(String, Vec<SpanRecord>)]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for (pid, (name, spans)) in processes.iter().enumerate() {
+        let mut meta = String::from(",\"ts\":0,\"args\":{\"name\":\"");
+        escape_json(name, &mut meta);
+        meta.push_str("\"}");
+        push_event(&mut out, &mut first, "process_name", "M", pid, 0, &meta);
+        for span in spans {
+            for (from, start_us, dur_us) in span.segments() {
+                let to = span
+                    .stages
+                    .iter()
+                    .enumerate()
+                    .skip(from + 1)
+                    .find(|(_, &t)| t != 0)
+                    .map_or(NUM_STAGES - 1, |(i, _)| i);
+                let body = format!(
+                    ",\"cat\":\"request\",\"ts\":{start_us},\"dur\":{dur_us},\
+                     \"args\":{{\"trace_id\":\"{}\",\"span_id\":\"{}\",\"parent_span_id\":\"{}\"}}",
+                    span.trace_id, span.span_id, span.parent_span_id
+                );
+                push_event(
+                    &mut out,
+                    &mut first,
+                    &segment_name(from, to),
+                    "X",
+                    pid,
+                    span.span_id,
+                    &body,
+                );
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{STAGE_ENQUEUED, STAGE_REPLY_FLUSHED};
+
+    fn full_span(trace_id: u64) -> SpanRecord {
+        SpanRecord {
+            trace_id,
+            span_id: trace_id * 10,
+            parent_span_id: 1,
+            stages: [100, 200, 350, 900, 950],
+        }
+    }
+
+    #[test]
+    fn segment_names_match_the_stage_histogram_family() {
+        assert_eq!(segment_name(0, 1), "queue_wait");
+        assert_eq!(segment_name(1, 2), "batch_wait");
+        assert_eq!(segment_name(2, 3), "serve");
+        assert_eq!(segment_name(3, 4), "reply_flush");
+        assert_eq!(segment_name(0, 4), "enqueued_to_reply_flushed");
+    }
+
+    #[test]
+    fn chrome_trace_emits_one_complete_event_per_segment() {
+        let json = chrome_trace(&[
+            ("driver".to_string(), vec![full_span(7)]),
+            (
+                "replica0".to_string(),
+                vec![SpanRecord {
+                    trace_id: 7,
+                    span_id: 71,
+                    parent_span_id: 70,
+                    stages: {
+                        let mut s = [0; NUM_STAGES];
+                        s[STAGE_ENQUEUED] = 10;
+                        s[STAGE_REPLY_FLUSHED] = 90;
+                        s
+                    },
+                }],
+            ),
+        ]);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 2, "{json}");
+        // Four adjacent segments on the full span + one wide driver-style segment.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 5, "{json}");
+        assert!(json.contains("\"name\":\"queue_wait\""));
+        assert!(json.contains("\"name\":\"enqueued_to_reply_flushed\""));
+        assert!(json.contains("\"trace_id\":\"7\""));
+        // No trailing commas (the classic hand-rolled-JSON bug).
+        assert!(!json.contains(",]") && !json.contains(",}"), "{json}");
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let json = chrome_trace(&[("a\"b\\c".to_string(), vec![])]);
+        assert!(json.contains("a\\\"b\\\\c"));
+    }
+}

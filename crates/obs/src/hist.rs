@@ -239,6 +239,43 @@ impl HistogramSnapshot {
         }
         None
     }
+
+    /// The non-empty buckets as `(bucket index, count)` pairs — the sparse form a
+    /// histogram crosses the wire in (`Frame::TraceDumpReply`); every histogram
+    /// shares the fixed [`NUM_BUCKETS`] shape, so indices alone identify buckets.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u32, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (i as u32, n))
+            .collect()
+    }
+
+    /// Rebuild a snapshot from sparse `(bucket index, count)` pairs (the inverse of
+    /// [`nonzero_buckets`](Self::nonzero_buckets)). Out-of-range indices are
+    /// dropped; duplicate indices accumulate.
+    #[must_use]
+    pub fn from_sparse(buckets: &[(u32, u64)]) -> Self {
+        let mut counts = vec![0u64; NUM_BUCKETS];
+        for &(i, n) in buckets {
+            if let Some(slot) = counts.get_mut(i as usize) {
+                *slot = slot.saturating_add(n);
+            }
+        }
+        Self { counts }
+    }
+
+    /// Fold `other`'s counts into this snapshot bucket-wise. Because every histogram
+    /// shares one shape, merging per-replica snapshots yields exactly the histogram a
+    /// single cluster-wide instance would have recorded — this is what makes
+    /// cluster-level P50/P99 from N scraped replicas well-defined.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, &b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a = a.saturating_add(b);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -23,18 +23,29 @@
 //!   claim a slot with one `fetch_add` and publish through a per-slot sequence word;
 //!   they never block, never allocate, and never wait for readers. Draining is
 //!   on-demand and tolerates concurrent writes (a torn slot is rejected, not returned).
+//! * [`span::SpanRing`] + [`span::TraceContext`] — request-scoped distributed tracing
+//!   under the same discipline: a deterministic hash [`span::TraceSampler`] picks
+//!   traces by id alone (every node agrees without coordination), a sampled request
+//!   stamps each stage boundary with one relaxed store, and completed
+//!   [`span::SpanRecord`]s publish into a seqlock ring identical in protocol to the
+//!   trace ring. [`export::chrome_trace`] renders the collected spans as
+//!   Perfetto-loadable Chrome trace-event JSON.
 //!
 //! The freshness story — `epoch_age_us`, requests-served-per-epoch, and
 //! publication-to-first-serve lag — is built *on* these primitives by
 //! `liveupdate_runtime::telemetry`, and exported live over the wire by
-//! `liveupdate_net`'s `Frame::Stats`.
+//! `liveupdate_net`'s `Frame::Stats` (metrics) and `Frame::TraceDump` (spans).
 
+pub mod export;
 pub mod hist;
 pub mod registry;
+pub mod span;
 pub mod trace;
 
+pub use export::chrome_trace;
 pub use hist::{HistogramSnapshot, LogLinearHistogram};
 pub use registry::{Counter, Gauge, MetricsRegistry};
+pub use span::{SpanRecord, SpanRing, TraceContext, TraceSampler};
 pub use trace::{TraceEvent, TraceKind, TraceRing};
 
 /// Render a flattened metrics snapshot (`[(name, value)]`, as produced by

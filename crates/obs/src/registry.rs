@@ -213,6 +213,25 @@ impl MetricsRegistry {
         rows
     }
 
+    /// Snapshot every registered histogram as `(name, snapshot)` pairs, sorted by
+    /// name. This is the mergeable form: unlike the flattened
+    /// [`snapshot`](Self::snapshot) rows (pre-computed percentiles), the bucket
+    /// counts in a [`HistogramSnapshot`](crate::hist::HistogramSnapshot) from N
+    /// replicas fold together exactly
+    /// ([`merge`](crate::hist::HistogramSnapshot::merge)), so a cluster scraper
+    /// can compute true
+    /// cluster-level P50/P99.
+    #[must_use]
+    pub fn histograms(&self) -> Vec<(String, crate::hist::HistogramSnapshot)> {
+        self.collect()
+            .into_iter()
+            .filter_map(|(name, metric)| match metric {
+                Metric::Histogram(h) => Some((name, h.snapshot())),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Prometheus-style text exposition with `# TYPE` comments; histograms are
     /// summaries with `quantile` labels plus a `_count` series.
     #[must_use]

@@ -59,6 +59,13 @@ pub struct RuntimeConfig {
     /// [`ServingRuntime::scrape`](crate::runtime::ServingRuntime::scrape) returns no
     /// rows.
     pub telemetry: bool,
+    /// Fraction of requests carrying a tracing span (`0.0..=1.0`). The decision is a
+    /// deterministic hash of the trace id
+    /// ([`TraceSampler`](liveupdate_obs::TraceSampler)), so a driver and its
+    /// replicas configured with the same rate agree per-request without
+    /// coordination. `0.0` (the default) disables request tracing entirely; requires
+    /// `telemetry` to have any effect.
+    pub trace_sample_rate: f64,
 }
 
 impl Default for RuntimeConfig {
@@ -75,6 +82,7 @@ impl Default for RuntimeConfig {
                 batch_size: 32,
             },
             telemetry: true,
+            trace_sample_rate: 0.0,
         }
     }
 }
@@ -108,6 +116,12 @@ impl RuntimeConfig {
         if self.max_batch == 0 {
             return Err(ConfigError::NonPositive {
                 field: "runtime.max_batch",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.trace_sample_rate) {
+            return Err(ConfigError::Constraint {
+                field: "runtime.trace_sample_rate",
+                requirement: "sampling rate must be within 0.0..=1.0",
             });
         }
         match self.update {
@@ -185,6 +199,18 @@ mod tests {
 
         let c = RuntimeConfig {
             max_batch: 0,
+            ..RuntimeConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = RuntimeConfig {
+            trace_sample_rate: 1.5,
+            ..RuntimeConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = RuntimeConfig {
+            trace_sample_rate: f64::NAN,
             ..RuntimeConfig::default()
         };
         assert!(c.validate().is_err());

@@ -115,6 +115,15 @@ impl RuntimeReport {
         }
     }
 
+    /// The per-stage latency breakdown extracted from the telemetry rows. Empty when
+    /// telemetry was off or no request was traced
+    /// ([`RuntimeConfig::trace_sample_rate`](crate::config::RuntimeConfig::trace_sample_rate)
+    /// at 0).
+    #[must_use]
+    pub fn breakdown(&self) -> Vec<StageLatency> {
+        stage_breakdown(&self.telemetry)
+    }
+
     /// One human-readable summary line (used by the example and the bench target).
     #[must_use]
     pub fn summary_line(&self) -> String {
@@ -137,9 +146,82 @@ impl RuntimeReport {
     }
 }
 
+/// One row of the per-stage latency breakdown (microseconds): where a traced
+/// request's time went between two adjacent stage boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageLatency {
+    /// The stage-histogram family name (one of
+    /// [`liveupdate_obs::span::STAGE_HISTOGRAMS`]).
+    pub stage: String,
+    /// Median stage duration, µs.
+    pub p50_us: f64,
+    /// Tail stage duration, µs.
+    pub p99_us: f64,
+    /// Traced requests that contributed.
+    pub count: u64,
+}
+
+/// Extract the per-stage latency breakdown from flattened telemetry rows — the shared
+/// reader for `RuntimeReport`, `DistributedReport`, and `ScenarioReport`, all of which
+/// carry the same `stage_*_us_{p50,p99,count}` row names (scraped live on the
+/// realtime/distributed backends, synthesized by the analytic/sim engines). Stages
+/// with no recorded samples are omitted.
+#[must_use]
+pub fn stage_breakdown(rows: &[(String, f64)]) -> Vec<StageLatency> {
+    let get = |name: &str| rows.iter().find(|(n, _)| n == name).map(|&(_, v)| v);
+    liveupdate_obs::span::STAGE_HISTOGRAMS
+        .iter()
+        .filter_map(|&stage| {
+            let count = get(&format!("{stage}_count")).unwrap_or(0.0);
+            if count <= 0.0 {
+                return None;
+            }
+            Some(StageLatency {
+                stage: stage.to_string(),
+                p50_us: get(&format!("{stage}_p50"))?,
+                p99_us: get(&format!("{stage}_p99"))?,
+                count: count as u64,
+            })
+        })
+        .collect()
+}
+
+/// Render a breakdown as one aligned text line per stage (the form the examples and
+/// the trace walkthrough print); empty string when there are no rows.
+#[must_use]
+pub fn breakdown_lines(breakdown: &[StageLatency]) -> String {
+    let mut out = String::new();
+    for row in breakdown {
+        out.push_str(&format!(
+            "  {:<22} p50={:>8.0}us p99={:>8.0}us n={}\n",
+            row.stage, row.p50_us, row.p99_us, row.count
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stage_breakdown_reads_the_row_family() {
+        let rows = vec![
+            ("stage_queue_wait_us_count".to_string(), 5.0),
+            ("stage_queue_wait_us_p50".to_string(), 100.0),
+            ("stage_queue_wait_us_p99".to_string(), 400.0),
+            ("stage_serve_us_count".to_string(), 0.0), // untraced: omitted
+            ("serve_latency_us_p99".to_string(), 9.0), // unrelated row
+        ];
+        let b = stage_breakdown(&rows);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].stage, "stage_queue_wait_us");
+        assert_eq!(b[0].count, 5);
+        assert_eq!(b[0].p99_us, 400.0);
+        let text = breakdown_lines(&b);
+        assert!(text.contains("stage_queue_wait_us"), "{text}");
+        assert!(stage_breakdown(&[]).is_empty());
+    }
 
     #[test]
     fn updater_round_stats() {

@@ -1,6 +1,7 @@
 //! The unit of work flowing through the runtime's queues.
 
 use liveupdate_dlrm::sample::Sample;
+use liveupdate_obs::TraceContext;
 use std::fmt;
 use std::time::Instant;
 
@@ -42,10 +43,15 @@ pub struct Request {
     pub submitted: Instant,
     /// Where to deliver the prediction, if the submitter wants it back.
     pub reply: Option<ReplyTo>,
+    /// The request's tracing span, present only when its trace was sampled. The
+    /// submit path stamps `enqueued`; the worker stamps the remaining stage
+    /// boundaries and finishes the span after reply delivery. Unsampled requests
+    /// carry `None` and pay nothing.
+    pub trace: Option<TraceContext>,
 }
 
 impl Request {
-    /// Create a request submitted now, with no reply path.
+    /// Create a request submitted now, with no reply path and no trace.
     #[must_use]
     pub fn new(sample: Sample, time_minutes: f64) -> Self {
         Self {
@@ -53,6 +59,7 @@ impl Request {
             time_minutes,
             submitted: Instant::now(),
             reply: None,
+            trace: None,
         }
     }
 }

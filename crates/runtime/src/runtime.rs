@@ -12,7 +12,8 @@ use crate::worker::{run_sync_worker, run_worker};
 use liveupdate::engine::ServingNode;
 use liveupdate::snapshot::ServingSnapshot;
 use liveupdate_dlrm::sample::Sample;
-use liveupdate_obs::TraceKind;
+use liveupdate_obs::span::STAGE_ENQUEUED;
+use liveupdate_obs::{HistogramSnapshot, SpanRecord, TraceContext, TraceKind, TraceSampler};
 use liveupdate_sim::latency::LatencyRecorder;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Sender, SyncSender, TrySendError};
@@ -52,6 +53,10 @@ pub struct ServingRuntime {
     node_tx: Option<Sender<UpdaterMsg>>,
     /// Shared metric handles (None when `cfg.telemetry` is off).
     telemetry: Option<Arc<Telemetry>>,
+    /// The deterministic trace sampler (from `cfg.trace_sample_rate`).
+    sampler: TraceSampler,
+    /// Trace-id allocator for requests submitted without a wire-carried trace id.
+    trace_seq: AtomicU64,
     processed: Arc<AtomicU64>,
     submitted: AtomicU64,
     dropped: AtomicU64,
@@ -225,6 +230,7 @@ impl ServingRuntime {
             }
         }
 
+        let sampler = TraceSampler::new(cfg.trace_sample_rate);
         Self {
             cfg,
             publisher,
@@ -235,6 +241,8 @@ impl ServingRuntime {
             updater,
             node_tx,
             telemetry,
+            sampler,
+            trace_seq: AtomicU64::new(0),
             processed,
             submitted: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
@@ -431,6 +439,7 @@ impl ServingRuntime {
         time_minutes: f64,
         scheduled: Instant,
     ) -> SubmitOutcome {
+        let trace = self.next_trace();
         self.submit_request(
             worker,
             Request {
@@ -438,11 +447,65 @@ impl ServingRuntime {
                 time_minutes,
                 submitted: scheduled,
                 reply: None,
+                trace,
             },
         )
     }
 
+    /// Allocate a local trace id and open a span for it if the sampler keeps it.
+    /// `None` (no tracing, no cost beyond one branch) when telemetry is off, the
+    /// sample rate is 0, or this id lost the hash draw.
+    fn next_trace(&self) -> Option<TraceContext> {
+        if self.sampler.rate() <= 0.0 {
+            return None;
+        }
+        let tel = self.telemetry.as_ref()?;
+        let trace_id = self.trace_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        self.sampler
+            .decide(trace_id)
+            .then(|| tel.spans.context(trace_id, 0))
+    }
+
+    /// Open a span for a trace id that arrived from elsewhere (the wire): the
+    /// transport tier calls this with the driver's trace id and parent span id, and
+    /// the deterministic sampler reaches the same keep/drop verdict the driver did.
+    /// `None` when telemetry is off or the id is not sampled.
+    #[must_use]
+    pub fn trace_context(&self, trace_id: u64, parent_span_id: u64) -> Option<TraceContext> {
+        if self.sampler.rate() <= 0.0 || trace_id == 0 {
+            return None;
+        }
+        let tel = self.telemetry.as_ref()?;
+        self.sampler
+            .decide(trace_id)
+            .then(|| tel.spans.context(trace_id, parent_span_id))
+    }
+
+    /// Drain every completed span (request spans and updater publication spans)
+    /// collected since the previous drain. Empty when telemetry is off.
+    #[must_use]
+    pub fn drain_spans(&self) -> Vec<SpanRecord> {
+        self.telemetry
+            .as_ref()
+            .map(|tel| tel.spans.drain())
+            .unwrap_or_default()
+    }
+
+    /// Snapshot every registered histogram in mergeable (bucket-count) form — what
+    /// `Frame::TraceDumpReply` ships so a cluster scraper can compute true merged
+    /// P50/P99 across replicas. Empty when telemetry is off.
+    #[must_use]
+    pub fn scrape_histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.telemetry
+            .as_ref()
+            .map(|tel| tel.registry.histograms())
+            .unwrap_or_default()
+    }
+
     fn submit_request(&self, worker: usize, request: Request) -> SubmitOutcome {
+        if let Some(trace) = &request.trace {
+            trace.stamp(STAGE_ENQUEUED);
+        }
         match self.senders[worker].try_send(request) {
             Ok(()) => {
                 self.submitted.fetch_add(1, Ordering::Relaxed);
@@ -493,13 +556,28 @@ impl ServingRuntime {
 
     /// Routed non-blocking submit carrying a [`ReplyTo`] — the serving worker delivers
     /// the prediction through it right after the batch is served. A shed request drops
-    /// the reply path unused (the transport tier reports the shed itself).
+    /// the reply path unused (the transport tier reports the shed itself). The request
+    /// is traced under a locally allocated trace id when the sampler keeps it.
     pub fn submit_routed_with_reply(
         &self,
         sample: Sample,
         time_minutes: f64,
         scheduled: Instant,
         reply: ReplyTo,
+    ) -> SubmitOutcome {
+        let trace = self.next_trace();
+        self.submit_routed_with_reply_traced(sample, time_minutes, scheduled, reply, trace)
+    }
+
+    /// Like [`Self::submit_routed_with_reply`] but with an explicit (possibly absent)
+    /// span, e.g. one opened by [`Self::trace_context`] from wire-carried trace ids.
+    pub fn submit_routed_with_reply_traced(
+        &self,
+        sample: Sample,
+        time_minutes: f64,
+        scheduled: Instant,
+        reply: ReplyTo,
+        trace: Option<TraceContext>,
     ) -> SubmitOutcome {
         let worker = self.router.route(&sample);
         self.submit_request(
@@ -509,6 +587,7 @@ impl ServingRuntime {
                 time_minutes,
                 submitted: scheduled,
                 reply: Some(reply),
+                trace,
             },
         )
     }

@@ -34,17 +34,36 @@
 //! | `requests_per_epoch` | histogram | requests a worker served from one epoch |
 //! | `hot_row_cache_hits_t<i>` | gauge | cumulative cache hits, table `i` (scrape) |
 //! | `hot_row_cache_misses_t<i>` | gauge | cumulative cache misses, table `i` (scrape) |
+//! | `stage_queue_wait_us` | histogram | traced: enqueued → batch closed |
+//! | `stage_batch_wait_us` | histogram | traced: batch closed → serve start |
+//! | `stage_serve_us` | histogram | traced: serve start → serve done |
+//! | `stage_reply_flush_us` | histogram | traced: serve done → reply flushed |
+//!
+//! The four `stage_*_us` histograms are the per-request latency breakdown: they are
+//! fed only by *traced* requests (see
+//! [`RuntimeConfig::trace_sample_rate`](crate::config::RuntimeConfig::trace_sample_rate))
+//! and their names mirror [`liveupdate_obs::span::STAGE_HISTOGRAMS`] — the `analyze`
+//! stage-name rule pins the two lists together.
 //!
 //! The net tier adds `net_*` series (wakeups, ready events, owed replies, open
 //! connections, handler backlog) through the same registry; see
-//! `liveupdate_net::server`.
+//! `liveupdate_net::server`. Completed request spans are collected separately in
+//! [`Telemetry::spans`] and pulled over the wire by `Frame::TraceDump`.
 
-use liveupdate_obs::{Counter, Gauge, LogLinearHistogram, MetricsRegistry, TraceRing};
+use liveupdate_obs::{Counter, Gauge, LogLinearHistogram, MetricsRegistry, SpanRing, TraceRing};
 use std::sync::Arc;
 
 /// Default trace-ring capacity: enough for minutes of update/publication/batch events
 /// at realistic rates without growing unbounded.
 pub const TRACE_CAPACITY: usize = 4096;
+
+/// Default span-ring capacity: the most recent sampled request spans held for the
+/// next trace dump; overwrite-oldest beyond this.
+pub const SPAN_CAPACITY: usize = 4096;
+
+/// Trace-id flag marking updater publication spans (top bit set, epoch in the low
+/// bits) so they never collide with request trace ids from sequential counters.
+pub const PUBLICATION_TRACE_FLAG: u64 = 1 << 63;
 
 /// Pre-registered metric handles shared by every thread of one runtime.
 #[derive(Debug)]
@@ -53,6 +72,13 @@ pub struct Telemetry {
     pub registry: Arc<MetricsRegistry>,
     /// The trace ring (update rounds, publications, batch closes, sheds).
     pub trace: Arc<TraceRing>,
+    /// The span ring: completed request spans (and updater publication spans) from
+    /// sampled traces, drained by `ServingRuntime::drain_spans` / `Frame::TraceDump`.
+    pub spans: Arc<SpanRing>,
+    /// The per-stage latency histograms, indexed like
+    /// [`liveupdate_obs::span::STAGE_HISTOGRAMS`] (queue wait, batch wait, serve,
+    /// reply flush).
+    pub stage_us: [Arc<LogLinearHistogram>; 4],
     /// `serve_requests_total`.
     pub requests_total: Arc<Counter>,
     /// `serve_requests_shed_total`.
@@ -89,7 +115,14 @@ impl Telemetry {
     pub fn new() -> Self {
         let registry = Arc::new(MetricsRegistry::new());
         let trace = Arc::new(TraceRing::new(TRACE_CAPACITY));
+        let spans = Arc::new(SpanRing::new(SPAN_CAPACITY));
         Self {
+            stage_us: [
+                registry.histogram("stage_queue_wait_us"),
+                registry.histogram("stage_batch_wait_us"),
+                registry.histogram("stage_serve_us"),
+                registry.histogram("stage_reply_flush_us"),
+            ],
             requests_total: registry.counter("serve_requests_total"),
             requests_shed: registry.counter("serve_requests_shed_total"),
             batches_total: registry.counter("serve_batches_total"),
@@ -106,6 +139,7 @@ impl Telemetry {
             requests_per_epoch: registry.histogram("requests_per_epoch"),
             registry,
             trace,
+            spans,
         }
     }
 }
@@ -114,6 +148,25 @@ impl Default for Telemetry {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Publish an updater publication span: trace id = [`PUBLICATION_TRACE_FLAG`]` |
+/// epoch`, stages `serve_start` → `serve_done` covering the update work that
+/// produced the epoch (`started_us` from [`SpanRing::now_us`] before the block).
+/// These spans share the request span ring so one trace dump carries both views.
+pub fn push_publication_span(tel: &Telemetry, epoch: u64, started_us: u64) {
+    use liveupdate_obs::span::{
+        next_span_id, SpanRecord, NUM_STAGES, STAGE_SERVE_DONE, STAGE_SERVE_START,
+    };
+    let mut stages = [0u64; NUM_STAGES];
+    stages[STAGE_SERVE_START] = started_us.max(1);
+    stages[STAGE_SERVE_DONE] = tel.spans.now_us();
+    tel.spans.push(&SpanRecord {
+        trace_id: PUBLICATION_TRACE_FLAG | epoch,
+        span_id: next_span_id(),
+        parent_span_id: 0,
+        stages,
+    });
 }
 
 #[cfg(test)]
@@ -141,6 +194,10 @@ mod tests {
             "epoch_age_us",
             "publish_to_first_serve_us_p99",
             "requests_per_epoch_p50",
+            "stage_queue_wait_us_p99",
+            "stage_batch_wait_us_p99",
+            "stage_serve_us_p99",
+            "stage_reply_flush_us_p50",
         ] {
             assert!(
                 names.contains(&expected),
@@ -160,5 +217,23 @@ mod tests {
         assert_eq!(rows["serve_requests_total"], 10.0);
         assert_eq!(rows["serve_latency_us_count"], 1.0);
         assert_eq!(rows["snapshot_epoch"], 7.0);
+    }
+
+    #[test]
+    fn stage_histograms_match_the_obs_stage_family() {
+        // The literal names registered above and the obs-side stage constant must
+        // stay one list; the analyze stage-name rule enforces the doc table, this
+        // test pins the handles.
+        let tel = Telemetry::new();
+        for (hist, name) in tel
+            .stage_us
+            .iter()
+            .zip(liveupdate_obs::span::STAGE_HISTOGRAMS)
+        {
+            hist.record(10.0);
+            let rows: std::collections::BTreeMap<String, f64> =
+                tel.registry.snapshot().into_iter().collect();
+            assert_eq!(rows[&format!("{name}_count")], 1.0, "{name}");
+        }
     }
 }

@@ -74,6 +74,7 @@ fn publish_snapshot(
     report: &mut UpdaterReport,
     telemetry: Option<&Telemetry>,
 ) {
+    let span_started = telemetry.map(|tel| tel.spans.now_us());
     let mut snapshot = node.snapshot();
     if telemetry.is_some() {
         snapshot.adopt_cache_stats(&publisher.load().1);
@@ -87,6 +88,9 @@ fn publish_snapshot(
         tel.snapshot_epoch
             .set(i64::try_from(epoch).unwrap_or(i64::MAX));
         tel.trace.push(TraceKind::EpochPublish, epoch, checksum);
+        // The publication's own span (snapshot + epoch swap), pulled by trace dumps
+        // alongside request spans.
+        crate::telemetry::push_publication_span(tel, epoch, span_started.unwrap_or_default());
     }
 }
 

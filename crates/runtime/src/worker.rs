@@ -18,40 +18,88 @@ use crate::updater::{IngestBatch, UpdaterMsg};
 use liveupdate::engine::ServingNode;
 use liveupdate::snapshot::ServingSnapshot;
 use liveupdate_dlrm::sample::MiniBatch;
-use liveupdate_obs::TraceKind;
+use liveupdate_obs::span::{
+    STAGE_BATCH_CLOSED, STAGE_REPLY_FLUSHED, STAGE_SERVE_DONE, STAGE_SERVE_START,
+};
+use liveupdate_obs::{TraceContext, TraceKind};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Split a closed batch into `(submit instants, reply paths, sim-time high-water mark,
-/// mini-batch)`; the instants and replies stay index-aligned with the batch samples.
-fn unpack(batch: Vec<Request>) -> (Vec<Instant>, Vec<Option<ReplyTo>>, f64, MiniBatch) {
+/// A closed batch split into its index-aligned parts (instants, reply paths, trace
+/// contexts all stay aligned with the mini-batch samples).
+struct Unpacked {
+    submitted: Vec<Instant>,
+    replies: Vec<Option<ReplyTo>>,
+    traces: Vec<Option<TraceContext>>,
+    /// Sim-time high-water mark of the batch's requests.
+    time_minutes: f64,
+    mini_batch: MiniBatch,
+}
+
+/// Split a closed batch, stamping `batch_closed` on every traced request (the batcher
+/// just closed the deadline window that held them).
+fn unpack(batch: Vec<Request>) -> Unpacked {
     let mut submitted = Vec::with_capacity(batch.len());
     let mut replies = Vec::with_capacity(batch.len());
+    let mut traces = Vec::with_capacity(batch.len());
     let mut time_minutes = f64::NEG_INFINITY;
     let mut samples = Vec::with_capacity(batch.len());
     for request in batch {
+        if let Some(trace) = &request.trace {
+            trace.stamp(STAGE_BATCH_CLOSED);
+        }
         submitted.push(request.submitted);
         replies.push(request.reply);
+        traces.push(request.trace);
         time_minutes = time_minutes.max(request.time_minutes);
         samples.push(request.sample);
     }
-    (submitted, replies, time_minutes, MiniBatch::new(samples))
+    Unpacked {
+        submitted,
+        replies,
+        traces,
+        time_minutes,
+        mini_batch: MiniBatch::new(samples),
+    }
 }
 
-/// Serve one mini-batch from `snapshot`, fold the results into `report`, and deliver
-/// each prediction to any submitter that attached a reply path.
+/// Stamp `reply_flushed`, fold the span's stage gaps into the per-stage latency
+/// histograms, and publish the completed span into the ring.
+fn finish_span(trace: TraceContext, telemetry: Option<&Telemetry>) {
+    trace.stamp(STAGE_REPLY_FLUSHED);
+    if let Some(tel) = telemetry {
+        let record = trace.record();
+        for (i, hist) in tel.stage_us.iter().enumerate() {
+            if let (Some(a), Some(b)) = (record.stage_us(i), record.stage_us(i + 1)) {
+                hist.record(b.saturating_sub(a) as f64);
+            }
+        }
+    }
+    trace.finish();
+}
+
+/// Serve one mini-batch from `snapshot`, fold the results into `report`, deliver
+/// each prediction to any submitter that attached a reply path, and finish each
+/// traced request's span right after its reply is handed off.
 fn serve_and_record(
     snapshot: &ServingSnapshot,
     mini_batch: &MiniBatch,
     submitted: &[Instant],
     replies: Vec<Option<ReplyTo>>,
+    traces: Vec<Option<TraceContext>>,
     report: &mut WorkerReport,
     telemetry: Option<&Telemetry>,
 ) {
+    for trace in traces.iter().flatten() {
+        trace.stamp(STAGE_SERVE_START);
+    }
     let (serve, predictions) = snapshot.serve_batch_with_predictions(mini_batch);
     let completion = Instant::now();
+    for trace in traces.iter().flatten() {
+        trace.stamp(STAGE_SERVE_DONE);
+    }
     for &instant in submitted {
         let ms = completion.saturating_duration_since(instant).as_secs_f64() * 1e3;
         report.latency.record(ms);
@@ -60,9 +108,12 @@ fn serve_and_record(
             tel.serve_latency_us.record(ms * 1e3);
         }
     }
-    for (reply, &prediction) in replies.into_iter().zip(&predictions) {
+    for ((reply, trace), &prediction) in replies.into_iter().zip(traces).zip(&predictions) {
         if let Some(reply) = reply {
             reply.complete(prediction);
+        }
+        if let Some(trace) = trace {
+            finish_span(trace, telemetry);
         }
     }
     report.served += serve.requests as u64;
@@ -141,7 +192,13 @@ pub(crate) fn run_worker(
         if let Some(tel) = telemetry {
             tally.on_refresh(adopted, &reader, tel);
         }
-        let (submitted, replies, time_minutes, mini_batch) = unpack(batch);
+        let Unpacked {
+            submitted,
+            replies,
+            traces,
+            time_minutes,
+            mini_batch,
+        } = unpack(batch);
         let n = mini_batch.len();
         let serve_started = Instant::now();
         serve_and_record(
@@ -149,6 +206,7 @@ pub(crate) fn run_worker(
             &mini_batch,
             &submitted,
             replies,
+            traces,
             &mut report,
             telemetry,
         );
@@ -200,7 +258,13 @@ pub(crate) fn run_sync_worker(
         if let Some(tel) = telemetry {
             tally.on_refresh(adopted, &reader, tel);
         }
-        let (submitted, replies, time_minutes, mini_batch) = unpack(batch);
+        let Unpacked {
+            submitted,
+            replies,
+            traces,
+            time_minutes,
+            mini_batch,
+        } = unpack(batch);
         let n = mini_batch.len();
         let serve_started = Instant::now();
         serve_and_record(
@@ -208,6 +272,7 @@ pub(crate) fn run_sync_worker(
             &mini_batch,
             &submitted,
             replies,
+            traces,
             &mut report,
             telemetry,
         );
@@ -224,6 +289,7 @@ pub(crate) fn run_sync_worker(
         batches_since_update += 1;
         if batches_since_update >= every_batches {
             batches_since_update = 0;
+            let span_started = telemetry.map(|tel| tel.spans.now_us());
             let round_started = Instant::now();
             for _ in 0..rounds {
                 node.online_update_round(time_minutes, batch_size);
@@ -249,6 +315,11 @@ pub(crate) fn run_sync_worker(
                 tel.trace
                     .push(TraceKind::UpdateRound, rounds as u64, round_us);
                 tel.trace.push(TraceKind::EpochPublish, epoch, checksum);
+                crate::telemetry::push_publication_span(
+                    tel,
+                    epoch,
+                    span_started.unwrap_or_default(),
+                );
             }
         }
         processed.fetch_add(submitted.len() as u64, Ordering::Release);

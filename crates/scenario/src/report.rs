@@ -174,8 +174,37 @@ impl ScenarioReport {
         if let Some(p99) = self.p99_latency_ms {
             rows.push(("serve_latency_us_p99".to_string(), p99 * 1000.0));
         }
+        // Stage families, under the tracing contract's names. Engines without a live
+        // runtime model serving as a single stage: the whole measured latency lands
+        // in `stage_serve_us` and the queue/batch/flush stages report zero requests
+        // (a zero `_count` is how `breakdown()` marks a stage as not measured).
+        for stage in liveupdate_obs::span::STAGE_HISTOGRAMS {
+            let serve = stage == "stage_serve_us";
+            let count = if serve {
+                self.requests_served as f64
+            } else {
+                0.0
+            };
+            rows.push((format!("{stage}_count"), count));
+            if serve {
+                if let Some(p50) = self.p50_latency_ms {
+                    rows.push((format!("{stage}_p50"), p50 * 1000.0));
+                }
+                if let Some(p99) = self.p99_latency_ms {
+                    rows.push((format!("{stage}_p99"), p99 * 1000.0));
+                }
+            }
+        }
         rows.sort_by(|a, b| a.0.cmp(&b.0));
         self.telemetry = rows;
+    }
+
+    /// Per-stage latency breakdown read from the `telemetry` rows — the same
+    /// `stage_*` family on all four backends (scraped when a live runtime ran,
+    /// synthesized otherwise). Stages with no traced requests are omitted.
+    #[must_use]
+    pub fn breakdown(&self) -> Vec<liveupdate_runtime::report::StageLatency> {
+        liveupdate_runtime::report::stage_breakdown(&self.telemetry)
     }
 
     /// One human-readable summary row (used by `examples/scenario_compare.rs`).

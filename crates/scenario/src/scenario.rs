@@ -153,6 +153,10 @@ pub struct RealtimeSpec {
     pub update_interval_ms: u64,
     /// Update rounds per cadence tick (LiveUpdate policy).
     pub rounds_per_update: usize,
+    /// Request-trace sampling rate in `0.0..=1.0` (deterministic hash sampler; feeds
+    /// the `stage_*_us` latency-breakdown histograms on the realtime and distributed
+    /// backends). The default traces 1 in 100 requests, production style.
+    pub trace_sample_rate: f64,
 }
 
 impl Default for RealtimeSpec {
@@ -162,6 +166,7 @@ impl Default for RealtimeSpec {
             wall_seconds: 2.0,
             update_interval_ms: 100,
             rounds_per_update: 1,
+            trace_sample_rate: 0.01,
         }
     }
 }
@@ -410,6 +415,7 @@ impl Scenario {
             routing: self.topology.routing,
             update,
             telemetry: true,
+            trace_sample_rate: self.realtime.trace_sample_rate,
         }
     }
 
@@ -599,6 +605,10 @@ impl Scenario {
                         "rounds_per_update".into(),
                         Json::Num(self.realtime.rounds_per_update as f64),
                     ),
+                    (
+                        "trace_sample_rate".into(),
+                        Json::Num(self.realtime.trace_sample_rate),
+                    ),
                 ]),
             ),
         ])
@@ -616,6 +626,11 @@ impl Scenario {
                 wall_seconds: r.field("wall_seconds")?.as_f64()?,
                 update_interval_ms: r.field("update_interval_ms")?.as_u64()?,
                 rounds_per_update: r.field("rounds_per_update")?.as_usize()?,
+                // Optional so scenario documents written before tracing still parse.
+                trace_sample_rate: match r.get("trace_sample_rate") {
+                    Some(v) => v.as_f64()?,
+                    None => RealtimeSpec::default().trace_sample_rate,
+                },
             },
             None => RealtimeSpec::default(),
         };

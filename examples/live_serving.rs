@@ -68,6 +68,7 @@ fn run_arm(
             routing: liveupdate_repro::workload::shard::ShardPolicy::RoundRobin,
             update,
             telemetry: true,
+            trace_sample_rate: 0.01,
         },
     );
     let loadgen = LoadGenConfig {

@@ -98,6 +98,8 @@ fn main() {
                     let req = Frame::InferRequest {
                         id: sent,
                         time_minutes: 0.0,
+                        trace_id: 0,
+                        parent_span_id: 0,
                         sample,
                     };
                     if write_frame(&mut conn, &req).is_err() {

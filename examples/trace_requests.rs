@@ -1,0 +1,186 @@
+//! Request tracing end-to-end: a two-replica TCP cluster at 100% span sampling,
+//! cross-node traces joined by trace id, and a Chrome-trace export.
+//!
+//! The driver opens a root span per request (`enqueued` stamped at frame send,
+//! `reply_flushed` at reply receipt); each replica opens a child span under the
+//! propagated trace id and stamps the middle of the story (batch close, serve start,
+//! serve done, reply flush). After the run the driver scrapes **every** replica
+//! (`Frame::Stats` + `Frame::TraceDump`), joins the two sides into
+//! [`CrossNodeTrace`](liveupdate_repro::net::CrossNodeTrace)s, and this example:
+//!
+//! * asserts at least one joined trace exists and every joined span is monotone;
+//! * reconciles tracing against the wall clock — the best trace's replica-side
+//!   span must cover ≥ 90% of the driver's end-to-end span (the batch deadline is
+//!   set long, so replica-side time dwarfs wire + driver-loop slack);
+//! * prints the cluster-merged per-stage latency breakdown (merged from every
+//!   replica's raw histogram buckets, not averaged percentiles);
+//! * writes `TRACE_chrome.json` — load it at <https://ui.perfetto.dev> (or
+//!   `chrome://tracing`) to see driver and replica timelines per process.
+//!
+//! Run with: `cargo run --release --example trace_requests`
+//! Knobs: `TRACE_REPLICAS` (default 2), `TRACE_SECONDS` (default 2), `TRACE_QPS`
+//! (default 200), `TRACE_OUT` (output path, default `TRACE_chrome.json`).
+
+use liveupdate_repro::core::experiment::warmed_up_model;
+use liveupdate_repro::net::{run_distributed, DistributedConfig};
+use liveupdate_repro::obs::chrome_trace;
+use liveupdate_repro::runtime::loadgen::LoadGenConfig;
+use liveupdate_repro::runtime::report::breakdown_lines;
+use liveupdate_repro::scenario::Scenario;
+use std::time::Duration;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let replicas = env_f64("TRACE_REPLICAS", 2.0).max(1.0) as usize;
+    let seconds = env_f64("TRACE_SECONDS", 2.0);
+    let qps = env_f64("TRACE_QPS", 200.0);
+    let out = std::env::var("TRACE_OUT").unwrap_or_else(|_| "TRACE_chrome.json".to_string());
+    println!(
+        "tracing a {replicas}-replica TCP cluster: {seconds:.0}s @ {qps:.0} rps, 100% sampling\n"
+    );
+
+    let mut scenario = Scenario::small("trace_requests");
+    scenario.topology.replicas = replicas;
+    // A long batch window makes replica-side time (queue wait up to the deadline,
+    // then serve) dwarf wire + driver-loop slack — that is what turns the ≥ 90%
+    // e2e-coverage assertion below into a real reconciliation instead of a race.
+    scenario.topology.batch_deadline_us = 20_000;
+    scenario.realtime.wall_seconds = seconds;
+    scenario.realtime.target_qps = qps;
+    scenario.realtime.trace_sample_rate = 1.0;
+    scenario.validate().expect("scenario must validate");
+
+    // Identical Day-1 checkpoint on every replica, same as the scenario backends.
+    let exp = scenario.experiment_config();
+    let (day1_model, workload) = warmed_up_model(&exp);
+    let mut prefill_workload = workload.clone();
+    let prefill = prefill_workload.batch_at(exp.warmup_minutes, exp.requests_per_window);
+    let nodes: Vec<_> = (0..replicas)
+        .map(|_| {
+            let mut node = liveupdate_repro::core::engine::ServingNode::new(
+                day1_model.clone(),
+                exp.liveupdate,
+            );
+            node.serve_batch(exp.warmup_minutes, &prefill);
+            node
+        })
+        .collect();
+
+    let cfg = DistributedConfig {
+        replicas,
+        routing: scenario.topology.routing,
+        runtime: scenario.runtime_config(),
+        strategy: scenario.policy.strategy,
+        update_interval: Duration::from_millis(scenario.realtime.update_interval_ms),
+        rounds_per_update: scenario.realtime.rounds_per_update,
+        online_batch_size: scenario.policy.online_batch_size,
+        training_batch_size: scenario.horizon.training_batch_size,
+        full_sync_every_ticks: scenario.full_sync_every_ticks(),
+        target_qps: qps,
+        duration: Duration::from_secs_f64(seconds),
+        start_minutes: exp.warmup_minutes,
+        seed: scenario.seed,
+        sample_pool: LoadGenConfig::default().sample_pool,
+    };
+    let mut driving_workload = workload.clone();
+    let (report, _nodes) =
+        run_distributed(nodes, &day1_model, &mut driving_workload, &cfg).expect("distributed run");
+
+    println!(
+        "{} replies over {:.2}s ({:.0} rps); driver spans {}, replica spans {}, joined traces {}",
+        report.replies,
+        report.wall_seconds,
+        report.qps,
+        report.driver_spans.len(),
+        report.replica_spans.iter().map(Vec::len).sum::<usize>(),
+        report.traces.len(),
+    );
+
+    // ≥ 1 complete cross-node trace, every joined span monotone.
+    assert!(
+        !report.traces.is_empty(),
+        "no cross-node trace joined — propagation or the scrape is broken"
+    );
+    for trace in &report.traces {
+        assert!(
+            trace.driver_span.monotone() && trace.replica_span.monotone(),
+            "trace {:#x} has out-of-order stage stamps",
+            trace.trace_id
+        );
+        assert!(
+            trace.replica < replicas,
+            "trace {:#x} claims replica {}",
+            trace.trace_id,
+            trace.replica
+        );
+    }
+
+    // Reconcile tracing against the wall clock: on the best trace, the replica span
+    // (queue wait → reply flush) must cover at least 90% of the driver's end-to-end
+    // span (enqueued at send → reply receipt) — the remainder is wire + driver loop.
+    let best = report
+        .traces
+        .iter()
+        .filter(|t| t.driver_span.total_us() > 0)
+        .max_by(|a, b| {
+            let ra = a.replica_span.total_us() as f64 / a.driver_span.total_us() as f64;
+            let rb = b.replica_span.total_us() as f64 / b.driver_span.total_us() as f64;
+            ra.total_cmp(&rb)
+        })
+        .expect("at least one trace with a non-degenerate driver span");
+    let coverage = best.replica_span.total_us() as f64 / best.driver_span.total_us() as f64;
+    println!(
+        "\nbest trace {:#x} via replica {}: driver e2e {} µs, replica stages {} µs ({:.1}% covered)",
+        best.trace_id,
+        best.replica,
+        best.driver_span.total_us(),
+        best.replica_span.total_us(),
+        coverage * 100.0,
+    );
+    assert!(
+        coverage >= 0.9,
+        "replica stages cover only {:.1}% of the driver's end-to-end latency",
+        coverage * 100.0
+    );
+    assert!(
+        coverage <= 1.01,
+        "replica span ({} µs) exceeds the driver's end-to-end span ({} µs)",
+        best.replica_span.total_us(),
+        best.driver_span.total_us()
+    );
+
+    // Cluster-merged view: the P99 is recomputed over every replica's raw buckets.
+    assert!(
+        report
+            .telemetry
+            .iter()
+            .any(|(name, _)| name == "serve_latency_us_p99"),
+        "cluster scrape must carry the merged serve-latency P99"
+    );
+    let breakdown = report.breakdown();
+    assert!(
+        !breakdown.is_empty(),
+        "traced run must yield a per-stage latency breakdown"
+    );
+    println!("\ncluster-merged stage breakdown (all {replicas} replicas):");
+    println!("{}", breakdown_lines(&breakdown));
+
+    // Chrome-trace export: one process row per node.
+    let mut processes = vec![("driver".to_string(), report.driver_spans.clone())];
+    for (i, spans) in report.replica_spans.iter().enumerate() {
+        processes.push((format!("replica-{i}"), spans.clone()));
+    }
+    let json = chrome_trace(&processes);
+    std::fs::write(&out, &json).expect("write chrome trace");
+    println!(
+        "wrote {} ({} bytes) — load it at https://ui.perfetto.dev",
+        out,
+        json.len()
+    );
+}
